@@ -1,0 +1,174 @@
+"""E12 — the §3.2 contrast: what prior agreement buys you.
+
+Head-to-head measurements of the anonymous algorithms against their
+named-model baselines under identical schedules, plus executable
+versions of §3.2's three named-model properties:
+
+1. register padding works (ignore the extras) — only with names;
+2. n-process mutual exclusion exists for every n (tournament) — the
+   anonymous model's Figure 1 is two-process only and needs odd m;
+3. no parity constraint on the register count.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.baselines.named_consensus import NamedConsensus, PaddedAlgorithm
+from repro.baselines.named_mutex import PetersonMutex, TournamentMutex
+from repro.baselines.named_renaming import ElectionChainRenaming
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.core.renaming import AnonymousRenaming
+from repro.runtime.adversary import RandomAdversary, StagedObstructionAdversary
+from repro.runtime.system import System
+from repro.spec.consensus_spec import AgreementChecker
+from repro.spec.mutex_spec import MutualExclusionChecker
+from repro.spec.renaming_spec import UniqueNamesChecker
+
+from benchmarks.conftest import consensus_inputs, pids
+
+
+def mutex_duel(seed: int = 0):
+    """Figure 1 vs Peterson: same schedule seeds, steps to completion."""
+    rows = []
+    for name, algorithm in (
+        ("Fig1 anonymous (m=3)", AnonymousMutex(m=3, cs_visits=3)),
+        ("Peterson named (m=3)", PetersonMutex(cs_visits=3)),
+    ):
+        system = System(algorithm, pids(2))
+        trace = system.run(RandomAdversary(seed), max_steps=500_000)
+        MutualExclusionChecker().check(trace)
+        rows.append([name, 3, len(trace), trace.critical_section_entries()])
+    return rows
+
+
+def test_e12_mutex_anonymous_vs_named(benchmark):
+    rows = benchmark(mutex_duel)
+    print(render_table(
+        ["algorithm", "registers", "events", "CS entries"], rows,
+        title="E12a (mutex: anonymity costs steps, not correctness)",
+    ))
+    assert all(row[3] == 6 for row in rows)
+
+
+def consensus_duel(n: int = 3, seed: int = 0):
+    inputs = consensus_inputs(n)
+    rows = []
+    for name, factory in (
+        ("Fig2 anonymous", lambda: AnonymousConsensus(n=n)),
+        ("named ([5]-style, staggered)", lambda: NamedConsensus(n=n)),
+    ):
+        system = System(factory(), inputs)
+        adversary = StagedObstructionAdversary(prefix_steps=80, seed=seed)
+        trace = system.run(adversary, max_steps=500_000)
+        AgreementChecker().check(trace)
+        rows.append([name, system.memory.size, len(trace), len(trace.decided())])
+    return rows
+
+
+def test_e12_consensus_anonymous_vs_named(benchmark):
+    rows = benchmark(consensus_duel)
+    print(render_table(
+        ["algorithm", "registers", "events", "decided"], rows,
+        title="E12b (consensus duel, n=3)",
+    ))
+    assert all(row[3] == 3 for row in rows)
+
+
+def renaming_duel(n: int = 3, seed: int = 1):
+    rows = []
+    for name, factory in (
+        ("Fig3 anonymous (2n-1 regs)", lambda: AnonymousRenaming(n=n)),
+        ("election chain ((n-1)(2n-1) regs)", lambda: ElectionChainRenaming(n=n)),
+    ):
+        system = System(factory(), pids(n))
+        adversary = StagedObstructionAdversary(prefix_steps=60, seed=seed)
+        trace = system.run(adversary, max_steps=1_000_000)
+        UniqueNamesChecker().check(trace)
+        rows.append([name, system.memory.size, len(trace),
+                     sorted(trace.outputs.values())])
+    return rows
+
+
+def test_e12_renaming_anonymous_vs_named(benchmark):
+    rows = benchmark(renaming_duel)
+    print(render_table(
+        ["algorithm", "registers", "events", "names"], rows,
+        title="E12c (renaming duel, n=3: anonymity saves (n-2)(2n-1) registers)",
+    ))
+    # The named chain needs (n-1)(2n-1) registers vs Fig 3's 2n-1.
+    assert rows[0][1] < rows[1][1]
+
+
+def padding_works():
+    """§3.2 property 1: run Fig 1 (m=3) inside 4 registers, named model."""
+    system = System(PaddedAlgorithm(AnonymousMutex(m=3, cs_visits=2), 4), pids(2))
+    trace = system.run(RandomAdversary(5), max_steps=500_000)
+    MutualExclusionChecker().check(trace)
+    return trace
+
+
+def test_e12_padding_in_named_model(benchmark):
+    trace = benchmark(padding_works)
+    assert trace.stop_reason == "all-halted"
+    print(render_table(
+        ["total registers", "used", "pad untouched", "verdict"],
+        [[4, 3, all(v == 0 for v in trace.final_values[3:]),
+          "even total works WITH names"]],
+        title="E12d (§3.2 padding: forbidden anonymously by Thm 3.1)",
+    ))
+
+
+@pytest.mark.parametrize("n", [3, 4, 6, 8])
+def test_e12_tournament_scales_beyond_two(benchmark, n):
+    def run():
+        system = System(TournamentMutex(n=n, cs_visits=1), pids(n))
+        trace = system.run(RandomAdversary(n), max_steps=2_000_000)
+        MutualExclusionChecker().check(trace)
+        return trace
+
+    trace = benchmark(run)
+    assert trace.critical_section_entries() == n
+    print(render_table(
+        ["n", "registers", "events", "CS entries"],
+        [[n, 3 * (len(trace.final_values) // 3), len(trace),
+          trace.critical_section_entries()]],
+        title=f"E12e (named tournament, n={n}: open problem anonymously)",
+    ))
+
+
+def renaming_three_way(n: int = 4, seed: int = 2):
+    """Fig 3 vs election chain vs splitter grid: the full trade-off."""
+    from repro.baselines.splitter_renaming import SplitterRenaming
+    from repro.runtime.adversary import RoundRobinAdversary
+
+    rows = []
+    for label, factory, adversary, name_space in (
+        ("Fig3 anonymous (perfect, OF)", lambda: AnonymousRenaming(n=n),
+         StagedObstructionAdversary(prefix_steps=60, seed=seed), n),
+        ("election chain (perfect, named)", lambda: ElectionChainRenaming(n=n),
+         StagedObstructionAdversary(prefix_steps=60, seed=seed), n),
+        ("splitter grid (wait-free, named)", lambda: SplitterRenaming(n=n),
+         RoundRobinAdversary(), n * (n + 1) // 2),
+    ):
+        system = System(factory(), pids(n))
+        trace = system.run(adversary, max_steps=10**6)
+        UniqueNamesChecker().check(trace)
+        rows.append([
+            label, system.memory.size, name_space, len(trace),
+            str(sorted(trace.outputs.values())),
+        ])
+    return rows
+
+
+def test_e12_renaming_three_way(benchmark):
+    rows = benchmark.pedantic(renaming_three_way, rounds=1, iterations=1)
+    print(render_table(
+        ["algorithm", "registers", "name space", "events", "names"], rows,
+        title=(
+            "E12f (renaming trade-off triangle: anonymity vs space vs "
+            "progress — the splitter grid even finishes under strict "
+            "round-robin, where the obstruction-free algorithms may not)"
+        ),
+    ))
+    assert len(rows) == 3

@@ -1,0 +1,108 @@
+"""E3/E4/E5 — Theorems 4.1, 4.2 and the §4 election note.
+
+* E3: obstruction-free termination, with the quantitative handle from
+  the Theorem 4.1 proof — a solo run decides within 2n-1 write
+  iterations; measured for n in {1..6};
+* E4: agreement + validity across a naming × adversary sweep;
+* E5: election derived from consensus — unanimous participant winner.
+"""
+
+import pytest
+
+from repro.analysis.experiments import gives_solo_opportunities, sweep
+from repro.analysis.metrics import solo_iterations
+from repro.analysis.tables import render_table
+from repro.core.consensus import AnonymousConsensus
+from repro.core.election import AnonymousElection
+from repro.memory.naming import all_namings_for_tests
+from repro.runtime.adversary import (
+    SoloAdversary,
+    StagedObstructionAdversary,
+    standard_adversaries,
+)
+from repro.runtime.system import System
+from repro.spec.consensus_spec import (
+    AgreementChecker,
+    ElectionChecker,
+    ObstructionFreeTerminationChecker,
+    ValidityChecker,
+)
+
+from benchmarks.conftest import consensus_inputs, pids
+
+
+def solo_decide(n: int):
+    inputs = consensus_inputs(n)
+    system = System(AnonymousConsensus(n=n), inputs)
+    pid = pids(n)[0]
+    trace = system.run(SoloAdversary(pid), max_steps=1_000_000)
+    return trace, pid
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+def test_e3_solo_iteration_bound(benchmark, n):
+    trace, pid = benchmark(solo_decide, n)
+    iterations = solo_iterations(trace, pid)
+    bound = 2 * n - 1
+    assert iterations <= bound
+    assert trace.outputs[pid] == consensus_inputs(n)[pid]
+    print(
+        render_table(
+            ["n", "registers", "solo iterations", "bound 2n-1", "steps"],
+            [[n, 2 * n - 1, iterations, bound, trace.steps_taken(pid)]],
+            title=f"E3 (Theorem 4.1 solo bound, n={n})",
+        )
+    )
+
+
+def consensus_sweep(n: int):
+    inputs = consensus_inputs(n)
+
+    def checkers(adversary):
+        battery = [AgreementChecker(), ValidityChecker(inputs)]
+        if gives_solo_opportunities(adversary):
+            battery.append(ObstructionFreeTerminationChecker())
+        return battery
+
+    return sweep(
+        lambda: AnonymousConsensus(n=n),
+        inputs,
+        namings=all_namings_for_tests(pids(n), 2 * n - 1),
+        adversaries=standard_adversaries(range(3)),
+        checkers_factory=checkers,
+        max_steps=150_000,
+    )
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_e4_agreement_validity_sweep(benchmark, n):
+    result = benchmark.pedantic(consensus_sweep, args=(n,), rounds=1, iterations=1)
+    assert result.all_ok, result.describe_failures()
+    print(
+        render_table(
+            ["n", "runs", "violations", "verdict"],
+            [[n, result.runs, len(result.failures), "agreement+validity hold"]],
+            title=f"E4 (Theorems 4.1/4.2 sweep, n={n})",
+        )
+    )
+
+
+def election_run(n: int, seed: int):
+    system = System(AnonymousElection(n=n), pids(n))
+    adversary = StagedObstructionAdversary(prefix_steps=40 * n, seed=seed)
+    return system.run(adversary, max_steps=500_000)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_e5_election(benchmark, n):
+    trace = benchmark(election_run, n, 1)
+    ElectionChecker().check(trace)
+    assert len(trace.decided()) == n
+    winner = next(iter(trace.decided().values()))
+    print(
+        render_table(
+            ["n", "winner", "unanimous", "events"],
+            [[n, winner, True, len(trace)]],
+            title=f"E5 (§4 election, n={n})",
+        )
+    )

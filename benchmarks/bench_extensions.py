@@ -1,0 +1,107 @@
+"""E16 (extensions) — the §8 directions and §6.3 remark, measured.
+
+* commit-adopt: exhaustive spec verification + wait-free step bound;
+* the [25]-style ladder: consensus cost vs process count with ONE fixed
+  register layout (the named model's answer to Theorem 6.3), plus the
+  adversarial round climb that shows why it is only obstruction-free;
+* naming agreement: cost of bootstrapping a common numbering, after
+  which Peterson runs on registers that started anonymous;
+* partitioned k-set: output diversity vs k.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.extensions.commit_adopt import CommitAdopt
+from repro.extensions.kset import KSetChecker, PartitionedKSetConsensus
+from repro.extensions.naming_agreement import NamingAgreement, consistent_namings
+from repro.extensions.unbounded_consensus import UnboundedConsensus
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import StagedObstructionAdversary
+from repro.runtime.exploration import explore
+from repro.runtime.system import System
+from repro.spec.consensus_spec import AgreementChecker
+
+from benchmarks.conftest import pids
+
+
+def ca_exhaustive():
+    from tests.extensions.test_commit_adopt import conjoined
+
+    inputs = {101: "a", 103: "b", 107: "a"}
+    system = System(CommitAdopt(("a", "b")), inputs, record_trace=False)
+    return explore(system, conjoined(inputs), max_states=2_000_000)
+
+
+def test_e16_commit_adopt_exhaustive(benchmark):
+    result = benchmark.pedantic(ca_exhaustive, rounds=1, iterations=1)
+    assert result.complete and result.ok
+    print(render_table(
+        ["object", "processes", "states", "verdict"],
+        [["commit-adopt(binary)", 3, result.states_explored,
+          "coherence+validity exhaustive"]],
+        title="E16a (commit-adopt verified over all schedules)",
+    ))
+
+
+@pytest.mark.parametrize("count", [2, 4, 6, 8])
+def test_e16_ladder_scales_with_process_count(benchmark, count):
+    inputs = {pids(8)[k]: ("one" if k % 2 else "zero") for k in range(count)}
+
+    def run():
+        system = System(UnboundedConsensus(("zero", "one")), inputs)
+        adversary = StagedObstructionAdversary(prefix_steps=25 * count, seed=count)
+        return system.run(adversary, max_steps=500_000)
+
+    trace = benchmark(run)
+    AgreementChecker().check(trace)
+    assert len(trace.decided()) == count
+    print(render_table(
+        ["processes", "fixed registers", "events", "decided"],
+        [[count, UnboundedConsensus(("zero", "one")).register_count(),
+          len(trace), len(trace.decided())]],
+        title=f"E16b (one layout, any process count — n={count})",
+    ))
+
+
+def test_e16_naming_agreement_cost(benchmark):
+    def run():
+        rows = []
+        for n in (2, 3, 4):
+            system = System(
+                NamingAgreement(n=n), pids(n), naming=RandomNaming(n)
+            )
+            trace = system.run(
+                StagedObstructionAdversary(prefix_steps=0), max_steps=200_000
+            )
+            assert trace.all_halted()
+            assert consistent_namings(system, trace.outputs)
+            rows.append([n, 2 * n - 1, len(trace)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(render_table(
+        ["n", "registers", "events to full agreement"], rows,
+        title="E16c (naming bootstrap: buy the named model once, reuse it)",
+    ))
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_e16_partitioned_kset(benchmark, k):
+    n = 6
+    inputs = {pid: f"v{pid}" for pid in pids(n)}
+
+    def run():
+        system = System(PartitionedKSetConsensus(n=n, k=k), inputs)
+        adversary = StagedObstructionAdversary(prefix_steps=30 * n, seed=k)
+        return system.run(adversary, max_steps=500_000)
+
+    trace = benchmark(run)
+    KSetChecker(k, inputs).check(trace)
+    distinct = len(set(trace.decided().values()))
+    print(render_table(
+        ["n", "k", "distinct outputs", "registers"],
+        [[n, k, distinct, PartitionedKSetConsensus(n=n, k=k).register_count()]],
+        title=f"E16d (partitioned k-set, k={k}: at most k values)",
+    ))
+    assert distinct <= k

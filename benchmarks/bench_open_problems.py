@@ -1,0 +1,210 @@
+"""E17 — empirical probes of the paper's stated open problems (§8).
+
+    "Several questions are left open: the existence of deadlock-free
+    mutual exclusion algorithms for more than two processes, the
+    existence of starvation-free mutual exclusion algorithms, finding
+    tight space bounds for consensus and renaming..."
+
+These are *probes*, not answers: bounded searches and adversarial
+sampling that chart where the paper's own algorithms stand inside the
+open territory.  Findings (recorded in EXPERIMENTS.md):
+
+* **Figure 1 with three processes** (the n > 2 open problem): across
+  bounded-exhaustive exploration and heavy schedule sampling we find
+  **no mutual-exclusion violation** — consistent with the structural
+  observation that entry requires *all* m registers while competitors
+  can only write into 0-valued ones, so at most their pending covering
+  writes can land after an entry.  What remains genuinely open is
+  *deadlock-freedom*, a liveness property our bounded safety search
+  cannot settle.
+* **The consensus space gap** (n <= m < 2n-1): Theorem 6.3 kills m =
+  n-1; Figure 2 needs m = 2n-1.  Probing Figure 2 itself inside the gap
+  (n = 2, m = 2) the model checker finds an **agreement violation in
+  101 states** — Figure 2's majority arithmetic specifically needs
+  2n-1, so closing the gap needs a different algorithm (or a stronger
+  bound), exactly as the paper leaves it.
+"""
+
+from repro.analysis.tables import render_table
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import AlternatingBurstAdversary, RandomAdversary
+from repro.runtime.exploration import (
+    agreement_invariant,
+    conjoin,
+    explore,
+    mutual_exclusion_invariant,
+    validity_invariant,
+)
+from repro.runtime.system import System
+from repro.spec.mutex_spec import MutualExclusionChecker
+
+from benchmarks.conftest import pids
+
+
+def fig1_three_process_bounded_search(max_states=150_000):
+    system = System(
+        AnonymousMutex(m=5, cs_visits=1, unsafe_allow_any_m=True),
+        pids(3),
+        record_trace=False,
+    )
+    return explore(
+        system,
+        mutual_exclusion_invariant,
+        max_states=max_states,
+        max_depth=10_000_000,
+    )
+
+
+def test_e17_fig1_three_processes_bounded_exploration(benchmark):
+    result = benchmark.pedantic(
+        fig1_three_process_bounded_search, rounds=1, iterations=1
+    )
+    assert result.ok, result.violation  # no ME violation in the searched space
+    assert result.stuck_states == 0
+    print(render_table(
+        ["instance", "states searched", "ME violations", "stuck states"],
+        [["Fig1 n=3 m=5", result.states_explored, 0, result.stuck_states]],
+        title="E17a (open problem probe: Fig 1 beyond two processes — safety)",
+    ))
+
+
+def fig1_three_process_sampling(runs_per_seed=10):
+    checker = MutualExclusionChecker()
+    violations = 0
+    runs = 0
+    entries = 0
+    for naming_seed in range(4):
+        for seed in range(runs_per_seed):
+            system = System(
+                AnonymousMutex(
+                    m=5, cs_visits=2, cs_steps=3, unsafe_allow_any_m=True
+                ),
+                pids(3),
+                naming=RandomNaming(naming_seed),
+            )
+            adversary = (
+                RandomAdversary(seed)
+                if seed % 2
+                else AlternatingBurstAdversary(seed=seed, max_burst=8)
+            )
+            trace = system.run(adversary, max_steps=30_000)
+            runs += 1
+            entries += trace.critical_section_entries()
+            if not checker.holds(trace):
+                violations += 1
+    return runs, violations, entries
+
+
+def test_e17_fig1_three_processes_sampling(benchmark):
+    runs, violations, entries = benchmark.pedantic(
+        fig1_three_process_sampling, rounds=1, iterations=1
+    )
+    assert violations == 0
+    print(render_table(
+        ["runs", "ME violations", "CS entries observed"],
+        [[runs, violations, entries]],
+        title="E17b (Fig 1 n=3 sampling: progress happens, ME never breaks)",
+    ))
+
+
+def fig2_in_the_gap():
+    inputs = {101: "a", 103: "b"}
+    system = System(
+        AnonymousConsensus(n=2, registers=2), inputs, record_trace=False
+    )
+    return explore(
+        system,
+        conjoin(agreement_invariant, validity_invariant),
+        max_states=500_000,
+    )
+
+
+def test_e17_fig2_inside_the_space_gap(benchmark):
+    result = benchmark.pedantic(fig2_in_the_gap, rounds=1, iterations=1)
+    # Figure 2 itself is NOT safe at m = 2 (its thresholds assume 2n-1);
+    # the model checker exhibits the violating schedule.
+    assert result.violation is not None
+    assert result.violation_schedule
+    print(render_table(
+        ["instance", "states to violation", "schedule length", "verdict"],
+        [["Fig2 n=2 m=2", result.states_explored,
+          len(result.violation_schedule),
+          "agreement violated (gap stays open)"]],
+        title="E17c (consensus space gap: Fig 2 needs its full 2n-1)",
+    ))
+
+
+def test_e17_fig2_violation_schedule_replays(benchmark):
+    """The found schedule is a concrete artifact: replay it."""
+    result = fig2_in_the_gap()
+
+    def replay():
+        inputs = {101: "a", 103: "b"}
+        system = System(
+            AnonymousConsensus(n=2, registers=2), inputs, record_trace=False
+        )
+        for pid in result.violation_schedule:
+            system.scheduler.step(pid)
+        return system
+
+    system = benchmark(replay)
+    assert agreement_invariant(system) is not None
+    decided = {
+        pid: system.scheduler.output_of(pid)
+        for pid in pids(2)
+        if system.scheduler.runtime(pid).halted
+    }
+    print(render_table(
+        ["decisions after replay"],
+        [[str(decided)]],
+        title="E17d (the violating run, replayed deterministically)",
+    ))
+
+
+def starvation_probe():
+    """§8's other open problem: starvation-free anonymous mutex.
+
+    Measure worst-case bypass (how often a continuously waiting process
+    is overtaken) for Figure 1 vs the named Peterson baseline.
+    """
+    from repro.baselines.named_mutex import PetersonMutex
+    from repro.spec.mutex_spec import BoundedBypassChecker
+
+    checker = BoundedBypassChecker(bound=1)
+    rows = []
+    for label, factory, adversary_factory in (
+        (
+            "Peterson (named)",
+            lambda: PetersonMutex(cs_visits=5),
+            lambda seed: RandomAdversary(seed),
+        ),
+        (
+            "Fig 1 (anonymous, m=3)",
+            lambda: AnonymousMutex(m=3, cs_visits=5),
+            lambda seed: AlternatingBurstAdversary(seed=seed, max_burst=12),
+        ),
+    ):
+        worst = 0
+        for seed in range(20):
+            system = System(factory(), pids(2))
+            trace = system.run(adversary_factory(seed), max_steps=100_000)
+            worst = max(worst, checker.max_bypass(trace)[0])
+        rows.append([label, worst])
+    return rows
+
+
+def test_e17_starvation_freedom_probe(benchmark):
+    rows = benchmark.pedantic(starvation_probe, rounds=1, iterations=1)
+    print(render_table(
+        ["algorithm", "worst observed bypass"], rows,
+        title=(
+            "E17e (starvation probe: Peterson's turn-taking bounds bypass "
+            "at 1; Fig 1 admits unbounded overtaking — starvation-free "
+            "anonymous mutex is §8-open)"
+        ),
+    ))
+    by_label = dict(rows)
+    assert by_label["Peterson (named)"] <= 1
+    assert by_label["Fig 1 (anonymous, m=3)"] >= 3

@@ -1,0 +1,111 @@
+"""E14 — performance profile of the reproduction (not a paper claim).
+
+Scaling measurements that a downstream user of the library cares about:
+
+* simulator throughput (scheduler events per second);
+* consensus cost vs n — solo (the 2n-1 iteration regime) and contended;
+* renaming cost vs n (rounds compound: ~n elections back to back);
+* exhaustive-exploration cost vs register count for Figure 1.
+
+Absolute numbers are CPython-on-a-laptop figures; the shapes (linear
+solo cost, superlinear contended cost, exponential state growth) are
+the meaningful part.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.core.renaming import AnonymousRenaming
+from repro.runtime.adversary import (
+    RandomAdversary,
+    SoloAdversary,
+    StagedObstructionAdversary,
+)
+from repro.runtime.exploration import explore, mutual_exclusion_invariant
+from repro.runtime.system import System
+
+from benchmarks.conftest import consensus_inputs, pids
+
+
+def scheduler_throughput_workload():
+    """A fixed 20k-event mutex run: measures raw simulator speed."""
+    system = System(AnonymousMutex(m=5, cs_visits=10**9), pids(2))
+    return system.run(RandomAdversary(0), max_steps=20_000)
+
+
+def test_e14_scheduler_throughput(benchmark):
+    trace = benchmark(scheduler_throughput_workload)
+    assert len(trace) == 20_000
+    print(render_table(
+        ["workload", "events"],
+        [["Fig1 m=5 contended", len(trace)]],
+        title="E14a (simulator throughput; see timing table)",
+    ))
+
+
+@pytest.mark.parametrize("n", [2, 4, 6, 8])
+def test_e14_consensus_solo_scaling(benchmark, n):
+    def run():
+        system = System(AnonymousConsensus(n=n), consensus_inputs(n))
+        return system.run(SoloAdversary(pids(n)[0]), max_steps=10**6)
+
+    trace = benchmark(run)
+    steps = trace.steps_taken(pids(n)[0])
+    # Solo cost is Theta(m^2) = Theta(n^2): m iterations of m reads.
+    assert steps <= (2 * n) ** 2 + 4 * n
+    print(render_table(
+        ["n", "registers", "solo steps", "~bound (2n)^2"],
+        [[n, 2 * n - 1, steps, (2 * n) ** 2]],
+        title=f"E14b (consensus solo scaling, n={n})",
+    ))
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_e14_consensus_contended_scaling(benchmark, n):
+    def run():
+        system = System(AnonymousConsensus(n=n), consensus_inputs(n))
+        adversary = StagedObstructionAdversary(prefix_steps=50 * n, seed=3)
+        return system.run(adversary, max_steps=10**6)
+
+    trace = benchmark(run)
+    assert len(trace.decided()) == n
+    print(render_table(
+        ["n", "events to all-decided"],
+        [[n, len(trace)]],
+        title=f"E14c (consensus contended scaling, n={n})",
+    ))
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_e14_renaming_scaling(benchmark, n):
+    def run():
+        system = System(AnonymousRenaming(n=n), pids(n))
+        adversary = StagedObstructionAdversary(prefix_steps=50 * n, seed=5)
+        return system.run(adversary, max_steps=2 * 10**6)
+
+    trace = benchmark(run)
+    assert len(trace.decided()) == n
+    print(render_table(
+        ["n", "events to all-named"],
+        [[n, len(trace)]],
+        title=f"E14d (renaming scaling, n={n})",
+    ))
+
+
+@pytest.mark.parametrize("m", [3, 5])
+def test_e14_exploration_state_growth(benchmark, m):
+    def run():
+        system = System(
+            AnonymousMutex(m=m, cs_visits=1), pids(2), record_trace=False
+        )
+        return explore(system, mutual_exclusion_invariant, max_states=3_000_000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.complete and result.ok
+    print(render_table(
+        ["m", "reachable states", "events explored"],
+        [[m, result.states_explored, result.events_executed]],
+        title=f"E14e (exhaustive exploration growth, m={m})",
+    ))

@@ -1,0 +1,80 @@
+"""E2 — Theorem 3.4: the (m, l) relative-primality frontier, swept.
+
+For every pair (m, l) with 2 <= l <= n and gcd(m, l) > 1, the lockstep
+symmetry attack (run with an l'-process group, l' the smallest prime
+factor of the gcd) must break any candidate algorithm — here Figure 1,
+instantiated at each m.  For coprime pairs the attack's premise (an
+equispaced ring placement) does not even exist; Figure 1 at odd m is
+verified to make progress under the nearest-miss lockstep schedule.
+
+The printed grid is this reproduction's stand-in for the theorem: each
+cell reports which requirement failed, or "coprime" where the theorem is
+silent.
+"""
+
+from math import gcd
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.mutex import AnonymousMutex
+from repro.lowerbounds.symmetry import attack_group_size, run_symmetry_attack
+from repro.memory.naming import RingNaming
+from repro.runtime.adversary import LockstepAdversary
+from repro.runtime.system import System
+
+from benchmarks.conftest import pids
+
+M_VALUES = range(2, 13)
+N = 6  # consider group sizes l in 2..6
+
+
+def sweep_grid():
+    """Run the attack over the full (m, l) grid; returns table rows."""
+    rows = []
+    for m in M_VALUES:
+        cells = []
+        for l in range(2, N + 1):
+            if gcd(m, l) == 1:
+                cells.append("coprime")
+                continue
+            group = attack_group_size(m, l)
+            result = run_symmetry_attack(
+                AnonymousMutex(m=m, unsafe_allow_any_m=True),
+                pids(group),
+                max_rounds=50_000,
+            )
+            cells.append(result.violation or "SURVIVED?!")
+        rows.append([m] + cells)
+    return rows
+
+
+def test_e2_relative_primality_grid(benchmark):
+    rows = benchmark.pedantic(sweep_grid, rounds=1, iterations=1)
+    headers = ["m"] + [f"l={l}" for l in range(2, N + 1)]
+    print(render_table(headers, rows, title="E2 (Theorem 3.4 grid)"))
+    # Every non-coprime cell must report a violation.
+    for row in rows:
+        for cell in row[1:]:
+            assert cell in ("coprime", "deadlock-freedom", "mutual-exclusion")
+            assert cell != "SURVIVED?!"
+
+
+def coprime_control(m: int):
+    """Nearest-miss lockstep against Figure 1 in its legal regime."""
+    naming = RingNaming({pids(2)[0]: 0, pids(2)[1]: 1})
+    system = System(AnonymousMutex(m=m, cs_visits=1), pids(2), naming=naming)
+    return system.run(LockstepAdversary(pids(2)), max_steps=200_000)
+
+
+@pytest.mark.parametrize("m", [3, 5, 7, 9])
+def test_e2_coprime_control_makes_progress(benchmark, m):
+    trace = benchmark(coprime_control, m)
+    assert trace.critical_section_entries() >= 1
+    print(
+        render_table(
+            ["m", "l", "gcd", "CS entries"],
+            [[m, 2, gcd(m, 2), trace.critical_section_entries()]],
+            title=f"E2 control (m={m} odd: progress under lockstep)",
+        )
+    )

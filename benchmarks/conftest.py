@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark/experiment suite.
+
+Each ``bench_*.py`` file regenerates one experiment from DESIGN.md's
+index (the paper has no numeric tables — every experiment is a theorem).
+Files follow one convention:
+
+* every test takes the ``benchmark`` fixture, so ``pytest benchmarks/
+  --benchmark-only`` runs them all and reports timings;
+* the benchmarked callable *returns* the data the experiment is about,
+  and the test asserts the paper's qualitative claim on it — a benchmark
+  that silently measured a broken run would be worthless;
+* run with ``-s`` to see the per-experiment ASCII tables
+  (``python benchmarks/run_experiments.py`` prints them all without
+  pytest).
+"""
+
+import pytest
+
+#: Distinct non-contiguous pids, mirroring tests/conftest.py.
+PIDS = (101, 103, 107, 109, 113, 127, 131, 137)
+
+
+def pids(n: int):
+    """First ``n`` canonical pids."""
+    return PIDS[:n]
+
+
+def consensus_inputs(n: int):
+    """Standard input assignment for consensus experiments."""
+    return {pid: f"v{k}" for k, pid in enumerate(pids(n))}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _benchmark_banner():
+    print(
+        "\n[repro benchmarks] every experiment asserts its theorem's claim; "
+        "run with -s to see the tables\n"
+    )
+    yield

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: the three memory-anonymous algorithms in one sitting.
+
+Runs each of the paper's algorithms on the deterministic simulator under
+an adversarial register naming (every process privately numbers the
+registers differently) and prints what happened:
+
+* Figure 1 — two-process mutual exclusion with 3 anonymous registers;
+* Figure 2 — three-process obstruction-free consensus with 5 registers;
+* Figure 3 — four-process adaptive perfect renaming with 7 registers.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnonymousConsensus,
+    AnonymousMutex,
+    AnonymousRenaming,
+    RandomNaming,
+    System,
+)
+from repro.runtime import RandomAdversary, StagedObstructionAdversary
+from repro.spec import (
+    AgreementChecker,
+    MutualExclusionChecker,
+    UniqueNamesChecker,
+    ValidityChecker,
+)
+
+
+def demo_mutex() -> None:
+    """Figure 1: mutual exclusion without agreeing on register names."""
+    print("== Figure 1: memory-anonymous mutual exclusion (m=3, 2 processes)")
+    # Process ids are arbitrary positive integers — no {1..n} assumption.
+    system = System(
+        AnonymousMutex(m=3, cs_visits=2),
+        [2001, 7919],
+        naming=RandomNaming(seed=42),  # adversary scrambles the numbering
+    )
+    trace = system.run(RandomAdversary(seed=7), max_steps=100_000)
+    MutualExclusionChecker().check(trace)  # raises if the theorem failed
+    print(f"   run of {len(trace)} events, stop reason: {trace.stop_reason}")
+    print(f"   critical-section entries: {trace.critical_section_entries()}")
+    print(f"   completed visits per process: {trace.outputs}")
+    print("   mutual exclusion verified on the trace\n")
+
+
+def demo_consensus() -> None:
+    """Figure 2: consensus among processes that share no register names."""
+    print("== Figure 2: memory-anonymous consensus (n=3, 2n-1=5 registers)")
+    inputs = {2001: "apple", 7919: "banana", 104729: "cherry"}
+    system = System(
+        AnonymousConsensus(n=3), inputs, naming=RandomNaming(seed=1)
+    )
+    # Obstruction-freedom: after some contention, give each process a
+    # solo stretch; everyone then decides.
+    trace = system.run(
+        StagedObstructionAdversary(prefix_steps=60, seed=3), max_steps=200_000
+    )
+    AgreementChecker().check(trace)
+    ValidityChecker(inputs).check(trace)
+    print(f"   inputs:    {inputs}")
+    print(f"   decisions: {trace.outputs}")
+    print("   agreement + validity verified on the trace\n")
+
+
+def demo_renaming() -> None:
+    """Figure 3: shrink a huge name space to {1..n} without agreement."""
+    print("== Figure 3: adaptive perfect renaming (n=4, 2n-1=7 registers)")
+    old_names = [15485863, 32452843, 49979687, 67867967]
+    system = System(
+        AnonymousRenaming(n=4), old_names, naming=RandomNaming(seed=9)
+    )
+    trace = system.run(
+        StagedObstructionAdversary(prefix_steps=80, seed=5), max_steps=500_000
+    )
+    UniqueNamesChecker().check(trace)
+    print("   old name        -> new name")
+    for old in old_names:
+        print(f"   {old:<15} -> {trace.outputs[old]}")
+    print("   uniqueness verified on the trace\n")
+
+
+if __name__ == "__main__":
+    demo_mutex()
+    demo_consensus()
+    demo_renaming()
+    print("All three algorithms ran correctly with scrambled register names.")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Tour of the paper's negative results, reproduced mechanically.
+
+Four demonstrations:
+
+1. exhaustive model checking of Figure 1 (Theorem 3.2) — every reachable
+   state of the m=3 instance is enumerated and checked;
+2. the Theorem 3.4 lockstep symmetry attack on Figure 1 with even m —
+   the run provably cycles forever without a critical-section entry;
+3. the Theorem 6.2 covering construction against a naive lock — the
+   constructed run rho ends with two processes in the critical section;
+4. the Theorem 6.3 covering construction against Figure 2 squeezed into
+   n-1 registers — the constructed run ends with two different decisions.
+
+Run with:  python examples/verify_theorems.py
+"""
+
+from repro import AnonymousConsensus, AnonymousMutex, System, explore
+from repro.lowerbounds import (
+    NaiveTestAndSetLock,
+    demonstrate_consensus_space_bound,
+    demonstrate_mutex_impossibility,
+    run_symmetry_attack,
+)
+from repro.runtime.exploration import mutual_exclusion_invariant
+
+
+def demo_exhaustive() -> None:
+    print("== 1. Exhaustive verification of Figure 1 (Theorem 3.2)")
+    system = System(AnonymousMutex(m=3, cs_visits=1), [101, 103], record_trace=False)
+    result = explore(system, mutual_exclusion_invariant)
+    print(f"   {result.summary()}")
+    assert result.complete and result.ok and result.stuck_states == 0
+    print("   every reachable state satisfies mutual exclusion; no state "
+          "is stuck\n")
+
+
+def demo_symmetry_attack() -> None:
+    print("== 2. Theorem 3.4 lockstep attack: Figure 1 with even m=4")
+    result = run_symmetry_attack(
+        AnonymousMutex(m=4, unsafe_allow_any_m=True), [101, 103]
+    )
+    print(f"   {result.summary()}")
+    print(f"   states stayed symmetric at every round: "
+          f"{result.symmetric_throughout}")
+    assert result.violation == "deadlock-freedom"
+    print("   even m admits the equispaced ring placement; the symmetric "
+          "run starves forever\n")
+
+
+def demo_mutex_covering() -> None:
+    print("== 3. Theorem 6.2 covering construction vs a naive lock")
+    report = demonstrate_mutex_impossibility(lambda: NaiveTestAndSetLock())
+    print(f"   {report.summary()}")
+    print(f"   indistinguishability after block write verified exactly: "
+          f"{report.indistinguishability_verified}")
+    assert report.branch == "rho-violation"
+    print("   one covering process erased the owner's trace; both entered "
+          "the critical section\n")
+
+
+def demo_consensus_covering() -> None:
+    print("== 4. Theorem 6.3 covering construction vs Figure 2 with n-1 "
+          "registers")
+    report = demonstrate_consensus_space_bound(
+        lambda: AnonymousConsensus(n=4, registers=3)
+    )
+    print(f"   {report.summary()}")
+    print(f"   q decided {report.q_outcome!r}; covering processes decided "
+          f"{ {p: v for p, v in report.p_outcomes.items() if v is not None} }")
+    assert report.branch == "rho-violation"
+    print("   below 2n-1 registers the block write erases the first "
+          "decision entirely\n")
+
+
+if __name__ == "__main__":
+    demo_exhaustive()
+    demo_symmetry_attack()
+    demo_mutex_covering()
+    demo_consensus_covering()
+    print("All four negative results reproduced mechanically.")

@@ -1,0 +1,120 @@
+"""repro — reproduction of "Coordination Without Prior Agreement"
+(Gadi Taubenfeld, PODC 2017).
+
+The package implements the paper's model of *memory-anonymous*
+shared-memory computation — atomic MWMR registers with no globally agreed
+names — together with its three algorithms, the named-model baselines it
+contrasts against, and executable versions of its lower-bound and
+impossibility constructions.
+
+Layout
+------
+``repro.memory``
+    Registers, per-process register namings, anonymous memory views,
+    record encodings, snapshot object.
+``repro.runtime``
+    Process automata, adversarial scheduler, traces, bounded exhaustive
+    exploration, real-thread backend.
+``repro.core``
+    The paper's algorithms: Figure 1 mutex, Figure 2 consensus, §4
+    election, Figure 3 adaptive perfect renaming.
+``repro.baselines``
+    Named-register comparators: Peterson/tournament mutex, named
+    consensus, election-chain renaming, register padding.
+``repro.lowerbounds``
+    Theorem 3.4's lockstep symmetry attack and the Section 6 covering
+    constructions, as executable run builders.
+``repro.spec``
+    Trace checkers for every property the theorems claim.
+``repro.analysis``
+    Experiment sweeps, metrics and table rendering for the benchmark
+    harness.
+
+Quickstart
+----------
+>>> from repro import AnonymousConsensus, System, RandomNaming
+>>> from repro.runtime import StagedObstructionAdversary
+>>> system = System(AnonymousConsensus(n=3), {7: "red", 21: "green", 9: "blue"},
+...                 naming=RandomNaming(seed=1))
+>>> trace = system.run(StagedObstructionAdversary(prefix_steps=30, seed=1))
+>>> len(set(trace.outputs.values()))
+1
+"""
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.election import AnonymousElection, elected_leader
+from repro.core.mutex import AnonymousMutex
+from repro.core.renaming import AnonymousRenaming
+from repro.errors import (
+    AgreementViolation,
+    ConfigurationError,
+    DeadlockFreedomViolation,
+    MutualExclusionViolation,
+    NameRangeViolation,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SpecViolation,
+    TerminationViolation,
+    UniquenessViolation,
+    ValidityViolation,
+)
+from repro.memory import (
+    AnonymousMemory,
+    ExplicitNaming,
+    IdentityNaming,
+    RandomNaming,
+    RingNaming,
+)
+from repro.runtime import (
+    LockstepAdversary,
+    RandomAdversary,
+    RoundRobinAdversary,
+    SoloAdversary,
+    StagedObstructionAdversary,
+    System,
+    explore,
+    run_threaded,
+    run_threaded_with_backoff,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core algorithms
+    "AnonymousMutex",
+    "AnonymousConsensus",
+    "AnonymousElection",
+    "elected_leader",
+    "AnonymousRenaming",
+    # memory
+    "AnonymousMemory",
+    "IdentityNaming",
+    "RandomNaming",
+    "RingNaming",
+    "ExplicitNaming",
+    # runtime
+    "System",
+    "explore",
+    "RandomAdversary",
+    "RoundRobinAdversary",
+    "LockstepAdversary",
+    "SoloAdversary",
+    "StagedObstructionAdversary",
+    "run_threaded",
+    "run_threaded_with_backoff",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "SchedulingError",
+    "SpecViolation",
+    "MutualExclusionViolation",
+    "DeadlockFreedomViolation",
+    "AgreementViolation",
+    "ValidityViolation",
+    "UniquenessViolation",
+    "NameRangeViolation",
+    "TerminationViolation",
+]

@@ -1,0 +1,142 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``demo``        — run the three algorithms once and print what happened
+                    (default when no subcommand is given);
+* ``verify``      — exhaustively model-check the small instances
+                    (Figure 1 m=3, Figure 2 n=2, Figure 3 n=2);
+* ``attack``      — run the Theorem 3.4 symmetry attack on Figure 1 with
+                    an even register count and show the provable livelock;
+* ``experiments`` — regenerate every experiment table (E1-E14; slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_demo() -> int:
+    from repro import (
+        AnonymousConsensus,
+        AnonymousMutex,
+        AnonymousRenaming,
+        RandomNaming,
+        System,
+    )
+    from repro.runtime import RandomAdversary, StagedObstructionAdversary
+
+    print("Figure 1 — two-process mutual exclusion, 3 anonymous registers")
+    system = System(AnonymousMutex(m=3, cs_visits=2), [11, 13], naming=RandomNaming(1))
+    trace = system.run(RandomAdversary(1), max_steps=100_000)
+    print(f"  {trace.critical_section_entries()} serialized CS entries "
+          f"in {len(trace)} steps\n")
+
+    print("Figure 2 — three-process consensus, 5 anonymous registers")
+    system = System(
+        AnonymousConsensus(n=3), {11: "a", 13: "b", 17: "c"}, naming=RandomNaming(2)
+    )
+    trace = system.run(StagedObstructionAdversary(prefix_steps=50, seed=2), max_steps=200_000)
+    print(f"  decisions: {trace.outputs}\n")
+
+    print("Figure 3 — four-process perfect renaming, 7 anonymous registers")
+    system = System(AnonymousRenaming(n=4), [11, 13, 17, 19], naming=RandomNaming(3))
+    trace = system.run(StagedObstructionAdversary(prefix_steps=80, seed=3), max_steps=500_000)
+    print(f"  new names: {trace.outputs}")
+    return 0
+
+
+def cmd_verify() -> int:
+    from repro import AnonymousConsensus, AnonymousMutex, AnonymousRenaming, System, explore
+    from repro.runtime.exploration import (
+        agreement_invariant,
+        conjoin,
+        mutual_exclusion_invariant,
+        unique_names_invariant,
+        validity_invariant,
+    )
+
+    checks = [
+        (
+            "Figure 1 (m=3, 2 processes): mutual exclusion",
+            System(AnonymousMutex(m=3), [11, 13], record_trace=False),
+            mutual_exclusion_invariant,
+        ),
+        (
+            "Figure 2 (n=2): agreement + validity",
+            System(AnonymousConsensus(n=2), {11: "a", 13: "b"}, record_trace=False),
+            conjoin(agreement_invariant, validity_invariant),
+        ),
+        (
+            "Figure 3 (n=2): unique names",
+            System(AnonymousRenaming(n=2), [11, 13], record_trace=False),
+            unique_names_invariant,
+        ),
+    ]
+    failed = 0
+    for label, system, invariant in checks:
+        result = explore(system, invariant, max_states=1_000_000)
+        status = "OK " if (result.complete and result.ok) else "FAIL"
+        if status == "FAIL":
+            failed += 1
+        print(f"[{status}] {label}: {result.summary()}")
+    return 1 if failed else 0
+
+
+def cmd_attack() -> int:
+    from repro.core.mutex import AnonymousMutex
+    from repro.lowerbounds.symmetry import run_symmetry_attack
+
+    for m in (2, 4, 6):
+        result = run_symmetry_attack(
+            AnonymousMutex(m=m, unsafe_allow_any_m=True), [11, 13]
+        )
+        print(f"m={m}: {result.summary()}")
+        if not result.violated:
+            return 1
+    print("even register counts are impossible, exactly as Theorem 3.1 says")
+    return 0
+
+
+def cmd_experiments() -> int:
+    import importlib.util
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "benchmarks" / "run_experiments.py"
+    if not script.exists():
+        print(
+            "benchmarks/run_experiments.py not found (installed without the "
+            "repository checkout); clone the repo to run the full tables",
+            file=sys.stderr,
+        )
+        return 2
+    spec = importlib.util.spec_from_file_location("run_experiments", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Coordination Without Prior Agreement — reproduction CLI",
+    )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        default="demo",
+        choices=["demo", "verify", "attack", "experiments"],
+    )
+    args = parser.parse_args(argv)
+    return {
+        "demo": cmd_demo,
+        "verify": cmd_verify,
+        "attack": cmd_attack,
+        "experiments": cmd_experiments,
+    }[args.command]()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Experiment support: sweeps, metrics, and report tables.
+
+* :mod:`repro.analysis.experiments` — naming × adversary sweep harness;
+* :mod:`repro.analysis.metrics` — step/iteration counts and register
+  contention;
+* :mod:`repro.analysis.tables` — ASCII table rendering for the benchmark
+  reports.
+"""
+
+from repro.analysis.experiments import (
+    RunRecord,
+    SweepResult,
+    gives_solo_opportunities,
+    solo_run,
+    sweep,
+)
+from repro.analysis.metrics import (
+    RunMetrics,
+    collect_metrics,
+    contention_spread,
+    register_contention,
+    solo_iterations,
+    summarize_distribution,
+)
+from repro.analysis.tables import print_table, render_table
+
+__all__ = [
+    "RunRecord",
+    "SweepResult",
+    "sweep",
+    "solo_run",
+    "gives_solo_opportunities",
+    "RunMetrics",
+    "collect_metrics",
+    "register_contention",
+    "contention_spread",
+    "solo_iterations",
+    "summarize_distribution",
+    "print_table",
+    "render_table",
+]

@@ -1,0 +1,151 @@
+"""Sweep harness: run an algorithm across namings × adversaries × seeds.
+
+Every possibility-side experiment has the same shape: build a system,
+run it under a schedule, check the theorem's properties on the trace,
+collect metrics, and aggregate over a battery of namings and adversaries.
+:func:`sweep` is that loop; :class:`SweepResult` is what the benchmark
+tables are printed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.analysis.metrics import RunMetrics, collect_metrics
+from repro.errors import SpecViolation
+from repro.memory.naming import NamingAssignment
+from repro.runtime.adversary import Adversary
+from repro.runtime.automaton import Algorithm
+from repro.runtime.events import Trace
+from repro.runtime.system import System
+from repro.spec.properties import PropertyChecker
+
+
+@dataclass
+class RunRecord:
+    """One (naming, adversary) cell of a sweep."""
+
+    naming: str
+    adversary: str
+    trace: Trace
+    metrics: RunMetrics
+    violations: List[SpecViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every checked property held."""
+        return not self.violations
+
+
+@dataclass
+class SweepResult:
+    """All runs of one sweep, with aggregate queries."""
+
+    algorithm: str
+    records: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        """Total runs performed."""
+        return len(self.records)
+
+    @property
+    def all_ok(self) -> bool:
+        """True when no run violated any checked property."""
+        return all(record.ok for record in self.records)
+
+    @property
+    def failures(self) -> List[RunRecord]:
+        """Runs with at least one violation."""
+        return [record for record in self.records if not record.ok]
+
+    def metric_values(self, extract: Callable[[RunRecord], float]) -> List[float]:
+        """Apply ``extract`` to every record (for distribution summaries)."""
+        return [extract(record) for record in self.records]
+
+    def describe_failures(self, limit: int = 3) -> str:
+        """Short multi-line description of the first few failures."""
+        lines = []
+        for record in self.failures[:limit]:
+            for violation in record.violations:
+                lines.append(
+                    f"[{record.naming} / {record.adversary}] {violation}"
+                )
+        remaining = len(self.failures) - limit
+        if remaining > 0:
+            lines.append(f"... and {remaining} more failing runs")
+        return "\n".join(lines)
+
+
+def sweep(
+    algorithm_factory: Callable[[], Algorithm],
+    inputs,
+    namings: Sequence[NamingAssignment],
+    adversaries: Sequence[Adversary],
+    checkers_factory: Callable[..., Iterable[PropertyChecker]],
+    max_steps: int = 200_000,
+) -> SweepResult:
+    """Run every naming × adversary combination and check each trace.
+
+    ``algorithm_factory`` is called once per run (some algorithms carry
+    per-instance state such as slot counters).  ``checkers_factory``
+    builds fresh checkers per run; it is called with the adversary when
+    it accepts an argument, so callers can drop liveness checks for
+    schedules that give no solo opportunities (obstruction-freedom
+    guarantees nothing under, say, strict round-robin — and Figure 2
+    really does livelock there, which is a feature of the model, not a
+    bug).  Violations are *collected*, not raised — impossibility-side
+    sweeps count them.
+    """
+    result = SweepResult(algorithm=algorithm_factory().name)
+    for naming in namings:
+        for adversary in adversaries:
+            system = System(algorithm_factory(), inputs, naming=naming)
+            trace = system.run(adversary, max_steps=max_steps)
+            record = RunRecord(
+                naming=naming.describe(),
+                adversary=adversary.describe(),
+                trace=trace,
+                metrics=collect_metrics(trace),
+            )
+            try:
+                checkers = checkers_factory(adversary)
+            except TypeError:
+                checkers = checkers_factory()
+            for checker in checkers:
+                try:
+                    checker.check(trace)
+                except SpecViolation as exc:
+                    record.violations.append(exc)
+            result.records.append(record)
+    return result
+
+
+def gives_solo_opportunities(adversary: Adversary) -> bool:
+    """Whether a schedule eventually lets each process run alone.
+
+    Used to decide if obstruction-free *termination* may be demanded of
+    a run driven by this adversary.
+    """
+    from repro.runtime.adversary import SoloAdversary, StagedObstructionAdversary
+
+    return isinstance(adversary, (SoloAdversary, StagedObstructionAdversary))
+
+
+def solo_run(
+    algorithm_factory: Callable[[], Algorithm],
+    inputs,
+    pid,
+    naming: Optional[NamingAssignment] = None,
+    max_steps: int = 1_000_000,
+) -> Trace:
+    """Run a single process alone to completion (obstruction-free bounds).
+
+    All other participants exist (their views are allocated) but never
+    take a step — the paper's "runs alone from the beginning" scenario.
+    """
+    from repro.runtime.adversary import SoloAdversary
+
+    system = System(algorithm_factory(), inputs, naming=naming)
+    return system.run(SoloAdversary(pid), max_steps=max_steps)

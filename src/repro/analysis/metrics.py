@@ -1,0 +1,107 @@
+"""Run metrics: step counts, iteration counts, register contention.
+
+The paper's claims are qualitative (possibility/impossibility), but its
+proofs contain quantitative handles the experiments verify and report:
+
+* Theorem 4.1: a solo consensus run finishes "after at most 2n - 1
+  iterations" — :func:`solo_iterations` counts the actual write
+  iterations of a solo run;
+* §1 motivates anonymity with memory-contention flexibility —
+  :func:`register_contention` histograms physical register accesses so
+  the plasticity experiment can show how namings spread load;
+* step counts per process and per run feed the performance tables.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.runtime.events import Trace
+from repro.types import PhysicalIndex, ProcessId
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate numbers extracted from one trace."""
+
+    total_events: int
+    total_reads: int
+    total_writes: int
+    steps_per_process: Dict[ProcessId, int]
+    decided_count: int
+
+    @property
+    def max_steps(self) -> int:
+        """Steps of the busiest process."""
+        return max(self.steps_per_process.values(), default=0)
+
+    @property
+    def mean_steps(self) -> float:
+        """Mean steps per process."""
+        values = list(self.steps_per_process.values())
+        return statistics.fmean(values) if values else 0.0
+
+
+def collect_metrics(trace: Trace) -> RunMetrics:
+    """Extract :class:`RunMetrics` from a trace."""
+    reads = sum(1 for e in trace.events if e.is_read())
+    writes = sum(1 for e in trace.events if e.is_write())
+    return RunMetrics(
+        total_events=len(trace),
+        total_reads=reads,
+        total_writes=writes,
+        steps_per_process={pid: trace.steps_taken(pid) for pid in trace.pids},
+        decided_count=len(trace.decided()),
+    )
+
+
+def register_contention(trace: Trace) -> Dict[PhysicalIndex, Tuple[int, int]]:
+    """Per-physical-register (reads, writes) histogram of a run."""
+    histogram: Dict[PhysicalIndex, List[int]] = {}
+    for event in trace.events:
+        if event.physical_index is None:
+            continue
+        cell = histogram.setdefault(event.physical_index, [0, 0])
+        if event.is_read():
+            cell[0] += 1
+        else:
+            cell[1] += 1
+    return {index: (r, w) for index, (r, w) in sorted(histogram.items())}
+
+
+def contention_spread(trace: Trace) -> float:
+    """Max/mean ratio of per-register write counts (1.0 = perfectly even).
+
+    The §1 "plasticity" discussion suggests orderings can be assigned to
+    reduce memory contention; this scalar summarises how evenly a run
+    spread its writes.
+    """
+    writes = [w for _, w in register_contention(trace).values()]
+    if not writes or sum(writes) == 0:
+        return 1.0
+    mean = sum(writes) / len(writes)
+    return max(writes) / mean if mean else 1.0
+
+
+def solo_iterations(trace: Trace, pid: ProcessId) -> int:
+    """Number of write operations ``pid`` performed — its loop iterations.
+
+    Figure 2/3 processes write exactly once per repeat-loop iteration, so
+    the write count is the iteration count the Theorem 4.1/5.1 bounds
+    speak about.
+    """
+    return len(trace.writes_by(pid))
+
+
+def summarize_distribution(values: Sequence[float]) -> Dict[str, float]:
+    """min/mean/median/max summary used by the report tables."""
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "median": 0.0, "max": 0.0}
+    return {
+        "min": float(min(values)),
+        "mean": float(statistics.fmean(values)),
+        "median": float(statistics.median(values)),
+        "max": float(max(values)),
+    }

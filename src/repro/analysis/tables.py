@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints its results as aligned ASCII tables (the
+paper has no numeric tables of its own — each of our tables corresponds
+to one theorem-as-experiment, see EXPERIMENTS.md).  No third-party
+dependency; right-aligns numbers, left-aligns text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    formatted: List[List[str]] = [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def render_row(cells: Sequence[str], original: Optional[Sequence[Any]] = None) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            source = original[col] if original is not None else None
+            if isinstance(source, (int, float)) and not isinstance(source, bool):
+                parts.append(cell.rjust(widths[col]))
+            else:
+                parts.append(cell.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    for original, row in zip(rows, formatted):
+        lines.append(render_row(row, original))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> None:
+    """Print :func:`render_table` output followed by a blank line."""
+    print(render_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,53 @@
+"""Named-register baselines — the "standard model" the paper contrasts.
+
+All algorithms here rely on a priori agreement about register names
+(``is_anonymous() == False``) and are rejected by
+:class:`~repro.runtime.system.System` under any naming other than
+identity.  They ground the model-separation experiments:
+
+* :mod:`repro.baselines.named_mutex` — Peterson's two-process algorithm
+  and an n-process tournament (no oddness condition, arbitrary n — the
+  §3.2 properties that fail anonymously);
+* :mod:`repro.baselines.named_consensus` — the [5]-style majority-adopt
+  consensus with slot-staggered write placement, plus the §3.2 register
+  padding wrapper;
+* :mod:`repro.baselines.named_renaming` — the §5 "trivial solution":
+  renaming via an agreed chain of election objects;
+* :mod:`repro.baselines.splitter_renaming` — Moir-Anderson splitter-grid
+  renaming ([18]): wait-free, names in {1..n(n+1)/2} — the third corner
+  of the renaming trade-off triangle.
+"""
+
+from repro.baselines.named_consensus import (
+    NamedConsensus,
+    NamedConsensusProcess,
+    PaddedAlgorithm,
+)
+from repro.baselines.named_mutex import (
+    PetersonMutex,
+    TournamentMutex,
+    TournamentMutexProcess,
+)
+from repro.baselines.named_renaming import (
+    ElectionChainProcess,
+    ElectionChainRenaming,
+)
+from repro.baselines.splitter_renaming import (
+    SplitterRenaming,
+    SplitterRenamingProcess,
+    triangular_index,
+)
+
+__all__ = [
+    "NamedConsensus",
+    "NamedConsensusProcess",
+    "PaddedAlgorithm",
+    "PetersonMutex",
+    "TournamentMutex",
+    "TournamentMutexProcess",
+    "ElectionChainRenaming",
+    "ElectionChainProcess",
+    "SplitterRenaming",
+    "SplitterRenamingProcess",
+    "triangular_index",
+]

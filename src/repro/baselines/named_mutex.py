@@ -1,0 +1,263 @@
+"""Named-register mutual exclusion baselines: Peterson and tournament.
+
+Section 3.2 contrasts the anonymous model with the standard one, where
+"there is a lower-level a priori agreement regarding the register names".
+These baselines *are* that standard model: they address registers by
+globally agreed indices and assign asymmetric roles by position, so they
+are rejected under any naming other than identity (see
+:meth:`repro.runtime.automaton.Algorithm.is_anonymous`).
+
+* :class:`PetersonMutex` — Dijkstra-style two-process mutual exclusion
+  (Peterson 1981): registers ``flag[0]``, ``flag[1]``, ``turn``; 3 named
+  registers, deadlock-free (indeed starvation-free), and *not* runnable
+  without register agreement.
+* :class:`TournamentMutex` — n-process mutual exclusion as a complete
+  binary tree of Peterson locks, ``3 * (2^ceil(log2 n) - 1)`` registers.
+
+Together with Figure 1 they ground the experiment comparing the two
+models: the named algorithms need no oddness condition on the register
+count and extend beyond two processes — exactly the §3.2 properties that
+fail in the anonymous model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Tuple
+
+from repro.core.mutex import MutexAutomatonMixin
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.runtime.ops import (
+    CritOp,
+    EnterCritOp,
+    ExitCritOp,
+    Operation,
+    ReadOp,
+    WriteOp,
+)
+from repro.types import ProcessId, require, validate_process_id
+
+
+@dataclass(frozen=True)
+class TournamentState:
+    """Local state of one tournament (or Peterson, height 1) process."""
+
+    pc: str = "flag_write"
+    #: Index into the leaf-to-root lock path: which lock is being worked.
+    level: int = 0
+    #: Critical-section steps still to spend.
+    crit_remaining: int = 0
+    #: Completed critical-section visits.
+    visits_done: int = 0
+
+
+class TournamentMutexProcess(MutexAutomatonMixin, ProcessAutomaton):
+    """One process of the tournament-of-Petersons algorithm.
+
+    The process's *slot* (position among the participants — a piece of
+    prior agreement the anonymous model forbids) determines its leaf in a
+    complete binary tree of two-process Peterson locks.  Entry walks the
+    path leaf -> root acquiring each lock; exit releases them root ->
+    leaf.
+
+    Lock node ``v`` (heap indexing, internal nodes ``1 .. n_slots - 1``)
+    owns registers ``3*(v-1) + {0: flag-left, 1: flag-right, 2: turn}``.
+    """
+
+    EXIT_PCS = frozenset({"release_write"})
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        slot: int,
+        n_slots: int,
+        cs_visits: int = 1,
+        cs_steps: int = 1,
+    ):
+        self.pid = validate_process_id(pid)
+        require(
+            0 <= slot < n_slots,
+            f"slot {slot} out of range for {n_slots} slots",
+            ConfigurationError,
+        )
+        self.slot = slot
+        self.n_slots = n_slots
+        self.cs_visits = cs_visits
+        self.cs_steps = max(1, cs_steps)
+        #: Leaf-to-root path: tuple of (lock node, role at that lock).
+        self.path: Tuple[Tuple[int, int], ...] = self._build_path(slot, n_slots)
+
+    @staticmethod
+    def _build_path(slot: int, n_slots: int) -> Tuple[Tuple[int, int], ...]:
+        path = []
+        node = n_slots + slot  # the process's leaf in heap indexing
+        while node > 1:
+            parent, role = node // 2, node % 2
+            path.append((parent, role))
+            node = parent
+        return tuple(path)
+
+    # -- register addressing --------------------------------------------
+
+    def _flag_reg(self, lock: int, role: int) -> int:
+        return 3 * (lock - 1) + role
+
+    def _turn_reg(self, lock: int) -> int:
+        return 3 * (lock - 1) + 2
+
+    def _lock_and_role(self, state: TournamentState) -> Tuple[int, int]:
+        return self.path[state.level]
+
+    # -- automaton interface ----------------------------------------------
+
+    def initial_state(self) -> TournamentState:
+        return TournamentState()
+
+    def is_halted(self, state: TournamentState) -> bool:
+        return state.pc == "done"
+
+    def output(self, state: TournamentState) -> Any:
+        return state.visits_done if state.pc == "done" else None
+
+    def next_op(self, state: TournamentState) -> Operation:
+        self.require_running(state)
+        pc = state.pc
+        if pc in ("flag_write", "release_write"):
+            lock, role = self._lock_and_role(state)
+            value = self.pid if pc == "flag_write" else 0
+            return WriteOp(self._flag_reg(lock, role), value)
+        if pc == "turn_write":
+            lock, role = self._lock_and_role(state)
+            # Give way: set turn to the *other* role.
+            return WriteOp(self._turn_reg(lock), 1 - role)
+        if pc == "peer_flag_read":
+            lock, role = self._lock_and_role(state)
+            return ReadOp(self._flag_reg(lock, 1 - role))
+        if pc == "turn_read":
+            lock, role = self._lock_and_role(state)
+            return ReadOp(self._turn_reg(lock))
+        if pc == "enter_cs":
+            return EnterCritOp()
+        if pc == "crit":
+            return CritOp()
+        if pc == "exit_crit":
+            return ExitCritOp()
+        raise ProtocolError(f"tournament process {self.pid}: unknown pc {pc!r}")
+
+    def apply(self, state: TournamentState, op: Operation, result: Any) -> TournamentState:
+        pc = state.pc
+
+        if pc == "flag_write":
+            return replace(state, pc="turn_write")
+
+        if pc == "turn_write":
+            return replace(state, pc="peer_flag_read")
+
+        if pc == "peer_flag_read":
+            if result == 0:
+                return self._lock_acquired(state)
+            return replace(state, pc="turn_read")
+
+        if pc == "turn_read":
+            _, role = self._lock_and_role(state)
+            if result != (1 - role):
+                # turn points back at us: the peer arrived later.
+                return self._lock_acquired(state)
+            return replace(state, pc="peer_flag_read")
+
+        if pc == "enter_cs":
+            return replace(state, pc="crit", crit_remaining=self.cs_steps)
+
+        if pc == "crit":
+            remaining = state.crit_remaining - 1
+            if remaining > 0:
+                return replace(state, crit_remaining=remaining)
+            return replace(state, pc="exit_crit")
+
+        if pc == "exit_crit":
+            # Release root first (LIFO): start at the top of the path.
+            return replace(state, pc="release_write", level=len(self.path) - 1)
+
+        if pc == "release_write":
+            if state.level > 0:
+                return replace(state, level=state.level - 1)
+            visits = state.visits_done + 1
+            if visits >= self.cs_visits:
+                return TournamentState(pc="done", visits_done=visits)
+            return TournamentState(pc="flag_write", visits_done=visits)
+
+        raise ProtocolError(f"tournament process {self.pid}: cannot apply {pc!r}")
+
+    def _lock_acquired(self, state: TournamentState) -> TournamentState:
+        if state.level + 1 < len(self.path):
+            return replace(state, pc="flag_write", level=state.level + 1)
+        return replace(state, pc="enter_cs")
+
+
+class TournamentMutex(Algorithm):
+    """n-process named-register mutual exclusion (tree of Petersons).
+
+    Parameters
+    ----------
+    n:
+        Number of processes (``n >= 2``).
+    cs_visits / cs_steps:
+        As for :class:`repro.core.mutex.AnonymousMutex`.
+    """
+
+    name = "tournament-mutex(named)"
+
+    def __init__(self, n: int, cs_visits: int = 1, cs_steps: int = 1):
+        require(
+            isinstance(n, int) and n >= 2,
+            f"tournament mutex needs n >= 2 processes, got {n!r}",
+            ConfigurationError,
+        )
+        self.n = n
+        self.n_slots = 1 << max(1, math.ceil(math.log2(n)))
+        self.cs_visits = cs_visits
+        self.cs_steps = cs_steps
+        self._next_slot = 0
+
+    def register_count(self) -> int:
+        return 3 * (self.n_slots - 1)
+
+    def is_anonymous(self) -> bool:
+        return False
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> TournamentMutexProcess:
+        """Assign slots in arrival order — the prior agreement step.
+
+        ``input`` may explicitly pick a slot; otherwise slots are handed
+        out sequentially.  Slot assignment is exactly the kind of a
+        priori coordination the anonymous model rules out.
+        """
+        if isinstance(input, int):
+            slot = input
+        else:
+            slot = self._next_slot
+            self._next_slot += 1
+        return TournamentMutexProcess(
+            pid,
+            slot=slot,
+            n_slots=self.n_slots,
+            cs_visits=self.cs_visits,
+            cs_steps=self.cs_steps,
+        )
+
+
+class PetersonMutex(TournamentMutex):
+    """Peterson's classic two-process algorithm (3 named registers).
+
+    The height-1 special case of the tournament; kept as its own class
+    because it is the canonical named-model counterpart to Figure 1:
+    two processes, three registers in both cases — but Peterson needs
+    agreement on which register is which, while Figure 1 needs none.
+    """
+
+    name = "peterson-mutex(named)"
+
+    def __init__(self, cs_visits: int = 1, cs_steps: int = 1):
+        super().__init__(n=2, cs_visits=cs_visits, cs_steps=cs_steps)

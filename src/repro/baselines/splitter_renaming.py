@@ -1,0 +1,174 @@
+"""Wait-free (non-perfect) renaming from a splitter grid — Moir-Anderson.
+
+The renaming literature the paper builds on (§7, citing Moir & Anderson
+[18]) contains a classic named-model algorithm that makes a different
+trade than Figure 3: **wait-free** progress (no solo-run proviso at
+all), bought by settling for the larger name space ``{1 .. n(n+1)/2}``
+instead of perfect ``{1..n}``.  Reproducing it gives the experiments a
+three-way contrast:
+
+===============================  ==========  ==============  ===========
+algorithm                        registers   names           progress
+===============================  ==========  ==============  ===========
+Figure 3 (anonymous)             2n-1        {1..n} perfect  obstruction-free
+election chain (named, §5)       (n-1)(2n-1) {1..n} perfect  leader-serial
+splitter grid (named, [18])      n(n+1)      {1..n(n+1)/2}   wait-free
+===============================  ==========  ==============  ===========
+
+The building block is Lamport's *splitter*: two registers ``X`` (a
+value) and ``Y`` (a flag), and a four-step protocol
+
+    X := i
+    if Y: return RIGHT
+    Y := true
+    if X = i: return STOP else return DOWN
+
+with the guarantee that of the ``k`` processes entering a splitter, at
+most one STOPs, at most ``k - 1`` go RIGHT and at most ``k - 1`` go
+DOWN.  Arranged in a triangular grid (DOWN moves a row down, RIGHT a
+column right), every process STOPs within ``n - 1`` moves, and the
+splitter where it stopped — no two processes stop at the same one — is
+its new name.
+
+Splitters need *named* registers twice over: the X/Y roles within a
+splitter, and the grid layout across splitters.  The algorithm is
+otherwise anonymous-friendly in spirit (no slots, fully symmetric), so
+it also illustrates that symmetry alone is not the obstacle the paper
+studies — naming is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.runtime.ops import Operation, ReadOp, WriteOp
+from repro.types import ProcessId, require, validate_process_id
+
+
+def triangular_index(row: int, col: int) -> int:
+    """Diagonal enumeration of grid cells with ``row + col = d``.
+
+    Cells are numbered 0, 1, 2, ... along anti-diagonals: (0,0)=0,
+    (1,0)=1, (0,1)=2, (2,0)=3, ...  The stopping cell's index + 1 is the
+    acquired name.
+    """
+    diagonal = row + col
+    return diagonal * (diagonal + 1) // 2 + row
+
+
+@dataclass(frozen=True)
+class SplitterState:
+    """Local state: grid position plus the in-splitter step."""
+
+    pc: str = "w_x"  # w_x -> r_y -> (w_y -> r_x) | RIGHT
+    row: int = 0
+    col: int = 0
+    name: Optional[int] = None
+
+
+class SplitterRenamingProcess(ProcessAutomaton):
+    """One process descending the splitter grid."""
+
+    def __init__(self, pid: ProcessId, n: int):
+        self.pid = validate_process_id(pid)
+        self.n = n
+
+    # -- register addressing: splitter (r, c) owns X at 2*t, Y at 2*t+1 --
+
+    def _x_reg(self, state: SplitterState) -> int:
+        return 2 * triangular_index(state.row, state.col)
+
+    def _y_reg(self, state: SplitterState) -> int:
+        return 2 * triangular_index(state.row, state.col) + 1
+
+    # -- automaton interface ------------------------------------------------
+
+    def initial_state(self) -> SplitterState:
+        return SplitterState()
+
+    def is_halted(self, state: SplitterState) -> bool:
+        return state.pc == "done"
+
+    def output(self, state: SplitterState) -> Optional[int]:
+        return state.name if state.pc == "done" else None
+
+    def next_op(self, state: SplitterState) -> Operation:
+        self.require_running(state)
+        pc = state.pc
+        if pc == "w_x":
+            return WriteOp(self._x_reg(state), self.pid)
+        if pc == "r_y":
+            return ReadOp(self._y_reg(state))
+        if pc == "w_y":
+            return WriteOp(self._y_reg(state), 1)
+        if pc == "r_x":
+            return ReadOp(self._x_reg(state))
+        raise ProtocolError(f"splitter process {self.pid}: unknown pc {pc!r}")
+
+    def apply(self, state: SplitterState, op: Operation, result: Any) -> SplitterState:
+        pc = state.pc
+        if pc == "w_x":
+            return replace(state, pc="r_y")
+        if pc == "r_y":
+            if result != 0:
+                return self._move(state, d_row=0, d_col=1)  # RIGHT
+            return replace(state, pc="w_y")
+        if pc == "w_y":
+            return replace(state, pc="r_x")
+        if pc == "r_x":
+            if result == self.pid:
+                # STOP: this splitter's cell is the new name.
+                return replace(
+                    state,
+                    pc="done",
+                    name=triangular_index(state.row, state.col) + 1,
+                )
+            return self._move(state, d_row=1, d_col=0)  # DOWN
+        raise ProtocolError(f"splitter process {self.pid}: cannot apply {pc!r}")
+
+    def _move(self, state: SplitterState, d_row: int, d_col: int) -> SplitterState:
+        row, col = state.row + d_row, state.col + d_col
+        if row + col >= self.n:
+            # Unreachable when at most n processes participate: every
+            # move is "paid for" by another process staying behind.
+            raise ProtocolError(
+                f"process {self.pid} fell off the splitter grid at "
+                f"({row}, {col}); more than n={self.n} processes entered"
+            )
+        return SplitterState(pc="w_x", row=row, col=col)
+
+
+class SplitterRenaming(Algorithm):
+    """Moir-Anderson grid renaming: wait-free, names in {1..n(n+1)/2}.
+
+    Named-model baseline (the grid layout and X/Y roles are agreed);
+    contrast object for Figure 3 in the E12 experiments.
+    """
+
+    name = "splitter-renaming(named, [18])"
+
+    def __init__(self, n: int):
+        require(
+            isinstance(n, int) and n >= 1,
+            f"splitter renaming needs a positive process count, got {n!r}",
+            ConfigurationError,
+        )
+        self.n = n
+
+    def register_count(self) -> int:
+        # One splitter per grid cell with row + col < n: n(n+1)/2 cells,
+        # two registers each.
+        return self.n * (self.n + 1)
+
+    def name_space(self) -> int:
+        """Size of the target name space, ``n(n+1)/2``."""
+        return self.n * (self.n + 1) // 2
+
+    def is_anonymous(self) -> bool:
+        return False
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> SplitterRenamingProcess:
+        return SplitterRenamingProcess(pid, n=self.n)

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: memory-anonymous algorithms.
+
+* :mod:`repro.core.mutex` — Figure 1, two-process deadlock-free mutual
+  exclusion with any odd ``m >= 3`` registers;
+* :mod:`repro.core.consensus` — Figure 2, n-process obstruction-free
+  multi-valued consensus with ``2n - 1`` registers;
+* :mod:`repro.core.election` — the §4 note, election via consensus on
+  identifiers;
+* :mod:`repro.core.renaming` — Figure 3, obstruction-free adaptive
+  perfect renaming with ``2n - 1`` registers.
+
+All four are *symmetric* algorithms (identical code, identifiers compared
+only for equality) and *memory-anonymous* (correct under every register
+naming the adversary assigns).
+"""
+
+from repro.core.consensus import (
+    AnonymousConsensus,
+    AnonymousConsensusProcess,
+    ConsensusState,
+    choose_index,
+    majority_value,
+)
+from repro.core.election import AnonymousElection, elected_leader
+from repro.core.mutex import (
+    AnonymousMutex,
+    AnonymousMutexProcess,
+    MutexAutomatonMixin,
+    MutexState,
+)
+from repro.core.renaming import (
+    AnonymousRenaming,
+    AnonymousRenamingProcess,
+    RenamingState,
+)
+
+__all__ = [
+    "AnonymousConsensus",
+    "AnonymousConsensusProcess",
+    "ConsensusState",
+    "choose_index",
+    "majority_value",
+    "AnonymousElection",
+    "elected_leader",
+    "AnonymousMutex",
+    "AnonymousMutexProcess",
+    "MutexAutomatonMixin",
+    "MutexState",
+    "AnonymousRenaming",
+    "AnonymousRenamingProcess",
+    "RenamingState",
+]

@@ -1,0 +1,300 @@
+"""Figure 2 — memory-anonymous symmetric obstruction-free consensus.
+
+The paper's Section 4 algorithm: multi-valued consensus for ``n``
+processes using ``2n - 1`` anonymous registers, each holding a record
+``(id, val)``.  Quoting §4.1:
+
+    Each participating process scans the 2n-1 shared registers trying to
+    write its identifier and preference into each one of the 2n-1
+    registers.  Before each write, the process scans the shared array and
+    operates as follows: if its identifier and preference appears in all
+    the 2n-1 registers, it decides on its preference, and terminates;
+    otherwise, if some preference appears in at least n of the value
+    fields, the process adopts this preference as its new value.
+
+The ``2n - 1`` register count is load-bearing twice over: any value held
+in at least ``n`` of the ``val`` fields is a *strict majority*, so at most
+one such value exists; and the first decider's value, written everywhere,
+survives the at-most-one overwrite each other process can immediately
+perform (Theorem 4.1's argument).  Theorem 6.3 shows ``n - 1`` anonymous
+registers are not enough; :mod:`repro.lowerbounds.consensus_space`
+exhibits that failure on this very implementation.
+
+Program-counter map (figure line numbers):
+
+===========  ===========================================================
+``pc``       Figure 2 lines
+===========  ===========================================================
+``collect``  line 3, ``myview[j] := p.i[j]``
+``write``    line 7, ``p.i[j] := (i, mypref)`` (index chosen by line 6)
+``decided``  line 9, after the line-8 exit condition held
+===========  ===========================================================
+
+One presentational note: as printed, line 6 ("an arbitrary index k such
+that myview[k] != (i, mypref)") precedes the line-8 until-test, yet no
+such index exists exactly when the until-test holds.  The intended
+semantics — confirmed by the Theorem 4.1 proof — is that a process whose
+view is all ``(i, mypref)`` exits and decides instead of writing.  We
+implement that reading: the exit test is evaluated right after the
+line 4-5 adoption step.  (When the test fails, line 6's entry always
+exists, as the paper notes.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory.records import (
+    ConsensusRecord,
+    decode_consensus_record,
+    encode_consensus_record,
+)
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.runtime.ops import Operation, ReadOp, WriteOp
+from repro.types import ProcessId, RegisterValue, require, validate_process_id
+
+
+def majority_value(vals, threshold: int):
+    """The unique non-zero value occurring at least ``threshold`` times.
+
+    Implements line 4's test.  With ``threshold = n`` over ``2n - 1``
+    entries the winner is a strict majority, hence unique; the helper
+    nevertheless guards against a caller breaking that arithmetic.
+    """
+    counts = {}
+    for v in vals:
+        if v != 0:
+            counts[v] = counts.get(v, 0) + 1
+    winners = [v for v, c in counts.items() if c >= threshold]
+    if len(winners) > 1:
+        raise ProtocolError(
+            f"two values {winners!r} both reached the adoption threshold "
+            f"{threshold}; register count must be at least 2*threshold - 1"
+        )
+    return winners[0] if winners else None
+
+
+def choose_index(view, predicate, strategy: str, salt: int) -> int:
+    """Pick an index of ``view`` satisfying ``predicate``.
+
+    The paper leaves the choice "arbitrary" (lines 6/9/15 of Figures 2/3).
+    The strategy must be a *deterministic function of the state* so runs
+    can be replayed and model-checked:
+
+    - ``"first"`` / ``"last"`` — the lowest / highest matching index;
+    - ``"spread"`` — a matching index selected by hashing ``salt`` (the
+      caller passes something state-derived, e.g. the view itself), which
+      varies the choice across iterations without nondeterminism.
+    """
+    matches = [k for k, entry in enumerate(view) if predicate(entry)]
+    if not matches:
+        raise ProtocolError(
+            "no register available for the arbitrary-index choice; the "
+            "exit condition should have been taken instead"
+        )
+    if strategy == "first":
+        return matches[0]
+    if strategy == "last":
+        return matches[-1]
+    if strategy == "spread":
+        return matches[hash(salt) % len(matches)]
+    raise ConfigurationError(f"unknown index-choice strategy {strategy!r}")
+
+
+@dataclass(frozen=True)
+class ConsensusState:
+    """Local state of one Figure 2 process."""
+
+    pc: str = "collect"
+    #: Loop index ``j`` of the line-3 read pass (0-based).
+    j: int = 0
+    #: The view being accumulated by the current pass.
+    myview: Tuple[ConsensusRecord, ...] = ()
+    #: The process's current preference (line 1 / line 5).
+    mypref: Any = None
+    #: Register chosen by line 6 for the pending line-7 write.
+    write_index: int = -1
+
+
+class AnonymousConsensusProcess(ProcessAutomaton):
+    """One process of the Figure 2 algorithm.
+
+    Parameters
+    ----------
+    pid / input:
+        The process identifier ``i`` and its input ``in_i``.  Inputs may
+        be any hashable value except 0/None (0 is the empty-register
+        marker).
+    m:
+        Register count (``2n - 1`` in the theorem's regime).
+    adopt_threshold:
+        Line 4's ``n``.
+    choice:
+        Strategy for the "arbitrary index" of line 6.
+    encode_records:
+        Store registers as single integers via
+        :func:`repro.memory.records.encode_consensus_record` (the §4.1
+        remark) instead of as record objects.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        input: Any,
+        m: int,
+        adopt_threshold: int,
+        choice: str = "first",
+        encode_records: bool = False,
+    ):
+        self.pid = validate_process_id(pid)
+        require(
+            input is not None and input != 0,
+            f"consensus input must be non-zero and non-None, got {input!r} "
+            "(0 is reserved as the registers' initial known state)",
+            ConfigurationError,
+        )
+        self.input = input
+        self.m = m
+        self.adopt_threshold = adopt_threshold
+        self.choice = choice
+        self.encode_records = encode_records
+
+    # -- record (de)serialisation -------------------------------------------
+
+    def _load(self, raw: RegisterValue) -> ConsensusRecord:
+        if self.encode_records:
+            return decode_consensus_record(raw)
+        return raw if isinstance(raw, ConsensusRecord) else ConsensusRecord()
+
+    def _store(self, record: ConsensusRecord) -> RegisterValue:
+        return encode_consensus_record(record) if self.encode_records else record
+
+    # -- automaton interface ---------------------------------------------
+
+    def initial_state(self) -> ConsensusState:
+        # Line 1: mypref := in_i.
+        return ConsensusState(mypref=self.input)
+
+    def is_halted(self, state: ConsensusState) -> bool:
+        return state.pc == "decided"
+
+    def output(self, state: ConsensusState) -> Any:
+        # Line 9: decide(mypref).
+        return state.mypref if state.pc == "decided" else None
+
+    def next_op(self, state: ConsensusState) -> Operation:
+        self.require_running(state)
+        if state.pc == "collect":
+            return ReadOp(state.j)
+        if state.pc == "write":
+            # Line 7: p.i[j] := (i, mypref).
+            return WriteOp(
+                state.write_index,
+                self._store(ConsensusRecord(self.pid, state.mypref)),
+            )
+        raise ProtocolError(f"consensus process {self.pid}: unknown pc {state.pc!r}")
+
+    def apply(self, state: ConsensusState, op: Operation, result: Any) -> ConsensusState:
+        if state.pc == "collect":
+            myview = state.myview + (self._load(result),)
+            if state.j + 1 < self.m:
+                return replace(state, j=state.j + 1, myview=myview)
+            return self._after_collect(state, myview)
+        if state.pc == "write":
+            # Back to line 3 for the next iteration of the repeat loop.
+            return replace(state, pc="collect", j=0, myview=(), write_index=-1)
+        raise ProtocolError(f"consensus process {self.pid}: cannot apply {state.pc!r}")
+
+    # -- the heart of the algorithm: lines 4-8 -----------------------------
+
+    def _after_collect(
+        self, state: ConsensusState, myview: Tuple[ConsensusRecord, ...]
+    ) -> ConsensusState:
+        mypref = state.mypref
+        # Lines 4-5: adopt a preference held by at least n val fields.
+        adopted = majority_value(
+            (entry.val for entry in myview), self.adopt_threshold
+        )
+        if adopted is not None:
+            mypref = adopted
+        # Line 8 (see module docstring): decide when the whole array is
+        # (i, mypref).
+        target = ConsensusRecord(self.pid, mypref)
+        if all(entry == target for entry in myview):
+            return replace(
+                state, pc="decided", mypref=mypref, myview=myview, j=0
+            )
+        # Line 6: arbitrary index whose entry differs from (i, mypref).
+        index = choose_index(
+            myview,
+            lambda entry: entry != target,
+            self.choice,
+            salt=(self.pid, myview),
+        )
+        return replace(
+            state,
+            pc="write",
+            mypref=mypref,
+            myview=myview,
+            write_index=index,
+            j=0,
+        )
+
+
+class AnonymousConsensus(Algorithm):
+    """The Figure 2 algorithm as a runnable :class:`Algorithm`.
+
+    Parameters
+    ----------
+    n:
+        Number of processes the instance is dimensioned for.
+    registers:
+        Register count override.  Defaults to the paper's ``2n - 1``;
+        passing fewer deliberately builds the configuration Theorem 6.3
+        proves impossible (the lower-bound experiments do exactly that).
+    choice / encode_records:
+        Forwarded to every process automaton.
+    """
+
+    name = "anonymous-consensus(Fig2)"
+
+    def __init__(
+        self,
+        n: int,
+        registers: Optional[int] = None,
+        choice: str = "first",
+        encode_records: bool = False,
+    ):
+        require(
+            isinstance(n, int) and n >= 1,
+            f"consensus needs a positive process count, got {n!r}",
+            ConfigurationError,
+        )
+        self.n = n
+        self.m = registers if registers is not None else 2 * n - 1
+        require(
+            isinstance(self.m, int) and self.m >= 1,
+            f"register count must be a positive int, got {self.m!r}",
+            ConfigurationError,
+        )
+        self.choice = choice
+        self.encode_records = encode_records
+
+    def register_count(self) -> int:
+        return self.m
+
+    def initial_value(self) -> RegisterValue:
+        # "initially all fields are 0": the empty record (or its encoding).
+        return 0 if self.encode_records else ConsensusRecord()
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> AnonymousConsensusProcess:
+        return AnonymousConsensusProcess(
+            pid,
+            input,
+            m=self.m,
+            adopt_threshold=self.n,
+            choice=self.choice,
+            encode_records=self.encode_records,
+        )

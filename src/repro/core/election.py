@@ -1,0 +1,61 @@
+"""Obstruction-free election from consensus (the Section 4 note).
+
+    "It is straightforward to use the above consensus algorithm for
+    constructing a memory-anonymous symmetric obstruction-free election
+    algorithm: each process simply uses its own identifier as its initial
+    input."
+
+:class:`AnonymousElection` does exactly that: it is Figure 2 with the
+inputs pinned to the participants' identifiers, so the agreed value *is*
+the elected leader's identifier.  Every terminating participant outputs
+the same identifier (agreement) and that identifier belongs to some
+participant (validity) — the election specification.
+
+Election with even one crash failure is impossible with registers — named
+or not (§4, citing [11, 19, 26]); like consensus, this object is
+obstruction-free, not fault-tolerant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.consensus import AnonymousConsensus, AnonymousConsensusProcess
+from repro.errors import ConfigurationError
+from repro.types import ProcessId
+
+
+class AnonymousElection(AnonymousConsensus):
+    """Leader election for ``n`` processes using ``2n - 1`` anonymous
+    registers.
+
+    The automaton ignores any supplied input and uses the process's own
+    identifier as its consensus input; passing a conflicting explicit
+    input is rejected to catch confused callers.
+    """
+
+    name = "anonymous-election(§4)"
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> AnonymousConsensusProcess:
+        if input is not None and input != pid:
+            raise ConfigurationError(
+                f"election derives its input from the process identifier; "
+                f"got explicit input {input!r} for process {pid}"
+            )
+        return super().automaton_for(pid, input=pid)
+
+
+def elected_leader(outputs) -> Optional[ProcessId]:
+    """Extract the unanimous leader from a run's outputs.
+
+    Returns ``None`` when nobody decided; raises ``ValueError`` when the
+    outputs disagree (which would be an agreement violation — the caller
+    is expected to have checked the spec already).
+    """
+    decided = {pid: out for pid, out in outputs.items() if out is not None}
+    if not decided:
+        return None
+    winners = set(decided.values())
+    if len(winners) != 1:
+        raise ValueError(f"election outputs disagree: {decided}")
+    return winners.pop()

@@ -1,0 +1,320 @@
+"""Figure 1 — memory-anonymous symmetric deadlock-free mutual exclusion.
+
+The paper's Section 3 algorithm: the first memory-anonymous mutual
+exclusion algorithm, for **two processes** using any **odd** number of
+registers ``m >= 3``.  Quoting the structure (§3.3):
+
+    Each participating process scans the m shared registers trying to
+    write its identifier into each one of the m registers. [...] Once a
+    process completes scanning [...] it scans the registers again, this
+    time only reading their values.  If it finds that its identifier is
+    written in all the m registers, it safely enters its critical
+    section.  If its identifier is written in less than ceil(m/2)
+    registers, it gives up and sets the registers in which its name is
+    written back to their initial values [and waits for the memory to be
+    all zero].  If its identifier is written in at least ceil(m/2)
+    registers (but not in all), it starts all over again.  On exiting its
+    critical section, a process sets all the registers back to their
+    initial values.
+
+Theorem 3.1 states such an algorithm exists for ``m >= 2`` **iff m is
+odd** — oddness is what guarantees that under contention exactly one
+process captures a strict majority.  The experiments run this automaton
+with even ``m`` too (via ``unsafe_allow_any_m``) to *exhibit* the failure
+the theorem predicts; see :mod:`repro.lowerbounds.symmetry`.
+
+Program-counter values map to the figure's line numbers:
+
+====================  =====================================================
+``pc``                Figure 1 lines
+====================  =====================================================
+``scan_read``         line 2, reading ``p.i[j]``
+``scan_write``        line 2, conditional write ``p.i[j] := i``
+``collect``           line 3, ``myview[j] := p.i[j]``
+``cleanup_read``      line 5, reading ``p.i[j]``
+``cleanup_write``     line 5, conditional write ``p.i[j] := 0``
+``wait``              lines 6–8, re-reading until all zero
+``enter_cs``          line 10 -> 11 boundary (EnterCritOp)
+``crit``              line 11, inside the critical section
+``exit_crit``         line 11 -> 12 boundary (ExitCritOp)
+``reset``             line 12, exit code ``p.i[j] := 0``
+``done``              process left the algorithm (after ``cs_visits``)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.automaton import Algorithm, LocalState, ProcessAutomaton
+from repro.runtime.ops import (
+    CritOp,
+    EnterCritOp,
+    ExitCritOp,
+    Operation,
+    ReadOp,
+    WriteOp,
+)
+from repro.types import ProcessId, require, validate_process_id
+
+
+@dataclass(frozen=True)
+class MutexState:
+    """Local state of one Figure 1 process (its "location counter" plus
+    the local variables ``j`` and ``myview``)."""
+
+    pc: str = "scan_read"
+    #: Loop index ``j`` (0-based; the paper's j-1).
+    j: int = 0
+    #: The local array ``myview`` accumulated by the current read pass.
+    myview: Tuple[int, ...] = ()
+    #: Critical-section steps still to spend (the process "uses" the CS).
+    crit_remaining: int = 0
+    #: Completed critical-section visits.
+    visits_done: int = 0
+
+
+class MutexAutomatonMixin:
+    """Critical-section introspection shared by all mutex automata.
+
+    The model checker's mutual-exclusion invariant and the symmetry attack
+    of Theorem 3.4 both need to ask "is this process inside its critical
+    section?" of a *state* — these helpers answer without touching memory.
+
+    Subclasses list their exit-code program counters in ``EXIT_PCS`` so
+    that :meth:`phase` can classify every state into the four sections of
+    §3.1 (remainder, entry, critical, exit); the scheduler stamps the
+    phase onto each event, which is what lets the
+    :class:`~repro.spec.mutex_spec.ExitWaitFreeChecker` verify §3.1's
+    "the exit section is required to be wait-free" on traces.
+    """
+
+    #: Program counters that belong to the exit *code* (after the CS).
+    EXIT_PCS: frozenset = frozenset()
+
+    def in_critical_section(self, state: LocalState) -> bool:
+        """True while the process holds the critical section."""
+        return state.pc in ("crit", "exit_crit")
+
+    def in_remainder(self, state: LocalState) -> bool:
+        """True when the process is not currently competing (finished)."""
+        return state.pc == "done"
+
+    def phase(self, state: LocalState) -> str:
+        """Which of §3.1's four sections the process is in."""
+        if state.pc == "done":
+            return "remainder"
+        if self.in_critical_section(state):
+            return "critical"
+        if state.pc in self.EXIT_PCS:
+            return "exit"
+        return "entry"
+
+
+class AnonymousMutexProcess(MutexAutomatonMixin, ProcessAutomaton):
+    """One process of the Figure 1 algorithm.
+
+    Parameters
+    ----------
+    pid:
+        The process identifier ``i`` (positive; written into registers).
+    m:
+        Number of shared registers.
+    cs_visits:
+        How many critical-section passes before the process halts (the
+        paper's processes loop forever; experiments need termination).
+    cs_steps:
+        Atomic steps spent inside each critical section — stretching the
+        occupied interval so overlap violations are observable.
+    """
+
+    EXIT_PCS = frozenset({"reset"})
+
+    def __init__(self, pid: ProcessId, m: int, cs_visits: int = 1, cs_steps: int = 1):
+        self.pid = validate_process_id(pid)
+        self.m = m
+        self.cs_visits = cs_visits
+        self.cs_steps = max(1, cs_steps)
+        #: The paper's threshold ceil(m/2) from line 4.
+        self.threshold = math.ceil(m / 2)
+
+    def initial_state(self) -> MutexState:
+        return MutexState()
+
+    def is_halted(self, state: MutexState) -> bool:
+        return state.pc == "done"
+
+    def output(self, state: MutexState) -> Any:
+        """A mutex process "outputs" its completed visit count."""
+        return state.visits_done if state.pc == "done" else None
+
+    # -- pending operation --------------------------------------------------
+
+    def next_op(self, state: MutexState) -> Operation:
+        self.require_running(state)
+        pc = state.pc
+        if pc in ("scan_read", "collect", "cleanup_read", "wait"):
+            return ReadOp(state.j)
+        if pc == "scan_write":
+            return WriteOp(state.j, self.pid)
+        if pc == "cleanup_write":
+            return WriteOp(state.j, 0)
+        if pc == "enter_cs":
+            return EnterCritOp()
+        if pc == "crit":
+            return CritOp()
+        if pc == "exit_crit":
+            return ExitCritOp()
+        if pc == "reset":
+            return WriteOp(state.j, 0)
+        raise ProtocolError(f"mutex process {self.pid}: unknown pc {pc!r}")
+
+    # -- transition ----------------------------------------------------------
+
+    def apply(self, state: MutexState, op: Operation, result: Any) -> MutexState:
+        pc = state.pc
+
+        if pc == "scan_read":
+            # Line 2: if p.i[j] = 0 then write i, else move on.
+            if result == 0:
+                return replace(state, pc="scan_write")
+            return self._advance_scan(state)
+
+        if pc == "scan_write":
+            return self._advance_scan(state)
+
+        if pc == "collect":
+            # Line 3: myview[j] := p.i[j].
+            myview = state.myview + (result,)
+            if state.j + 1 < self.m:
+                return replace(state, j=state.j + 1, myview=myview)
+            return self._after_collect(state, myview)
+
+        if pc == "cleanup_read":
+            # Line 5: if p.i[j] = i then write 0, else move on.
+            if result == self.pid:
+                return replace(state, pc="cleanup_write")
+            return self._advance_cleanup(state)
+
+        if pc == "cleanup_write":
+            return self._advance_cleanup(state)
+
+        if pc == "wait":
+            # Lines 6-8: read the whole array; leave when all zeros.
+            myview = state.myview + (result,)
+            if state.j + 1 < self.m:
+                return replace(state, j=state.j + 1, myview=myview)
+            if all(v == 0 for v in myview):
+                # Line 1: start all over again.
+                return MutexState(pc="scan_read", visits_done=state.visits_done)
+            return replace(state, pc="wait", j=0, myview=())
+
+        if pc == "enter_cs":
+            return replace(
+                state, pc="crit", crit_remaining=self.cs_steps, j=0, myview=()
+            )
+
+        if pc == "crit":
+            remaining = state.crit_remaining - 1
+            if remaining > 0:
+                return replace(state, crit_remaining=remaining)
+            return replace(state, pc="exit_crit", crit_remaining=0)
+
+        if pc == "exit_crit":
+            # Line 12 begins: reset all registers.
+            return replace(state, pc="reset", j=0)
+
+        if pc == "reset":
+            if state.j + 1 < self.m:
+                return replace(state, j=state.j + 1)
+            visits = state.visits_done + 1
+            if visits >= self.cs_visits:
+                return MutexState(pc="done", visits_done=visits)
+            return MutexState(pc="scan_read", visits_done=visits)
+
+        raise ProtocolError(f"mutex process {self.pid}: cannot apply in pc {pc!r}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _advance_scan(self, state: MutexState) -> MutexState:
+        """Move line 2's loop forward; fall through to line 3 when done."""
+        if state.j + 1 < self.m:
+            return replace(state, pc="scan_read", j=state.j + 1)
+        return replace(state, pc="collect", j=0, myview=())
+
+    def _after_collect(self, state: MutexState, myview: Tuple[int, ...]) -> MutexState:
+        """Lines 4 and 10: decide between CS, give-up, and retry."""
+        mine = sum(1 for v in myview if v == self.pid)
+        if mine == self.m:
+            # Line 10 satisfied: enter the critical section.
+            return replace(state, pc="enter_cs", j=0, myview=myview)
+        if mine < self.threshold:
+            # Line 4: lose; clean up own marks, then wait (lines 5-8).
+            return replace(state, pc="cleanup_read", j=0, myview=())
+        # At least ceil(m/2) but not all: start over (back to line 2).
+        return MutexState(pc="scan_read", visits_done=state.visits_done)
+
+    def _advance_cleanup(self, state: MutexState) -> MutexState:
+        """Move line 5's loop forward; fall through to the wait loop."""
+        if state.j + 1 < self.m:
+            return replace(state, pc="cleanup_read", j=state.j + 1)
+        return replace(state, pc="wait", j=0, myview=())
+
+
+class AnonymousMutex(Algorithm):
+    """The Figure 1 algorithm as a runnable :class:`Algorithm`.
+
+    Parameters
+    ----------
+    m:
+        Number of shared registers; must be odd and at least 3 (§3.3:
+        "an odd integer greater than 2").
+    cs_visits / cs_steps:
+        Per-process defaults; a process's ``input`` may be an int
+        overriding its ``cs_visits``.
+    unsafe_allow_any_m:
+        Lift the oddness/size validation.  Exists *only* so the
+        lower-bound experiments can instantiate the algorithm in the
+        regime Theorem 3.1 proves impossible and exhibit the violation.
+    """
+
+    name = "anonymous-mutex(Fig1)"
+
+    def __init__(
+        self,
+        m: int = 3,
+        cs_visits: int = 1,
+        cs_steps: int = 1,
+        unsafe_allow_any_m: bool = False,
+    ):
+        if not unsafe_allow_any_m:
+            require(
+                isinstance(m, int) and m >= 3 and m % 2 == 1,
+                f"Figure 1 requires an odd register count m >= 3, got {m} "
+                "(Theorem 3.1: a two-process memory-anonymous symmetric "
+                "deadlock-free mutex with m >= 2 registers exists iff m is "
+                "odd); pass unsafe_allow_any_m=True to build the "
+                "impossible configuration deliberately",
+                ConfigurationError,
+            )
+        else:
+            require(
+                isinstance(m, int) and m >= 1,
+                f"register count must be a positive int, got {m!r}",
+                ConfigurationError,
+            )
+        self.m = m
+        self.cs_visits = cs_visits
+        self.cs_steps = cs_steps
+
+    def register_count(self) -> int:
+        return self.m
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> AnonymousMutexProcess:
+        cs_visits = input if isinstance(input, int) and input > 0 else self.cs_visits
+        return AnonymousMutexProcess(
+            pid, self.m, cs_visits=cs_visits, cs_steps=self.cs_steps
+        )

@@ -1,0 +1,317 @@
+"""Figure 3 — memory-anonymous obstruction-free adaptive perfect renaming.
+
+The paper's Section 5 algorithm: ``n`` processes with distinct identifiers
+from an unbounded name space acquire distinct new names from ``{1..n}``,
+adaptively (``k`` participants use only ``{1..k}``), with ``2n - 1``
+anonymous registers, each holding a record ``(id, val, round, history)``.
+
+The idea (§5.1): proceed in rounds; each round runs one election "game"
+in the *same* shared space (no a priori ordering of election objects — the
+whole point of anonymity); the round-``r`` winner takes name ``r``; losers
+record the winner in their ``history`` set, advance to round ``r + 1``,
+and carry the history forward so that a winner who never noticed its own
+election learns it from someone else's history (line 5).  A process
+reaching round ``n`` unelected takes the name ``n`` (line 22).
+
+Program-counter map (figure line numbers):
+
+===========  ==========================================================
+``pc``       Figure 3 lines
+===========  ==========================================================
+``collect``  line 4, ``myview[j] := p.i[j]``
+``write``    line 16, ``p.i[j] := (i, mypref, myround, myhistory)``
+``done``     lines 6 / 18 / 22 — a new name was returned
+===========  ==========================================================
+
+As in Figure 2, the printed line-15 "arbitrary index such that
+myview[k] != (i, mypref, myround, myhistory)" has no candidate exactly
+when the line-17 exit condition holds, so the exit test is evaluated
+right after line 14 (the reading the Theorem 5.1 proof uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory.records import (
+    History,
+    RenamingRecord,
+    decode_renaming_record,
+    encode_renaming_record,
+)
+from repro.core.consensus import choose_index, majority_value
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.runtime.ops import Operation, ReadOp, WriteOp
+from repro.types import ProcessId, RegisterValue, require, validate_process_id
+
+
+@dataclass(frozen=True)
+class RenamingState:
+    """Local state of one Figure 3 process."""
+
+    pc: str = "collect"
+    #: Loop index of the line-4 read pass (0-based).
+    j: int = 0
+    #: The view accumulated by the current pass.
+    myview: Tuple[RenamingRecord, ...] = ()
+    #: Current preference — the identifier this process backs this round.
+    mypref: ProcessId = 0
+    #: Current round, the paper's ``myround`` (starts at 1).
+    myround: int = 1
+    #: Set of (identifier, round) pairs of already-elected processes.
+    myhistory: History = frozenset()
+    #: Register chosen by line 15 for the pending line-16 write.
+    write_index: int = -1
+    #: The acquired new name, once decided.
+    name: Optional[int] = None
+
+
+class AnonymousRenamingProcess(ProcessAutomaton):
+    """One process of the Figure 3 algorithm.
+
+    Parameters
+    ----------
+    pid:
+        The process identifier ``i`` (also its initial preference each
+        round, line 2).
+    n:
+        The dimensioning process count (round limit, adoption threshold).
+    m:
+        Register count (``2n - 1`` in the theorem's regime).
+    choice:
+        Strategy for the arbitrary-index selections of lines 9 and 15.
+    encode_records:
+        Store registers as single integers (the §4.1 remark, which §5.1
+        notes applies to renaming as well).
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        n: int,
+        m: int,
+        choice: str = "first",
+        encode_records: bool = False,
+    ):
+        self.pid = validate_process_id(pid)
+        self.n = n
+        self.m = m
+        self.choice = choice
+        self.encode_records = encode_records
+
+    # -- record (de)serialisation -------------------------------------------
+
+    def _load(self, raw: RegisterValue) -> RenamingRecord:
+        if self.encode_records:
+            return decode_renaming_record(raw)
+        return raw if isinstance(raw, RenamingRecord) else RenamingRecord()
+
+    def _store(self, record: RenamingRecord) -> RegisterValue:
+        return encode_renaming_record(record) if self.encode_records else record
+
+    # -- automaton interface ---------------------------------------------
+
+    def initial_state(self) -> RenamingState:
+        # Line 2 (first outer iteration): mypref := i.
+        return RenamingState(mypref=self.pid)
+
+    def is_halted(self, state: RenamingState) -> bool:
+        return state.pc == "done"
+
+    def output(self, state: RenamingState) -> Optional[int]:
+        """The acquired new name (lines 6 / 18 / 22)."""
+        return state.name if state.pc == "done" else None
+
+    def next_op(self, state: RenamingState) -> Operation:
+        self.require_running(state)
+        if state.pc == "collect":
+            return ReadOp(state.j)
+        if state.pc == "write":
+            # Line 16: p.i[j] := (i, mypref, myround, myhistory).
+            return WriteOp(
+                state.write_index,
+                self._store(
+                    RenamingRecord(
+                        self.pid, state.mypref, state.myround, state.myhistory
+                    )
+                ),
+            )
+        raise ProtocolError(f"renaming process {self.pid}: unknown pc {state.pc!r}")
+
+    def apply(self, state: RenamingState, op: Operation, result: Any) -> RenamingState:
+        if state.pc == "collect":
+            myview = state.myview + (self._load(result),)
+            if state.j + 1 < self.m:
+                return replace(state, j=state.j + 1, myview=myview)
+            return self._after_collect(state, myview)
+        if state.pc == "write":
+            # Back to line 4 for the next inner-loop iteration.
+            return replace(state, pc="collect", j=0, myview=(), write_index=-1)
+        raise ProtocolError(f"renaming process {self.pid}: cannot apply {state.pc!r}")
+
+    # -- the heart of the algorithm: lines 5-21 -----------------------------
+
+    def _after_collect(
+        self, state: RenamingState, myview: Tuple[RenamingRecord, ...]
+    ) -> RenamingState:
+        # Lines 5-6: already elected in some earlier round?  Someone's
+        # history knows; return that round as the new name.
+        for entry in myview:
+            for hist_id, hist_round in entry.history:
+                if hist_id == self.pid:
+                    return replace(
+                        state, pc="done", name=hist_round, myview=myview
+                    )
+
+        mypref = state.mypref
+        myround = state.myround
+        myhistory = state.myhistory
+
+        # Line 7: the maximum round number visible.
+        mytemp = max(entry.round for entry in myview)
+        if mytemp > myround:
+            # Lines 8-12: lagging behind; catch up from an entry at the
+            # maximum round.
+            k = choose_index(
+                myview,
+                lambda entry: entry.round == mytemp,
+                self.choice,
+                salt=(self.pid, myview, "catchup"),
+            )
+            mypref = myview[k].val
+            myhistory = myview[k].history
+            myround = myview[k].round
+
+        # Lines 13-14: adopt the value backed by >= n val fields among
+        # entries at the current round.
+        adopted = majority_value(
+            (
+                entry.val if entry.round == myround else 0
+                for entry in myview
+            ),
+            self.n,
+        )
+        if adopted is not None:
+            mypref = adopted
+
+        # Line 17 (see module docstring): inner-loop exit when the whole
+        # array already carries this process's tuple.
+        target = RenamingRecord(self.pid, mypref, myround, myhistory)
+        if all(entry == target for entry in myview):
+            return self._after_inner_loop(state, myview, mypref, myround, myhistory)
+
+        # Line 15: arbitrary index whose entry differs from the tuple.
+        index = choose_index(
+            myview,
+            lambda entry: entry != target,
+            self.choice,
+            salt=(self.pid, myview, "write"),
+        )
+        return replace(
+            state,
+            pc="write",
+            mypref=mypref,
+            myround=myround,
+            myhistory=myhistory,
+            myview=myview,
+            write_index=index,
+            j=0,
+        )
+
+    def _after_inner_loop(
+        self,
+        state: RenamingState,
+        myview: Tuple[RenamingRecord, ...],
+        mypref: ProcessId,
+        myround: int,
+        myhistory: History,
+    ) -> RenamingState:
+        """Lines 18-22: elected this round, or advance to the next one."""
+        if mypref == self.pid:
+            # Line 18: elected in the current round — the round number is
+            # the new name.
+            return replace(
+                state, pc="done", name=myround, mypref=mypref,
+                myround=myround, myhistory=myhistory, myview=myview,
+            )
+        # Line 19-20: record the winner, move to the next round.
+        myhistory = myhistory | {(mypref, myround)}
+        myround = myround + 1
+        if myround == self.n:
+            # Lines 21-22: a single process is left; it takes the name n.
+            return replace(
+                state, pc="done", name=self.n, mypref=mypref,
+                myround=myround, myhistory=myhistory, myview=myview,
+            )
+        # Line 2: new round, back my own identifier again.
+        return replace(
+            state,
+            pc="collect",
+            j=0,
+            myview=(),
+            mypref=self.pid,
+            myround=myround,
+            myhistory=myhistory,
+            write_index=-1,
+        )
+
+
+class AnonymousRenaming(Algorithm):
+    """The Figure 3 algorithm as a runnable :class:`Algorithm`.
+
+    Parameters
+    ----------
+    n:
+        Number of processes the instance is dimensioned for (the target
+        name space is ``{1..n}``).
+    registers:
+        Register count override; defaults to the paper's ``2n - 1``.
+        Passing fewer deliberately builds the configuration Theorem 6.5
+        proves impossible.
+    choice / encode_records:
+        Forwarded to every process automaton.
+    """
+
+    name = "anonymous-renaming(Fig3)"
+
+    def __init__(
+        self,
+        n: int,
+        registers: Optional[int] = None,
+        choice: str = "first",
+        encode_records: bool = False,
+    ):
+        require(
+            isinstance(n, int) and n >= 1,
+            f"renaming needs a positive process count, got {n!r}",
+            ConfigurationError,
+        )
+        self.n = n
+        self.m = registers if registers is not None else 2 * n - 1
+        require(
+            isinstance(self.m, int) and self.m >= 1,
+            f"register count must be a positive int, got {self.m!r}",
+            ConfigurationError,
+        )
+        self.choice = choice
+        self.encode_records = encode_records
+
+    def register_count(self) -> int:
+        return self.m
+
+    def initial_value(self) -> RegisterValue:
+        # "initially the fields id, val, round, and history are 0, 0, 0
+        # and the empty set" — the empty record (or its encoding).
+        return 0 if self.encode_records else RenamingRecord()
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> AnonymousRenamingProcess:
+        # Renaming has no input: the old name *is* the identifier.
+        return AnonymousRenamingProcess(
+            pid,
+            n=self.n,
+            m=self.m,
+            choice=self.choice,
+            encode_records=self.encode_records,
+        )

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+
+Specification violations detected by the :mod:`repro.spec` checkers are
+*also* exceptions (:class:`SpecViolation` and subclasses): the lower-bound
+experiments in :mod:`repro.lowerbounds` intentionally drive algorithms into
+forbidden regimes and *catch* these to demonstrate the paper's
+impossibility results.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or system was instantiated with invalid parameters.
+
+    Examples: an even register count for the Figure 1 mutex, fewer than
+    ``2n - 1`` registers for the Figure 2 consensus, duplicate process
+    identifiers, or a naming assignment whose permutation is not a
+    bijection.
+    """
+
+
+class ProtocolError(ReproError):
+    """A process automaton violated the execution protocol.
+
+    Raised when an automaton emits a malformed operation (e.g. a register
+    index out of range) or is stepped after it has already halted.
+    """
+
+
+class SchedulingError(ReproError):
+    """The adversary or scheduler reached an inconsistent state.
+
+    Examples: an adversary selecting a crashed or halted process, or a
+    schedule referring to an unknown process identifier.
+    """
+
+
+class ExplorationLimitExceeded(ReproError):
+    """The bounded model checker exhausted its step or state budget.
+
+    This is distinct from finding a violation: it means the search was
+    inconclusive within the configured bounds.
+    """
+
+
+class SpecViolation(ReproError):
+    """Base class for safety/liveness property violations found in a trace.
+
+    Attributes
+    ----------
+    trace:
+        The offending :class:`repro.runtime.events.Trace`, when available.
+    """
+
+    def __init__(self, message: str, trace=None):
+        super().__init__(message)
+        self.trace = trace
+
+
+class MutualExclusionViolation(SpecViolation):
+    """Two processes were inside the critical section simultaneously."""
+
+
+class DeadlockFreedomViolation(SpecViolation):
+    """Processes starved in their entry sections despite a fair schedule."""
+
+
+class AgreementViolation(SpecViolation):
+    """Two processes decided different values in a consensus run."""
+
+
+class ValidityViolation(SpecViolation):
+    """A consensus decision was not the input of any participant."""
+
+
+class UniquenessViolation(SpecViolation):
+    """Two processes acquired the same new name in a renaming run."""
+
+
+class NameRangeViolation(SpecViolation):
+    """A renaming output fell outside the permitted name range."""
+
+
+class TerminationViolation(SpecViolation):
+    """A process failed to terminate within the progress condition's bound.
+
+    For obstruction-free algorithms this is raised when a process that ran
+    solo for the guaranteed number of steps still had not produced an
+    output.
+    """

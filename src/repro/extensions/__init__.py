@@ -1,0 +1,69 @@
+"""Extensions: the paper's §8 directions and §6.3 remark, executable.
+
+Beyond the paper's published results, this package explores the
+follow-up questions the Discussion section raises:
+
+* :mod:`repro.extensions.commit_adopt` — value-indexed commit-adopt
+  objects for unboundedly many processes (named model);
+* :mod:`repro.extensions.unbounded_consensus` — obstruction-free
+  consensus with an unknown/unbounded number of processes, the [25]
+  possibility result that (with Theorem 6.3) yields Corollary 6.4;
+* :mod:`repro.extensions.naming_agreement` — bootstrapping a common
+  register numbering over anonymous registers (a hybrid-model bridge;
+  leader-progress only, as Corollary 6.4 demands some such weakness);
+* :mod:`repro.extensions.kset` — the §6.3 k-set consensus remark:
+  specification, a named-model partitioned algorithm, and the
+  generalized covering demonstration;
+* :mod:`repro.extensions.variants` — ablation variants exposing the
+  algorithms' load-bearing thresholds.
+"""
+
+from repro.extensions.commit_adopt import (
+    ADOPT,
+    COMMIT,
+    CommitAdopt,
+    CommitAdoptProcess,
+    CommitAdoptState,
+)
+from repro.extensions.kset import (
+    KSetChecker,
+    PartitionedKSetConsensus,
+    demonstrate_kset_unknown_n,
+    distinct_decisions,
+)
+from repro.extensions.naming_agreement import (
+    AgreedView,
+    ElectionRecord,
+    NamingAgreement,
+    NamingAgreementProcess,
+    consistent_namings,
+)
+from repro.extensions.unbounded_consensus import (
+    LadderConsensusProcess,
+    UnboundedConsensus,
+)
+from repro.extensions.variants import (
+    LenientConsensus,
+    ThresholdMutex,
+)
+
+__all__ = [
+    "ADOPT",
+    "COMMIT",
+    "CommitAdopt",
+    "CommitAdoptProcess",
+    "CommitAdoptState",
+    "KSetChecker",
+    "PartitionedKSetConsensus",
+    "demonstrate_kset_unknown_n",
+    "distinct_decisions",
+    "AgreedView",
+    "ElectionRecord",
+    "NamingAgreement",
+    "NamingAgreementProcess",
+    "consistent_namings",
+    "LadderConsensusProcess",
+    "UnboundedConsensus",
+    "LenientConsensus",
+    "ThresholdMutex",
+]

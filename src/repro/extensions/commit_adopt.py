@@ -1,0 +1,212 @@
+"""Commit-adopt objects from named MWMR registers, for unbounded processes.
+
+The paper's Section 6 contrasts anonymous impossibilities with named
+possibilities: obstruction-free consensus *is* solvable with named
+registers "when the number of processes is finite and not a priori known
+or even when the number of processes is unbounded" (citing [25]).  This
+module supplies the substrate for our executable version of that
+possibility result (:mod:`repro.extensions.unbounded_consensus`): a
+**commit-adopt** object whose register usage is indexed by *values*, not
+by processes — which is what makes it independent of the process count.
+
+Specification (one-shot; every process proposes at most once):
+
+* **Validity** — every output value was proposed;
+* **Convergence** — if all proposals are equal to ``v``, every output is
+  ``(COMMIT, v)``;
+* **Coherence** — if any process outputs ``(COMMIT, v)``, every output
+  is ``(COMMIT, v)`` or ``(ADOPT, v)``;
+* **Obstruction-free termination** — a proposer running alone finishes
+  (in fact the object is wait-free: every proposer finishes in at most
+  ``3|D|`` of its own steps, ``D`` the value domain).
+
+Construction, for a finite known value domain ``D`` (2|D| registers,
+``A[w]`` and ``B[w]`` per value ``w``):
+
+1. ``A[v] := 1``;
+2. read every ``A[w]``, ``w != v``; if any is set, go to step 5
+   (*conflicted*);
+3. ``B[v] := 1``;
+4. re-read every ``A[w]``, ``w != v``; if all still clear, return
+   ``(COMMIT, v)``; else return ``(ADOPT, v)``;
+5. (conflicted) read every ``B[w]``; if some ``B[w]`` is set, return
+   ``(ADOPT, w)``; else return ``(ADOPT, v)``.
+
+Why it is correct (the arguments the test suite checks mechanically):
+
+* at most one value ever reaches ``B``: if proposers of ``v`` and ``w``
+  both pass step 2, each one's read of the other's ``A`` preceded the
+  other's write of it — a cycle;
+* a committer's step-4 re-read puts its ``B[v]`` write before every
+  conflicting ``A[w]`` write, so every conflicted process subsequently
+  finds ``B[v]`` set and adopts ``v``; a same-value proposer returns
+  ``v`` on every path.
+
+The binary instance is exhaustively model-checked for 2 and 3 processes
+in the tests (all schedules), and swept for larger counts — the
+construction itself is process-count-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.runtime.ops import Operation, ReadOp, WriteOp
+from repro.types import ProcessId, require, validate_process_id
+
+#: Output statuses.
+COMMIT = "commit"
+ADOPT = "adopt"
+
+
+@dataclass(frozen=True)
+class CommitAdoptState:
+    """Local state of one commit-adopt proposer."""
+
+    pc: str = "w_propose"
+    #: Scan cursor into the domain (skipping own value where applicable).
+    k: int = 0
+    #: The value this process is backing.
+    pref: Any = None
+    #: A set B[w] discovered during the conflicted scan, if any.
+    seen_b: Any = None
+    #: Final output, as (status, value), once done.
+    output: Optional[Tuple[str, Any]] = None
+
+
+class CommitAdoptProcess(ProcessAutomaton):
+    """One proposer of the commit-adopt object.
+
+    Register layout (``d = len(domain)``): ``A[w]`` at ``offset +
+    domain.index(w)``; ``B[w]`` at ``offset + d + domain.index(w)``.
+    ``offset`` lets a ladder embed many objects in one array.
+    """
+
+    def __init__(self, pid: ProcessId, input: Any, domain: Tuple[Any, ...], offset: int = 0):
+        self.pid = validate_process_id(pid)
+        require(
+            input in domain,
+            f"proposal {input!r} is not in the declared domain {domain!r}",
+            ConfigurationError,
+        )
+        self.domain = tuple(domain)
+        self.input = input
+        self.offset = offset
+
+    # -- register addressing ------------------------------------------------
+
+    def _a_reg(self, value: Any) -> int:
+        return self.offset + self.domain.index(value)
+
+    def _b_reg(self, value: Any) -> int:
+        return self.offset + len(self.domain) + self.domain.index(value)
+
+    def _others(self, value: Any) -> Tuple[Any, ...]:
+        return tuple(w for w in self.domain if w != value)
+
+    # -- automaton interface ------------------------------------------------
+
+    def initial_state(self) -> CommitAdoptState:
+        return CommitAdoptState(pref=self.input)
+
+    def is_halted(self, state: CommitAdoptState) -> bool:
+        return state.pc == "done"
+
+    def output(self, state: CommitAdoptState) -> Optional[Tuple[str, Any]]:
+        return state.output if state.pc == "done" else None
+
+    def next_op(self, state: CommitAdoptState) -> Operation:
+        self.require_running(state)
+        pc = state.pc
+        if pc == "w_propose":
+            return WriteOp(self._a_reg(state.pref), 1)
+        if pc == "scan_conflict" or pc == "scan_recheck":
+            other = self._others(state.pref)[state.k]
+            return ReadOp(self._a_reg(other))
+        if pc == "w_phase2":
+            return WriteOp(self._b_reg(state.pref), 1)
+        if pc == "scan_b":
+            return ReadOp(self._b_reg(self.domain[state.k]))
+        raise ProtocolError(f"commit-adopt {self.pid}: unknown pc {pc!r}")
+
+    def apply(self, state: CommitAdoptState, op: Operation, result: Any) -> CommitAdoptState:
+        pc = state.pc
+        others = self._others(state.pref)
+
+        if pc == "w_propose":
+            if not others:
+                # Singleton domain: nothing can conflict.
+                return replace(
+                    state, pc="done", output=(COMMIT, state.pref)
+                )
+            return replace(state, pc="scan_conflict", k=0)
+
+        if pc == "scan_conflict":
+            if result != 0:
+                # Step 5: conflicted — look for a phase-2 value.
+                return replace(state, pc="scan_b", k=0, seen_b=None)
+            if state.k + 1 < len(others):
+                return replace(state, k=state.k + 1)
+            return replace(state, pc="w_phase2")
+
+        if pc == "w_phase2":
+            return replace(state, pc="scan_recheck", k=0)
+
+        if pc == "scan_recheck":
+            if result != 0:
+                # A conflicting proposal arrived after phase 1: no commit.
+                return replace(
+                    state, pc="done", output=(ADOPT, state.pref)
+                )
+            if state.k + 1 < len(others):
+                return replace(state, k=state.k + 1)
+            return replace(state, pc="done", output=(COMMIT, state.pref))
+
+        if pc == "scan_b":
+            seen_b = state.seen_b
+            if result != 0:
+                seen_b = self.domain[state.k]
+            if state.k + 1 < len(self.domain):
+                return replace(state, k=state.k + 1, seen_b=seen_b)
+            adopted = seen_b if seen_b is not None else state.pref
+            return replace(state, pc="done", output=(ADOPT, adopted))
+
+        raise ProtocolError(f"commit-adopt {self.pid}: cannot apply {pc!r}")
+
+
+class CommitAdopt(Algorithm):
+    """A one-shot commit-adopt object over a finite value domain.
+
+    Named-model algorithm (value-indexed register roles are agreed), but
+    with **no dependence on the number of processes** — the property the
+    unbounded-concurrency consensus ladder builds on.
+    """
+
+    name = "commit-adopt"
+
+    def __init__(self, domain: Tuple[Any, ...]):
+        domain = tuple(domain)
+        require(
+            len(domain) >= 1 and len(set(domain)) == len(domain),
+            f"domain must be non-empty and duplicate-free, got {domain!r}",
+            ConfigurationError,
+        )
+        require(
+            0 not in domain,
+            "0 is reserved as the registers' initial state and cannot be a "
+            "domain value",
+            ConfigurationError,
+        )
+        self.domain = domain
+
+    def register_count(self) -> int:
+        return 2 * len(self.domain)
+
+    def is_anonymous(self) -> bool:
+        return False
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> CommitAdoptProcess:
+        return CommitAdoptProcess(pid, input, self.domain)

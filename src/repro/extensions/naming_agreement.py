@@ -1,0 +1,326 @@
+"""Naming agreement: bootstrapping a common register numbering — a §8
+exploration.
+
+The Discussion section asks about models mixing named and unnamed
+objects, and about the gap between them.  A natural bridge question: can
+processes *agree on a naming* using the anonymous registers themselves,
+after which any named-model algorithm runs unchanged?  This module
+implements one protocol for a known number of processes ``n``:
+
+1. **Elect.**  Run the Figure 2 consensus core with identifiers as
+   inputs over the ``2n - 1`` registers.
+2. **Tag.**  The elected leader overwrites every register ``j`` (in its
+   own numbering) with a tag record ``(TAG, leader, j)`` and halts,
+   outputting the identity numbering.
+3. **Adopt.**  Every other process abandons the election the moment any
+   read returns a tag, then keeps scanning, building the map from its
+   private numbering to the leader's.  When only **one** register's tag
+   is missing, the map is completed *by elimination*, and the process
+   **repairs** that register (rewrites the inferred tag) before
+   halting.
+
+Why repair exists: a process may have committed to an election write
+just before tags appeared; that stale vote lands *after* the leader
+tagged, destroying one tag.  Inference-plus-repair heals any single
+outstanding clobber — including the perpetrator healing its own.
+
+**Guarantee (and its honest limits).**  All completed outputs are
+mutually consistent (each physical register gets one agreed number —
+:func:`consistent_namings`), and the protocol terminates under
+schedules where (a) the elected leader runs to completion and (b) stale
+post-tagging votes land one at a time (each healed before the next
+lands) — e.g. any schedule that runs the remaining processes solo in
+turn.  Two *interleaved* stale clobbers can destroy two tags at once,
+leaving both perpetrators unable to disambiguate the missing indices:
+the information is genuinely gone and only a live leader could restore
+it.  This is not an implementation artifact — an unconditionally
+obstruction-free naming agreement would implement named registers from
+unnamed ones, which Corollary 6.4 forbids for unknown ``n`` and which
+the paper leaves open even for known ``n``.  The tests construct the
+bad corner explicitly to document that it is reachable.
+
+After agreement, :class:`AgreedView` adapts a process's raw
+:class:`~repro.memory.anonymous.MemoryView` to the agreed numbering
+(translating leftover protocol records to the payload's initial value),
+so named algorithms — Peterson, tournaments, anything — run on top of
+memory that started with no naming agreement at all.  The test suite
+does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.consensus import majority_value
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory.anonymous import MemoryView
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.runtime.ops import Operation, ReadOp, WriteOp
+from repro.types import ProcessId, RegisterValue, require, validate_process_id
+
+
+@dataclass(frozen=True)
+class ElectionRecord:
+    """Register contents: an election vote or a leader tag.
+
+    ``kind`` is ``"vote"`` during the election (``a`` = writer id,
+    ``b`` = preferred leader id) and ``"tag"`` afterwards (``a`` =
+    leader id, ``b`` = the register's agreed index).
+    """
+
+    kind: str = "vote"
+    a: int = 0
+    b: int = 0
+
+    def is_empty(self) -> bool:
+        """True for the initial register state."""
+        return self.kind == "vote" and self.a == 0 and self.b == 0
+
+
+@dataclass(frozen=True)
+class NamingState:
+    """Local state of one naming-agreement process."""
+
+    pc: str = "collect"
+    j: int = 0
+    myview: Tuple[ElectionRecord, ...] = ()
+    mypref: ProcessId = 0
+    write_index: int = -1
+    #: The elected leader, once known.
+    leader: Optional[ProcessId] = None
+    #: Accumulated mapping: (view index, agreed index) pairs.
+    mapping: Tuple[Tuple[int, int], ...] = ()
+    #: View index to repair with an inferred tag, while pc=="repair_write".
+    repair_j: int = -1
+    repair_agreed: int = -1
+    #: The final output permutation, once done.
+    output_perm: Optional[Tuple[int, ...]] = None
+
+
+class NamingAgreementProcess(ProcessAutomaton):
+    """One process of the naming-agreement protocol."""
+
+    def __init__(self, pid: ProcessId, n: int, m: int):
+        self.pid = validate_process_id(pid)
+        self.n = n
+        self.m = m
+
+    def initial_state(self) -> NamingState:
+        return NamingState(mypref=self.pid)
+
+    def is_halted(self, state: NamingState) -> bool:
+        return state.pc == "done"
+
+    def output(self, state: NamingState) -> Optional[Tuple[int, ...]]:
+        """The agreed numbering: ``output[j]`` is the agreed index of the
+        register this process privately calls ``j``."""
+        return state.output_perm if state.pc == "done" else None
+
+    # -- operations ---------------------------------------------------------
+
+    def next_op(self, state: NamingState) -> Operation:
+        self.require_running(state)
+        pc = state.pc
+        if pc in ("collect", "adopt_scan"):
+            return ReadOp(state.j)
+        if pc == "write":
+            return WriteOp(
+                state.write_index, ElectionRecord("vote", self.pid, state.mypref)
+            )
+        if pc == "tag_write":
+            return WriteOp(state.j, ElectionRecord("tag", self.pid, state.j))
+        if pc == "repair_write":
+            return WriteOp(
+                state.repair_j,
+                ElectionRecord("tag", state.leader, state.repair_agreed),
+            )
+        raise ProtocolError(f"naming agreement {self.pid}: unknown pc {pc!r}")
+
+    def apply(self, state: NamingState, op: Operation, result: Any) -> NamingState:
+        pc = state.pc
+        record = result if isinstance(result, ElectionRecord) else ElectionRecord()
+
+        if pc == "collect":
+            # Per-read tag detection: the election is over the moment any
+            # tag is visible; abandon immediately (before any new write).
+            if record.kind == "tag":
+                return self._leader_known(state, record.a)
+            myview = state.myview + (record,)
+            if state.j + 1 < self.m:
+                return replace(state, j=state.j + 1, myview=myview)
+            return self._after_collect(state, myview)
+
+        if pc == "write":
+            return replace(state, pc="collect", j=0, myview=(), write_index=-1)
+
+        if pc == "tag_write":
+            if state.j + 1 < self.m:
+                return replace(state, j=state.j + 1)
+            # Leader: own numbering is the agreed one.
+            return replace(state, pc="done", output_perm=tuple(range(self.m)))
+
+        if pc == "repair_write":
+            return self._finish(state)
+
+        if pc == "adopt_scan":
+            mapping = dict(state.mapping)
+            if record.kind == "tag" and record.a == state.leader:
+                mapping[state.j] = record.b
+            mapping_t = tuple(sorted(mapping.items()))
+            if len(mapping) == self.m:
+                return self._finish(replace(state, mapping=mapping_t))
+            if state.j + 1 < self.m:
+                return replace(state, j=state.j + 1, mapping=mapping_t)
+            # End of a full pass: one missing tag can be inferred by
+            # elimination and repaired; otherwise keep scanning.
+            if len(mapping) == self.m - 1:
+                missing_view = next(
+                    j for j in range(self.m) if j not in mapping
+                )
+                missing_agreed = next(
+                    idx for idx in range(self.m) if idx not in mapping.values()
+                )
+                mapping[missing_view] = missing_agreed
+                return replace(
+                    state,
+                    pc="repair_write",
+                    mapping=tuple(sorted(mapping.items())),
+                    repair_j=missing_view,
+                    repair_agreed=missing_agreed,
+                )
+            return replace(state, j=0, mapping=mapping_t)
+
+        raise ProtocolError(f"naming agreement {self.pid}: cannot apply {pc!r}")
+
+    def _finish(self, state: NamingState) -> NamingState:
+        mapping = dict(state.mapping)
+        perm = tuple(mapping[j] for j in range(self.m))
+        if sorted(perm) != list(range(self.m)):
+            raise ProtocolError(
+                f"process {self.pid} assembled a non-bijective numbering "
+                f"{perm!r}; tag records were corrupted beyond repair"
+            )
+        return replace(state, pc="done", output_perm=perm)
+
+    # -- election phase (Figure 2 core over ElectionRecords) -----------------
+
+    def _after_collect(
+        self, state: NamingState, myview: Tuple[ElectionRecord, ...]
+    ) -> NamingState:
+        mypref = state.mypref
+        adopted = majority_value(
+            (entry.b if entry.kind == "vote" else 0 for entry in myview),
+            self.n,
+        )
+        if adopted is not None:
+            mypref = adopted
+        target = ElectionRecord("vote", self.pid, mypref)
+        if all(entry == target for entry in myview):
+            # Election decided: the agreed leader is mypref.
+            return self._leader_known(replace(state, mypref=mypref), mypref)
+        index = next(k for k, entry in enumerate(myview) if entry != target)
+        return replace(
+            state,
+            pc="write",
+            mypref=mypref,
+            myview=myview,
+            write_index=index,
+            j=0,
+        )
+
+    def _leader_known(self, state: NamingState, leader: ProcessId) -> NamingState:
+        if leader == self.pid:
+            # Tag every register with our numbering.
+            return replace(state, pc="tag_write", j=0, leader=leader, myview=())
+        return replace(
+            state, pc="adopt_scan", j=0, leader=leader, mapping=(), myview=()
+        )
+
+
+class NamingAgreement(Algorithm):
+    """Agree on a common register numbering over anonymous registers.
+
+    The array size is pinned to the election's ``2n - 1``: the embedded
+    Figure 2 core needs its adoption threshold ``n`` to be a strict
+    majority, which holds exactly at ``m = 2n - 1``.  All registers end
+    up tagged and usable by the payload algorithm afterwards.
+    """
+
+    name = "naming-agreement(§8 exploration)"
+
+    def __init__(self, n: int):
+        require(
+            isinstance(n, int) and n >= 1,
+            f"naming agreement needs a positive process count, got {n!r}",
+            ConfigurationError,
+        )
+        self.n = n
+        self.m = 2 * n - 1
+
+    def register_count(self) -> int:
+        return self.m
+
+    def initial_value(self) -> RegisterValue:
+        return ElectionRecord()
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> NamingAgreementProcess:
+        return NamingAgreementProcess(pid, n=self.n, m=self.m)
+
+
+def consistent_namings(system, outputs: Dict[ProcessId, Tuple[int, ...]]) -> bool:
+    """Check that the output numberings agree physically.
+
+    For every pair of processes and every physical register, both must
+    assign it the same agreed index: ``out_p[view_p(phys)] ==
+    out_q[view_q(phys)]``.
+    """
+    pids = list(outputs)
+    for phys in range(system.memory.size):
+        agreed = set()
+        for pid in pids:
+            view = system.memory.view(pid)
+            agreed.add(outputs[pid][view.view_index_of(phys)])
+        if len(agreed) != 1:
+            return False
+    return True
+
+
+class AgreedView:
+    """Adapt a raw :class:`MemoryView` to an agreed numbering.
+
+    ``read``/``write`` address registers by the *agreed* index.  Leftover
+    protocol records (election votes / tags) read as ``payload_initial``
+    so that a payload algorithm sees the initial memory it expects; its
+    own writes pass through untouched.
+    """
+
+    def __init__(
+        self,
+        view: MemoryView,
+        agreed_perm: Tuple[int, ...],
+        payload_initial: RegisterValue = 0,
+    ):
+        self._view = view
+        # agreed index -> private view index
+        self._to_view = {agreed: j for j, agreed in enumerate(agreed_perm)}
+        if len(self._to_view) != len(agreed_perm):
+            raise ConfigurationError(
+                f"agreed numbering {agreed_perm!r} is not a bijection"
+            )
+        self._payload_initial = payload_initial
+        self.pid = view.pid
+
+    @property
+    def size(self) -> int:
+        """Number of registers visible through the agreed numbering."""
+        return len(self._to_view)
+
+    def read(self, agreed_index: int) -> RegisterValue:
+        value = self._view.read(self._to_view[agreed_index])
+        if isinstance(value, ElectionRecord):
+            return self._payload_initial
+        return value
+
+    def write(self, agreed_index: int, value: RegisterValue) -> None:
+        self._view.write(self._to_view[agreed_index], value)

@@ -1,0 +1,171 @@
+"""Obstruction-free consensus for an unknown/unbounded number of
+processes — the named-model possibility result behind Corollary 6.4.
+
+Theorem 6.3 proves obstruction-free consensus impossible with *unnamed*
+registers when the number of processes is not a priori known; the paper
+contrasts this with [25]: with *named* registers it is possible, even
+for unbounded concurrency.  Corollary 6.4 (no obstruction-free
+implementation of a named register from unnamed ones) is exactly the
+combination of those two facts — so the reproduction needs the
+possibility side executable too.  This module provides it.
+
+Construction — a ladder of commit-adopt objects
+(:mod:`repro.extensions.commit_adopt`), one per round, all of whose
+register roles are indexed by *round and value* only, never by process:
+
+    round r:  (status, v) := CA_r(pref)
+              if status = COMMIT: decide v
+              else: pref := v; continue to round r + 1
+
+* **Agreement**: the first commit, say of ``v`` at round ``r``, forces
+  (CA coherence) every CA_r output to carry ``v``; hence every process
+  enters round ``r+1`` preferring ``v``, and (CA validity + convergence,
+  inductively) every later output carries ``v`` too — all decisions are
+  ``v``.
+* **Validity**: CA outputs are proposals; proposals start as inputs.
+* **Obstruction-free termination**: rounds are fresh; a process running
+  alone eventually proposes to a CA nobody else has touched and commits
+  (one round above the highest round anybody reached).  Under
+  contention the ladder may climb forever — permitted by
+  obstruction-freedom, and the test suite demonstrates both behaviours.
+
+The register array is dimensioned by ``max_rounds`` — a *simulation
+horizon*, not an algorithmic bound: the algorithm as specified uses an
+unbounded array, which a real named-memory system provides by
+allocation.  Exceeding the horizon raises loudly rather than deciding
+incorrectly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.extensions.commit_adopt import (
+    ADOPT,
+    COMMIT,
+    CommitAdoptProcess,
+    CommitAdoptState,
+)
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.runtime.ops import Operation
+from repro.types import ProcessId, require, validate_process_id
+
+
+@dataclass(frozen=True)
+class LadderState:
+    """Local state: current round plus the embedded CA proposer state."""
+
+    round: int = 1
+    inner: CommitAdoptState = None
+    decision: Any = None
+
+    @property
+    def pc(self) -> str:  # for uniform debugging/tracing
+        return "decided" if self.decision is not None else f"round-{self.round}"
+
+
+class LadderConsensusProcess(ProcessAutomaton):
+    """One process climbing the commit-adopt ladder."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        input: Any,
+        domain: Tuple[Any, ...],
+        max_rounds: int,
+    ):
+        self.pid = validate_process_id(pid)
+        self.domain = tuple(domain)
+        require(
+            input in self.domain,
+            f"input {input!r} not in declared domain {self.domain!r}",
+            ConfigurationError,
+        )
+        self.input = input
+        self.max_rounds = max_rounds
+        self._block = 2 * len(self.domain)
+
+    def _ca_for(self, round_no: int, pref: Any) -> CommitAdoptProcess:
+        if round_no > self.max_rounds:
+            raise ProtocolError(
+                f"process {self.pid} exceeded the simulation horizon of "
+                f"{self.max_rounds} ladder rounds; raise max_rounds (the "
+                "algorithm itself uses an unbounded register array)"
+            )
+        return CommitAdoptProcess(
+            self.pid,
+            pref,
+            self.domain,
+            offset=(round_no - 1) * self._block,
+        )
+
+    def initial_state(self) -> LadderState:
+        inner = self._ca_for(1, self.input).initial_state()
+        return LadderState(round=1, inner=inner)
+
+    def is_halted(self, state: LadderState) -> bool:
+        return state.decision is not None
+
+    def output(self, state: LadderState) -> Any:
+        return state.decision
+
+    def next_op(self, state: LadderState) -> Operation:
+        self.require_running(state)
+        ca = self._ca_for(state.round, state.inner.pref)
+        return ca.next_op(state.inner)
+
+    def apply(self, state: LadderState, op: Operation, result: Any) -> LadderState:
+        ca = self._ca_for(state.round, state.inner.pref)
+        inner = ca.apply(state.inner, op, result)
+        if not ca.is_halted(inner):
+            return replace(state, inner=inner)
+        status, value = ca.output(inner)
+        if status == COMMIT:
+            return replace(state, inner=inner, decision=value)
+        assert status == ADOPT
+        next_round = state.round + 1
+        next_inner = self._ca_for(next_round, value).initial_state()
+        return LadderState(round=next_round, inner=next_inner)
+
+
+class UnboundedConsensus(Algorithm):
+    """Obstruction-free consensus, process-count oblivious (named model).
+
+    Parameters
+    ----------
+    domain:
+        The finite input domain (register roles are value-indexed; this
+        is the price of not being process-indexed).
+    max_rounds:
+        Simulation horizon for the unbounded ladder.
+    """
+
+    name = "unbounded-consensus([25]-style ladder)"
+
+    def __init__(self, domain: Tuple[Any, ...], max_rounds: int = 64):
+        domain = tuple(domain)
+        require(
+            len(domain) >= 1 and len(set(domain)) == len(domain) and 0 not in domain,
+            f"domain must be non-empty, duplicate-free and 0-free, got {domain!r}",
+            ConfigurationError,
+        )
+        require(
+            isinstance(max_rounds, int) and max_rounds >= 1,
+            f"max_rounds must be a positive int, got {max_rounds!r}",
+            ConfigurationError,
+        )
+        self.domain = domain
+        self.max_rounds = max_rounds
+
+    def register_count(self) -> int:
+        return 2 * len(self.domain) * self.max_rounds
+
+    def is_anonymous(self) -> bool:
+        return False
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> LadderConsensusProcess:
+        return LadderConsensusProcess(
+            pid, input, self.domain, max_rounds=self.max_rounds
+        )

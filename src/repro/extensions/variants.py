@@ -1,0 +1,140 @@
+"""Ablation variants: the algorithms with their design constants exposed.
+
+DESIGN.md calls out two load-bearing constants in the paper's
+algorithms:
+
+* Figure 1's give-up threshold ``ceil(m/2)`` (line 4) — oddness of ``m``
+  makes it a strict majority, which is the whole Theorem 3.1 story;
+* Figure 2's adoption threshold ``n`` over ``2n - 1`` registers — again
+  a strict majority, carrying the Theorem 4.1 agreement argument.
+
+The variants here parameterise those constants so the ablation bench
+(``benchmarks/bench_ablations.py``) can measure what actually breaks as
+they move: too-low mutex thresholds livelock (processes never yield),
+too-high ones thrash; consensus thresholds below ``n`` lose the
+uniqueness of the adopted value and with it agreement.  Running the
+*wrong* constants through the same model checker and symmetry attack
+that certify the right ones is the strongest evidence that the paper's
+choices are necessary rather than incidental.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.consensus import AnonymousConsensus, AnonymousConsensusProcess
+from repro.core.mutex import AnonymousMutex, AnonymousMutexProcess
+from repro.errors import ConfigurationError
+from repro.types import ProcessId, require
+
+
+class ThresholdMutexProcess(AnonymousMutexProcess):
+    """Figure 1 with an arbitrary line-4 give-up threshold."""
+
+    def __init__(self, pid, m, threshold, cs_visits=1, cs_steps=1):
+        super().__init__(pid, m, cs_visits=cs_visits, cs_steps=cs_steps)
+        require(
+            1 <= threshold <= m,
+            f"threshold must be in 1..{m}, got {threshold}",
+            ConfigurationError,
+        )
+        self.threshold = threshold
+
+
+class ThresholdMutex(AnonymousMutex):
+    """Ablation: Figure 1 with ``lose-threshold = t`` instead of ceil(m/2).
+
+    ``t = ceil(m/2)`` reproduces the paper.  Lower ``t`` makes processes
+    stubborn (they give up only when holding fewer than ``t`` registers,
+    so with ``t = 1`` never); higher ``t`` makes them skittish (with
+    ``t = m`` both always reset and retry).  Mutual exclusion survives
+    any ``t`` (entry still requires all m registers); *deadlock-freedom*
+    is what the ablation shows breaking.
+    """
+
+    name = "fig1-threshold-ablation"
+
+    def __init__(self, m: int, threshold: int, cs_visits: int = 1, cs_steps: int = 1):
+        super().__init__(
+            m=m, cs_visits=cs_visits, cs_steps=cs_steps, unsafe_allow_any_m=True
+        )
+        self.threshold = threshold
+        self.name = f"fig1-threshold(m={m}, t={threshold})"
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> ThresholdMutexProcess:
+        cs_visits = input if isinstance(input, int) and input > 0 else self.cs_visits
+        return ThresholdMutexProcess(
+            pid,
+            self.m,
+            threshold=self.threshold,
+            cs_visits=cs_visits,
+            cs_steps=self.cs_steps,
+        )
+
+
+class LenientConsensusProcess(AnonymousConsensusProcess):
+    """Figure 2 with a lowered adoption threshold and plurality tie-break.
+
+    With threshold ``t < n`` two values can both reach ``t`` among the
+    ``2n - 1`` val fields; the paper's line 4 then has no unique winner.
+    This variant resolves ties by plurality (earliest index among the
+    most frequent) — the "obvious fix" whose failure the ablation
+    demonstrates.
+    """
+
+    def _adopt(self, myview):
+        counts = {}
+        for entry in myview:
+            if entry.val != 0:
+                counts[entry.val] = counts.get(entry.val, 0) + 1
+        eligible = {v: c for v, c in counts.items() if c >= self.adopt_threshold}
+        if not eligible:
+            return None
+        best = max(eligible.values())
+        for entry in myview:  # earliest-index tie-break, deterministic
+            if eligible.get(entry.val) == best:
+                return entry.val
+        return None  # pragma: no cover
+
+    def _after_collect(self, state, myview):
+        from dataclasses import replace
+
+        from repro.core.consensus import choose_index
+        from repro.memory.records import ConsensusRecord
+
+        mypref = state.mypref
+        adopted = self._adopt(myview)
+        if adopted is not None:
+            mypref = adopted
+        target = ConsensusRecord(self.pid, mypref)
+        if all(entry == target for entry in myview):
+            return replace(state, pc="decided", mypref=mypref, myview=myview, j=0)
+        index = choose_index(
+            myview, lambda entry: entry != target, self.choice,
+            salt=(self.pid, myview),
+        )
+        return replace(
+            state, pc="write", mypref=mypref, myview=myview,
+            write_index=index, j=0,
+        )
+
+
+class LenientConsensus(AnonymousConsensus):
+    """Ablation: Figure 2 with adoption threshold ``t`` instead of ``n``."""
+
+    name = "fig2-threshold-ablation"
+
+    def __init__(self, n: int, threshold: Optional[int] = None, registers: Optional[int] = None):
+        super().__init__(n=n, registers=registers)
+        self.threshold = threshold if threshold is not None else n
+        require(
+            1 <= self.threshold,
+            f"threshold must be positive, got {self.threshold}",
+            ConfigurationError,
+        )
+        self.name = f"fig2-threshold(n={n}, t={self.threshold})"
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> LenientConsensusProcess:
+        return LenientConsensusProcess(
+            pid, input, m=self.m, adopt_threshold=self.threshold
+        )

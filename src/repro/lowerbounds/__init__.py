@@ -1,0 +1,68 @@
+"""Executable lower bounds: the paper's proofs as run-building programs.
+
+* :mod:`repro.lowerbounds.symmetry` — Theorem 3.4's lockstep symmetry
+  attack on a register ring (and, as its l=2 special case, the "even m is
+  impossible" half of Theorem 3.1);
+* :mod:`repro.lowerbounds.covering` — the §6.1 formalism: covering
+  processes, block writes, indistinguishability;
+* :mod:`repro.lowerbounds.construction` — the shared five-phase engine
+  behind the Section 6 proofs;
+* :mod:`repro.lowerbounds.mutex_unbounded` — Theorem 6.2 (and thereby
+  Theorem 6.1, the strict separation of named from unnamed registers);
+* :mod:`repro.lowerbounds.consensus_space` — Theorem 6.3 / Corollary 6.4;
+* :mod:`repro.lowerbounds.renaming_space` — Theorem 6.5;
+* :mod:`repro.lowerbounds.candidates` — deliberately limited candidates
+  (the naive test-and-set lock) that exercise the constructions' safety
+  branch.
+"""
+
+from repro.lowerbounds.candidates import NaiveTestAndSetLock, NaiveTestAndSetProcess
+from repro.lowerbounds.construction import (
+    ConstructionReport,
+    execute_covering_construction,
+)
+from repro.lowerbounds.consensus_space import demonstrate_consensus_space_bound
+from repro.lowerbounds.covering import (
+    assert_indistinguishable_for,
+    block_write,
+    build_covering_run,
+    covered_register,
+    replay_schedule,
+    run_solo_until_covering,
+    run_until,
+)
+from repro.lowerbounds.mutex_unbounded import demonstrate_mutex_impossibility
+from repro.lowerbounds.renaming_space import demonstrate_renaming_space_bound
+from repro.lowerbounds.symmetry import (
+    SymmetryAttackResult,
+    attack_group_size,
+    forbidden_pairs,
+    relabel_value,
+    ring_system,
+    run_symmetry_attack,
+    states_symmetric,
+)
+
+__all__ = [
+    "NaiveTestAndSetLock",
+    "NaiveTestAndSetProcess",
+    "ConstructionReport",
+    "execute_covering_construction",
+    "demonstrate_consensus_space_bound",
+    "demonstrate_mutex_impossibility",
+    "demonstrate_renaming_space_bound",
+    "assert_indistinguishable_for",
+    "block_write",
+    "build_covering_run",
+    "covered_register",
+    "replay_schedule",
+    "run_solo_until_covering",
+    "run_until",
+    "SymmetryAttackResult",
+    "attack_group_size",
+    "forbidden_pairs",
+    "relabel_value",
+    "ring_system",
+    "run_symmetry_attack",
+    "states_symmetric",
+]

@@ -1,0 +1,139 @@
+"""Deliberately limited candidate algorithms for the impossibility demos.
+
+The Section 6 proofs quantify over *all* algorithms: every candidate,
+however clever, breaks when the number of processes is unknown (mutex) or
+the register count drops below the bound (consensus, renaming).  The
+experiments demonstrate this on concrete candidates:
+
+* the paper's own algorithms pushed outside their envelope (Figure 2 with
+  ``registers=n-1``, Figure 3 likewise, Figure 1 facing more processes
+  than any fixed bound) — built directly via the core classes' override
+  parameters; and
+* :class:`NaiveTestAndSetLock`, defined here — the textbook broken lock
+  ("read 0, write my id, read it back") whose failure mode is exactly the
+  covering argument's: a single covering process can erase the owner's
+  trace and let a second process through.  It exists because Figure 1's
+  failure under the Theorem 6.2 construction manifests as *livelock*
+  (deadlock-freedom violation), and the test suite also wants to exercise
+  the construction's other branch, where the block write leads to a
+  *mutual exclusion* violation exactly as in the proof's run ``rho``.
+
+``NaiveTestAndSetLock`` is of course not a correct mutex even for two
+processes under general schedules; the lower-bound harness drives it only
+along the proof's specific runs, where its solo behaviour is exemplary
+and its covering behaviour is fatal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.core.mutex import MutexAutomatonMixin
+from repro.errors import ProtocolError
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.runtime.ops import (
+    CritOp,
+    EnterCritOp,
+    ExitCritOp,
+    Operation,
+    ReadOp,
+    WriteOp,
+)
+from repro.types import ProcessId, validate_process_id
+
+
+@dataclass(frozen=True)
+class NaiveLockState:
+    """Local state of one naive-lock process."""
+
+    pc: str = "probe"
+    crit_remaining: int = 0
+    visits_done: int = 0
+
+
+class NaiveTestAndSetProcess(MutexAutomatonMixin, ProcessAutomaton):
+    """Read the register; if 0, write our id; read back; if ours, enter.
+
+    The read-modify-write is *not* atomic (three separate steps), which
+    is what the covering construction exploits.
+    """
+
+    EXIT_PCS = frozenset({"release"})
+
+    def __init__(self, pid: ProcessId, cs_visits: int = 1, cs_steps: int = 1):
+        self.pid = validate_process_id(pid)
+        self.cs_visits = cs_visits
+        self.cs_steps = max(1, cs_steps)
+
+    def initial_state(self) -> NaiveLockState:
+        return NaiveLockState()
+
+    def is_halted(self, state: NaiveLockState) -> bool:
+        return state.pc == "done"
+
+    def output(self, state: NaiveLockState) -> Any:
+        return state.visits_done if state.pc == "done" else None
+
+    def next_op(self, state: NaiveLockState) -> Operation:
+        self.require_running(state)
+        pc = state.pc
+        if pc in ("probe", "verify"):
+            return ReadOp(0)
+        if pc == "claim":
+            return WriteOp(0, self.pid)
+        if pc == "enter_cs":
+            return EnterCritOp()
+        if pc == "crit":
+            return CritOp()
+        if pc == "exit_crit":
+            return ExitCritOp()
+        if pc == "release":
+            return WriteOp(0, 0)
+        raise ProtocolError(f"naive lock {self.pid}: unknown pc {pc!r}")
+
+    def apply(self, state: NaiveLockState, op: Operation, result: Any) -> NaiveLockState:
+        pc = state.pc
+        if pc == "probe":
+            if result == 0:
+                return replace(state, pc="claim")
+            return state  # busy: probe again
+        if pc == "claim":
+            return replace(state, pc="verify")
+        if pc == "verify":
+            if result == self.pid:
+                return replace(state, pc="enter_cs")
+            return replace(state, pc="probe")
+        if pc == "enter_cs":
+            return replace(state, pc="crit", crit_remaining=self.cs_steps)
+        if pc == "crit":
+            remaining = state.crit_remaining - 1
+            if remaining > 0:
+                return replace(state, crit_remaining=remaining)
+            return replace(state, pc="exit_crit")
+        if pc == "exit_crit":
+            return replace(state, pc="release")
+        if pc == "release":
+            visits = state.visits_done + 1
+            if visits >= self.cs_visits:
+                return NaiveLockState(pc="done", visits_done=visits)
+            return NaiveLockState(pc="probe", visits_done=visits)
+        raise ProtocolError(f"naive lock {self.pid}: cannot apply {pc!r}")
+
+
+class NaiveTestAndSetLock(Algorithm):
+    """Single-register naive lock — the covering construction's showcase."""
+
+    name = "naive-test-and-set-lock"
+
+    def __init__(self, cs_visits: int = 1, cs_steps: int = 1):
+        self.cs_visits = cs_visits
+        self.cs_steps = cs_steps
+
+    def register_count(self) -> int:
+        return 1
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> NaiveTestAndSetProcess:
+        return NaiveTestAndSetProcess(
+            pid, cs_visits=self.cs_visits, cs_steps=self.cs_steps
+        )

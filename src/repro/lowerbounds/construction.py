@@ -1,0 +1,285 @@
+"""The shared engine behind the Section 6 impossibility constructions.
+
+Theorems 6.2, 6.3 and 6.5 use one proof skeleton (the paper notes "the
+impossibility proofs below are all based on covering arguments and have
+the same structure"):
+
+1. run ``y``: process ``q`` alone until it succeeds (enters its critical
+   section / decides / acquires name 1); record ``write(y, q)``, the set
+   of registers it wrote;
+2. recruit a set ``P`` of fresh processes, one per register in
+   ``write(y, q)`` — possible because the number of processes is unknown
+   (or because the register count is below the process count);
+3. run ``x``: each ``p in P`` runs alone until it covers its assigned
+   register of ``write(y, q)`` — write-free prefixes, made possible by
+   *choosing each p's register naming* (only available against anonymous
+   registers!);
+4. ``x'`` = ``x`` + block write by ``P``; extend with a ``P``-only run
+   ``z`` until some ``p`` succeeds;
+5. build ``rho`` = ``x ; y ;`` block write ``; (z - x')``: the block
+   write erases every trace of ``q``, making the state indistinguishable
+   *for P* from ``x'``, so the ``z`` suffix replays verbatim — and now
+   two processes have succeeded where at most one may.
+
+:func:`execute_covering_construction` performs these five phases against
+a concrete candidate algorithm, **verifying the proof's intermediate
+claims as it goes** (write-free covering prefixes, distinct covered
+registers, exact indistinguishability after the block write) and returns
+a :class:`ConstructionReport` describing which property the candidate was
+caught violating:
+
+* ``branch == "rho-violation"`` — the construction completed and ``rho``
+  exhibits the safety violation (two CS occupants / conflicting
+  decisions / duplicate names), exactly as in the proofs;
+* ``branch == "z-no-progress"`` — the candidate already fails the
+  *progress* half in the ``P``-only run ``z`` (detected by global-state
+  cycle or budget exhaustion).  This, too, proves the candidate wrong:
+  the proofs' step "by deadlock-freedom / obstruction-freedom there
+  exists an extension z ..." is exactly what such a candidate lacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.lowerbounds.covering import (
+    block_write,
+    build_covering_run,
+    replay_schedule,
+)
+from repro.memory.naming import ExplicitNaming, first_visit_permutation
+from repro.runtime.adversary import Adversary
+from repro.runtime.automaton import Algorithm
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.system import System
+from repro.types import PhysicalIndex, ProcessId
+
+
+@dataclass
+class ConstructionReport:
+    """Everything a covering-construction run established."""
+
+    algorithm: str
+    problem: str
+    #: The proofs' write(y, q): physical registers q wrote running solo.
+    write_set: Tuple[PhysicalIndex, ...] = ()
+    #: The processes recruited to cover write(y, q), in target order.
+    covering_pids: Tuple[ProcessId, ...] = ()
+    q_pid: Optional[ProcessId] = None
+    #: q's solo outcome (its decision / acquired name / "in-CS").
+    q_outcome: Any = None
+    q_solo_steps: int = 0
+    #: "rho-violation" or "z-no-progress".
+    branch: str = ""
+    #: Human-readable description of the violated property.
+    violation: str = ""
+    #: Outcomes of the P processes at the end (rho branch).
+    p_outcomes: Dict[ProcessId, Any] = field(default_factory=dict)
+    #: Whether the indistinguishability claim was verified exactly.
+    indistinguishability_verified: bool = False
+    #: Length of the replayed z suffix.
+    z_steps: int = 0
+
+    def summary(self) -> str:
+        """One-line report for experiment tables."""
+        return (
+            f"{self.problem} vs {self.algorithm}: {self.branch} — "
+            f"{self.violation} (|write(y,q)|={len(self.write_set)}, "
+            f"z={self.z_steps} steps)"
+        )
+
+
+def _run_solo_until(
+    scheduler: Scheduler,
+    pid: ProcessId,
+    done: Callable[[Scheduler, ProcessId], bool],
+    max_steps: int,
+) -> int:
+    """Step ``pid`` alone until ``done`` holds; returns steps taken."""
+    taken = 0
+    while not done(scheduler, pid):
+        if pid not in scheduler.enabled_pids():
+            raise SchedulingError(
+                f"process {pid} became disabled before its solo goal"
+            )
+        if taken >= max_steps:
+            raise SchedulingError(
+                f"process {pid} did not reach its solo goal within "
+                f"{max_steps} steps"
+            )
+        scheduler.step(pid)
+        taken += 1
+    return taken
+
+
+def _detect_cycle_run(
+    scheduler: Scheduler,
+    adversary: Adversary,
+    pids: Sequence[ProcessId],
+    done: Callable[[Scheduler], bool],
+    max_steps: int,
+):
+    """Run ``adversary`` until ``done``; detect no-progress state cycles.
+
+    Returns ``(schedule, None)`` on success or ``(partial_schedule,
+    reason)`` when the run provably (state cycle) or practically (budget)
+    makes no progress — the "z-no-progress" branch.
+    """
+    adversary.reset()
+    schedule = []
+    seen = {scheduler.capture_state(): 0}
+    while not done(scheduler):
+        if len(schedule) >= max_steps:
+            return schedule, f"no progress within {max_steps} steps"
+        enabled = scheduler.enabled_pids()
+        if not enabled:
+            return schedule, "all processes disabled before progress"
+        pid = adversary.choose(scheduler)
+        if pid is None:
+            return schedule, "adversary stopped before progress"
+        scheduler.step(pid)
+        schedule.append(pid)
+        state = scheduler.capture_state()
+        if state in seen:
+            return schedule, (
+                f"global-state cycle of length {len(schedule) - seen[state]} "
+                "steps with no progress"
+            )
+        seen[state] = len(schedule)
+    return schedule, None
+
+
+def execute_covering_construction(
+    algorithm_factory: Callable[[], Algorithm],
+    problem: str,
+    q_pid: ProcessId,
+    q_input: Any,
+    p_pool: Sequence[Tuple[ProcessId, Any]],
+    q_done: Callable[[Scheduler, ProcessId], bool],
+    q_outcome: Callable[[Scheduler, ProcessId], Any],
+    z_done: Callable[[Scheduler, Sequence[ProcessId]], bool],
+    make_z_adversary: Callable[[Sequence[ProcessId]], Adversary],
+    classify_violation: Callable[[Scheduler, ProcessId, Sequence[ProcessId]], str],
+    max_solo_steps: int = 200_000,
+    max_z_steps: int = 200_000,
+) -> ConstructionReport:
+    """Run the five-phase covering construction; see the module docstring.
+
+    ``algorithm_factory`` must build a fresh, identically configured
+    algorithm on each call (three systems are built: the write-set probe,
+    ``x'; z``, and ``rho``).  ``p_pool`` supplies more (pid, input) pairs
+    than ``write(y, q)`` can possibly need; exactly ``|write(y, q)|`` are
+    recruited.
+    """
+    report = ConstructionReport(
+        algorithm=algorithm_factory().name, problem=problem, q_pid=q_pid
+    )
+
+    # ---- Phase 0: probe run y to learn write(y, q). ----------------------
+    pool_pids = [pid for pid, _ in p_pool]
+    pool_inputs = dict(p_pool)
+    probe = System(
+        algorithm_factory(),
+        {q_pid: q_input, **pool_inputs},
+        record_trace=True,
+    )
+    report.q_solo_steps = _run_solo_until(
+        probe.scheduler, q_pid, q_done, max_solo_steps
+    )
+    write_set = probe.scheduler.trace.registers_written_by(q_pid)
+    report.write_set = tuple(write_set)
+    if not write_set:
+        raise SchedulingError(
+            f"{report.algorithm}: q succeeded without writing — the paper "
+            "shows this is immediately fatal, but the construction engine "
+            "expects candidates whose solo runs write at least once"
+        )
+    if len(write_set) > len(pool_pids):
+        raise SchedulingError(
+            f"p_pool has {len(pool_pids)} processes but write(y,q) has "
+            f"{len(write_set)} registers; supply a larger pool"
+        )
+    covering_pids = tuple(pool_pids[: len(write_set)])
+    report.covering_pids = covering_pids
+    assignments = dict(zip(covering_pids, write_set))
+
+    # Namings: q keeps identity; each covering process scans so that its
+    # first write lands on its assigned register ("since all the registers
+    # are unnamed, we can let each process scan the registers in an order
+    # which ensures ..." — only possible against anonymous registers).
+    algorithm = algorithm_factory()
+    m = algorithm.register_count()
+    naming = ExplicitNaming(
+        {pid: first_visit_permutation(target, m) for pid, target in assignments.items()}
+    )
+    participants = {q_pid: q_input}
+    participants.update({pid: pool_inputs[pid] for pid in covering_pids})
+
+    # ---- Phases x', z on system S1. ----------------------------------------
+    s1 = System(algorithm, participants, naming=naming, record_trace=False)
+    build_covering_run(s1.scheduler, assignments, max_steps=max_solo_steps)
+    block_write(s1.scheduler, covering_pids)
+    # Snapshot x' — the state the indistinguishability claim compares
+    # against — before z extends the run.
+    x_prime_registers = s1.scheduler.memory.snapshot()
+    x_prime_states = {
+        pid: s1.scheduler.runtime(pid).state for pid in covering_pids
+    }
+    z_adversary = make_z_adversary(covering_pids)
+    z_schedule, z_failure = _detect_cycle_run(
+        s1.scheduler,
+        z_adversary,
+        covering_pids,
+        lambda sched: z_done(sched, covering_pids),
+        max_z_steps,
+    )
+    if z_failure is not None:
+        report.branch = "z-no-progress"
+        report.violation = (
+            f"progress violation with {len(covering_pids)} fresh processes: "
+            f"{z_failure}"
+        )
+        report.z_steps = len(z_schedule)
+        return report
+    report.z_steps = len(z_schedule)
+
+    # ---- Phase rho on system S2: x ; y ; block write ; (z - x'). ----------
+    s2 = System(algorithm_factory(), participants, naming=naming, record_trace=False)
+    build_covering_run(s2.scheduler, assignments, max_steps=max_solo_steps)
+    _run_solo_until(s2.scheduler, q_pid, q_done, max_solo_steps)
+    q_result = q_outcome(s2.scheduler, q_pid)
+    report.q_outcome = q_result
+    block_write(s2.scheduler, covering_pids)
+
+    # The proofs' central claim: after the block write, w and x' are
+    # indistinguishable for every process in P (equal registers, equal
+    # local states).
+    w_registers = s2.scheduler.memory.snapshot()
+    if w_registers != x_prime_registers:
+        raise SchedulingError(
+            "indistinguishability failed: registers after the block write "
+            f"differ:\n  x': {x_prime_registers}\n  w:  {w_registers}"
+        )
+    for pid in covering_pids:
+        w_state = s2.scheduler.runtime(pid).state
+        if w_state != x_prime_states[pid]:
+            raise SchedulingError(
+                f"indistinguishability failed: process {pid} has state "
+                f"{w_state!r} in w but {x_prime_states[pid]!r} in x'"
+            )
+    report.indistinguishability_verified = True
+
+    replay_schedule(s2.scheduler, z_schedule)
+    report.p_outcomes = {
+        pid: (
+            s2.scheduler.output_of(pid)
+            if s2.scheduler.runtime(pid).halted
+            else None
+        )
+        for pid in covering_pids
+    }
+    report.branch = "rho-violation"
+    report.violation = classify_violation(s2.scheduler, q_pid, covering_pids)
+    return report

@@ -1,0 +1,216 @@
+"""Executable §6.1: runs, covering processes, block writes,
+indistinguishability.
+
+The paper's impossibility proofs are themselves little algorithms for
+building bad runs.  This module provides their vocabulary as operations
+on live :class:`~repro.runtime.scheduler.Scheduler` instances:
+
+* "Process p **covers** a register in run x, if x can be extended by an
+  event in which p writes to some register" — :func:`covered_register`
+  (pending-write inspection) and :func:`run_solo_until_covering` (extend
+  p's run, read-only, until it covers its assigned target register);
+* "A **block write** by a set of covering processes P is an execution in
+  which each process in P performs a single write (and nothing else)" —
+  :func:`block_write`;
+* "Runs x and y are **indistinguishable** for process p, if the
+  subsequence of all events by p in x is the same as in y [...] and the
+  values of all the shared registers in x are the same as in y" —
+  :func:`assert_indistinguishable_for` compares two schedulers' register
+  contents and the local states of the given processes (with explicit
+  local states, equal histories and equal memory mean exactly
+  indistinguishability).
+
+The three construction modules (:mod:`repro.lowerbounds.mutex_unbounded`,
+:mod:`repro.lowerbounds.consensus_space`,
+:mod:`repro.lowerbounds.renaming_space`) compose these into the proofs'
+runs ``x``, ``x'``, ``y``, ``w``, ``z`` and ``rho``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError, SchedulingError
+from repro.runtime.ops import WriteOp
+from repro.runtime.scheduler import Scheduler
+from repro.types import PhysicalIndex, ProcessId
+
+
+def covered_register(scheduler: Scheduler, pid: ProcessId) -> Optional[PhysicalIndex]:
+    """The physical register ``pid`` currently covers, or ``None``.
+
+    Thin re-export of :meth:`Scheduler.covered_register` so construction
+    code reads like the proofs.
+    """
+    return scheduler.covered_register(pid)
+
+
+def run_solo_until_covering(
+    scheduler: Scheduler,
+    pid: ProcessId,
+    target: PhysicalIndex,
+    max_steps: int = 100_000,
+) -> int:
+    """Extend the run with steps by ``pid`` alone until it covers
+    ``target`` — the proofs' ``r.p``.
+
+    The proofs require these covering prefixes to be write-free ("since,
+    for each p in P, there are no writes in r.p"); a write by ``pid``
+    before reaching coverage is therefore an error: the naming chosen for
+    ``pid`` failed to steer its first write to ``target``, and the
+    construction must be set up differently for this algorithm.
+
+    Returns the number of steps taken.
+    """
+    taken = 0
+    while True:
+        covered = scheduler.covered_register(pid)
+        if covered == target:
+            return taken
+        if covered is not None:
+            raise ProtocolError(
+                f"process {pid} covers physical register {covered}, not the "
+                f"assigned target {target}; choose a naming under which its "
+                "first write lands on the target"
+            )
+        if taken >= max_steps:
+            raise ProtocolError(
+                f"process {pid} did not cover any register within "
+                f"{max_steps} solo steps"
+            )
+        event = scheduler.step(pid)
+        taken += 1
+        if event.is_write():
+            raise ProtocolError(
+                f"process {pid} wrote register {event.physical_index} during "
+                "its covering prefix; covering runs must be write-free"
+            )
+
+
+def build_covering_run(
+    scheduler: Scheduler,
+    assignments: Dict[ProcessId, PhysicalIndex],
+    max_steps: int = 100_000,
+) -> Dict[ProcessId, int]:
+    """The proofs' run ``x``: each process in P runs solo (in sequence)
+    until it covers its assigned register.
+
+    Because covering prefixes are write-free, the concatenation behaves
+    exactly as if each process had run alone — the proofs' construction
+    of ``x`` from the individual ``r.p`` runs.  Returns steps per process.
+    """
+    distinct_targets = set(assignments.values())
+    if len(distinct_targets) != len(assignments):
+        raise SchedulingError(
+            f"covering assignments must target distinct registers, got "
+            f"{assignments}"
+        )
+    steps = {}
+    for pid, target in assignments.items():
+        steps[pid] = run_solo_until_covering(scheduler, pid, target, max_steps)
+    return steps
+
+
+def block_write(scheduler: Scheduler, pids: Sequence[ProcessId]) -> List[PhysicalIndex]:
+    """Perform the proofs' block write: one write step per covering process.
+
+    Every listed process must currently cover a register; "if every
+    process in P covers a different register then the order of writes
+    does not matter".  Returns the physical registers written, in order.
+    """
+    written: List[PhysicalIndex] = []
+    for pid in pids:
+        covered = scheduler.covered_register(pid)
+        if covered is None:
+            raise SchedulingError(
+                f"process {pid} does not cover a register; block write "
+                "requires a set of covering processes"
+            )
+        event = scheduler.step(pid)
+        if not isinstance(event.op, WriteOp):  # pragma: no cover - guarded above
+            raise SchedulingError(
+                f"process {pid}'s step was {event.op}, not a write"
+            )
+        written.append(event.physical_index)
+    return written
+
+
+def run_until(
+    scheduler: Scheduler,
+    adversary,
+    predicate: Callable[[Scheduler], bool],
+    max_steps: int = 1_000_000,
+) -> List[ProcessId]:
+    """Extend the run under ``adversary`` until ``predicate`` holds.
+
+    Returns the schedule (sequence of pids) that was executed, so the
+    construction can *replay* it verbatim on an indistinguishable run —
+    the proofs' "any extension of x' by processes in P is also a possible
+    extension of w".  Raises :class:`SchedulingError` if the adversary
+    stops or the budget runs out before the predicate holds.
+    """
+    adversary.reset()
+    schedule: List[ProcessId] = []
+    while not predicate(scheduler):
+        if len(schedule) >= max_steps:
+            raise SchedulingError(
+                f"predicate not reached within {max_steps} steps"
+            )
+        enabled = scheduler.enabled_pids()
+        if not enabled:
+            raise SchedulingError(
+                "no process enabled before the predicate held"
+            )
+        pid = adversary.choose(scheduler)
+        if pid is None:
+            raise SchedulingError(
+                "adversary stopped before the predicate held"
+            )
+        scheduler.step(pid)
+        schedule.append(pid)
+    return schedule
+
+
+def replay_schedule(scheduler: Scheduler, schedule: Sequence[ProcessId]) -> None:
+    """Execute a recorded schedule verbatim (the ``z - x'`` suffix)."""
+    for pid in schedule:
+        scheduler.step(pid)
+
+
+def assert_indistinguishable_for(
+    scheduler_a: Scheduler,
+    scheduler_b: Scheduler,
+    pids: Sequence[ProcessId],
+    context: str = "",
+) -> None:
+    """Verify §6.1 indistinguishability for ``pids`` between two runs.
+
+    Checks that (1) all shared registers hold equal values and (2) each
+    listed process has an identical local state (which, with explicit
+    automata, subsumes "took the same subsequence of events with the same
+    results").  Raises :class:`SchedulingError` with a diagnostic if the
+    construction's central claim fails — it never should, and the tests
+    assert that it doesn't.
+    """
+    mem_a = scheduler_a.memory.snapshot()
+    mem_b = scheduler_b.memory.snapshot()
+    if mem_a != mem_b:
+        raise SchedulingError(
+            f"indistinguishability failed{context and f' ({context})'}: "
+            f"register contents differ:\n  a: {mem_a}\n  b: {mem_b}"
+        )
+    for pid in pids:
+        state_a = scheduler_a.runtime(pid).state
+        state_b = scheduler_b.runtime(pid).state
+        if state_a != state_b:
+            raise SchedulingError(
+                f"indistinguishability failed{context and f' ({context})'}: "
+                f"process {pid} has different local states:\n"
+                f"  a: {state_a}\n  b: {state_b}"
+            )
+
+
+def registers_written_in(trace, pid: ProcessId) -> Tuple[PhysicalIndex, ...]:
+    """The proofs' ``write(y, q)``: distinct physical registers ``pid``
+    wrote in the recorded run."""
+    return trace.registers_written_by(pid)

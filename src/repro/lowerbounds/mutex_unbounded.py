@@ -1,0 +1,94 @@
+"""Theorem 6.2, executable: no deadlock-free mutex with unknown #processes.
+
+    "There is no deadlock-free mutual exclusion algorithm using unnamed
+    registers when the number of processes is not a priori known."
+
+The proof recruits one covering process per register the solo winner
+wrote, erases the winner's traces with a block write, and lets the
+deadlock-freedom property march a second process into the critical
+section.  :func:`demonstrate_mutex_impossibility` runs that construction
+against a concrete candidate and reports which property broke:
+
+* candidates whose covering victims still make progress (e.g. the naive
+  single-register lock) end with **two processes in the critical
+  section** — the proof's run ``rho``;
+* candidates that defend mutual exclusion (e.g. Figure 1 facing more
+  processes than two) instead **stop making progress** in the P-only run
+  ``z`` — a deadlock-freedom violation, detected by global-state cycle.
+
+Either way the candidate fails, which is the theorem.  Since Theorem 6.2
+is what separates the models (a deadlock-free mutex for unboundedly many
+processes *does* exist with named registers [17]), this module is also
+the executable witness of Theorem 6.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.lowerbounds.construction import (
+    ConstructionReport,
+    execute_covering_construction,
+)
+from repro.runtime.adversary import RoundRobinAdversary
+from repro.runtime.automaton import Algorithm
+from repro.runtime.scheduler import Scheduler
+from repro.types import ProcessId
+
+
+def _in_cs(scheduler: Scheduler, pid: ProcessId) -> bool:
+    rt = scheduler.runtime(pid)
+    return not rt.halted and rt.automaton.in_critical_section(rt.state)
+
+
+def _q_done(scheduler: Scheduler, pid: ProcessId) -> bool:
+    return _in_cs(scheduler, pid)
+
+
+def _q_outcome(scheduler: Scheduler, pid: ProcessId) -> str:
+    return "in-critical-section"
+
+
+def _z_done(scheduler: Scheduler, pids: Sequence[ProcessId]) -> bool:
+    return any(_in_cs(scheduler, pid) for pid in pids)
+
+
+def _classify(scheduler: Scheduler, q_pid: ProcessId, pids: Sequence[ProcessId]) -> str:
+    inside = [pid for pid in (q_pid, *pids) if _in_cs(scheduler, pid)]
+    if len(inside) >= 2:
+        return (
+            f"mutual exclusion violated: processes {inside} are in their "
+            "critical sections simultaneously"
+        )
+    return (  # pragma: no cover - z_done guarantees two occupants
+        f"construction completed but only {inside} in the critical section"
+    )
+
+
+def demonstrate_mutex_impossibility(
+    algorithm_factory: Callable[[], Algorithm],
+    q_pid: ProcessId = 101,
+    pool_pids: Tuple[ProcessId, ...] = tuple(range(201, 233)),
+    max_solo_steps: int = 200_000,
+    max_z_steps: int = 200_000,
+) -> ConstructionReport:
+    """Run the Theorem 6.2 construction against a mutex candidate.
+
+    ``pool_pids`` is the reservoir of fresh processes the "number of
+    processes is not a priori known" premise grants us; exactly
+    ``|write(y, q)|`` of them are recruited.
+    """
+    return execute_covering_construction(
+        algorithm_factory,
+        problem="deadlock-free mutual exclusion (Thm 6.2)",
+        q_pid=q_pid,
+        q_input=None,
+        p_pool=[(pid, None) for pid in pool_pids],
+        q_done=_q_done,
+        q_outcome=_q_outcome,
+        z_done=_z_done,
+        make_z_adversary=lambda pids: RoundRobinAdversary(order=list(pids)),
+        classify_violation=_classify,
+        max_solo_steps=max_solo_steps,
+        max_z_steps=max_z_steps,
+    )

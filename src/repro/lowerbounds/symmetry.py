@@ -1,0 +1,250 @@
+"""Theorem 3.4's lockstep symmetry attack, executable.
+
+    "We arrange the registers as a unidirectional ring of size m [...]
+    we pick l processes, and assign these l processes the same ring
+    ordering, though potentially different initial registers [...] the
+    distance between any two neighbouring initial registers is exactly
+    m/l.  We run the l processes in lock steps.  Since only comparisons
+    for equality are allowed, processes that take the same number of
+    steps will be at the same state, and thus it is not possible to break
+    symmetry.  Thus, either all the processes will enter their critical
+    sections at the same time violating mutual exclusion, or no process
+    will ever enter its critical section violating deadlock-freedom."
+
+:func:`run_symmetry_attack` mechanises this argument against a *concrete*
+candidate algorithm:
+
+1. build the ring configuration (requires ``l`` to divide ``m`` — the
+   arithmetic content of "m and l are not relatively prime");
+2. run the ``l`` processes in lockstep;
+3. after every step, detect a **mutual exclusion violation** (two or more
+   processes in their critical sections);
+4. after every full lockstep round, detect a **deadlock-freedom
+   violation** by global-state cycle detection: the system is
+   deterministic under the lockstep schedule, so a repeated global state
+   with no intervening critical-section entry proves the run loops
+   forever with nobody making progress;
+5. along the way, verify the proof's symmetry claim: after each full
+   round the processes' local states are equal up to identifier
+   relabelling (:func:`states_symmetric`).
+
+The attack must *succeed* (find one of the two violations) against every
+algorithm in the forbidden regime — e.g. Figure 1 with even ``m`` — and
+must *fail* (run out of budget with the candidate making progress)
+against Figure 1 with odd ``m``.  Both directions are exercised by the
+tests and by ``benchmarks/bench_space_bounds.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.memory.naming import RingNaming
+from repro.runtime.automaton import Algorithm
+from repro.runtime.system import System
+from repro.types import ProcessId, require
+
+
+def relabel_value(value, mapping: Dict[ProcessId, ProcessId]):
+    """Recursively replace process identifiers inside a local-state value.
+
+    Applies ``mapping`` to every int found in tuples, frozensets and
+    (frozen) dataclass fields.  Used to compare local states "up to
+    identifier substitution" — the formal content of the proof's
+    "processes that take the same number of steps will be at the same
+    state".
+
+    Caveat: any int equal to a mapped identifier is relabelled, including
+    loop counters that happen to collide.  Experiments avoid collisions
+    by using process identifiers ≥ 100; the violation detection itself
+    (CS overlap, state cycles) never depends on relabelling.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return mapping.get(value, value)
+    if isinstance(value, tuple):
+        return tuple(relabel_value(v, mapping) for v in value)
+    if isinstance(value, frozenset):
+        return frozenset(relabel_value(v, mapping) for v in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        changes = {
+            f.name: relabel_value(getattr(value, f.name), mapping)
+            for f in dataclasses.fields(value)
+        }
+        return dataclasses.replace(value, **changes)
+    return value
+
+
+def states_symmetric(system: System, pids: Sequence[ProcessId]) -> bool:
+    """Whether all listed processes are in the same state up to renaming.
+
+    Every process's local state is canonicalised by mapping the
+    participant identifiers to their ring positions *relative to that
+    process* (its own id becomes 0, its successor 1, ...); symmetric
+    configurations canonicalise identically.
+    """
+    pids = list(pids)
+    l = len(pids)
+    canonical = []
+    for idx, pid in enumerate(pids):
+        mapping = {
+            other: (pids.index(other) - idx) % l for other in pids
+        }
+        state = system.scheduler.runtime(pid).state
+        canonical.append(relabel_value(state, mapping))
+    return all(c == canonical[0] for c in canonical)
+
+
+@dataclass
+class SymmetryAttackResult:
+    """Outcome of one lockstep symmetry attack."""
+
+    #: Candidate algorithm name.
+    algorithm: str
+    #: Register count m and lockstep group size l.
+    m: int
+    l: int
+    #: "mutual-exclusion", "deadlock-freedom", or None (attack exhausted
+    #: its budget without a violation — expected in the allowed regime).
+    violation: Optional[str] = None
+    #: Steps executed before the verdict.
+    steps: int = 0
+    #: For deadlock-freedom: the length of the detected state cycle, in
+    #: full lockstep rounds.
+    cycle_rounds: Optional[int] = None
+    #: Processes found simultaneously in the critical section.
+    overlapping: Tuple[ProcessId, ...] = ()
+    #: Whether the proof's symmetry claim held at every round boundary.
+    symmetric_throughout: bool = True
+    #: Critical-section entries observed (progress indicator).
+    cs_entries: int = 0
+
+    @property
+    def violated(self) -> bool:
+        """True when the attack found a violation."""
+        return self.violation is not None
+
+    def summary(self) -> str:
+        """One-line report for experiment tables."""
+        if self.violation == "mutual-exclusion":
+            return (
+                f"ME violation after {self.steps} steps: processes "
+                f"{list(self.overlapping)} in CS together"
+            )
+        if self.violation == "deadlock-freedom":
+            return (
+                f"DF violation: state cycle of {self.cycle_rounds} round(s) "
+                f"with no CS entry (after {self.steps} steps)"
+            )
+        return f"no violation within {self.steps} steps ({self.cs_entries} CS entries)"
+
+
+def ring_system(
+    algorithm: Algorithm, pids: Sequence[ProcessId], record_trace: bool = False
+) -> System:
+    """Build the theorem's configuration: equispaced starts on a register
+    ring shared by all processes."""
+    pids = tuple(pids)
+    m = algorithm.register_count()
+    l = len(pids)
+    require(
+        m % l == 0,
+        f"the symmetry attack needs l={l} to divide m={m}: the equispaced "
+        "ring placement exists exactly when they are not relatively prime",
+        ConfigurationError,
+    )
+    naming = RingNaming.equispaced(pids, m)
+    return System(algorithm, pids, naming=naming, record_trace=record_trace)
+
+
+def run_symmetry_attack(
+    algorithm: Algorithm,
+    pids: Sequence[ProcessId],
+    max_rounds: int = 100_000,
+    check_symmetry: bool = True,
+) -> SymmetryAttackResult:
+    """Run the Theorem 3.4 attack against ``algorithm``.
+
+    ``pids`` are the l processes placed equispaced on the ring (their
+    count must divide the algorithm's register count).  The attack runs
+    lockstep rounds until it detects a violation, a process halts
+    (breaking the premise — counted as "no violation"), or the round
+    budget is exhausted.
+    """
+    pids = tuple(pids)
+    system = ring_system(algorithm, pids)
+    scheduler = system.scheduler
+    mutex_like = all(
+        hasattr(scheduler.runtime(pid).automaton, "in_critical_section")
+        for pid in pids
+    )
+    result = SymmetryAttackResult(
+        algorithm=algorithm.name, m=system.memory.size, l=len(pids)
+    )
+    seen_states: Dict[object, int] = {scheduler.capture_state(): 0}
+
+    for round_no in range(1, max_rounds + 1):
+        for pid in pids:
+            if pid not in scheduler.enabled_pids():
+                # A process halted: the lockstep premise is broken (it got
+                # through its visits) — the candidate survived.
+                return result
+            scheduler.step(pid)
+            result.steps += 1
+            if mutex_like:
+                inside = [
+                    p
+                    for p in pids
+                    if scheduler.runtime(p).automaton.in_critical_section(
+                        scheduler.runtime(p).state
+                    )
+                ]
+                if len(inside) > 1:
+                    result.violation = "mutual-exclusion"
+                    result.overlapping = tuple(inside)
+                    return result
+                if len(inside) == 1:
+                    result.cs_entries += 1
+
+        # Round boundary: symmetry diagnostic and cycle detection.
+        if check_symmetry and not states_symmetric(system, pids):
+            result.symmetric_throughout = False
+        global_state = scheduler.capture_state()
+        if global_state in seen_states and result.cs_entries == 0:
+            result.violation = "deadlock-freedom"
+            result.cycle_rounds = round_no - seen_states[global_state]
+            return result
+        seen_states.setdefault(global_state, round_no)
+
+    return result
+
+
+def forbidden_pairs(n: int, m_values: Sequence[int]):
+    """Enumerate (m, l) pairs Theorem 3.4 forbids for n processes.
+
+    Yields ``(m, l)`` with ``2 <= l <= n`` and ``gcd(m, l) > 1`` — for
+    each such pair the attack (run with ``gcd``'s smallest prime divisor
+    of processes, or l itself when it divides m) must find a violation.
+    """
+    for m in m_values:
+        for l in range(2, n + 1):
+            if gcd(m, l) > 1:
+                yield m, l
+
+
+def attack_group_size(m: int, l: int) -> int:
+    """The number of lockstep processes to use against (m, l).
+
+    The proof reduces a non-coprime pair to a divisor: "there is a number
+    1 < l <= m such that l divides m".  We use the smallest prime factor
+    of gcd(m, l), which both divides m and is at most l.
+    """
+    g = gcd(m, l)
+    require(g > 1, f"m={m} and l={l} are relatively prime; nothing to attack")
+    factor = next(d for d in range(2, g + 1) if g % d == 0)
+    return factor

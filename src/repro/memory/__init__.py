@@ -1,0 +1,60 @@
+"""Shared-memory substrate: atomic registers without global names.
+
+This package implements the paper's communication model (Section 2):
+
+* :mod:`repro.memory.register` — atomic MWMR registers and the physical
+  register array;
+* :mod:`repro.memory.naming` — per-process private register numberings
+  (the adversary's choice of who calls which register "number j");
+* :mod:`repro.memory.anonymous` — :class:`AnonymousMemory`, handing each
+  process a :class:`MemoryView` that translates its private numbering;
+* :mod:`repro.memory.records` — the register record values of Figures 2
+  and 3, with single-integer encodings per the §4.1 remark;
+* :mod:`repro.memory.snapshot` — a named-register snapshot object for the
+  baselines (the substrate of the paper's reference [5]).
+"""
+
+from repro.memory.anonymous import AnonymousMemory, MemoryView
+from repro.memory.naming import (
+    ExplicitNaming,
+    IdentityNaming,
+    NamingAssignment,
+    RandomNaming,
+    RingNaming,
+    all_namings_for_tests,
+    first_visit_permutation,
+    validate_permutation,
+)
+from repro.memory.records import (
+    ConsensusRecord,
+    RenamingRecord,
+    decode_consensus_record,
+    decode_renaming_record,
+    encode_consensus_record,
+    encode_renaming_record,
+)
+from repro.memory.register import AtomicRegister, LockedRegister, RegisterArray
+from repro.memory.snapshot import SnapshotObject
+
+__all__ = [
+    "AnonymousMemory",
+    "MemoryView",
+    "AtomicRegister",
+    "LockedRegister",
+    "RegisterArray",
+    "SnapshotObject",
+    "NamingAssignment",
+    "IdentityNaming",
+    "RandomNaming",
+    "RingNaming",
+    "ExplicitNaming",
+    "all_namings_for_tests",
+    "first_visit_permutation",
+    "validate_permutation",
+    "ConsensusRecord",
+    "RenamingRecord",
+    "encode_consensus_record",
+    "decode_consensus_record",
+    "encode_renaming_record",
+    "decode_renaming_record",
+]

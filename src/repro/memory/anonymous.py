@@ -1,0 +1,165 @@
+"""Anonymous shared memory: a register array seen through private namings.
+
+:class:`AnonymousMemory` couples the physical :class:`~repro.memory.register.RegisterArray`
+with a :class:`~repro.memory.naming.NamingAssignment` and hands each
+process a :class:`MemoryView` — the only interface algorithms ever get.
+A view translates the process's private register numbers (the paper's
+``p.i[j]``) into physical indices, so the same algorithm code runs
+unchanged whether the adversary picked identity, random or ring namings.
+
+The view's translation also runs in reverse (:meth:`MemoryView.view_index_of`)
+for the benefit of spec checkers and lower-bound constructions, which need
+to reason about which *physical* register a process is about to touch —
+e.g. the covering arguments of Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory.naming import (
+    IdentityNaming,
+    NamingAssignment,
+    Permutation,
+    validate_permutation,
+)
+from repro.memory.register import RegisterArray
+from repro.types import (
+    PhysicalIndex,
+    ProcessId,
+    RegisterValue,
+    ViewIndex,
+    require,
+    validate_distinct_ids,
+)
+
+
+class MemoryView:
+    """One process's window onto the anonymous shared memory.
+
+    ``view.read(j)`` / ``view.write(j, v)`` access the register the process
+    privately calls number ``j`` — the paper's ``p.i[j]`` with 0-based
+    indices.  Algorithms hold a view, never the array.
+    """
+
+    __slots__ = ("_array", "_perm", "_inverse", "pid")
+
+    def __init__(self, array: RegisterArray, pid: ProcessId, perm: Permutation):
+        self._array = array
+        self.pid = pid
+        self._perm = validate_permutation(perm, len(array))
+        self._inverse = {phys: view for view, phys in enumerate(self._perm)}
+
+    @property
+    def size(self) -> int:
+        """Number of registers, the paper's ``m``."""
+        return len(self._array)
+
+    @property
+    def permutation(self) -> Permutation:
+        """This process's view-to-physical bijection (observational)."""
+        return self._perm
+
+    def physical_index_of(self, view_index: ViewIndex) -> PhysicalIndex:
+        """Translate a private register number to the physical index."""
+        if not 0 <= view_index < len(self._perm):
+            raise ProtocolError(
+                f"process {self.pid}: register index {view_index} out of "
+                f"range 0..{len(self._perm) - 1}"
+            )
+        return self._perm[view_index]
+
+    def view_index_of(self, physical_index: PhysicalIndex) -> ViewIndex:
+        """Translate a physical index to this process's private number."""
+        try:
+            return self._inverse[physical_index]
+        except KeyError:
+            raise ProtocolError(
+                f"process {self.pid}: physical index {physical_index} out of "
+                f"range 0..{len(self._perm) - 1}"
+            ) from None
+
+    def read(self, view_index: ViewIndex) -> RegisterValue:
+        """Atomically read register ``p.i[view_index]``."""
+        return self._array.read(self.physical_index_of(view_index))
+
+    def write(self, view_index: ViewIndex, value: RegisterValue) -> None:
+        """Atomically write ``value`` into register ``p.i[view_index]``."""
+        self._array.write(self.physical_index_of(view_index), value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryView(pid={self.pid}, perm={self._perm})"
+
+
+class AnonymousMemory:
+    """Shared memory with no global register names.
+
+    Parameters
+    ----------
+    size:
+        Number of registers (the paper's ``m``).
+    pids:
+        The participating processes' identifiers (distinct positive ints).
+    naming:
+        The adversary's choice of per-process register numbering; defaults
+        to :class:`~repro.memory.naming.IdentityNaming`.
+    initial:
+        Initial value of every register (the model's "known state").
+    locked:
+        Build lock-guarded registers for the real-thread backend.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        pids: Sequence[ProcessId],
+        naming: NamingAssignment = None,
+        initial: RegisterValue = 0,
+        locked: bool = False,
+    ):
+        self.pids: Tuple[ProcessId, ...] = validate_distinct_ids(pids)
+        require(
+            isinstance(size, int) and size >= 1,
+            f"memory size must be a positive int, got {size!r}",
+            ConfigurationError,
+        )
+        self.naming = naming if naming is not None else IdentityNaming()
+        self.array = RegisterArray(size, initial=initial, locked=locked)
+        self._views: Dict[ProcessId, MemoryView] = {
+            pid: MemoryView(self.array, pid, self.naming.permutation_for(pid, size))
+            for pid in self.pids
+        }
+
+    @property
+    def size(self) -> int:
+        """Number of registers."""
+        return len(self.array)
+
+    def view(self, pid: ProcessId) -> MemoryView:
+        """Return process ``pid``'s private view of the memory."""
+        try:
+            return self._views[pid]
+        except KeyError:
+            raise ConfigurationError(
+                f"no view for unknown process id {pid!r}; "
+                f"known ids: {sorted(self._views)}"
+            ) from None
+
+    def snapshot(self) -> Tuple[RegisterValue, ...]:
+        """Physical register contents, outside-the-model (for checkers)."""
+        return self.array.snapshot()
+
+    def restore(self, values: Sequence[RegisterValue]) -> None:
+        """Overwrite physical register contents (model-checker replay)."""
+        self.array.restore(values)
+
+    def reset(self) -> None:
+        """Reset all registers to the initial known state."""
+        self.array.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnonymousMemory(size={self.size}, pids={self.pids}, "
+            f"naming={self.naming.describe()})"
+        )

@@ -1,0 +1,197 @@
+"""Register naming assignments — who calls which register "number j".
+
+The defining feature of the paper's model is that registers have no global
+names: "the first register examined and the subsequent order in which
+registers are scanned may be different for each process" (§1).  Formally,
+each process is assigned a private bijection from its *view* indices
+``0..m-1`` to the *physical* indices of the shared array (§3.5 phrases this
+as "an initial register and an ordering of the registers").
+
+A :class:`NamingAssignment` produces one such bijection per process.  The
+adversary chooses the assignment; a correct memory-anonymous algorithm must
+work under **every** assignment.  The library ships the assignments the
+paper's arguments use:
+
+* :class:`IdentityNaming` — everyone agrees (the *named* model; baselines
+  assume this, and it is one legal adversary choice for anonymous ones);
+* :class:`RandomNaming` — independent uniformly random permutations, the
+  workhorse for randomised testing;
+* :class:`RingNaming` — all processes share one cyclic order but start at
+  rotated offsets.  This is exactly the assignment used by the Theorem 3.4
+  lower-bound proof ("we arrange the registers as a unidirectional ring
+  ... assign these l processes the same ring ordering, though potentially
+  different initial registers");
+* :class:`ExplicitNaming` — caller-supplied permutations, used by the
+  covering constructions of Section 6 which need fine control over which
+  register a process reaches first.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import PhysicalIndex, ProcessId, require
+
+#: A process's private register numbering: ``perm[j]`` is the physical
+#: index of the register the process calls ``p.i[j]``.
+Permutation = Tuple[PhysicalIndex, ...]
+
+
+def validate_permutation(perm: Sequence[int], size: int) -> Permutation:
+    """Check that ``perm`` is a bijection on ``0..size-1`` and return it."""
+    perm = tuple(perm)
+    require(
+        len(perm) == size and sorted(perm) == list(range(size)),
+        f"expected a permutation of 0..{size - 1}, got {perm!r}",
+        ConfigurationError,
+    )
+    return perm
+
+
+class NamingAssignment:
+    """Base class: assigns each process its private register numbering."""
+
+    def permutation_for(self, pid: ProcessId, size: int) -> Permutation:
+        """Return process ``pid``'s view-to-physical bijection.
+
+        Must be deterministic per ``(pid, size)`` for a given assignment
+        instance, so that repeated calls (e.g. during model-checker replay)
+        see the same naming.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-line description for experiment reports."""
+        return type(self).__name__
+
+
+class IdentityNaming(NamingAssignment):
+    """All processes number the registers identically.
+
+    Under this assignment the anonymous model coincides with the standard
+    named model, so it doubles as the naming used by the
+    :mod:`repro.baselines` algorithms (which *require* agreement).
+    """
+
+    def permutation_for(self, pid: ProcessId, size: int) -> Permutation:
+        return tuple(range(size))
+
+
+class RandomNaming(NamingAssignment):
+    """Independent seeded-random permutation per process.
+
+    The permutation for a process is derived from ``(seed, pid, size)``, so
+    an assignment instance is reproducible and stable across replays.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def permutation_for(self, pid: ProcessId, size: int) -> Permutation:
+        rng = random.Random(f"{self.seed}/{pid}/{size}")
+        perm = list(range(size))
+        rng.shuffle(perm)
+        return tuple(perm)
+
+    def describe(self) -> str:
+        return f"RandomNaming(seed={self.seed})"
+
+
+class RingNaming(NamingAssignment):
+    """One shared cyclic order, rotated per process — the Thm 3.4 layout.
+
+    All processes scan the ring of ``m`` registers in the same direction;
+    process k (in the order given by ``offsets``) starts at physical
+    register ``offsets[k]``.  The Theorem 3.4 proof picks ``l`` processes
+    and spaces their starting registers exactly ``m / l`` apart so that the
+    lockstep run is perfectly symmetric; :func:`RingNaming.equispaced`
+    builds that configuration.
+
+    Parameters
+    ----------
+    offsets:
+        Mapping from process id to that process's starting physical index.
+        Processes not in the mapping start at 0.
+    """
+
+    def __init__(self, offsets: Dict[ProcessId, int]):
+        self.offsets = dict(offsets)
+
+    @classmethod
+    def equispaced(cls, pids: Sequence[ProcessId], size: int) -> "RingNaming":
+        """Starting registers spaced ``size / len(pids)`` apart on the ring.
+
+        Requires ``len(pids)`` to divide ``size`` — the arithmetic heart of
+        Theorem 3.4: such a placement exists exactly when ``l`` divides
+        ``m``, i.e. when ``m`` and ``l`` are *not* relatively prime.
+        """
+        count = len(pids)
+        require(
+            count >= 1 and size % count == 0,
+            f"equispaced ring placement needs process count ({count}) "
+            f"to divide register count ({size})",
+            ConfigurationError,
+        )
+        gap = size // count
+        return cls({pid: k * gap for k, pid in enumerate(pids)})
+
+    def permutation_for(self, pid: ProcessId, size: int) -> Permutation:
+        offset = self.offsets.get(pid, 0) % size
+        return tuple((offset + j) % size for j in range(size))
+
+    def describe(self) -> str:
+        return f"RingNaming(offsets={self.offsets})"
+
+
+class ExplicitNaming(NamingAssignment):
+    """Caller-supplied permutation per process.
+
+    The Section 6 covering constructions choose, for each covering process,
+    an ordering that makes it reach a *specific* register of
+    ``write(y, q)`` first; this class is how those proofs express that
+    choice.  Processes without an explicit permutation fall back to
+    identity.
+    """
+
+    def __init__(self, permutations: Dict[ProcessId, Sequence[int]]):
+        self._perms = {pid: tuple(perm) for pid, perm in permutations.items()}
+
+    def permutation_for(self, pid: ProcessId, size: int) -> Permutation:
+        if pid in self._perms:
+            return validate_permutation(self._perms[pid], size)
+        return tuple(range(size))
+
+    def describe(self) -> str:
+        return f"ExplicitNaming({sorted(self._perms)})"
+
+
+def first_visit_permutation(target: PhysicalIndex, size: int) -> Permutation:
+    """A permutation under which a sequential scan reaches ``target`` first.
+
+    Helper for covering constructions: a process that scans its registers
+    in view order ``0, 1, 2, ...`` under this naming touches physical
+    register ``target`` first, then the rest in ascending order.
+    """
+    require(
+        0 <= target < size,
+        f"target index {target} out of range for {size} registers",
+        ConfigurationError,
+    )
+    rest = [k for k in range(size) if k != target]
+    return tuple([target] + rest)
+
+
+def all_namings_for_tests(
+    pids: Iterable[ProcessId], size: int, seeds: Iterable[int] = (0, 1, 2)
+) -> Tuple[NamingAssignment, ...]:
+    """A representative spread of naming assignments for test sweeps."""
+    pids = tuple(pids)
+    namings = [IdentityNaming()]
+    namings.extend(RandomNaming(seed) for seed in seeds)
+    if pids and size % len(pids) == 0:
+        namings.append(RingNaming.equispaced(pids, size))
+    else:
+        namings.append(RingNaming({pid: k for k, pid in enumerate(pids)}))
+    return tuple(namings)

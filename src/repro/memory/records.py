@@ -1,0 +1,175 @@
+"""Register record values for the consensus and renaming algorithms.
+
+Figure 2's registers hold a record with fields ``(id, val)``; Figure 3's
+hold ``(id, val, round, history)``.  The paper remarks (§4.1) that using
+named fields "is done only for convenience — the two values in these fields
+can be encoded as a single value".  We honour both readings:
+
+* the algorithms store :class:`ConsensusRecord` / :class:`RenamingRecord`
+  instances (frozen, hashable — required by the model checker), and
+* :func:`encode_consensus_record` / :func:`decode_consensus_record` (and
+  the renaming equivalents) provide injective encodings into a single
+  integer, proving the remark constructively.  The encodings are exercised
+  by tests and can be enabled end-to-end via the algorithms'
+  ``encode_records`` flag.
+
+The all-zero record plays the role of the paper's initial value 0; both
+record classes define :meth:`is_empty` for that test.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import ProcessId, require
+
+
+@dataclass(frozen=True)
+class ConsensusRecord:
+    """Contents of one Figure 2 register: ``(id, val)``.
+
+    ``id`` is the identifier of the last writer (0 when untouched) and
+    ``val`` the preference it wrote (0 when untouched).
+    """
+
+    id: ProcessId = 0
+    val: int = 0
+
+    def is_empty(self) -> bool:
+        """True when the register still holds the initial known state."""
+        return self.id == 0 and self.val == 0
+
+    def __str__(self) -> str:
+        return f"({self.id},{self.val})"
+
+
+#: A renaming history: the set of ``(identifier, round)`` pairs of processes
+#: already elected (paper §5.1's "set of pairs of the form
+#: (identifier, value) where value in {1..n}").  Stored as a frozenset so
+#: records stay hashable.
+History = FrozenSet[Tuple[ProcessId, int]]
+
+
+@dataclass(frozen=True)
+class RenamingRecord:
+    """Contents of one Figure 3 register: ``(id, val, round, history)``."""
+
+    id: ProcessId = 0
+    val: int = 0
+    round: int = 0
+    history: History = field(default_factory=frozenset)
+
+    def is_empty(self) -> bool:
+        """True when the register still holds the initial known state."""
+        return (
+            self.id == 0
+            and self.val == 0
+            and self.round == 0
+            and not self.history
+        )
+
+    def __str__(self) -> str:
+        hist = "{" + ",".join(f"({i},{r})" for i, r in sorted(self.history)) + "}"
+        return f"({self.id},{self.val},{self.round},{hist})"
+
+
+# ---------------------------------------------------------------------------
+# Single-integer encodings (the §4.1 remark, constructively).
+#
+# We use a pairing function on non-negative integers.  Cantor's pairing
+# function would do; we use the simpler interleaving-by-base encoding below
+# because it is trivially invertible and easy to audit.
+# ---------------------------------------------------------------------------
+
+
+def _pair(a: int, b: int) -> int:
+    """Injective pairing of two non-negative integers into one.
+
+    Szudzik's elegant pairing: max(a,b)^2 + max(a,b) + a - b when a >= b,
+    else b^2 + a.  Invertible in O(1); grows as max(a, b)^2.
+    """
+    require(a >= 0 and b >= 0, f"pairing needs non-negative ints, got {a}, {b}")
+    if a >= b:
+        return a * a + a + b
+    return b * b + a
+
+
+def _unpair(z: int) -> Tuple[int, int]:
+    """Inverse of :func:`_pair`."""
+    require(z >= 0, f"unpair needs a non-negative int, got {z}")
+    # math.isqrt is exact for arbitrarily large ints; float sqrt is not
+    # (history encodings nest pairings and reach hundreds of bits).
+    root = math.isqrt(z)
+    rem = z - root * root
+    if rem < root:
+        return rem, root
+    return root, rem - root
+
+
+def encode_consensus_record(record: ConsensusRecord) -> int:
+    """Encode a consensus record as a single non-negative integer.
+
+    The empty record encodes to 0, matching the paper's initial value.
+    """
+    if record.is_empty():
+        return 0
+    return 1 + _pair(record.id, record.val)
+
+
+def decode_consensus_record(value: int) -> ConsensusRecord:
+    """Inverse of :func:`encode_consensus_record`."""
+    require(
+        isinstance(value, int) and value >= 0,
+        f"encoded record must be a non-negative int, got {value!r}",
+        ConfigurationError,
+    )
+    if value == 0:
+        return ConsensusRecord()
+    pid, val = _unpair(value - 1)
+    return ConsensusRecord(pid, val)
+
+
+def _encode_history(history: History) -> int:
+    """Encode a history set as one integer by folding sorted pairs."""
+    code = 0
+    for pid, rnd in sorted(history):
+        code = 1 + _pair(code, _pair(pid, rnd))
+    return code
+
+
+def _decode_history(code: int) -> History:
+    """Inverse of :func:`_encode_history`."""
+    pairs = []
+    while code != 0:
+        code, entry = _unpair(code - 1)
+        pairs.append(_unpair(entry))
+    return frozenset(pairs)
+
+
+def encode_renaming_record(record: RenamingRecord) -> int:
+    """Encode a renaming record as a single non-negative integer.
+
+    The empty record encodes to 0, matching the paper's initial value.
+    """
+    if record.is_empty():
+        return 0
+    inner = _pair(_pair(record.id, record.val), _pair(record.round, _encode_history(record.history)))
+    return 1 + inner
+
+
+def decode_renaming_record(value: int) -> RenamingRecord:
+    """Inverse of :func:`encode_renaming_record`."""
+    require(
+        isinstance(value, int) and value >= 0,
+        f"encoded record must be a non-negative int, got {value!r}",
+        ConfigurationError,
+    )
+    if value == 0:
+        return RenamingRecord()
+    left, right = _unpair(value - 1)
+    pid, val = _unpair(left)
+    rnd, hist_code = _unpair(right)
+    return RenamingRecord(pid, val, rnd, _decode_history(hist_code))

@@ -1,0 +1,195 @@
+"""Atomic multi-writer multi-reader registers and register arrays.
+
+The paper's communication primitive (Section 2) is the atomic MWMR
+read/write register: "reading or writing an atomic register is an
+indivisible action".  In the simulator, atomicity is guaranteed
+structurally — all register mutations happen inside the scheduler's single
+event loop, one operation per event.  For the real-thread backend
+(:mod:`repro.runtime.threads`), :class:`LockedRegister` guards each access
+with a lock so that reads and writes remain indivisible under genuine
+preemption.
+
+Registers also keep simple access statistics (read/write counts) which the
+:mod:`repro.analysis` layer uses for contention reporting; the statistics
+are observational only and are never visible to algorithms.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import RegisterValue, require
+
+
+class AtomicRegister:
+    """A single atomic MWMR register.
+
+    Parameters
+    ----------
+    initial:
+        The register's initial value.  The paper assumes registers are
+        "initially in a known state" (§1); all three algorithms use 0 (or a
+        record whose fields are zero) as that known state.
+    name:
+        An *observational* label for debugging and trace rendering.  The
+        name is part of the substrate, not the model: memory-anonymous
+        algorithms never see it.
+    """
+
+    __slots__ = ("_value", "_initial", "name", "read_count", "write_count")
+
+    def __init__(self, initial: RegisterValue = 0, name: str = ""):
+        self._initial = initial
+        self._value = initial
+        self.name = name
+        self.read_count = 0
+        self.write_count = 0
+
+    @property
+    def initial(self) -> RegisterValue:
+        """The value this register was initialised (and is reset) to."""
+        return self._initial
+
+    def read(self) -> RegisterValue:
+        """Atomically read the register's current value."""
+        self.read_count += 1
+        return self._value
+
+    def write(self, value: RegisterValue) -> None:
+        """Atomically overwrite the register's value."""
+        self.write_count += 1
+        self._value = value
+
+    def peek(self) -> RegisterValue:
+        """Read the value *without* counting it as an algorithm access.
+
+        Used by spec checkers, the model checker and trace rendering —
+        observations made from "outside the model".
+        """
+        return self._value
+
+    def poke(self, value: RegisterValue) -> None:
+        """Set the value without counting a write (for test/exploration setup)."""
+        self._value = value
+
+    def reset(self) -> None:
+        """Restore the initial value and clear access statistics."""
+        self._value = self._initial
+        self.read_count = 0
+        self.write_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "reg"
+        return f"AtomicRegister({label}={self._value!r})"
+
+
+class LockedRegister(AtomicRegister):
+    """An :class:`AtomicRegister` whose accesses are guarded by a lock.
+
+    Used by the real-thread backend where operations are not serialised by
+    a scheduler loop.  A per-register lock makes each read and write
+    indivisible, which is precisely the atomicity granularity of the model
+    (note: it does *not* make multi-register scans atomic — the algorithms
+    must not rely on that, and the paper's algorithms do not).
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, initial: RegisterValue = 0, name: str = ""):
+        super().__init__(initial, name)
+        self._lock = threading.Lock()
+
+    def read(self) -> RegisterValue:
+        with self._lock:
+            return super().read()
+
+    def write(self, value: RegisterValue) -> None:
+        with self._lock:
+            super().write(value)
+
+
+class RegisterArray:
+    """A fixed-size array of atomic registers — the physical shared memory.
+
+    Algorithms never touch this class directly; they access registers
+    through an :class:`repro.memory.anonymous.MemoryView`, which applies
+    the process's private register numbering.
+
+    Parameters
+    ----------
+    size:
+        Number of registers, the paper's ``m``.
+    initial:
+        Initial value for every register.
+    locked:
+        When true, build :class:`LockedRegister` cells (thread backend).
+    """
+
+    def __init__(self, size: int, initial: RegisterValue = 0, locked: bool = False):
+        require(
+            isinstance(size, int) and size >= 1,
+            f"register array size must be a positive int, got {size!r}",
+            ConfigurationError,
+        )
+        cell_cls = LockedRegister if locked else AtomicRegister
+        self._registers: List[AtomicRegister] = [
+            cell_cls(initial, name=f"R{k}") for k in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    def __iter__(self):
+        return iter(self._registers)
+
+    def register(self, physical_index: int) -> AtomicRegister:
+        """Return the register at a *physical* index (substrate access)."""
+        return self._registers[physical_index]
+
+    def read(self, physical_index: int) -> RegisterValue:
+        """Atomically read the register at ``physical_index``."""
+        return self._registers[physical_index].read()
+
+    def write(self, physical_index: int, value: RegisterValue) -> None:
+        """Atomically write ``value`` to the register at ``physical_index``."""
+        self._registers[physical_index].write(value)
+
+    def snapshot(self) -> Tuple[RegisterValue, ...]:
+        """Observe all register values at once (outside-the-model view).
+
+        Used for global-state hashing in the model checker and for trace
+        rendering.  This is *not* an atomic snapshot object available to
+        algorithms — see :mod:`repro.memory.snapshot` for that.
+        """
+        return tuple(r.peek() for r in self._registers)
+
+    def restore(self, values: Iterable[RegisterValue]) -> None:
+        """Overwrite all register values without counting accesses."""
+        values = tuple(values)
+        require(
+            len(values) == len(self._registers),
+            f"restore expects {len(self._registers)} values, got {len(values)}",
+            ConfigurationError,
+        )
+        for reg, value in zip(self._registers, values):
+            reg.poke(value)
+
+    def reset(self) -> None:
+        """Reset every register to its initial value and clear statistics."""
+        for reg in self._registers:
+            reg.reset()
+
+    @property
+    def total_reads(self) -> int:
+        """Total number of read operations applied to any register."""
+        return sum(r.read_count for r in self._registers)
+
+    @property
+    def total_writes(self) -> int:
+        """Total number of write operations applied to any register."""
+        return sum(r.write_count for r in self._registers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisterArray({self.snapshot()!r})"

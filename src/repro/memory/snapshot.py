@@ -1,0 +1,99 @@
+"""An obstruction-free atomic snapshot built from named registers.
+
+The consensus algorithm the paper's Figure 2 derives from (Bowman [5])
+uses single-writer registers *and snapshot objects* — both of which require
+named registers.  This module supplies that substrate for the named-model
+baselines and the real-thread examples: a **double-collect snapshot**.
+
+A ``scan`` repeatedly collects all segments until two consecutive collects
+are identical (including per-writer sequence numbers), which is the classic
+argument that the returned vector was simultaneously present in memory.
+Double-collect scans are obstruction-free: a scanner that runs alone
+terminates after two collects.  (The wait-free construction of Afek et al.
+embeds scans into updates; obstruction-freedom is all the baselines need,
+and matches the progress condition studied by the paper.)
+
+This object is *not* memory-anonymous — segment ``k`` is a globally agreed
+name — which is exactly why it may only appear in :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.memory.register import AtomicRegister, LockedRegister
+from repro.types import RegisterValue, require
+
+
+class SnapshotObject:
+    """A single-writer atomic snapshot over ``n`` named segments.
+
+    Parameters
+    ----------
+    segments:
+        Number of single-writer segments.
+    initial:
+        Initial value of every segment.
+    locked:
+        Guard each segment with a lock (real-thread usage).
+    max_collects:
+        Safety valve: a scan that needs more than this many collects raises
+        rather than spinning forever.  Under obstruction (scanner running
+        solo) two collects always suffice; the default is generous enough
+        for the bounded tests and examples.
+    """
+
+    def __init__(
+        self,
+        segments: int,
+        initial: RegisterValue = 0,
+        locked: bool = False,
+        max_collects: int = 100_000,
+    ):
+        require(
+            isinstance(segments, int) and segments >= 1,
+            f"snapshot needs a positive segment count, got {segments!r}",
+            ConfigurationError,
+        )
+        cell_cls = LockedRegister if locked else AtomicRegister
+        # Each segment stores (sequence_number, value); the sequence number
+        # disambiguates ABA during double collect.
+        self._segments: List[AtomicRegister] = [
+            cell_cls((0, initial), name=f"S{k}") for k in range(segments)
+        ]
+        self._max_collects = max_collects
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def update(self, segment: int, value: RegisterValue) -> None:
+        """Write ``value`` into ``segment`` (single writer per segment)."""
+        seq, _ = self._segments[segment].read()
+        self._segments[segment].write((seq + 1, value))
+
+    def _collect(self) -> Tuple[Tuple[int, RegisterValue], ...]:
+        return tuple(seg.read() for seg in self._segments)
+
+    def scan(self) -> Tuple[RegisterValue, ...]:
+        """Return an atomic snapshot of all segment values.
+
+        Uses double collect; raises
+        :class:`repro.errors.ConfigurationError` if ``max_collects`` is
+        exceeded (only possible under unbounded contention, which the
+        obstruction-free progress condition does not cover).
+        """
+        previous = self._collect()
+        for _ in range(self._max_collects):
+            current = self._collect()
+            if current == previous:
+                return tuple(value for _, value in current)
+            previous = current
+        raise ConfigurationError(
+            f"snapshot scan did not stabilise within {self._max_collects} "
+            "collects; contention exceeds the obstruction-free envelope"
+        )
+
+    def peek(self) -> Tuple[RegisterValue, ...]:
+        """Observe all segment values without model accesses (for tests)."""
+        return tuple(seg.peek()[1] for seg in self._segments)

@@ -1,0 +1,305 @@
+"""Adversary strategies: who takes the next step.
+
+The paper's correctness claims quantify over *all* schedules, and its
+lower-bound proofs are constructive schedules.  This module provides both
+kinds of adversary:
+
+* coverage adversaries for testing possibility results —
+  :class:`RandomAdversary`, :class:`RoundRobinAdversary`,
+  :class:`AlternatingBurstAdversary`;
+* proof adversaries that mechanise the paper's arguments —
+  :class:`LockstepAdversary` (Theorem 3.4: "we run the l processes in lock
+  steps"), :class:`SoloAdversary` and :class:`StagedObstructionAdversary`
+  (the obstruction-freedom scenario: "runs alone for sufficiently long"),
+  :class:`FixedScheduleAdversary` (replay of explicitly constructed runs,
+  used by the Section 6 covering constructions), and
+  :class:`CrashAdversary` (crash faults at chosen points).
+
+An adversary's :meth:`Adversary.choose` receives the scheduler itself —
+the model's adversary is "very powerful" (§2) and may inspect everything,
+including pending operations and register contents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import SchedulingError
+from repro.types import ProcessId
+
+
+class Adversary:
+    """Base class.  Subclasses override :meth:`choose`."""
+
+    def choose(self, scheduler) -> Optional[ProcessId]:
+        """Pick the next process to step, or ``None`` to stop the run.
+
+        Must return a pid from ``scheduler.enabled_pids()`` (or ``None``).
+        """
+        raise NotImplementedError
+
+    def observe(self, event, scheduler) -> None:
+        """Hook called after every executed event (default: ignore)."""
+
+    def reset(self) -> None:
+        """Forget accumulated state so the adversary can drive a new run."""
+
+    def describe(self) -> str:
+        """One-line description for experiment reports."""
+        return type(self).__name__
+
+
+class RoundRobinAdversary(Adversary):
+    """Cycle through the enabled processes in a fixed order.
+
+    With all processes enabled this is a perfectly fair, perfectly regular
+    schedule; halted/crashed processes are skipped.
+    """
+
+    def __init__(self, order: Optional[Sequence[ProcessId]] = None):
+        self._order = list(order) if order is not None else None
+        self._cursor = 0
+
+    def choose(self, scheduler) -> Optional[ProcessId]:
+        order = self._order if self._order is not None else list(scheduler.pids)
+        for _ in range(len(order)):
+            pid = order[self._cursor % len(order)]
+            self._cursor += 1
+            if pid in scheduler.enabled_pids():
+                return pid
+        return None
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class LockstepAdversary(RoundRobinAdversary):
+    """Strict lockstep over a fixed process set — the Theorem 3.4 schedule.
+
+    "We run the l processes in lock steps.  We first let each one of them
+    take one step (in some order), and then let each one of them takes
+    another step, and so on."  Unlike plain round-robin, a lockstep
+    adversary *stops the run* the moment any of its processes becomes
+    unable to step (halted or crashed): the symmetry argument is over.
+    """
+
+    def __init__(self, pids: Sequence[ProcessId]):
+        super().__init__(order=list(pids))
+        self._pids = list(pids)
+
+    def choose(self, scheduler) -> Optional[ProcessId]:
+        enabled = scheduler.enabled_pids()
+        if any(pid not in enabled for pid in self._pids):
+            return None
+        return super().choose(scheduler)
+
+    def describe(self) -> str:
+        return f"LockstepAdversary(pids={self._pids})"
+
+
+class RandomAdversary(Adversary):
+    """Uniformly random choice among enabled processes, seeded."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, scheduler) -> Optional[ProcessId]:
+        enabled = scheduler.enabled_pids()
+        if not enabled:
+            return None
+        return self._rng.choice(list(enabled))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def describe(self) -> str:
+        return f"RandomAdversary(seed={self.seed})"
+
+
+class AlternatingBurstAdversary(Adversary):
+    """Let each chosen process run a random-length burst before switching.
+
+    Bursty schedules hit different interleavings than per-step uniform
+    choices (long solo stretches followed by preemption at awkward
+    points); they are part of the coverage mix in the test suite.
+    """
+
+    def __init__(self, seed: int = 0, max_burst: int = 8):
+        self.seed = seed
+        self.max_burst = max_burst
+        self._rng = random.Random(seed)
+        self._current: Optional[ProcessId] = None
+        self._remaining = 0
+
+    def choose(self, scheduler) -> Optional[ProcessId]:
+        enabled = scheduler.enabled_pids()
+        if not enabled:
+            return None
+        if self._current not in enabled or self._remaining <= 0:
+            self._current = self._rng.choice(list(enabled))
+            self._remaining = self._rng.randint(1, self.max_burst)
+        self._remaining -= 1
+        return self._current
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._current = None
+        self._remaining = 0
+
+    def describe(self) -> str:
+        return f"AlternatingBurstAdversary(seed={self.seed}, max_burst={self.max_burst})"
+
+
+class FixedScheduleAdversary(Adversary):
+    """Replay an explicit schedule, then stop.
+
+    The Section 6 impossibility proofs build runs event by event; this
+    adversary is how those constructions are executed.  It is an error if
+    a scheduled process cannot step when its turn arrives — the
+    construction itself is then wrong, and the experiment must fail
+    loudly.
+    """
+
+    def __init__(self, schedule: Iterable[ProcessId]):
+        self._schedule: List[ProcessId] = list(schedule)
+        self._cursor = 0
+
+    def choose(self, scheduler) -> Optional[ProcessId]:
+        if self._cursor >= len(self._schedule):
+            return None
+        pid = self._schedule[self._cursor]
+        self._cursor += 1
+        if pid not in scheduler.enabled_pids():
+            raise SchedulingError(
+                f"fixed schedule requires process {pid} to step at position "
+                f"{self._cursor - 1}, but it is not enabled"
+            )
+        return pid
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def describe(self) -> str:
+        return f"FixedScheduleAdversary(len={len(self._schedule)})"
+
+
+class SoloAdversary(Adversary):
+    """Run a single process and nobody else — pure obstruction-freedom.
+
+    Stops when the process halts (or crashes).
+    """
+
+    def __init__(self, pid: ProcessId):
+        self.pid = pid
+
+    def choose(self, scheduler) -> Optional[ProcessId]:
+        if self.pid in scheduler.enabled_pids():
+            return self.pid
+        return None
+
+    def describe(self) -> str:
+        return f"SoloAdversary(pid={self.pid})"
+
+
+class StagedObstructionAdversary(Adversary):
+    """Contended prefix, then each process finishes solo in turn.
+
+    Obstruction-free algorithms guarantee progress only for a process that
+    eventually "runs alone for sufficiently long".  This adversary first
+    generates ``prefix_steps`` of contention with ``prefix`` (default: a
+    seeded random adversary), then picks the first unfinished process and
+    runs it solo until it halts, then the next, and so on — producing a
+    run where *every* correct process decides, while still exercising the
+    algorithm's contention paths.
+
+    This is the reproduction's stand-in for the paper's progress scenario
+    and the workhorse of the consensus/renaming experiments.
+    """
+
+    def __init__(
+        self,
+        prefix_steps: int = 50,
+        prefix: Optional[Adversary] = None,
+        solo_order: Optional[Sequence[ProcessId]] = None,
+        seed: int = 0,
+    ):
+        self.prefix_steps = prefix_steps
+        self.prefix = prefix if prefix is not None else RandomAdversary(seed)
+        self.solo_order = list(solo_order) if solo_order is not None else None
+
+    def choose(self, scheduler) -> Optional[ProcessId]:
+        enabled = scheduler.enabled_pids()
+        if not enabled:
+            return None
+        if scheduler.steps_so_far < self.prefix_steps:
+            pid = self.prefix.choose(scheduler)
+            if pid is not None:
+                return pid
+            # Prefix adversary gave up early; fall through to solo phase.
+        order = self.solo_order if self.solo_order is not None else list(scheduler.pids)
+        for pid in order:
+            if pid in enabled:
+                return pid
+        return None
+
+    def reset(self) -> None:
+        self.prefix.reset()
+
+    def describe(self) -> str:
+        return (
+            f"StagedObstructionAdversary(prefix_steps={self.prefix_steps}, "
+            f"prefix={self.prefix.describe()})"
+        )
+
+
+class CrashAdversary(Adversary):
+    """Wrap another adversary and crash chosen processes at chosen times.
+
+    ``crash_plan`` maps pid -> global step count at which that process is
+    crashed (it takes no step at or after that point).  Crash faults are
+    the paper's failure model (§2): a crashed process "permanently
+    refrains from writing the shared registers".
+    """
+
+    def __init__(self, inner: Adversary, crash_plan: Dict[ProcessId, int]):
+        self.inner = inner
+        self.crash_plan = dict(crash_plan)
+        self._crashed: set = set()
+
+    def choose(self, scheduler) -> Optional[ProcessId]:
+        for pid, when in self.crash_plan.items():
+            if pid not in self._crashed and scheduler.steps_so_far >= when:
+                rt = scheduler.runtime(pid)
+                if not rt.halted and not rt.crashed:
+                    scheduler.crash(pid)
+                self._crashed.add(pid)
+        if not scheduler.enabled_pids():
+            return None
+        return self.inner.choose(scheduler)
+
+    def observe(self, event, scheduler) -> None:
+        self.inner.observe(event, scheduler)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._crashed = set()
+
+    def describe(self) -> str:
+        return f"CrashAdversary(plan={self.crash_plan}, inner={self.inner.describe()})"
+
+
+def standard_adversaries(seeds: Iterable[int] = range(5), prefix_steps: int = 60):
+    """A representative battery of adversaries for test sweeps.
+
+    Mixes fair round-robin, seeded random, bursty, and staged-obstruction
+    schedules — the combination the test suite and experiments run every
+    algorithm under.
+    """
+    battery: List[Adversary] = [RoundRobinAdversary()]
+    for seed in seeds:
+        battery.append(RandomAdversary(seed))
+        battery.append(AlternatingBurstAdversary(seed=seed))
+        battery.append(StagedObstructionAdversary(prefix_steps=prefix_steps, seed=seed))
+    return battery

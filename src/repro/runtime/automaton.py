@@ -1,0 +1,196 @@
+"""The process model: explicit-state I/O automata.
+
+The paper formalises a global state as "the values of the (local and
+shared) registers and the values of the location counters of all the
+processes" (§6.1).  We take that formalisation literally: a process is a
+:class:`ProcessAutomaton` whose local state is an immutable dataclass with
+an explicit ``pc`` (location counter), and whose behaviour is split into
+
+* :meth:`ProcessAutomaton.next_op` — the *pending operation* determined by
+  the current local state, and
+* :meth:`ProcessAutomaton.apply` — the transition taken when that
+  operation is performed and (for reads) its result observed.
+
+This shape buys three things the reproduction needs:
+
+1. **Covering is checkable.**  §6.1: "process p covers a register in run x
+   if x can be extended by an event in which p writes to some register" —
+   with pending operations explicit, coverage is simply
+   ``is_write(automaton.next_op(state))``.
+2. **Global states are hashable**, so the bounded model checker
+   (:mod:`repro.runtime.exploration`) can deduplicate soundly.
+3. **Line-level fidelity.**  Each algorithm's ``pc`` values are annotated
+   with the paper's figure line numbers, making the implementation
+   auditable against the published pseudocode.
+
+An automaton *halts* by reaching a state where :meth:`is_halted` is true;
+its :meth:`output` is then the process's decision / acquired name / final
+report.  Mutual exclusion automata, which loop forever in the paper,
+take a ``cs_visits`` bound and halt after that many critical-section
+passes (participation is not required in the model, so a process retiring
+to its remainder section forever is legal behaviour).
+
+An :class:`Algorithm` bundles the shared-memory requirements (register
+count, initial value) with a factory of per-process automata — everything
+:class:`repro.runtime.system.System` needs to assemble a run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Optional
+
+from repro.errors import ProtocolError
+from repro.runtime.ops import Operation
+from repro.types import ProcessId, RegisterValue
+
+#: Local states are frozen dataclasses (hashable, immutable).
+LocalState = Hashable
+
+
+class ProcessAutomaton(ABC):
+    """One process's program, as an explicit state machine.
+
+    Subclasses implement the four abstract methods; all are pure functions
+    of the passed-in state (no hidden mutability), which is what lets the
+    scheduler, model checker and lower-bound constructions rewind and
+    replay processes freely.
+    """
+
+    #: The process's identifier (positive int, compared only for equality
+    #: by symmetric algorithms).
+    pid: ProcessId
+
+    @abstractmethod
+    def initial_state(self) -> LocalState:
+        """The local state before the process has taken any step."""
+
+    @abstractmethod
+    def next_op(self, state: LocalState) -> Operation:
+        """The pending operation in ``state`` (undefined once halted)."""
+
+    @abstractmethod
+    def apply(self, state: LocalState, op: Operation, result: Any) -> LocalState:
+        """The successor state after performing ``op`` with ``result``.
+
+        ``result`` is the value read for a :class:`~repro.runtime.ops.ReadOp`
+        and ``None`` for every other operation.
+        """
+
+    @abstractmethod
+    def is_halted(self, state: LocalState) -> bool:
+        """True when the process has terminated (left the algorithm)."""
+
+    def output(self, state: LocalState) -> Any:
+        """The process's output in a halted state (``None`` by default)."""
+        return None
+
+    # -- conveniences -----------------------------------------------------
+
+    def require_running(self, state: LocalState) -> None:
+        """Guard: raise :class:`ProtocolError` if stepped after halting."""
+        if self.is_halted(state):
+            raise ProtocolError(
+                f"process {self.pid} stepped after halting (state={state!r})"
+            )
+
+    def run_solo(self, view, max_steps: int = 1_000_000):
+        """Run this automaton alone against ``view`` until it halts.
+
+        A convenience used by tests and by obstruction-freedom experiments
+        ("a process that runs alone, for sufficiently long time, must
+        eventually decide").  Returns ``(final_state, steps_taken)``.
+
+        Raises :class:`ProtocolError` if the automaton does not halt
+        within ``max_steps`` — callers exercising obstruction-free
+        algorithms should treat that as a termination failure.
+        """
+        from repro.runtime.ops import ReadOp, WriteOp
+
+        state = self.initial_state()
+        for step in range(max_steps):
+            if self.is_halted(state):
+                return state, step
+            op = self.next_op(state)
+            if isinstance(op, ReadOp):
+                result = view.read(op.index)
+            elif isinstance(op, WriteOp):
+                view.write(op.index, op.value)
+                result = None
+            else:
+                result = None
+            state = self.apply(state, op, result)
+        if self.is_halted(state):
+            return state, max_steps
+        raise ProtocolError(
+            f"process {self.pid} did not halt within {max_steps} solo steps"
+        )
+
+
+class Algorithm(ABC):
+    """A distributed algorithm: shared-memory shape + per-process programs.
+
+    Attributes
+    ----------
+    name:
+        Short human-readable name used in experiment reports.
+    """
+
+    name: str = "algorithm"
+
+    @abstractmethod
+    def register_count(self) -> int:
+        """How many shared registers the algorithm uses (the paper's m)."""
+
+    def initial_value(self) -> RegisterValue:
+        """The registers' initial known state (0 unless overridden)."""
+        return 0
+
+    @abstractmethod
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> ProcessAutomaton:
+        """Build the automaton process ``pid`` runs, with its input value.
+
+        For input-free problems (mutual exclusion) ``input`` is ignored or
+        carries per-process tuning (e.g. number of critical-section
+        visits).
+        """
+
+    def is_anonymous(self) -> bool:
+        """Whether the algorithm tolerates arbitrary register namings.
+
+        Memory-anonymous algorithms (the paper's contribution) return
+        True; the named-model baselines return False, and the test
+        harness only ever runs them under
+        :class:`~repro.memory.naming.IdentityNaming`.
+        """
+        return True
+
+
+class HaltedOutput:
+    """Sentinel wrapper distinguishing "no output yet" from output None."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HaltedOutput({self.value!r})"
+
+
+def pending_write_target(automaton: ProcessAutomaton, state: LocalState, view) -> Optional[int]:
+    """The *physical* register a process is about to write, if any.
+
+    This is §6.1's "covers" relation made executable: returns the physical
+    index of the register covered by the process in ``state``, or ``None``
+    when the pending operation is not a write.  ``view`` supplies the
+    process's private-to-physical translation.
+    """
+    from repro.runtime.ops import WriteOp
+
+    if automaton.is_halted(state):
+        return None
+    op = automaton.next_op(state)
+    if isinstance(op, WriteOp):
+        return view.physical_index_of(op.index)
+    return None

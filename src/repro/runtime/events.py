@@ -1,0 +1,248 @@
+"""Events and traces — the library's representation of the paper's *runs*.
+
+Section 6.1 defines a run as "a sequence of alternating states and events
+... it is more convenient to define a run as a sequence of events omitting
+all the states except the initial state".  A :class:`Trace` is exactly
+that: the initial configuration plus the event sequence, with the derived
+information (critical-section intervals, decisions, per-process histories)
+exposed as queries for the spec checkers and experiment reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.ops import (
+    EnterCritOp,
+    ExitCritOp,
+    Operation,
+    ReadOp,
+    WriteOp,
+)
+from repro.types import PhysicalIndex, ProcessId, RegisterValue
+
+
+@dataclass(frozen=True)
+class Event:
+    """One atomic step of a run.
+
+    Attributes
+    ----------
+    seq:
+        Position in the run (0-based).
+    pid:
+        The process that took the step.
+    op:
+        The operation performed, with register indices in the process's
+        *private* numbering (as the process itself saw the step).
+    physical_index:
+        The physical register touched, for reads and writes — the
+        outside-the-model view that spec checkers and covering arguments
+        need.  ``None`` for non-memory operations.
+    result:
+        The value read (for reads); ``None`` otherwise.
+    phase:
+        For protocols that expose section information (mutual exclusion
+        automata): which §3.1 section — ``"remainder"``, ``"entry"``,
+        ``"critical"`` or ``"exit"`` — the process was in when it took
+        this step.  ``None`` for protocols without phases.
+    """
+
+    seq: int
+    pid: ProcessId
+    op: Operation
+    physical_index: Optional[PhysicalIndex] = None
+    result: Any = None
+    phase: Optional[str] = None
+
+    def is_write(self) -> bool:
+        """True when this event wrote shared memory."""
+        return isinstance(self.op, WriteOp)
+
+    def is_read(self) -> bool:
+        """True when this event read shared memory."""
+        return isinstance(self.op, ReadOp)
+
+    def __str__(self) -> str:
+        loc = "" if self.physical_index is None else f" @R{self.physical_index}"
+        res = "" if self.result is None else f" -> {self.result}"
+        return f"[{self.seq}] p{self.pid}: {self.op}{loc}{res}"
+
+
+@dataclass(frozen=True)
+class CriticalSectionInterval:
+    """A maximal in-critical-section interval of one process.
+
+    ``enter_seq`` is the sequence number of the
+    :class:`~repro.runtime.ops.EnterCritOp` event; ``exit_seq`` that of the
+    matching :class:`~repro.runtime.ops.ExitCritOp`, or ``None`` when the
+    run ends with the process still inside.  The process is considered
+    *in* the critical section for every event index in
+    ``[enter_seq, exit_seq]`` (boundary steps included — entering and
+    exiting are themselves steps taken inside the protected region).
+    """
+
+    pid: ProcessId
+    enter_seq: int
+    exit_seq: Optional[int]
+
+    def overlaps(self, other: "CriticalSectionInterval", horizon: int) -> bool:
+        """Whether two intervals intersect within a run of ``horizon`` events."""
+        self_end = self.exit_seq if self.exit_seq is not None else horizon
+        other_end = other.exit_seq if other.exit_seq is not None else horizon
+        return self.enter_seq <= other_end and other.enter_seq <= self_end
+
+
+@dataclass
+class Trace:
+    """A recorded run: initial configuration + event sequence + outcomes.
+
+    Instances are built incrementally by the scheduler; the query methods
+    below are what the :mod:`repro.spec` checkers consume.
+    """
+
+    pids: Tuple[ProcessId, ...]
+    register_count: int
+    initial_values: Tuple[RegisterValue, ...]
+    naming_description: str = "IdentityNaming"
+    events: List[Event] = field(default_factory=list)
+    #: Output of each process that halted, keyed by pid.
+    outputs: Dict[ProcessId, Any] = field(default_factory=dict)
+    #: Event index at which each process halted.
+    halt_seq: Dict[ProcessId, int] = field(default_factory=dict)
+    #: Processes crashed by the adversary, with the crash position.
+    crash_seq: Dict[ProcessId, int] = field(default_factory=dict)
+    #: Final register values (physical order) when the run stopped.
+    final_values: Tuple[RegisterValue, ...] = ()
+    #: Why the run stopped: "all-halted", "max-steps", "adversary-stop".
+    stop_reason: str = ""
+
+    # -- construction (scheduler-facing) ----------------------------------
+
+    def append(self, event: Event) -> None:
+        """Record the next event of the run."""
+        self.events.append(event)
+
+    def record_halt(self, pid: ProcessId, output: Any) -> None:
+        """Record that ``pid`` halted with ``output`` after the last event."""
+        self.halt_seq[pid] = len(self.events) - 1
+        self.outputs[pid] = output
+
+    def record_crash(self, pid: ProcessId) -> None:
+        """Record that the adversary crashed ``pid`` after the last event."""
+        self.crash_seq[pid] = len(self.events) - 1
+
+    # -- queries (checker-facing) ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_by(self, pid: ProcessId) -> List[Event]:
+        """The subsequence of events taken by ``pid``.
+
+        This is the process's view of the run — two runs are
+        *indistinguishable* to ``pid`` (§6.1) when these subsequences (and
+        initial/current register values) coincide.
+        """
+        return [e for e in self.events if e.pid == pid]
+
+    def writes_by(self, pid: ProcessId) -> List[Event]:
+        """All write events by ``pid`` (the proofs' ``write(y, q)`` sets
+        are derived from this)."""
+        return [e for e in self.events if e.pid == pid and e.is_write()]
+
+    def registers_written_by(self, pid: ProcessId) -> Tuple[PhysicalIndex, ...]:
+        """The set of distinct *physical* registers ``pid`` wrote, in first-write
+        order — the proofs' ``write(y, q)``."""
+        seen: List[PhysicalIndex] = []
+        for event in self.writes_by(pid):
+            if event.physical_index not in seen:
+                seen.append(event.physical_index)
+        return tuple(seen)
+
+    def critical_section_intervals(self) -> List[CriticalSectionInterval]:
+        """All critical-section intervals, across all processes, in order."""
+        intervals: List[CriticalSectionInterval] = []
+        open_enter: Dict[ProcessId, int] = {}
+        for event in self.events:
+            if isinstance(event.op, EnterCritOp):
+                open_enter[event.pid] = event.seq
+            elif isinstance(event.op, ExitCritOp):
+                enter = open_enter.pop(event.pid, None)
+                if enter is not None:
+                    intervals.append(
+                        CriticalSectionInterval(event.pid, enter, event.seq)
+                    )
+        for pid, enter in open_enter.items():
+            intervals.append(CriticalSectionInterval(pid, enter, None))
+        intervals.sort(key=lambda iv: iv.enter_seq)
+        return intervals
+
+    def critical_section_entries(self, pid: Optional[ProcessId] = None) -> int:
+        """Number of critical-section entries (optionally for one process)."""
+        return sum(
+            1
+            for e in self.events
+            if isinstance(e.op, EnterCritOp) and (pid is None or e.pid == pid)
+        )
+
+    def decided(self) -> Dict[ProcessId, Any]:
+        """Outputs of all processes that halted with a non-None output."""
+        return {pid: out for pid, out in self.outputs.items() if out is not None}
+
+    def steps_taken(self, pid: ProcessId) -> int:
+        """How many events ``pid`` contributed to the run."""
+        return sum(1 for e in self.events if e.pid == pid)
+
+    def all_halted(self) -> bool:
+        """True when every (non-crashed) process halted."""
+        live = set(self.pids) - set(self.crash_seq)
+        return live <= set(self.halt_seq)
+
+    def occupancy_profile(self) -> List[Tuple[int, Tuple[ProcessId, ...]]]:
+        """For each event index, the set of processes inside the CS.
+
+        Returned sparsely: only the indices where the occupant set changes.
+        Useful for rendering mutual-exclusion violations in reports.
+        """
+        profile: List[Tuple[int, Tuple[ProcessId, ...]]] = []
+        inside: List[ProcessId] = []
+        for event in self.events:
+            changed = False
+            if isinstance(event.op, EnterCritOp):
+                inside.append(event.pid)
+                changed = True
+            elif isinstance(event.op, ExitCritOp) and event.pid in inside:
+                inside.remove(event.pid)
+                changed = True
+            if changed:
+                profile.append((event.seq, tuple(inside)))
+        return profile
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the run (for reports and debugging)."""
+        lines = [
+            f"run: {len(self.events)} events, processes {list(self.pids)}, "
+            f"{self.register_count} registers, naming {self.naming_description}",
+        ]
+        shown = self.events if limit is None else self.events[:limit]
+        lines.extend(str(e) for e in shown)
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        if self.outputs:
+            lines.append(f"outputs: {self.outputs}")
+        if self.stop_reason:
+            lines.append(f"stopped: {self.stop_reason}")
+        return "\n".join(lines)
+
+
+def subsequence_equal(trace_a: Trace, trace_b: Trace, pid: ProcessId) -> bool:
+    """Whether ``pid`` took the same steps (ops and results) in both runs.
+
+    The per-process half of §6.1's indistinguishability relation; the
+    shared-memory half is compared by the caller on final register values.
+    """
+    ops_a = [(e.op, e.result) for e in trace_a.events_by(pid)]
+    ops_b = [(e.op, e.result) for e in trace_b.events_by(pid)]
+    return ops_a == ops_b

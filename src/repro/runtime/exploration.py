@@ -1,0 +1,236 @@
+"""Bounded exhaustive exploration — a small explicit-state model checker.
+
+Randomised adversaries sample the schedule space; for the safety theorems
+(mutual exclusion, agreement, uniqueness) we can do better on small
+instances: enumerate **every** reachable global state.  Because automata
+keep their local state in immutable dataclasses, a global state is
+hashable (§6.1's "values of the registers and the location counters"),
+so a depth-first search with state deduplication is sound and, when it
+reaches a fixpoint within its budgets, *complete*: the checked invariant
+then provably holds on every schedule of that instance.
+
+This is how the reproduction turns Theorem 3.2 ("the algorithm satisfies
+mutual exclusion") from a sampled claim into an exhaustively verified one
+for concrete (n, m, naming) instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ExplorationLimitExceeded
+from repro.runtime.system import System
+from repro.types import ProcessId
+
+#: An invariant receives the system in the current (restored) global state
+#: and returns ``None`` if the state is fine, or a human-readable
+#: description of the violation.
+Invariant = Callable[[System], Optional[str]]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a bounded exhaustive exploration."""
+
+    #: True when the reachable state space was fully explored within the
+    #: budgets — the invariant then holds on *all* schedules.
+    complete: bool
+    #: Number of distinct global states visited.
+    states_explored: int
+    #: Total scheduler events executed (includes re-exploration work).
+    events_executed: int
+    #: Deepest schedule prefix reached.
+    max_depth_reached: int
+    #: Description of the first invariant violation found, if any.
+    violation: Optional[str] = None
+    #: The schedule (sequence of pids) reproducing the violation.
+    violation_schedule: Optional[Tuple[ProcessId, ...]] = None
+    #: Terminal states (no process enabled) where not all processes halted.
+    stuck_states: int = 0
+    #: Budget that stopped the search early, when not complete.
+    truncated_by: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation was found."""
+        return self.violation is None
+
+    def summary(self) -> str:
+        """One-line report for experiment tables."""
+        status = "VIOLATION" if self.violation else (
+            "exhaustive-ok" if self.complete else "bounded-ok"
+        )
+        return (
+            f"{status}: {self.states_explored} states, "
+            f"{self.events_executed} events, depth<={self.max_depth_reached}"
+        )
+
+
+def explore(
+    system: System,
+    invariant: Invariant,
+    max_states: int = 500_000,
+    max_depth: int = 10_000,
+    raise_on_truncation: bool = False,
+) -> ExplorationResult:
+    """Exhaustively explore ``system``'s reachable states, checking
+    ``invariant`` in each.
+
+    The system must have been built with ``record_trace=False`` (tracing
+    millions of replayed events would defeat the purpose); its current
+    state is taken as the initial state.  The search is depth-first with
+    global-state deduplication.
+
+    Parameters
+    ----------
+    system:
+        The configured :class:`~repro.runtime.system.System` to explore.
+    invariant:
+        Checked in every reachable state; first violation stops the search
+        and is reported with a reproducing schedule.
+    max_states / max_depth:
+        Search budgets.  If either is hit the result has
+        ``complete=False`` (and ``raise_on_truncation`` optionally turns
+        that into :class:`~repro.errors.ExplorationLimitExceeded`).
+    """
+    scheduler = system.scheduler
+    if scheduler.record_trace:
+        # Tolerate it, but stop accumulating events from here on.
+        scheduler.record_trace = False
+
+    initial = scheduler.capture_state()
+    visited = {initial}
+    # Each frame: (captured state, depth, parent link).  The link is a
+    # structure-sharing chain (parent_link, pid) so path reconstruction
+    # costs O(depth) only when a violation is actually found — storing a
+    # schedule tuple per frame would cost O(depth^2) memory overall.
+    stack: List[Tuple[object, int, Optional[tuple]]] = [(initial, 0, None)]
+    result = ExplorationResult(
+        complete=True, states_explored=0, events_executed=0, max_depth_reached=0
+    )
+
+    def unwind(link: Optional[tuple]) -> Tuple[ProcessId, ...]:
+        path: List[ProcessId] = []
+        while link is not None:
+            link, pid = link
+            path.append(pid)
+        return tuple(reversed(path))
+
+    while stack:
+        state, depth, link = stack.pop()
+        scheduler.restore_state(state)
+        result.states_explored += 1
+        result.max_depth_reached = max(result.max_depth_reached, depth)
+
+        violation = invariant(system)
+        if violation is not None:
+            result.violation = violation
+            result.violation_schedule = unwind(link)
+            result.complete = False
+            return result
+
+        enabled = scheduler.enabled_pids()
+        if not enabled:
+            if not all(
+                scheduler.runtime(pid).halted or scheduler.runtime(pid).crashed
+                for pid in scheduler.pids
+            ):
+                result.stuck_states += 1
+            continue
+
+        if depth >= max_depth:
+            result.complete = False
+            result.truncated_by = "max_depth"
+            continue
+
+        for pid in enabled:
+            scheduler.restore_state(state)
+            scheduler.step(pid)
+            result.events_executed += 1
+            successor = scheduler.capture_state()
+            if successor in visited:
+                continue
+            if len(visited) >= max_states:
+                result.complete = False
+                result.truncated_by = "max_states"
+                continue
+            visited.add(successor)
+            stack.append((successor, depth + 1, (link, pid)))
+
+    if raise_on_truncation and not result.complete and result.violation is None:
+        raise ExplorationLimitExceeded(
+            f"exploration truncated by {result.truncated_by}; "
+            f"{result.states_explored} states visited"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Stock invariants
+# ---------------------------------------------------------------------------
+
+
+def mutual_exclusion_invariant(system: System) -> Optional[str]:
+    """At most one process inside its critical section.
+
+    Requires the automata to expose ``in_critical_section(state)`` (all
+    mutex automata in this library do, via
+    :class:`repro.core.mutex.MutexAutomatonMixin`).
+    """
+    inside = [
+        pid
+        for pid, rt in sorted(system.scheduler._runtimes.items())
+        if not rt.halted and rt.automaton.in_critical_section(rt.state)
+    ]
+    if len(inside) > 1:
+        return f"processes {inside} are in the critical section simultaneously"
+    return None
+
+
+def agreement_invariant(system: System) -> Optional[str]:
+    """All halted processes decided the same value."""
+    outputs = system.scheduler.outputs()
+    decided = {pid: out for pid, out in outputs.items() if out is not None}
+    if len(set(decided.values())) > 1:
+        return f"conflicting decisions: {decided}"
+    return None
+
+
+def validity_invariant(system: System) -> Optional[str]:
+    """Every decision equals some participant's input."""
+    legal = set(system.inputs.values())
+    outputs = system.scheduler.outputs()
+    for pid, out in outputs.items():
+        if out is not None and out not in legal:
+            return f"process {pid} decided {out!r}, not an input ({legal})"
+    return None
+
+
+def unique_names_invariant(system: System) -> Optional[str]:
+    """No two halted processes hold the same new name, and all names are
+    within ``{1..n}``."""
+    outputs = {
+        pid: out for pid, out in system.scheduler.outputs().items() if out is not None
+    }
+    names = list(outputs.values())
+    if len(set(names)) != len(names):
+        return f"duplicate names acquired: {outputs}"
+    n = len(system.inputs)
+    bad = {pid: name for pid, name in outputs.items() if not 1 <= name <= n}
+    if bad:
+        return f"names outside 1..{n}: {bad}"
+    return None
+
+
+def conjoin(*invariants: Invariant) -> Invariant:
+    """Combine invariants; reports the first violation among them."""
+
+    def combined(system: System) -> Optional[str]:
+        for inv in invariants:
+            message = inv(system)
+            if message is not None:
+                return message
+        return None
+
+    return combined

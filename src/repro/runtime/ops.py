@@ -1,0 +1,98 @@
+"""Atomic operations a process automaton can request.
+
+A run in the paper's formalism (§6.1) is a sequence of *events*, each an
+atomic step by one process.  The operation types here are the vocabulary
+of those steps:
+
+* :class:`ReadOp` / :class:`WriteOp` — the model's only communication
+  primitives, addressed by the process's *private* register number
+  (``p.i[j]``, 0-based);
+* :class:`EnterCritOp` / :class:`CritOp` / :class:`ExitCritOp` — critical
+  section bracketing for mutual exclusion protocols.  These are atomic
+  no-ops as far as memory is concerned; they exist so that being "in the
+  critical section" spans an interval of the run that the spec checkers
+  can observe, and so that two such intervals overlapping is a detectable
+  mutual-exclusion violation;
+* :class:`NoOp` — an internal step (used by wrappers and tests).
+
+Operations are frozen dataclasses: they are embedded in events, traces and
+hashed global states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.types import RegisterValue, ViewIndex
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """Atomically read register ``p.i[index]`` (private numbering)."""
+
+    index: ViewIndex
+
+    def __str__(self) -> str:
+        return f"read(p[{self.index}])"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """Atomically write ``value`` into register ``p.i[index]``."""
+
+    index: ViewIndex
+    value: RegisterValue
+
+    def __str__(self) -> str:
+        return f"write(p[{self.index}] := {self.value})"
+
+
+@dataclass(frozen=True)
+class EnterCritOp:
+    """Cross the boundary from entry code into the critical section."""
+
+    def __str__(self) -> str:
+        return "enter-CS"
+
+
+@dataclass(frozen=True)
+class CritOp:
+    """Spend one atomic step inside the critical section."""
+
+    def __str__(self) -> str:
+        return "in-CS"
+
+
+@dataclass(frozen=True)
+class ExitCritOp:
+    """Leave the critical section (the exit *code* runs after this)."""
+
+    def __str__(self) -> str:
+        return "exit-CS"
+
+
+@dataclass(frozen=True)
+class NoOp:
+    """An internal step that touches no shared state."""
+
+    def __str__(self) -> str:
+        return "no-op"
+
+
+#: Any operation a process automaton may emit.
+Operation = Union[ReadOp, WriteOp, EnterCritOp, CritOp, ExitCritOp, NoOp]
+
+
+def is_write(op: Operation) -> bool:
+    """True when ``op`` writes shared memory.
+
+    Used by the covering machinery of §6.1: a process *covers* a register
+    exactly when its pending operation is a write to it.
+    """
+    return isinstance(op, WriteOp)
+
+
+def is_read(op: Operation) -> bool:
+    """True when ``op`` reads shared memory."""
+    return isinstance(op, ReadOp)

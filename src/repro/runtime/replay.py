@@ -1,0 +1,215 @@
+"""Trace serialisation and replay.
+
+Runs are the library's central evidence objects — violations ship with
+the trace that exhibits them, experiments archive the runs behind their
+tables.  This module round-trips traces through JSON:
+
+* :func:`trace_to_dict` / :func:`trace_from_dict` — structural
+  conversion, including operations and the record values of Figures 2/3;
+* :func:`save_trace` / :func:`load_trace` — file convenience;
+* :func:`schedule_of` + :func:`replay` — re-execute a trace's schedule
+  on a freshly built system and verify the runs match event for event
+  (the scheduler is deterministic given the schedule, so any divergence
+  means the system was configured differently — replay doubles as a
+  configuration check).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.memory.records import ConsensusRecord, RenamingRecord
+from repro.runtime.adversary import FixedScheduleAdversary
+from repro.runtime.events import Event, Trace
+from repro.runtime.ops import (
+    CritOp,
+    EnterCritOp,
+    ExitCritOp,
+    NoOp,
+    Operation,
+    ReadOp,
+    WriteOp,
+)
+from repro.runtime.system import System
+from repro.types import ProcessId
+
+
+def _value_to_json(value: Any) -> Any:
+    """Encode a register value (plain, or a Figure 2/3 record)."""
+    if isinstance(value, ConsensusRecord):
+        return {"__record__": "consensus", "id": value.id, "val": value.val}
+    if isinstance(value, RenamingRecord):
+        return {
+            "__record__": "renaming",
+            "id": value.id,
+            "val": value.val,
+            "round": value.round,
+            "history": sorted(value.history),
+        }
+    return value
+
+
+def _value_from_json(value: Any) -> Any:
+    """Inverse of :func:`_value_to_json`."""
+    if isinstance(value, dict) and "__record__" in value:
+        if value["__record__"] == "consensus":
+            return ConsensusRecord(value["id"], value["val"])
+        if value["__record__"] == "renaming":
+            return RenamingRecord(
+                value["id"],
+                value["val"],
+                value["round"],
+                frozenset(tuple(pair) for pair in value["history"]),
+            )
+        raise ConfigurationError(f"unknown record kind {value['__record__']!r}")
+    return value
+
+
+_OP_NAMES = {
+    ReadOp: "read",
+    WriteOp: "write",
+    EnterCritOp: "enter-cs",
+    CritOp: "crit",
+    ExitCritOp: "exit-cs",
+    NoOp: "no-op",
+}
+
+
+def _op_to_json(op: Operation) -> Dict[str, Any]:
+    data: Dict[str, Any] = {"kind": _OP_NAMES[type(op)]}
+    if isinstance(op, ReadOp):
+        data["index"] = op.index
+    elif isinstance(op, WriteOp):
+        data["index"] = op.index
+        data["value"] = _value_to_json(op.value)
+    return data
+
+
+def _op_from_json(data: Dict[str, Any]) -> Operation:
+    kind = data["kind"]
+    if kind == "read":
+        return ReadOp(data["index"])
+    if kind == "write":
+        return WriteOp(data["index"], _value_from_json(data["value"]))
+    if kind == "enter-cs":
+        return EnterCritOp()
+    if kind == "crit":
+        return CritOp()
+    if kind == "exit-cs":
+        return ExitCritOp()
+    if kind == "no-op":
+        return NoOp()
+    raise ConfigurationError(f"unknown operation kind {kind!r}")
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    """Convert a trace to a JSON-serialisable dictionary."""
+    return {
+        "pids": list(trace.pids),
+        "register_count": trace.register_count,
+        "initial_values": [_value_to_json(v) for v in trace.initial_values],
+        "naming": trace.naming_description,
+        "events": [
+            {
+                "seq": e.seq,
+                "pid": e.pid,
+                "op": _op_to_json(e.op),
+                "physical_index": e.physical_index,
+                "result": _value_to_json(e.result),
+                "phase": e.phase,
+            }
+            for e in trace.events
+        ],
+        "outputs": {str(pid): _value_to_json(v) for pid, v in trace.outputs.items()},
+        "halt_seq": {str(pid): seq for pid, seq in trace.halt_seq.items()},
+        "crash_seq": {str(pid): seq for pid, seq in trace.crash_seq.items()},
+        "final_values": [_value_to_json(v) for v in trace.final_values],
+        "stop_reason": trace.stop_reason,
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> Trace:
+    """Inverse of :func:`trace_to_dict`."""
+    trace = Trace(
+        pids=tuple(data["pids"]),
+        register_count=data["register_count"],
+        initial_values=tuple(_value_from_json(v) for v in data["initial_values"]),
+        naming_description=data["naming"],
+    )
+    for entry in data["events"]:
+        trace.append(
+            Event(
+                seq=entry["seq"],
+                pid=entry["pid"],
+                op=_op_from_json(entry["op"]),
+                physical_index=entry["physical_index"],
+                result=_value_from_json(entry["result"]),
+                phase=entry.get("phase"),
+            )
+        )
+    trace.outputs = {
+        int(pid): _value_from_json(v) for pid, v in data["outputs"].items()
+    }
+    trace.halt_seq = {int(pid): seq for pid, seq in data["halt_seq"].items()}
+    trace.crash_seq = {int(pid): seq for pid, seq in data["crash_seq"].items()}
+    trace.final_values = tuple(
+        _value_from_json(v) for v in data["final_values"]
+    )
+    trace.stop_reason = data["stop_reason"]
+    return trace
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Write a trace to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(trace_to_dict(trace), handle, indent=1)
+
+
+def load_trace(path) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path) as handle:
+        return trace_from_dict(json.load(handle))
+
+
+def schedule_of(trace: Trace) -> List[ProcessId]:
+    """The schedule (pid sequence) that produced ``trace``."""
+    return [event.pid for event in trace.events]
+
+
+def replay(trace: Trace, system: System, strict: bool = True) -> Trace:
+    """Re-execute ``trace``'s schedule on a freshly built ``system``.
+
+    With ``strict=True`` (default) every replayed event must match the
+    original — same operation, same physical register, same result —
+    otherwise :class:`ConfigurationError` is raised pointing at the
+    first divergence.  A strict replay certifies that ``system`` is
+    configured identically (same algorithm parameters, naming, inputs)
+    to the one that produced the trace.
+    """
+    if set(system.pids) != set(trace.pids):
+        raise ConfigurationError(
+            f"replay system has processes {sorted(system.pids)}, trace has "
+            f"{sorted(trace.pids)}"
+        )
+    adversary = FixedScheduleAdversary(schedule_of(trace))
+    new_trace = system.run(adversary, max_steps=len(trace) + 1)
+    if strict:
+        for original, replayed in zip(trace.events, new_trace.events):
+            if (
+                original.op != replayed.op
+                or original.physical_index != replayed.physical_index
+                or original.result != replayed.result
+            ):
+                raise ConfigurationError(
+                    "replay diverged at event "
+                    f"{original.seq}:\n  original: {original}\n"
+                    f"  replayed: {replayed}"
+                )
+        if len(new_trace.events) != len(trace.events):
+            raise ConfigurationError(
+                f"replay produced {len(new_trace.events)} events, original "
+                f"had {len(trace.events)}"
+            )
+    return new_trace

@@ -1,0 +1,189 @@
+"""Real-thread backend: run automata under genuine OS preemption.
+
+The deterministic scheduler is the source of truth for correctness (it
+realises the model's adversary exactly), but the paper's algorithms are
+meant for real concurrent systems.  This backend runs each process
+automaton on its own :mod:`threading` thread against lock-guarded
+registers, so reads and writes stay atomic while the interleaving comes
+from the OS scheduler.
+
+Caveats (documented up front because the repro band calls them out):
+
+* CPython's GIL serialises bytecode execution, so thread interleavings are
+  far less adversarial than the deterministic scheduler's — this backend
+  is a realism demonstration, not a verification tool;
+* mutual-exclusion automata run here with finite ``cs_visits`` so the run
+  terminates;
+* obstruction-free algorithms may in principle livelock under unlucky
+  contention.  :class:`ThreadRunner` therefore takes a per-run timeout,
+  and :func:`run_threaded_with_backoff` adds the standard practical
+  remedy — randomised exponential backoff — which in practice always
+  lets the Figure 2/3 algorithms terminate (and is an interesting system
+  point in its own right: obstruction-freedom + backoff is the paper's
+  [15] deployment story).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.memory.naming import NamingAssignment
+from repro.runtime.automaton import Algorithm
+from repro.runtime.ops import ReadOp, WriteOp
+from repro.runtime.system import System
+from repro.types import ProcessId
+
+
+@dataclass
+class ThreadRunResult:
+    """Outcome of one threaded execution."""
+
+    #: Output per process that completed.
+    outputs: Dict[ProcessId, Any] = field(default_factory=dict)
+    #: Steps (atomic operations) each process performed.
+    steps: Dict[ProcessId, int] = field(default_factory=dict)
+    #: Processes that were still running when the timeout expired.
+    timed_out: tuple = ()
+    #: Exceptions raised inside process threads, keyed by pid.
+    errors: Dict[ProcessId, BaseException] = field(default_factory=dict)
+    #: Wall-clock duration of the run in seconds.
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every process completed without error or timeout."""
+        return not self.timed_out and not self.errors
+
+
+class ThreadRunner:
+    """Execute a :class:`~repro.runtime.system.System` on real threads.
+
+    The system must have been built with ``locked=True`` so register
+    accesses are indivisible under preemption.
+
+    Parameters
+    ----------
+    max_steps:
+        Per-process operation budget; exceeding it counts as a timeout
+        (protects the test suite from livelock).
+    backoff:
+        When set, a process sleeps ``random.uniform(0, backoff * 2**k)``
+        seconds after its k-th full pass without completing — contention
+        management that turns obstruction-freedom into practical
+        termination.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        max_steps: int = 2_000_000,
+        backoff: Optional[float] = None,
+        backoff_interval: int = 500,
+        seed: int = 0,
+    ):
+        self.system = system
+        self.max_steps = max_steps
+        self.backoff = backoff
+        self.backoff_interval = backoff_interval
+        self.seed = seed
+
+    def _worker(self, pid: ProcessId, result: ThreadRunResult, lock: threading.Lock):
+        automaton = self.system.automata[pid]
+        view = self.system.memory.view(pid)
+        rng = random.Random(f"{self.seed}/{pid}")
+        state = automaton.initial_state()
+        steps = 0
+        try:
+            while not automaton.is_halted(state):
+                if steps >= self.max_steps:
+                    raise ProtocolError(
+                        f"process {pid} exceeded {self.max_steps} steps"
+                    )
+                op = automaton.next_op(state)
+                if isinstance(op, ReadOp):
+                    op_result = view.read(op.index)
+                elif isinstance(op, WriteOp):
+                    view.write(op.index, op.value)
+                    op_result = None
+                else:
+                    op_result = None
+                state = automaton.apply(state, op, op_result)
+                steps += 1
+                if (
+                    self.backoff is not None
+                    and steps % self.backoff_interval == 0
+                ):
+                    exponent = min(steps // self.backoff_interval, 10)
+                    time.sleep(rng.uniform(0, self.backoff * (2**exponent)))
+            with lock:
+                result.outputs[pid] = automaton.output(state)
+                result.steps[pid] = steps
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with lock:
+                result.errors[pid] = exc
+                result.steps[pid] = steps
+
+    def run(self, timeout: float = 30.0) -> ThreadRunResult:
+        """Start all process threads, join with ``timeout``, report."""
+        result = ThreadRunResult()
+        lock = threading.Lock()
+        threads = {
+            pid: threading.Thread(
+                target=self._worker,
+                args=(pid, result, lock),
+                name=f"proc-{pid}",
+                daemon=True,
+            )
+            for pid in self.system.pids
+        }
+        started = time.monotonic()
+        for thread in threads.values():
+            thread.start()
+        deadline = started + timeout
+        stragglers = []
+        for pid, thread in threads.items():
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                stragglers.append(pid)
+        result.timed_out = tuple(stragglers)
+        result.duration = time.monotonic() - started
+        return result
+
+
+def run_threaded(
+    algorithm: Algorithm,
+    inputs,
+    naming: Optional[NamingAssignment] = None,
+    timeout: float = 30.0,
+    max_steps: int = 2_000_000,
+    seed: int = 0,
+) -> ThreadRunResult:
+    """One-call threaded execution of an algorithm (no backoff)."""
+    system = System(algorithm, inputs, naming=naming, locked=True, record_trace=False)
+    return ThreadRunner(system, max_steps=max_steps, seed=seed).run(timeout=timeout)
+
+
+def run_threaded_with_backoff(
+    algorithm: Algorithm,
+    inputs,
+    naming: Optional[NamingAssignment] = None,
+    timeout: float = 30.0,
+    max_steps: int = 2_000_000,
+    backoff: float = 0.0005,
+    seed: int = 0,
+) -> ThreadRunResult:
+    """Threaded execution with randomised exponential backoff.
+
+    The practical deployment mode for obstruction-free algorithms: under
+    contention every process occasionally pauses, so someone eventually
+    enjoys an uncontended stretch and the obstruction-freedom guarantee
+    kicks in.
+    """
+    system = System(algorithm, inputs, naming=naming, locked=True, record_trace=False)
+    runner = ThreadRunner(system, max_steps=max_steps, backoff=backoff, seed=seed)
+    return runner.run(timeout=timeout)

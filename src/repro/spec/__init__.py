@@ -1,0 +1,60 @@
+"""Trace checkers for every property the paper's theorems claim.
+
+* :mod:`repro.spec.properties` — checker framework;
+* :mod:`repro.spec.mutex_spec` — mutual exclusion, deadlock-freedom,
+  wait-free exit (§3.1);
+* :mod:`repro.spec.consensus_spec` — agreement, validity, election,
+  obstruction-free termination and solo step bounds (§4);
+* :mod:`repro.spec.renaming_spec` — uniqueness, name range, adaptivity,
+  termination (§5).
+"""
+
+from repro.spec.consensus_spec import (
+    AgreementChecker,
+    ElectionChecker,
+    ObstructionFreeTerminationChecker,
+    SoloStepBoundChecker,
+    ValidityChecker,
+    consensus_checkers,
+)
+from repro.spec.mutex_spec import (
+    BoundedBypassChecker,
+    DeadlockFreedomChecker,
+    ExitWaitFreeChecker,
+    MutualExclusionChecker,
+    mutex_checkers,
+)
+from repro.spec.properties import (
+    PropertyChecker,
+    check_all,
+    first_violation,
+    violations,
+)
+from repro.spec.renaming_spec import (
+    NameRangeChecker,
+    RenamingTerminationChecker,
+    UniqueNamesChecker,
+    renaming_checkers,
+)
+
+__all__ = [
+    "PropertyChecker",
+    "check_all",
+    "violations",
+    "first_violation",
+    "MutualExclusionChecker",
+    "DeadlockFreedomChecker",
+    "BoundedBypassChecker",
+    "ExitWaitFreeChecker",
+    "mutex_checkers",
+    "AgreementChecker",
+    "ValidityChecker",
+    "ElectionChecker",
+    "ObstructionFreeTerminationChecker",
+    "SoloStepBoundChecker",
+    "consensus_checkers",
+    "UniqueNamesChecker",
+    "NameRangeChecker",
+    "RenamingTerminationChecker",
+    "renaming_checkers",
+]

@@ -1,0 +1,173 @@
+"""Specification of the consensus and election problems (paper §4).
+
+    "There exists a decision value v such that: (1) Agreement: all
+    non-faulty processes that eventually decide, decide on the same value
+    v, and (2) Validity: v is the input value of at least one of the
+    processes."
+
+plus the progress condition:
+
+    "Obstruction-freedom requires that each process that runs alone, for
+    sufficiently long time, must eventually decide."
+
+Checkers:
+
+* :class:`AgreementChecker` — all decisions in the trace are equal;
+* :class:`ValidityChecker` — every decision is some participant's input;
+* :class:`ObstructionFreeTerminationChecker` — under a schedule that gave
+  each process a solo suffix (e.g.
+  :class:`~repro.runtime.adversary.StagedObstructionAdversary`), every
+  non-crashed process decided;
+* :class:`SoloStepBoundChecker` — the quantitative version of
+  Theorem 4.1's termination argument: a process running alone from the
+  start decides within ``(m + 1) * (m + 1)`` operations (at most ``m``
+  write-iterations of cost ``m + 1`` each, plus the final deciding
+  collect).  Tests use it to confirm the paper's "after at most 2n - 1
+  iterations" bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import (
+    AgreementViolation,
+    TerminationViolation,
+    ValidityViolation,
+)
+from repro.runtime.events import Trace
+from repro.spec.properties import PropertyChecker
+
+
+class AgreementChecker(PropertyChecker):
+    """All processes that decided, decided the same value."""
+
+    name = "agreement"
+
+    def check(self, trace: Trace) -> None:
+        decided = trace.decided()
+        if len(set(decided.values())) > 1:
+            raise AgreementViolation(
+                f"conflicting decisions: {decided}", trace=trace
+            )
+
+
+class ValidityChecker(PropertyChecker):
+    """Every decision is the input of at least one participant.
+
+    Parameters
+    ----------
+    inputs:
+        Mapping pid -> input of the run being checked.
+    """
+
+    name = "validity"
+
+    def __init__(self, inputs):
+        self.inputs = dict(inputs)
+
+    def check(self, trace: Trace) -> None:
+        legal = set(self.inputs.values())
+        for pid, value in trace.decided().items():
+            if value not in legal:
+                raise ValidityViolation(
+                    f"process {pid} decided {value!r}, which is not the "
+                    f"input of any participant (inputs: {self.inputs})",
+                    trace=trace,
+                )
+
+
+class ElectionChecker(PropertyChecker):
+    """Election outputs: unanimous and a participant's identifier (§4)."""
+
+    name = "election"
+
+    def check(self, trace: Trace) -> None:
+        decided = trace.decided()
+        if len(set(decided.values())) > 1:
+            raise AgreementViolation(
+                f"election outputs disagree: {decided}", trace=trace
+            )
+        for pid, leader in decided.items():
+            if leader not in trace.pids:
+                raise ValidityViolation(
+                    f"process {pid} elected {leader!r}, who is not a "
+                    f"participant ({list(trace.pids)})",
+                    trace=trace,
+                )
+
+
+class ObstructionFreeTerminationChecker(PropertyChecker):
+    """Every non-crashed process decided, given solo opportunities.
+
+    Only meaningful for traces produced by schedules that eventually let
+    each process run alone (staged obstruction, solo adversaries, or
+    completed runs).
+    """
+
+    name = "of-termination"
+
+    def check(self, trace: Trace) -> None:
+        live = [pid for pid in trace.pids if pid not in trace.crash_seq]
+        undecided = [pid for pid in live if pid not in trace.halt_seq]
+        if undecided:
+            raise TerminationViolation(
+                f"processes {undecided} did not terminate despite solo "
+                f"opportunities (run stopped: {trace.stop_reason!r}, "
+                f"{len(trace)} events)",
+                trace=trace,
+            )
+
+
+class SoloStepBoundChecker(PropertyChecker):
+    """Quantitative obstruction-freedom: solo termination within a bound.
+
+    Parameters
+    ----------
+    max_steps:
+        Upper bound on the number of operations the solo process may take
+        before halting.
+    pid:
+        The process expected to run solo; defaults to the only pid that
+        took steps.
+    """
+
+    name = "solo-step-bound"
+
+    def __init__(self, max_steps: int, pid: Optional[int] = None):
+        self.max_steps = max_steps
+        self.pid = pid
+
+    def check(self, trace: Trace) -> None:
+        pid = self.pid
+        if pid is None:
+            steppers = {event.pid for event in trace.events}
+            if len(steppers) != 1:
+                raise TerminationViolation(
+                    f"solo bound check expects exactly one process to have "
+                    f"stepped, found {sorted(steppers)}",
+                    trace=trace,
+                )
+            pid = steppers.pop()
+        steps = trace.steps_taken(pid)
+        if pid not in trace.halt_seq:
+            raise TerminationViolation(
+                f"process {pid} did not decide within its solo run "
+                f"({steps} steps)",
+                trace=trace,
+            )
+        if steps > self.max_steps:
+            raise TerminationViolation(
+                f"process {pid} needed {steps} solo steps, exceeding the "
+                f"bound {self.max_steps}",
+                trace=trace,
+            )
+
+
+def consensus_checkers(inputs):
+    """The standard battery for consensus traces."""
+    return (
+        AgreementChecker(),
+        ValidityChecker(inputs),
+        ObstructionFreeTerminationChecker(),
+    )

@@ -1,0 +1,197 @@
+"""Specification of the mutual exclusion problem (paper §3.1).
+
+    "Deadlock-freedom: if a process is trying to enter its critical
+    section, then some process, not necessarily the same one, eventually
+    enters its critical section.  Mutual exclusion: no two processes are
+    in their critical sections at the same time."
+
+On finite traces:
+
+* :class:`MutualExclusionChecker` is exact — it inspects every pair of
+  critical-section intervals for overlap;
+* :class:`DeadlockFreedomChecker` checks the finite-run proxy: a
+  sufficiently long fair run in which processes are trying must contain
+  critical-section entries, and a run that stopped because everything
+  halted must have given each process its requested number of entries.
+  (Unbounded liveness is certified separately: the exhaustive explorer
+  proves the absence of stuck states, and the Theorem 3.4 attack proves
+  *violations* by exhibiting a state cycle — see
+  :mod:`repro.lowerbounds.symmetry`.)
+* :class:`ExitWaitFreeChecker` checks §3.1's side requirement that the
+  exit section is wait-free: between ``ExitCritOp`` and the next
+  ``EnterCritOp``/halt of the same process there are at most ``m`` of its
+  own steps (Figure 1's exit code is one write per register), and none of
+  them is a read — i.e. the exit code never waits on others.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeadlockFreedomViolation, MutualExclusionViolation
+from repro.runtime.events import Trace
+from repro.spec.properties import PropertyChecker
+
+
+class MutualExclusionChecker(PropertyChecker):
+    """No two critical-section intervals of different processes overlap."""
+
+    name = "mutual-exclusion"
+
+    def check(self, trace: Trace) -> None:
+        intervals = trace.critical_section_intervals()
+        horizon = len(trace)
+        for idx, first in enumerate(intervals):
+            for second in intervals[idx + 1 :]:
+                if first.pid != second.pid and first.overlaps(second, horizon):
+                    raise MutualExclusionViolation(
+                        f"processes {first.pid} and {second.pid} were in "
+                        f"their critical sections simultaneously "
+                        f"(intervals [{first.enter_seq}, {first.exit_seq}] "
+                        f"and [{second.enter_seq}, {second.exit_seq}])",
+                        trace=trace,
+                    )
+
+
+class DeadlockFreedomChecker(PropertyChecker):
+    """Finite-run deadlock-freedom proxy.
+
+    Parameters
+    ----------
+    min_entries:
+        The number of critical-section entries the run must contain to
+        count as "progress happened".  For a completed run (stop reason
+        ``all-halted``) the default demands every process finished its
+        visits; for a truncated fair run, at least one entry.
+    """
+
+    name = "deadlock-freedom"
+
+    def __init__(self, min_entries: int = 1):
+        self.min_entries = min_entries
+
+    def check(self, trace: Trace) -> None:
+        entries = trace.critical_section_entries()
+        if trace.stop_reason == "all-halted":
+            # Everyone who participated retired voluntarily; progress is
+            # witnessed by every process's recorded visit count.
+            missing = [
+                pid
+                for pid in trace.pids
+                if pid not in trace.crash_seq and trace.outputs.get(pid) in (None, 0)
+            ]
+            if missing:
+                raise DeadlockFreedomViolation(
+                    f"run completed but processes {missing} never entered "
+                    "their critical section",
+                    trace=trace,
+                )
+            return
+        if entries < self.min_entries:
+            raise DeadlockFreedomViolation(
+                f"{len(trace)}-event run contains {entries} critical-section "
+                f"entries (expected at least {self.min_entries}); processes "
+                "are starving in their entry sections",
+                trace=trace,
+            )
+
+
+class ExitWaitFreeChecker(PropertyChecker):
+    """The exit section is wait-free and write-only (§3.1 requirement).
+
+    Checks that after each ``ExitCritOp`` the process performs at most
+    ``max_exit_steps`` operations before its next ``EnterCritOp``/halt
+    *and* that none of those operations is a shared-memory read (reading
+    would allow waiting on other processes).
+    """
+
+    name = "exit-wait-free"
+
+    def __init__(self, max_exit_steps: int):
+        self.max_exit_steps = max_exit_steps
+
+    def check(self, trace: Trace) -> None:
+        for pid in trace.pids:
+            exit_steps = 0
+            for event in trace.events_by(pid):
+                if event.phase != "exit":
+                    exit_steps = 0
+                    continue
+                exit_steps += 1
+                if event.is_read():
+                    raise DeadlockFreedomViolation(
+                        f"process {pid} read shared memory during its exit "
+                        f"section (event {event.seq}); the exit section "
+                        "must be wait-free",
+                        trace=trace,
+                    )
+                if exit_steps > self.max_exit_steps:
+                    raise DeadlockFreedomViolation(
+                        f"process {pid} took more than "
+                        f"{self.max_exit_steps} steps in its exit section",
+                        trace=trace,
+                    )
+
+
+class BoundedBypassChecker(PropertyChecker):
+    """Starvation-freedom, quantitatively: bounded bypass.
+
+    §8 lists "the existence of starvation-free mutual exclusion
+    algorithms" (in the anonymous model) as open.  This checker measures
+    the finite-trace analogue: while a process is continuously in its
+    entry section, how many times do *others* enter the critical section
+    before it does?  An algorithm with bypass bound ``B`` never lets that
+    count exceed ``B`` (Peterson has ``B = 1``); deadlock-free-but-not-
+    starvation-free algorithms (like Figure 1) admit schedules with
+    arbitrarily high bypass, which the open-problem bench demonstrates.
+
+    Requires phase-stamped events (all mutex automata produce them).
+    """
+
+    name = "bounded-bypass"
+
+    def __init__(self, bound: int):
+        self.bound = bound
+
+    def max_bypass(self, trace: Trace):
+        """The worst bypass count observed, with the suffering process.
+
+        A process starts "waiting" at its first entry-phase event after
+        leaving the critical section; every ``EnterCritOp`` by *another*
+        process while it waits counts as one bypass; its own entry
+        resets its counter.
+        """
+        from repro.runtime.ops import EnterCritOp
+
+        worst = (0, None)
+        waiting_since: dict = {}
+        bypasses: dict = {}
+        for event in trace.events:
+            if isinstance(event.op, EnterCritOp):
+                for pid in list(waiting_since):
+                    if pid != event.pid:
+                        bypasses[pid] = bypasses.get(pid, 0) + 1
+                        if bypasses[pid] > worst[0]:
+                            worst = (bypasses[pid], pid)
+                waiting_since.pop(event.pid, None)
+                bypasses.pop(event.pid, None)
+            elif event.phase == "entry" and event.pid not in waiting_since:
+                waiting_since[event.pid] = event.seq
+        return worst
+
+    def check(self, trace: Trace) -> None:
+        count, pid = self.max_bypass(trace)
+        if count > self.bound:
+            raise DeadlockFreedomViolation(
+                f"process {pid} was bypassed {count} times while waiting "
+                f"(bound {self.bound}); the algorithm is not "
+                f"{self.bound}-bounded-bypass on this trace",
+                trace=trace,
+            )
+
+
+def mutex_checkers(m: int, min_entries: int = 1):
+    """The standard battery for mutual-exclusion traces with ``m`` registers."""
+    return (
+        MutualExclusionChecker(),
+        DeadlockFreedomChecker(min_entries=min_entries),
+        ExitWaitFreeChecker(max_exit_steps=m),
+    )

@@ -1,0 +1,70 @@
+"""Property checker framework for recorded traces.
+
+Each theorem in the paper claims a property of *runs*; the classes here
+check those properties on recorded :class:`~repro.runtime.events.Trace`
+objects.  A checker either passes silently or raises the matching
+:class:`~repro.errors.SpecViolation` subclass with a diagnostic message
+(and the trace attached), so that
+
+* tests assert correctness by just calling the checker, and
+* the lower-bound experiments *catch* the violation to demonstrate an
+  impossibility result.
+
+``check_all`` composes checkers; every checker also offers ``holds`` for
+boolean-style use in sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.errors import SpecViolation
+from repro.runtime.events import Trace
+
+
+class PropertyChecker:
+    """Base class: validates one property of a trace."""
+
+    #: Short name used in experiment report tables.
+    name: str = "property"
+
+    def check(self, trace: Trace) -> None:
+        """Raise a :class:`SpecViolation` subclass if the property fails."""
+        raise NotImplementedError
+
+    def holds(self, trace: Trace) -> bool:
+        """Boolean form of :meth:`check`."""
+        try:
+            self.check(trace)
+        except SpecViolation:
+            return False
+        return True
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return self.name
+
+
+def check_all(trace: Trace, checkers: Iterable[PropertyChecker]) -> None:
+    """Run every checker against ``trace``; first violation propagates."""
+    for checker in checkers:
+        checker.check(trace)
+
+
+def violations(trace: Trace, checkers: Iterable[PropertyChecker]) -> List[SpecViolation]:
+    """Collect (rather than raise) all violations found in ``trace``."""
+    found: List[SpecViolation] = []
+    for checker in checkers:
+        try:
+            checker.check(trace)
+        except SpecViolation as exc:
+            found.append(exc)
+    return found
+
+
+def first_violation(
+    trace: Trace, checkers: Iterable[PropertyChecker]
+) -> Optional[SpecViolation]:
+    """The first violation found in ``trace``, or ``None``."""
+    found = violations(trace, checkers)
+    return found[0] if found else None

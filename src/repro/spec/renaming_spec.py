@@ -1,0 +1,91 @@
+"""Specification of adaptive perfect renaming (paper §5).
+
+    "A perfect renaming algorithm allows n processes with initially
+    distinct names from a large name space to acquire distinct new names
+    from the set {1..n}.  A perfect renaming algorithm is adaptive if,
+    for any 1 <= k <= n, when only k processes participate, they acquire
+    distinct new names from the set {1..k}."
+
+Checkers mirror the three theorems:
+
+* :class:`UniqueNamesChecker` — Theorem 5.2's distinctness;
+* :class:`NameRangeChecker` — Theorem 5.2's range ``{1..n}`` and, with
+  ``adaptive=True`` and the participant count, Theorem 5.3's tighter
+  ``{1..k}``;
+* :class:`RenamingTerminationChecker` — Theorem 5.1 under schedules with
+  solo opportunities.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    NameRangeViolation,
+    TerminationViolation,
+    UniquenessViolation,
+)
+from repro.runtime.events import Trace
+from repro.spec.properties import PropertyChecker
+
+
+class UniqueNamesChecker(PropertyChecker):
+    """No two processes acquired the same new name."""
+
+    name = "unique-names"
+
+    def check(self, trace: Trace) -> None:
+        acquired = trace.decided()
+        names = list(acquired.values())
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise UniquenessViolation(
+                f"duplicate new names {dupes} acquired: {acquired}",
+                trace=trace,
+            )
+
+
+class NameRangeChecker(PropertyChecker):
+    """All new names come from ``{1..bound}``.
+
+    For Theorem 5.2 pass ``bound=n``; for Theorem 5.3 (adaptivity) pass
+    ``bound=k``, the number of actual participants.
+    """
+
+    name = "name-range"
+
+    def __init__(self, bound: int):
+        self.bound = bound
+
+    def check(self, trace: Trace) -> None:
+        for pid, name in trace.decided().items():
+            if not isinstance(name, int) or not 1 <= name <= self.bound:
+                raise NameRangeViolation(
+                    f"process {pid} acquired name {name!r}, outside "
+                    f"{{1..{self.bound}}}",
+                    trace=trace,
+                )
+
+
+class RenamingTerminationChecker(PropertyChecker):
+    """Every non-crashed participant acquired a name (Theorem 5.1 proxy)."""
+
+    name = "renaming-termination"
+
+    def check(self, trace: Trace) -> None:
+        live = [pid for pid in trace.pids if pid not in trace.crash_seq]
+        unnamed = [pid for pid in live if trace.outputs.get(pid) is None]
+        if unnamed:
+            raise TerminationViolation(
+                f"processes {unnamed} never acquired a new name "
+                f"(run stopped: {trace.stop_reason!r}, {len(trace)} events)",
+                trace=trace,
+            )
+
+
+def renaming_checkers(participants: int):
+    """The standard battery for renaming traces with ``participants``
+    actual participants (adaptivity bound)."""
+    return (
+        UniqueNamesChecker(),
+        NameRangeChecker(bound=participants),
+        RenamingTerminationChecker(),
+    )

@@ -1,0 +1,88 @@
+"""Shared type aliases and small value types used across the library.
+
+The paper's model (Section 2) has three primitive notions that appear in
+every module:
+
+* **process identifiers** — positive integers, *not* assumed to come from
+  ``{1..n}``; only equality comparisons between identifiers are allowed in
+  symmetric algorithms (:data:`ProcessId`);
+* **register values** — the contents of an atomic register; any hashable
+  immutable Python value (:data:`RegisterValue`);
+* **register indices** — positions in a register array.  We distinguish
+  *physical* indices (positions in the globally shared array, which the
+  processes themselves cannot see) from *view* indices (``p.i[j]``, the
+  j-th register in process i's private numbering).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+#: A process identifier.  Positive integer; processes may only compare
+#: identifiers for equality (the "symmetric with equality" model of §2).
+ProcessId = int
+
+#: The contents of an atomic register.  Must be hashable (global states are
+#: hashed by the model checker) and should be treated as immutable.
+RegisterValue = Hashable
+
+#: Index of a register in process-local numbering: ``p.i[j]`` for
+#: ``0 <= j < m``.  The library uses 0-based indices; docstrings that quote
+#: the paper use the paper's 1-based convention.
+ViewIndex = int
+
+#: Index of a register in the hidden physical array.  Algorithms never see
+#: physical indices; they exist for the memory substrate, the spec
+#: checkers, and the lower-bound constructions.
+PhysicalIndex = int
+
+
+def require(condition: bool, message: str, error_cls=None) -> None:
+    """Raise ``error_cls(message)`` unless ``condition`` holds.
+
+    A tiny guard helper used for parameter validation throughout the
+    library.  Defaults to :class:`repro.errors.ConfigurationError`.
+    """
+    if not condition:
+        if error_cls is None:
+            from repro.errors import ConfigurationError
+
+            error_cls = ConfigurationError
+        raise error_cls(message)
+
+
+def validate_process_id(pid: ProcessId) -> ProcessId:
+    """Validate that ``pid`` is a legal process identifier.
+
+    The paper requires identifiers to be positive integers (§2).  Zero is
+    additionally reserved as the initial "empty" register value in all
+    three algorithms, so it can never be a process identifier.
+    """
+    from repro.errors import ConfigurationError
+
+    require(
+        isinstance(pid, int) and not isinstance(pid, bool),
+        f"process identifier must be an int, got {pid!r}",
+        ConfigurationError,
+    )
+    require(
+        pid > 0,
+        f"process identifier must be a positive integer, got {pid!r}",
+        ConfigurationError,
+    )
+    return pid
+
+
+def validate_distinct_ids(pids) -> tuple:
+    """Validate a collection of process identifiers: positive and distinct."""
+    from repro.errors import ConfigurationError
+
+    pids = tuple(pids)
+    for pid in pids:
+        validate_process_id(pid)
+    require(
+        len(set(pids)) == len(pids),
+        f"process identifiers must be distinct, got {pids!r}",
+        ConfigurationError,
+    )
+    return pids

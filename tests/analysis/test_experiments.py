@@ -1,0 +1,97 @@
+"""Tests for the sweep harness."""
+
+from repro.analysis.experiments import (
+    gives_solo_opportunities,
+    solo_run,
+    sweep,
+)
+from repro.core.consensus import AnonymousConsensus
+from repro.lowerbounds.candidates import NaiveTestAndSetLock
+from repro.memory.naming import IdentityNaming, RandomNaming
+from repro.runtime.adversary import (
+    RandomAdversary,
+    RoundRobinAdversary,
+    SoloAdversary,
+    StagedObstructionAdversary,
+)
+from repro.spec.consensus_spec import AgreementChecker, ValidityChecker
+from repro.spec.mutex_spec import MutualExclusionChecker
+
+from tests.conftest import pids
+
+
+class TestSweep:
+    def test_sweep_covers_all_combinations(self):
+        inputs = {pids(2)[0]: "a", pids(2)[1]: "b"}
+        result = sweep(
+            lambda: AnonymousConsensus(n=2),
+            inputs,
+            namings=[IdentityNaming(), RandomNaming(0)],
+            adversaries=[RandomAdversary(0), RandomAdversary(1)],
+            checkers_factory=lambda: [AgreementChecker(), ValidityChecker(inputs)],
+            max_steps=50_000,
+        )
+        assert result.runs == 4
+        assert result.all_ok
+
+    def test_sweep_records_violations_without_raising(self):
+        result = sweep(
+            lambda: NaiveTestAndSetLock(cs_visits=2, cs_steps=3),
+            pids(2),
+            namings=[IdentityNaming()],
+            adversaries=[RandomAdversary(seed) for seed in range(8)],
+            checkers_factory=lambda: [MutualExclusionChecker()],
+            max_steps=10_000,
+        )
+        # The naive lock breaks under at least one of eight random
+        # schedules (its window is wide: read/claim/verify).
+        assert not result.all_ok
+        assert result.failures
+        assert "critical" in result.describe_failures()
+
+    def test_checkers_factory_receives_adversary_when_it_accepts_one(self):
+        inputs = {pids(2)[0]: "a", pids(2)[1]: "b"}
+        seen = []
+
+        def factory(adversary):
+            seen.append(adversary)
+            return [AgreementChecker()]
+
+        sweep(
+            lambda: AnonymousConsensus(n=2),
+            inputs,
+            namings=[IdentityNaming()],
+            adversaries=[RandomAdversary(0)],
+            checkers_factory=factory,
+            max_steps=5_000,
+        )
+        assert len(seen) == 1
+
+    def test_metric_values_extraction(self):
+        inputs = {pids(2)[0]: "a", pids(2)[1]: "b"}
+        result = sweep(
+            lambda: AnonymousConsensus(n=2),
+            inputs,
+            namings=[IdentityNaming()],
+            adversaries=[StagedObstructionAdversary(prefix_steps=10, seed=0)],
+            checkers_factory=lambda: [],
+            max_steps=50_000,
+        )
+        values = result.metric_values(lambda r: r.metrics.total_events)
+        assert len(values) == 1 and values[0] > 0
+
+
+class TestSoloRunHelper:
+    def test_solo_run_produces_single_actor_trace(self):
+        inputs = {pid: f"v{k}" for k, pid in enumerate(pids(3))}
+        trace = solo_run(lambda: AnonymousConsensus(n=3), inputs, pids(3)[0])
+        assert {e.pid for e in trace.events} == {pids(3)[0]}
+        assert pids(3)[0] in trace.halt_seq
+
+
+class TestGivesSoloOpportunities:
+    def test_classification(self):
+        assert gives_solo_opportunities(SoloAdversary(101))
+        assert gives_solo_opportunities(StagedObstructionAdversary())
+        assert not gives_solo_opportunities(RoundRobinAdversary())
+        assert not gives_solo_opportunities(RandomAdversary(0))

@@ -1,0 +1,98 @@
+"""Tests for run metrics and contention analysis."""
+
+from repro.analysis.metrics import (
+    collect_metrics,
+    contention_spread,
+    register_contention,
+    solo_iterations,
+    summarize_distribution,
+)
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import RandomAdversary, SoloAdversary
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+def consensus_trace(seed=0, n=2, naming=None):
+    inputs = {pid: f"v{k}" for k, pid in enumerate(pids(n))}
+    system = System(AnonymousConsensus(n=n), inputs, naming=naming)
+    from repro.runtime.adversary import StagedObstructionAdversary
+
+    return system.run(
+        StagedObstructionAdversary(prefix_steps=40, seed=seed), max_steps=200_000
+    )
+
+
+class TestCollectMetrics:
+    def test_counts_add_up(self):
+        trace = consensus_trace()
+        metrics = collect_metrics(trace)
+        assert metrics.total_reads + metrics.total_writes <= metrics.total_events
+        assert metrics.total_events == len(trace)
+
+    def test_steps_per_process_sum_to_total(self):
+        trace = consensus_trace()
+        metrics = collect_metrics(trace)
+        assert sum(metrics.steps_per_process.values()) == metrics.total_events
+
+    def test_decided_count(self):
+        trace = consensus_trace()
+        assert collect_metrics(trace).decided_count == 2
+
+    def test_max_and_mean_steps(self):
+        trace = consensus_trace()
+        metrics = collect_metrics(trace)
+        assert metrics.max_steps >= metrics.mean_steps > 0
+
+
+class TestRegisterContention:
+    def test_histogram_covers_touched_registers(self):
+        trace = consensus_trace()
+        histogram = register_contention(trace)
+        assert set(histogram) <= set(range(trace.register_count))
+        reads = sum(r for r, _ in histogram.values())
+        writes = sum(w for _, w in histogram.values())
+        metrics = collect_metrics(trace)
+        assert reads == metrics.total_reads
+        assert writes == metrics.total_writes
+
+    def test_spread_is_at_least_one(self):
+        trace = consensus_trace()
+        assert contention_spread(trace) >= 1.0
+
+    def test_spread_on_writeless_trace_is_one(self):
+        system = System(AnonymousMutex(m=3), pids(2))
+        # Take a couple of read-only steps.
+        system.scheduler.step(pids(2)[0])
+        system.scheduler.trace.final_values = system.memory.snapshot()
+        assert contention_spread(system.scheduler.trace) >= 1.0
+
+
+class TestSoloIterations:
+    def test_matches_write_count(self):
+        inputs = {pid: f"v{k}" for k, pid in enumerate(pids(3))}
+        system = System(AnonymousConsensus(n=3), inputs)
+        trace = system.run(SoloAdversary(pids(3)[0]), max_steps=100_000)
+        iters = solo_iterations(trace, pids(3)[0])
+        assert iters == len(trace.writes_by(pids(3)[0]))
+        assert iters <= 5  # 2n - 1
+
+
+class TestSummarizeDistribution:
+    def test_summary_fields(self):
+        summary = summarize_distribution([1.0, 2.0, 3.0, 10.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["median"] == 2.5
+        assert abs(summary["mean"] - 4.0) < 1e-9
+
+    def test_empty_input(self):
+        assert summarize_distribution([]) == {
+            "min": 0.0,
+            "mean": 0.0,
+            "median": 0.0,
+            "max": 0.0,
+        }

@@ -1,0 +1,43 @@
+"""Tests for ASCII table rendering."""
+
+from repro.analysis.tables import render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_present(self):
+        out = render_table(["name", "value"], [["alpha", 1], ["beta", 22]])
+        assert "name" in out and "alpha" in out and "22" in out
+
+    def test_title_is_underlined(self):
+        out = render_table(["a"], [[1]], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_numbers_right_aligned(self):
+        out = render_table(["col"], [[1], [1000]])
+        lines = out.splitlines()
+        assert lines[-2].endswith("   1")
+        assert lines[-1].endswith("1000")
+
+    def test_text_left_aligned(self):
+        out = render_table(["col", "x"], [["ab", 1], ["abcd", 1]])
+        lines = out.splitlines()
+        assert lines[-2].startswith("ab  ")
+
+    def test_floats_formatted_two_decimals(self):
+        out = render_table(["f"], [[3.14159]])
+        assert "3.14" in out and "3.1416" not in out
+
+    def test_bools_rendered_yes_no(self):
+        out = render_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_column_widths_accommodate_longest_cell(self):
+        out = render_table(["x"], [["very-long-cell-value"]])
+        header_line = out.splitlines()[0]
+        assert len(header_line) <= len("very-long-cell-value")

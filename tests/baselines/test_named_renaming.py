@@ -1,0 +1,83 @@
+"""Tests for the §5 election-chain renaming baseline."""
+
+import pytest
+
+from repro.baselines.named_renaming import ElectionChainRenaming
+from repro.errors import ConfigurationError
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import SoloAdversary, StagedObstructionAdversary
+from repro.runtime.system import System
+from repro.spec.renaming_spec import (
+    NameRangeChecker,
+    RenamingTerminationChecker,
+    UniqueNamesChecker,
+)
+
+from tests.conftest import pids
+
+
+class TestConfiguration:
+    def test_register_count_is_chain_of_blocks(self):
+        # (n - 1) election objects of 2n - 1 registers each.
+        assert ElectionChainRenaming(n=4).register_count() == 3 * 7
+        assert ElectionChainRenaming(n=2).register_count() == 3
+
+    def test_single_process_needs_one_register(self):
+        assert ElectionChainRenaming(n=1).register_count() == 1
+
+    def test_not_anonymous(self):
+        # "This trivial solution requires a priori agreement on an
+        # ordering for the election objects."
+        assert not ElectionChainRenaming(n=3).is_anonymous()
+
+    def test_rejected_under_random_naming(self):
+        with pytest.raises(ConfigurationError):
+            System(ElectionChainRenaming(n=2), pids(2), naming=RandomNaming(0))
+
+
+class TestBehaviour:
+    def test_single_participant_takes_name_1(self):
+        system = System(ElectionChainRenaming(n=1), pids(1))
+        trace = system.run(SoloAdversary(pids(1)[0]), max_steps=10_000)
+        assert trace.outputs[pids(1)[0]] == 1
+
+    def test_solo_among_many_takes_name_1(self):
+        system = System(ElectionChainRenaming(n=4), pids(4))
+        trace = system.run(SoloAdversary(pids(4)[0]), max_steps=200_000)
+        assert trace.outputs[pids(4)[0]] == 1
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_unique_names_in_range(self, n):
+        for seed in range(3):
+            system = System(ElectionChainRenaming(n=n), pids(n))
+            adversary = StagedObstructionAdversary(prefix_steps=60, seed=seed)
+            trace = system.run(adversary, max_steps=800_000)
+            UniqueNamesChecker().check(trace)
+            NameRangeChecker(bound=n).check(trace)
+            RenamingTerminationChecker().check(trace)
+
+    def test_perfect_names_cover_1_to_n(self):
+        n = 3
+        system = System(ElectionChainRenaming(n=n), pids(n))
+        adversary = StagedObstructionAdversary(prefix_steps=40, seed=1)
+        trace = system.run(adversary, max_steps=800_000)
+        assert sorted(trace.outputs.values()) == [1, 2, 3]
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_adaptive_with_k_participants(self, k):
+        n = 4
+        system = System(ElectionChainRenaming(n=n), pids(n)[:k])
+        adversary = StagedObstructionAdversary(prefix_steps=30, seed=k)
+        trace = system.run(adversary, max_steps=800_000)
+        assert sorted(trace.outputs.values()) == list(range(1, k + 1))
+
+    def test_election_winners_stop_at_their_block(self):
+        # The name-1 winner never touches election object 2's registers.
+        n = 3
+        system = System(ElectionChainRenaming(n=n), pids(n))
+        adversary = StagedObstructionAdversary(prefix_steps=0, seed=0)
+        trace = system.run(adversary, max_steps=800_000)
+        winner = next(pid for pid, name in trace.outputs.items() if name == 1)
+        block = 2 * n - 1
+        touched = {e.physical_index for e in trace.events_by(winner)}
+        assert all(index < block for index in touched)

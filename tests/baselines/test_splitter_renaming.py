@@ -1,0 +1,147 @@
+"""Tests for the Moir-Anderson splitter-grid renaming baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.splitter_renaming import (
+    SplitterRenaming,
+    triangular_index,
+)
+from repro.errors import ConfigurationError
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import (
+    AlternatingBurstAdversary,
+    RandomAdversary,
+    RoundRobinAdversary,
+    SoloAdversary,
+)
+from repro.runtime.exploration import explore, unique_names_invariant
+from repro.runtime.system import System
+from repro.spec.renaming_spec import UniqueNamesChecker
+
+from tests.conftest import pids
+
+
+class TestTriangularIndex:
+    def test_diagonal_enumeration(self):
+        assert triangular_index(0, 0) == 0
+        assert triangular_index(0, 1) == 1
+        assert triangular_index(1, 0) == 2
+        assert triangular_index(0, 2) == 3
+        assert triangular_index(1, 1) == 4
+        assert triangular_index(2, 0) == 5
+
+    @given(
+        a=st.tuples(st.integers(0, 20), st.integers(0, 20)),
+        b=st.tuples(st.integers(0, 20), st.integers(0, 20)),
+    )
+    @settings(max_examples=60)
+    def test_injective(self, a, b):
+        if a != b:
+            assert triangular_index(*a) != triangular_index(*b)
+
+
+class TestConfiguration:
+    def test_register_count_two_per_cell(self):
+        # n(n+1)/2 splitters, 2 registers each.
+        assert SplitterRenaming(n=3).register_count() == 12
+        assert SplitterRenaming(n=1).register_count() == 2
+
+    def test_name_space_size(self):
+        assert SplitterRenaming(n=4).name_space() == 10
+
+    def test_named_model_only(self):
+        assert not SplitterRenaming(n=2).is_anonymous()
+        with pytest.raises(ConfigurationError):
+            System(SplitterRenaming(n=2), pids(2), naming=RandomNaming(0))
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SplitterRenaming(n=0)
+
+
+class TestBehaviour:
+    def test_solo_process_stops_at_the_first_splitter(self):
+        system = System(SplitterRenaming(n=3), pids(3))
+        trace = system.run(SoloAdversary(pids(3)[0]), max_steps=100)
+        assert trace.outputs[pids(3)[0]] == 1
+        assert trace.steps_taken(pids(3)[0]) == 4  # one full splitter pass
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_unique_names_within_triangular_space(self, n):
+        bound = n * (n + 1) // 2
+        for seed in range(4):
+            system = System(SplitterRenaming(n=n), pids(n))
+            trace = system.run(RandomAdversary(seed), max_steps=100_000)
+            assert trace.all_halted()
+            UniqueNamesChecker().check(trace)
+            assert all(1 <= name <= bound for name in trace.outputs.values())
+
+    def test_wait_free_step_bound(self):
+        # Every process finishes within 4 steps per splitter and at most
+        # n splitters on its path — under ANY schedule, no solo needed.
+        n = 4
+        for seed in range(6):
+            system = System(SplitterRenaming(n=n), pids(n))
+            adversary = AlternatingBurstAdversary(seed=seed, max_burst=7)
+            trace = system.run(adversary, max_steps=100_000)
+            assert trace.all_halted()
+            for pid in pids(n):
+                assert trace.steps_taken(pid) <= 4 * n
+
+    def test_wait_free_even_under_strict_round_robin(self):
+        # The contrast with Figure 3: no obstruction proviso at all.
+        system = System(SplitterRenaming(n=3), pids(3))
+        trace = system.run(RoundRobinAdversary(), max_steps=10_000)
+        assert trace.all_halted()
+        UniqueNamesChecker().check(trace)
+
+    @staticmethod
+    def _splitter_invariant(bound):
+        """Distinct names within {1 .. n(n+1)/2} — NOT the perfect-range
+        invariant, which this algorithm deliberately does not satisfy."""
+
+        def invariant(system):
+            outputs = {
+                pid: out
+                for pid, out in system.scheduler.outputs().items()
+                if out is not None
+            }
+            names = list(outputs.values())
+            if len(set(names)) != len(names):
+                return f"duplicate names: {outputs}"
+            bad = {p: v for p, v in outputs.items() if not 1 <= v <= bound}
+            if bad:
+                return f"names outside 1..{bound}: {bad}"
+            return None
+
+        return invariant
+
+    def test_exhaustive_two_processes(self):
+        system = System(SplitterRenaming(n=2), pids(2), record_trace=False)
+        result = explore(
+            system, self._splitter_invariant(3), max_states=500_000
+        )
+        assert result.complete and result.ok, result.violation
+        assert result.stuck_states == 0
+
+    def test_exhaustive_three_processes(self):
+        system = System(SplitterRenaming(n=3), pids(3), record_trace=False)
+        result = explore(
+            system, self._splitter_invariant(6), max_states=2_000_000
+        )
+        assert result.complete and result.ok, result.violation
+
+    def test_at_most_one_stop_per_splitter(self):
+        # The splitter guarantee, observed: no two processes acquire the
+        # same cell (that IS name uniqueness), and the winner of cell
+        # (0,0) under solo-first schedules is the first runner.
+        system = System(SplitterRenaming(n=3), pids(3))
+        p1, p2, p3 = pids(3)
+        system.scheduler.run_solo_until_halt(p1)
+        assert system.scheduler.output_of(p1) == 1
+        system.scheduler.run_solo_until_halt(p2)
+        system.scheduler.run_solo_until_halt(p3)
+        names = [system.scheduler.output_of(p) for p in (p1, p2, p3)]
+        assert len(set(names)) == 3

@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the test suite.
+
+Process identifiers in tests are >= 100 to avoid colliding with small
+loop counters inside local states (see
+:func:`repro.lowerbounds.symmetry.relabel_value`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.naming import IdentityNaming, RandomNaming, RingNaming
+from repro.runtime.adversary import (
+    AlternatingBurstAdversary,
+    RandomAdversary,
+    RoundRobinAdversary,
+    StagedObstructionAdversary,
+)
+
+#: Distinct, non-contiguous pids — the model does not assume {1..n}.
+PIDS = (101, 103, 107, 109, 113, 127, 131, 137)
+
+
+def pids(n: int):
+    """The first ``n`` canonical test pids."""
+    return PIDS[:n]
+
+
+def safety_adversaries(seeds=range(4)):
+    """Schedules for safety checking (no liveness guarantee implied)."""
+    battery = [RoundRobinAdversary()]
+    for seed in seeds:
+        battery.append(RandomAdversary(seed))
+        battery.append(AlternatingBurstAdversary(seed=seed, max_burst=6))
+    return battery
+
+
+def progress_adversaries(seeds=range(4), prefix_steps=60):
+    """Schedules that eventually give every process a solo run."""
+    return [
+        StagedObstructionAdversary(prefix_steps=prefix_steps, seed=seed)
+        for seed in seeds
+    ]
+
+
+def namings_for(pids_, m, seeds=(0, 1, 2)):
+    """Identity, random and ring namings for a register count."""
+    result = [IdentityNaming()]
+    result.extend(RandomNaming(seed) for seed in seeds)
+    if m % len(pids_) == 0:
+        result.append(RingNaming.equispaced(tuple(pids_), m))
+    else:
+        result.append(RingNaming({pid: k for k, pid in enumerate(pids_)}))
+    return result
+
+
+@pytest.fixture
+def two_pids():
+    return pids(2)
+
+
+@pytest.fixture
+def three_pids():
+    return pids(3)
+
+
+@pytest.fixture
+def four_pids():
+    return pids(4)

@@ -1,0 +1,272 @@
+"""Tests for the Figure 2 memory-anonymous obstruction-free consensus.
+
+Covers Theorem 4.1 (agreement + obstruction-free termination, including
+the quantitative 2n-1 solo iteration bound), Theorem 4.2 (validity), the
+register-count arithmetic (2n-1, majority threshold n), exhaustive model
+checking of small instances, and the single-integer record encoding mode
+(§4.1 remark).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consensus import (
+    AnonymousConsensus,
+    AnonymousConsensusProcess,
+    choose_index,
+    majority_value,
+)
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import (
+    CrashAdversary,
+    RandomAdversary,
+    SoloAdversary,
+    StagedObstructionAdversary,
+)
+from repro.runtime.exploration import (
+    agreement_invariant,
+    conjoin,
+    explore,
+    validity_invariant,
+)
+from repro.runtime.system import System
+from repro.spec.consensus_spec import (
+    AgreementChecker,
+    ObstructionFreeTerminationChecker,
+    SoloStepBoundChecker,
+    ValidityChecker,
+)
+
+from tests.conftest import namings_for, pids, progress_adversaries, safety_adversaries
+
+
+def inputs_for(n, values=None):
+    values = values or [f"v{k}" for k in range(n)]
+    return dict(zip(pids(n), values))
+
+
+class TestHelpers:
+    def test_majority_value_finds_threshold_winner(self):
+        assert majority_value(["a", "a", "b"], 2) == "a"
+
+    def test_majority_value_ignores_zero(self):
+        assert majority_value([0, 0, 0, "a"], 1) == "a"
+
+    def test_majority_value_none_when_below_threshold(self):
+        assert majority_value(["a", "b", "c"], 2) is None
+
+    def test_majority_value_two_winners_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            majority_value(["a", "a", "b", "b"], 2)
+
+    def test_choose_index_first_and_last(self):
+        view = ["x", "y", "x", "y"]
+        assert choose_index(view, lambda v: v == "y", "first", 0) == 1
+        assert choose_index(view, lambda v: v == "y", "last", 0) == 3
+
+    def test_choose_index_spread_is_deterministic(self):
+        view = ["x"] * 6
+        a = choose_index(view, lambda v: True, "spread", salt=("s", 1))
+        b = choose_index(view, lambda v: True, "spread", salt=("s", 1))
+        assert a == b
+
+    def test_choose_index_no_match_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            choose_index(["x"], lambda v: False, "first", 0)
+
+    def test_choose_index_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            choose_index(["x"], lambda v: True, "mystery", 0)
+
+
+class TestValidation:
+    def test_register_count_is_2n_minus_1(self):
+        for n in (1, 2, 3, 5, 8):
+            assert AnonymousConsensus(n=n).register_count() == 2 * n - 1
+
+    def test_register_override_allowed(self):
+        assert AnonymousConsensus(n=3, registers=2).register_count() == 2
+
+    def test_zero_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnonymousConsensus(n=2).automaton_for(101, 0)
+
+    def test_none_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnonymousConsensus(n=2).automaton_for(101, None)
+
+    def test_non_positive_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnonymousConsensus(n=0)
+
+
+class TestSoloTermination:
+    """Theorem 4.1's termination argument, quantitatively."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_solo_run_decides_own_input(self, n):
+        inputs = inputs_for(n)
+        pid = pids(n)[0]
+        system = System(AnonymousConsensus(n=n), inputs)
+        trace = system.run(SoloAdversary(pid), max_steps=1_000_000)
+        assert trace.outputs[pid] == inputs[pid]
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_solo_iteration_bound_2n_minus_1(self, n):
+        # "after at most 2n-1 iterations the values of all the 2n-1
+        # entries will equal (j, v)" — one write per iteration.
+        inputs = inputs_for(n)
+        pid = pids(n)[0]
+        system = System(AnonymousConsensus(n=n), inputs)
+        trace = system.run(SoloAdversary(pid), max_steps=1_000_000)
+        assert len(trace.writes_by(pid)) <= 2 * n - 1
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_solo_step_bound_checker_passes(self, n):
+        m = 2 * n - 1
+        inputs = inputs_for(n)
+        pid = pids(n)[0]
+        system = System(AnonymousConsensus(n=n), inputs)
+        trace = system.run(SoloAdversary(pid), max_steps=1_000_000)
+        # Each iteration costs m reads + 1 write; plus the final collect.
+        SoloStepBoundChecker(max_steps=m * (m + 1) + m).check(trace)
+
+    def test_solo_after_contention_decides(self):
+        # The obstruction-freedom scenario: contention, then solitude.
+        inputs = inputs_for(3)
+        system = System(AnonymousConsensus(n=3), inputs)
+        adversary = StagedObstructionAdversary(prefix_steps=100, seed=3)
+        trace = system.run(adversary, max_steps=200_000)
+        ObstructionFreeTerminationChecker().check(trace)
+
+
+class TestAgreementAndValidity:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_agreement_under_progress_adversaries(self, n):
+        inputs = inputs_for(n)
+        for naming in namings_for(pids(n), 2 * n - 1):
+            for adversary in progress_adversaries(range(3)):
+                system = System(AnonymousConsensus(n=n), inputs, naming=naming)
+                trace = system.run(adversary, max_steps=300_000)
+                AgreementChecker().check(trace)
+                ValidityChecker(inputs).check(trace)
+                ObstructionFreeTerminationChecker().check(trace)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_safety_under_arbitrary_adversaries(self, n):
+        # Agreement/validity must hold even in runs without termination.
+        inputs = inputs_for(n)
+        for adversary in safety_adversaries(range(3)):
+            system = System(AnonymousConsensus(n=n), inputs)
+            trace = system.run(adversary, max_steps=20_000)
+            AgreementChecker().check(trace)
+            ValidityChecker(inputs).check(trace)
+
+    def test_identical_inputs_decide_that_input(self):
+        inputs = dict(zip(pids(3), ["same"] * 3))
+        system = System(AnonymousConsensus(n=3), inputs)
+        trace = system.run(StagedObstructionAdversary(prefix_steps=50), max_steps=200_000)
+        assert set(trace.outputs.values()) == {"same"}
+
+    @given(
+        seed=st.integers(0, 10_000),
+        naming_seed=st.integers(0, 100),
+        prefix=st.integers(0, 150),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_agreement_validity_termination(self, seed, naming_seed, prefix):
+        inputs = inputs_for(3, ["red", "green", "blue"])
+        system = System(
+            AnonymousConsensus(n=3), inputs, naming=RandomNaming(naming_seed)
+        )
+        adversary = StagedObstructionAdversary(prefix_steps=prefix, seed=seed)
+        trace = system.run(adversary, max_steps=300_000)
+        AgreementChecker().check(trace)
+        ValidityChecker(inputs).check(trace)
+        ObstructionFreeTerminationChecker().check(trace)
+
+    def test_crash_tolerated_when_survivors_run_solo(self):
+        inputs = inputs_for(3)
+        crash_pid = pids(3)[1]
+        system = System(AnonymousConsensus(n=3), inputs)
+        adversary = CrashAdversary(
+            StagedObstructionAdversary(prefix_steps=40, seed=2), {crash_pid: 25}
+        )
+        trace = system.run(adversary, max_steps=300_000)
+        AgreementChecker().check(trace)
+        survivors = [p for p in pids(3) if p != crash_pid]
+        assert all(p in trace.halt_seq for p in survivors)
+
+
+class TestExhaustive:
+    def test_n2_fully_explored_agreement_and_validity(self):
+        inputs = inputs_for(2, ["a", "b"])
+        system = System(AnonymousConsensus(n=2), inputs, record_trace=False)
+        invariant = conjoin(agreement_invariant, validity_invariant)
+        result = explore(system, invariant, max_states=400_000, max_depth=100_000)
+        # The full graph is infinite-schedule but finite-state; the search
+        # reaches a fixpoint.
+        assert result.ok, result.violation
+        assert result.complete, result.summary()
+
+    def test_n2_with_opposite_register_orders(self):
+        from repro.memory.naming import ExplicitNaming
+
+        inputs = inputs_for(2, ["a", "b"])
+        naming = ExplicitNaming(
+            {pids(2)[0]: (0, 1, 2), pids(2)[1]: (2, 1, 0)}
+        )
+        system = System(
+            AnonymousConsensus(n=2), inputs, naming=naming, record_trace=False
+        )
+        result = explore(
+            system,
+            conjoin(agreement_invariant, validity_invariant),
+            max_states=400_000,
+            max_depth=100_000,
+        )
+        assert result.ok and result.complete
+
+
+class TestChoiceStrategies:
+    @pytest.mark.parametrize("choice", ["first", "last", "spread"])
+    def test_all_index_choices_preserve_correctness(self, choice):
+        inputs = inputs_for(3)
+        system = System(AnonymousConsensus(n=3, choice=choice), inputs)
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=60, seed=1), max_steps=300_000
+        )
+        AgreementChecker().check(trace)
+        ValidityChecker(inputs).check(trace)
+        ObstructionFreeTerminationChecker().check(trace)
+
+
+class TestEncodedRecords:
+    """The §4.1 remark: records as single integers, end to end."""
+
+    def test_registers_hold_plain_integers(self):
+        inputs = {101: 1, 103: 2}
+        system = System(AnonymousConsensus(n=2, encode_records=True), inputs)
+        system.scheduler.step(101)
+        assert all(isinstance(v, int) for v in system.memory.snapshot())
+
+    def test_encoded_run_agrees_and_terminates(self):
+        inputs = {101: 7, 103: 9, 107: 11}
+        system = System(AnonymousConsensus(n=3, encode_records=True), inputs)
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=50, seed=4), max_steps=300_000
+        )
+        AgreementChecker().check(trace)
+        ValidityChecker(inputs).check(trace)
+        assert len(trace.decided()) == 3
+
+    def test_encoded_and_plain_solo_runs_decide_identically(self):
+        inputs = {101: 5, 103: 6}
+        plain = System(AnonymousConsensus(n=2), inputs)
+        encoded = System(AnonymousConsensus(n=2, encode_records=True), inputs)
+        t1 = plain.run(SoloAdversary(101), max_steps=100_000)
+        t2 = encoded.run(SoloAdversary(101), max_steps=100_000)
+        assert t1.outputs[101] == t2.outputs[101]
+        assert t1.steps_taken(101) == t2.steps_taken(101)

@@ -1,0 +1,123 @@
+"""Cross-cutting core-algorithm tests: encoded-record model checking,
+symmetry-relabelling properties, and mixed-algorithm sanity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex, MutexState
+from repro.core.renaming import AnonymousRenaming, RenamingState
+from repro.lowerbounds.symmetry import relabel_value
+from repro.memory.records import RenamingRecord
+from repro.runtime.exploration import (
+    agreement_invariant,
+    conjoin,
+    explore,
+    unique_names_invariant,
+    validity_invariant,
+)
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+class TestEncodedRecordsUnderExploration:
+    """The §4.1 single-integer encodings, exhaustively model-checked."""
+
+    def test_encoded_consensus_n2_exhaustive(self):
+        inputs = {101: 1, 103: 2}
+        system = System(
+            AnonymousConsensus(n=2, encode_records=True), inputs,
+            record_trace=False,
+        )
+        result = explore(
+            system,
+            conjoin(agreement_invariant, validity_invariant),
+            max_states=500_000,
+            max_depth=100_000,
+        )
+        assert result.complete and result.ok, result.violation
+
+    def test_encoded_and_plain_explorations_have_same_state_count(self):
+        # The encoding is a bijection on register values, so the state
+        # graphs are isomorphic — equal sizes is a cheap strong check.
+        inputs = {101: 1, 103: 2}
+        plain = System(AnonymousConsensus(n=2), inputs, record_trace=False)
+        encoded = System(
+            AnonymousConsensus(n=2, encode_records=True), inputs,
+            record_trace=False,
+        )
+        r_plain = explore(plain, agreement_invariant, max_states=500_000)
+        r_encoded = explore(encoded, agreement_invariant, max_states=500_000)
+        assert r_plain.states_explored == r_encoded.states_explored
+
+    def test_encoded_renaming_n2_exhaustive(self):
+        system = System(
+            AnonymousRenaming(n=2, encode_records=True), pids(2),
+            record_trace=False,
+        )
+        result = explore(
+            system, unique_names_invariant, max_states=500_000, max_depth=100_000
+        )
+        assert result.complete and result.ok, result.violation
+
+
+class TestRelabelProperties:
+    @given(
+        pc=st.sampled_from(["scan_read", "collect", "wait"]),
+        j=st.integers(0, 4),
+        view=st.tuples(*[st.sampled_from([0, 101, 103])] * 3),
+    )
+    @settings(max_examples=40)
+    def test_relabel_roundtrip_on_mutex_states(self, pc, j, view):
+        state = MutexState(pc=pc, j=j, myview=view)
+        mapping = {101: 999_101, 103: 999_103}
+        inverse = {v: k for k, v in mapping.items()}
+        assert relabel_value(relabel_value(state, mapping), inverse) == state
+
+    def test_relabel_renaming_state_with_history(self):
+        state = RenamingState(
+            mypref=101,
+            myround=2,
+            myhistory=frozenset({(103, 1)}),
+        )
+        relabeled = relabel_value(state, {101: 1, 103: 2})
+        assert relabeled.mypref == 1
+        assert relabeled.myhistory == frozenset({(2, 1)})
+
+    def test_relabel_identity_mapping_is_noop(self):
+        state = MutexState(pc="collect", myview=(101, 0, 103))
+        assert relabel_value(state, {}) == state
+
+
+class TestAlgorithmComposition:
+    def test_consensus_then_renaming_on_fresh_systems(self):
+        """Typical application stacking: elect a configuration, then
+        compact the names — two independent systems, same pids."""
+        from repro.core.election import AnonymousElection
+        from repro.runtime.adversary import StagedObstructionAdversary
+
+        election = System(AnonymousElection(n=3), pids(3))
+        t1 = election.run(
+            StagedObstructionAdversary(prefix_steps=30, seed=1), max_steps=300_000
+        )
+        leader = next(iter(t1.decided().values()))
+        assert leader in pids(3)
+
+        renaming = System(AnonymousRenaming(n=3), pids(3))
+        t2 = renaming.run(
+            StagedObstructionAdversary(prefix_steps=30, seed=2), max_steps=500_000
+        )
+        assert sorted(t2.outputs.values()) == [1, 2, 3]
+
+    def test_mutex_visits_with_heterogeneous_inputs(self):
+        # Per-process cs_visits via inputs: {pid: visits}.
+        system = System(
+            AnonymousMutex(m=3), {pids(2)[0]: 3, pids(2)[1]: 1}
+        )
+        from repro.runtime.adversary import RandomAdversary
+
+        trace = system.run(RandomAdversary(4), max_steps=200_000)
+        assert trace.outputs[pids(2)[0]] == 3
+        assert trace.outputs[pids(2)[1]] == 1

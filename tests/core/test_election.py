@@ -1,0 +1,60 @@
+"""Tests for election via consensus (the §4 note)."""
+
+import pytest
+
+from repro.core.election import AnonymousElection, elected_leader
+from repro.errors import ConfigurationError
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import SoloAdversary, StagedObstructionAdversary
+from repro.runtime.system import System
+from repro.spec.consensus_spec import ElectionChecker
+
+from tests.conftest import pids
+
+
+class TestElection:
+    def test_inputs_are_pinned_to_identifiers(self):
+        automaton = AnonymousElection(n=2).automaton_for(101)
+        assert automaton.input == 101
+
+    def test_conflicting_explicit_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnonymousElection(n=2).automaton_for(101, input=999)
+
+    def test_matching_explicit_input_tolerated(self):
+        automaton = AnonymousElection(n=2).automaton_for(101, input=101)
+        assert automaton.input == 101
+
+    def test_solo_process_elects_itself(self):
+        system = System(AnonymousElection(n=3), pids(3))
+        trace = system.run(SoloAdversary(pids(3)[0]), max_steps=100_000)
+        assert trace.outputs[pids(3)[0]] == pids(3)[0]
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_unanimous_leader_among_participants(self, n):
+        for seed in range(3):
+            system = System(
+                AnonymousElection(n=n), pids(n), naming=RandomNaming(seed)
+            )
+            adversary = StagedObstructionAdversary(prefix_steps=50, seed=seed)
+            trace = system.run(adversary, max_steps=300_000)
+            ElectionChecker().check(trace)
+            assert len(trace.decided()) == n
+
+    def test_elected_leader_helper(self):
+        system = System(AnonymousElection(n=2), pids(2))
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=20, seed=1), max_steps=100_000
+        )
+        leader = elected_leader(trace.outputs)
+        assert leader in pids(2)
+
+    def test_elected_leader_none_when_undecided(self):
+        assert elected_leader({}) is None
+
+    def test_elected_leader_raises_on_disagreement(self):
+        with pytest.raises(ValueError):
+            elected_leader({101: 101, 103: 103})
+
+    def test_uses_2n_minus_1_registers(self):
+        assert AnonymousElection(n=4).register_count() == 7

@@ -1,0 +1,267 @@
+"""Tests for the Figure 1 memory-anonymous mutual exclusion algorithm.
+
+Covers Theorems 3.1-3.3: mutual exclusion and deadlock-freedom for odd
+m >= 3 (sampled schedules + exhaustive model checking), the failure of
+even m (via the Theorem 3.4 attack, tested in tests/lowerbounds), and the
+structural properties of the figure's code (majority threshold, cleanup,
+wait loop, exit section).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mutex import AnonymousMutex, AnonymousMutexProcess, MutexState
+from repro.errors import ConfigurationError
+from repro.memory.naming import ExplicitNaming, IdentityNaming, RandomNaming
+from repro.runtime.adversary import (
+    RandomAdversary,
+    RoundRobinAdversary,
+    SoloAdversary,
+)
+from repro.runtime.exploration import explore, mutual_exclusion_invariant
+from repro.runtime.system import System
+from repro.spec.mutex_spec import (
+    DeadlockFreedomChecker,
+    ExitWaitFreeChecker,
+    MutualExclusionChecker,
+)
+
+from tests.conftest import namings_for, pids, safety_adversaries
+
+
+class TestValidation:
+    def test_even_m_rejected(self):
+        # Theorem 3.1: solutions exist iff m is odd.
+        with pytest.raises(ConfigurationError):
+            AnonymousMutex(m=4)
+
+    def test_m_below_three_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnonymousMutex(m=1)
+
+    def test_unsafe_flag_allows_even_m(self):
+        assert AnonymousMutex(m=4, unsafe_allow_any_m=True).register_count() == 4
+
+    def test_odd_m_accepted(self):
+        for m in (3, 5, 7, 9, 11):
+            assert AnonymousMutex(m=m).register_count() == m
+
+    def test_threshold_is_ceil_m_over_2(self):
+        assert AnonymousMutexProcess(101, m=3).threshold == 2
+        assert AnonymousMutexProcess(101, m=5).threshold == 3
+        assert AnonymousMutexProcess(101, m=7).threshold == 4
+
+
+class TestSoloBehaviour:
+    def test_solo_process_enters_cs_and_halts(self):
+        system = System(AnonymousMutex(m=3, cs_visits=1), pids(2))
+        trace = system.run(SoloAdversary(pids(2)[0]), max_steps=10_000)
+        assert trace.outputs[pids(2)[0]] == 1
+        assert trace.critical_section_entries(pids(2)[0]) == 1
+
+    def test_solo_process_writes_then_reads_all_registers(self):
+        # Lines 2-3: a solo process claims all m registers then verifies.
+        system = System(AnonymousMutex(m=5, cs_visits=1), pids(2))
+        pid = pids(2)[0]
+        trace = system.run(SoloAdversary(pid), max_steps=10_000)
+        assert trace.registers_written_by(pid) == (0, 1, 2, 3, 4)
+
+    def test_exit_code_resets_all_registers(self):
+        # Line 12: on exit all registers go back to 0.
+        system = System(AnonymousMutex(m=3, cs_visits=1), pids(2))
+        trace = system.run(SoloAdversary(pids(2)[0]), max_steps=10_000)
+        assert trace.final_values == (0, 0, 0)
+
+    def test_multiple_visits_loop(self):
+        system = System(AnonymousMutex(m=3, cs_visits=4), pids(2))
+        pid = pids(2)[0]
+        trace = system.run(SoloAdversary(pid), max_steps=50_000)
+        assert trace.outputs[pid] == 4
+        assert trace.critical_section_entries(pid) == 4
+
+
+class TestSafetyUnderSampledSchedules:
+    @pytest.mark.parametrize("m", [3, 5, 7])
+    def test_mutual_exclusion_all_namings_and_adversaries(self, m):
+        checker = MutualExclusionChecker()
+        for naming in namings_for(pids(2), m):
+            for adversary in safety_adversaries(range(3)):
+                system = System(
+                    AnonymousMutex(m=m, cs_visits=2, cs_steps=3),
+                    pids(2),
+                    naming=naming,
+                )
+                trace = system.run(adversary, max_steps=30_000)
+                checker.check(trace)
+
+    @pytest.mark.parametrize("m", [3, 5])
+    def test_deadlock_freedom_completed_runs(self, m):
+        for seed in range(4):
+            system = System(AnonymousMutex(m=m, cs_visits=2), pids(2))
+            trace = system.run(RandomAdversary(seed), max_steps=100_000)
+            assert trace.stop_reason == "all-halted"
+            DeadlockFreedomChecker().check(trace)
+
+    def test_exit_section_is_wait_free(self, two_pids):
+        for seed in range(3):
+            system = System(AnonymousMutex(m=5, cs_visits=2), two_pids)
+            trace = system.run(RandomAdversary(seed), max_steps=100_000)
+            ExitWaitFreeChecker(max_exit_steps=5).check(trace)
+
+    @given(seed=st.integers(0, 10_000), m=st.sampled_from([3, 5, 7]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_schedules_never_violate_me(self, seed, m):
+        system = System(
+            AnonymousMutex(m=m, cs_visits=1, cs_steps=2),
+            pids(2),
+            naming=RandomNaming(seed % 7),
+        )
+        trace = system.run(RandomAdversary(seed), max_steps=30_000)
+        MutualExclusionChecker().check(trace)
+
+
+class TestExhaustive:
+    """Bounded-exhaustive verification of Theorem 3.2 on small instances."""
+
+    def test_m3_identity_naming_fully_explored(self):
+        system = System(
+            AnonymousMutex(m=3, cs_visits=1), pids(2), record_trace=False
+        )
+        result = explore(system, mutual_exclusion_invariant, max_states=500_000)
+        assert result.complete, result.summary()
+        assert result.ok, result.violation
+        assert result.stuck_states == 0  # nobody ever gets stuck
+
+    def test_m3_rotated_ring_naming_fully_explored(self):
+        from repro.memory.naming import RingNaming
+
+        naming = RingNaming({pids(2)[0]: 0, pids(2)[1]: 1})
+        system = System(
+            AnonymousMutex(m=3, cs_visits=1),
+            pids(2),
+            naming=naming,
+            record_trace=False,
+        )
+        result = explore(system, mutual_exclusion_invariant, max_states=500_000)
+        assert result.complete and result.ok and result.stuck_states == 0
+
+    def test_m3_adversarial_opposite_orders(self):
+        naming = ExplicitNaming(
+            {pids(2)[0]: (0, 1, 2), pids(2)[1]: (2, 1, 0)}
+        )
+        system = System(
+            AnonymousMutex(m=3, cs_visits=1),
+            pids(2),
+            naming=naming,
+            record_trace=False,
+        )
+        result = explore(system, mutual_exclusion_invariant, max_states=500_000)
+        assert result.complete and result.ok and result.stuck_states == 0
+
+    def test_m5_identity_naming_fully_explored(self):
+        system = System(
+            AnonymousMutex(m=5, cs_visits=1), pids(2), record_trace=False
+        )
+        result = explore(system, mutual_exclusion_invariant, max_states=2_000_000)
+        assert result.complete, result.summary()
+        assert result.ok, result.violation
+
+
+class TestStateMachineStructure:
+    """White-box checks that the automaton follows Figure 1 line by line."""
+
+    def test_loser_cleans_up_only_its_own_marks(self):
+        # Line 5: "if p.i[j] = i then p.i[j] = 0".
+        automaton = AnonymousMutexProcess(101, m=3)
+        state = MutexState(pc="cleanup_read", j=0)
+        from repro.runtime.ops import ReadOp, WriteOp
+
+        # Reading the other process's id: move on without writing.
+        next_state = automaton.apply(state, ReadOp(0), 103)
+        assert next_state.pc == "cleanup_read"
+        assert next_state.j == 1
+        # Reading own id: write 0 there.
+        write_state = automaton.apply(state, ReadOp(0), 101)
+        assert write_state.pc == "cleanup_write"
+        assert automaton.next_op(write_state) == WriteOp(0, 0)
+
+    def test_scan_skips_occupied_registers(self):
+        # Line 2: only 0-valued registers are claimed.
+        automaton = AnonymousMutexProcess(101, m=3)
+        state = MutexState(pc="scan_read", j=1)
+        from repro.runtime.ops import ReadOp
+
+        next_state = automaton.apply(state, ReadOp(1), 103)
+        assert next_state.pc == "scan_read"
+        assert next_state.j == 2
+
+    def test_collect_with_all_mine_enters_cs(self):
+        automaton = AnonymousMutexProcess(101, m=3)
+        state = MutexState(pc="collect", j=2, myview=(101, 101))
+        from repro.runtime.ops import ReadOp
+
+        next_state = automaton.apply(state, ReadOp(2), 101)
+        assert next_state.pc == "enter_cs"
+
+    def test_collect_below_threshold_loses(self):
+        automaton = AnonymousMutexProcess(101, m=3)
+        state = MutexState(pc="collect", j=2, myview=(103, 103))
+        from repro.runtime.ops import ReadOp
+
+        next_state = automaton.apply(state, ReadOp(2), 101)
+        assert next_state.pc == "cleanup_read"
+
+    def test_collect_at_threshold_but_not_all_retries(self):
+        # >= ceil(m/2) but < m: "it starts all over again" (line 1).
+        automaton = AnonymousMutexProcess(101, m=3)
+        state = MutexState(pc="collect", j=2, myview=(101, 101))
+        from repro.runtime.ops import ReadOp
+
+        next_state = automaton.apply(state, ReadOp(2), 103)
+        assert next_state.pc == "scan_read"
+        assert next_state.j == 0
+
+    def test_wait_loop_until_all_zero(self):
+        # Lines 6-8: keep re-reading until every register is 0.
+        automaton = AnonymousMutexProcess(101, m=3)
+        from repro.runtime.ops import ReadOp
+
+        state = MutexState(pc="wait", j=2, myview=(0, 0))
+        assert automaton.apply(state, ReadOp(2), 0).pc == "scan_read"
+        dirty = MutexState(pc="wait", j=2, myview=(0, 103))
+        retry = automaton.apply(dirty, ReadOp(2), 0)
+        assert retry.pc == "wait" and retry.j == 0
+
+    def test_phase_classification(self):
+        automaton = AnonymousMutexProcess(101, m=3)
+        assert automaton.phase(MutexState(pc="scan_read")) == "entry"
+        assert automaton.phase(MutexState(pc="wait")) == "entry"
+        assert automaton.phase(MutexState(pc="crit")) == "critical"
+        assert automaton.phase(MutexState(pc="exit_crit")) == "critical"
+        assert automaton.phase(MutexState(pc="reset")) == "exit"
+        assert automaton.phase(MutexState(pc="done")) == "remainder"
+
+    def test_per_process_cs_visit_override_via_input(self):
+        algorithm = AnonymousMutex(m=3, cs_visits=1)
+        automaton = algorithm.automaton_for(101, input=5)
+        assert automaton.cs_visits == 5
+
+
+class TestContention:
+    def test_contended_runs_serialize_cs_entries(self, two_pids):
+        # Under heavy contention, entries alternate or repeat but never
+        # overlap; total entries equals the sum of visits.
+        system = System(AnonymousMutex(m=3, cs_visits=3, cs_steps=4), two_pids)
+        trace = system.run(RandomAdversary(11), max_steps=200_000)
+        assert trace.stop_reason == "all-halted"
+        assert trace.critical_section_entries() == 6
+        MutualExclusionChecker().check(trace)
+
+    def test_round_robin_makes_progress_with_odd_m(self, two_pids):
+        # Odd m guarantees the symmetric schedule breaks: round robin is
+        # lockstep, and exactly one process captures a majority.
+        system = System(AnonymousMutex(m=3, cs_visits=1), two_pids)
+        trace = system.run(RoundRobinAdversary(), max_steps=100_000)
+        assert trace.stop_reason == "all-halted"
+        assert trace.critical_section_entries() == 2

@@ -1,0 +1,203 @@
+"""Tests for the Figure 3 adaptive perfect renaming algorithm.
+
+Covers Theorem 5.1 (obstruction-free termination), Theorem 5.2
+(uniqueness and range {1..n}), Theorem 5.3 (adaptivity: k participants
+acquire {1..k}), the round/history mechanics of the figure, and the
+encoded-record mode.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.renaming import (
+    AnonymousRenaming,
+    AnonymousRenamingProcess,
+    RenamingState,
+)
+from repro.errors import ConfigurationError
+from repro.memory.naming import RandomNaming
+from repro.memory.records import RenamingRecord
+from repro.runtime.adversary import (
+    RandomAdversary,
+    SoloAdversary,
+    StagedObstructionAdversary,
+)
+from repro.runtime.exploration import explore, unique_names_invariant
+from repro.runtime.system import System
+from repro.spec.renaming_spec import (
+    NameRangeChecker,
+    RenamingTerminationChecker,
+    UniqueNamesChecker,
+)
+
+from tests.conftest import namings_for, pids, progress_adversaries
+
+
+class TestValidation:
+    def test_register_count_is_2n_minus_1(self):
+        for n in (1, 2, 4, 6):
+            assert AnonymousRenaming(n=n).register_count() == 2 * n - 1
+
+    def test_register_override(self):
+        assert AnonymousRenaming(n=4, registers=3).register_count() == 3
+
+    def test_non_positive_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnonymousRenaming(n=0)
+
+
+class TestSoloBehaviour:
+    def test_solo_process_gets_name_1(self):
+        # Adaptivity with k=1: the lone participant must take name 1.
+        system = System(AnonymousRenaming(n=4), pids(4))
+        trace = system.run(SoloAdversary(pids(4)[0]), max_steps=100_000)
+        assert trace.outputs[pids(4)[0]] == 1
+
+    def test_single_process_instance(self):
+        system = System(AnonymousRenaming(n=1), pids(1))
+        trace = system.run(SoloAdversary(pids(1)[0]), max_steps=10_000)
+        assert trace.outputs[pids(1)[0]] == 1
+
+    def test_solo_iterations_bounded_by_registers(self):
+        # One write per inner iteration; a solo round fills 2n-1 entries.
+        n = 3
+        system = System(AnonymousRenaming(n=n), pids(n))
+        pid = pids(n)[0]
+        trace = system.run(SoloAdversary(pid), max_steps=100_000)
+        assert len(trace.writes_by(pid)) <= 2 * n - 1
+
+
+class TestFullParticipation:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_names_unique_in_range_all_terminate(self, n):
+        for naming in namings_for(pids(n), 2 * n - 1):
+            for adversary in progress_adversaries(range(2)):
+                system = System(AnonymousRenaming(n=n), pids(n), naming=naming)
+                trace = system.run(adversary, max_steps=500_000)
+                UniqueNamesChecker().check(trace)
+                NameRangeChecker(bound=n).check(trace)
+                RenamingTerminationChecker().check(trace)
+
+    def test_perfect_renaming_uses_every_name(self):
+        n = 4
+        system = System(AnonymousRenaming(n=n), pids(n))
+        adversary = StagedObstructionAdversary(prefix_steps=80, seed=5)
+        trace = system.run(adversary, max_steps=500_000)
+        assert sorted(trace.outputs.values()) == [1, 2, 3, 4]
+
+    @given(seed=st.integers(0, 10_000), naming_seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_property_uniqueness_and_range(self, seed, naming_seed):
+        n = 3
+        system = System(
+            AnonymousRenaming(n=n), pids(n), naming=RandomNaming(naming_seed)
+        )
+        adversary = StagedObstructionAdversary(prefix_steps=seed % 120, seed=seed)
+        trace = system.run(adversary, max_steps=500_000)
+        UniqueNamesChecker().check(trace)
+        NameRangeChecker(bound=n).check(trace)
+        RenamingTerminationChecker().check(trace)
+
+    def test_safety_holds_even_without_termination(self):
+        # Names handed out so far are unique even in truncated runs.
+        n = 3
+        for seed in range(4):
+            system = System(AnonymousRenaming(n=n), pids(n))
+            trace = system.run(RandomAdversary(seed), max_steps=15_000)
+            UniqueNamesChecker().check(trace)
+            NameRangeChecker(bound=n).check(trace)
+
+
+class TestAdaptivity:
+    """Theorem 5.3: k participants acquire names from {1..k}."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_k_of_4_participants_use_names_1_to_k(self, k):
+        n = 4
+        participants = pids(n)[:k]
+        system = System(AnonymousRenaming(n=n), participants)
+        adversary = StagedObstructionAdversary(prefix_steps=50, seed=k)
+        trace = system.run(adversary, max_steps=500_000)
+        assert sorted(trace.outputs.values()) == list(range(1, k + 1))
+
+    def test_adaptivity_bound_is_tight_not_just_n(self):
+        # 2 participants of a 5-process instance: names must be {1, 2},
+        # not merely within {1..5}.
+        system = System(AnonymousRenaming(n=5), pids(2))
+        adversary = StagedObstructionAdversary(prefix_steps=30, seed=7)
+        trace = system.run(adversary, max_steps=500_000)
+        NameRangeChecker(bound=2).check(trace)
+
+
+class TestRoundsAndHistory:
+    def test_loser_records_winner_in_history(self):
+        n = 2
+        p1, p2 = pids(2)
+        system = System(AnonymousRenaming(n=n), (p1, p2))
+        # p1 finishes alone (wins round 1), then p2 runs.
+        system.scheduler.run_solo_until_halt(p1)
+        system.scheduler.run_solo_until_halt(p2)
+        assert system.scheduler.output_of(p1) == 1
+        assert system.scheduler.output_of(p2) == 2
+
+    def test_winner_learns_election_from_history(self):
+        # p1 reaches the brink of winning round 1, p2 completes the round
+        # on p1's behalf, moves on, and p1 must learn its name from the
+        # history (line 5) rather than from its own exit test.
+        n = 2
+        p1, p2 = pids(2)
+        system = System(AnonymousRenaming(n=n), (p1, p2))
+        scheduler = system.scheduler
+        # Let p1 write everywhere but not yet re-collect.
+        while True:
+            state = scheduler.runtime(p1).state
+            values = system.memory.snapshot()
+            if all(
+                isinstance(v, RenamingRecord) and v.id == p1 for v in values
+            ):
+                break
+            scheduler.step(p1)
+        # Now p2 runs alone: it must adopt p1 (majority), elect p1 in
+        # round 1, then take round 2 for itself.
+        scheduler.run_solo_until_halt(p2)
+        assert scheduler.output_of(p2) == 2
+        # p1 finishes and discovers its election via someone's history.
+        scheduler.run_solo_until_halt(p1)
+        assert scheduler.output_of(p1) == 1
+
+    def test_round_numbers_never_exceed_n(self):
+        n = 3
+        system = System(AnonymousRenaming(n=n), pids(n))
+        adversary = StagedObstructionAdversary(prefix_steps=60, seed=2)
+        trace = system.run(adversary, max_steps=500_000)
+        rounds = [
+            e.op.value.round
+            for e in trace.events
+            if e.is_write() and isinstance(e.op.value, RenamingRecord)
+        ]
+        assert max(rounds) <= n
+
+
+class TestExhaustive:
+    def test_n2_fully_explored_unique_names(self):
+        system = System(AnonymousRenaming(n=2), pids(2), record_trace=False)
+        result = explore(
+            system, unique_names_invariant, max_states=400_000, max_depth=100_000
+        )
+        assert result.ok, result.violation
+        assert result.complete, result.summary()
+
+
+class TestEncodedRecords:
+    def test_registers_hold_plain_integers(self):
+        system = System(AnonymousRenaming(n=2, encode_records=True), pids(2))
+        system.scheduler.step(pids(2)[0])
+        assert all(isinstance(v, int) for v in system.memory.snapshot())
+
+    def test_encoded_run_assigns_unique_names(self):
+        n = 3
+        system = System(AnonymousRenaming(n=n, encode_records=True), pids(n))
+        adversary = StagedObstructionAdversary(prefix_steps=40, seed=9)
+        trace = system.run(adversary, max_steps=500_000)
+        assert sorted(trace.outputs.values()) == [1, 2, 3]

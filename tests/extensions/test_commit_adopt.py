@@ -1,0 +1,163 @@
+"""Tests for the commit-adopt object — including exhaustive verification
+of its specification over all schedules on small instances."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.commit_adopt import ADOPT, COMMIT, CommitAdopt
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import RandomAdversary, SoloAdversary
+from repro.runtime.exploration import explore
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+def coherence_invariant(system):
+    """CA spec as a state invariant: at most one committed value, and any
+    commit forces every output to carry that value."""
+    outputs = [o for o in system.scheduler.outputs().values() if o is not None]
+    committed = {v for status, v in outputs if status == COMMIT}
+    if len(committed) > 1:
+        return f"two committed values: {committed}"
+    if committed:
+        (winner,) = committed
+        stray = [(s, v) for s, v in outputs if v != winner]
+        if stray:
+            return f"outputs {stray} diverge from committed {winner!r}"
+    return None
+
+
+def validity_invariant_for(inputs):
+    legal = set(inputs.values())
+
+    def invariant(system):
+        for pid, out in system.scheduler.outputs().items():
+            if out is not None and out[1] not in legal:
+                return f"process {pid} output {out[1]!r}, not a proposal"
+        return None
+
+    return invariant
+
+
+def conjoined(inputs):
+    from repro.runtime.exploration import conjoin
+
+    return conjoin(coherence_invariant, validity_invariant_for(inputs))
+
+
+class TestValidation:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitAdopt(())
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitAdopt(("a", "a"))
+
+    def test_zero_in_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitAdopt((0, 1))
+
+    def test_proposal_outside_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitAdopt(("a", "b")).automaton_for(101, "z")
+
+    def test_register_count_is_2d(self):
+        assert CommitAdopt(("a", "b")).register_count() == 4
+        assert CommitAdopt(("a", "b", "c")).register_count() == 6
+
+
+class TestExhaustive:
+    """The construction's correctness argument, machine-checked."""
+
+    @pytest.mark.parametrize(
+        "inputs",
+        [
+            {101: "a", 103: "b"},
+            {101: "a", 103: "a"},
+            {101: "b", 103: "a"},
+        ],
+    )
+    def test_two_processes_all_schedules(self, inputs):
+        system = System(CommitAdopt(("a", "b")), inputs, record_trace=False)
+        result = explore(system, conjoined(inputs), max_states=500_000)
+        assert result.complete, result.summary()
+        assert result.ok, result.violation
+        assert result.stuck_states == 0
+
+    @pytest.mark.parametrize(
+        "inputs",
+        [
+            {101: "a", 103: "b", 107: "a"},
+            {101: "a", 103: "b", 107: "b"},
+            {101: "a", 103: "a", 107: "a"},
+        ],
+    )
+    def test_three_processes_all_schedules(self, inputs):
+        system = System(CommitAdopt(("a", "b")), inputs, record_trace=False)
+        result = explore(system, conjoined(inputs), max_states=2_000_000)
+        assert result.complete and result.ok, result.violation
+
+    def test_ternary_domain_two_processes(self):
+        inputs = {101: "x", 103: "z"}
+        system = System(CommitAdopt(("x", "y", "z")), inputs, record_trace=False)
+        result = explore(system, conjoined(inputs), max_states=2_000_000)
+        assert result.complete and result.ok, result.violation
+
+
+class TestConvergenceAndWaitFreedom:
+    def test_unanimous_proposals_all_commit(self):
+        # Convergence: same input everywhere -> everyone commits it.
+        inputs = {pid: "v" for pid in pids(4)}
+        system = System(CommitAdopt(("v", "w")), inputs)
+        trace = system.run(RandomAdversary(3), max_steps=10_000)
+        assert trace.all_halted()
+        assert all(out == (COMMIT, "v") for out in trace.outputs.values())
+
+    def test_solo_proposer_commits(self):
+        system = System(CommitAdopt(("a", "b")), {101: "b", 103: "a"})
+        trace = system.run(SoloAdversary(101), max_steps=100)
+        assert trace.outputs[101] == (COMMIT, "b")
+
+    def test_wait_free_step_bound(self):
+        # Every proposer finishes within 3|D| own steps, regardless of
+        # schedule: CA is wait-free, not merely obstruction-free.
+        domain = ("a", "b", "c")
+        inputs = {pids(5)[k]: domain[k % 3] for k in range(5)}
+        for seed in range(6):
+            system = System(CommitAdopt(domain), inputs)
+            trace = system.run(RandomAdversary(seed), max_steps=10_000)
+            assert trace.all_halted()
+            for pid in inputs:
+                assert trace.steps_taken(pid) <= 3 * len(domain)
+
+    def test_process_count_independence(self):
+        # The same 4-register binary object serves 2 or 8 processes.
+        algorithm = CommitAdopt(("a", "b"))
+        for count in (2, 5, 8):
+            inputs = {pids(8)[k]: ("a" if k % 2 else "b") for k in range(count)}
+            system = System(algorithm, inputs)
+            trace = system.run(RandomAdversary(count), max_steps=10_000)
+            assert trace.all_halted()
+            assert coherence_invariant(system) is None
+
+
+class TestSemantics:
+    def test_singleton_domain_commits_immediately(self):
+        system = System(CommitAdopt(("only",)), {101: "only"})
+        trace = system.run(SoloAdversary(101), max_steps=10)
+        assert trace.outputs[101] == (COMMIT, "only")
+        assert trace.steps_taken(101) == 1  # the single A write
+
+    def test_conflicted_proposer_adopts_committed_value(self):
+        # Serialise: p1 commits "a" fully, then p2 proposes "b" and must
+        # come back with ("adopt", "a").
+        system = System(CommitAdopt(("a", "b")), {101: "a", 103: "b"})
+        system.scheduler.run_solo_until_halt(101)
+        assert system.scheduler.output_of(101) == (COMMIT, "a")
+        system.scheduler.run_solo_until_halt(103)
+        assert system.scheduler.output_of(103) == (ADOPT, "a")
+
+    def test_named_model_flag(self):
+        assert not CommitAdopt(("a", "b")).is_anonymous()

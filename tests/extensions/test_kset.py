@@ -1,0 +1,133 @@
+"""Tests for k-set consensus: spec, partitioned algorithm, impossibility."""
+
+import pytest
+
+from repro.core.consensus import AnonymousConsensus
+from repro.errors import AgreementViolation, ConfigurationError, ValidityViolation
+from repro.extensions.kset import (
+    KSetChecker,
+    PartitionedKSetConsensus,
+    demonstrate_kset_unknown_n,
+    distinct_decisions,
+)
+from repro.runtime.adversary import StagedObstructionAdversary
+from repro.runtime.events import Trace
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+def trace_with(outputs, inputs, n=4):
+    trace = Trace(pids=pids(n), register_count=3, initial_values=(0,) * 3)
+    for pid, value in outputs.items():
+        trace.outputs[pid] = value
+        trace.halt_seq[pid] = 0
+    trace.stop_reason = "all-halted"
+    return trace
+
+
+class TestKSetChecker:
+    def test_passes_within_k(self):
+        inputs = dict(zip(pids(4), "abcd"))
+        KSetChecker(2, inputs).check(
+            trace_with({pids(4)[0]: "a", pids(4)[1]: "b"}, inputs)
+        )
+
+    def test_fires_beyond_k(self):
+        inputs = dict(zip(pids(4), "abcd"))
+        with pytest.raises(AgreementViolation):
+            KSetChecker(2, inputs).check(
+                trace_with(
+                    {pids(4)[0]: "a", pids(4)[1]: "b", pids(4)[2]: "c"}, inputs
+                )
+            )
+
+    def test_fires_on_invented_value(self):
+        inputs = dict(zip(pids(4), "abcd"))
+        with pytest.raises(ValidityViolation):
+            KSetChecker(2, inputs).check(trace_with({pids(4)[0]: "z"}, inputs))
+
+    def test_k1_is_consensus(self):
+        inputs = dict(zip(pids(2), "ab"))
+        with pytest.raises(AgreementViolation):
+            KSetChecker(1, inputs).check(
+                trace_with({pids(2)[0]: "a", pids(2)[1]: "b"}, inputs, n=2)
+            )
+
+
+class TestPartitionedKSet:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedKSetConsensus(n=3, k=0)
+        with pytest.raises(ConfigurationError):
+            PartitionedKSetConsensus(n=3, k=4)
+
+    def test_named_model_only(self):
+        assert not PartitionedKSetConsensus(n=4, k=2).is_anonymous()
+
+    def test_register_count(self):
+        # n=5, k=2: groups of ceil(5/2)=3, blocks of 2*3-1=5, total 10.
+        assert PartitionedKSetConsensus(n=5, k=2).register_count() == 10
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 2), (6, 3), (4, 4), (5, 1)])
+    def test_at_most_k_distinct_valid_outputs(self, n, k):
+        inputs = {pid: f"v{pid}" for pid in pids(n)}
+        for seed in range(3):
+            system = System(PartitionedKSetConsensus(n=n, k=k), inputs)
+            adversary = StagedObstructionAdversary(prefix_steps=30 * n, seed=seed)
+            trace = system.run(adversary, max_steps=500_000)
+            assert trace.all_halted()
+            KSetChecker(k, inputs).check(trace)
+
+    def test_groups_use_disjoint_blocks(self):
+        inputs = {pid: f"v{pid}" for pid in pids(4)}
+        algorithm = PartitionedKSetConsensus(n=4, k=2)
+        system = System(algorithm, inputs)
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=40, seed=1), max_steps=500_000
+        )
+        block = algorithm.block_size
+        groups = {}
+        for event in trace.events:
+            if event.physical_index is not None:
+                groups.setdefault(event.pid, set()).add(
+                    event.physical_index // block
+                )
+        # Each process stays inside exactly one block.
+        assert all(len(blocks) == 1 for blocks in groups.values())
+
+    def test_k_equals_1_degenerates_to_consensus(self):
+        inputs = {pid: f"v{pid}" for pid in pids(3)}
+        system = System(PartitionedKSetConsensus(n=3, k=1), inputs)
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=50, seed=2), max_steps=500_000
+        )
+        assert len(set(trace.decided().values())) == 1
+
+
+class TestUnknownNImpossibility:
+    """The §6.3 remark: generalized covering construction."""
+
+    def test_k1_yields_two_decisions(self):
+        reports = demonstrate_kset_unknown_n(
+            lambda: AnonymousConsensus(n=3, registers=2), k=1
+        )
+        assert len(reports) == 1
+        values = distinct_decisions(reports)
+        assert len(values) == 2  # > k = 1: k-set (consensus) violated
+
+    def test_k2_yields_three_decisions_across_generations(self):
+        reports = demonstrate_kset_unknown_n(
+            lambda: AnonymousConsensus(n=3, registers=2), k=2
+        )
+        assert len(reports) == 2
+        values = distinct_decisions(reports)
+        assert len(values) >= 3  # > k = 2
+
+    def test_generation_inputs_validated(self):
+        with pytest.raises(ConfigurationError):
+            demonstrate_kset_unknown_n(
+                lambda: AnonymousConsensus(n=3, registers=2),
+                k=2,
+                inputs=("a", "a", "b"),
+            )

@@ -1,0 +1,77 @@
+"""Extensions under the real-thread backend.
+
+Wait-free objects (commit-adopt, splitter renaming) are safe to run on
+threads without backoff — every process finishes in a bounded number of
+its own steps no matter the interleaving.  The obstruction-free ladder
+uses backoff, as the deployment story prescribes.
+"""
+
+import pytest
+
+from repro.baselines.splitter_renaming import SplitterRenaming
+from repro.extensions.commit_adopt import COMMIT, CommitAdopt
+from repro.extensions.unbounded_consensus import UnboundedConsensus
+from repro.runtime.threads import run_threaded, run_threaded_with_backoff
+
+from tests.conftest import pids
+
+
+class TestCommitAdoptOnThreads:
+    def test_unanimous_commit(self):
+        inputs = {pid: "v" for pid in pids(4)}
+        result = run_threaded(CommitAdopt(("v", "w")), inputs, timeout=30.0)
+        assert result.ok, (result.timed_out, result.errors)
+        assert all(out == (COMMIT, "v") for out in result.outputs.values())
+
+    def test_contended_coherence(self):
+        inputs = {pids(4)[k]: ("a" if k % 2 else "b") for k in range(4)}
+        for seed in range(3):
+            result = run_threaded(
+                CommitAdopt(("a", "b")), inputs, timeout=30.0, seed=seed
+            )
+            assert result.ok, (result.timed_out, result.errors)
+            committed = {
+                v for status, v in result.outputs.values() if status == COMMIT
+            }
+            assert len(committed) <= 1
+            if committed:
+                (winner,) = committed
+                assert all(v == winner for _, v in result.outputs.values())
+
+    def test_wait_free_without_backoff(self):
+        # No backoff needed: the object is wait-free, so plain threads
+        # always terminate within the step bound.
+        inputs = {pids(6)[k]: ("a" if k % 2 else "b") for k in range(6)}
+        result = run_threaded(CommitAdopt(("a", "b")), inputs, timeout=30.0)
+        assert result.ok
+        assert all(steps <= 6 for steps in result.steps.values())
+
+
+class TestLadderOnThreads:
+    def test_ladder_with_backoff_decides(self):
+        inputs = {pids(4)[k]: ("one" if k % 2 else "zero") for k in range(4)}
+        result = run_threaded_with_backoff(
+            UnboundedConsensus(("zero", "one"), max_rounds=256),
+            inputs,
+            timeout=60.0,
+        )
+        assert result.ok, (result.timed_out, result.errors)
+        assert len(set(result.outputs.values())) == 1
+        assert set(result.outputs.values()) <= {"zero", "one"}
+
+
+class TestSplitterOnThreads:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_unique_names_without_backoff(self, n):
+        result = run_threaded(SplitterRenaming(n=n), pids(n), timeout=30.0)
+        assert result.ok, (result.timed_out, result.errors)
+        names = list(result.outputs.values())
+        assert len(set(names)) == len(names)
+        bound = n * (n + 1) // 2
+        assert all(1 <= name <= bound for name in names)
+
+    def test_wait_free_step_bound_on_threads(self):
+        n = 4
+        result = run_threaded(SplitterRenaming(n=n), pids(n), timeout=30.0)
+        assert result.ok
+        assert all(steps <= 4 * n for steps in result.steps.values())

@@ -1,0 +1,143 @@
+"""Tests for the ablation variants (thresholds exposed)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.variants import LenientConsensus, ThresholdMutex
+from repro.runtime.adversary import FixedScheduleAdversary, RandomAdversary
+from repro.runtime.exploration import (
+    agreement_invariant,
+    explore,
+    mutual_exclusion_invariant,
+)
+from repro.runtime.system import System
+from repro.spec.consensus_spec import AgreementChecker
+from repro.spec.mutex_spec import MutualExclusionChecker
+
+from tests.conftest import pids
+
+
+def run_to_cycle_or_completion(system, schedule_prefix, max_steps=5_000):
+    """Drive a fixed prefix, then round-robin with state-cycle detection.
+
+    Returns "completed" when all processes halt, or "livelock" when the
+    global state repeats (the run provably loops forever).
+    """
+    scheduler = system.scheduler
+    for pid in schedule_prefix:
+        scheduler.step(pid)
+    seen = {scheduler.capture_state()}
+    order = list(scheduler.pids)
+    cursor = 0
+    for _ in range(max_steps):
+        enabled = scheduler.enabled_pids()
+        if not enabled:
+            return "completed"
+        while order[cursor % len(order)] not in enabled:
+            cursor += 1
+        scheduler.step(order[cursor % len(order)])
+        cursor += 1
+        state = scheduler.capture_state()
+        if state in seen:
+            return "livelock"
+        seen.add(state)
+    return "undetermined"
+
+
+class TestThresholdMutex:
+    def test_paper_threshold_reproduces_fig1(self):
+        # t = ceil(m/2) = 2 on m=3 is exactly Figure 1.
+        system = System(
+            ThresholdMutex(m=3, threshold=2, cs_visits=2), pids(2),
+            record_trace=False,
+        )
+        result = explore(system, mutual_exclusion_invariant, max_states=500_000)
+        assert result.complete and result.ok and result.stuck_states == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdMutex(m=3, threshold=0).automaton_for(101)
+        with pytest.raises(ConfigurationError):
+            ThresholdMutex(m=3, threshold=4).automaton_for(101)
+
+    def test_mutual_exclusion_safe_for_any_threshold(self):
+        # Entry still requires all m registers, so ME is threshold-proof.
+        for t in (1, 2, 3):
+            system = System(
+                ThresholdMutex(m=3, threshold=t, cs_visits=1), pids(2),
+                record_trace=False,
+            )
+            result = explore(
+                system, mutual_exclusion_invariant, max_states=500_000
+            )
+            assert result.ok, (t, result.violation)
+
+    def test_stubborn_threshold_1_livelocks_on_a_split(self):
+        """t=1: neither process ever gives up.  Drive the 2-1 register
+        split deterministically, then watch the state cycle."""
+        p1, p2 = pids(2)
+        system = System(ThresholdMutex(m=3, threshold=1), (p1, p2))
+        # p1 claims registers 0 and 1; p2 claims register 2.
+        prefix = [p1, p1, p1, p1]          # read r0, write r0, read r1, write r1
+        prefix += [p2, p2, p2, p2, p2, p2]  # read r0 (taken), read r1 (taken), read r2, write r2, ...
+        outcome = run_to_cycle_or_completion(system, prefix[:8])
+        assert outcome == "livelock"
+
+    def test_paper_threshold_completes_on_the_same_split(self):
+        """Control: t=2 resolves the identical 2-1 split (the loser
+        cleans up and waits), showing ceil(m/2) is what buys progress."""
+        p1, p2 = pids(2)
+        system = System(ThresholdMutex(m=3, threshold=2), (p1, p2))
+        prefix = [p1, p1, p1, p1, p2, p2, p2, p2]
+        outcome = run_to_cycle_or_completion(system, prefix)
+        assert outcome == "completed"
+
+    def test_skittish_threshold_m_livelocks_in_lockstep(self):
+        """t=m: both always give up; under a symmetric schedule they
+        reset and retry forever."""
+        from repro.lowerbounds.symmetry import run_symmetry_attack
+
+        result = run_symmetry_attack(
+            ThresholdMutex(m=4, threshold=4), pids(2)
+        )
+        assert result.violation == "deadlock-freedom"
+
+
+class TestLenientConsensus:
+    def test_paper_threshold_reproduces_fig2(self):
+        inputs = {101: "a", 103: "b"}
+        system = System(
+            LenientConsensus(n=2, threshold=2), inputs, record_trace=False
+        )
+        result = explore(system, agreement_invariant, max_states=500_000)
+        assert result.complete and result.ok
+
+    def test_low_threshold_safety_searched_exhaustively(self):
+        """t=1 on n=2: the agreement proof breaks (the adopted value is
+        no longer unique), but does the algorithm actually fail?  The
+        exhaustive search answers for this instance; either outcome is
+        recorded by the ablation bench.  Here we only require the search
+        to terminate and the result to be reproducible."""
+        inputs = {101: "a", 103: "b"}
+        system = System(
+            LenientConsensus(n=2, threshold=1), inputs, record_trace=False
+        )
+        result = explore(
+            system, agreement_invariant, max_states=500_000, max_depth=100_000
+        )
+        # Record the ground truth so regressions surface: the 2-process
+        # lenient instance happens to remain safe (plurality tie-break
+        # converges); larger instances are probed by the bench.
+        assert result.complete
+        assert result.ok, result.violation
+
+    def test_lenient_runs_still_decide_under_obstruction(self):
+        from repro.runtime.adversary import StagedObstructionAdversary
+
+        inputs = {101: "a", 103: "b", 107: "c"}
+        system = System(LenientConsensus(n=3, threshold=2), inputs)
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=50, seed=3), max_steps=500_000
+        )
+        # Decisions happen; whether they AGREE is the ablation's question.
+        assert trace.decided()

@@ -1,0 +1,50 @@
+"""Tests for the deliberately limited candidate algorithms."""
+
+import pytest
+
+from repro.lowerbounds.candidates import NaiveTestAndSetLock
+from repro.runtime.adversary import SoloAdversary
+from repro.runtime.exploration import explore, mutual_exclusion_invariant
+from repro.runtime.system import System
+from repro.spec.mutex_spec import MutualExclusionChecker
+
+from tests.conftest import pids
+
+
+class TestNaiveLock:
+    def test_uses_one_register(self):
+        assert NaiveTestAndSetLock().register_count() == 1
+
+    def test_solo_behaviour_is_correct(self):
+        # Alone, the naive lock is exemplary: probe, claim, verify, CS.
+        system = System(NaiveTestAndSetLock(cs_visits=2), pids(2))
+        trace = system.run(SoloAdversary(pids(2)[0]), max_steps=1_000)
+        assert trace.outputs[pids(2)[0]] == 2
+        assert trace.final_values == (0,)
+
+    def test_broken_under_some_interleaving(self):
+        # Its documented flaw: exhaustive search finds an ME violation.
+        system = System(NaiveTestAndSetLock(), pids(2), record_trace=False)
+        result = explore(system, mutual_exclusion_invariant)
+        assert result.violation is not None
+
+    def test_violating_schedule_checks_out_on_a_trace(self):
+        system = System(NaiveTestAndSetLock(), pids(2), record_trace=False)
+        result = explore(system, mutual_exclusion_invariant)
+        replay = System(NaiveTestAndSetLock(cs_steps=2), pids(2))
+        from repro.runtime.adversary import FixedScheduleAdversary
+
+        trace = replay.run(
+            FixedScheduleAdversary(result.violation_schedule), max_steps=10_000
+        )
+        checker = MutualExclusionChecker()
+        assert not checker.holds(trace)
+
+    def test_phase_reporting(self):
+        from repro.lowerbounds.candidates import NaiveLockState, NaiveTestAndSetProcess
+
+        process = NaiveTestAndSetProcess(101)
+        assert process.phase(NaiveLockState(pc="probe")) == "entry"
+        assert process.phase(NaiveLockState(pc="crit")) == "critical"
+        assert process.phase(NaiveLockState(pc="release")) == "exit"
+        assert process.phase(NaiveLockState(pc="done")) == "remainder"

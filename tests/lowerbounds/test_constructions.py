@@ -1,0 +1,114 @@
+"""Tests for the Section 6 covering constructions (Thms 6.2, 6.3, 6.5)."""
+
+import pytest
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.core.renaming import AnonymousRenaming
+from repro.errors import SchedulingError
+from repro.lowerbounds.candidates import NaiveTestAndSetLock
+from repro.lowerbounds.consensus_space import demonstrate_consensus_space_bound
+from repro.lowerbounds.mutex_unbounded import demonstrate_mutex_impossibility
+from repro.lowerbounds.renaming_space import demonstrate_renaming_space_bound
+
+
+class TestMutexConstruction:
+    """Theorem 6.2: no deadlock-free mutex with unknown #processes."""
+
+    def test_naive_lock_yields_rho_with_two_in_cs(self):
+        report = demonstrate_mutex_impossibility(lambda: NaiveTestAndSetLock())
+        assert report.branch == "rho-violation"
+        assert "mutual exclusion violated" in report.violation
+        assert report.indistinguishability_verified
+        assert report.write_set == (0,)
+        assert len(report.covering_pids) == 1
+
+    def test_fig1_yields_progress_violation_in_z(self):
+        # Figure 1 defends safety; with m fresh processes the P-only run
+        # cycles without anyone reaching the critical section.
+        report = demonstrate_mutex_impossibility(lambda: AnonymousMutex(m=3))
+        assert report.branch == "z-no-progress"
+        assert "cycle" in report.violation or "no progress" in report.violation
+        assert len(report.covering_pids) == 3  # q wrote all m = 3 registers
+
+    @pytest.mark.parametrize("m", [3, 5])
+    def test_fig1_write_set_is_all_registers(self, m):
+        report = demonstrate_mutex_impossibility(lambda: AnonymousMutex(m=m))
+        assert sorted(report.write_set) == list(range(m))
+
+    def test_report_summary_is_informative(self):
+        report = demonstrate_mutex_impossibility(lambda: NaiveTestAndSetLock())
+        summary = report.summary()
+        assert "Thm 6.2" in summary and "rho-violation" in summary
+
+
+class TestConsensusConstruction:
+    """Theorem 6.3: no OF consensus with n-1 anonymous registers."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_fig2_with_n_minus_1_registers_breaks_agreement(self, n):
+        report = demonstrate_consensus_space_bound(
+            lambda: AnonymousConsensus(n=n, registers=n - 1)
+        )
+        assert report.branch == "rho-violation"
+        assert "agreement violated" in report.violation
+        assert report.indistinguishability_verified
+        assert report.q_outcome == "zero"
+        assert "one" in report.p_outcomes.values()
+
+    def test_write_set_is_all_n_minus_1_registers(self):
+        report = demonstrate_consensus_space_bound(
+            lambda: AnonymousConsensus(n=4, registers=3)
+        )
+        assert sorted(report.write_set) == [0, 1, 2]
+        assert len(report.covering_pids) == 3
+
+    def test_construction_consumes_exactly_write_set_processes(self):
+        # Clause (2) arithmetic: n - 1 registers -> n - 1 covering
+        # processes + q = n processes total, as the theorem requires.
+        n = 5
+        report = demonstrate_consensus_space_bound(
+            lambda: AnonymousConsensus(n=n, registers=n - 1)
+        )
+        assert len(report.covering_pids) == n - 1
+
+    def test_fig2_at_full_width_resists_with_available_processes(self):
+        # Control: with the paper's 2n-1 registers the same pool of n-1
+        # covering processes cannot cover q's write set — the engine
+        # must report the shortfall rather than fabricate a violation.
+        n = 3
+        with pytest.raises(SchedulingError):
+            demonstrate_consensus_space_bound(
+                lambda: AnonymousConsensus(n=n),
+                pool_pids=tuple(range(201, 201 + n - 1)),
+            )
+
+
+class TestRenamingConstruction:
+    """Theorem 6.5: no OF adaptive perfect renaming with n-1 registers."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_fig3_with_n_minus_1_registers_duplicates_name_1(self, n):
+        report = demonstrate_renaming_space_bound(
+            lambda: AnonymousRenaming(n=n, registers=n - 1)
+        )
+        assert report.branch == "rho-violation"
+        assert "uniqueness violated" in report.violation
+        assert report.q_outcome == 1
+        assert 1 in report.p_outcomes.values()
+        assert report.indistinguishability_verified
+
+    def test_adaptivity_premise_checked(self):
+        # The construction verifies q's solo run really got name 1.
+        report = demonstrate_renaming_space_bound(
+            lambda: AnonymousRenaming(n=3, registers=2)
+        )
+        assert report.q_outcome == 1
+
+    def test_full_width_control_cannot_be_covered(self):
+        n = 3
+        with pytest.raises(SchedulingError):
+            demonstrate_renaming_space_bound(
+                lambda: AnonymousRenaming(n=n),
+                pool_pids=tuple(range(201, 201 + n - 1)),
+            )

@@ -1,0 +1,120 @@
+"""Tests for the §6.1 covering machinery."""
+
+import pytest
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.errors import ProtocolError, SchedulingError
+from repro.lowerbounds.covering import (
+    block_write,
+    build_covering_run,
+    run_solo_until_covering,
+    run_until,
+    replay_schedule,
+)
+from repro.memory.naming import ExplicitNaming, first_visit_permutation
+from repro.runtime.adversary import RoundRobinAdversary
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+def covering_system(m=3, n_covers=2):
+    """A Fig 1 system where each covering process first visits its target."""
+    cover_pids = pids(n_covers)
+    naming = ExplicitNaming(
+        {pid: first_visit_permutation(k, m) for k, pid in enumerate(cover_pids)}
+    )
+    algorithm = AnonymousMutex(m=m, unsafe_allow_any_m=(m % 2 == 0 or m < 3))
+    return System(algorithm, cover_pids, naming=naming)
+
+
+class TestRunSoloUntilCovering:
+    def test_fig1_covers_its_first_register(self):
+        system = covering_system()
+        steps = run_solo_until_covering(system.scheduler, pids(2)[0], 0)
+        assert steps == 1  # one read of a zero register
+        assert system.scheduler.covered_register(pids(2)[0]) == 0
+
+    def test_second_process_covers_distinct_target(self):
+        system = covering_system()
+        run_solo_until_covering(system.scheduler, pids(2)[0], 0)
+        run_solo_until_covering(system.scheduler, pids(2)[1], 1)
+        assert system.scheduler.covered_register(pids(2)[1]) == 1
+
+    def test_wrong_target_raises(self):
+        system = covering_system()
+        with pytest.raises(ProtocolError):
+            run_solo_until_covering(system.scheduler, pids(2)[0], 2)
+
+    def test_covering_prefix_is_write_free(self):
+        system = covering_system()
+        run_solo_until_covering(system.scheduler, pids(2)[0], 0)
+        assert system.memory.snapshot() == (0, 0, 0)
+
+
+class TestBuildCoveringRun:
+    def test_covers_all_assigned_registers(self):
+        system = covering_system(m=3, n_covers=3)
+        assignments = dict(zip(pids(3), (0, 1, 2)))
+        build_covering_run(system.scheduler, assignments)
+        for pid, target in assignments.items():
+            assert system.scheduler.covered_register(pid) == target
+
+    def test_duplicate_targets_rejected(self):
+        system = covering_system(m=3, n_covers=2)
+        with pytest.raises(SchedulingError):
+            build_covering_run(
+                system.scheduler, {pids(2)[0]: 0, pids(2)[1]: 0}
+            )
+
+    def test_memory_untouched_by_covering(self):
+        system = covering_system(m=3, n_covers=3)
+        build_covering_run(system.scheduler, dict(zip(pids(3), (0, 1, 2))))
+        assert system.memory.snapshot() == (0, 0, 0)
+
+
+class TestBlockWrite:
+    def test_each_covering_process_writes_its_target(self):
+        system = covering_system(m=3, n_covers=3)
+        build_covering_run(system.scheduler, dict(zip(pids(3), (0, 1, 2))))
+        written = block_write(system.scheduler, pids(3))
+        assert sorted(written) == [0, 1, 2]
+        # Fig 1's pending writes put the writer's id into the register.
+        assert system.memory.snapshot() == pids(3)
+
+    def test_non_covering_process_rejected(self):
+        system = covering_system()
+        with pytest.raises(SchedulingError):
+            block_write(system.scheduler, [pids(2)[0]])
+
+
+class TestRunUntilAndReplay:
+    def test_run_until_returns_replayable_schedule(self):
+        from repro.runtime.adversary import StagedObstructionAdversary
+
+        inputs = {pids(2)[0]: "a", pids(2)[1]: "b"}
+        s1 = System(AnonymousConsensus(n=2), inputs)
+        schedule = run_until(
+            s1.scheduler,
+            StagedObstructionAdversary(prefix_steps=20, seed=3),
+            lambda sched: any(sched.runtime(p).halted for p in pids(2)),
+            max_steps=100_000,
+        )
+        assert schedule
+        # Replaying the same schedule on a fresh identical system halts
+        # the same process at the same point (determinism).
+        s2 = System(AnonymousConsensus(n=2), inputs)
+        replay_schedule(s2.scheduler, schedule)
+        assert s2.scheduler.outputs() == s1.scheduler.outputs()
+
+    def test_run_until_budget_exhaustion_raises(self):
+        inputs = {pids(2)[0]: "a", pids(2)[1]: "b"}
+        system = System(AnonymousConsensus(n=2), inputs)
+        with pytest.raises(SchedulingError):
+            run_until(
+                system.scheduler,
+                RoundRobinAdversary(order=list(pids(2))),
+                lambda sched: False,
+                max_steps=100,
+            )

@@ -1,0 +1,113 @@
+"""Unit tests for anonymous memory and per-process views."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory.anonymous import AnonymousMemory
+from repro.memory.naming import ExplicitNaming, IdentityNaming, RandomNaming
+
+
+class TestAnonymousMemoryConstruction:
+    def test_defaults_to_identity_naming(self):
+        memory = AnonymousMemory(3, (101, 103))
+        assert memory.view(101).permutation == (0, 1, 2)
+
+    def test_rejects_duplicate_pids(self):
+        with pytest.raises(ConfigurationError):
+            AnonymousMemory(3, (101, 101))
+
+    def test_rejects_non_positive_pid(self):
+        with pytest.raises(ConfigurationError):
+            AnonymousMemory(3, (0, 101))
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            AnonymousMemory(0, (101,))
+
+    def test_unknown_pid_view_rejected(self):
+        memory = AnonymousMemory(3, (101,))
+        with pytest.raises(ConfigurationError):
+            memory.view(999)
+
+    def test_size_property(self):
+        assert AnonymousMemory(7, (101,)).size == 7
+
+
+class TestMemoryView:
+    def test_identity_view_maps_straight_through(self):
+        memory = AnonymousMemory(3, (101,))
+        view = memory.view(101)
+        view.write(1, "x")
+        assert memory.snapshot() == (0, "x", 0)
+        assert view.read(1) == "x"
+
+    def test_permuted_view_translates_indices(self):
+        naming = ExplicitNaming({101: (2, 0, 1)})
+        memory = AnonymousMemory(3, (101,), naming=naming)
+        view = memory.view(101)
+        view.write(0, "first")  # process's register 0 is physical 2
+        assert memory.snapshot() == (0, 0, "first")
+
+    def test_two_processes_same_physical_register_different_names(self):
+        # The §1 example: a single register may be "the fifth" for one
+        # process and "the eighth" for another.
+        naming = ExplicitNaming({101: (0, 1, 2), 103: (2, 1, 0)})
+        memory = AnonymousMemory(3, (101, 103), naming=naming)
+        memory.view(101).write(0, "shared")
+        assert memory.view(103).read(2) == "shared"
+
+    def test_view_index_out_of_range_raises_protocol_error(self):
+        memory = AnonymousMemory(3, (101,))
+        with pytest.raises(ProtocolError):
+            memory.view(101).read(3)
+
+    def test_negative_view_index_rejected(self):
+        memory = AnonymousMemory(3, (101,))
+        with pytest.raises(ProtocolError):
+            memory.view(101).write(-1, 5)
+
+    def test_physical_and_view_translation_are_inverse(self):
+        naming = RandomNaming(seed=7)
+        memory = AnonymousMemory(8, (101,), naming=naming)
+        view = memory.view(101)
+        for j in range(8):
+            assert view.view_index_of(view.physical_index_of(j)) == j
+
+    def test_view_index_of_unknown_physical_raises(self):
+        memory = AnonymousMemory(3, (101,))
+        with pytest.raises(ProtocolError):
+            memory.view(101).view_index_of(17)
+
+    def test_view_size_matches_memory(self):
+        memory = AnonymousMemory(5, (101,))
+        assert memory.view(101).size == 5
+
+
+class TestSnapshotRestoreReset:
+    def test_restore_sets_physical_values(self):
+        memory = AnonymousMemory(3, (101,))
+        memory.restore(["a", "b", "c"])
+        assert memory.snapshot() == ("a", "b", "c")
+
+    def test_reset_returns_to_initial(self):
+        memory = AnonymousMemory(3, (101,), initial="empty")
+        memory.view(101).write(0, "dirty")
+        memory.reset()
+        assert memory.snapshot() == ("empty", "empty", "empty")
+
+    def test_initial_value_applied_to_all_registers(self):
+        memory = AnonymousMemory(2, (101,), initial=42)
+        assert memory.snapshot() == (42, 42)
+
+
+class TestWritesVisibleAcrossViews:
+    def test_mwmr_semantics_all_processes_see_last_write(self):
+        naming = RandomNaming(seed=1)
+        pids = (101, 103, 107)
+        memory = AnonymousMemory(5, pids, naming=naming)
+        writer = memory.view(101)
+        writer.write(2, "payload")
+        physical = writer.physical_index_of(2)
+        for pid in pids:
+            view = memory.view(pid)
+            assert view.read(view.view_index_of(physical)) == "payload"

@@ -1,0 +1,162 @@
+"""Unit and property tests for register naming assignments."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.naming import (
+    ExplicitNaming,
+    IdentityNaming,
+    RandomNaming,
+    RingNaming,
+    all_namings_for_tests,
+    first_visit_permutation,
+    validate_permutation,
+)
+
+
+class TestValidatePermutation:
+    def test_accepts_identity(self):
+        assert validate_permutation([0, 1, 2], 3) == (0, 1, 2)
+
+    def test_accepts_arbitrary_bijection(self):
+        assert validate_permutation((2, 0, 1), 3) == (2, 0, 1)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            validate_permutation([0, 1], 3)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            validate_permutation([0, 0, 2], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            validate_permutation([0, 1, 3], 3)
+
+
+class TestIdentityNaming:
+    def test_everyone_agrees(self):
+        naming = IdentityNaming()
+        assert naming.permutation_for(101, 5) == (0, 1, 2, 3, 4)
+        assert naming.permutation_for(999, 5) == (0, 1, 2, 3, 4)
+
+
+class TestRandomNaming:
+    def test_is_a_permutation(self):
+        perm = RandomNaming(seed=3).permutation_for(101, 7)
+        assert sorted(perm) == list(range(7))
+
+    def test_deterministic_per_pid_and_seed(self):
+        naming = RandomNaming(seed=3)
+        assert naming.permutation_for(101, 7) == naming.permutation_for(101, 7)
+
+    def test_fresh_instance_same_seed_agrees(self):
+        assert RandomNaming(5).permutation_for(101, 6) == RandomNaming(
+            5
+        ).permutation_for(101, 6)
+
+    def test_different_pids_usually_differ(self):
+        naming = RandomNaming(seed=0)
+        perms = {naming.permutation_for(pid, 8) for pid in (101, 103, 107, 109)}
+        assert len(perms) > 1
+
+    def test_different_seeds_usually_differ(self):
+        assert RandomNaming(0).permutation_for(101, 8) != RandomNaming(
+            1
+        ).permutation_for(101, 8)
+
+    @given(seed=st.integers(0, 10_000), pid=st.integers(1, 10_000), m=st.integers(1, 32))
+    @settings(max_examples=60)
+    def test_always_a_valid_permutation(self, seed, pid, m):
+        perm = RandomNaming(seed).permutation_for(pid, m)
+        assert sorted(perm) == list(range(m))
+
+
+class TestRingNaming:
+    def test_offset_zero_is_identity(self):
+        naming = RingNaming({101: 0})
+        assert naming.permutation_for(101, 4) == (0, 1, 2, 3)
+
+    def test_offset_rotates_the_ring(self):
+        naming = RingNaming({101: 2})
+        assert naming.permutation_for(101, 4) == (2, 3, 0, 1)
+
+    def test_unlisted_process_starts_at_zero(self):
+        naming = RingNaming({101: 2})
+        assert naming.permutation_for(999, 4) == (0, 1, 2, 3)
+
+    def test_equispaced_two_processes_on_four_registers(self):
+        naming = RingNaming.equispaced((101, 103), 4)
+        assert naming.permutation_for(101, 4) == (0, 1, 2, 3)
+        assert naming.permutation_for(103, 4) == (2, 3, 0, 1)
+
+    def test_equispaced_distance_is_m_over_l(self):
+        # Thm 3.4: "the distance between any two neighbouring initial
+        # registers is exactly m/l".
+        pids = (101, 103, 107)
+        naming = RingNaming.equispaced(pids, 9)
+        starts = sorted(naming.permutation_for(pid, 9)[0] for pid in pids)
+        gaps = [(b - a) % 9 for a, b in zip(starts, starts[1:] + starts[:1])]
+        assert all(gap == 3 for gap in gaps)
+
+    def test_equispaced_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            RingNaming.equispaced((101, 103), 5)
+
+    def test_all_processes_share_ring_direction(self):
+        # Consecutive view indices map to consecutive physical indices
+        # (mod m) for every process — one shared cyclic order.
+        naming = RingNaming.equispaced((101, 103), 6)
+        for pid in (101, 103):
+            perm = naming.permutation_for(pid, 6)
+            assert all(
+                (perm[j + 1] - perm[j]) % 6 == 1 for j in range(5)
+            )
+
+
+class TestExplicitNaming:
+    def test_uses_supplied_permutation(self):
+        naming = ExplicitNaming({101: (2, 0, 1)})
+        assert naming.permutation_for(101, 3) == (2, 0, 1)
+
+    def test_falls_back_to_identity(self):
+        naming = ExplicitNaming({101: (2, 0, 1)})
+        assert naming.permutation_for(103, 3) == (0, 1, 2)
+
+    def test_invalid_permutation_rejected_at_use(self):
+        naming = ExplicitNaming({101: (0, 0, 1)})
+        with pytest.raises(ConfigurationError):
+            naming.permutation_for(101, 3)
+
+
+class TestFirstVisitPermutation:
+    def test_target_comes_first(self):
+        assert first_visit_permutation(3, 5) == (3, 0, 1, 2, 4)
+
+    def test_target_zero_is_identity(self):
+        assert first_visit_permutation(0, 4) == (0, 1, 2, 3)
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(ConfigurationError):
+            first_visit_permutation(5, 5)
+
+    @given(m=st.integers(1, 40), data=st.data())
+    @settings(max_examples=40)
+    def test_always_valid_permutation(self, m, data):
+        target = data.draw(st.integers(0, m - 1))
+        perm = first_visit_permutation(target, m)
+        assert sorted(perm) == list(range(m))
+        assert perm[0] == target
+
+
+class TestAllNamingsForTests:
+    def test_produces_identity_random_and_ring(self):
+        namings = all_namings_for_tests((101, 103), 4)
+        kinds = {type(n).__name__ for n in namings}
+        assert {"IdentityNaming", "RandomNaming", "RingNaming"} <= kinds
+
+    def test_handles_non_divisible_sizes(self):
+        namings = all_namings_for_tests((101, 103, 107), 5)
+        assert len(namings) >= 3

@@ -1,0 +1,164 @@
+"""Unit and property tests for register records and their single-integer
+encodings (the paper's §4.1 remark)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.records import (
+    ConsensusRecord,
+    RenamingRecord,
+    _pair,
+    _unpair,
+    decode_consensus_record,
+    decode_renaming_record,
+    encode_consensus_record,
+    encode_renaming_record,
+)
+
+
+class TestConsensusRecord:
+    def test_default_is_empty(self):
+        assert ConsensusRecord().is_empty()
+
+    def test_non_default_is_not_empty(self):
+        assert not ConsensusRecord(101, 5).is_empty()
+
+    def test_equality_is_field_wise(self):
+        assert ConsensusRecord(101, 5) == ConsensusRecord(101, 5)
+        assert ConsensusRecord(101, 5) != ConsensusRecord(101, 6)
+
+    def test_is_hashable(self):
+        assert len({ConsensusRecord(1, 2), ConsensusRecord(1, 2)}) == 1
+
+    def test_str_rendering(self):
+        assert str(ConsensusRecord(101, 5)) == "(101,5)"
+
+
+class TestRenamingRecord:
+    def test_default_is_empty(self):
+        assert RenamingRecord().is_empty()
+
+    def test_record_with_history_not_empty(self):
+        record = RenamingRecord(history=frozenset({(101, 1)}))
+        assert not record.is_empty()
+
+    def test_history_defaults_to_empty_frozenset(self):
+        assert RenamingRecord().history == frozenset()
+
+    def test_is_hashable_with_history(self):
+        a = RenamingRecord(101, 101, 2, frozenset({(103, 1)}))
+        b = RenamingRecord(101, 101, 2, frozenset({(103, 1)}))
+        assert len({a, b}) == 1
+
+    def test_str_rendering_sorts_history(self):
+        record = RenamingRecord(1, 2, 3, frozenset({(9, 1), (5, 2)}))
+        assert str(record) == "(1,2,3,{(5,2),(9,1)})"
+
+
+class TestPairing:
+    @given(a=st.integers(0, 10**6), b=st.integers(0, 10**6))
+    @settings(max_examples=120)
+    def test_pair_unpair_round_trip(self, a, b):
+        assert _unpair(_pair(a, b)) == (a, b)
+
+    @given(z=st.integers(0, 10**12))
+    @settings(max_examples=120)
+    def test_unpair_pair_round_trip(self, z):
+        a, b = _unpair(z)
+        assert _pair(a, b) == z
+
+    def test_pair_is_injective_on_a_grid(self):
+        seen = {}
+        for a in range(40):
+            for b in range(40):
+                code = _pair(a, b)
+                assert code not in seen, (a, b, seen[code])
+                seen[code] = (a, b)
+
+    def test_pair_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            _pair(-1, 0)
+
+
+class TestConsensusRecordEncoding:
+    def test_empty_record_encodes_to_zero(self):
+        # The paper's "initially 0" register state survives encoding.
+        assert encode_consensus_record(ConsensusRecord()) == 0
+
+    def test_zero_decodes_to_empty_record(self):
+        assert decode_consensus_record(0) == ConsensusRecord()
+
+    def test_round_trip_simple(self):
+        record = ConsensusRecord(101, 7)
+        assert decode_consensus_record(encode_consensus_record(record)) == record
+
+    def test_nonempty_records_encode_nonzero(self):
+        assert encode_consensus_record(ConsensusRecord(1, 0)) != 0
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            decode_consensus_record(-1)
+
+    @given(pid=st.integers(0, 10**5), val=st.integers(0, 10**5))
+    @settings(max_examples=120)
+    def test_round_trip_property(self, pid, val):
+        record = ConsensusRecord(pid, val)
+        assert decode_consensus_record(encode_consensus_record(record)) == record
+
+    @given(
+        a=st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+        b=st.tuples(st.integers(0, 1000), st.integers(0, 1000)),
+    )
+    @settings(max_examples=80)
+    def test_injective(self, a, b):
+        ra, rb = ConsensusRecord(*a), ConsensusRecord(*b)
+        if ra != rb:
+            assert encode_consensus_record(ra) != encode_consensus_record(rb)
+
+
+histories = st.frozensets(
+    st.tuples(st.integers(1, 500), st.integers(1, 16)), max_size=5
+)
+
+
+class TestRenamingRecordEncoding:
+    def test_empty_record_encodes_to_zero(self):
+        assert encode_renaming_record(RenamingRecord()) == 0
+
+    def test_zero_decodes_to_empty_record(self):
+        assert decode_renaming_record(0) == RenamingRecord()
+
+    def test_round_trip_with_history(self):
+        record = RenamingRecord(101, 103, 2, frozenset({(107, 1), (109, 3)}))
+        assert decode_renaming_record(encode_renaming_record(record)) == record
+
+    def test_decode_rejects_non_int(self):
+        with pytest.raises(ConfigurationError):
+            decode_renaming_record("nope")
+
+    @given(
+        pid=st.integers(0, 500),
+        val=st.integers(0, 500),
+        rnd=st.integers(0, 16),
+        history=histories,
+    )
+    @settings(max_examples=100)
+    def test_round_trip_property(self, pid, val, rnd, history):
+        record = RenamingRecord(pid, val, rnd, history)
+        assert decode_renaming_record(encode_renaming_record(record)) == record
+
+    @given(
+        pid=st.integers(1, 50),
+        val=st.integers(1, 50),
+        rnd=st.integers(1, 8),
+        h1=histories,
+        h2=histories,
+    )
+    @settings(max_examples=60)
+    def test_distinct_histories_encode_distinctly(self, pid, val, rnd, h1, h2):
+        r1 = RenamingRecord(pid, val, rnd, h1)
+        r2 = RenamingRecord(pid, val, rnd, h2)
+        if r1 != r2:
+            assert encode_renaming_record(r1) != encode_renaming_record(r2)

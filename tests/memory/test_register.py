@@ -1,0 +1,160 @@
+"""Unit tests for atomic registers and register arrays."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.register import AtomicRegister, LockedRegister, RegisterArray
+
+
+class TestAtomicRegister:
+    def test_initial_value_is_returned_by_read(self):
+        reg = AtomicRegister(initial=7)
+        assert reg.read() == 7
+
+    def test_default_initial_value_is_zero(self):
+        assert AtomicRegister().read() == 0
+
+    def test_write_then_read_round_trips(self):
+        reg = AtomicRegister()
+        reg.write("value")
+        assert reg.read() == "value"
+
+    def test_last_write_wins(self):
+        reg = AtomicRegister()
+        reg.write(1)
+        reg.write(2)
+        reg.write(3)
+        assert reg.read() == 3
+
+    def test_read_and_write_counts_are_tracked(self):
+        reg = AtomicRegister()
+        reg.read()
+        reg.read()
+        reg.write(1)
+        assert reg.read_count == 2
+        assert reg.write_count == 1
+
+    def test_peek_does_not_count_as_access(self):
+        reg = AtomicRegister(initial=5)
+        assert reg.peek() == 5
+        assert reg.read_count == 0
+
+    def test_poke_does_not_count_as_access(self):
+        reg = AtomicRegister()
+        reg.poke(9)
+        assert reg.write_count == 0
+        assert reg.peek() == 9
+
+    def test_reset_restores_initial_value_and_stats(self):
+        reg = AtomicRegister(initial=4)
+        reg.write(10)
+        reg.read()
+        reg.reset()
+        assert reg.peek() == 4
+        assert reg.read_count == 0
+        assert reg.write_count == 0
+
+    def test_initial_property_is_preserved_after_writes(self):
+        reg = AtomicRegister(initial="init")
+        reg.write("other")
+        assert reg.initial == "init"
+
+
+class TestLockedRegister:
+    def test_behaves_like_plain_register(self):
+        reg = LockedRegister(initial=1)
+        assert reg.read() == 1
+        reg.write(2)
+        assert reg.read() == 2
+        assert reg.write_count == 1
+
+    def test_concurrent_increments_are_not_lost_per_operation(self):
+        # Each write is atomic; interleaved writers cannot corrupt the
+        # cell into a value nobody wrote.
+        import threading
+
+        reg = LockedRegister(initial=0)
+        values = list(range(1, 201))
+
+        def writer(vals):
+            for v in vals:
+                reg.write(v)
+
+        threads = [
+            threading.Thread(target=writer, args=(values[k::4],))
+            for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.read() in values
+        assert reg.write_count == len(values)
+
+
+class TestRegisterArray:
+    def test_size_validation_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            RegisterArray(0)
+
+    def test_size_validation_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            RegisterArray(-3)
+
+    def test_len_matches_size(self):
+        assert len(RegisterArray(5)) == 5
+
+    def test_all_registers_start_at_initial(self):
+        array = RegisterArray(4, initial=9)
+        assert array.snapshot() == (9, 9, 9, 9)
+
+    def test_read_write_by_physical_index(self):
+        array = RegisterArray(3)
+        array.write(1, "middle")
+        assert array.read(1) == "middle"
+        assert array.read(0) == 0
+
+    def test_snapshot_reflects_current_values(self):
+        array = RegisterArray(3)
+        array.write(0, "a")
+        array.write(2, "c")
+        assert array.snapshot() == ("a", 0, "c")
+
+    def test_snapshot_does_not_count_accesses(self):
+        array = RegisterArray(3)
+        array.snapshot()
+        assert array.total_reads == 0
+
+    def test_restore_overwrites_all_values(self):
+        array = RegisterArray(3)
+        array.restore(["x", "y", "z"])
+        assert array.snapshot() == ("x", "y", "z")
+        assert array.total_writes == 0
+
+    def test_restore_wrong_length_rejected(self):
+        array = RegisterArray(3)
+        with pytest.raises(ConfigurationError):
+            array.restore([1, 2])
+
+    def test_reset_restores_initial_everywhere(self):
+        array = RegisterArray(2, initial="0")
+        array.write(0, "dirty")
+        array.reset()
+        assert array.snapshot() == ("0", "0")
+
+    def test_total_access_counters_aggregate(self):
+        array = RegisterArray(2)
+        array.read(0)
+        array.read(1)
+        array.write(0, 1)
+        assert array.total_reads == 2
+        assert array.total_writes == 1
+
+    def test_locked_flag_builds_locked_registers(self):
+        array = RegisterArray(2, locked=True)
+        assert all(isinstance(r, LockedRegister) for r in array)
+
+    def test_iteration_yields_registers_in_order(self):
+        array = RegisterArray(3)
+        names = [reg.name for reg in array]
+        assert names == ["R0", "R1", "R2"]

@@ -1,0 +1,194 @@
+"""Unit tests for adversary strategies."""
+
+import pytest
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.errors import SchedulingError
+from repro.runtime.adversary import (
+    AlternatingBurstAdversary,
+    CrashAdversary,
+    FixedScheduleAdversary,
+    LockstepAdversary,
+    RandomAdversary,
+    RoundRobinAdversary,
+    SoloAdversary,
+    StagedObstructionAdversary,
+    standard_adversaries,
+)
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+def consensus_system(n=2):
+    inputs = {pid: f"v{k}" for k, pid in enumerate(pids(n))}
+    return System(AnonymousConsensus(n=n), inputs)
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        system = consensus_system(3)
+        adversary = RoundRobinAdversary(order=list(pids(3)))
+        chosen = [adversary.choose(system.scheduler) for _ in range(6)]
+        assert chosen == list(pids(3)) * 2
+
+    def test_skips_halted_processes(self):
+        system = consensus_system(2)
+        p1, p2 = pids(2)
+        system.scheduler.run_solo_until_halt(p1)
+        adversary = RoundRobinAdversary(order=[p1, p2])
+        assert adversary.choose(system.scheduler) == p2
+
+    def test_reset_restarts_cursor(self):
+        system = consensus_system(2)
+        adversary = RoundRobinAdversary(order=list(pids(2)))
+        adversary.choose(system.scheduler)
+        adversary.reset()
+        assert adversary.choose(system.scheduler) == pids(2)[0]
+
+
+class TestLockstep:
+    def test_strict_rotation(self):
+        system = consensus_system(3)
+        adversary = LockstepAdversary(pids(3))
+        chosen = [adversary.choose(system.scheduler) for _ in range(3)]
+        assert chosen == list(pids(3))
+
+    def test_stops_when_member_halts(self):
+        system = consensus_system(2)
+        p1, _ = pids(2)
+        system.scheduler.run_solo_until_halt(p1)
+        adversary = LockstepAdversary(pids(2))
+        assert adversary.choose(system.scheduler) is None
+
+
+class TestRandom:
+    def test_deterministic_per_seed(self):
+        sys_a, sys_b = consensus_system(3), consensus_system(3)
+        a, b = RandomAdversary(7), RandomAdversary(7)
+        seq_a = [a.choose(sys_a.scheduler) for _ in range(20)]
+        seq_b = [b.choose(sys_b.scheduler) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_reset_replays_sequence(self):
+        system = consensus_system(3)
+        adversary = RandomAdversary(5)
+        first = [adversary.choose(system.scheduler) for _ in range(15)]
+        adversary.reset()
+        second = [adversary.choose(system.scheduler) for _ in range(15)]
+        assert first == second
+
+    def test_only_chooses_enabled(self):
+        system = consensus_system(2)
+        p1, p2 = pids(2)
+        system.scheduler.run_solo_until_halt(p1)
+        adversary = RandomAdversary(0)
+        assert all(
+            adversary.choose(system.scheduler) == p2 for _ in range(10)
+        )
+
+
+class TestBurst:
+    def test_bursts_repeat_same_process(self):
+        system = consensus_system(3)
+        adversary = AlternatingBurstAdversary(seed=1, max_burst=5)
+        chosen = [adversary.choose(system.scheduler) for _ in range(30)]
+        # Bursty: consecutive repeats must occur somewhere in 30 picks.
+        assert any(a == b for a, b in zip(chosen, chosen[1:]))
+
+    def test_deterministic_per_seed(self):
+        s1, s2 = consensus_system(3), consensus_system(3)
+        a1 = AlternatingBurstAdversary(seed=2)
+        a2 = AlternatingBurstAdversary(seed=2)
+        assert [a1.choose(s1.scheduler) for _ in range(25)] == [
+            a2.choose(s2.scheduler) for _ in range(25)
+        ]
+
+
+class TestFixedSchedule:
+    def test_replays_and_stops(self):
+        system = consensus_system(2)
+        p1, p2 = pids(2)
+        adversary = FixedScheduleAdversary([p1, p1, p2])
+        trace = system.run(adversary, max_steps=100)
+        assert [e.pid for e in trace.events] == [p1, p1, p2]
+        assert trace.stop_reason == "adversary-stop"
+
+    def test_raises_when_scheduled_process_disabled(self):
+        system = consensus_system(2)
+        p1, _ = pids(2)
+        system.scheduler.run_solo_until_halt(p1)
+        adversary = FixedScheduleAdversary([p1])
+        with pytest.raises(SchedulingError):
+            adversary.choose(system.scheduler)
+
+
+class TestSoloAndStaged:
+    def test_solo_only_ever_chooses_its_process(self):
+        system = consensus_system(2)
+        p1, _ = pids(2)
+        trace = system.run(SoloAdversary(p1), max_steps=50_000)
+        assert {e.pid for e in trace.events} == {p1}
+        assert p1 in trace.halt_seq
+
+    def test_staged_obstruction_finishes_everyone(self):
+        system = consensus_system(3)
+        adversary = StagedObstructionAdversary(prefix_steps=30, seed=1)
+        trace = system.run(adversary, max_steps=100_000)
+        assert trace.all_halted()
+
+    def test_staged_prefix_interleaves(self):
+        system = consensus_system(3)
+        adversary = StagedObstructionAdversary(prefix_steps=30, seed=1)
+        trace = system.run(adversary, max_steps=100_000)
+        prefix_pids = {e.pid for e in trace.events[:30]}
+        assert len(prefix_pids) > 1
+
+    def test_staged_solo_order_respected(self):
+        system = consensus_system(2)
+        p1, p2 = pids(2)
+        adversary = StagedObstructionAdversary(
+            prefix_steps=0, solo_order=[p2, p1]
+        )
+        trace = system.run(adversary, max_steps=50_000)
+        assert trace.events[0].pid == p2
+
+
+class TestCrashAdversary:
+    def test_crashes_at_scheduled_step(self):
+        system = consensus_system(3)
+        p1, _, _ = pids(3)
+        adversary = CrashAdversary(
+            StagedObstructionAdversary(prefix_steps=10, seed=0), {p1: 5}
+        )
+        trace = system.run(adversary, max_steps=100_000)
+        assert p1 in trace.crash_seq
+        # Survivors still decide (crash = obstruction-free tolerable when
+        # the survivors get solo time).
+        survivors = [p for p in pids(3) if p != p1]
+        assert all(p in trace.halt_seq for p in survivors)
+
+    def test_crashed_process_takes_no_further_steps(self):
+        system = consensus_system(2)
+        p1, p2 = pids(2)
+        adversary = CrashAdversary(RoundRobinAdversary(), {p1: 4})
+        trace = system.run(adversary, max_steps=200)
+        late_steps = [e for e in trace.events if e.pid == p1 and e.seq >= 4]
+        assert late_steps == []
+
+
+class TestStandardBattery:
+    def test_contains_multiple_strategies(self):
+        battery = standard_adversaries(range(2))
+        kinds = {type(a).__name__ for a in battery}
+        assert {
+            "RoundRobinAdversary",
+            "RandomAdversary",
+            "AlternatingBurstAdversary",
+            "StagedObstructionAdversary",
+        } <= kinds
+
+    def test_describe_is_informative(self):
+        for adversary in standard_adversaries(range(1)):
+            assert type(adversary).__name__.replace("Adversary", "") in adversary.describe()

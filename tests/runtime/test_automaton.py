@@ -1,0 +1,81 @@
+"""Unit tests for the automaton base class and covering introspection."""
+
+import pytest
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutexProcess
+from repro.errors import ProtocolError
+from repro.memory.anonymous import AnonymousMemory
+from repro.runtime.automaton import pending_write_target
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+class TestRequireRunning:
+    def test_stepping_after_halt_is_a_protocol_error(self):
+        system = System(AnonymousConsensus(n=1), {101: "v"})
+        automaton = system.automata[101]
+        system.scheduler.run_solo_until_halt(101)
+        state = system.scheduler.runtime(101).state
+        with pytest.raises(ProtocolError):
+            automaton.next_op(state)
+
+
+class TestRunSolo:
+    def test_run_solo_halts_and_returns_steps(self):
+        memory = AnonymousMemory(5, (101,))
+        system = System(AnonymousConsensus(n=3), {101: "v", 103: "w", 107: "x"})
+        automaton = system.automata[101]
+        state, steps = automaton.run_solo(system.memory.view(101))
+        assert automaton.is_halted(state)
+        assert automaton.output(state) == "v"
+        assert steps > 0
+
+    def test_run_solo_raises_on_budget_exhaustion(self):
+        system = System(AnonymousConsensus(n=2), {101: "v", 103: "w"})
+        automaton = system.automata[101]
+        with pytest.raises(ProtocolError):
+            automaton.run_solo(system.memory.view(101), max_steps=2)
+
+
+class TestPendingWriteTarget:
+    def test_none_before_any_step(self):
+        memory = AnonymousMemory(3, (101,))
+        automaton = AnonymousMutexProcess(101, m=3)
+        state = automaton.initial_state()
+        assert pending_write_target(automaton, state, memory.view(101)) is None
+
+    def test_target_reported_in_physical_coordinates(self):
+        from repro.memory.naming import ExplicitNaming
+
+        naming = ExplicitNaming({101: (2, 0, 1)})
+        memory = AnonymousMemory(3, (101,), naming=naming)
+        automaton = AnonymousMutexProcess(101, m=3)
+        state = automaton.initial_state()
+        # One read of p[0] (=physical 2) returning 0 puts a write there.
+        view = memory.view(101)
+        op = automaton.next_op(state)
+        state = automaton.apply(state, op, view.read(op.index))
+        assert pending_write_target(automaton, state, view) == 2
+
+    def test_halted_process_covers_nothing(self):
+        system = System(AnonymousConsensus(n=1), {101: "v"})
+        system.scheduler.run_solo_until_halt(101)
+        automaton = system.automata[101]
+        state = system.scheduler.runtime(101).state
+        assert (
+            pending_write_target(automaton, state, system.memory.view(101)) is None
+        )
+
+
+class TestAlgorithmDefaults:
+    def test_initial_value_defaults_to_zero(self):
+        from repro.core.mutex import AnonymousMutex
+
+        assert AnonymousMutex(m=3).initial_value() == 0
+
+    def test_anonymous_by_default(self):
+        from repro.core.mutex import AnonymousMutex
+
+        assert AnonymousMutex(m=3).is_anonymous()

@@ -1,0 +1,95 @@
+"""Consistency between the two verdict mechanisms.
+
+The library judges correctness twice over: *state invariants* (consumed
+by the model checker, reading live scheduler state) and *trace checkers*
+(consumed by experiments, reading recorded runs).  They must never
+disagree: for any run, the invariant evaluated on the final state and
+the corresponding checker evaluated on the trace give the same verdict.
+Hypothesis drives algorithms, namings and schedules.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.renaming import AnonymousRenaming
+from repro.lowerbounds.candidates import NaiveTestAndSetLock
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import (
+    AlternatingBurstAdversary,
+    FixedScheduleAdversary,
+    RandomAdversary,
+)
+from repro.runtime.exploration import (
+    agreement_invariant,
+    explore,
+    mutual_exclusion_invariant,
+    unique_names_invariant,
+    validity_invariant,
+)
+from repro.runtime.system import System
+from repro.spec.consensus_spec import AgreementChecker, ValidityChecker
+from repro.spec.mutex_spec import MutualExclusionChecker
+from repro.spec.renaming_spec import NameRangeChecker, UniqueNamesChecker
+
+from tests.conftest import pids
+
+
+@given(
+    naming_seed=st.integers(0, 200),
+    seed=st.integers(0, 10_000),
+    budget=st.integers(20, 3_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_consensus_verdicts_agree(naming_seed, seed, budget):
+    inputs = dict(zip(pids(3), ("x", "y", "z")))
+    system = System(
+        AnonymousConsensus(n=3), inputs, naming=RandomNaming(naming_seed)
+    )
+    trace = system.run(RandomAdversary(seed), max_steps=budget)
+    assert (agreement_invariant(system) is None) == AgreementChecker().holds(trace)
+    assert (validity_invariant(system) is None) == ValidityChecker(inputs).holds(trace)
+
+
+@given(naming_seed=st.integers(0, 200), seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_renaming_verdicts_agree(naming_seed, seed):
+    system = System(
+        AnonymousRenaming(n=3), pids(3), naming=RandomNaming(naming_seed)
+    )
+    trace = system.run(
+        AlternatingBurstAdversary(seed=seed, max_burst=9), max_steps=3_000
+    )
+    state_ok = unique_names_invariant(system) is None
+    trace_ok = (
+        UniqueNamesChecker().holds(trace) and NameRangeChecker(3).holds(trace)
+    )
+    assert state_ok == trace_ok
+
+
+def test_mutex_violation_agrees_between_explorer_and_trace_checker():
+    """The explorer's violating schedule, replayed with tracing on, must
+    also fail the trace-level mutual exclusion checker."""
+    probe = System(NaiveTestAndSetLock(), pids(2), record_trace=False)
+    result = explore(probe, mutual_exclusion_invariant)
+    assert result.violation is not None
+
+    replay = System(NaiveTestAndSetLock(cs_steps=2), pids(2))
+    trace = replay.run(
+        FixedScheduleAdversary(result.violation_schedule), max_steps=10_000
+    )
+    assert not MutualExclusionChecker().holds(trace)
+
+
+def test_clean_exploration_implies_clean_sampled_traces():
+    """If exhaustive search finds no violation, no sampled trace of the
+    same instance may fail the corresponding trace checker."""
+    inputs = {101: "a", 103: "b"}
+    probe = System(AnonymousConsensus(n=2), inputs, record_trace=False)
+    result = explore(probe, agreement_invariant)
+    assert result.complete and result.ok
+
+    for seed in range(10):
+        system = System(AnonymousConsensus(n=2), inputs)
+        trace = system.run(RandomAdversary(seed), max_steps=5_000)
+        assert AgreementChecker().holds(trace)

@@ -1,0 +1,171 @@
+"""Unit tests for events, traces and trace queries."""
+
+from repro.core.mutex import AnonymousMutex
+from repro.runtime.adversary import RandomAdversary, RoundRobinAdversary
+from repro.runtime.events import (
+    CriticalSectionInterval,
+    Event,
+    Trace,
+    subsequence_equal,
+)
+from repro.runtime.ops import EnterCritOp, ExitCritOp, ReadOp, WriteOp
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+def make_trace(events):
+    trace = Trace(pids=pids(2), register_count=3, initial_values=(0, 0, 0))
+    for event in events:
+        trace.append(event)
+    return trace
+
+
+class TestEvent:
+    def test_is_write_and_is_read(self):
+        write = Event(0, 101, WriteOp(0, 5), physical_index=0)
+        read = Event(1, 101, ReadOp(0), physical_index=0, result=5)
+        assert write.is_write() and not write.is_read()
+        assert read.is_read() and not read.is_write()
+
+    def test_str_includes_physical_register_and_result(self):
+        event = Event(3, 101, ReadOp(1), physical_index=2, result=7)
+        rendered = str(event)
+        assert "p101" in rendered and "@R2" in rendered and "-> 7" in rendered
+
+
+class TestTraceQueries:
+    def test_events_by_filters_by_pid(self):
+        p1, p2 = pids(2)
+        trace = make_trace(
+            [
+                Event(0, p1, ReadOp(0), 0, 0),
+                Event(1, p2, ReadOp(0), 0, 0),
+                Event(2, p1, WriteOp(0, p1), 0),
+            ]
+        )
+        assert len(trace.events_by(p1)) == 2
+        assert len(trace.events_by(p2)) == 1
+
+    def test_registers_written_by_dedupes_and_keeps_order(self):
+        p1, _ = pids(2)
+        trace = make_trace(
+            [
+                Event(0, p1, WriteOp(0, 1), 2),
+                Event(1, p1, WriteOp(1, 1), 0),
+                Event(2, p1, WriteOp(2, 1), 2),
+            ]
+        )
+        assert trace.registers_written_by(p1) == (2, 0)
+
+    def test_steps_taken(self):
+        p1, p2 = pids(2)
+        trace = make_trace(
+            [Event(0, p1, ReadOp(0), 0, 0), Event(1, p1, ReadOp(1), 1, 0)]
+        )
+        assert trace.steps_taken(p1) == 2
+        assert trace.steps_taken(p2) == 0
+
+    def test_record_halt_and_decided(self):
+        p1, _ = pids(2)
+        trace = make_trace([Event(0, p1, ReadOp(0), 0, 0)])
+        trace.record_halt(p1, "value")
+        assert trace.outputs[p1] == "value"
+        assert trace.decided() == {p1: "value"}
+        assert trace.halt_seq[p1] == 0
+
+    def test_all_halted_accounts_for_crashes(self):
+        p1, p2 = pids(2)
+        trace = make_trace([Event(0, p1, ReadOp(0), 0, 0)])
+        trace.record_halt(p1, 1)
+        assert not trace.all_halted()
+        trace.record_crash(p2)
+        assert trace.all_halted()
+
+
+class TestCriticalSectionIntervals:
+    def test_intervals_extracted_in_order(self):
+        p1, p2 = pids(2)
+        trace = make_trace(
+            [
+                Event(0, p1, EnterCritOp()),
+                Event(1, p1, ExitCritOp()),
+                Event(2, p2, EnterCritOp()),
+                Event(3, p2, ExitCritOp()),
+            ]
+        )
+        intervals = trace.critical_section_intervals()
+        assert [(iv.pid, iv.enter_seq, iv.exit_seq) for iv in intervals] == [
+            (p1, 0, 1),
+            (p2, 2, 3),
+        ]
+
+    def test_open_interval_when_still_inside(self):
+        p1, _ = pids(2)
+        trace = make_trace([Event(0, p1, EnterCritOp())])
+        (interval,) = trace.critical_section_intervals()
+        assert interval.exit_seq is None
+
+    def test_overlap_detection(self):
+        a = CriticalSectionInterval(101, 0, 5)
+        b = CriticalSectionInterval(103, 3, 8)
+        c = CriticalSectionInterval(103, 6, 9)
+        assert a.overlaps(b, horizon=10)
+        assert not a.overlaps(c, horizon=10)
+
+    def test_open_interval_overlaps_to_horizon(self):
+        a = CriticalSectionInterval(101, 0, None)
+        b = CriticalSectionInterval(103, 99, 100)
+        assert a.overlaps(b, horizon=100)
+
+    def test_entry_count(self):
+        p1, p2 = pids(2)
+        trace = make_trace(
+            [
+                Event(0, p1, EnterCritOp()),
+                Event(1, p1, ExitCritOp()),
+                Event(2, p2, EnterCritOp()),
+            ]
+        )
+        assert trace.critical_section_entries() == 2
+        assert trace.critical_section_entries(p1) == 1
+
+    def test_occupancy_profile_tracks_changes(self):
+        p1, p2 = pids(2)
+        trace = make_trace(
+            [
+                Event(0, p1, EnterCritOp()),
+                Event(1, p2, EnterCritOp()),
+                Event(2, p1, ExitCritOp()),
+            ]
+        )
+        profile = trace.occupancy_profile()
+        assert profile == [(0, (p1,)), (1, (p1, p2)), (2, (p2,))]
+
+
+class TestRenderAndIndistinguishability:
+    def test_render_mentions_events_and_outputs(self):
+        system = System(AnonymousMutex(m=3), pids(2))
+        trace = system.run(RandomAdversary(0), max_steps=10_000)
+        rendered = trace.render(limit=5)
+        assert "run:" in rendered
+        assert "more events" in rendered
+
+    def test_subsequence_equal_for_identical_runs(self):
+        p1, _ = pids(2)
+        s1 = System(AnonymousMutex(m=3), pids(2))
+        s2 = System(AnonymousMutex(m=3), pids(2))
+        t1 = s1.run(RoundRobinAdversary(), max_steps=40)
+        t2 = s2.run(RoundRobinAdversary(), max_steps=40)
+        assert subsequence_equal(t1, t2, p1)
+
+    def test_subsequence_differs_across_schedules(self):
+        p1, _ = pids(2)
+        s1 = System(AnonymousMutex(m=3), pids(2))
+        s2 = System(AnonymousMutex(m=3), pids(2))
+        t1 = s1.run(RoundRobinAdversary(), max_steps=60)
+        t2 = s2.run(RandomAdversary(9), max_steps=60)
+        # Different interleavings generally change what p1 reads.
+        assert not subsequence_equal(t1, t2, p1) or len(t1.events_by(p1)) != len(
+            t2.events_by(p1)
+        )

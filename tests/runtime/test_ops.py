@@ -1,0 +1,49 @@
+"""Unit tests for the operation vocabulary."""
+
+from repro.runtime.ops import (
+    CritOp,
+    EnterCritOp,
+    ExitCritOp,
+    NoOp,
+    ReadOp,
+    WriteOp,
+    is_read,
+    is_write,
+)
+
+
+class TestOperationTypes:
+    def test_read_op_carries_index(self):
+        assert ReadOp(3).index == 3
+
+    def test_write_op_carries_index_and_value(self):
+        op = WriteOp(2, "v")
+        assert (op.index, op.value) == (2, "v")
+
+    def test_ops_are_hashable(self):
+        ops = {ReadOp(1), WriteOp(1, 0), CritOp(), EnterCritOp(), ExitCritOp(), NoOp()}
+        assert len(ops) == 6
+
+    def test_ops_equality_by_fields(self):
+        assert ReadOp(1) == ReadOp(1)
+        assert WriteOp(1, "a") != WriteOp(1, "b")
+
+    def test_str_renderings(self):
+        assert str(ReadOp(0)) == "read(p[0])"
+        assert str(WriteOp(2, 9)) == "write(p[2] := 9)"
+        assert str(EnterCritOp()) == "enter-CS"
+        assert str(ExitCritOp()) == "exit-CS"
+        assert str(CritOp()) == "in-CS"
+        assert str(NoOp()) == "no-op"
+
+
+class TestClassifiers:
+    def test_is_write_true_only_for_writes(self):
+        assert is_write(WriteOp(0, 1))
+        assert not is_write(ReadOp(0))
+        assert not is_write(CritOp())
+
+    def test_is_read_true_only_for_reads(self):
+        assert is_read(ReadOp(0))
+        assert not is_read(WriteOp(0, 1))
+        assert not is_read(EnterCritOp())

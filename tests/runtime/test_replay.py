@@ -1,0 +1,126 @@
+"""Tests for trace serialisation and replay."""
+
+import pytest
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.core.renaming import AnonymousRenaming
+from repro.errors import ConfigurationError
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import RandomAdversary, StagedObstructionAdversary
+from repro.runtime.replay import (
+    load_trace,
+    replay,
+    save_trace,
+    schedule_of,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+def consensus_trace(seed=3):
+    inputs = {pids(2)[0]: "a", pids(2)[1]: "b"}
+    system = System(AnonymousConsensus(n=2), inputs, naming=RandomNaming(1))
+    trace = system.run(
+        StagedObstructionAdversary(prefix_steps=20, seed=seed), max_steps=100_000
+    )
+    return inputs, trace
+
+
+class TestSerialisation:
+    def test_round_trip_consensus_trace(self):
+        _, trace = consensus_trace()
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.pids == trace.pids
+        assert restored.events == trace.events
+        assert restored.outputs == trace.outputs
+        assert restored.final_values == trace.final_values
+        assert restored.stop_reason == trace.stop_reason
+
+    def test_round_trip_mutex_trace_with_phases(self):
+        system = System(AnonymousMutex(m=3, cs_visits=1), pids(2))
+        trace = system.run(RandomAdversary(0), max_steps=50_000)
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert [e.phase for e in restored.events] == [
+            e.phase for e in trace.events
+        ]
+        assert (
+            restored.critical_section_intervals()
+            == trace.critical_section_intervals()
+        )
+
+    def test_round_trip_renaming_records_with_history(self):
+        system = System(AnonymousRenaming(n=3), pids(3))
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=40, seed=2), max_steps=500_000
+        )
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.events == trace.events
+        assert restored.outputs == trace.outputs
+
+    def test_save_and_load_file(self, tmp_path):
+        _, trace = consensus_trace()
+        path = tmp_path / "run.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.events == trace.events
+        assert loaded.outputs == trace.outputs
+
+    def test_json_is_actually_json(self, tmp_path):
+        import json
+
+        _, trace = consensus_trace()
+        path = tmp_path / "run.json"
+        save_trace(trace, path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["register_count"] == 3
+
+
+class TestReplay:
+    def test_replay_reproduces_outputs(self):
+        inputs, trace = consensus_trace()
+        fresh = System(AnonymousConsensus(n=2), inputs, naming=RandomNaming(1))
+        new_trace = replay(trace, fresh)
+        assert new_trace.outputs == trace.outputs
+        assert new_trace.final_values == trace.final_values
+
+    def test_schedule_of_extraction(self):
+        _, trace = consensus_trace()
+        schedule = schedule_of(trace)
+        assert len(schedule) == len(trace)
+        assert set(schedule) <= set(trace.pids)
+
+    def test_replay_detects_different_naming(self):
+        inputs, trace = consensus_trace()
+        differently_named = System(
+            AnonymousConsensus(n=2), inputs, naming=RandomNaming(99)
+        )
+        with pytest.raises(ConfigurationError):
+            replay(trace, differently_named)
+
+    def test_replay_detects_different_inputs(self):
+        inputs, trace = consensus_trace()
+        other_inputs = {pid: f"other-{pid}" for pid in inputs}
+        mismatched = System(
+            AnonymousConsensus(n=2), other_inputs, naming=RandomNaming(1)
+        )
+        with pytest.raises(ConfigurationError):
+            replay(trace, mismatched)
+
+    def test_replay_detects_wrong_participants(self):
+        inputs, trace = consensus_trace()
+        wrong = System(
+            AnonymousConsensus(n=2), {901: "a", 903: "b"}, naming=RandomNaming(1)
+        )
+        with pytest.raises(ConfigurationError):
+            replay(trace, wrong)
+
+    def test_non_strict_replay_just_runs(self):
+        inputs, trace = consensus_trace()
+        fresh = System(AnonymousConsensus(n=2), inputs, naming=RandomNaming(1))
+        new_trace = replay(trace, fresh, strict=False)
+        assert len(new_trace) == len(trace)

@@ -1,0 +1,189 @@
+"""Unit tests for the scheduler: stepping, crashes, capture/restore."""
+
+import pytest
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.errors import SchedulingError
+from repro.runtime.adversary import RandomAdversary, RoundRobinAdversary, SoloAdversary
+from repro.runtime.ops import ReadOp
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+def mutex_system(m=3, n=2, cs_visits=1, **kwargs):
+    return System(AnonymousMutex(m=m, cs_visits=cs_visits), pids(n), **kwargs)
+
+
+def consensus_system(n=2, **kwargs):
+    inputs = {pid: f"v{k}" for k, pid in enumerate(pids(n))}
+    return System(AnonymousConsensus(n=n), inputs, **kwargs)
+
+
+class TestStepping:
+    def test_first_step_of_fig1_is_a_read(self):
+        system = mutex_system()
+        event = system.scheduler.step(pids(1)[0])
+        assert isinstance(event.op, ReadOp)
+        assert event.result == 0
+        assert event.physical_index == 0
+
+    def test_events_are_sequentially_numbered(self):
+        system = mutex_system()
+        p1, p2 = pids(2)
+        events = [system.scheduler.step(p) for p in (p1, p2, p1)]
+        assert [e.seq for e in events] == [0, 1, 2]
+
+    def test_stepping_unknown_pid_raises(self):
+        system = mutex_system()
+        with pytest.raises(SchedulingError):
+            system.scheduler.step(999)
+
+    def test_stepping_halted_process_raises(self):
+        system = consensus_system(n=1)
+        (pid,) = pids(1)
+        system.scheduler.run_solo_until_halt(pid)
+        with pytest.raises(SchedulingError):
+            system.scheduler.step(pid)
+
+    def test_pending_op_matches_next_step(self):
+        system = mutex_system()
+        pid = pids(1)[0]
+        pending = system.scheduler.pending_op(pid)
+        event = system.scheduler.step(pid)
+        assert event.op == pending
+
+    def test_steps_are_counted_per_process(self):
+        system = mutex_system()
+        p1, p2 = pids(2)
+        for _ in range(3):
+            system.scheduler.step(p1)
+        system.scheduler.step(p2)
+        assert system.scheduler.runtime(p1).steps == 3
+        assert system.scheduler.runtime(p2).steps == 1
+
+
+class TestCrash:
+    def test_crashed_process_is_disabled(self):
+        system = consensus_system(n=2)
+        p1, p2 = pids(2)
+        system.scheduler.crash(p1)
+        assert p1 not in system.scheduler.enabled_pids()
+        assert p2 in system.scheduler.enabled_pids()
+
+    def test_stepping_crashed_process_raises(self):
+        system = consensus_system(n=2)
+        p1, _ = pids(2)
+        system.scheduler.crash(p1)
+        with pytest.raises(SchedulingError):
+            system.scheduler.step(p1)
+
+    def test_crash_is_recorded_in_trace(self):
+        system = consensus_system(n=2)
+        p1, p2 = pids(2)
+        system.scheduler.step(p2)
+        system.scheduler.crash(p1)
+        assert p1 in system.scheduler.trace.crash_seq
+
+    def test_crashing_halted_process_raises(self):
+        system = consensus_system(n=1)
+        (pid,) = pids(1)
+        system.scheduler.run_solo_until_halt(pid)
+        with pytest.raises(SchedulingError):
+            system.scheduler.crash(pid)
+
+    def test_consensus_tolerates_crash_of_other_under_obstruction(self):
+        # Obstruction-freedom: the survivor running alone still decides.
+        system = consensus_system(n=2)
+        p1, p2 = pids(2)
+        system.scheduler.step(p1)  # a little contention first
+        system.scheduler.crash(p1)
+        system.scheduler.run_solo_until_halt(p2)
+        assert system.scheduler.output_of(p2) is not None
+
+
+class TestRunLoop:
+    def test_run_until_all_halted(self):
+        system = consensus_system(n=2)
+        trace = system.run(RandomAdversary(0), max_steps=50_000)
+        assert trace.stop_reason == "all-halted"
+        assert trace.all_halted()
+
+    def test_run_respects_max_steps(self):
+        system = consensus_system(n=3)
+        trace = system.run(RoundRobinAdversary(), max_steps=50)
+        assert len(trace) == 50
+        assert trace.stop_reason == "max-steps"
+
+    def test_adversary_stop_recorded(self):
+        system = consensus_system(n=2)
+        trace = system.run(SoloAdversary(pids(1)[0]), max_steps=50_000)
+        assert trace.stop_reason == "adversary-stop"
+
+    def test_final_values_captured(self):
+        system = consensus_system(n=1)
+        trace = system.run(RoundRobinAdversary(), max_steps=10_000)
+        assert len(trace.final_values) == system.memory.size
+
+    def test_outputs_collected(self):
+        system = consensus_system(n=2)
+        system.run(RandomAdversary(1), max_steps=50_000)
+        outputs = system.outputs()
+        assert set(outputs) == set(pids(2))
+
+
+class TestCaptureRestore:
+    def test_restore_rewinds_memory_and_local_state(self):
+        system = consensus_system(n=2)
+        scheduler = system.scheduler
+        p1, _ = pids(2)
+        checkpoint = scheduler.capture_state()
+        for _ in range(10):
+            scheduler.step(p1)
+        assert system.memory.snapshot() != checkpoint[0]
+        scheduler.restore_state(checkpoint)
+        assert system.memory.snapshot() == checkpoint[0]
+        assert scheduler.runtime(p1).state == system.automata[p1].initial_state()
+
+    def test_restored_run_is_deterministic(self):
+        system = consensus_system(n=2)
+        scheduler = system.scheduler
+        p1, p2 = pids(2)
+        checkpoint = scheduler.capture_state()
+        first = [scheduler.step(p).op for p in (p1, p2, p1, p1)]
+        scheduler.restore_state(checkpoint)
+        second = [scheduler.step(p).op for p in (p1, p2, p1, p1)]
+        assert first == second
+
+    def test_capture_includes_halted_flags(self):
+        system = consensus_system(n=1)
+        (pid,) = pids(1)
+        scheduler = system.scheduler
+        checkpoint = scheduler.capture_state()
+        scheduler.run_solo_until_halt(pid)
+        halted_checkpoint = scheduler.capture_state()
+        scheduler.restore_state(checkpoint)
+        assert pid in scheduler.enabled_pids()
+        scheduler.restore_state(halted_checkpoint)
+        assert pid not in scheduler.enabled_pids()
+
+
+class TestCoveredRegister:
+    def test_initially_covering_nothing(self):
+        system = mutex_system()
+        assert system.scheduler.covered_register(pids(1)[0]) is None
+
+    def test_fig1_covers_after_reading_zero(self):
+        # After reading a 0 register, Fig 1 pends a write to it: covered.
+        system = mutex_system()
+        pid = pids(1)[0]
+        system.scheduler.step(pid)
+        assert system.scheduler.covered_register(pid) == 0
+
+    def test_run_solo_until_halt_returns_step_count(self):
+        system = consensus_system(n=1)
+        (pid,) = pids(1)
+        steps = system.scheduler.run_solo_until_halt(pid)
+        assert steps == system.scheduler.runtime(pid).steps
+        assert steps > 0

@@ -1,0 +1,70 @@
+"""Unit tests for the System façade."""
+
+import pytest
+
+from repro.baselines import PetersonMutex
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.errors import ConfigurationError
+from repro.memory.naming import IdentityNaming, RandomNaming
+from repro.runtime.adversary import RandomAdversary
+from repro.runtime.system import System, fresh_system
+
+from tests.conftest import pids
+
+
+class TestConstruction:
+    def test_sequence_inputs_become_none_inputs(self):
+        system = System(AnonymousMutex(m=3), pids(2))
+        assert system.inputs == {pids(2)[0]: None, pids(2)[1]: None}
+
+    def test_mapping_inputs_preserved(self):
+        inputs = {101: "a", 103: "b"}
+        system = System(AnonymousConsensus(n=2), inputs)
+        assert system.inputs == inputs
+
+    def test_register_count_from_algorithm(self):
+        system = System(AnonymousConsensus(n=3), {101: 1, 103: 2, 107: 3})
+        assert system.memory.size == 5  # 2n - 1
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            System(AnonymousMutex(m=3), [])
+
+    def test_duplicate_pids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            System(AnonymousMutex(m=3), [101, 101])
+
+    def test_named_algorithm_rejects_non_identity_naming(self):
+        # The heart of the model distinction: baselines need agreement.
+        with pytest.raises(ConfigurationError):
+            System(PetersonMutex(), pids(2), naming=RandomNaming(0))
+
+    def test_named_algorithm_accepts_identity(self):
+        system = System(PetersonMutex(), pids(2), naming=IdentityNaming())
+        assert system.memory.size == 3
+
+    def test_anonymous_algorithm_accepts_any_naming(self):
+        system = System(AnonymousMutex(m=3), pids(2), naming=RandomNaming(3))
+        assert system.memory.naming.describe() == "RandomNaming(seed=3)"
+
+    def test_initial_value_from_algorithm(self):
+        system = System(AnonymousConsensus(n=2), {101: 1, 103: 2})
+        assert all(v.is_empty() for v in system.memory.snapshot())
+
+
+class TestRun:
+    def test_run_returns_trace_with_outputs(self):
+        system = System(AnonymousConsensus(n=2), {101: "a", 103: "b"})
+        trace = system.run(RandomAdversary(2), max_steps=50_000)
+        assert set(trace.outputs) == {101, 103}
+
+    def test_fresh_system_builds_equivalent_instance(self):
+        system = fresh_system(AnonymousMutex(m=3), pids(2))
+        assert isinstance(system, System)
+        assert system.memory.size == 3
+
+    def test_automata_get_their_inputs(self):
+        system = System(AnonymousConsensus(n=2), {101: "left", 103: "right"})
+        assert system.automata[101].input == "left"
+        assert system.automata[103].input == "right"

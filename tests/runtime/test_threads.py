@@ -1,0 +1,67 @@
+"""Tests for the real-thread backend (GIL-limited realism check)."""
+
+import pytest
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.core.renaming import AnonymousRenaming
+from repro.memory.naming import RandomNaming
+from repro.runtime.threads import run_threaded, run_threaded_with_backoff
+
+from tests.conftest import pids
+
+
+class TestThreadedConsensus:
+    def test_two_process_consensus_agrees(self):
+        result = run_threaded_with_backoff(
+            AnonymousConsensus(n=2), {101: "a", 103: "b"}, timeout=30.0
+        )
+        assert result.ok, (result.timed_out, result.errors)
+        assert len(set(result.outputs.values())) == 1
+        assert set(result.outputs.values()) <= {"a", "b"}
+
+    def test_three_process_consensus_under_random_naming(self):
+        result = run_threaded_with_backoff(
+            AnonymousConsensus(n=3),
+            {101: "a", 103: "b", 107: "c"},
+            naming=RandomNaming(seed=4),
+            timeout=30.0,
+        )
+        assert result.ok, (result.timed_out, result.errors)
+        assert len(set(result.outputs.values())) == 1
+
+    def test_steps_are_reported(self):
+        result = run_threaded_with_backoff(
+            AnonymousConsensus(n=2), {101: "a", 103: "b"}, timeout=30.0
+        )
+        assert all(steps > 0 for steps in result.steps.values())
+
+
+class TestThreadedMutex:
+    def test_two_process_mutex_completes_visits(self):
+        result = run_threaded_with_backoff(
+            AnonymousMutex(m=3, cs_visits=3), pids(2), timeout=30.0
+        )
+        assert result.ok, (result.timed_out, result.errors)
+        assert all(v == 3 for v in result.outputs.values())
+
+
+class TestThreadedRenaming:
+    def test_names_are_unique_and_in_range(self):
+        result = run_threaded_with_backoff(
+            AnonymousRenaming(n=3), pids(3), timeout=30.0
+        )
+        assert result.ok, (result.timed_out, result.errors)
+        names = sorted(result.outputs.values())
+        assert names == sorted(set(names))
+        assert all(1 <= name <= 3 for name in names)
+
+
+class TestTimeoutHandling:
+    def test_tiny_step_budget_reports_error_not_hang(self):
+        result = run_threaded(
+            AnonymousConsensus(n=2), {101: "a", 103: "b"},
+            timeout=10.0, max_steps=3,
+        )
+        assert not result.ok
+        assert result.errors or result.timed_out

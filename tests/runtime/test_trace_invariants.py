@@ -1,0 +1,109 @@
+"""Property-based well-formedness invariants of recorded traces.
+
+Whatever the algorithm, naming and schedule, every trace the scheduler
+produces must satisfy structural invariants: sequence numbers are dense,
+physical indices are consistent with the naming, read results equal the
+last written value, critical-section intervals nest properly, halts come
+with outputs.  Hypothesis drives the configuration space.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.core.renaming import AnonymousRenaming
+from repro.memory.naming import RandomNaming
+from repro.runtime.adversary import (
+    AlternatingBurstAdversary,
+    RandomAdversary,
+    StagedObstructionAdversary,
+)
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+algorithms = st.sampled_from(["mutex", "consensus", "renaming"])
+
+
+def build_system(kind, naming_seed):
+    naming = RandomNaming(naming_seed)
+    if kind == "mutex":
+        return System(AnonymousMutex(m=3, cs_visits=2), pids(2), naming=naming)
+    if kind == "consensus":
+        inputs = dict(zip(pids(3), ("x", "y", "z")))
+        return System(AnonymousConsensus(n=3), inputs, naming=naming)
+    return System(AnonymousRenaming(n=3), pids(3), naming=naming)
+
+
+def build_adversary(adv_kind, seed):
+    if adv_kind == 0:
+        return RandomAdversary(seed)
+    if adv_kind == 1:
+        return AlternatingBurstAdversary(seed=seed, max_burst=5)
+    return StagedObstructionAdversary(prefix_steps=seed % 80, seed=seed)
+
+
+def assert_trace_well_formed(system, trace):
+    # Dense, ordered sequence numbers.
+    assert [e.seq for e in trace.events] == list(range(len(trace.events)))
+
+    # Physical indices agree with each process's naming.
+    for event in trace.events:
+        if event.physical_index is not None:
+            view = system.memory.view(event.pid)
+            assert view.physical_index_of(event.op.index) == event.physical_index
+
+    # Every read returns the last value written to that physical register
+    # (or the initial value).
+    current = list(trace.initial_values)
+    for event in trace.events:
+        if event.is_read():
+            assert event.result == current[event.physical_index], event
+        elif event.is_write():
+            current[event.physical_index] = event.op.value
+    if trace.final_values:
+        assert tuple(current) == trace.final_values
+
+    # Halted processes have recorded outputs and took their last step at
+    # or before their halt index.
+    for pid, seq in trace.halt_seq.items():
+        assert pid in trace.outputs
+        later = [e for e in trace.events if e.pid == pid and e.seq > seq]
+        assert later == []
+
+    # CS intervals of a single process never overlap each other.
+    for pid in trace.pids:
+        intervals = [
+            iv for iv in trace.critical_section_intervals() if iv.pid == pid
+        ]
+        for first, second in zip(intervals, intervals[1:]):
+            assert first.exit_seq is not None
+            assert first.exit_seq < second.enter_seq
+
+
+@given(
+    kind=algorithms,
+    naming_seed=st.integers(0, 500),
+    adv_kind=st.integers(0, 2),
+    seed=st.integers(0, 10_000),
+    budget=st.integers(50, 4_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_trace_is_well_formed(kind, naming_seed, adv_kind, seed, budget):
+    system = build_system(kind, naming_seed)
+    trace = system.run(build_adversary(adv_kind, seed), max_steps=budget)
+    assert_trace_well_formed(system, trace)
+
+
+@given(seed=st.integers(0, 10_000), budget=st.integers(10, 2_000))
+@settings(max_examples=20, deadline=None)
+def test_replay_of_arbitrary_prefix_is_exact(seed, budget):
+    from repro.runtime.replay import replay
+
+    inputs = dict(zip(pids(3), ("x", "y", "z")))
+    system = System(AnonymousConsensus(n=3), inputs, naming=RandomNaming(7))
+    trace = system.run(RandomAdversary(seed), max_steps=budget)
+    fresh = System(AnonymousConsensus(n=3), inputs, naming=RandomNaming(7))
+    replayed = replay(trace, fresh)  # strict: raises on any divergence
+    assert replayed.final_values == trace.final_values

@@ -1,0 +1,103 @@
+"""Tests for the bounded-bypass (starvation-freedom) checker."""
+
+import pytest
+
+from repro.baselines.named_mutex import PetersonMutex
+from repro.core.mutex import AnonymousMutex
+from repro.errors import DeadlockFreedomViolation
+from repro.runtime.adversary import AlternatingBurstAdversary, RandomAdversary
+from repro.runtime.events import Event, Trace
+from repro.runtime.ops import EnterCritOp, ExitCritOp, ReadOp
+from repro.runtime.system import System
+from repro.spec.mutex_spec import BoundedBypassChecker
+
+from tests.conftest import pids
+
+
+def synthetic_trace(events):
+    trace = Trace(pids=pids(2), register_count=3, initial_values=(0, 0, 0))
+    for event in events:
+        trace.append(event)
+    return trace
+
+
+class TestMaxBypass:
+    def test_no_waiting_no_bypass(self):
+        p1, _ = pids(2)
+        trace = synthetic_trace(
+            [Event(0, p1, EnterCritOp()), Event(1, p1, ExitCritOp())]
+        )
+        assert BoundedBypassChecker(0).max_bypass(trace) == (0, None)
+
+    def test_single_bypass_counted(self):
+        p1, p2 = pids(2)
+        trace = synthetic_trace(
+            [
+                Event(0, p2, ReadOp(0), 0, 0, phase="entry"),  # p2 waits
+                Event(1, p1, EnterCritOp(), phase="entry"),    # p1 overtakes
+                Event(2, p1, ExitCritOp()),
+                Event(3, p2, EnterCritOp(), phase="entry"),
+            ]
+        )
+        assert BoundedBypassChecker(1).max_bypass(trace) == (1, p2)
+
+    def test_repeated_bypass_accumulates(self):
+        p1, p2 = pids(2)
+        events = [Event(0, p2, ReadOp(0), 0, 0, phase="entry")]
+        seq = 1
+        for _ in range(3):
+            events.append(Event(seq, p1, EnterCritOp(), phase="entry")); seq += 1
+            events.append(Event(seq, p1, ExitCritOp())); seq += 1
+        trace = synthetic_trace(events)
+        assert BoundedBypassChecker(9).max_bypass(trace) == (3, p2)
+
+    def test_own_entry_resets_counter(self):
+        p1, p2 = pids(2)
+        trace = synthetic_trace(
+            [
+                Event(0, p2, ReadOp(0), 0, 0, phase="entry"),
+                Event(1, p1, EnterCritOp(), phase="entry"),
+                Event(2, p1, ExitCritOp()),
+                Event(3, p2, EnterCritOp(), phase="entry"),
+                Event(4, p2, ExitCritOp()),
+                Event(5, p2, ReadOp(0), 0, 0, phase="entry"),
+                Event(6, p1, EnterCritOp(), phase="entry"),
+            ]
+        )
+        # Two separate waits, one bypass each: max is 1, not 2.
+        assert BoundedBypassChecker(1).max_bypass(trace)[0] == 1
+
+    def test_check_raises_beyond_bound(self):
+        p1, p2 = pids(2)
+        events = [Event(0, p2, ReadOp(0), 0, 0, phase="entry")]
+        seq = 1
+        for _ in range(2):
+            events.append(Event(seq, p1, EnterCritOp(), phase="entry")); seq += 1
+            events.append(Event(seq, p1, ExitCritOp())); seq += 1
+        with pytest.raises(DeadlockFreedomViolation):
+            BoundedBypassChecker(bound=1).check(synthetic_trace(events))
+
+
+class TestOnRealAlgorithms:
+    def test_peterson_is_one_bounded(self):
+        # Peterson's turn-taking gives starvation-freedom with bypass 1.
+        checker = BoundedBypassChecker(bound=1)
+        for seed in range(10):
+            system = System(PetersonMutex(cs_visits=4), pids(2))
+            trace = system.run(RandomAdversary(seed), max_steps=100_000)
+            checker.check(trace)
+
+    def test_fig1_exceeds_any_small_bound_under_bursts(self):
+        # Figure 1 is deadlock-free but NOT starvation-free: bursty
+        # schedules let one process win repeatedly (§8 lists anonymous
+        # starvation-free mutex as open).
+        checker = BoundedBypassChecker(bound=1)
+        worst = 0
+        for seed in range(20):
+            system = System(AnonymousMutex(m=3, cs_visits=5), pids(2))
+            trace = system.run(
+                AlternatingBurstAdversary(seed=seed, max_burst=12),
+                max_steps=100_000,
+            )
+            worst = max(worst, checker.max_bypass(trace)[0])
+        assert worst >= 3

@@ -1,0 +1,131 @@
+"""Tests for the consensus/election spec checkers (including sensitivity)."""
+
+import pytest
+
+from repro.errors import (
+    AgreementViolation,
+    TerminationViolation,
+    ValidityViolation,
+)
+from repro.runtime.events import Event, Trace
+from repro.runtime.ops import ReadOp, WriteOp
+from repro.spec.consensus_spec import (
+    AgreementChecker,
+    ElectionChecker,
+    ObstructionFreeTerminationChecker,
+    SoloStepBoundChecker,
+    ValidityChecker,
+    consensus_checkers,
+)
+
+from tests.conftest import pids
+
+
+def trace_with_outputs(outputs, crash=(), n=3, events=()):
+    trace = Trace(pids=pids(n), register_count=5, initial_values=(0,) * 5)
+    for event in events:
+        trace.append(event)
+    for pid, value in outputs.items():
+        trace.outputs[pid] = value
+        trace.halt_seq[pid] = 0
+    for pid in crash:
+        trace.crash_seq[pid] = 0
+    trace.stop_reason = "all-halted"
+    return trace
+
+
+class TestAgreementChecker:
+    def test_passes_on_unanimous(self):
+        AgreementChecker().check(trace_with_outputs({101: "v", 103: "v"}))
+
+    def test_passes_on_partial_decisions(self):
+        AgreementChecker().check(trace_with_outputs({101: "v"}))
+
+    def test_fires_on_conflict(self):
+        with pytest.raises(AgreementViolation):
+            AgreementChecker().check(trace_with_outputs({101: "a", 103: "b"}))
+
+    def test_passes_on_empty(self):
+        AgreementChecker().check(trace_with_outputs({}))
+
+
+class TestValidityChecker:
+    def test_passes_when_decision_is_an_input(self):
+        inputs = {101: "a", 103: "b", 107: "c"}
+        ValidityChecker(inputs).check(trace_with_outputs({101: "b"}))
+
+    def test_fires_on_invented_value(self):
+        inputs = {101: "a", 103: "b", 107: "c"}
+        with pytest.raises(ValidityViolation):
+            ValidityChecker(inputs).check(trace_with_outputs({101: "z"}))
+
+
+class TestElectionChecker:
+    def test_passes_on_unanimous_participant(self):
+        ElectionChecker().check(trace_with_outputs({101: 103, 103: 103}))
+
+    def test_fires_on_non_participant_leader(self):
+        with pytest.raises(ValidityViolation):
+            ElectionChecker().check(trace_with_outputs({101: 999}))
+
+    def test_fires_on_split_vote(self):
+        with pytest.raises(AgreementViolation):
+            ElectionChecker().check(trace_with_outputs({101: 101, 103: 103}))
+
+
+class TestTerminationCheckers:
+    def test_of_termination_passes_when_all_halted(self):
+        ObstructionFreeTerminationChecker().check(
+            trace_with_outputs({101: "v", 103: "v", 107: "v"})
+        )
+
+    def test_of_termination_ignores_crashed(self):
+        ObstructionFreeTerminationChecker().check(
+            trace_with_outputs({101: "v", 103: "v"}, crash=(107,))
+        )
+
+    def test_of_termination_fires_on_stragglers(self):
+        with pytest.raises(TerminationViolation):
+            ObstructionFreeTerminationChecker().check(
+                trace_with_outputs({101: "v"})
+            )
+
+    def test_solo_bound_passes_within_budget(self):
+        p1 = pids(1)[0]
+        events = [Event(k, p1, ReadOp(0), 0, 0) for k in range(5)]
+        trace = trace_with_outputs({p1: "v"}, n=1, events=events)
+        SoloStepBoundChecker(max_steps=10).check(trace)
+
+    def test_solo_bound_fires_when_exceeded(self):
+        p1 = pids(1)[0]
+        events = [Event(k, p1, ReadOp(0), 0, 0) for k in range(20)]
+        trace = trace_with_outputs({p1: "v"}, n=1, events=events)
+        with pytest.raises(TerminationViolation):
+            SoloStepBoundChecker(max_steps=10).check(trace)
+
+    def test_solo_bound_fires_when_undecided(self):
+        p1 = pids(1)[0]
+        events = [Event(0, p1, ReadOp(0), 0, 0)]
+        trace = Trace(pids=pids(1), register_count=1, initial_values=(0,))
+        for e in events:
+            trace.append(e)
+        with pytest.raises(TerminationViolation):
+            SoloStepBoundChecker(max_steps=10).check(trace)
+
+    def test_solo_bound_demands_single_stepper_when_pid_unset(self):
+        p1, p2 = pids(2)
+        trace = Trace(pids=pids(2), register_count=1, initial_values=(0,))
+        trace.append(Event(0, p1, ReadOp(0), 0, 0))
+        trace.append(Event(1, p2, ReadOp(0), 0, 0))
+        with pytest.raises(TerminationViolation):
+            SoloStepBoundChecker(max_steps=10).check(trace)
+
+
+class TestBattery:
+    def test_consensus_checkers_builds_three(self):
+        checkers = consensus_checkers({101: "a"})
+        assert {c.name for c in checkers} == {
+            "agreement",
+            "validity",
+            "of-termination",
+        }

@@ -1,0 +1,162 @@
+"""Tests for the mutual-exclusion spec checkers — including that they
+actually *fire* on bad traces (checker sensitivity)."""
+
+import pytest
+
+from repro.errors import DeadlockFreedomViolation, MutualExclusionViolation
+from repro.runtime.events import Event, Trace
+from repro.runtime.ops import EnterCritOp, ExitCritOp, ReadOp, WriteOp
+from repro.spec.mutex_spec import (
+    DeadlockFreedomChecker,
+    ExitWaitFreeChecker,
+    MutualExclusionChecker,
+    mutex_checkers,
+)
+
+from tests.conftest import pids
+
+
+def trace_of(events, stop_reason="max-steps", outputs=None):
+    trace = Trace(pids=pids(2), register_count=3, initial_values=(0, 0, 0))
+    for event in events:
+        trace.append(event)
+    trace.stop_reason = stop_reason
+    if outputs:
+        trace.outputs.update(outputs)
+        for pid in outputs:
+            trace.halt_seq[pid] = len(trace.events) - 1
+    return trace
+
+
+class TestMutualExclusionChecker:
+    def test_passes_on_disjoint_intervals(self):
+        p1, p2 = pids(2)
+        trace = trace_of(
+            [
+                Event(0, p1, EnterCritOp()),
+                Event(1, p1, ExitCritOp()),
+                Event(2, p2, EnterCritOp()),
+                Event(3, p2, ExitCritOp()),
+            ]
+        )
+        MutualExclusionChecker().check(trace)
+
+    def test_fires_on_overlap(self):
+        p1, p2 = pids(2)
+        trace = trace_of(
+            [
+                Event(0, p1, EnterCritOp()),
+                Event(1, p2, EnterCritOp()),
+                Event(2, p1, ExitCritOp()),
+                Event(3, p2, ExitCritOp()),
+            ]
+        )
+        with pytest.raises(MutualExclusionViolation):
+            MutualExclusionChecker().check(trace)
+
+    def test_fires_on_open_interval_overlap(self):
+        p1, p2 = pids(2)
+        trace = trace_of(
+            [Event(0, p1, EnterCritOp()), Event(1, p2, EnterCritOp())]
+        )
+        with pytest.raises(MutualExclusionViolation):
+            MutualExclusionChecker().check(trace)
+
+    def test_same_process_reentry_is_fine(self):
+        p1, _ = pids(2)
+        trace = trace_of(
+            [
+                Event(0, p1, EnterCritOp()),
+                Event(1, p1, ExitCritOp()),
+                Event(2, p1, EnterCritOp()),
+                Event(3, p1, ExitCritOp()),
+            ]
+        )
+        MutualExclusionChecker().check(trace)
+
+    def test_holds_is_boolean_form(self):
+        p1, p2 = pids(2)
+        bad = trace_of(
+            [Event(0, p1, EnterCritOp()), Event(1, p2, EnterCritOp())]
+        )
+        assert not MutualExclusionChecker().holds(bad)
+
+
+class TestDeadlockFreedomChecker:
+    def test_passes_on_completed_run_with_outputs(self):
+        p1, p2 = pids(2)
+        trace = trace_of(
+            [Event(0, p1, EnterCritOp())],
+            stop_reason="all-halted",
+            outputs={p1: 1, p2: 1},
+        )
+        DeadlockFreedomChecker().check(trace)
+
+    def test_fires_on_completed_run_with_zero_visits(self):
+        p1, p2 = pids(2)
+        trace = trace_of(
+            [Event(0, p1, EnterCritOp())],
+            stop_reason="all-halted",
+            outputs={p1: 1, p2: 0},
+        )
+        with pytest.raises(DeadlockFreedomViolation):
+            DeadlockFreedomChecker().check(trace)
+
+    def test_fires_on_starving_truncated_run(self):
+        p1, _ = pids(2)
+        trace = trace_of([Event(k, p1, ReadOp(0), 0, 0) for k in range(50)])
+        with pytest.raises(DeadlockFreedomViolation):
+            DeadlockFreedomChecker(min_entries=1).check(trace)
+
+    def test_passes_when_entries_meet_minimum(self):
+        p1, _ = pids(2)
+        trace = trace_of(
+            [Event(0, p1, EnterCritOp()), Event(1, p1, ExitCritOp())]
+        )
+        DeadlockFreedomChecker(min_entries=1).check(trace)
+
+
+class TestExitWaitFreeChecker:
+    def test_passes_on_write_only_exit(self):
+        p1, _ = pids(2)
+        trace = trace_of(
+            [
+                Event(0, p1, ExitCritOp(), phase="critical"),
+                Event(1, p1, WriteOp(0, 0), 0, phase="exit"),
+                Event(2, p1, WriteOp(1, 0), 1, phase="exit"),
+            ]
+        )
+        ExitWaitFreeChecker(max_exit_steps=3).check(trace)
+
+    def test_fires_on_read_during_exit(self):
+        p1, _ = pids(2)
+        trace = trace_of(
+            [Event(0, p1, ReadOp(0), 0, 0, phase="exit")]
+        )
+        with pytest.raises(DeadlockFreedomViolation):
+            ExitWaitFreeChecker(max_exit_steps=3).check(trace)
+
+    def test_fires_on_overlong_exit(self):
+        p1, _ = pids(2)
+        trace = trace_of(
+            [Event(k, p1, WriteOp(0, 0), 0, phase="exit") for k in range(5)]
+        )
+        with pytest.raises(DeadlockFreedomViolation):
+            ExitWaitFreeChecker(max_exit_steps=3).check(trace)
+
+    def test_entry_reads_are_not_confused_with_exit(self):
+        p1, _ = pids(2)
+        trace = trace_of(
+            [
+                Event(0, p1, WriteOp(0, 0), 0, phase="exit"),
+                Event(1, p1, ReadOp(0), 0, 0, phase="entry"),
+            ]
+        )
+        ExitWaitFreeChecker(max_exit_steps=1).check(trace)
+
+
+class TestBattery:
+    def test_mutex_checkers_builds_three(self):
+        checkers = mutex_checkers(5)
+        names = {c.name for c in checkers}
+        assert names == {"mutual-exclusion", "deadlock-freedom", "exit-wait-free"}

@@ -1,0 +1,67 @@
+"""Tests for the property-checker framework."""
+
+import pytest
+
+from repro.errors import SpecViolation
+from repro.runtime.events import Trace
+from repro.spec.properties import (
+    PropertyChecker,
+    check_all,
+    first_violation,
+    violations,
+)
+
+from tests.conftest import pids
+
+
+class AlwaysPass(PropertyChecker):
+    name = "always-pass"
+
+    def check(self, trace):
+        return None
+
+
+class AlwaysFail(PropertyChecker):
+    name = "always-fail"
+
+    def check(self, trace):
+        raise SpecViolation("nope", trace=trace)
+
+
+def empty_trace():
+    return Trace(pids=pids(2), register_count=1, initial_values=(0,))
+
+
+class TestFramework:
+    def test_check_all_passes_quietly(self):
+        check_all(empty_trace(), [AlwaysPass(), AlwaysPass()])
+
+    def test_check_all_raises_first_failure(self):
+        with pytest.raises(SpecViolation):
+            check_all(empty_trace(), [AlwaysPass(), AlwaysFail()])
+
+    def test_violations_collects_without_raising(self):
+        found = violations(empty_trace(), [AlwaysFail(), AlwaysFail(), AlwaysPass()])
+        assert len(found) == 2
+
+    def test_first_violation_returns_none_when_clean(self):
+        assert first_violation(empty_trace(), [AlwaysPass()]) is None
+
+    def test_first_violation_returns_the_exception(self):
+        violation = first_violation(empty_trace(), [AlwaysFail()])
+        assert isinstance(violation, SpecViolation)
+        assert violation.trace is not None
+
+    def test_holds_boolean_form(self):
+        assert AlwaysPass().holds(empty_trace())
+        assert not AlwaysFail().holds(empty_trace())
+
+    def test_describe_defaults_to_name(self):
+        assert AlwaysPass().describe() == "always-pass"
+
+    def test_violation_carries_trace(self):
+        trace = empty_trace()
+        try:
+            AlwaysFail().check(trace)
+        except SpecViolation as exc:
+            assert exc.trace is trace

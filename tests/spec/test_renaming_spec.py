@@ -1,0 +1,92 @@
+"""Tests for the renaming spec checkers (including sensitivity)."""
+
+import pytest
+
+from repro.errors import (
+    NameRangeViolation,
+    TerminationViolation,
+    UniquenessViolation,
+)
+from repro.runtime.events import Trace
+from repro.spec.renaming_spec import (
+    NameRangeChecker,
+    RenamingTerminationChecker,
+    UniqueNamesChecker,
+    renaming_checkers,
+)
+
+from tests.conftest import pids
+
+
+def trace_with_names(names, crash=(), n=3):
+    trace = Trace(pids=pids(n), register_count=5, initial_values=(0,) * 5)
+    for pid, name in names.items():
+        trace.outputs[pid] = name
+        trace.halt_seq[pid] = 0
+    for pid in crash:
+        trace.crash_seq[pid] = 0
+    trace.stop_reason = "all-halted"
+    return trace
+
+
+class TestUniqueNamesChecker:
+    def test_passes_on_distinct_names(self):
+        UniqueNamesChecker().check(trace_with_names({101: 1, 103: 2, 107: 3}))
+
+    def test_fires_on_duplicates(self):
+        with pytest.raises(UniquenessViolation):
+            UniqueNamesChecker().check(trace_with_names({101: 1, 103: 1}))
+
+    def test_passes_on_partial_outputs(self):
+        UniqueNamesChecker().check(trace_with_names({101: 2}))
+
+
+class TestNameRangeChecker:
+    def test_passes_within_bound(self):
+        NameRangeChecker(bound=3).check(trace_with_names({101: 3}))
+
+    def test_fires_above_bound(self):
+        with pytest.raises(NameRangeViolation):
+            NameRangeChecker(bound=2).check(trace_with_names({101: 3}))
+
+    def test_fires_on_zero_or_negative(self):
+        with pytest.raises(NameRangeViolation):
+            NameRangeChecker(bound=3).check(trace_with_names({101: 0}))
+
+    def test_fires_on_non_integer(self):
+        with pytest.raises(NameRangeViolation):
+            NameRangeChecker(bound=3).check(trace_with_names({101: "one"}))
+
+    def test_adaptivity_usage_with_k_bound(self):
+        # Theorem 5.3 style: 2 participants => names within {1, 2}.
+        NameRangeChecker(bound=2).check(trace_with_names({101: 1, 103: 2}, n=2))
+        with pytest.raises(NameRangeViolation):
+            NameRangeChecker(bound=2).check(
+                trace_with_names({101: 1, 103: 3}, n=2)
+            )
+
+
+class TestRenamingTerminationChecker:
+    def test_passes_when_everyone_named(self):
+        RenamingTerminationChecker().check(
+            trace_with_names({101: 1, 103: 2, 107: 3})
+        )
+
+    def test_ignores_crashed(self):
+        RenamingTerminationChecker().check(
+            trace_with_names({101: 1, 103: 2}, crash=(107,))
+        )
+
+    def test_fires_on_unnamed_live_process(self):
+        with pytest.raises(TerminationViolation):
+            RenamingTerminationChecker().check(trace_with_names({101: 1}))
+
+
+class TestBattery:
+    def test_renaming_checkers_builds_three(self):
+        checkers = renaming_checkers(3)
+        assert {c.name for c in checkers} == {
+            "unique-names",
+            "name-range",
+            "renaming-termination",
+        }

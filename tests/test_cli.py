@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_default_is_demo(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 2" in out and "Figure 3" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "new names" in out
+
+    def test_verify_reports_ok(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[OK ]") == 3
+        assert "exhaustive-ok" in out
+
+    def test_attack_finds_violations(self, capsys):
+        assert main(["attack"]) == 0
+        out = capsys.readouterr().out
+        assert "DF violation" in out
+        assert "Theorem 3.1" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,49 @@
+"""Smoke tests for the standalone experiment harness
+(``benchmarks/run_experiments.py``): every experiment function must run
+and assert its claims.  The heavyweight ones are exercised at reduced
+scale by the benchmark suite; here we run the fast ones end to end and
+check the registry wiring.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "run_experiments.py"
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = importlib.util.spec_from_file_location("run_experiments", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestHarness:
+    def test_registry_covers_e1_through_e14(self, harness):
+        names = [name for name, _ in harness.EXPERIMENTS]
+        joined = " ".join(names)
+        for k in range(1, 15):
+            assert f"E{k}" in joined, f"E{k} missing from the registry"
+
+    def test_e5_election_runs(self, harness, capsys):
+        harness.e5_election()
+        out = capsys.readouterr().out
+        assert "E5" in out and "unanimous winner" in out
+
+    def test_e13_plasticity_runs(self, harness, capsys):
+        harness.e13_plasticity()
+        out = capsys.readouterr().out
+        assert "plasticity" in out
+
+    def test_e9_impossibility_runs(self, harness, capsys):
+        harness.e9_e10_e11_impossibility()
+        out = capsys.readouterr().out
+        assert "rho-violation" in out and "z-no-progress" in out
+
+    def test_main_with_selection(self, harness, capsys):
+        harness.main(["E5"])
+        out = capsys.readouterr().out
+        assert "E5" in out and "reproduced" in out

@@ -1,0 +1,181 @@
+"""End-to-end integration tests: fast versions of every experiment.
+
+Each test here is a miniature of one EXPERIMENTS.md entry, so the core
+reproduction claims are re-checked on every ``pytest tests/`` run, not
+only when the benchmark harness is invoked.
+"""
+
+import pytest
+
+from repro import (
+    AnonymousConsensus,
+    AnonymousElection,
+    AnonymousMutex,
+    AnonymousRenaming,
+    RandomNaming,
+    System,
+    elected_leader,
+    explore,
+)
+from repro.baselines import (
+    ElectionChainRenaming,
+    NamedConsensus,
+    PaddedAlgorithm,
+    PetersonMutex,
+    TournamentMutex,
+)
+from repro.lowerbounds import (
+    NaiveTestAndSetLock,
+    demonstrate_consensus_space_bound,
+    demonstrate_mutex_impossibility,
+    demonstrate_renaming_space_bound,
+    run_symmetry_attack,
+)
+from repro.runtime import RandomAdversary, StagedObstructionAdversary
+from repro.runtime.exploration import mutual_exclusion_invariant
+from repro.spec import (
+    check_all,
+    consensus_checkers,
+    mutex_checkers,
+    renaming_checkers,
+)
+
+from tests.conftest import pids
+
+
+class TestPossibilityResults:
+    """The paper's algorithms do what the theorems say."""
+
+    def test_e1_fig1_mutex_odd_m(self):
+        system = System(
+            AnonymousMutex(m=5, cs_visits=2, cs_steps=2),
+            pids(2),
+            naming=RandomNaming(7),
+        )
+        trace = system.run(RandomAdversary(11), max_steps=200_000)
+        check_all(trace, mutex_checkers(5, min_entries=4))
+
+    def test_e1_exhaustive_m3(self):
+        system = System(AnonymousMutex(m=3), pids(2), record_trace=False)
+        result = explore(system, mutual_exclusion_invariant)
+        assert result.complete and result.ok and result.stuck_states == 0
+
+    def test_e3_e4_fig2_consensus(self):
+        inputs = dict(zip(pids(3), ("x", "y", "z")))
+        system = System(AnonymousConsensus(n=3), inputs, naming=RandomNaming(2))
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=60, seed=4), max_steps=300_000
+        )
+        check_all(trace, consensus_checkers(inputs))
+
+    def test_e5_election(self):
+        system = System(AnonymousElection(n=3), pids(3))
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=40, seed=1), max_steps=300_000
+        )
+        assert elected_leader(trace.outputs) in pids(3)
+
+    def test_e6_e7_e8_fig3_renaming_adaptive(self):
+        # Full house.
+        system = System(AnonymousRenaming(n=4), pids(4), naming=RandomNaming(3))
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=80, seed=2), max_steps=10**6
+        )
+        check_all(trace, renaming_checkers(4))
+        assert sorted(trace.outputs.values()) == [1, 2, 3, 4]
+        # Adaptivity: 2 of 4.
+        system = System(AnonymousRenaming(n=4), pids(2))
+        trace = system.run(
+            StagedObstructionAdversary(prefix_steps=30, seed=5), max_steps=10**6
+        )
+        assert sorted(trace.outputs.values()) == [1, 2]
+
+
+class TestImpossibilityResults:
+    """The paper's attacks break every candidate in the forbidden regime."""
+
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_e1_e2_even_m_attack(self, m):
+        result = run_symmetry_attack(
+            AnonymousMutex(m=m, unsafe_allow_any_m=True), pids(2)
+        )
+        assert result.violated and result.symmetric_throughout
+
+    def test_e9_mutex_covering(self):
+        report = demonstrate_mutex_impossibility(lambda: NaiveTestAndSetLock())
+        assert report.branch == "rho-violation"
+        report = demonstrate_mutex_impossibility(lambda: AnonymousMutex(m=3))
+        assert report.branch == "z-no-progress"
+
+    def test_e10_consensus_space(self):
+        report = demonstrate_consensus_space_bound(
+            lambda: AnonymousConsensus(n=3, registers=2)
+        )
+        assert report.branch == "rho-violation"
+        assert report.indistinguishability_verified
+
+    def test_e11_renaming_space(self):
+        report = demonstrate_renaming_space_bound(
+            lambda: AnonymousRenaming(n=3, registers=2)
+        )
+        assert report.branch == "rho-violation"
+        assert report.q_outcome == 1 and 1 in report.p_outcomes.values()
+
+
+class TestModelSeparation:
+    """E12: the named model really is stronger (Theorem 6.1's content)."""
+
+    def test_named_model_pads_where_anonymous_cannot(self):
+        # Even m = 4 total registers: fine with names (padding), fatal
+        # without (Theorem 3.1).
+        system = System(PaddedAlgorithm(AnonymousMutex(m=3, cs_visits=1), 4), pids(2))
+        trace = system.run(RandomAdversary(1), max_steps=200_000)
+        assert trace.stop_reason == "all-halted"
+        attack = run_symmetry_attack(
+            AnonymousMutex(m=4, unsafe_allow_any_m=True), pids(2)
+        )
+        assert attack.violated
+
+    def test_named_model_scales_mutex_beyond_two(self):
+        system = System(TournamentMutex(n=4, cs_visits=1), pids(4))
+        trace = system.run(RandomAdversary(2), max_steps=10**6)
+        check_all(trace, mutex_checkers(9, min_entries=4))
+
+    def test_named_and_anonymous_agree_on_what_consensus_is(self):
+        inputs = dict(zip(pids(3), ("x", "y", "z")))
+        for algorithm in (AnonymousConsensus(n=3), NamedConsensus(n=3)):
+            system = System(algorithm, inputs)
+            trace = system.run(
+                StagedObstructionAdversary(prefix_steps=50, seed=3),
+                max_steps=300_000,
+            )
+            check_all(trace, consensus_checkers(inputs))
+
+    def test_renaming_space_premium_of_the_named_chain(self):
+        assert ElectionChainRenaming(n=4).register_count() == 21
+        assert AnonymousRenaming(n=4).register_count() == 7
+
+    def test_e13_plasticity_outcomes_stable_across_namings(self):
+        inputs = dict(zip(pids(3), ("x", "y", "z")))
+        for seed in range(3):
+            system = System(
+                AnonymousConsensus(n=3), inputs, naming=RandomNaming(seed)
+            )
+            trace = system.run(
+                StagedObstructionAdversary(prefix_steps=40, seed=9),
+                max_steps=300_000,
+            )
+            check_all(trace, consensus_checkers(inputs))
+
+
+class TestPublicApi:
+    def test_top_level_exports_are_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version_is_set(self):
+        import repro
+
+        assert repro.__version__

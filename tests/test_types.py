@@ -1,0 +1,64 @@
+"""Tests for shared type validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.types import (
+    require,
+    validate_distinct_ids,
+    validate_process_id,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never shown")
+
+    def test_raises_configuration_error_by_default(self):
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_custom_error_class(self):
+        with pytest.raises(ProtocolError):
+            require(False, "broken", ProtocolError)
+
+
+class TestValidateProcessId:
+    def test_accepts_positive_ints(self):
+        assert validate_process_id(1) == 1
+        assert validate_process_id(10**12) == 10**12
+
+    def test_rejects_zero(self):
+        # 0 is the registers' initial known state in all three algorithms.
+        with pytest.raises(ConfigurationError):
+            validate_process_id(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            validate_process_id(-5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            validate_process_id(True)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ConfigurationError):
+            validate_process_id("101")
+
+
+class TestValidateDistinctIds:
+    def test_accepts_distinct(self):
+        assert validate_distinct_ids([101, 103]) == (101, 103)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            validate_distinct_ids([101, 101])
+
+    def test_rejects_invalid_member(self):
+        with pytest.raises(ConfigurationError):
+            validate_distinct_ids([101, 0])
+
+    def test_ids_need_not_be_contiguous(self):
+        # §2: "It is not assumed that the identifiers are taken from the
+        # set {1..n}."
+        assert validate_distinct_ids([7, 1000003]) == (7, 1000003)
