@@ -8,6 +8,8 @@ Subcommands:
                     (Figure 1 m=3, Figure 2 n=2, Figure 3 n=2);
 * ``attack``      — run the Theorem 3.4 symmetry attack on Figure 1 with
                     an even register count and show the provable livelock;
+* ``lint``        — static analysis + runtime audits of the model rules
+                    (symmetry, anonymity, atomicity, pc annotations);
 * ``experiments`` — regenerate every experiment table (E1-E14; slower).
 """
 
@@ -99,6 +101,12 @@ def cmd_attack() -> int:
     return 0
 
 
+def cmd_lint(rest=()) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(list(rest))
+
+
 def cmd_experiments() -> int:
     import importlib.util
     from pathlib import Path
@@ -127,9 +135,14 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "verify", "attack", "experiments"],
+        choices=["demo", "verify", "attack", "lint", "experiments"],
     )
-    args = parser.parse_args(argv)
+    args, rest = parser.parse_known_args(argv)
+    if args.command == "lint":
+        # Forward the remaining flags (e.g. --skip-races) to the lint CLI.
+        return cmd_lint(rest)
+    if rest:
+        parser.error(f"unrecognized arguments: {' '.join(rest)}")
     return {
         "demo": cmd_demo,
         "verify": cmd_verify,

@@ -48,6 +48,10 @@ class NamedConsensusProcess(AnonymousConsensusProcess):
     one needs named registers to be meaningful.
     """
 
+    #: Slot-staggered write placement is agreed positional asymmetry —
+    #: the prior agreement §3.2 discusses; exempt from the symmetry lint.
+    SYMMETRIC = False
+
     def __init__(self, pid: ProcessId, input: Any, m: int, adopt_threshold: int, offset: int):
         super().__init__(pid, input, m, adopt_threshold, choice="first")
         self.offset = offset % max(1, m)

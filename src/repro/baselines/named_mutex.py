@@ -68,6 +68,22 @@ class TournamentMutexProcess(MutexAutomatonMixin, ProcessAutomaton):
 
     EXIT_PCS = frozenset({"release_write"})
 
+    #: Slots assign asymmetric roles by position — the prior agreement the
+    #: anonymous model forbids (§3.2); exempt from the symmetry lint.
+    SYMMETRIC = False
+
+    PC_LINES = {
+        "flag_write": "Peterson (1981) entry — flag[role] := id at the current lock",
+        "turn_write": "Peterson entry — turn := other role (give way)",
+        "peer_flag_read": "Peterson entry — read the peer's flag",
+        "turn_read": "Peterson entry — read turn (spin test)",
+        "enter_cs": "Peterson — all path locks held; enter the CS",
+        "crit": "critical section occupancy",
+        "exit_crit": "leave the critical section; begin releasing locks",
+        "release_write": "Peterson exit — flag[role] := 0, root to leaf",
+        "done": "left the algorithm (cs_visits spent)",
+    }
+
     def __init__(
         self,
         pid: ProcessId,

@@ -45,9 +45,28 @@ class ChainState:
     #: The acquired new name, once decided.
     name: Optional[int] = None
 
+    @property
+    def pc(self) -> str:  # for uniform debugging/tracing/lint audits
+        return "done" if self.name is not None else f"stage-{self.stage}"
+
 
 class ElectionChainProcess(ProcessAutomaton):
     """One process walking the chain of election objects."""
+
+    #: The agreed ordering of election objects (block layout) is exactly
+    #: the prior agreement the §5 quote calls out; exempt from the
+    #: symmetry lint, which cannot see through block offsets.
+    SYMMETRIC = False
+
+    PC_LINES = {
+        "stage": "§5 trivial solution — playing election object stage+1",
+        "done": "§5 trivial solution — elected (name = stage+1) or last (name = n)",
+    }
+
+    @classmethod
+    def pc_key(cls, pc: str) -> str:
+        # Dynamic counters "stage-0", "stage-1", ... all map to "stage".
+        return "stage" if pc.startswith("stage-") else pc
 
     def __init__(self, pid: ProcessId, n: int, block_size: int):
         self.pid = validate_process_id(pid)

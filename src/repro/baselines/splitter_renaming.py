@@ -72,6 +72,17 @@ class SplitterState:
 class SplitterRenamingProcess(ProcessAutomaton):
     """One process descending the splitter grid."""
 
+    # Note: fully symmetric (the module docstring's point) — identifiers
+    # are only written and equality-compared; what it needs is *naming*.
+
+    PC_LINES = {
+        "w_x": "Moir-Anderson splitter, step 1 — X := i",
+        "r_y": "Moir-Anderson splitter, step 2 — read Y; RIGHT if set",
+        "w_y": "Moir-Anderson splitter, step 3 — Y := true",
+        "r_x": "Moir-Anderson splitter, step 4 — read X; STOP iff still i",
+        "done": "Moir-Anderson grid — stopped; cell index + 1 is the name",
+    }
+
     def __init__(self, pid: ProcessId, n: int):
         self.pid = validate_process_id(pid)
         self.n = n

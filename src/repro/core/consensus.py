@@ -139,6 +139,12 @@ class AnonymousConsensusProcess(ProcessAutomaton):
         remark) instead of as record objects.
     """
 
+    PC_LINES = {
+        "collect": "Figure 2, line 3 — myview[j] := p.i[j]",
+        "write": "Figure 2, line 7 — p.i[j] := (i, mypref), index from line 6",
+        "decided": "Figure 2, line 9 — decide(mypref) after the line-8 exit",
+    }
+
     def __init__(
         self,
         pid: ProcessId,

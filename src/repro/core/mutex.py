@@ -133,6 +133,20 @@ class AnonymousMutexProcess(MutexAutomatonMixin, ProcessAutomaton):
 
     EXIT_PCS = frozenset({"reset"})
 
+    PC_LINES = {
+        "scan_read": "Figure 1, line 2 — read p.i[j] during the write scan",
+        "scan_write": "Figure 1, line 2 — conditional write p.i[j] := i",
+        "collect": "Figure 1, line 3 — myview[j] := p.i[j]",
+        "cleanup_read": "Figure 1, line 5 — read p.i[j] during cleanup",
+        "cleanup_write": "Figure 1, line 5 — conditional write p.i[j] := 0",
+        "wait": "Figure 1, lines 6-8 — re-read until all registers are 0",
+        "enter_cs": "Figure 1, line 10 -> 11 boundary — enter the CS",
+        "crit": "Figure 1, line 11 — inside the critical section",
+        "exit_crit": "Figure 1, line 11 -> 12 boundary — leave the CS",
+        "reset": "Figure 1, line 12 — exit code p.i[j] := 0",
+        "done": "Figure 1, after line 12 — left the algorithm (cs_visits spent)",
+    }
+
     def __init__(self, pid: ProcessId, m: int, cs_visits: int = 1, cs_steps: int = 1):
         self.pid = validate_process_id(pid)
         self.m = m

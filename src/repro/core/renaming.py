@@ -87,6 +87,12 @@ class AnonymousRenamingProcess(ProcessAutomaton):
         notes applies to renaming as well).
     """
 
+    PC_LINES = {
+        "collect": "Figure 3, line 4 — myview[j] := p.i[j]",
+        "write": "Figure 3, line 16 — p.i[j] := (i, mypref, myround, myhistory)",
+        "done": "Figure 3, lines 6 / 18 / 22 — a new name was returned",
+    }
+
     def __init__(
         self,
         pid: ProcessId,

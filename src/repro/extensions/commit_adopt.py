@@ -85,6 +85,15 @@ class CommitAdoptProcess(ProcessAutomaton):
     ``offset`` lets a ladder embed many objects in one array.
     """
 
+    PC_LINES = {
+        "w_propose": "commit-adopt step 1 — A[v] := 1 (module docstring protocol)",
+        "scan_conflict": "commit-adopt step 2 — read every A[w], w != v",
+        "w_phase2": "commit-adopt step 3 — B[v] := 1",
+        "scan_recheck": "commit-adopt step 4 — re-read every A[w], w != v",
+        "scan_b": "commit-adopt step 5 — conflicted scan of every B[w]",
+        "done": "commit-adopt — returned (status, value)",
+    }
+
     def __init__(self, pid: ProcessId, input: Any, domain: Tuple[Any, ...], offset: int = 0):
         self.pid = validate_process_id(pid)
         require(

@@ -79,6 +79,17 @@ class KSetChecker(PropertyChecker):
 class PartitionedProcess(ProcessAutomaton):
     """A consensus process confined to its group's register block."""
 
+    #: Group membership and block layout are prior agreement (named model):
+    #: the automaton's behaviour depends on its slot, not only on identifier
+    #: equality.
+    SYMMETRIC = False
+
+    PC_LINES = {
+        "collect": "Figure 2 core, line 3 — group-local read pass (§6.3 remark)",
+        "write": "Figure 2 core, line 7 — group-local vote write (§6.3 remark)",
+        "decided": "Figure 2 core, line 9 — group consensus decision (§6.3 remark)",
+    }
+
     def __init__(
         self,
         pid: ProcessId,

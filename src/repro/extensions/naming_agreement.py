@@ -101,6 +101,15 @@ class NamingState:
 class NamingAgreementProcess(ProcessAutomaton):
     """One process of the naming-agreement protocol."""
 
+    PC_LINES = {
+        "collect": "Figure 2 core, line 3 — election read pass (§8 exploration)",
+        "write": "Figure 2 core, line 7 — election vote write (§8 exploration)",
+        "tag_write": "§8 exploration, step 2 — leader tags register j with (TAG, leader, j)",
+        "adopt_scan": "§8 exploration, step 3 — non-leader scans for tags",
+        "repair_write": "§8 exploration, step 3 — rewrite the tag inferred by elimination",
+        "done": "§8 exploration — agreed numbering returned",
+    }
+
     def __init__(self, pid: ProcessId, n: int, m: int):
         self.pid = validate_process_id(pid)
         self.n = n

@@ -69,6 +69,16 @@ class LadderState:
 class LadderConsensusProcess(ProcessAutomaton):
     """One process climbing the commit-adopt ladder."""
 
+    PC_LINES = {
+        "round": "[25]-style ladder — playing commit-adopt object CA_r (round r)",
+        "decided": "[25]-style ladder — CA_r returned COMMIT; decide its value",
+    }
+
+    @classmethod
+    def pc_key(cls, pc: str) -> str:
+        # Dynamic counters "round-1", "round-2", ... all map to "round".
+        return "round" if pc.startswith("round-") else pc
+
     def __init__(
         self,
         pid: ProcessId,

@@ -1,0 +1,41 @@
+"""repro.lint — static analysis and runtime audits for the model's rules.
+
+The paper's model bakes three structural disciplines into every
+algorithm, and this package checks all of them mechanically:
+
+* **symmetry** (§2): process identifiers may only be written, read and
+  compared for equality — :mod:`repro.lint.symmetry` walks each
+  automaton's AST and flags arithmetic, ordering, indexing or hashing
+  on identifiers;
+* **memory anonymity** (§2, §3.2): algorithms address registers only
+  through their private :class:`~repro.memory.anonymous.MemoryView`,
+  never the physical array — :mod:`repro.lint.anonymity` checks this
+  statically and re-checks it at runtime with
+  :class:`~repro.memory.anonymous.MemoryAudit`;
+* **atomicity** (§2, "indivisible action"): the real-thread backend
+  must keep every register access lock-guarded —
+  :mod:`repro.lint.races` records accesses and runs a vector-clock
+  race and lock-discipline analysis over them.
+
+:mod:`repro.lint.pc_audit` additionally pins every automaton ``pc``
+value to a paper figure line (:attr:`ProcessAutomaton.PC_LINES`) and
+uses the bounded explorer to prove the annotated lines are reachable.
+
+Entry point: ``python -m repro lint`` (:mod:`repro.lint.cli`).
+"""
+
+from repro.lint.findings import Finding, errors_in, worst_severity
+from repro.lint.registry import (
+    LintTarget,
+    lint_targets,
+    shipped_automaton_classes,
+)
+
+__all__ = [
+    "Finding",
+    "LintTarget",
+    "errors_in",
+    "lint_targets",
+    "shipped_automaton_classes",
+    "worst_severity",
+]

@@ -1,0 +1,182 @@
+"""Anonymity linter: automata touch memory only through their view.
+
+The anonymous model (§2) gives each process its *own* register
+numbering; in the reproduction that numbering lives inside
+:class:`~repro.memory.anonymous.MemoryView`, and the contract is that
+automata hold a view and nothing else.  An automaton that reaches the
+physical :class:`~repro.memory.register.RegisterArray` — or that asks
+its view to translate between private and physical indices — has
+smuggled global register names back in and voided the model.
+
+Two complementary checks:
+
+* **static** (:func:`check_class` / :func:`run_anonymity_pass`): flag
+  any reference, inside an automaton class body, to the substrate types
+  (``AnonymousMemory``, ``RegisterArray``) or to the view's
+  translation/observation surface (``physical_index_of``,
+  ``view_index_of``, ``permutation``, ``snapshot``, ``restore``, or the
+  private attributes behind them).  Spec checkers and the lower-bound
+  constructions use that surface legitimately — but they are not
+  automata, and the pass only looks at automaton classes.
+* **runtime** (:func:`run_anonymity_audit`): install a
+  :class:`~repro.memory.anonymous.MemoryAudit` on a small instance and
+  execute it; every counted register access must have been announced by
+  a view.  This catches what no AST scan can: an automaton that was
+  *handed* a substrate reference through its constructor and uses it
+  under an innocent attribute name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Type
+
+from repro.lint.findings import Finding
+from repro.lint.registry import LintTarget, lint_targets, shipped_automaton_classes
+from repro.lint.symmetry import _short, class_source_tree
+from repro.runtime.automaton import ProcessAutomaton
+
+PASS = "anonymity"
+
+#: Substrate type names an automaton body must never mention.
+FORBIDDEN_NAMES = frozenset({"AnonymousMemory", "RegisterArray"})
+
+#: Attribute accesses that pierce the private-numbering abstraction.
+FORBIDDEN_ATTRS = frozenset(
+    {
+        "physical_index_of",
+        "view_index_of",
+        "permutation",
+        "snapshot",
+        "restore",
+        "_perm",
+        "_inverse",
+        "_array",
+        "array",
+    }
+)
+
+
+class _AnonymityVisitor(ast.NodeVisitor):
+    def __init__(self, subject: str, filename: str, first_line: int) -> None:
+        self.subject = subject
+        self.filename = filename
+        self.first_line = first_line
+        self.findings: List[Finding] = []
+
+    def _flag(self, node: ast.AST, detail: str) -> None:
+        line = self.first_line + getattr(node, "lineno", 1) - 1
+        self.findings.append(
+            Finding(
+                pass_name=PASS,
+                severity="error",
+                subject=self.subject,
+                detail=detail,
+                location=f"{_short(self.filename)}:{line}",
+            )
+        )
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id in FORBIDDEN_NAMES:
+            self._flag(node, f"references the memory substrate type {node.id}")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in FORBIDDEN_NAMES:
+            self._flag(node, f"references the memory substrate type {node.attr}")
+        elif node.attr in FORBIDDEN_ATTRS:
+            self._flag(
+                node,
+                f"accesses .{node.attr} — pierces the private register "
+                f"numbering (views only expose read/write to automata)",
+            )
+        self.generic_visit(node)
+
+
+def check_class(cls: Type[ProcessAutomaton]) -> List[Finding]:
+    """Static anonymity findings for one automaton class."""
+    parsed = class_source_tree(cls)
+    if parsed is None:
+        return [
+            Finding(
+                pass_name=PASS,
+                severity="info",
+                subject=cls.__qualname__,
+                detail="source unavailable — skipped",
+            )
+        ]
+    node, filename, first_line = parsed
+    visitor = _AnonymityVisitor(cls.__qualname__, filename, first_line)
+    visitor.visit(node)
+    return visitor.findings
+
+
+def run_anonymity_pass(
+    classes: Optional[Iterable[Type[ProcessAutomaton]]] = None,
+) -> List[Finding]:
+    """Run the static anonymity linter (default: all shipped classes)."""
+    target_classes: Sequence[Type[ProcessAutomaton]] = (
+        list(classes) if classes is not None else shipped_automaton_classes()
+    )
+    findings: List[Finding] = []
+    for cls in target_classes:
+        findings.extend(check_class(cls))
+    return findings
+
+
+def run_anonymity_audit(
+    target: LintTarget, max_steps: int = 50_000, seed: int = 1
+) -> List[Finding]:
+    """Runtime view-mediation audit of one small instance.
+
+    Builds the system, installs the memory audit, runs a randomised
+    schedule, and reports any access that bypassed the views.
+    """
+    from repro.memory.naming import RandomNaming
+    from repro.runtime.adversary import RandomAdversary
+    from repro.runtime.system import System
+
+    algorithm = target.factory()
+    naming = (
+        RandomNaming(target.naming_seed) if target.naming_seed is not None else None
+    )
+    system = System(algorithm, target.inputs, naming=naming, record_trace=False)
+    audit = system.memory.install_audit()
+    system.run(RandomAdversary(seed), max_steps=max_steps)
+
+    findings: List[Finding] = []
+    for bypass in audit.bypasses:
+        findings.append(
+            Finding(
+                pass_name=PASS,
+                severity="error",
+                subject=target.label,
+                detail=(
+                    f"runtime audit: {bypass.kind} of physical register "
+                    f"{bypass.physical_index} bypassed the process views"
+                ),
+                location=f"run:{target.label}",
+            )
+        )
+    if audit.mediated_accesses == 0 and not audit.bypasses:
+        findings.append(
+            Finding(
+                pass_name=PASS,
+                severity="info",
+                subject=target.label,
+                detail="runtime audit observed no register accesses "
+                "(schedule too short?)",
+                location=f"run:{target.label}",
+            )
+        )
+    return findings
+
+
+def run_anonymity_audits(
+    targets: Optional[Sequence[LintTarget]] = None,
+) -> List[Finding]:
+    """Runtime audits over all registry targets (default registry)."""
+    findings: List[Finding] = []
+    for target in targets if targets is not None else lint_targets():
+        findings.extend(run_anonymity_audit(target))
+    return findings

@@ -1,0 +1,113 @@
+"""``python -m repro lint`` — run every pass, print a findings table.
+
+Exit status: 0 when no ``error``-severity finding was produced, 1
+otherwise — so CI can gate on the model disciplines the same way it
+gates on tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.lint.findings import Finding, errors_in
+from repro.lint.registry import lint_targets, shipped_automaton_classes
+
+
+def collect_findings(
+    skip_races: bool = False, skip_dynamic: bool = False
+) -> List[Finding]:
+    """Run every lint pass over the shipped algorithms."""
+    from repro.lint.anonymity import run_anonymity_audits, run_anonymity_pass
+    from repro.lint.pc_audit import run_pc_reachability_pass, run_pc_static_pass
+    from repro.lint.races import run_race_sanitizer
+    from repro.lint.symmetry import run_symmetry_pass
+
+    classes = shipped_automaton_classes()
+    targets = lint_targets()
+
+    findings: List[Finding] = []
+    findings.extend(run_symmetry_pass(classes))
+    findings.extend(run_anonymity_pass(classes))
+    findings.extend(run_pc_static_pass(classes))
+    if not skip_dynamic:
+        findings.extend(run_anonymity_audits(targets))
+        findings.extend(run_pc_reachability_pass(targets))
+    if not skip_races and not skip_dynamic:
+        for target in targets:
+            if target.race_check:
+                findings.extend(run_race_sanitizer(target))
+    return findings
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """The findings as an aligned ASCII table."""
+    rows = [
+        [f.pass_name, f.severity.upper(), f.subject, f.detail, f.location]
+        for f in findings
+    ]
+    return render_table(
+        ["pass", "level", "subject", "detail", "location"],
+        rows,
+        title="repro lint findings",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Static analysis + runtime audits for the paper's model "
+        "rules (symmetry, memory anonymity, atomicity, pc annotations).",
+    )
+    parser.add_argument(
+        "--skip-races",
+        action="store_true",
+        help="skip the (threaded) race sanitizer runs",
+    )
+    parser.add_argument(
+        "--static-only",
+        action="store_true",
+        help="skip every dynamic pass (no exploration, no threads)",
+    )
+    parser.add_argument(
+        "--quiet-info",
+        action="store_true",
+        help="hide info-severity findings from the table",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+    classes = shipped_automaton_classes()
+    findings = collect_findings(
+        skip_races=args.skip_races, skip_dynamic=args.static_only
+    )
+    duration = time.monotonic() - started
+
+    shown = (
+        [f for f in findings if f.severity != "info"]
+        if args.quiet_info
+        else list(findings)
+    )
+    if shown:
+        print(render_findings(shown))
+        print()
+    errors = errors_in(findings)
+    infos = len(findings) - len(errors)
+    print(
+        f"repro lint: {len(classes)} automaton classes, "
+        f"{len(lint_targets())} instances — "
+        f"{len(errors)} error{'' if len(errors) == 1 else 's'}, "
+        f"{infos} note{'' if infos == 1 else 's'} ({duration:.1f}s)"
+    )
+    if errors:
+        print("LINT FAILED: the model's structural rules are violated above")
+        return 1
+    print("all model disciplines hold: symmetric, view-mediated, race-free, "
+          "pc-annotated")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""The lint passes' common currency: the :class:`Finding` record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+#: Finding severities, mildest first.  ``error`` findings fail the lint
+#: run (non-zero exit); ``info`` findings are advisory (skipped classes,
+#: truncated explorations).
+SEVERITIES = ("info", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint observation.
+
+    Attributes
+    ----------
+    pass_name:
+        Which pass produced it: ``symmetry``, ``anonymity``, ``races``
+        or ``pc-audit``.
+    severity:
+        ``"error"`` (violates a model rule) or ``"info"`` (advisory).
+    subject:
+        The automaton class or lint target the finding is about.
+    detail:
+        Human-readable description of what was observed.
+    location:
+        ``file.py:line`` for static findings, a run label for dynamic
+        ones; empty when not applicable.
+    """
+
+    pass_name: str
+    severity: str
+    subject: str
+    detail: str
+    location: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown finding severity {self.severity!r}")
+
+
+def errors_in(findings: Sequence[Finding]) -> List[Finding]:
+    """The subset of ``findings`` that should fail the lint run."""
+    return [f for f in findings if f.severity == "error"]
+
+
+def worst_severity(findings: Sequence[Finding]) -> Optional[str]:
+    """The most severe level present, or ``None`` for a clean run."""
+    worst: Optional[str] = None
+    for finding in findings:
+        if worst is None or SEVERITIES.index(finding.severity) > SEVERITIES.index(worst):
+            worst = finding.severity
+    return worst

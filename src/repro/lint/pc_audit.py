@@ -1,0 +1,226 @@
+"""PC-label auditor: every location counter maps to a paper line.
+
+Section 6.1's covering argument reasons over "the values of the
+registers and the location counters" — the reproduction's automata keep
+that location counter as the ``pc`` field of their immutable state.
+This pass pins the correspondence down and keeps it honest:
+
+* every shipped automaton must declare
+  :attr:`~repro.runtime.automaton.ProcessAutomaton.PC_LINES`, mapping
+  each pc value (canonicalised through
+  :meth:`~repro.runtime.automaton.ProcessAutomaton.pc_key`) to the
+  paper figure/section line it implements;
+* **static**: every pc string literal appearing in the class body
+  (``replace(state, pc="...")`` keywords, ``pc == "..."`` comparisons,
+  ``pc in ("...", ...)`` membership tests) must have an entry — a pc
+  that was renamed in code but not in the annotation fails the lint;
+* **dynamic**: the bounded explorer runs each registry instance and
+  records which annotated pcs are actually visited.  An annotated pc
+  that no reachable state exhibits is dead documentation: an ``error``
+  when the exploration was exhaustive, an ``info`` when it hit its
+  budget (the pc may live beyond the horizon).
+
+The exploration piggybacks on the invariant hook and stops as soon as
+every annotated pc has been seen, so the audit is much cheaper than a
+full state-space sweep.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
+
+from repro.lint.findings import Finding
+from repro.lint.registry import LintTarget, lint_targets, shipped_automaton_classes
+from repro.lint.symmetry import _short, class_source_tree
+from repro.runtime.automaton import ProcessAutomaton
+from repro.runtime.exploration import explore
+from repro.runtime.system import System
+
+PASS = "pc-audit"
+
+#: Sentinel "violation" used to stop the explorer early once every
+#: annotated pc has been observed.
+_ALL_SEEN = "__pc_audit_all_seen__"
+
+
+def _is_pc_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "pc":
+        return True
+    if isinstance(node, ast.Name) and node.id == "pc":
+        return True
+    return False
+
+
+def _string_constants(node: ast.AST) -> List[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        values: List[str] = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                values.append(elt.value)
+        return values
+    return []
+
+
+def pc_literals_in_class(cls: Type[ProcessAutomaton]) -> Dict[str, int]:
+    """pc string literals used in ``cls``'s own body -> first line seen.
+
+    Collected from ``pc="..."`` keyword arguments (``replace`` and state
+    constructors), comparisons against a ``pc`` expression, and
+    membership tests of a ``pc`` expression in a literal tuple.
+    """
+    parsed = class_source_tree(cls)
+    if parsed is None:
+        return {}
+    node, _filename, first_line = parsed
+    literals: Dict[str, int] = {}
+
+    def record(value: str, lineno: int) -> None:
+        literals.setdefault(value, first_line + lineno - 1)
+
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            for keyword in sub.keywords:
+                if keyword.arg == "pc":
+                    for value in _string_constants(keyword.value):
+                        record(value, keyword.value.lineno)
+        elif isinstance(sub, ast.Compare):
+            sides = [sub.left, *sub.comparators]
+            if any(_is_pc_expr(side) for side in sides):
+                for side in sides:
+                    for value in _string_constants(side):
+                        record(value, side.lineno)
+    return literals
+
+
+def check_class(cls: Type[ProcessAutomaton]) -> List[Finding]:
+    """Static PC-annotation findings for one automaton class."""
+    parsed = class_source_tree(cls)
+    filename = _short(parsed[1]) if parsed is not None else "<unknown>"
+    pc_lines = cls.PC_LINES
+    if pc_lines is None:
+        return [
+            Finding(
+                pass_name=PASS,
+                severity="error",
+                subject=cls.__qualname__,
+                detail="no PC_LINES annotation: every automaton must map its "
+                "pc values to paper figure lines",
+                location=filename,
+            )
+        ]
+    findings: List[Finding] = []
+    for literal, line in sorted(pc_literals_in_class(cls).items()):
+        key = cls.pc_key(literal)
+        if key not in pc_lines:
+            findings.append(
+                Finding(
+                    pass_name=PASS,
+                    severity="error",
+                    subject=cls.__qualname__,
+                    detail=f"pc {literal!r} (key {key!r}) has no PC_LINES "
+                    f"entry",
+                    location=f"{filename}:{line}",
+                )
+            )
+    return findings
+
+
+def run_pc_static_pass(
+    classes: Optional[Iterable[Type[ProcessAutomaton]]] = None,
+) -> List[Finding]:
+    """Static PC audit over ``classes`` (default: all shipped)."""
+    target_classes: Sequence[Type[ProcessAutomaton]] = (
+        list(classes) if classes is not None else shipped_automaton_classes()
+    )
+    findings: List[Finding] = []
+    for cls in target_classes:
+        findings.extend(check_class(cls))
+    return findings
+
+
+def run_pc_reachability(target: LintTarget) -> List[Finding]:
+    """Explore one registry instance; report never-visited PC_LINES keys."""
+    from repro.memory.naming import RandomNaming
+
+    naming = (
+        RandomNaming(target.naming_seed) if target.naming_seed is not None else None
+    )
+    system = System(
+        target.factory(), target.inputs, naming=naming, record_trace=False
+    )
+
+    expected: Dict[Type[ProcessAutomaton], Set[str]] = {}
+    observed: Dict[Type[ProcessAutomaton], Set[str]] = {}
+    missing_pc: Set[str] = set()
+    for automaton in system.automata.values():
+        cls = type(automaton)
+        if cls.PC_LINES is not None:
+            expected.setdefault(cls, set(cls.PC_LINES))
+            observed.setdefault(cls, set())
+
+    def collector(sys_: System) -> Optional[str]:
+        for pid in sys_.scheduler.pids:
+            runtime = sys_.scheduler.runtime(pid)
+            cls = type(runtime.automaton)
+            pc = getattr(runtime.state, "pc", None)
+            if pc is None:
+                missing_pc.add(cls.__qualname__)
+                continue
+            if cls in observed:
+                observed[cls].add(cls.pc_key(pc))
+        if all(expected[cls] <= observed[cls] for cls in expected):
+            return _ALL_SEEN  # stop the search: nothing left to discover
+        return None
+
+    result = explore(
+        system, collector, max_states=target.max_states, max_depth=target.max_depth
+    )
+    findings: List[Finding] = []
+    for name in sorted(missing_pc):
+        findings.append(
+            Finding(
+                pass_name=PASS,
+                severity="error",
+                subject=name,
+                detail="state has no pc attribute — location counters are "
+                "part of the model (§6.1)",
+                location=f"run:{target.label}",
+            )
+        )
+    if result.violation == _ALL_SEEN:
+        return findings  # every annotated pc was visited
+
+    exhaustive = result.complete
+    for cls in sorted(expected, key=lambda c: c.__qualname__):
+        for key in sorted(expected[cls] - observed[cls]):
+            line = (cls.PC_LINES or {}).get(key, "?")
+            findings.append(
+                Finding(
+                    pass_name=PASS,
+                    severity="error" if exhaustive else "info",
+                    subject=cls.__qualname__,
+                    detail=(
+                        f"annotated pc {key!r} ({line}) never reached"
+                        + (
+                            " in exhaustive exploration"
+                            if exhaustive
+                            else f" within budget ({result.summary()})"
+                        )
+                    ),
+                    location=f"run:{target.label}",
+                )
+            )
+    return findings
+
+
+def run_pc_reachability_pass(
+    targets: Optional[Sequence[LintTarget]] = None,
+) -> List[Finding]:
+    """Dynamic PC audit over all registry targets (default registry)."""
+    findings: List[Finding] = []
+    for target in targets if targets is not None else lint_targets():
+        findings.extend(run_pc_reachability(target))
+    return findings

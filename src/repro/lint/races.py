@@ -1,0 +1,302 @@
+"""Race and lock-discipline sanitizer for the real-thread backend.
+
+The deterministic scheduler realises the model's atomic registers
+structurally; the thread backend (:mod:`repro.runtime.threads`) has to
+*earn* that atomicity with per-register locks
+(:class:`~repro.memory.register.LockedRegister`).  This pass checks it
+actually does, from the recorded access stream of a real threaded run:
+
+* **lock discipline** — in a multi-threaded run every counted register
+  access must hold the register's lock.  An unguarded access means the
+  system was built with ``locked=False`` (or a register was swapped
+  out), i.e. reads and writes are no longer the model's "indivisible
+  action";
+* **data races** — a vector-clock (FastTrack-style) analysis over the
+  access stream.  Each register's lock acts as the release/acquire
+  sync object; two accesses to the same register, at least one a
+  write, not ordered by the resulting happens-before relation, are a
+  race.  With the locks in place every same-register pair is ordered,
+  so shipped runs are race-free by construction — the pass proves it
+  on the observed stream;
+* **torn read-modify-write** — a thread reads a register, another
+  thread's write lands, then the first thread writes the same register
+  — all without lock protection.  (With per-register locking this
+  interleaving still happens and is *fine*: it is exactly the
+  contention the paper's obstruction-free algorithms are designed to
+  absorb at the algorithm level.  It is only reported when the
+  accesses were unguarded, where it silently corrupts the naive
+  lock's claim/verify idiom.)
+
+The events come from the observer hook on
+:class:`~repro.memory.register.RegisterArray`; worker threads are
+identified by the ``proc-<pid>`` naming convention of
+:class:`~repro.runtime.threads.ThreadRunner`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.registry import LintTarget
+from repro.memory.register import AtomicRegister
+from repro.runtime.system import System
+from repro.runtime.threads import ThreadRunner
+from repro.types import ProcessId, RegisterValue
+
+PASS = "races"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One recorded register access, in global observation order."""
+
+    seq: int
+    thread: str
+    pid: Optional[ProcessId]
+    register: int
+    kind: str  # "read" or "write"
+    guarded: bool
+
+
+class AccessRecorder:
+    """Array observer collecting a totally-ordered access stream.
+
+    The recorder's own lock orders the events; for guarded accesses this
+    order is consistent with the per-register lock order because the
+    observer fires while the register lock is held.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[AccessEvent] = []
+        self._lock = threading.Lock()
+
+    def __call__(
+        self, reg: AtomicRegister, kind: str, value: RegisterValue, guarded: bool
+    ) -> None:
+        name = threading.current_thread().name
+        pid: Optional[ProcessId] = None
+        if name.startswith("proc-"):
+            try:
+                pid = int(name[5:])
+            except ValueError:
+                pid = None
+        with self._lock:
+            self.events.append(
+                AccessEvent(len(self.events), name, pid, reg.index, kind, guarded)
+            )
+
+
+def _join(into: Dict[str, int], other: Dict[str, int]) -> None:
+    for thread, clock in other.items():
+        if clock > into.get(thread, 0):
+            into[thread] = clock
+
+
+def analyze_events(events: List[AccessEvent], subject: str) -> List[Finding]:
+    """Lock-discipline + vector-clock race + torn-RMW analysis."""
+    findings: List[Finding] = []
+    worker_threads = {e.thread for e in events if e.pid is not None}
+    multi = len(worker_threads) > 1
+
+    # -- lock discipline ------------------------------------------------
+    if multi:
+        reported: Set[Tuple[str, int]] = set()
+        for event in events:
+            if event.pid is not None and not event.guarded:
+                key = (event.thread, event.register)
+                if key not in reported:
+                    reported.add(key)
+                    findings.append(
+                        Finding(
+                            pass_name=PASS,
+                            severity="error",
+                            subject=subject,
+                            detail=(
+                                f"lock discipline: thread {event.thread} "
+                                f"{event.kind} register {event.register} "
+                                f"without holding its lock"
+                            ),
+                            location=f"event:{event.seq}",
+                        )
+                    )
+
+    # -- vector-clock data races ---------------------------------------
+    vc: Dict[str, Dict[str, int]] = {}
+    lock_vc: Dict[int, Dict[str, int]] = {}
+    last_write: Dict[int, Tuple[str, int, int]] = {}  # reg -> (thread, clock, seq)
+    last_reads: Dict[int, Dict[str, Tuple[int, int]]] = {}  # reg -> thread -> (clock, seq)
+    race_keys: Set[Tuple[str, int, str, str]] = set()
+
+    def ordered(thread: str, other: str, clock: int) -> bool:
+        return thread == other or vc[thread].get(other, 0) >= clock
+
+    for event in events:
+        thread = event.thread
+        mine = vc.setdefault(thread, {thread: 0})
+        mine[thread] = mine.get(thread, 0) + 1
+        if event.guarded:
+            _join(mine, lock_vc.setdefault(event.register, {}))
+
+        write = last_write.get(event.register)
+        if write is not None and not ordered(thread, write[0], write[1]):
+            key = ("ww" if event.kind == "write" else "wr", event.register, write[0], thread)
+            if key not in race_keys:
+                race_keys.add(key)
+                findings.append(
+                    Finding(
+                        pass_name=PASS,
+                        severity="error",
+                        subject=subject,
+                        detail=(
+                            f"data race on register {event.register}: "
+                            f"{event.kind} by {thread} concurrent with write "
+                            f"by {write[0]}"
+                        ),
+                        location=f"events:{write[2]},{event.seq}",
+                    )
+                )
+        if event.kind == "write":
+            for other, (clock, seq) in last_reads.get(event.register, {}).items():
+                if not ordered(thread, other, clock):
+                    key = ("rw", event.register, other, thread)
+                    if key not in race_keys:
+                        race_keys.add(key)
+                        findings.append(
+                            Finding(
+                                pass_name=PASS,
+                                severity="error",
+                                subject=subject,
+                                detail=(
+                                    f"data race on register {event.register}: "
+                                    f"write by {thread} concurrent with read "
+                                    f"by {other}"
+                                ),
+                                location=f"events:{seq},{event.seq}",
+                            )
+                        )
+            last_write[event.register] = (thread, mine[thread], event.seq)
+            last_reads[event.register] = {}
+        else:
+            last_reads.setdefault(event.register, {})[thread] = (
+                mine[thread],
+                event.seq,
+            )
+        if event.guarded:
+            _join(lock_vc.setdefault(event.register, {}), mine)
+
+    # -- torn unguarded read-modify-write ------------------------------
+    open_reads: Dict[Tuple[str, int], AccessEvent] = {}
+    dirtied: Dict[Tuple[str, int], AccessEvent] = {}
+    torn_keys: Set[Tuple[str, int]] = set()
+    for event in events:
+        if event.pid is None:
+            continue
+        key = (event.thread, event.register)
+        if event.kind == "read":
+            if not event.guarded:
+                open_reads[key] = event
+                dirtied.pop(key, None)
+            else:
+                open_reads.pop(key, None)
+            continue
+        # A write: first, it invalidates other threads' open reads.
+        for other_key, read_event in list(open_reads.items()):
+            if other_key[1] == event.register and other_key[0] != event.thread:
+                dirtied[other_key] = event
+        read = open_reads.pop(key, None)
+        intervening = dirtied.pop(key, None)
+        if (
+            read is not None
+            and intervening is not None
+            and not event.guarded
+            and (event.thread, event.register) not in torn_keys
+        ):
+            torn_keys.add((event.thread, event.register))
+            findings.append(
+                Finding(
+                    pass_name=PASS,
+                    severity="error",
+                    subject=subject,
+                    detail=(
+                        f"torn read-modify-write on register {event.register}: "
+                        f"{event.thread} read at event {read.seq}, "
+                        f"{intervening.thread} wrote at event "
+                        f"{intervening.seq}, {event.thread} wrote at event "
+                        f"{event.seq} — all unguarded"
+                    ),
+                    location=f"events:{read.seq},{intervening.seq},{event.seq}",
+                )
+            )
+    return findings
+
+
+def record_threaded_run(
+    system: System,
+    subject: str,
+    max_steps: int = 200_000,
+    timeout: float = 30.0,
+    backoff: Optional[float] = 0.0005,
+    seed: int = 0,
+) -> Tuple[List[Finding], List[AccessEvent]]:
+    """Run ``system`` on real threads with recording, then analyse."""
+    recorder = AccessRecorder()
+    system.memory.array.add_observer(recorder)
+    try:
+        runner = ThreadRunner(system, max_steps=max_steps, backoff=backoff, seed=seed)
+        result = runner.run(timeout=timeout)
+    finally:
+        system.memory.array.remove_observer(recorder)
+
+    findings = analyze_events(recorder.events, subject)
+    if result.errors:
+        for pid, exc in sorted(result.errors.items(), key=lambda kv: kv[0]):
+            findings.append(
+                Finding(
+                    pass_name=PASS,
+                    severity="error",
+                    subject=subject,
+                    detail=f"thread for process {pid} raised {exc!r}",
+                    location=f"run:{subject}",
+                )
+            )
+    if result.timed_out:
+        findings.append(
+            Finding(
+                pass_name=PASS,
+                severity="error",
+                subject=subject,
+                detail=f"threaded run timed out for processes {result.timed_out}",
+                location=f"run:{subject}",
+            )
+        )
+    return findings, recorder.events
+
+
+def run_race_sanitizer(
+    target: LintTarget, timeout: float = 30.0, seed: int = 0
+) -> List[Finding]:
+    """Threaded sanitizer run for one registry target (``locked=True``)."""
+    system = System(
+        target.factory(), target.inputs, locked=True, record_trace=False
+    )
+    findings, events = record_threaded_run(
+        system,
+        target.label,
+        max_steps=target.thread_steps,
+        timeout=timeout,
+        seed=seed,
+    )
+    if not events:
+        findings.append(
+            Finding(
+                pass_name=PASS,
+                severity="info",
+                subject=target.label,
+                detail="threaded run produced no register accesses",
+                location=f"run:{target.label}",
+            )
+        )
+    return findings

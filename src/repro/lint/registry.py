@@ -1,0 +1,207 @@
+"""What the lint passes run over: automaton discovery + small instances.
+
+Static passes analyse *classes*; dynamic passes (runtime anonymity
+audit, pc reachability, race sanitizer) need concrete *instances* small
+enough to explore exhaustively.  This module provides both:
+
+* :func:`shipped_automaton_classes` imports every shipped algorithm
+  package and walks the :class:`ProcessAutomaton` subclass tree,
+  keeping only classes defined inside :mod:`repro` (so test mutants
+  never leak into a clean run);
+* :func:`lint_targets` returns one small instance per shipped
+  algorithm, with exploration budgets tuned so ``python -m repro lint``
+  stays fast.
+
+Process identifiers follow the test suite's convention (>= 100) so they
+can never collide with register indices or loop counters.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Type, Union
+
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.types import ProcessId
+
+#: Inputs as accepted by :class:`repro.runtime.system.System`.
+Inputs = Union[Sequence[ProcessId], Mapping[ProcessId, object]]
+
+#: The packages whose automata the lint covers.
+SHIPPED_MODULES: Tuple[str, ...] = (
+    "repro.core.mutex",
+    "repro.core.consensus",
+    "repro.core.renaming",
+    "repro.core.election",
+    "repro.baselines.named_mutex",
+    "repro.baselines.named_consensus",
+    "repro.baselines.named_renaming",
+    "repro.baselines.splitter_renaming",
+    "repro.extensions.commit_adopt",
+    "repro.extensions.kset",
+    "repro.extensions.naming_agreement",
+    "repro.extensions.unbounded_consensus",
+    "repro.extensions.variants",
+    "repro.lowerbounds.candidates",
+)
+
+PIDS: Tuple[ProcessId, ...] = (101, 103, 107, 109)
+
+
+def _all_subclasses(cls: Type[ProcessAutomaton]) -> List[Type[ProcessAutomaton]]:
+    found: List[Type[ProcessAutomaton]] = []
+    for sub in cls.__subclasses__():
+        found.append(sub)
+        found.extend(_all_subclasses(sub))
+    return found
+
+
+def shipped_automaton_classes() -> List[Type[ProcessAutomaton]]:
+    """Every :class:`ProcessAutomaton` subclass shipped in :mod:`repro`.
+
+    Imports the shipped algorithm modules first, so the result does not
+    depend on what the caller already imported; classes defined outside
+    the :mod:`repro` package (e.g. test mutants) are excluded.
+    """
+    for module in SHIPPED_MODULES:
+        importlib.import_module(module)
+    classes = [
+        cls
+        for cls in _all_subclasses(ProcessAutomaton)
+        if cls.__module__.split(".")[0] == "repro"
+    ]
+    classes.sort(key=lambda cls: (cls.__module__, cls.__qualname__))
+    return classes
+
+
+@dataclass(frozen=True)
+class LintTarget:
+    """One concrete algorithm instance for the dynamic passes.
+
+    ``max_states``/``max_depth`` budget the pc-reachability exploration;
+    ``race_check`` opts the target into the (slower) threaded race
+    sanitizer; ``thread_steps`` caps each thread's operation budget
+    there.
+    """
+
+    label: str
+    factory: Callable[[], Algorithm]
+    inputs: Inputs
+    max_states: int = 150_000
+    max_depth: int = 10_000
+    race_check: bool = False
+    thread_steps: int = 200_000
+    naming_seed: Optional[int] = 1
+    notes: str = field(default="", compare=False)
+
+
+def lint_targets() -> List[LintTarget]:
+    """One small instance per shipped algorithm (see module docstring)."""
+    from repro.baselines.named_consensus import NamedConsensus
+    from repro.baselines.named_mutex import PetersonMutex
+    from repro.baselines.named_renaming import ElectionChainRenaming
+    from repro.baselines.splitter_renaming import SplitterRenaming
+    from repro.core.consensus import AnonymousConsensus
+    from repro.core.election import AnonymousElection
+    from repro.core.mutex import AnonymousMutex
+    from repro.core.renaming import AnonymousRenaming
+    from repro.extensions.commit_adopt import CommitAdopt
+    from repro.extensions.kset import PartitionedKSetConsensus
+    from repro.extensions.naming_agreement import NamingAgreement
+    from repro.extensions.unbounded_consensus import UnboundedConsensus
+    from repro.extensions.variants import LenientConsensus, ThresholdMutex
+    from repro.lowerbounds.candidates import NaiveTestAndSetLock
+
+    two = PIDS[:2]
+    return [
+        LintTarget(
+            "figure-1-mutex(m=3)",
+            lambda: AnonymousMutex(m=3, cs_visits=1),
+            two,
+            race_check=True,
+        ),
+        LintTarget(
+            "figure-2-consensus(n=2)",
+            lambda: AnonymousConsensus(n=2),
+            {two[0]: "a", two[1]: "b"},
+            race_check=True,
+        ),
+        LintTarget(
+            "figure-3-renaming(n=2)",
+            lambda: AnonymousRenaming(n=2),
+            two,
+            race_check=True,
+        ),
+        LintTarget(
+            "election(n=2)",
+            lambda: AnonymousElection(n=2),
+            two,
+        ),
+        LintTarget(
+            "naming-agreement(n=2)",
+            lambda: NamingAgreement(n=2),
+            two,
+            max_states=400_000,
+            notes="repair_write needs deep interleavings",
+        ),
+        LintTarget(
+            "commit-adopt",
+            lambda: CommitAdopt(domain=(1, 2)),
+            {two[0]: 1, two[1]: 2},
+            naming_seed=None,
+        ),
+        LintTarget(
+            "ladder-consensus",
+            lambda: UnboundedConsensus(domain=(1, 2), max_rounds=8),
+            {two[0]: 1, two[1]: 2},
+            naming_seed=None,
+            notes="state space grows with rounds; truncation expected",
+        ),
+        LintTarget(
+            "threshold-mutex(m=3,t=2)",
+            lambda: ThresholdMutex(m=3, threshold=2, cs_visits=1),
+            two,
+        ),
+        LintTarget(
+            "lenient-consensus(n=2)",
+            lambda: LenientConsensus(n=2),
+            {two[0]: "a", two[1]: "b"},
+        ),
+        LintTarget(
+            "partitioned-k-set(n=2,k=2)",
+            lambda: PartitionedKSetConsensus(n=2, k=2),
+            {two[0]: "a", two[1]: "b"},
+            naming_seed=None,
+        ),
+        LintTarget(
+            "naive-lock",
+            lambda: NaiveTestAndSetLock(cs_visits=1),
+            two,
+        ),
+        LintTarget(
+            "peterson-mutex",
+            lambda: PetersonMutex(cs_visits=1),
+            two,
+            race_check=True,
+            naming_seed=None,
+        ),
+        LintTarget(
+            "election-chain-renaming(n=2)",
+            lambda: ElectionChainRenaming(n=2),
+            two,
+            naming_seed=None,
+        ),
+        LintTarget(
+            "splitter-renaming(n=2)",
+            lambda: SplitterRenaming(n=2),
+            two,
+            naming_seed=None,
+        ),
+        LintTarget(
+            "named-consensus(n=2)",
+            lambda: NamedConsensus(n=2),
+            {two[0]: "a", two[1]: "b"},
+            naming_seed=None,
+        ),
+    ]

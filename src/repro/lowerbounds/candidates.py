@@ -61,6 +61,17 @@ class NaiveTestAndSetProcess(MutexAutomatonMixin, ProcessAutomaton):
 
     EXIT_PCS = frozenset({"release"})
 
+    PC_LINES = {
+        "probe": "naive lock — read the register, wait for 0",
+        "claim": "naive lock — write own identifier",
+        "verify": "naive lock — read back; enter iff still ours",
+        "enter_cs": "naive lock — claim verified; enter the CS",
+        "crit": "critical section occupancy",
+        "exit_crit": "leave the critical section",
+        "release": "naive lock — write 0 to release",
+        "done": "left the algorithm (cs_visits spent)",
+    }
+
     def __init__(self, pid: ProcessId, cs_visits: int = 1, cs_steps: int = 1):
         self.pid = validate_process_id(pid)
         self.cs_visits = cs_visits

@@ -15,7 +15,9 @@ e.g. the covering arguments of Section 6.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.memory.naming import (
@@ -24,7 +26,7 @@ from repro.memory.naming import (
     Permutation,
     validate_permutation,
 )
-from repro.memory.register import RegisterArray
+from repro.memory.register import AtomicRegister, RegisterArray
 from repro.types import (
     PhysicalIndex,
     ProcessId,
@@ -35,6 +37,83 @@ from repro.types import (
 )
 
 
+@dataclass(frozen=True)
+class BypassRecord:
+    """One counted register access that did not come through a view.
+
+    ``pid`` is None when the accessor could not be identified (the access
+    was not announced by any view, which is the point).
+    """
+
+    physical_index: int
+    kind: str  # "read" or "write"
+    value: RegisterValue
+    pid: Optional[ProcessId] = None
+
+
+class MemoryAudit:
+    """Runtime check that every register access goes through a view.
+
+    The anonymity contract (§2: each process has its *own* private
+    numbering of the registers) is enforced structurally — algorithms are
+    handed a :class:`MemoryView`, never the array — but nothing used to
+    stop a hostile automaton from squirrelling away a reference to the
+    substrate and addressing physical registers directly, silently
+    re-introducing the global names the model forbids.
+
+    The audit closes that hole dynamically: views *announce* each access
+    just before delegating to the array, and an observer on the array
+    checks every counted access against the announcement.  Accesses with
+    no matching announcement are recorded as bypasses.  Announcements are
+    kept in thread-local storage so the audit is exact under the real
+    -thread backend as well as the scheduler loop.
+    """
+
+    def __init__(self) -> None:
+        self._pending = threading.local()
+        self.bypasses: List[BypassRecord] = []
+        self.mediated_accesses = 0
+        self._lock = threading.Lock()
+
+    @property
+    def ok(self) -> bool:
+        """True when no bypassing access has been observed."""
+        return not self.bypasses
+
+    # -- announcement protocol (called by MemoryView / the observer) -----
+
+    def _announce(self, pid: ProcessId, physical_index: PhysicalIndex, kind: str) -> None:
+        self._pending.expected = (pid, physical_index, kind)
+
+    def _clear(self) -> None:
+        self._pending.expected = None
+
+    def _on_access(
+        self, reg: AtomicRegister, kind: str, value: RegisterValue, guarded: bool
+    ) -> None:
+        expected = getattr(self._pending, "expected", None)
+        if (
+            expected is not None
+            and expected[1] == reg.index
+            and expected[2] == kind
+        ):
+            with self._lock:
+                self.mediated_accesses += 1
+            self._pending.expected = None
+            return
+        with self._lock:
+            self.bypasses.append(BypassRecord(reg.index, kind, value))
+
+    def summary(self) -> str:
+        """One-line human-readable audit outcome."""
+        if self.ok:
+            return f"anonymity-ok: {self.mediated_accesses} view-mediated accesses"
+        return (
+            f"ANONYMITY BYPASS: {len(self.bypasses)} direct accesses "
+            f"(first: {self.bypasses[0]!r})"
+        )
+
+
 class MemoryView:
     """One process's window onto the anonymous shared memory.
 
@@ -43,13 +122,14 @@ class MemoryView:
     indices.  Algorithms hold a view, never the array.
     """
 
-    __slots__ = ("_array", "_perm", "_inverse", "pid")
+    __slots__ = ("_array", "_perm", "_inverse", "pid", "_audit")
 
     def __init__(self, array: RegisterArray, pid: ProcessId, perm: Permutation):
         self._array = array
         self.pid = pid
         self._perm = validate_permutation(perm, len(array))
         self._inverse = {phys: view for view, phys in enumerate(self._perm)}
+        self._audit: Optional[MemoryAudit] = None
 
     @property
     def size(self) -> int:
@@ -82,11 +162,17 @@ class MemoryView:
 
     def read(self, view_index: ViewIndex) -> RegisterValue:
         """Atomically read register ``p.i[view_index]``."""
-        return self._array.read(self.physical_index_of(view_index))
+        physical = self.physical_index_of(view_index)
+        if self._audit is not None:
+            self._audit._announce(self.pid, physical, "read")
+        return self._array.read(physical)
 
     def write(self, view_index: ViewIndex, value: RegisterValue) -> None:
         """Atomically write ``value`` into register ``p.i[view_index]``."""
-        self._array.write(self.physical_index_of(view_index), value)
+        physical = self.physical_index_of(view_index)
+        if self._audit is not None:
+            self._audit._announce(self.pid, physical, "write")
+        self._array.write(physical, value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MemoryView(pid={self.pid}, perm={self._perm})"
@@ -145,6 +231,19 @@ class AnonymousMemory:
                 f"no view for unknown process id {pid!r}; "
                 f"known ids: {sorted(self._views)}"
             ) from None
+
+    def install_audit(self) -> MemoryAudit:
+        """Install and return a :class:`MemoryAudit` over this memory.
+
+        Views start announcing their accesses and an array observer
+        verifies every counted access against the announcements; direct
+        (non-view) reads and writes show up in ``audit.bypasses``.
+        """
+        audit = MemoryAudit()
+        for view in self._views.values():
+            view._audit = audit
+        self.array.add_observer(audit._on_access)
+        return audit
 
     def snapshot(self) -> Tuple[RegisterValue, ...]:
         """Physical register contents, outside-the-model (for checkers)."""

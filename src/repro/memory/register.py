@@ -17,10 +17,16 @@ are observational only and are never visible to algorithms.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, List, Tuple
+from typing import Callable, Iterable, Iterator, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.types import RegisterValue, require
+
+#: Observer callback: ``(register, kind, value, guarded)`` where ``kind`` is
+#: ``"read"`` or ``"write"``, ``value`` is the value read or written, and
+#: ``guarded`` reports whether the access held the register's lock (always
+#: False for plain :class:`AtomicRegister` cells).
+AccessObserver = Callable[["AtomicRegister", str, RegisterValue, bool], None]
 
 
 class AtomicRegister:
@@ -38,29 +44,52 @@ class AtomicRegister:
         algorithms never see it.
     """
 
-    __slots__ = ("_value", "_initial", "name", "read_count", "write_count")
+    __slots__ = ("_value", "_initial", "name", "index", "read_count", "write_count", "observers")
 
     def __init__(self, initial: RegisterValue = 0, name: str = ""):
         self._initial = initial
         self._value = initial
         self.name = name
+        #: Physical position within the owning array (-1 when standalone).
+        self.index = -1
         self.read_count = 0
         self.write_count = 0
+        #: Access observers (see :data:`AccessObserver`) — observational
+        #: instrumentation for the lint/audit layer, never model-visible.
+        self.observers: List[AccessObserver] = []
 
     @property
     def initial(self) -> RegisterValue:
         """The value this register was initialised (and is reset) to."""
         return self._initial
 
+    def _guarded(self) -> bool:
+        """Whether the *current* access holds this register's lock.
+
+        Plain cells have no lock; :class:`LockedRegister` overrides this.
+        Only meaningful when called from inside :meth:`read`/:meth:`write`
+        (i.e. from an observer), which is the only place it is used.
+        """
+        return False
+
     def read(self) -> RegisterValue:
         """Atomically read the register's current value."""
         self.read_count += 1
-        return self._value
+        value = self._value
+        if self.observers:
+            guarded = self._guarded()
+            for observer in self.observers:
+                observer(self, "read", value, guarded)
+        return value
 
     def write(self, value: RegisterValue) -> None:
         """Atomically overwrite the register's value."""
         self.write_count += 1
         self._value = value
+        if self.observers:
+            guarded = self._guarded()
+            for observer in self.observers:
+                observer(self, "write", value, guarded)
 
     def peek(self) -> RegisterValue:
         """Read the value *without* counting it as an algorithm access.
@@ -101,6 +130,10 @@ class LockedRegister(AtomicRegister):
         super().__init__(initial, name)
         self._lock = threading.Lock()
 
+    def _guarded(self) -> bool:
+        # Called from inside read()/write() while the lock is held.
+        return self._lock.locked()
+
     def read(self) -> RegisterValue:
         with self._lock:
             return super().read()
@@ -137,11 +170,26 @@ class RegisterArray:
         self._registers: List[AtomicRegister] = [
             cell_cls(initial, name=f"R{k}") for k in range(size)
         ]
+        #: One shared observer list for every cell, so a single
+        #: :meth:`add_observer` call instruments the whole array.
+        self._observers: List[AccessObserver] = []
+        for k, reg in enumerate(self._registers):
+            reg.index = k
+            reg.observers = self._observers
+
+    def add_observer(self, observer: AccessObserver) -> None:
+        """Attach an access observer to every register in the array."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: AccessObserver) -> None:
+        """Detach a previously attached observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     def __len__(self) -> int:
         return len(self._registers)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[AtomicRegister]:
         return iter(self._registers)
 
     def register(self, physical_index: int) -> AtomicRegister:

@@ -38,7 +38,7 @@ count, initial value) with a factory of per-process automata — everything
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Hashable, Optional
+from typing import Any, ClassVar, Hashable, Mapping, Optional
 
 from repro.errors import ProtocolError
 from repro.runtime.ops import Operation
@@ -60,6 +60,31 @@ class ProcessAutomaton(ABC):
     #: The process's identifier (positive int, compared only for equality
     #: by symmetric algorithms).
     pid: ProcessId
+
+    #: Whether this program is *symmetric* in the paper's §2 sense:
+    #: process identifiers may only be written, read back, and compared
+    #: for equality.  Named-model baselines that bake in asymmetric roles
+    #: (slots, agreed offsets) declare ``SYMMETRIC = False``; the
+    #: :mod:`repro.lint.symmetry` pass skips them and statically checks
+    #: everyone else.
+    SYMMETRIC: ClassVar[bool] = True
+
+    #: Paper figure-line annotations for each program counter value:
+    #: ``{pc: "Figure F, line L — what happens"}``.  The
+    #: :mod:`repro.lint.pc_audit` pass requires every automaton to carry
+    #: this map, checks each pc literal in the class body against it, and
+    #: uses the bounded explorer to report annotated-but-unreachable pcs.
+    PC_LINES: ClassVar[Optional[Mapping[str, str]]] = None
+
+    @classmethod
+    def pc_key(cls, pc: str) -> str:
+        """Canonicalise a dynamic pc value to its :attr:`PC_LINES` key.
+
+        Most automata use literal pcs and inherit the identity mapping;
+        automata with parameterised counters (e.g. ``round-3``) override
+        this to strip the dynamic suffix.
+        """
+        return pc
 
     @abstractmethod
     def initial_state(self) -> LocalState:

@@ -61,10 +61,15 @@ class ExplorationResult:
         status = "VIOLATION" if self.violation else (
             "exhaustive-ok" if self.complete else "bounded-ok"
         )
-        return (
+        line = (
             f"{status}: {self.states_explored} states, "
             f"{self.events_executed} events, depth<={self.max_depth_reached}"
         )
+        if self.truncated_by is not None:
+            line += f", truncated by {self.truncated_by}"
+        if self.stuck_states:
+            line += f", {self.stuck_states} stuck states"
+        return line
 
 
 def explore(

@@ -16,7 +16,7 @@ every module:
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Iterable, Optional, Tuple, Type
 
 #: A process identifier.  Positive integer; processes may only compare
 #: identifiers for equality (the "symmetric with equality" model of §2).
@@ -37,7 +37,9 @@ ViewIndex = int
 PhysicalIndex = int
 
 
-def require(condition: bool, message: str, error_cls=None) -> None:
+def require(
+    condition: bool, message: str, error_cls: Optional[Type[Exception]] = None
+) -> None:
     """Raise ``error_cls(message)`` unless ``condition`` holds.
 
     A tiny guard helper used for parameter validation throughout the
@@ -73,16 +75,16 @@ def validate_process_id(pid: ProcessId) -> ProcessId:
     return pid
 
 
-def validate_distinct_ids(pids) -> tuple:
+def validate_distinct_ids(pids: Iterable[ProcessId]) -> Tuple[ProcessId, ...]:
     """Validate a collection of process identifiers: positive and distinct."""
     from repro.errors import ConfigurationError
 
-    pids = tuple(pids)
-    for pid in pids:
+    validated = tuple(pids)
+    for pid in validated:
         validate_process_id(pid)
     require(
-        len(set(pids)) == len(pids),
-        f"process identifiers must be distinct, got {pids!r}",
+        len(set(validated)) == len(validated),
+        f"process identifiers must be distinct, got {validated!r}",
         ConfigurationError,
     )
-    return pids
+    return validated

@@ -1,0 +1,240 @@
+"""Deliberately broken automata the lint passes must catch.
+
+Each mutant violates exactly one model discipline, in the most tempting
+way a real implementation bug would: pid arithmetic for load balancing,
+pid-indexed registers, peeking at the physical numbering, skipping the
+pc annotation after renaming a label, and so on.  The mutant tests
+assert that every one of them is flagged by the matching pass — and the
+clean tests assert that none of the shipped algorithms are.
+
+These classes live outside the :mod:`repro` package on purpose:
+:func:`repro.lint.registry.shipped_automaton_classes` filters by module,
+so importing this file can never contaminate a clean lint run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Tuple
+
+from repro.runtime.automaton import Algorithm, ProcessAutomaton
+from repro.runtime.ops import Operation, ReadOp, WriteOp
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True)
+class StepState:
+    """Shared trivial state: a pc and a scratch value."""
+
+    pc: str = "start"
+    scratch: Any = None
+
+
+class _TwoStepBase(ProcessAutomaton):
+    """Write register 0, read it back, halt — a minimal legal automaton."""
+
+    PC_LINES = {
+        "start": "test mutant — write register 0",
+        "readback": "test mutant — read register 0 back",
+        "done": "test mutant — halted",
+    }
+
+    def __init__(self, pid: ProcessId):
+        self.pid = pid
+
+    def initial_state(self) -> StepState:
+        return StepState()
+
+    def is_halted(self, state: StepState) -> bool:
+        return state.pc == "done"
+
+    def output(self, state: StepState) -> Any:
+        return state.scratch if state.pc == "done" else None
+
+    def next_op(self, state: StepState) -> Operation:
+        if state.pc == "start":
+            return WriteOp(0, self.pid)
+        return ReadOp(0)
+
+    def apply(self, state: StepState, op: Operation, result: Any) -> StepState:
+        if state.pc == "start":
+            return replace(state, pc="readback")
+        return replace(state, pc="done", scratch=result)
+
+
+# ---------------------------------------------------------------------------
+# Symmetry mutants — each uses the identifier in a forbidden way (§2).
+# ---------------------------------------------------------------------------
+
+
+class PidArithmeticProcess(_TwoStepBase):
+    """Routes by pid parity — arithmetic on an identifier."""
+
+    def next_op(self, state: StepState) -> Operation:
+        if state.pc == "start":
+            return WriteOp(self.pid % 2, 1)  # MUTANT: pid arithmetic
+        return ReadOp(0)
+
+
+class PidOrderingProcess(_TwoStepBase):
+    """Breaks ties by pid order — identifiers are not ordered in §2."""
+
+    def apply(self, state: StepState, op: Operation, result: Any) -> StepState:
+        if state.pc == "readback" and self.pid < 100:  # MUTANT: pid ordering
+            return replace(state, pc="done", scratch=result)
+        return super().apply(state, op, result)
+
+
+class PidIndexingProcess(_TwoStepBase):
+    """Indexes its collected view by pid — pid-as-index."""
+
+    def apply(self, state: StepState, op: Operation, result: Any) -> StepState:
+        myview = (result, result)
+        if state.pc == "readback":
+            return replace(state, pc="done", scratch=myview[self.pid])  # MUTANT
+        return super().apply(state, op, result)
+
+
+class PidHashingProcess(_TwoStepBase):
+    """Seeds a choice with hash(pid) — identifiers are not numbers."""
+
+    def next_op(self, state: StepState) -> Operation:
+        if state.pc == "start":
+            return WriteOp(0, hash(self.pid))  # MUTANT: numeric builtin on pid
+        return ReadOp(0)
+
+
+class PidReadIndexProcess(_TwoStepBase):
+    """Reads register number pid — identifiers as register names."""
+
+    def next_op(self, state: StepState) -> Operation:
+        if state.pc == "start":
+            return WriteOp(0, 1)
+        return ReadOp(self.pid)  # MUTANT: pid as a register index
+
+
+# ---------------------------------------------------------------------------
+# Anonymity mutants — touching the substrate behind the view.
+# ---------------------------------------------------------------------------
+
+
+class PhysicalSnoopProcess(_TwoStepBase):
+    """Asks its view for the physical index — pierces the numbering."""
+
+    def __init__(self, pid: ProcessId, view: Any = None):
+        super().__init__(pid)
+        self.view = view
+
+    def apply(self, state: StepState, op: Operation, result: Any) -> StepState:
+        if state.pc == "readback" and self.view is not None:
+            phys = self.view.physical_index_of(0)  # MUTANT: static + runtime
+            return replace(state, pc="done", scratch=phys)
+        return super().apply(state, op, result)
+
+
+class CheatingSubstrateProcess(_TwoStepBase):
+    """Was handed the raw array and uses it directly.
+
+    No AST pattern reliably catches the *handing over* (the reference
+    arrives under an innocent name), which is exactly what the runtime
+    :class:`~repro.memory.anonymous.MemoryAudit` exists for.
+    """
+
+    def __init__(self, pid: ProcessId, substrate: Any = None):
+        super().__init__(pid)
+        self.substrate = substrate
+
+    def apply(self, state: StepState, op: Operation, result: Any) -> StepState:
+        if state.pc == "readback" and self.substrate is not None:
+            sneak = self.substrate.read(0)  # MUTANT: bypasses the views
+            return replace(state, pc="done", scratch=sneak)
+        return super().apply(state, op, result)
+
+
+# ---------------------------------------------------------------------------
+# PC-annotation mutants.
+# ---------------------------------------------------------------------------
+
+
+class UnannotatedPcProcess(_TwoStepBase):
+    """Renamed a pc in code but not in PC_LINES."""
+
+    def apply(self, state: StepState, op: Operation, result: Any) -> StepState:
+        if state.pc == "start":
+            return replace(state, pc="ghost")  # MUTANT: not in PC_LINES
+        return replace(state, pc="done", scratch=result)
+
+
+class NoAnnotationsProcess(_TwoStepBase):
+    """Dropped the PC_LINES map entirely."""
+
+    PC_LINES = None  # MUTANT: annotation removed
+
+
+class DeadPcProcess(_TwoStepBase):
+    """Annotates a pc no reachable state ever exhibits."""
+
+    PC_LINES = {
+        "start": "test mutant — write register 0",
+        "readback": "test mutant — read register 0 back",
+        "done": "test mutant — halted",
+        "phantom": "test mutant — documented but unreachable",  # MUTANT
+    }
+
+
+class PcFreeStateProcess(ProcessAutomaton):
+    """Keeps its location counter under a different name — no pc at all."""
+
+    PC_LINES = {"start": "test mutant"}
+
+    def __init__(self, pid: ProcessId):
+        self.pid = pid
+
+    def initial_state(self) -> Tuple[int, ...]:
+        return (0,)  # MUTANT: state without a pc field
+
+    def is_halted(self, state: Tuple[int, ...]) -> bool:
+        return state[0] >= 1
+
+    def output(self, state: Tuple[int, ...]) -> Optional[int]:
+        return state[0] if state[0] >= 1 else None
+
+    def next_op(self, state: Tuple[int, ...]) -> Operation:
+        return ReadOp(0)
+
+    def apply(
+        self, state: Tuple[int, ...], op: Operation, result: Any
+    ) -> Tuple[int, ...]:
+        return (state[0] + 1,)
+
+
+#: Every mutant the pass-specific tests iterate over, with the pass that
+#: must catch it.
+ALL_MUTANTS = (
+    (PidArithmeticProcess, "symmetry"),
+    (PidOrderingProcess, "symmetry"),
+    (PidIndexingProcess, "symmetry"),
+    (PidHashingProcess, "symmetry"),
+    (PidReadIndexProcess, "symmetry"),
+    (PhysicalSnoopProcess, "anonymity"),
+    (CheatingSubstrateProcess, "anonymity"),
+    (UnannotatedPcProcess, "pc-audit"),
+    (NoAnnotationsProcess, "pc-audit"),
+    (DeadPcProcess, "pc-audit"),
+    (PcFreeStateProcess, "pc-audit"),
+)
+
+
+class MutantAlgorithm(Algorithm):
+    """Wrap one mutant automaton class as a runnable one-register system."""
+
+    def __init__(self, automaton_cls: type, registers: int = 3):
+        self.automaton_cls = automaton_cls
+        self.registers = registers
+        self.name = f"mutant({automaton_cls.__name__})"
+
+    def register_count(self) -> int:
+        return self.registers
+
+    def automaton_for(self, pid: ProcessId, input: Any = None) -> ProcessAutomaton:
+        return self.automaton_cls(pid)

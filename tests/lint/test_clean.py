@@ -1,0 +1,77 @@
+"""Zero false positives: every shipped algorithm passes every lint pass."""
+
+from repro.lint.anonymity import run_anonymity_audits, run_anonymity_pass
+from repro.lint.cli import collect_findings
+from repro.lint.findings import errors_in
+from repro.lint.pc_audit import run_pc_reachability_pass, run_pc_static_pass
+from repro.lint.races import run_race_sanitizer
+from repro.lint.registry import lint_targets, shipped_automaton_classes
+from repro.lint.symmetry import run_symmetry_pass
+
+
+def test_discovery_finds_all_shipped_automata():
+    names = {cls.__qualname__ for cls in shipped_automaton_classes()}
+    expected = {
+        "AnonymousMutexProcess",
+        "AnonymousConsensusProcess",
+        "AnonymousRenamingProcess",
+        "NamedConsensusProcess",
+        "TournamentMutexProcess",
+        "ElectionChainProcess",
+        "SplitterRenamingProcess",
+        "CommitAdoptProcess",
+        "PartitionedProcess",
+        "NamingAgreementProcess",
+        "LadderConsensusProcess",
+        "ThresholdMutexProcess",
+        "LenientConsensusProcess",
+        "NaiveTestAndSetProcess",
+    }
+    assert expected <= names
+
+
+def test_discovery_excludes_test_mutants():
+    import tests.lint.mutants  # noqa: F401  (force the subclasses to exist)
+
+    assert all(
+        cls.__module__.startswith("repro.") for cls in shipped_automaton_classes()
+    )
+
+
+def test_symmetry_pass_clean_on_shipped_algorithms():
+    findings = run_symmetry_pass()
+    assert errors_in(findings) == []
+    # The named-model baselines are skipped with a note, not silently.
+    skipped = {f.subject for f in findings if "SYMMETRIC = False" in f.detail}
+    assert "TournamentMutexProcess" in skipped
+
+
+def test_anonymity_pass_clean_on_shipped_algorithms():
+    assert errors_in(run_anonymity_pass()) == []
+
+
+def test_anonymity_audits_clean_on_registry_instances():
+    assert errors_in(run_anonymity_audits()) == []
+
+
+def test_pc_static_pass_clean_on_shipped_algorithms():
+    assert errors_in(run_pc_static_pass()) == []
+
+
+def test_pc_lines_annotations_present_everywhere():
+    for cls in shipped_automaton_classes():
+        assert cls.PC_LINES, f"{cls.__qualname__} lacks PC_LINES"
+
+
+def test_pc_reachability_clean_on_registry_instances():
+    assert run_pc_reachability_pass() == []
+
+
+def test_race_sanitizer_clean_on_locked_runs():
+    for target in lint_targets():
+        if target.race_check:
+            assert errors_in(run_race_sanitizer(target)) == [], target.label
+
+
+def test_full_lint_run_has_zero_errors():
+    assert errors_in(collect_findings()) == []

@@ -1,0 +1,44 @@
+"""The ``python -m repro lint`` entry point."""
+
+import repro.lint.cli as lint_cli
+from repro.__main__ import main as repro_main
+from repro.lint.findings import Finding
+
+
+class TestLintCli:
+    def test_lint_subcommand_exits_zero_when_clean(self, capsys):
+        assert repro_main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "repro lint:" in out
+        assert "all model disciplines hold" in out
+
+    def test_flags_are_forwarded_through_main(self, capsys):
+        assert repro_main(["lint", "--static-only", "--quiet-info"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_static_only_skips_dynamic_passes(self, capsys):
+        assert lint_cli.main(["--static-only"]) == 0
+        assert "all model disciplines hold" in capsys.readouterr().out
+
+    def test_errors_produce_table_and_nonzero_exit(self, capsys, monkeypatch):
+        bad = Finding(
+            pass_name="symmetry",
+            severity="error",
+            subject="EvilProcess",
+            detail="arithmetic on a process identifier (Mod)",
+            location="evil.py:1",
+        )
+        monkeypatch.setattr(
+            lint_cli, "collect_findings", lambda **kwargs: [bad]
+        )
+        assert lint_cli.main([]) == 1
+        out = capsys.readouterr().out
+        assert "LINT FAILED" in out
+        assert "EvilProcess" in out
+        assert "repro lint findings" in out
+
+    def test_quiet_info_hides_notes(self, capsys):
+        assert lint_cli.main(["--static-only", "--quiet-info"]) == 0
+        out = capsys.readouterr().out
+        assert "SYMMETRIC = False" not in out

@@ -1,0 +1,182 @@
+"""Adversarial validation: every mutant must be caught by its pass."""
+
+import pytest
+
+from repro.lint.anonymity import check_class as anonymity_check
+from repro.lint.anonymity import run_anonymity_pass
+from repro.lint.findings import errors_in
+from repro.lint.pc_audit import check_class as pc_check
+from repro.lint.pc_audit import run_pc_reachability
+from repro.lint.races import AccessEvent, analyze_events, record_threaded_run
+from repro.lint.registry import LintTarget
+from repro.lint.symmetry import check_class as symmetry_check
+from repro.runtime.adversary import RandomAdversary
+from repro.runtime.system import System
+
+from tests.conftest import pids
+from tests.lint.mutants import (
+    ALL_MUTANTS,
+    CheatingSubstrateProcess,
+    DeadPcProcess,
+    MutantAlgorithm,
+    NoAnnotationsProcess,
+    PcFreeStateProcess,
+    PhysicalSnoopProcess,
+    PidArithmeticProcess,
+    PidHashingProcess,
+    PidIndexingProcess,
+    PidOrderingProcess,
+    PidReadIndexProcess,
+    UnannotatedPcProcess,
+)
+
+
+class TestSymmetryMutants:
+    @pytest.mark.parametrize(
+        "mutant, fragment",
+        [
+            (PidArithmeticProcess, "arithmetic"),
+            (PidOrderingProcess, "non-equality comparison"),
+            (PidIndexingProcess, "index"),
+            (PidHashingProcess, "numeric builtin hash"),
+            (PidReadIndexProcess, "ReadOp register index"),
+        ],
+    )
+    def test_mutant_is_flagged(self, mutant, fragment):
+        findings = errors_in(symmetry_check(mutant))
+        assert findings, f"{mutant.__name__} slipped past the symmetry pass"
+        assert any(fragment in f.detail for f in findings), findings
+
+    def test_findings_carry_locations(self):
+        (finding,) = errors_in(symmetry_check(PidHashingProcess))
+        assert "mutants.py:" in finding.location
+
+
+class TestAnonymityMutants:
+    def test_physical_snoop_flagged_statically(self):
+        findings = errors_in(anonymity_check(PhysicalSnoopProcess))
+        assert any("physical_index_of" in f.detail for f in findings), findings
+
+    def test_substrate_cheat_flagged_at_runtime(self):
+        # The reference arrives under an innocent attribute name, so the
+        # AST pass cannot see it...
+        assert not errors_in(anonymity_check(CheatingSubstrateProcess))
+        # ...but the memory audit catches the bypassing access.
+        system = System(
+            MutantAlgorithm(CheatingSubstrateProcess),
+            pids(2),
+            record_trace=False,
+        )
+        audit = system.memory.install_audit()
+        for automaton in system.automata.values():
+            automaton.substrate = system.memory.array
+        system.run(RandomAdversary(3), max_steps=10_000)
+        assert not audit.ok
+        assert audit.bypasses[0].kind == "read"
+        assert "BYPASS" in audit.summary()
+
+    def test_static_pass_accepts_mutant_list_without_false_positives(self):
+        # Mutants that only break symmetry must not trip the anonymity pass.
+        clean = run_anonymity_pass([PidArithmeticProcess, PidOrderingProcess])
+        assert not errors_in(clean)
+
+
+class TestPcAuditMutants:
+    def test_unannotated_pc_flagged(self):
+        findings = errors_in(pc_check(UnannotatedPcProcess))
+        assert any("'ghost'" in f.detail for f in findings), findings
+
+    def test_missing_pc_lines_flagged(self):
+        findings = errors_in(pc_check(NoAnnotationsProcess))
+        assert any("no PC_LINES" in f.detail for f in findings), findings
+
+    def test_dead_pc_flagged_by_exhaustive_exploration(self):
+        target = LintTarget(
+            "mutant(DeadPcProcess)",
+            lambda: MutantAlgorithm(DeadPcProcess),
+            pids(2),
+            naming_seed=None,
+        )
+        findings = errors_in(run_pc_reachability(target))
+        assert any("'phantom'" in f.detail for f in findings), findings
+
+    def test_state_without_pc_flagged(self):
+        target = LintTarget(
+            "mutant(PcFreeStateProcess)",
+            lambda: MutantAlgorithm(PcFreeStateProcess),
+            pids(2),
+            naming_seed=None,
+        )
+        findings = errors_in(run_pc_reachability(target))
+        assert any("no pc attribute" in f.detail for f in findings), findings
+
+
+class TestRaceMutants:
+    def _event(self, seq, thread, reg, kind, guarded):
+        return AccessEvent(seq, f"proc-{thread}", thread, reg, kind, guarded)
+
+    def test_torn_rmw_detected_on_unguarded_stream(self):
+        # proc-101 reads r0, proc-103's write lands, proc-101 writes r0.
+        events = [
+            self._event(0, 101, 0, "read", False),
+            self._event(1, 103, 0, "write", False),
+            self._event(2, 101, 0, "write", False),
+        ]
+        findings = errors_in(analyze_events(events, "synthetic"))
+        assert any("torn read-modify-write" in f.detail for f in findings)
+
+    def test_unguarded_stream_reports_races_and_lock_discipline(self):
+        events = [
+            self._event(0, 101, 0, "write", False),
+            self._event(1, 103, 0, "write", False),
+        ]
+        findings = errors_in(analyze_events(events, "synthetic"))
+        details = " | ".join(f.detail for f in findings)
+        assert "lock discipline" in details
+        assert "data race" in details
+
+    def test_guarded_stream_is_clean(self):
+        # Same interleaving, but lock-protected: the per-register lock
+        # orders the accesses, so nothing races and discipline holds.
+        events = [
+            self._event(0, 101, 0, "read", True),
+            self._event(1, 103, 0, "write", True),
+            self._event(2, 101, 0, "write", True),
+        ]
+        assert analyze_events(events, "synthetic") == []
+
+    def test_live_unlocked_run_violates_lock_discipline(self):
+        from repro.core.mutex import AnonymousMutex
+
+        system = System(
+            AnonymousMutex(m=3, cs_visits=2),
+            pids(2),
+            locked=False,  # MUTANT configuration: thread backend needs locked=True
+            record_trace=False,
+        )
+        findings, events = record_threaded_run(
+            system, "unlocked-mutex", max_steps=100_000, timeout=20.0
+        )
+        assert events, "threaded run recorded no accesses"
+        assert any(
+            "lock discipline" in f.detail for f in errors_in(findings)
+        ), findings
+
+
+def test_every_mutant_is_caught_by_its_pass():
+    """The headline guarantee: each mutant trips at least its own pass."""
+    from tests.lint import test_mutants as self_module  # noqa: F401
+
+    static_checks = {
+        "symmetry": symmetry_check,
+        "anonymity": anonymity_check,
+        "pc-audit": pc_check,
+    }
+    dynamic_pc = {DeadPcProcess, PcFreeStateProcess}
+    runtime_anonymity = {CheatingSubstrateProcess}
+    for mutant, pass_name in ALL_MUTANTS:
+        if mutant in dynamic_pc or mutant in runtime_anonymity:
+            continue  # covered by the dedicated dynamic tests above
+        findings = errors_in(static_checks[pass_name](mutant))
+        assert findings, f"{mutant.__name__} not caught by {pass_name}"
+        assert all(f.pass_name == pass_name for f in findings)

@@ -56,6 +56,27 @@ class TestExploreMechanics:
         system = System(AnonymousConsensus(n=1), {101: "v"}, record_trace=False)
         result = explore(system, agreement_invariant)
         assert "exhaustive-ok" in result.summary()
+        assert "truncated" not in result.summary()
+
+    def test_summary_reports_truncation_budget(self):
+        system = System(AnonymousMutex(m=3, cs_visits=2), pids(2), record_trace=False)
+        result = explore(system, mutual_exclusion_invariant, max_depth=5)
+        assert "truncated by max_depth" in result.summary()
+        fresh = System(AnonymousMutex(m=3, cs_visits=2), pids(2), record_trace=False)
+        result = explore(fresh, mutual_exclusion_invariant, max_states=10)
+        assert "truncated by max_states" in result.summary()
+
+    def test_summary_reports_stuck_states(self):
+        from repro.runtime.exploration import ExplorationResult
+
+        result = ExplorationResult(
+            complete=True,
+            states_explored=4,
+            events_executed=3,
+            max_depth_reached=2,
+            stuck_states=2,
+        )
+        assert "2 stuck states" in result.summary()
 
 
 class TestExploreFindsViolations:

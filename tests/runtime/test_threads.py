@@ -57,6 +57,49 @@ class TestThreadedRenaming:
         assert all(1 <= name <= 3 for name in names)
 
 
+class TestBackoffUnderForcedContention:
+    """Deterministic-seed check: backoff lets Figure 2 terminate even when
+    every thread is forced to back off frequently (interval 25 steps)."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_figure2_consensus_terminates_with_aggressive_backoff(self, seed):
+        from repro.runtime.system import System
+        from repro.runtime.threads import ThreadRunner
+
+        inputs = {101: "a", 103: "b", 107: "c"}
+        system = System(
+            AnonymousConsensus(n=3),
+            inputs,
+            naming=RandomNaming(seed=seed),
+            locked=True,
+            record_trace=False,
+        )
+        runner = ThreadRunner(
+            system,
+            max_steps=500_000,
+            backoff=0.0002,
+            backoff_interval=25,
+            seed=seed,
+        )
+        result = runner.run(timeout=30.0)
+        assert result.ok, (result.timed_out, result.errors)
+        decisions = set(result.outputs.values())
+        assert len(decisions) == 1
+        assert decisions <= set(inputs.values())
+
+    def test_seeded_helper_terminates(self):
+        result = run_threaded_with_backoff(
+            AnonymousConsensus(n=3),
+            {101: "a", 103: "b", 107: "c"},
+            naming=RandomNaming(seed=9),
+            timeout=30.0,
+            backoff=0.0002,
+            seed=9,
+        )
+        assert result.ok, (result.timed_out, result.errors)
+        assert len(set(result.outputs.values())) == 1
+
+
 class TestTimeoutHandling:
     def test_tiny_step_budget_reports_error_not_hang(self):
         result = run_threaded(
