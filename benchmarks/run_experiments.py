@@ -6,12 +6,28 @@ EXPERIMENTS.md.  Each section corresponds to one experiment in
 DESIGN.md's index; each experiment asserts the paper's claim before
 printing its table, so a successful run *is* the reproduction.
 
-Run with:  python benchmarks/run_experiments.py
+Run with:           python benchmarks/run_experiments.py [E1 E12 ...]
+
+The exploration benchmark (E14d, the symmetry-reduced explorer against
+the seed explorer) is separate because it is the one section whose
+numbers are recorded as a machine-readable trajectory:
+
+    python benchmarks/run_experiments.py --bench            # full, writes
+                                                            # BENCH_explore.json
+    python benchmarks/run_experiments.py --bench --quick    # CI smoke subset
+    ... --bench --quick --check-baseline benchmarks/BENCH_explore.json
+
+``--check-baseline`` exits non-zero if any instance's verdict changed or
+its canonical state count regressed against the recorded baseline.
+See docs/EXPLORATION.md for the file format.
 """
 
+import argparse
+import json
 import sys
 import time
 from math import gcd
+from pathlib import Path
 
 from repro.analysis.experiments import gives_solo_opportunities, sweep
 from repro.analysis.metrics import contention_spread, solo_iterations
@@ -40,7 +56,15 @@ from repro.runtime.adversary import (
     StagedObstructionAdversary,
     standard_adversaries,
 )
-from repro.runtime.exploration import explore, mutual_exclusion_invariant
+from repro.runtime.canonical import TrivialCanonicalizer, build_canonicalizer
+from repro.runtime.exploration import (
+    agreement_invariant,
+    conjoin,
+    explore,
+    mutual_exclusion_invariant,
+    unique_names_invariant,
+    validity_invariant,
+)
 from repro.runtime.system import System
 from repro.spec.consensus_spec import (
     AgreementChecker,
@@ -326,7 +350,7 @@ def e13_plasticity():
     )
 
 
-def e14_performance():
+def e14_performance(rng_seed=5):
     rows = []
     for n in (2, 4, 6, 8):
         system = System(AnonymousConsensus(n=n), consensus_inputs(n))
@@ -339,11 +363,17 @@ def e14_performance():
         system = System(AnonymousRenaming(n=n), pids(n))
         start = time.perf_counter()
         trace = system.run(
-            StagedObstructionAdversary(prefix_steps=50 * n, seed=5),
+            StagedObstructionAdversary(prefix_steps=50 * n, seed=rng_seed),
             max_steps=2 * 10**6,
         )
         elapsed = time.perf_counter() - start
         rows.append(["renaming staged", n, len(trace), f"{elapsed * 1000:.1f}ms"])
+    system = System(AnonymousMutex(m=5, cs_visits=3), pids(2))
+    start = time.perf_counter()
+    trace = system.run(RandomAdversary(rng_seed), max_steps=200_000)
+    elapsed = time.perf_counter() - start
+    rows.append([f"mutex random(seed={rng_seed})", 2, len(trace),
+                 f"{elapsed * 1000:.1f}ms"])
     for m in (3, 5):
         system = System(
             AnonymousMutex(m=m, cs_visits=1), pids(2), record_trace=False
@@ -357,8 +387,171 @@ def e14_performance():
     print_table(
         ["workload", "n", "steps/states", "wall clock"],
         rows,
-        title="E14 — performance profile (CPython, single core)",
+        title=f"E14 — performance profile (CPython, single core, rng seed {rng_seed})",
     )
+
+
+# ---------------------------------------------------------------------------
+# E14d — the exploration benchmark (symmetry-reduced vs seed explorer).
+#
+# Unlike E1-E14 this section records its numbers as a machine-readable
+# trajectory (BENCH_explore.json) so CI can detect state-count
+# regressions; docs/EXPLORATION.md documents the format.
+# ---------------------------------------------------------------------------
+
+#: Budgets shared by both engines on every instance.  ``max_states`` is
+#: the explorer's default; ``max_depth`` is raised because the quotient
+#: walk legitimately produces deeper DFS paths (one representative per
+#: orbit strings previously-parallel branches into longer chains).
+BENCH_BUDGETS = {"max_states": 500_000, "max_depth": 1_000_000}
+
+
+def _bench_instances(quick):
+    """(label, factory, invariant, budget overrides); small subset if quick.
+
+    The two "extended budget" instances raise ``max_states`` past the
+    default so the *seed* side can show its true cost: m=9 completes
+    (x4.2 the canonical states), while consensus n=3 still cannot —
+    the quotient's verdict there is strictly stronger at a fraction of
+    the states.
+    """
+    consensus_invariant = conjoin(agreement_invariant, validity_invariant)
+
+    def mutex(m):
+        return lambda: System(
+            AnonymousMutex(m=m, cs_visits=1), pids(2), record_trace=False
+        )
+
+    def consensus(n, equal):
+        inputs = (
+            {pid: "same" for pid in pids(n)} if equal else consensus_inputs(n)
+        )
+        return lambda: System(AnonymousConsensus(n=n), inputs, record_trace=False)
+
+    def renaming(n):
+        return lambda: System(AnonymousRenaming(n=n), pids(n), record_trace=False)
+
+    instances = [
+        ("mutex m=3 (n=2)", mutex(3), mutual_exclusion_invariant, None),
+        ("mutex m=5 (n=2)", mutex(5), mutual_exclusion_invariant, None),
+        ("consensus n=2 (distinct inputs)", consensus(2, False),
+         consensus_invariant, None),
+        ("renaming n=2", renaming(2), unique_names_invariant, None),
+    ]
+    if not quick:
+        instances += [
+            ("mutex m=7 (n=2)", mutex(7), mutual_exclusion_invariant, None),
+            ("mutex m=9 (n=2)", mutex(9), mutual_exclusion_invariant, None),
+            ("mutex m=9 (n=2, extended budget)", mutex(9),
+             mutual_exclusion_invariant, {"max_states": 1_000_000}),
+            ("consensus n=3 (equal inputs)", consensus(3, True),
+             consensus_invariant, None),
+            ("consensus n=3 (equal inputs, extended budget)", consensus(3, True),
+             consensus_invariant, {"max_states": 1_500_000}),
+        ]
+    return instances
+
+
+def _engine_record(res, canonicalizer=None):
+    verdict = "violation" if not res.ok else (
+        "exhaustive-ok" if res.complete else "bounded-ok"
+    )
+    record = {
+        "verdict": verdict,
+        "states": res.states_explored,
+        "events": res.events_executed,
+        "truncated_by": res.truncated_by,
+        "wall_seconds": round(res.wall_seconds, 3),
+        "states_per_second": round(res.states_per_second, 1),
+        "peak_visited": res.peak_visited,
+    }
+    if canonicalizer is not None:
+        record["orbits_collapsed"] = res.orbits_collapsed
+        record["group_size"] = res.group_size
+        record["canonicalizer"] = canonicalizer.describe()
+    return record
+
+
+def exploration_benchmark(quick=False, rng_seed=5):
+    """Run every instance under both engines; return the JSON document."""
+    rows = []
+    records = []
+    for label, factory, invariant, overrides in _bench_instances(quick):
+        budgets = dict(BENCH_BUDGETS, **(overrides or {}))
+        system = factory()
+        seed_res = explore(
+            system, invariant,
+            canonicalizer=TrivialCanonicalizer(system.scheduler),
+            **budgets,
+        )
+        system = factory()
+        canonicalizer = build_canonicalizer(system)
+        reduced_res = explore(
+            system, invariant, canonicalizer=canonicalizer, **budgets
+        )
+        assert seed_res.ok == reduced_res.ok, label
+        reduction = seed_res.states_explored / reduced_res.states_explored
+        newly_tractable = (not seed_res.complete) and reduced_res.complete
+        records.append({
+            "instance": label,
+            "budgets": budgets,
+            "seed": _engine_record(seed_res),
+            "canonical": _engine_record(reduced_res, canonicalizer),
+            "reduction_factor": round(reduction, 2),
+            "newly_tractable": newly_tractable,
+        })
+        rows.append([
+            label,
+            seed_res.summary().split(",")[0],
+            reduced_res.summary().split(",")[0],
+            f"x{reduction:.2f}",
+            f"{reduced_res.states_per_second:,.0f}/s",
+            "NEWLY TRACTABLE" if newly_tractable else "",
+        ])
+    print_table(
+        ["instance", "seed explorer", "canonical explorer", "reduction",
+         "canonical rate", ""],
+        rows,
+        title="E14d — symmetry-reduced exploration vs seed explorer",
+    )
+    return {
+        "schema": "repro.bench_explore/v1",
+        "generated_by": "python benchmarks/run_experiments.py --bench"
+                        + (" --quick" if quick else ""),
+        "rng_seed": rng_seed,
+        "quick": quick,
+        "budgets": dict(BENCH_BUDGETS),
+        "instances": records,
+    }
+
+
+def check_baseline(document, baseline_path):
+    """Compare a bench document against a recorded baseline.
+
+    Returns a list of regression messages (empty = pass).  Instances are
+    matched by label; instances missing from either side are skipped, so
+    a ``--quick`` run checks just its subset against the full baseline.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    recorded = {rec["instance"]: rec for rec in baseline["instances"]}
+    problems = []
+    for rec in document["instances"]:
+        base = recorded.get(rec["instance"])
+        if base is None:
+            continue
+        for engine in ("seed", "canonical"):
+            if rec[engine]["verdict"] != base[engine]["verdict"]:
+                problems.append(
+                    f"{rec['instance']}: {engine} verdict changed "
+                    f"{base[engine]['verdict']} -> {rec[engine]['verdict']}"
+                )
+        if rec["canonical"]["states"] > base["canonical"]["states"]:
+            problems.append(
+                f"{rec['instance']}: canonical state count regressed "
+                f"{base['canonical']['states']} -> {rec['canonical']['states']}"
+            )
+    return problems
 
 
 EXPERIMENTS = [
@@ -374,14 +567,67 @@ EXPERIMENTS = [
 ]
 
 
-def main(selected=None):
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="experiment names to run (e.g. E1 E12); default: all",
+    )
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="run the E14d exploration benchmark instead of the tables",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="with --bench: the small CI-smoke instance subset",
+    )
+    parser.add_argument(
+        "--bench-out", type=Path, default=None, metavar="PATH",
+        help="with --bench: where to write the JSON trajectory "
+             "(default: benchmarks/BENCH_explore.json for full runs)",
+    )
+    parser.add_argument(
+        "--check-baseline", type=Path, default=None, metavar="PATH",
+        help="with --bench: compare against a recorded BENCH_explore.json "
+             "and exit non-zero on verdict or state-count regressions",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=5, metavar="N",
+        help="RNG seed for the randomised E14 workloads (default: 5); "
+             "recorded in the bench JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.bench:
+        document = exploration_benchmark(quick=args.quick, rng_seed=args.seed)
+        out = args.bench_out
+        if out is None and not args.quick:
+            out = Path(__file__).parent / "BENCH_explore.json"
+        if out is not None:
+            out.write_text(json.dumps(document, indent=1) + "\n")
+            print(f"wrote {out}")
+        if args.check_baseline is not None:
+            problems = check_baseline(document, args.check_baseline)
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            if problems:
+                return 1
+            print(f"baseline check passed ({args.check_baseline})")
+        return 0
+
     start = time.perf_counter()
     for name, fn in EXPERIMENTS:
-        if selected and not any(s in name for s in selected):
+        if args.experiments and not any(s in name for s in args.experiments):
             continue
-        fn()
+        if fn is e14_performance:
+            fn(rng_seed=args.seed)
+        else:
+            fn()
     print(f"all experiments reproduced in {time.perf_counter() - start:.1f}s")
+    return 0
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:] or None)
+    sys.exit(main())

@@ -248,6 +248,114 @@ class AnonymousConsensusProcess(ProcessAutomaton):
             j=0,
         )
 
+    # -- symmetry-reduction hooks (see docs/EXPLORATION.md) ------------------
+
+    def symmetry_signature(self):
+        """Twin key plus the input, which flows into register ``val`` fields.
+
+        The ``"spread"`` index choice hashes ``(pid, myview)`` — renamed
+        twins would pick observably different registers — so it opts out.
+        """
+        if self.choice == "spread":
+            return None
+        return (
+            (self.m, self.adopt_threshold, self.choice, self.encode_records),
+            self.input,
+        )
+
+    def state_footprint(self, state: ConsensusState):
+        """Drop components ``apply`` resets before they are read again.
+
+        At ``write`` the view and ``j`` are dead (line 7 uses only
+        ``write_index`` and ``mypref``; the transition back to line 3
+        clears both); at ``decided`` only the decision value remains
+        observable.  During ``collect`` with the default ``"first"``
+        index choice, :meth:`_after_collect` consumes the view through
+        exactly two statistics, so the positional view folds into
+
+        * the per-value tallies of the non-zero ``val`` fields (line 4's
+          majority test needs exact counts, since future entries add);
+        * the leading run of entries equal to ``(i, v0)`` — the line-8
+          all-equal test holds iff that run spans the array with ``v0``
+          the final preference, and line 6's *first* differing index is
+          the run length when ``v0`` is the final preference and 0
+          otherwise.
+
+        Other index-choice strategies inspect positions the statistics
+        erase (``"last"`` mirrors, ``"spread"`` hashes the whole view),
+        so they keep the full view.
+        """
+        if state.pc == "write":
+            return ("write", state.mypref, state.write_index)
+        if state.pc == "decided":
+            return ("decided", state.mypref)
+        if self.choice != "first":
+            return ("collect", state.j, state.myview, state.mypref)
+        myview = state.myview
+        run = 0
+        lead = None
+        if myview and myview[0].id == self.pid:
+            lead = myview[0].val
+            for entry in myview:
+                if entry.id == self.pid and entry.val == lead:
+                    run += 1
+                else:
+                    break
+        tally: dict = {}
+        for entry in myview:
+            if entry.val != 0:
+                tally[entry.val] = tally.get(entry.val, 0) + 1
+        return (
+            "collect",
+            state.j,
+            lead,
+            run,
+            frozenset(tally.items()),
+            state.mypref,
+        )
+
+    def rename_state_footprint(self, footprint, pids_renamed, values_renamed):
+        """Rename record ids/vals and the preference; indices and counts
+        are private view statistics and stay put (the register
+        permutation is carried by the naming assignment, not by the
+        local state)."""
+        if footprint[0] == "collect":
+            if len(footprint) == 6:
+                _, j, lead, run, tally, mypref = footprint
+                return (
+                    "collect",
+                    j,
+                    values_renamed.get(lead, lead),
+                    run,
+                    frozenset(
+                        (values_renamed.get(val, val), count)
+                        for val, count in tally
+                    ),
+                    values_renamed.get(mypref, mypref),
+                )
+            _, j, myview, mypref = footprint
+            renamed = tuple(
+                ConsensusRecord(
+                    pids_renamed.get(entry.id, entry.id),
+                    values_renamed.get(entry.val, entry.val),
+                )
+                for entry in myview
+            )
+            return ("collect", j, renamed, values_renamed.get(mypref, mypref))
+        if footprint[0] == "write":
+            _, mypref, write_index = footprint
+            return ("write", values_renamed.get(mypref, mypref), write_index)
+        _, mypref = footprint
+        return ("decided", values_renamed.get(mypref, mypref))
+
+    def rename_register_value(self, value, pids_renamed, values_renamed):
+        record = self._load(value)
+        renamed = ConsensusRecord(
+            pids_renamed.get(record.id, record.id),
+            values_renamed.get(record.val, record.val),
+        )
+        return self._store(renamed)
+
 
 class AnonymousConsensus(Algorithm):
     """The Figure 2 algorithm as a runnable :class:`Algorithm`.

@@ -251,6 +251,62 @@ class AnonymousMutexProcess(MutexAutomatonMixin, ProcessAutomaton):
 
         raise ProtocolError(f"mutex process {self.pid}: cannot apply in pc {pc!r}")
 
+    # -- symmetry-reduction hooks (see docs/EXPLORATION.md) ------------------
+
+    def symmetry_signature(self):
+        """Twin key; no input value ever reaches the shared registers."""
+        return (self.m, self.threshold, self.cs_visits, self.cs_steps), None
+
+    def state_footprint(self, state: MutexState):
+        """Collapse ``myview`` to what lines 4-10 actually branch on.
+
+        During ``collect`` the view only matters through how many entries
+        hold this process's own mark (``mine`` in :meth:`_after_collect`),
+        and once the line 4/10 three-way branch is already *determined* —
+        a mark was missed with ``mine`` at the threshold (restart is
+        forced), or the threshold is out of reach even if every remaining
+        read is a hit (cleanup is forced) — the exact count stops
+        mattering: the remaining reads cannot change the outcome, so all
+        such counts are bisimilar.  During ``wait`` the view matters only
+        through whether every entry read so far was zero (lines 6-8), and
+        once a non-zero was seen the rest of the pass is *inert*: the
+        remaining reads ignore their results, touch no memory, and end in
+        the same pass-restart state, so ``j`` is dropped and the explorer
+        collapses the tail into one state per context (the raw-self-loop
+        acceleration in :func:`repro.runtime.exploration.explore`).
+        Everywhere else ``myview`` is empty or dead — ``apply`` resets it
+        before the next read.  ``crit_remaining`` is 0 outside ``crit``
+        on every reachable path, and ``j`` is dead in the states whose
+        ``next_op`` does not address a register.
+        """
+        pc = state.pc
+        if pc == "collect":
+            mine = sum(1 for v in state.myview if v == self.pid)
+            outcome: Any = mine
+            if mine < state.j and mine >= self.threshold:
+                outcome = "restart-forced"
+            elif mine + (self.m - state.j) < self.threshold:
+                outcome = "cleanup-forced"
+            return (pc, state.j, outcome, state.visits_done)
+        if pc == "wait":
+            if any(v != 0 for v in state.myview):
+                return (pc, "dirty-pass", state.visits_done)
+            return (pc, state.j, True, state.visits_done)
+        if pc == "crit":
+            return (pc, state.crit_remaining, state.visits_done)
+        if pc in ("enter_cs", "exit_crit", "done"):
+            return (pc, state.visits_done)
+        # scan_read / scan_write / cleanup_read / cleanup_write / reset.
+        return (pc, state.j, state.visits_done)
+
+    def rename_state_footprint(self, footprint, pids_renamed, values_renamed):
+        """Footprints reduce the view to counts — no identifier survives."""
+        return footprint
+
+    def rename_register_value(self, value, pids_renamed, values_renamed):
+        """Registers hold 0 or a writer's identifier (line 2)."""
+        return pids_renamed.get(value, value)
+
     # -- helpers -------------------------------------------------------------
 
     def _advance_scan(self, state: MutexState) -> MutexState:

@@ -263,6 +263,90 @@ class AnonymousRenamingProcess(ProcessAutomaton):
             write_index=-1,
         )
 
+    # -- symmetry-reduction hooks (see docs/EXPLORATION.md) ------------------
+
+    def symmetry_signature(self):
+        """Twin key; renaming has no input (the old name *is* the pid).
+
+        As in Figure 2, the ``"spread"`` choice hashes ``(pid, myview)``
+        and would break twin equivalence, so it opts out.
+        """
+        if self.choice == "spread":
+            return None
+        return (self.n, self.m, self.choice, self.encode_records), None
+
+    def state_footprint(self, state: RenamingState):
+        """Drop components ``apply`` resets before they are read again.
+
+        At ``write`` the view and ``j`` are dead (line 16 writes
+        ``(i, mypref, myround, myhistory)`` at ``write_index``; the
+        transition back to line 4 clears both); at ``done`` only the
+        acquired name remains observable.
+        """
+        if state.pc == "write":
+            return (
+                "write", state.mypref, state.myround, state.myhistory,
+                state.write_index,
+            )
+        if state.pc == "done":
+            return ("done", state.name)
+        return (
+            "collect", state.j, state.myview, state.mypref, state.myround,
+            state.myhistory,
+        )
+
+    def rename_state_footprint(self, footprint, pids_renamed, values_renamed):
+        """Rename every embedded identifier: record ids, backed values
+        (``val``/``mypref`` carry identifiers here), and history pairs.
+        Rounds and acquired names live in ``{1..n}``, not the id space."""
+        def renamed_record(entry: RenamingRecord) -> RenamingRecord:
+            return RenamingRecord(
+                pids_renamed.get(entry.id, entry.id),
+                pids_renamed.get(entry.val, entry.val),
+                entry.round,
+                frozenset(
+                    (pids_renamed.get(who, who), rnd)
+                    for who, rnd in entry.history
+                ),
+            )
+
+        if footprint[0] == "collect":
+            _, j, myview, mypref, myround, myhistory = footprint
+            return (
+                "collect",
+                j,
+                tuple(renamed_record(entry) for entry in myview),
+                pids_renamed.get(mypref, mypref),
+                myround,
+                frozenset(
+                    (pids_renamed.get(who, who), rnd) for who, rnd in myhistory
+                ),
+            )
+        if footprint[0] == "write":
+            _, mypref, myround, myhistory, write_index = footprint
+            return (
+                "write",
+                pids_renamed.get(mypref, mypref),
+                myround,
+                frozenset(
+                    (pids_renamed.get(who, who), rnd) for who, rnd in myhistory
+                ),
+                write_index,
+            )
+        return footprint  # done: names are 1..n, never identifiers.
+
+    def rename_register_value(self, value, pids_renamed, values_renamed):
+        record = self._load(value)
+        renamed = RenamingRecord(
+            pids_renamed.get(record.id, record.id),
+            pids_renamed.get(record.val, record.val),
+            record.round,
+            frozenset(
+                (pids_renamed.get(who, who), rnd) for who, rnd in record.history
+            ),
+        )
+        return self._store(renamed)
+
 
 class AnonymousRenaming(Algorithm):
     """The Figure 3 algorithm as a runnable :class:`Algorithm`.

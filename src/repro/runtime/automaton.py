@@ -110,6 +110,64 @@ class ProcessAutomaton(ABC):
         """The process's output in a halted state (``None`` by default)."""
         return None
 
+    # -- symmetry-reduction hooks (repro.runtime.canonical) ----------------
+    #
+    # The bounded explorer can collapse global states that differ only by
+    # a symmetry of the instance (see docs/EXPLORATION.md).  An automaton
+    # class opts in by overriding ALL FOUR hooks below *in the same class*
+    # — :func:`repro.runtime.canonical.hook_owner` refuses to trust hooks
+    # inherited past any subclass that redefines behaviour, so a mutant
+    # overriding ``apply`` without refreshing its hooks degrades safely to
+    # the conservative defaults.
+
+    def symmetry_signature(self) -> Optional[Any]:
+        """Opt-in to process-permutation symmetry: ``(twin_key, value_input)``.
+
+        ``None`` (the default) opts out: the canonicalizer will never map
+        this process onto another one.  An override returns a pair:
+
+        * ``twin_key`` — every behaviour-relevant parameter *except* the
+          pid and the input.  Two processes are swap candidates only when
+          their classes and twin keys are equal (and the naming
+          assignment admits the induced register permutation).
+        * ``value_input`` — the process's input as it appears inside
+          register values / local state, or ``None`` when the input never
+          flows into shared data (e.g. mutex ``cs_visits`` tuning).
+          Swapping processes with different value-inputs renames those
+          values along with the pids.
+        """
+        return None
+
+    def state_footprint(self, state: LocalState) -> LocalState:
+        """A bisimulation-sound compression of ``state`` for deduplication.
+
+        The default is the identity.  An override may drop components
+        that are *dead* (never read again from this pc) or fold them into
+        what the remaining behaviour actually depends on, as long as
+        footprint-equal states have identical future behaviour — same
+        pending ops, footprint-equal successors, same halting/outputs.
+        """
+        return state
+
+    def rename_state_footprint(
+        self, footprint: LocalState, pids_renamed: Any, values_renamed: Any
+    ) -> LocalState:
+        """``footprint`` with every embedded identifier/input renamed.
+
+        ``pids_renamed`` / ``values_renamed`` are mappings applied with
+        ``.get(x, x)`` semantics (identity off their domain).  Must be a
+        pure function of its arguments.  The default assumes footprints
+        embed no identifiers or inputs — only override bundles are ever
+        trusted, so opting in forces an explicit statement either way.
+        """
+        return footprint
+
+    def rename_register_value(
+        self, value: Any, pids_renamed: Any, values_renamed: Any
+    ) -> Any:
+        """A register value with identifiers/inputs renamed (see above)."""
+        return value
+
     # -- conveniences -----------------------------------------------------
 
     def require_running(self, state: LocalState) -> None:

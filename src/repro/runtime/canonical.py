@@ -1,0 +1,504 @@
+"""Canonical state encoding and symmetry reduction for the explorer.
+
+The bounded model checker (:mod:`repro.runtime.exploration`) deduplicates
+global states.  This module supplies the keys it deduplicates on, at two
+levels of aggressiveness:
+
+**Compact encoding** (always on).  A captured global state is a nested
+tuple of register values, local-state dataclasses and flags; hashing and
+storing millions of them is the explorer's main cost.  A
+:class:`Canonicalizer` *interns* every distinct register value and local
+state into a small integer and packs one global state into a flat
+``bytes`` key — one 4-byte slot per register plus two per process.
+Interning is injective, so key equality coincides with the equality the
+seed explorer used.
+
+**Symmetry reduction** (opt-in, :func:`build_canonicalizer`).  The
+paper's model is symmetric twice over — memory anonymity (§1: register
+names are private) and process symmetry (§2: identifiers are only
+written and compared) — so many reachable states are images of each
+other under a *naming automorphism*.  Formally an admissible symmetry is
+a triple ``g = (sigma, pi, nu)`` of a process permutation ``sigma``, a
+physical-register permutation ``pi`` and a value renaming ``nu`` such
+that
+
+* ``pi`` agrees with the naming assignment: for every process ``p`` and
+  view index ``j``, ``pi(perm_p[j]) = perm_sigma(p)[j]`` — i.e. ``pi``
+  is *determined* by ``sigma`` (``pi = perm_sigma(p) o perm_p^-1``) and
+  must come out the same for every ``p``.  Under
+  :class:`~repro.memory.naming.IdentityNaming` this forces ``pi = id``;
+  equispaced :class:`~repro.memory.naming.RingNaming` couples register
+  rotations with cyclic process shifts (the Theorem 3.4 geometry).
+* ``sigma`` only maps a process onto a *twin*: same automaton class,
+  same :meth:`~repro.runtime.automaton.ProcessAutomaton.symmetry_signature`
+  twin key, trusted hooks (see :func:`hook_owner`).
+* ``nu`` is induced by the inputs (``nu(input_p) = input_sigma(p)``) and
+  must be a consistent bijection.
+
+The set of admissible triples is closed under composition and inverse
+(it is the automorphism group of the labelled instance), so mapping each
+state to the lexicographic minimum of its orbit is a well-defined
+canonical form, and two states receive the same key iff they lie in the
+same orbit.  Since the automata treat identifiers, inputs and register
+names exactly as the labels ``g`` permutes, ``g`` is a bisimulation:
+the subtree under ``g . s`` is the ``g``-image of the subtree under
+``s``, with identical verdicts for any symmetric invariant.  The
+soundness argument is spelled out in docs/EXPLORATION.md.
+
+When an instance offers no usable structure the builder degrades to a
+:class:`TrivialCanonicalizer` — compact encoding only, bit-for-bit the
+seed explorer's semantics.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import permutations, product
+from math import factorial
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.runtime.automaton import ProcessAutomaton
+from repro.runtime.scheduler import ProcessRuntime, Scheduler
+from repro.runtime.system import System
+from repro.types import ProcessId
+
+#: A packed global-state key.  Opaque, and only comparable between keys
+#: produced by the *same* canonicalizer instance (interning is local).
+CanonicalKey = bytes
+
+#: The hook bundle an automaton class must override as a unit to opt in.
+SYMMETRY_HOOKS: Tuple[str, ...] = (
+    "symmetry_signature",
+    "state_footprint",
+    "rename_state_footprint",
+    "rename_register_value",
+)
+
+#: Class-dict entries that carry no behaviour (safe to ignore when
+#: checking whether a subclass overrides anything past the hook owner).
+_INERT_NAMES = frozenset(
+    {
+        "__doc__",
+        "__module__",
+        "__qualname__",
+        "__annotations__",
+        "__dict__",
+        "__weakref__",
+        "__slots__",
+        "__abstractmethods__",
+        "_abc_impl",
+        "__parameters__",
+        "__orig_bases__",
+        "__firstlineno__",
+        "__static_attributes__",
+    }
+)
+
+_RenameFn = Callable[[Any, Any, Any], Any]
+_FootprintFn = Callable[[Any], Any]
+
+
+def _identity_rename(value: Any, pids_renamed: Any, values_renamed: Any) -> Any:
+    """The identity renaming — used wherever a hook is not trusted."""
+    return value
+
+
+def _definer(cls: type, name: str) -> Optional[type]:
+    """The class in ``cls``'s MRO whose body defines ``name``."""
+    for klass in cls.__mro__:
+        if name in vars(klass):
+            return klass
+    return None
+
+
+def hook_owner(cls: type) -> Optional[type]:
+    """The class whose symmetry hooks may be trusted for ``cls``, or None.
+
+    The hooks make semantic claims about the behaviour methods
+    (``next_op``/``apply``/...), so they are only trusted when
+
+    * all four :data:`SYMMETRY_HOOKS` are overridden *by one class* (not
+      inherited from :class:`ProcessAutomaton`'s defaults), and
+    * no class more derived than that owner defines anything at all — a
+      subclass that overrides or adds any method/attribute may have
+      changed behaviour the hooks do not know about (test mutants do
+      exactly this), so it falls back to the conservative defaults.
+    """
+    owners: Set[type] = set()
+    for hook in SYMMETRY_HOOKS:
+        definer = _definer(cls, hook)
+        if definer is None or definer is ProcessAutomaton:
+            return None
+        owners.add(definer)
+    if len(owners) != 1:
+        return None
+    owner = owners.pop()
+    for klass in cls.__mro__:
+        if klass is owner:
+            return owner
+        if any(name not in _INERT_NAMES for name in vars(klass)):
+            return None
+    return None
+
+
+class _GroupElement:
+    """One admissible non-identity symmetry ``(sigma, pi, nu)``.
+
+    Stores the *pull-back* forms the encoder needs (which source feeds
+    each target slot) plus per-element memo tables mapping raw register
+    values / footprints straight to the intern id of their rename.
+    """
+
+    __slots__ = (
+        "source_phys",
+        "source_slot",
+        "pids_renamed",
+        "values_renamed",
+        "value_ids",
+        "footprint_ids",
+    )
+
+    def __init__(
+        self,
+        source_phys: Tuple[int, ...],
+        source_slot: Tuple[int, ...],
+        pids_renamed: Dict[ProcessId, ProcessId],
+        values_renamed: Dict[Any, Any],
+    ) -> None:
+        self.source_phys = source_phys
+        self.source_slot = source_slot
+        self.pids_renamed = pids_renamed
+        self.values_renamed = values_renamed
+        self.value_ids: Dict[Any, int] = {}
+        self.footprint_ids: Dict[Any, int] = {}
+
+
+class Canonicalizer:
+    """Maps the scheduler's *live* state to a canonical packed key.
+
+    :meth:`key_of` reads the scheduler directly (no ``capture_state``
+    tuple needed) and returns ``(canonical_key, raw_key)``: the minimum
+    of the orbit under the configured group, and the identity encoding.
+    With an empty group the two coincide and the canonicalizer is a pure
+    compact-encoding layer.
+
+    Build instances with :func:`build_canonicalizer` (or
+    :class:`TrivialCanonicalizer` directly); a canonicalizer is bound to
+    the scheduler it was built for.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        footprint_fns: List[Optional[_FootprintFn]],
+        rename_footprint_fns: List[_RenameFn],
+        rename_value_fn: _RenameFn,
+        elements: List[_GroupElement],
+        group_capped: bool = False,
+    ) -> None:
+        order = sorted(scheduler.pids)
+        self.pid_order: Tuple[ProcessId, ...] = tuple(order)
+        self._memory = scheduler.memory
+        self._runtimes: List[ProcessRuntime] = [
+            scheduler.runtime(pid) for pid in order
+        ]
+        self._footprint_fns = footprint_fns
+        self._rename_footprint_fns = rename_footprint_fns
+        self._rename_value_fn = rename_value_fn
+        self._elements = elements
+        #: Order of the symmetry group being reduced by (>= 1).
+        self.group_order: int = len(elements) + 1
+        #: True when candidate enumeration was skipped as too large and
+        #: the group conservatively collapsed to the identity.
+        self.group_capped: bool = group_capped
+        #: Whether any per-automaton footprint compression is active.
+        self.uses_footprints: bool = any(
+            fn is not None for fn in footprint_fns
+        )
+        self._intern: Dict[Any, int] = {}
+
+    def describe(self) -> str:
+        """One-line configuration summary for benchmark records."""
+        capped = ", capped" if self.group_capped else ""
+        return (
+            f"group={self.group_order}{capped}, "
+            f"footprints={'on' if self.uses_footprints else 'off'}"
+        )
+
+    @property
+    def interned_objects(self) -> int:
+        """Distinct register values / footprints interned so far."""
+        return len(self._intern)
+
+    def key_of(self) -> Tuple[CanonicalKey, CanonicalKey]:
+        """``(canonical_key, raw_key)`` of the scheduler's current state."""
+        values = self._memory.snapshot()
+        intern = self._intern
+        ints: List[int] = []
+        for value in values:
+            value_id = intern.get(value)
+            if value_id is None:
+                value_id = len(intern)
+                intern[value] = value_id
+            ints.append(value_id)
+        footprints: List[Any] = []
+        flags: List[int] = []
+        for slot, runtime in enumerate(self._runtimes):
+            footprint_fn = self._footprint_fns[slot]
+            footprint = (
+                runtime.state
+                if footprint_fn is None
+                else footprint_fn(runtime.state)
+            )
+            footprints.append(footprint)
+            footprint_id = intern.get(footprint)
+            if footprint_id is None:
+                footprint_id = len(intern)
+                intern[footprint] = footprint_id
+            flag = (2 if runtime.halted else 0) | (1 if runtime.crashed else 0)
+            flags.append(flag)
+            ints.append(footprint_id)
+            ints.append(flag)
+        raw = array("I", ints).tobytes()
+        if not self._elements:
+            return raw, raw
+        best = raw
+        for element in self._elements:
+            candidate: List[int] = []
+            value_ids = element.value_ids
+            for phys in element.source_phys:
+                value = values[phys]
+                value_id = value_ids.get(value)
+                if value_id is None:
+                    renamed = self._rename_value_fn(
+                        value, element.pids_renamed, element.values_renamed
+                    )
+                    value_id = intern.get(renamed)
+                    if value_id is None:
+                        value_id = len(intern)
+                        intern[renamed] = value_id
+                    value_ids[value] = value_id
+                candidate.append(value_id)
+            footprint_ids = element.footprint_ids
+            for slot in element.source_slot:
+                footprint = footprints[slot]
+                cache_key = (slot, footprint)
+                footprint_id = footprint_ids.get(cache_key)
+                if footprint_id is None:
+                    renamed_fp = self._rename_footprint_fns[slot](
+                        footprint, element.pids_renamed, element.values_renamed
+                    )
+                    footprint_id = intern.get(renamed_fp)
+                    if footprint_id is None:
+                        footprint_id = len(intern)
+                        intern[renamed_fp] = footprint_id
+                    footprint_ids[cache_key] = footprint_id
+                candidate.append(footprint_id)
+                candidate.append(flags[slot])
+            packed = array("I", candidate).tobytes()
+            if packed < best:
+                best = packed
+        return best, raw
+
+
+class TrivialCanonicalizer(Canonicalizer):
+    """Compact encoding only — the conservative fallback.
+
+    No footprints, no group: key equality is exactly raw global-state
+    equality, i.e. the seed explorer's deduplication with cheaper keys.
+    """
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        count = len(scheduler.pids)
+        identity = _identity_rename
+        super().__init__(
+            scheduler,
+            footprint_fns=[None] * count,
+            rename_footprint_fns=[identity] * count,
+            rename_value_fn=identity,
+            elements=[],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Group construction
+# ---------------------------------------------------------------------------
+
+
+def _block_permutations(
+    order: List[ProcessId], blocks: List[List[ProcessId]]
+) -> Iterator[Dict[ProcessId, ProcessId]]:
+    """Every non-identity pid bijection permuting within twin blocks."""
+    for images in product(*(permutations(block) for block in blocks)):
+        sigma: Dict[ProcessId, ProcessId] = {}
+        for block, image in zip(blocks, images):
+            for source, target in zip(block, image):
+                sigma[source] = target
+        if any(source != target for source, target in sigma.items()):
+            yield sigma
+
+
+def _induced_register_permutation(
+    sigma: Dict[ProcessId, ProcessId],
+    perms: Dict[ProcessId, Tuple[int, ...]],
+    size: int,
+) -> Optional[Tuple[int, ...]]:
+    """``pi^-1`` as a pull-back table, or None when no consistent ``pi``.
+
+    ``pi`` is computed from one process as ``perm_sigma(p) o perm_p^-1``
+    and verified against every other; the returned tuple maps each
+    target physical slot to the source slot whose (renamed) value lands
+    there.
+    """
+    first = next(iter(sigma))
+    base = perms[first]
+    image = perms[sigma[first]]
+    pi = [0] * size
+    for j in range(size):
+        pi[base[j]] = image[j]
+    for source, target in sigma.items():
+        source_perm = perms[source]
+        target_perm = perms[target]
+        for j in range(size):
+            if pi[source_perm[j]] != target_perm[j]:
+                return None
+    inverse = [0] * size
+    for phys in range(size):
+        inverse[pi[phys]] = phys
+    return tuple(inverse)
+
+
+def _induced_value_renaming(
+    sigma: Dict[ProcessId, ProcessId], value_inputs: Dict[ProcessId, Any]
+) -> Optional[Dict[Any, Any]]:
+    """The value renaming ``nu`` forced by the inputs, or None if invalid."""
+    renaming: Dict[Any, Any] = {}
+    for source, target in sigma.items():
+        source_value = value_inputs[source]
+        target_value = value_inputs[target]
+        if source_value is None and target_value is None:
+            continue
+        if source_value is None or target_value is None:
+            return None
+        if source_value in renaming:
+            if renaming[source_value] != target_value:
+                return None
+        else:
+            renaming[source_value] = target_value
+    if len(set(renaming.values())) != len(renaming):
+        return None
+    return {
+        source: target for source, target in renaming.items() if source != target
+    }
+
+
+def _admissible_elements(
+    system: System,
+    order: List[ProcessId],
+    automata: List[ProcessAutomaton],
+    owners: List[Optional[type]],
+    max_group: int,
+) -> Tuple[List[_GroupElement], bool]:
+    """Enumerate the instance's non-identity symmetries (capped)."""
+    cls = type(automata[0])
+    if any(type(automaton) is not cls for automaton in automata):
+        return [], False
+    if not cls.SYMMETRIC:
+        return [], False
+    if any(owner is None for owner in owners):
+        return [], False
+    signatures = [automaton.symmetry_signature() for automaton in automata]
+    if any(signature is None for signature in signatures):
+        return [], False
+    twin_keys: Dict[ProcessId, Any] = {}
+    value_inputs: Dict[ProcessId, Any] = {}
+    for pid, signature in zip(order, signatures):
+        twin_key, value_input = signature
+        twin_keys[pid] = twin_key
+        value_inputs[pid] = value_input
+    block_map: Dict[Any, List[ProcessId]] = {}
+    for pid in order:
+        block_map.setdefault(twin_keys[pid], []).append(pid)
+    blocks = list(block_map.values())
+    candidates = 1
+    for block in blocks:
+        candidates *= factorial(len(block))
+        if candidates > max_group:
+            return [], True
+    memory = system.memory
+    perms = {pid: memory.view(pid).permutation for pid in order}
+    slot_of = {pid: slot for slot, pid in enumerate(order)}
+    size = memory.size
+    elements: List[_GroupElement] = []
+    for sigma in _block_permutations(order, blocks):
+        source_phys = _induced_register_permutation(sigma, perms, size)
+        if source_phys is None:
+            continue
+        values_renamed = _induced_value_renaming(sigma, value_inputs)
+        if values_renamed is None:
+            continue
+        inverse_sigma = {target: source for source, target in sigma.items()}
+        source_slot = tuple(slot_of[inverse_sigma[pid]] for pid in order)
+        pids_renamed = {
+            source: target for source, target in sigma.items() if source != target
+        }
+        elements.append(
+            _GroupElement(source_phys, source_slot, pids_renamed, values_renamed)
+        )
+    return elements, False
+
+
+def build_canonicalizer(
+    system: System,
+    symmetry: bool = True,
+    footprints: bool = True,
+    max_group: int = 720,
+) -> Canonicalizer:
+    """The strongest sound canonicalizer for ``system``.
+
+    Per process, footprint compression engages iff its automaton class
+    has a trusted hook bundle (:func:`hook_owner`); the symmetry group is
+    enumerated iff *every* automaton shares one trusted class and opts
+    in via ``symmetry_signature``.  Anything less — mutants, mixed or
+    asymmetric systems, ``None`` signatures — degrades that part to the
+    identity, so the result is always sound for symmetric invariants and
+    at worst a :class:`TrivialCanonicalizer`.
+
+    ``max_group`` caps the *candidate* enumeration (the product of twin
+    -block factorials); past it the group collapses to the identity and
+    :attr:`Canonicalizer.group_capped` is set.
+    """
+    scheduler = system.scheduler
+    order = sorted(scheduler.pids)
+    automata = [scheduler.runtime(pid).automaton for pid in order]
+    owners = [hook_owner(type(automaton)) for automaton in automata]
+    identity: _RenameFn = _identity_rename
+    footprint_fns: List[Optional[_FootprintFn]] = [
+        automaton.state_footprint if (footprints and owner is not None) else None
+        for automaton, owner in zip(automata, owners)
+    ]
+    rename_footprint_fns: List[_RenameFn] = [
+        automaton.rename_state_footprint if owner is not None else identity
+        for automaton, owner in zip(automata, owners)
+    ]
+    elements: List[_GroupElement] = []
+    capped = False
+    if symmetry and order:
+        elements, capped = _admissible_elements(
+            system, order, automata, owners, max_group
+        )
+    rename_value_fn: _RenameFn = (
+        automata[0].rename_register_value if elements else identity
+    )
+    if not elements and not any(fn is not None for fn in footprint_fns):
+        trivial = TrivialCanonicalizer(scheduler)
+        trivial.group_capped = capped
+        return trivial
+    return Canonicalizer(
+        scheduler,
+        footprint_fns,
+        rename_footprint_fns,
+        rename_value_fn,
+        elements,
+        group_capped=capped,
+    )

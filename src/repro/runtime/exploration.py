@@ -12,14 +12,31 @@ then provably holds on every schedule of that instance.
 This is how the reproduction turns Theorem 3.2 ("the algorithm satisfies
 mutual exclusion") from a sampled claim into an exhaustively verified one
 for concrete (n, m, naming) instances.
+
+Deduplication is delegated to a
+:class:`~repro.runtime.canonical.Canonicalizer`: at minimum a compact
+interned encoding of the raw global state, and — via
+:func:`explore_symmetry_reduced` — a quotient under the instance's
+naming-automorphism group, which collapses states that differ only by a
+symmetry and typically shrinks the visited set by the group order and
+more (see docs/EXPLORATION.md for the soundness argument).  The quotient
+walk explores *real* states (one representative per orbit), so reported
+violation schedules replay directly on a fresh system.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExplorationLimitExceeded
+from repro.runtime.canonical import (
+    Canonicalizer,
+    CanonicalKey,
+    TrivialCanonicalizer,
+    build_canonicalizer,
+)
 from repro.runtime.system import System
 from repro.types import ProcessId
 
@@ -31,12 +48,31 @@ Invariant = Callable[[System], Optional[str]]
 
 @dataclass
 class ExplorationResult:
-    """Outcome of a bounded exhaustive exploration."""
+    """Outcome of a bounded exhaustive exploration.
+
+    Two orthogonal axes describe the outcome:
+
+    * ``violation`` / :attr:`ok` — whether the invariant failed in some
+      reached state;
+    * ``complete`` / ``truncated_by`` — whether the walk reached a
+      fixpoint.  **Invariant:** ``complete ⟺ truncated_by is None``,
+      always.  A search stopped early — by a budget (``"max_states"``,
+      ``"max_depth"``) or by a found violation (``"violation"``) — has
+      explored a strict under-approximation of the reachable space, so
+      its ``complete`` is False even though its verdict may already be
+      final.
+
+    ``exhaustive-ok`` therefore means exactly: every reachable state
+    (up to the canonicalizer's symmetry quotient) satisfies the
+    invariant.
+    """
 
     #: True when the reachable state space was fully explored within the
-    #: budgets — the invariant then holds on *all* schedules.
+    #: budgets — the invariant then holds on *all* schedules.  Always
+    #: equal to ``truncated_by is None``.
     complete: bool
-    #: Number of distinct global states visited.
+    #: Number of distinct global states visited (orbit representatives
+    #: when symmetry reduction is active).
     states_explored: int
     #: Total scheduler events executed (includes re-exploration work).
     events_executed: int
@@ -48,13 +84,34 @@ class ExplorationResult:
     violation_schedule: Optional[Tuple[ProcessId, ...]] = None
     #: Terminal states (no process enabled) where not all processes halted.
     stuck_states: int = 0
-    #: Budget that stopped the search early, when not complete.
+    #: What stopped the search before it exhausted the reachable states:
+    #: ``"max_states"``, ``"max_depth"``, ``"violation"``, or ``None``
+    #: (fixpoint reached — the search is complete).
     truncated_by: Optional[str] = None
+    #: Successor encounters whose state was new but whose symmetry orbit
+    #: was already visited — the work the quotient saved.  Always 0 under
+    #: a trivial canonicalizer.
+    orbits_collapsed: int = 0
+    #: Order of the symmetry group the canonicalizer reduced by (1 when
+    #: trivial).
+    group_size: int = 1
+    #: Wall-clock duration of the walk, in seconds.
+    wall_seconds: float = 0.0
+    #: Final size of the visited table (canonical keys), the walk's
+    #: peak memory driver.
+    peak_visited: int = 0
 
     @property
     def ok(self) -> bool:
         """True when no violation was found."""
         return self.violation is None
+
+    @property
+    def states_per_second(self) -> float:
+        """Exploration throughput (0.0 when the walk was too fast to time)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.states_explored / self.wall_seconds
 
     def summary(self) -> str:
         """One-line report for experiment tables."""
@@ -65,8 +122,12 @@ class ExplorationResult:
             f"{status}: {self.states_explored} states, "
             f"{self.events_executed} events, depth<={self.max_depth_reached}"
         )
-        if self.truncated_by is not None:
+        if self.truncated_by is not None and self.truncated_by != "violation":
             line += f", truncated by {self.truncated_by}"
+        if self.orbits_collapsed:
+            line += (
+                f", {self.orbits_collapsed} orbit hits (group {self.group_size})"
+            )
         if self.stuck_states:
             line += f", {self.stuck_states} stuck states"
         return line
@@ -78,42 +139,70 @@ def explore(
     max_states: int = 500_000,
     max_depth: int = 10_000,
     raise_on_truncation: bool = False,
+    canonicalizer: Optional[Canonicalizer] = None,
 ) -> ExplorationResult:
     """Exhaustively explore ``system``'s reachable states, checking
     ``invariant`` in each.
 
     The system must have been built with ``record_trace=False`` (tracing
     millions of replayed events would defeat the purpose); its current
-    state is taken as the initial state.  The search is depth-first with
-    global-state deduplication.
+    state is taken as the initial state.  The search is depth-first over
+    *real* global states, deduplicated on the keys ``canonicalizer``
+    produces — raw-state equality by default, orbit equality under
+    :func:`explore_symmetry_reduced`.
 
     Parameters
     ----------
     system:
         The configured :class:`~repro.runtime.system.System` to explore.
     invariant:
-        Checked in every reachable state; first violation stops the search
-        and is reported with a reproducing schedule.
+        Checked in every reached representative state; the first
+        violation stops the search and is reported with a reproducing
+        schedule (replayable from the initial state, e.g. via
+        :func:`repro.runtime.replay.replay_schedule`).  With symmetry
+        reduction active the invariant must be symmetric — indifferent
+        to the renamings the group applies (all stock invariants are).
     max_states / max_depth:
-        Search budgets.  If either is hit the result has
-        ``complete=False`` (and ``raise_on_truncation`` optionally turns
-        that into :class:`~repro.errors.ExplorationLimitExceeded`).
+        Search budgets.  Hitting ``max_states`` stops the walk
+        immediately (no further invariant checks or captures are spent
+        on an already-truncated search); hitting ``max_depth`` prunes
+        that branch only.  Either way the result has ``complete=False``
+        and ``truncated_by`` set (``raise_on_truncation`` optionally
+        turns budget truncation into
+        :class:`~repro.errors.ExplorationLimitExceeded`).
+    canonicalizer:
+        State-keying strategy; defaults to a fresh
+        :class:`~repro.runtime.canonical.TrivialCanonicalizer` (compact
+        encoding, no symmetry).  Must have been built for this
+        ``system``'s scheduler.
     """
     scheduler = system.scheduler
     if scheduler.record_trace:
         # Tolerate it, but stop accumulating events from here on.
         scheduler.record_trace = False
+    if canonicalizer is None:
+        canonicalizer = TrivialCanonicalizer(scheduler)
 
     initial = scheduler.capture_state()
-    visited = {initial}
-    # Each frame: (captured state, depth, parent link).  The link is a
-    # structure-sharing chain (parent_link, pid) so path reconstruction
-    # costs O(depth) only when a violation is actually found — storing a
-    # schedule tuple per frame would cost O(depth^2) memory overall.
-    stack: List[Tuple[object, int, Optional[tuple]]] = [(initial, 0, None)]
+    initial_key, initial_raw = canonicalizer.key_of()
+    #: canonical key -> raw key of the representative that claimed it.
+    visited: Dict[CanonicalKey, CanonicalKey] = {initial_key: initial_raw}
+    # Each frame: (captured state, depth, parent link, raw key).  The
+    # link is a structure-sharing chain (parent_link, pid) so path
+    # reconstruction costs O(depth) only when a violation is actually
+    # found — storing a schedule tuple per frame would cost O(depth^2)
+    # memory overall.
+    stack: List[Tuple[object, int, Optional[tuple], CanonicalKey]] = [
+        (initial, 0, None, initial_raw)
+    ]
     result = ExplorationResult(
-        complete=True, states_explored=0, events_executed=0, max_depth_reached=0
+        complete=True,
+        states_explored=0,
+        events_executed=0,
+        max_depth_reached=0,
+        group_size=canonicalizer.group_order,
     )
+    started = time.perf_counter()
 
     def unwind(link: Optional[tuple]) -> Tuple[ProcessId, ...]:
         path: List[ProcessId] = []
@@ -123,7 +212,7 @@ def explore(
         return tuple(reversed(path))
 
     while stack:
-        state, depth, link = stack.pop()
+        state, depth, link, state_raw = stack.pop()
         scheduler.restore_state(state)
         result.states_explored += 1
         result.max_depth_reached = max(result.max_depth_reached, depth)
@@ -132,8 +221,8 @@ def explore(
         if violation is not None:
             result.violation = violation
             result.violation_schedule = unwind(link)
-            result.complete = False
-            return result
+            result.truncated_by = "violation"
+            break
 
         enabled = scheduler.enabled_pids()
         if not enabled:
@@ -145,30 +234,95 @@ def explore(
             continue
 
         if depth >= max_depth:
-            result.complete = False
             result.truncated_by = "max_depth"
             continue
 
+        budget_exhausted = False
         for pid in enabled:
             scheduler.restore_state(state)
             scheduler.step(pid)
             result.events_executed += 1
-            successor = scheduler.capture_state()
-            if successor in visited:
+            key, raw = canonicalizer.key_of()
+            step_link = (link, pid)
+            if raw == state_raw:
+                # Inert self-loop: the step changed nothing the
+                # canonicalizer records — no memory effect, identical
+                # footprints and flags — so the successor is bisimilar
+                # to the popped state, and its steps are invisible to
+                # (hence commute with) every other process.  Accelerate:
+                # keep stepping this process until something observable
+                # changes; only that exit state is a new quotient edge.
+                # A repeated local state inside the loop is a genuine
+                # livelock within the class — nothing new is reachable.
+                seen_locals = {scheduler.runtime(pid).state}
+                while raw == state_raw and scheduler.runtime(pid).enabled:
+                    scheduler.step(pid)
+                    result.events_executed += 1
+                    step_link = (step_link, pid)
+                    key, raw = canonicalizer.key_of()
+                    local = scheduler.runtime(pid).state
+                    if raw == state_raw:
+                        if local in seen_locals:
+                            break
+                        seen_locals.add(local)
+                if raw == state_raw:
+                    continue
+            claimed = visited.get(key)
+            if claimed is not None:
+                if claimed is not raw and claimed != raw:
+                    result.orbits_collapsed += 1
                 continue
             if len(visited) >= max_states:
-                result.complete = False
                 result.truncated_by = "max_states"
-                continue
-            visited.add(successor)
-            stack.append((successor, depth + 1, (link, pid)))
+                budget_exhausted = True
+                break
+            visited[key] = raw
+            # Capture only states that will actually be explored —
+            # visited successors above never pay for a capture.
+            stack.append((scheduler.capture_state(), depth + 1, step_link, raw))
+        if budget_exhausted:
+            break
 
-    if raise_on_truncation and not result.complete and result.violation is None:
+    result.complete = result.truncated_by is None
+    result.wall_seconds = time.perf_counter() - started
+    result.peak_visited = len(visited)
+    if raise_on_truncation and result.truncated_by in ("max_states", "max_depth"):
         raise ExplorationLimitExceeded(
             f"exploration truncated by {result.truncated_by}; "
             f"{result.states_explored} states visited"
         )
     return result
+
+
+def explore_symmetry_reduced(
+    system: System,
+    invariant: Invariant,
+    max_states: int = 500_000,
+    max_depth: int = 10_000,
+    raise_on_truncation: bool = False,
+    footprints: bool = True,
+    max_group: int = 720,
+) -> ExplorationResult:
+    """:func:`explore` under the strongest sound canonicalizer.
+
+    Builds a :func:`~repro.runtime.canonical.build_canonicalizer` for
+    ``system`` — symmetry quotient plus per-automaton footprints where
+    the automata opt in, transparently falling back to plain compact
+    encoding where they don't — and runs the same walk.  ``invariant``
+    must be symmetric (see :func:`explore`); the stock invariants in
+    this module all are.
+    """
+    canonicalizer = build_canonicalizer(
+        system, footprints=footprints, max_group=max_group
+    )
+    return explore(
+        system,
+        invariant,
+        max_states=max_states,
+        max_depth=max_depth,
+        raise_on_truncation=raise_on_truncation,
+        canonicalizer=canonicalizer,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -185,7 +339,7 @@ def mutual_exclusion_invariant(system: System) -> Optional[str]:
     """
     inside = [
         pid
-        for pid, rt in sorted(system.scheduler._runtimes.items())
+        for pid, rt in system.scheduler.runtimes()
         if not rt.halted and rt.automaton.in_critical_section(rt.state)
     ]
     if len(inside) > 1:

@@ -17,7 +17,7 @@ tables.  This module round-trips traces through JSON:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.memory.records import ConsensusRecord, RenamingRecord
@@ -176,6 +176,24 @@ def load_trace(path) -> Trace:
 def schedule_of(trace: Trace) -> List[ProcessId]:
     """The schedule (pid sequence) that produced ``trace``."""
     return [event.pid for event in trace.events]
+
+
+def replay_schedule(
+    system: System,
+    schedule: Sequence[ProcessId],
+    max_steps: Optional[int] = None,
+) -> Trace:
+    """Execute a bare pid ``schedule`` on a freshly built ``system``.
+
+    The counterpart of :func:`replay` for schedules that did not come
+    with a recorded trace — in particular
+    ``ExplorationResult.violation_schedule``, which the explorer reports
+    relative to the system's initial state.  Returns the resulting trace
+    (build ``system`` with ``record_trace=True`` to inspect it).
+    """
+    adversary = FixedScheduleAdversary(list(schedule))
+    limit = len(schedule) + 1 if max_steps is None else max_steps
+    return system.run(adversary, max_steps=limit)
 
 
 def replay(trace: Trace, system: System, strict: bool = True) -> Trace:

@@ -24,7 +24,7 @@ reproduction needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError, SchedulingError
 from repro.memory.anonymous import AnonymousMemory, MemoryView
@@ -123,6 +123,15 @@ class Scheduler:
             return self._runtimes[pid]
         except KeyError:
             raise SchedulingError(f"unknown process id {pid!r}") from None
+
+    def runtimes(self) -> Iterator[Tuple[ProcessId, ProcessRuntime]]:
+        """All ``(pid, runtime)`` pairs in ascending pid order.
+
+        The supported way for invariants and inspection code to sweep
+        every process (read-only use expected) — callers should not
+        reach into the private runtime table.
+        """
+        return iter(sorted(self._runtimes.items()))
 
     def enabled_pids(self) -> Tuple[ProcessId, ...]:
         """Processes that can take a step (not halted, not crashed)."""

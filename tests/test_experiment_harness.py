@@ -47,3 +47,52 @@ class TestHarness:
         harness.main(["E5"])
         out = capsys.readouterr().out
         assert "E5" in out and "reproduced" in out
+
+
+class TestExplorationBench:
+    def test_full_instance_list_covers_the_recorded_trajectory(self, harness):
+        full = [label for label, *_ in harness._bench_instances(quick=False)]
+        quick = [label for label, *_ in harness._bench_instances(quick=True)]
+        assert len(full) >= 6
+        assert set(quick) <= set(full)
+        assert any("m=7" in label for label in full)
+        assert any("consensus n=3" in label for label in full)
+
+    def test_check_baseline_flags_regressions(self, harness, tmp_path):
+        def doc(states, verdict="exhaustive-ok"):
+            return {
+                "instances": [
+                    {
+                        "instance": "mutex m=3 (n=2)",
+                        "seed": {"verdict": "exhaustive-ok", "states": 1747},
+                        "canonical": {"verdict": verdict, "states": states},
+                    }
+                ]
+            }
+
+        baseline = tmp_path / "baseline.json"
+        import json
+
+        baseline.write_text(json.dumps(doc(771)))
+        assert harness.check_baseline(doc(771), baseline) == []
+        assert harness.check_baseline(doc(770), baseline) == []
+        problems = harness.check_baseline(doc(900), baseline)
+        assert problems and "regressed" in problems[0]
+        problems = harness.check_baseline(doc(771, verdict="bounded-ok"), baseline)
+        assert problems and "verdict changed" in problems[0]
+
+    def test_quick_bench_writes_schema_v1(self, harness, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        import json
+
+        code = harness.main(["--bench", "--quick", "--bench-out", str(out)])
+        capsys.readouterr()
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro.bench_explore/v1"
+        assert document["rng_seed"] == 5
+        for record in document["instances"]:
+            assert record["seed"]["verdict"] == record["canonical"]["verdict"]
+            assert (
+                record["canonical"]["states"] <= record["seed"]["states"]
+            )
