@@ -24,6 +24,7 @@ See docs/EXPLORATION.md for the file format.
 
 import argparse
 import json
+import os
 import sys
 import time
 from math import gcd
@@ -56,6 +57,7 @@ from repro.runtime.adversary import (
     StagedObstructionAdversary,
     standard_adversaries,
 )
+from repro.runtime.backends import resolve_backend
 from repro.runtime.canonical import TrivialCanonicalizer, build_canonicalizer
 from repro.runtime.exploration import (
     agreement_invariant,
@@ -452,17 +454,25 @@ def _bench_instances(quick):
     return instances
 
 
+def _rate(res):
+    """Human-readable throughput; honest about untimeable walks."""
+    rate = res.states_per_second
+    return "n/a" if rate is None else f"{rate:,.0f}/s"
+
+
 def _engine_record(res, canonicalizer=None):
     verdict = "violation" if not res.ok else (
         "exhaustive-ok" if res.complete else "bounded-ok"
     )
+    rate = res.states_per_second
     record = {
         "verdict": verdict,
         "states": res.states_explored,
         "events": res.events_executed,
         "truncated_by": res.truncated_by,
         "wall_seconds": round(res.wall_seconds, 3),
-        "states_per_second": round(res.states_per_second, 1),
+        # None (JSON null) when the walk finished below timer resolution.
+        "states_per_second": None if rate is None else round(rate, 1),
         "peak_visited": res.peak_visited,
     }
     if canonicalizer is not None:
@@ -472,8 +482,21 @@ def _engine_record(res, canonicalizer=None):
     return record
 
 
-def exploration_benchmark(quick=False, rng_seed=5):
-    """Run every instance under both engines; return the JSON document."""
+def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2):
+    """Run every instance under both engines; return the JSON document.
+
+    With ``backend="parallel"`` each instance additionally runs the
+    canonical explorer on a
+    :class:`~repro.runtime.backends.ParallelBackend` with ``workers``
+    worker processes; the record asserts verdict identity against the
+    serial canonical run and stores the measured wall-clock speedup
+    (``host_cpus`` is recorded alongside, because on a single-core host
+    the honest speedup is necessarily < 1 — the parallel run pays IPC
+    with no extra hardware to spend it on).
+    """
+    parallel_backend = None
+    if backend == "parallel":
+        parallel_backend = resolve_backend("parallel", workers)
     rows = []
     records = []
     for label, factory, invariant, overrides in _bench_instances(quick):
@@ -492,34 +515,70 @@ def exploration_benchmark(quick=False, rng_seed=5):
         assert seed_res.ok == reduced_res.ok, label
         reduction = seed_res.states_explored / reduced_res.states_explored
         newly_tractable = (not seed_res.complete) and reduced_res.complete
-        records.append({
+        record = {
             "instance": label,
             "budgets": budgets,
             "seed": _engine_record(seed_res),
             "canonical": _engine_record(reduced_res, canonicalizer),
             "reduction_factor": round(reduction, 2),
             "newly_tractable": newly_tractable,
-        })
+        }
+        row_tail = []
+        if parallel_backend is not None:
+            system = factory()
+            par_canonicalizer = build_canonicalizer(system)
+            par_res = explore(
+                system, invariant, canonicalizer=par_canonicalizer,
+                backend=parallel_backend, **budgets,
+            )
+            par_verdict = "violation" if not par_res.ok else (
+                "exhaustive-ok" if par_res.complete else "bounded-ok"
+            )
+            serial_verdict = record["canonical"]["verdict"]
+            assert par_verdict == serial_verdict, (
+                f"{label}: parallel verdict {par_verdict} "
+                f"!= serial {serial_verdict}"
+            )
+            par_record = _engine_record(par_res, par_canonicalizer)
+            par_record["backend"] = par_res.backend
+            par_record["workers"] = par_res.workers
+            par_record["speedup_vs_serial"] = (
+                round(reduced_res.wall_seconds / par_res.wall_seconds, 2)
+                if par_res.wall_seconds > 0 else None
+            )
+            record["parallel"] = par_record
+            row_tail = [f"x{par_record['speedup_vs_serial']}"]
+        records.append(record)
         rows.append([
             label,
             seed_res.summary().split(",")[0],
             reduced_res.summary().split(",")[0],
             f"x{reduction:.2f}",
-            f"{reduced_res.states_per_second:,.0f}/s",
+            _rate(reduced_res),
             "NEWLY TRACTABLE" if newly_tractable else "",
-        ])
+        ] + row_tail)
+    headers = ["instance", "seed explorer", "canonical explorer", "reduction",
+               "canonical rate", ""]
+    if parallel_backend is not None:
+        headers.append(f"parallel x{parallel_backend.workers} speedup")
     print_table(
-        ["instance", "seed explorer", "canonical explorer", "reduction",
-         "canonical rate", ""],
+        headers,
         rows,
         title="E14d — symmetry-reduced exploration vs seed explorer",
     )
+    generated = "python benchmarks/run_experiments.py --bench"
+    if quick:
+        generated += " --quick"
+    if parallel_backend is not None:
+        generated += f" --backend parallel --workers {parallel_backend.workers}"
     return {
-        "schema": "repro.bench_explore/v1",
-        "generated_by": "python benchmarks/run_experiments.py --bench"
-                        + (" --quick" if quick else ""),
+        "schema": "repro.bench_explore/v2",
+        "generated_by": generated,
         "rng_seed": rng_seed,
         "quick": quick,
+        "backend": backend,
+        "workers": parallel_backend.workers if parallel_backend else 1,
+        "host_cpus": os.cpu_count(),
         "budgets": dict(BENCH_BUDGETS),
         "instances": records,
     }
@@ -598,10 +657,23 @@ def main(argv=None):
         help="RNG seed for the randomised E14 workloads (default: 5); "
              "recorded in the bench JSON",
     )
+    parser.add_argument(
+        "--backend", choices=("serial", "parallel"), default="serial",
+        help="with --bench: also run the canonical explorer on this "
+             "exploration backend and record per-backend wall time "
+             "(default: serial only)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="with --backend parallel: worker process count (default: 4)",
+    )
     args = parser.parse_args(argv)
 
     if args.bench:
-        document = exploration_benchmark(quick=args.quick, rng_seed=args.seed)
+        document = exploration_benchmark(
+            quick=args.quick, rng_seed=args.seed,
+            backend=args.backend, workers=args.workers,
+        )
         out = args.bench_out
         if out is None and not args.quick:
             out = Path(__file__).parent / "BENCH_explore.json"

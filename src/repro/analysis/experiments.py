@@ -5,12 +5,21 @@ run it under a schedule, check the theorem's properties on the trace,
 collect metrics, and aggregate over a battery of namings and adversaries.
 :func:`sweep` is that loop; :class:`SweepResult` is what the benchmark
 tables are printed from.
+
+The (naming × adversary) cells of a sweep are independent runs, so the
+loop is expressed as an ordered ``map`` over an executor — the same
+serial/parallel abstraction the exploration backends use
+(:class:`~repro.runtime.backends.SerialExecutor` /
+:class:`~repro.runtime.backends.ProcessExecutor`).  Every adversary's
+``reset()`` reseeds from its stored seed, so cells are independent of
+execution order and the executor choice changes wall time only, never
+the records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunMetrics, collect_metrics
 from repro.errors import SpecViolation
@@ -78,6 +87,59 @@ class SweepResult:
         return "\n".join(lines)
 
 
+#: Worker-process payload for parallel sweeps: (algorithm_factory,
+#: inputs, cells, checkers_factory, max_steps).  Planted once per worker
+#: via the executor's initializer hook; under the default ``fork`` start
+#: method it is inherited, not pickled, so closure-based factories (the
+#: house style in benchmarks) keep working in parallel sweeps.
+_SweepPayload = Tuple[
+    Callable[[], Algorithm],
+    Any,
+    Tuple[Tuple[NamingAssignment, Adversary], ...],
+    Callable[..., Iterable[PropertyChecker]],
+    int,
+]
+
+_SWEEP: Optional[_SweepPayload] = None
+
+
+def _init_sweep_worker(payload: _SweepPayload) -> None:
+    global _SWEEP
+    _SWEEP = payload
+
+
+def _run_sweep_cell(index: int) -> RunRecord:
+    """Run one (naming, adversary) cell of the planted sweep payload.
+
+    A module-level function of the cell *index* only, so the executor's
+    task traffic is one int per cell; everything heavy rides in the
+    per-process payload.  Depends on nothing mutable across calls —
+    adversaries reseed in ``system.run`` — so serial and parallel
+    executors produce identical records in identical order.
+    """
+    assert _SWEEP is not None, "sweep worker initializer did not run"
+    algorithm_factory, inputs, cells, checkers_factory, max_steps = _SWEEP
+    naming, adversary = cells[index]
+    system = System(algorithm_factory(), inputs, naming=naming)
+    trace = system.run(adversary, max_steps=max_steps)
+    record = RunRecord(
+        naming=naming.describe(),
+        adversary=adversary.describe(),
+        trace=trace,
+        metrics=collect_metrics(trace),
+    )
+    try:
+        checkers = checkers_factory(adversary)
+    except TypeError:
+        checkers = checkers_factory()
+    for checker in checkers:
+        try:
+            checker.check(trace)
+        except SpecViolation as exc:
+            record.violations.append(exc)
+    return record
+
+
 def sweep(
     algorithm_factory: Callable[[], Algorithm],
     inputs,
@@ -85,6 +147,7 @@ def sweep(
     adversaries: Sequence[Adversary],
     checkers_factory: Callable[..., Iterable[PropertyChecker]],
     max_steps: int = 200_000,
+    executor=None,
 ) -> SweepResult:
     """Run every naming × adversary combination and check each trace.
 
@@ -97,28 +160,31 @@ def sweep(
     really does livelock there, which is a feature of the model, not a
     bug).  Violations are *collected*, not raised — impossibility-side
     sweeps count them.
+
+    ``executor`` fans the independent cells out:
+    :class:`~repro.runtime.backends.SerialExecutor` (the default) keeps
+    the historical in-process loop; a
+    :class:`~repro.runtime.backends.ProcessExecutor` runs cells across
+    worker processes with bit-identical records (see module docstring).
     """
+    from repro.runtime.backends import SerialExecutor
+
+    cells = tuple(
+        (naming, adversary) for naming in namings for adversary in adversaries
+    )
+    payload: _SweepPayload = (
+        algorithm_factory, inputs, cells, checkers_factory, max_steps,
+    )
+    if executor is None:
+        executor = SerialExecutor()
+    records = executor.map(
+        _run_sweep_cell,
+        range(len(cells)),
+        initializer=_init_sweep_worker,
+        initargs=(payload,),
+    )
     result = SweepResult(algorithm=algorithm_factory().name)
-    for naming in namings:
-        for adversary in adversaries:
-            system = System(algorithm_factory(), inputs, naming=naming)
-            trace = system.run(adversary, max_steps=max_steps)
-            record = RunRecord(
-                naming=naming.describe(),
-                adversary=adversary.describe(),
-                trace=trace,
-                metrics=collect_metrics(trace),
-            )
-            try:
-                checkers = checkers_factory(adversary)
-            except TypeError:
-                checkers = checkers_factory()
-            for checker in checkers:
-                try:
-                    checker.check(trace)
-                except SpecViolation as exc:
-                    record.violations.append(exc)
-            result.records.append(record)
+    result.records.extend(records)
     return result
 
 

@@ -232,6 +232,18 @@ class AnonymousMemory:
                 f"known ids: {sorted(self._views)}"
             ) from None
 
+    def permutation_table(self) -> Dict[ProcessId, Tuple[PhysicalIndex, ...]]:
+        """Every process's view-to-physical permutation, as plain data.
+
+        The pure-value extract of the naming assignment: what the
+        transition kernel (:mod:`repro.runtime.kernel`) needs to resolve
+        private register numbers without holding live views, and what a
+        worker process receives instead of the memory object itself.
+        """
+        return {
+            pid: tuple(view.permutation) for pid, view in self._views.items()
+        }
+
     def install_audit(self) -> MemoryAudit:
         """Install and return a :class:`MemoryAudit` over this memory.
 

@@ -1,0 +1,661 @@
+"""Pluggable exploration backends over the value-state kernel.
+
+PR 2 made the walk symmetry-reduced; this module makes it *retargetable*.
+An :class:`ExplorationBackend` receives an :class:`ExplorationTask` — the
+pure ``(instance, initial state, invariant, canonicalizer, budgets)``
+value — and returns an
+:class:`~repro.runtime.exploration.ExplorationResult`.  Nothing in a task
+is live: no scheduler, no memory, no locks.  Two backends ship:
+
+:class:`SerialBackend`
+    The seed explorer's depth-first walk, re-expressed over
+    :func:`~repro.runtime.kernel.step_value` instead of
+    restore → step → capture on a shared scheduler.  Same visit order,
+    same dedup rule, same acceleration, same counters — bit-identical
+    results (the differential tests in
+    ``tests/runtime/test_backends.py`` pin this) — but the system is
+    never mutated and successor capture is free value passing.
+
+:class:`ParallelBackend`
+    A level-synchronised frontier-batch BFS over ``multiprocessing``
+    workers.  Each worker holds the pickled :class:`StepInstance`,
+    canonicalizer and invariant (planted once per pool via the
+    initializer) and expands a deterministic contiguous chunk of the
+    frontier locally — stepping, canonicalizing and invariant-checking
+    without coordinator round-trips.  The coordinator merges chunk
+    results **in chunk order** into a sharded visited table keyed by
+    content-addressed canonical keys (:func:`zlib.crc32` sharding —
+    never Python's per-process-randomised ``hash``), so the set of
+    states explored, the verdict, and the reported first violation (in
+    (level, chunk, offset) order) are all independent of worker timing.
+    Violation schedules are reconstructed from per-level parent links
+    and re-validated by a pure replay before being reported, so they
+    replay on a fresh system via
+    :func:`repro.runtime.replay.replay_schedule` exactly like serial
+    ones.
+
+    BFS and DFS visit the same quotient of reachable states, so
+    *complete* runs agree with serial bit-for-bit on the verdict, state
+    count and stuck count; runs truncated by a budget cut different
+    under-approximations (depth-first spine vs breadth-first ball) and
+    agree on the verdict reached.
+
+The executor pair (:class:`SerialExecutor` / :class:`ProcessExecutor`)
+is the same idea one level up — a deterministic ``map`` used by the
+sweep harness in :mod:`repro.analysis.experiments` to fan independent
+(naming × adversary × seed) cells across cores.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+from zlib import crc32
+
+from repro.errors import ConfigurationError
+from repro.runtime.canonical import Canonicalizer, CanonicalKey
+from repro.runtime.exploration import ExplorationResult
+from repro.runtime.kernel import (
+    GlobalState,
+    StateView,
+    StepInstance,
+    all_settled,
+    enabled_pids,
+    step_value,
+)
+from repro.types import ProcessId
+
+#: An invariant over the duck-typed system surface (live ``System`` or
+#: value :class:`~repro.runtime.kernel.StateView`).
+Invariant = Callable[[Any], Optional[str]]
+
+
+@dataclass
+class ExplorationTask:
+    """Everything a backend needs to run one bounded exploration.
+
+    A pure value: picklable, scheduler-free, reusable.  ``initial`` is
+    the state the walk starts from (usually the system's initial state);
+    the canonicalizer supplies the dedup keys and must have been built
+    for the same instance.
+    """
+
+    instance: StepInstance
+    initial: GlobalState
+    invariant: Invariant
+    canonicalizer: Canonicalizer
+    max_states: int
+    max_depth: int
+
+
+class ExplorationBackend(Protocol):
+    """The strategy interface :func:`repro.runtime.exploration.explore`
+    delegates the actual walk to."""
+
+    #: Short name recorded in results and benchmark records.
+    name: str
+    #: Degree of parallelism (1 for serial backends).
+    workers: int
+
+    def run(self, task: ExplorationTask) -> ExplorationResult:
+        """Explore ``task`` and return the outcome."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Serial backend — the seed DFS over value states
+# ---------------------------------------------------------------------------
+
+
+class SerialBackend:
+    """Depth-first search over value states; the reference semantics.
+
+    Visit order, deduplication, inert-self-loop acceleration, budget
+    handling and all counters match the historical scheduler-mutating
+    explorer exactly — only the mechanics changed (pure
+    :func:`~repro.runtime.kernel.step_value` transitions instead of
+    restore/step/capture, :class:`~repro.runtime.kernel.StateView`
+    invariant evaluation instead of a live system).
+    """
+
+    name = "serial"
+    workers = 1
+
+    def run(self, task: ExplorationTask) -> ExplorationResult:
+        instance = task.instance
+        canonicalizer = task.canonicalizer
+        invariant = task.invariant
+        max_states = task.max_states
+        max_depth = task.max_depth
+        slot_of = instance.slot_of
+
+        initial = task.initial
+        initial_key, initial_raw = canonicalizer.key_of_state(initial)
+        #: canonical key -> raw key of the representative that claimed it.
+        visited: Dict[CanonicalKey, CanonicalKey] = {initial_key: initial_raw}
+        # Each frame: (state, depth, parent link, raw key).  The link is
+        # a structure-sharing chain (parent_link, pid) so path
+        # reconstruction costs O(depth) only when a violation is found.
+        stack: List[
+            Tuple[GlobalState, int, Optional[Tuple[Any, ProcessId]], bytes]
+        ] = [(initial, 0, None, initial_raw)]
+        result = ExplorationResult(
+            complete=True,
+            states_explored=0,
+            events_executed=0,
+            max_depth_reached=0,
+            group_size=canonicalizer.group_order,
+        )
+        started = time.perf_counter()
+
+        def unwind(
+            link: Optional[Tuple[Any, ProcessId]]
+        ) -> Tuple[ProcessId, ...]:
+            path: List[ProcessId] = []
+            while link is not None:
+                link, pid = link
+                path.append(pid)
+            return tuple(reversed(path))
+
+        while stack:
+            state, depth, link, state_raw = stack.pop()
+            result.states_explored += 1
+            if depth > result.max_depth_reached:
+                result.max_depth_reached = depth
+
+            violation = invariant(StateView(instance, state))
+            if violation is not None:
+                result.violation = violation
+                result.violation_schedule = unwind(link)
+                result.truncated_by = "violation"
+                break
+
+            enabled = enabled_pids(instance, state)
+            if not enabled:
+                if not all_settled(state):
+                    result.stuck_states += 1
+                continue
+
+            if depth >= max_depth:
+                result.truncated_by = "max_depth"
+                continue
+
+            budget_exhausted = False
+            for pid in enabled:
+                child = step_value(instance, state, pid)
+                result.events_executed += 1
+                key, raw = canonicalizer.key_of_state(child)
+                step_link: Tuple[Any, ProcessId] = (link, pid)
+                if raw == state_raw:
+                    # Inert self-loop: the step changed nothing the
+                    # canonicalizer records — no memory effect, identical
+                    # footprints and flags — so the successor is
+                    # bisimilar to the popped state and its steps commute
+                    # with every other process.  Accelerate: keep
+                    # stepping this process until something observable
+                    # changes; only that exit state is a new quotient
+                    # edge.  A repeated local state inside the loop is a
+                    # genuine livelock within the class — nothing new is
+                    # reachable.
+                    slot = slot_of[pid]
+                    seen_locals = {child[1][slot][1]}
+                    while raw == state_raw and not (
+                        child[1][slot][2] or child[1][slot][3]
+                    ):
+                        child = step_value(instance, child, pid)
+                        result.events_executed += 1
+                        step_link = (step_link, pid)
+                        key, raw = canonicalizer.key_of_state(child)
+                        local = child[1][slot][1]
+                        if raw == state_raw:
+                            if local in seen_locals:
+                                break
+                            seen_locals.add(local)
+                    if raw == state_raw:
+                        continue
+                claimed = visited.get(key)
+                if claimed is not None:
+                    if claimed != raw:
+                        result.orbits_collapsed += 1
+                    continue
+                if len(visited) >= max_states:
+                    result.truncated_by = "max_states"
+                    budget_exhausted = True
+                    break
+                visited[key] = raw
+                stack.append((child, depth + 1, step_link, raw))
+            if budget_exhausted:
+                break
+
+        result.complete = result.truncated_by is None
+        result.wall_seconds = time.perf_counter() - started
+        result.peak_visited = len(visited)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Parallel backend — frontier-batch BFS over multiprocessing workers
+# ---------------------------------------------------------------------------
+
+#: Worker-process payload planted by the pool initializer: the
+#: (instance, canonicalizer, invariant, emitted-keys set) quadruple every
+#: chunk expansion reuses.  One module-level slot per worker process; the
+#: set is private to that process.
+_WorkerPayload = Tuple[StepInstance, Canonicalizer, Invariant, Set[CanonicalKey]]
+
+_WORKER: Optional[_WorkerPayload] = None
+
+
+def _init_worker(payload: _WorkerPayload) -> None:
+    global _WORKER
+    _WORKER = payload
+
+
+#: One frontier chunk shipped to a worker: (check_only, entries), where
+#: each entry is (state, raw key of that state).
+_Chunk = Tuple[bool, List[Tuple[GlobalState, bytes]]]
+
+#: What a worker returns per chunk, all offsets chunk-local:
+#: (violations [(offset, message)], stuck count, events executed,
+#:  expandable-at-max-depth count,
+#:  successors [(offset, pid path, canonical key, raw key, state)]).
+_ChunkResult = Tuple[
+    List[Tuple[int, str]],
+    int,
+    int,
+    int,
+    List[Tuple[int, Tuple[ProcessId, ...], CanonicalKey, bytes, GlobalState]],
+]
+
+
+def _expand_chunk(chunk: _Chunk) -> _ChunkResult:
+    """Check and expand one frontier chunk inside a worker process."""
+    assert _WORKER is not None, "worker pool initializer did not run"
+    return _expand_chunk_with(_WORKER, chunk)
+
+
+def _expand_chunk_with(payload: _WorkerPayload, chunk: _Chunk) -> _ChunkResult:
+    """Check and expand one frontier chunk.
+
+    Depends only on the payload and the chunk — never on which process
+    (a pool worker, or the coordinator inlining a small frontier) runs
+    it or when.  The per-successor logic (acceleration, keying) mirrors
+    :class:`SerialBackend` exactly.
+
+    The ``emitted`` set is a process-local *return filter*: once this
+    process has shipped a canonical key to the coordinator, that key is
+    in the coordinator's visited table (either accepted or already
+    claimed), so re-shipping its heavy (state, key) tuple is provably
+    useless and the successor is dropped at the source.  Most successors
+    in a dense quotient graph are duplicates, so this cuts the dominant
+    IPC cost without affecting the set of states explored.  (It is why
+    ``orbits_collapsed`` is a per-backend lower bound rather than a
+    cross-backend invariant — duplicate *encounters* are counted where
+    they are cheapest to detect.)
+    """
+    instance, canonicalizer, invariant, emitted = payload
+    slot_of = instance.slot_of
+    check_only, entries = chunk
+    violations: List[Tuple[int, str]] = []
+    stuck = 0
+    events = 0
+    expandable = 0
+    successors: List[
+        Tuple[int, Tuple[ProcessId, ...], CanonicalKey, bytes, GlobalState]
+    ] = []
+    for offset, (state, state_raw) in enumerate(entries):
+        violation = invariant(StateView(instance, state))
+        if violation is not None:
+            violations.append((offset, violation))
+            continue
+        enabled = enabled_pids(instance, state)
+        if not enabled:
+            if not all_settled(state):
+                stuck += 1
+            continue
+        if check_only:
+            expandable += 1
+            continue
+        for pid in enabled:
+            child = step_value(instance, state, pid)
+            events += 1
+            key, raw = canonicalizer.key_of_state(child)
+            path: Tuple[ProcessId, ...] = (pid,)
+            if raw == state_raw:
+                # Same inert self-loop acceleration as the serial DFS.
+                slot = slot_of[pid]
+                seen_locals = {child[1][slot][1]}
+                while raw == state_raw and not (
+                    child[1][slot][2] or child[1][slot][3]
+                ):
+                    child = step_value(instance, child, pid)
+                    events += 1
+                    path = path + (pid,)
+                    key, raw = canonicalizer.key_of_state(child)
+                    local = child[1][slot][1]
+                    if raw == state_raw:
+                        if local in seen_locals:
+                            break
+                        seen_locals.add(local)
+                if raw == state_raw:
+                    continue
+            if key in emitted:
+                continue
+            emitted.add(key)
+            successors.append((offset, path, key, raw, child))
+    return violations, stuck, events, expandable, successors
+
+
+class ParallelBackend:
+    """Frontier-batch BFS across ``multiprocessing`` workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (>= 1).
+    shards:
+        Number of visited-table shards; keys route by
+        ``crc32(key) % shards``.  Sharding bounds per-dict size and is
+        the seam a future distributed frontier partitions on; any value
+        yields identical results.
+    chunks_per_worker:
+        Frontier chunks per worker per level — more chunks smooth load
+        imbalance, fewer cut per-chunk overhead.
+    inline_frontier:
+        Frontier sizes below this are expanded in the coordinator
+        itself (same pure chunk function, zero IPC) — the narrow BFS
+        ramp-up/drain levels would otherwise pay a round-trip to ship a
+        handful of states.  Results are identical either way.
+    mp_context:
+        ``multiprocessing`` start-method context; default is the
+        platform default (``fork`` on Linux, which also lets
+        closure-based invariants ride along un-pickled).
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        shards: int = 64,
+        chunks_per_worker: int = 4,
+        inline_frontier: int = 64,
+        mp_context: Optional[Any] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be a positive int, got {workers!r}"
+            )
+        self.workers = workers
+        self.shards = shards
+        self.chunks_per_worker = chunks_per_worker
+        self.inline_frontier = inline_frontier
+        self._mp_context = mp_context
+
+    def run(self, task: ExplorationTask) -> ExplorationResult:
+        instance = task.instance
+        canonicalizer = task.canonicalizer
+        started = time.perf_counter()
+        initial_key, initial_raw = canonicalizer.key_of_state(task.initial)
+        shard_count = self.shards
+        shards: List[Dict[CanonicalKey, bytes]] = [
+            {} for _ in range(shard_count)
+        ]
+        shards[crc32(initial_key) % shard_count][initial_key] = initial_raw
+        visited_total = 1
+        result = ExplorationResult(
+            complete=True,
+            states_explored=0,
+            events_executed=0,
+            max_depth_reached=0,
+            group_size=canonicalizer.group_order,
+        )
+        #: Level-indexed parent links: levels[d][i] = (index of the
+        #: parent in level d-1, pid suffix appended by that edge) for the
+        #: i-th frontier state of level d.  O(states) memory total,
+        #: O(depth) reconstruction on demand.
+        levels: List[List[Tuple[int, Tuple[ProcessId, ...]]]] = [[(-1, ())]]
+        frontier: List[Tuple[GlobalState, bytes]] = [
+            (task.initial, initial_raw)
+        ]
+
+        context = self._mp_context or get_context()
+        # One payload object: each pool worker copies it (with an empty
+        # emitted-keys set) at pool creation; the coordinator keeps its
+        # own copy for inlined small frontiers.
+        payload: _WorkerPayload = (
+            instance,
+            canonicalizer,
+            task.invariant,
+            set(),
+        )
+        with context.Pool(
+            self.workers, initializer=_init_worker, initargs=(payload,)
+        ) as pool:
+            depth = 0
+            while frontier:
+                check_only = depth >= task.max_depth
+                result.states_explored += len(frontier)
+                result.max_depth_reached = depth
+                if len(frontier) < self.inline_frontier:
+                    chunks: List[_Chunk] = [(check_only, frontier)]
+                    outputs = [_expand_chunk_with(payload, chunks[0])]
+                else:
+                    chunks = self._partition(frontier, check_only)
+                    outputs = pool.map(_expand_chunk, chunks)
+
+                # -- merge, strictly in chunk order --------------------
+                chunk_starts = self._chunk_starts(chunks)
+                first_violation: Optional[Tuple[int, str]] = None
+                expandable_total = 0
+                for start, (violations, stuck, events, expandable, _) in zip(
+                    chunk_starts, outputs
+                ):
+                    result.events_executed += events
+                    result.stuck_states += stuck
+                    expandable_total += expandable
+                    if violations and first_violation is None:
+                        offset, message = violations[0]
+                        first_violation = (start + offset, message)
+                if first_violation is not None:
+                    index, message = first_violation
+                    schedule = _reconstruct_schedule(levels, depth, index)
+                    _validate_schedule(task, schedule, message)
+                    result.violation = message
+                    result.violation_schedule = schedule
+                    result.truncated_by = "violation"
+                    break
+                if check_only:
+                    if expandable_total:
+                        result.truncated_by = "max_depth"
+                    break
+
+                new_frontier: List[Tuple[GlobalState, bytes]] = []
+                new_links: List[Tuple[int, Tuple[ProcessId, ...]]] = []
+                budget_exhausted = False
+                for start, (_, _, _, _, successors) in zip(
+                    chunk_starts, outputs
+                ):
+                    for offset, path, key, raw, child in successors:
+                        shard = shards[crc32(key) % shard_count]
+                        claimed = shard.get(key)
+                        if claimed is not None:
+                            if claimed != raw:
+                                result.orbits_collapsed += 1
+                            continue
+                        if visited_total >= task.max_states:
+                            result.truncated_by = "max_states"
+                            budget_exhausted = True
+                            break
+                        shard[key] = raw
+                        visited_total += 1
+                        new_links.append((start + offset, path))
+                        new_frontier.append((child, raw))
+                    if budget_exhausted:
+                        break
+                if budget_exhausted:
+                    break
+                levels.append(new_links)
+                frontier = new_frontier
+                depth += 1
+
+        result.complete = result.truncated_by is None
+        result.wall_seconds = time.perf_counter() - started
+        result.peak_visited = visited_total
+        return result
+
+    def _partition(
+        self, frontier: List[Tuple[GlobalState, bytes]], check_only: bool
+    ) -> List[_Chunk]:
+        """Deterministic contiguous chunking of the frontier."""
+        target = max(1, self.workers * self.chunks_per_worker)
+        size = max(1, -(-len(frontier) // target))
+        return [
+            (check_only, frontier[start : start + size])
+            for start in range(0, len(frontier), size)
+        ]
+
+    def _chunk_starts(self, chunks: List[_Chunk]) -> List[int]:
+        starts: List[int] = []
+        total = 0
+        for _, entries in chunks:
+            starts.append(total)
+            total += len(entries)
+        return starts
+
+
+def _reconstruct_schedule(
+    levels: List[List[Tuple[int, Tuple[ProcessId, ...]]]],
+    level: int,
+    index: int,
+) -> Tuple[ProcessId, ...]:
+    """Walk parent links back to the root and concatenate pid suffixes."""
+    suffixes: List[Tuple[ProcessId, ...]] = []
+    while level > 0:
+        parent, suffix = levels[level][index]
+        suffixes.append(suffix)
+        index = parent
+        level -= 1
+    schedule: List[ProcessId] = []
+    for suffix in reversed(suffixes):
+        schedule.extend(suffix)
+    return tuple(schedule)
+
+
+def _validate_schedule(
+    task: ExplorationTask, schedule: Tuple[ProcessId, ...], message: str
+) -> None:
+    """Pure replay of a reconstructed schedule; guards the merge logic.
+
+    O(schedule length), run once per reported violation.  A mismatch
+    means the parent links were assembled wrong — an internal error, not
+    a property of the algorithm under test — so it raises instead of
+    returning a corrupt counterexample.
+    """
+    state = task.initial
+    for pid in schedule:
+        state = step_value(task.instance, state, pid)
+    replayed = task.invariant(StateView(task.instance, state))
+    if replayed != message:
+        raise RuntimeError(
+            "parallel backend produced a schedule that does not replay its "
+            f"violation: expected {message!r}, replay gave {replayed!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Executors — the same serial/parallel choice for independent sweep cells
+# ---------------------------------------------------------------------------
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+class SerialExecutor:
+    """In-process ordered ``map`` — the default sweep executor.
+
+    ``initializer`` (if given) runs once in this process before the
+    map, mirroring the pool-initializer contract of
+    :class:`ProcessExecutor` so callers plant per-process payloads the
+    same way under either executor.
+    """
+
+    name = "serial"
+    workers = 1
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Sequence[_T],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> List[_R]:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]
+
+
+class ProcessExecutor:
+    """Ordered ``map`` over a ``multiprocessing`` pool.
+
+    Results come back in submission order regardless of completion
+    order, so swapping this in for :class:`SerialExecutor` never changes
+    a sweep's output — only its wall time.  ``fn`` must be a module
+    -level function and items/results picklable; under the default
+    ``fork`` start method the ``initializer`` payload is inherited
+    rather than pickled, so it may close over anything.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, workers: int = 2, mp_context: Optional[Any] = None
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be a positive int, got {workers!r}"
+            )
+        self.workers = workers
+        self._mp_context = mp_context
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Sequence[_T],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> List[_R]:
+        items = list(items)
+        if not items:
+            return []
+        context = self._mp_context or get_context()
+        with context.Pool(
+            self.workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            return pool.map(fn, items)
+
+
+def resolve_backend(
+    spec: str, workers: Optional[int] = None
+) -> ExplorationBackend:
+    """Build a backend from a CLI-style spec (``"serial"``/``"parallel"``)."""
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "parallel":
+        return ParallelBackend(workers=workers or 2)
+    raise ConfigurationError(
+        f"unknown exploration backend {spec!r}; expected 'serial' or 'parallel'"
+    )

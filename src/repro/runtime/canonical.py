@@ -7,11 +7,20 @@ levels of aggressiveness:
 **Compact encoding** (always on).  A captured global state is a nested
 tuple of register values, local-state dataclasses and flags; hashing and
 storing millions of them is the explorer's main cost.  A
-:class:`Canonicalizer` *interns* every distinct register value and local
-state into a small integer and packs one global state into a flat
-``bytes`` key — one 4-byte slot per register plus two per process.
-Interning is injective, so key equality coincides with the equality the
-seed explorer used.
+:class:`Canonicalizer` maps every distinct register value and local
+state to a *content-addressed* 8-byte digest (:func:`stable_encode` +
+BLAKE2b, memoised per value) and packs one global state into a flat
+``bytes`` key — one digest per register plus a digest and a status byte
+per process.  Because the digest depends only on the value's content —
+not on interning order, process identity or ``PYTHONHASHSEED`` — two
+canonicalizers built from the same instance in *different OS processes*
+produce identical keys, which is what lets the parallel exploration
+backend (:mod:`repro.runtime.backends`) canonicalize in workers and
+deduplicate at the coordinator.  Key equality coincides with the
+equality the seed explorer used up to BLAKE2b collisions on 64-bit
+digests (probability ≈ ``n²/2⁶⁵`` for ``n`` distinct values — about
+``10⁻⁸`` even for a billion-value walk, and a collision could only
+cause a false *merge*, never a false violation).
 
 **Symmetry reduction** (opt-in, :func:`build_canonicalizer`).  The
 paper's model is symmetric twice over — memory anonymity (§1: register
@@ -52,18 +61,31 @@ seed explorer's semantics.
 
 from __future__ import annotations
 
-from array import array
+from dataclasses import fields, is_dataclass
+from hashlib import blake2b
 from itertools import permutations, product
 from math import factorial
-from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.memory.anonymous import AnonymousMemory
 from repro.runtime.automaton import ProcessAutomaton
+from repro.runtime.kernel import GlobalState
 from repro.runtime.scheduler import ProcessRuntime, Scheduler
 from repro.runtime.system import System
 from repro.types import ProcessId
 
-#: A packed global-state key.  Opaque, and only comparable between keys
-#: produced by the *same* canonicalizer instance (interning is local).
+#: A packed global-state key.  Content-addressed: comparable between
+#: canonicalizers built for the same instance, across OS processes.
 CanonicalKey = bytes
 
 #: The hook bundle an automaton class must override as a unit to opt in.
@@ -96,6 +118,101 @@ _INERT_NAMES = frozenset(
 
 _RenameFn = Callable[[Any, Any, Any], Any]
 _FootprintFn = Callable[[Any], Any]
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed value digests
+# ---------------------------------------------------------------------------
+
+#: Digest width.  8 bytes keeps keys half the size of raw object hashes
+#: while making accidental collisions (~n²/2⁶⁵) negligible at any state
+#: count this explorer can reach.
+DIGEST_SIZE = 8
+
+_FLAG_BYTES: Tuple[bytes, ...] = (b"\x00", b"\x01", b"\x02", b"\x03")
+
+
+def stable_encode(value: Any) -> bytes:
+    """Deterministic, injective byte encoding of a model value.
+
+    The encoding depends only on the value's *content*: it is identical
+    across OS processes, interpreter runs and ``PYTHONHASHSEED`` values —
+    the property parallel workers need to produce comparable state keys.
+    Containers are tagged and length-delimited (so ``(1, 2)``, ``[1, 2]``
+    and ``"12"`` never collide); sets and dicts are serialised in sorted
+    -encoding order; dataclasses (the repo's local-state idiom) encode as
+    their qualified class name plus field values.  Anything else falls
+    back to ``repr``, which is deterministic for the value-semantics
+    objects the model traffics in (and a new local-state representation
+    should prefer a dataclass anyway).
+    """
+    out: List[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+def _encode_into(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif type(value) is int:
+        out.append(b"I%d;" % value)
+    elif type(value) is str:
+        encoded = value.encode("utf-8")
+        out.append(b"S%d:" % len(encoded))
+        out.append(encoded)
+    elif type(value) is bytes:
+        out.append(b"B%d:" % len(value))
+        out.append(value)
+    elif type(value) is float:
+        out.append(b"D")
+        out.append(repr(value).encode("ascii"))
+        out.append(b";")
+    elif type(value) is tuple:
+        out.append(b"(")
+        for item in value:
+            _encode_into(item, out)
+        out.append(b")")
+    elif type(value) is list:
+        out.append(b"[")
+        for item in value:
+            _encode_into(item, out)
+        out.append(b"]")
+    elif type(value) in (frozenset, set):
+        out.append(b"{")
+        for encoded in sorted(stable_encode(item) for item in value):
+            out.append(encoded)
+        out.append(b"}")
+    elif type(value) is dict:
+        out.append(b"<")
+        entries = sorted(
+            (stable_encode(key), stable_encode(item))
+            for key, item in value.items()
+        )
+        for encoded_key, encoded_item in entries:
+            out.append(encoded_key)
+            out.append(encoded_item)
+        out.append(b">")
+    elif is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        out.append(b"C")
+        out.append(f"{cls.__module__}.{cls.__qualname__}".encode("utf-8"))
+        out.append(b"(")
+        for field in fields(value):
+            _encode_into(getattr(value, field.name), out)
+        out.append(b")")
+    else:
+        cls = type(value)
+        tag = f"R{cls.__module__}.{cls.__qualname__}:{value!r};"
+        out.append(tag.encode("utf-8"))
+
+
+def _digest(value: Any) -> bytes:
+    """The 8-byte content digest a state key stores per slot."""
+    return blake2b(stable_encode(value), digest_size=DIGEST_SIZE).digest()
 
 
 def _identity_rename(value: Any, pids_renamed: Any, values_renamed: Any) -> Any:
@@ -146,7 +263,7 @@ class _GroupElement:
 
     Stores the *pull-back* forms the encoder needs (which source feeds
     each target slot) plus per-element memo tables mapping raw register
-    values / footprints straight to the intern id of their rename.
+    values / footprints straight to the content digest of their rename.
     """
 
     __slots__ = (
@@ -169,22 +286,34 @@ class _GroupElement:
         self.source_slot = source_slot
         self.pids_renamed = pids_renamed
         self.values_renamed = values_renamed
-        self.value_ids: Dict[Any, int] = {}
-        self.footprint_ids: Dict[Any, int] = {}
+        self.value_ids: Dict[Any, bytes] = {}
+        self.footprint_ids: Dict[Any, bytes] = {}
 
 
 class Canonicalizer:
-    """Maps the scheduler's *live* state to a canonical packed key.
+    """Maps a global state to a canonical content-addressed key.
 
-    :meth:`key_of` reads the scheduler directly (no ``capture_state``
-    tuple needed) and returns ``(canonical_key, raw_key)``: the minimum
-    of the orbit under the configured group, and the identity encoding.
-    With an empty group the two coincide and the canonicalizer is a pure
-    compact-encoding layer.
+    Two entry points share one encoder:
+
+    * :meth:`key_of` reads the scheduler the canonicalizer was built for
+      directly (no ``capture_state`` tuple needed) — the live, serial
+      path.
+    * :meth:`key_of_state` encodes a :data:`~repro.runtime.kernel.GlobalState`
+      *value* without touching any live object — the path the pure
+      kernel and the parallel workers use.
+
+    Both return ``(canonical_key, raw_key)``: the minimum of the orbit
+    under the configured group, and the identity encoding.  With an
+    empty group the two coincide and the canonicalizer is a pure compact
+    -encoding layer.  Keys are content-addressed (see module docstring),
+    so they agree between the two entry points and across OS processes.
+
+    Canonicalizers are picklable: the per-value digest memo travels with
+    them (warm caches for the worker) while the live scheduler binding is
+    dropped — an unpickled copy supports :meth:`key_of_state` only.
 
     Build instances with :func:`build_canonicalizer` (or
-    :class:`TrivialCanonicalizer` directly); a canonicalizer is bound to
-    the scheduler it was built for.
+    :class:`TrivialCanonicalizer` directly).
     """
 
     def __init__(
@@ -198,8 +327,8 @@ class Canonicalizer:
     ) -> None:
         order = sorted(scheduler.pids)
         self.pid_order: Tuple[ProcessId, ...] = tuple(order)
-        self._memory = scheduler.memory
-        self._runtimes: List[ProcessRuntime] = [
+        self._memory: Optional[AnonymousMemory] = scheduler.memory
+        self._runtimes: Optional[List[ProcessRuntime]] = [
             scheduler.runtime(pid) for pid in order
         ]
         self._footprint_fns = footprint_fns
@@ -215,7 +344,7 @@ class Canonicalizer:
         self.uses_footprints: bool = any(
             fn is not None for fn in footprint_fns
         )
-        self._intern: Dict[Any, int] = {}
+        self._intern: Dict[Any, bytes] = {}
 
     def describe(self) -> str:
         """One-line configuration summary for benchmark records."""
@@ -227,75 +356,119 @@ class Canonicalizer:
 
     @property
     def interned_objects(self) -> int:
-        """Distinct register values / footprints interned so far."""
+        """Distinct register values / footprints digested so far."""
         return len(self._intern)
+
+    # -- pickling (parallel workers canonicalize locally) ------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        # The live scheduler bindings stay behind: a worker receives the
+        # group structure, hooks and warm digest memo, and runs purely on
+        # value states via key_of_state().
+        state["_memory"] = None
+        state["_runtimes"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    # -- encoding ----------------------------------------------------------
 
     def key_of(self) -> Tuple[CanonicalKey, CanonicalKey]:
         """``(canonical_key, raw_key)`` of the scheduler's current state."""
-        values = self._memory.snapshot()
-        intern = self._intern
-        ints: List[int] = []
-        for value in values:
-            value_id = intern.get(value)
-            if value_id is None:
-                value_id = len(intern)
-                intern[value] = value_id
-            ints.append(value_id)
-        footprints: List[Any] = []
-        flags: List[int] = []
-        for slot, runtime in enumerate(self._runtimes):
-            footprint_fn = self._footprint_fns[slot]
-            footprint = (
-                runtime.state
-                if footprint_fn is None
-                else footprint_fn(runtime.state)
+        if self._memory is None or self._runtimes is None:
+            raise RuntimeError(
+                "this canonicalizer was unpickled and has no live scheduler; "
+                "use key_of_state(global_state) instead"
             )
+        values = self._memory.snapshot()
+        slots = [
+            (runtime.state, runtime.halted, runtime.crashed)
+            for runtime in self._runtimes
+        ]
+        return self._key(values, slots)
+
+    def key_of_state(
+        self, global_state: GlobalState
+    ) -> Tuple[CanonicalKey, CanonicalKey]:
+        """``(canonical_key, raw_key)`` of a captured global-state value.
+
+        Pure: reads only the tuple (whose per-process part is sorted by
+        pid, matching :attr:`pid_order`), never a live object — safe in
+        any OS process holding an unpickled canonicalizer.
+        """
+        registers, locals_part = global_state
+        slots = [
+            (state, halted, crashed)
+            for _pid, state, halted, crashed in locals_part
+        ]
+        return self._key(registers, slots)
+
+    def _key(
+        self,
+        values: Sequence[Any],
+        slots: Sequence[Tuple[Any, bool, bool]],
+    ) -> Tuple[CanonicalKey, CanonicalKey]:
+        intern = self._intern
+        parts: List[bytes] = []
+        for value in values:
+            value_digest = intern.get(value)
+            if value_digest is None:
+                value_digest = _digest(value)
+                intern[value] = value_digest
+            parts.append(value_digest)
+        footprints: List[Any] = []
+        flags: List[bytes] = []
+        for slot, (state, halted, crashed) in enumerate(slots):
+            footprint_fn = self._footprint_fns[slot]
+            footprint = state if footprint_fn is None else footprint_fn(state)
             footprints.append(footprint)
-            footprint_id = intern.get(footprint)
-            if footprint_id is None:
-                footprint_id = len(intern)
-                intern[footprint] = footprint_id
-            flag = (2 if runtime.halted else 0) | (1 if runtime.crashed else 0)
+            footprint_digest = intern.get(footprint)
+            if footprint_digest is None:
+                footprint_digest = _digest(footprint)
+                intern[footprint] = footprint_digest
+            flag = _FLAG_BYTES[(2 if halted else 0) | (1 if crashed else 0)]
             flags.append(flag)
-            ints.append(footprint_id)
-            ints.append(flag)
-        raw = array("I", ints).tobytes()
+            parts.append(footprint_digest)
+            parts.append(flag)
+        raw = b"".join(parts)
         if not self._elements:
             return raw, raw
         best = raw
         for element in self._elements:
-            candidate: List[int] = []
+            candidate: List[bytes] = []
             value_ids = element.value_ids
             for phys in element.source_phys:
                 value = values[phys]
-                value_id = value_ids.get(value)
-                if value_id is None:
+                value_digest = value_ids.get(value)
+                if value_digest is None:
                     renamed = self._rename_value_fn(
                         value, element.pids_renamed, element.values_renamed
                     )
-                    value_id = intern.get(renamed)
-                    if value_id is None:
-                        value_id = len(intern)
-                        intern[renamed] = value_id
-                    value_ids[value] = value_id
-                candidate.append(value_id)
+                    value_digest = intern.get(renamed)
+                    if value_digest is None:
+                        value_digest = _digest(renamed)
+                        intern[renamed] = value_digest
+                    value_ids[value] = value_digest
+                candidate.append(value_digest)
             footprint_ids = element.footprint_ids
             for slot in element.source_slot:
                 footprint = footprints[slot]
                 cache_key = (slot, footprint)
-                footprint_id = footprint_ids.get(cache_key)
-                if footprint_id is None:
+                footprint_digest = footprint_ids.get(cache_key)
+                if footprint_digest is None:
                     renamed_fp = self._rename_footprint_fns[slot](
                         footprint, element.pids_renamed, element.values_renamed
                     )
-                    footprint_id = intern.get(renamed_fp)
-                    if footprint_id is None:
-                        footprint_id = len(intern)
-                        intern[renamed_fp] = footprint_id
-                    footprint_ids[cache_key] = footprint_id
-                candidate.append(footprint_id)
+                    footprint_digest = intern.get(renamed_fp)
+                    if footprint_digest is None:
+                        footprint_digest = _digest(renamed_fp)
+                        intern[renamed_fp] = footprint_digest
+                    footprint_ids[cache_key] = footprint_digest
+                candidate.append(footprint_digest)
                 candidate.append(flags[slot])
-            packed = array("I", candidate).tobytes()
+            packed = b"".join(candidate)
             if packed < best:
                 best = packed
         return best, raw

@@ -26,23 +26,27 @@ violation schedules replay directly on a fresh system.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 from repro.errors import ExplorationLimitExceeded
 from repro.runtime.canonical import (
     Canonicalizer,
-    CanonicalKey,
     TrivialCanonicalizer,
     build_canonicalizer,
 )
 from repro.runtime.system import System
 from repro.types import ProcessId
 
-#: An invariant receives the system in the current (restored) global state
-#: and returns ``None`` if the state is fine, or a human-readable
-#: description of the violation.
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends
+    # imports ExplorationResult from here at runtime)
+    from repro.runtime.backends import ExplorationBackend
+
+#: An invariant receives the system (or a value-state
+#: :class:`~repro.runtime.kernel.StateView`, which exposes the same
+#: duck-typed read surface) in the state under check and returns ``None``
+#: if the state is fine, or a human-readable description of the
+#: violation.
 Invariant = Callable[[System], Optional[str]]
 
 
@@ -82,7 +86,11 @@ class ExplorationResult:
     violation: Optional[str] = None
     #: The schedule (sequence of pids) reproducing the violation.
     violation_schedule: Optional[Tuple[ProcessId, ...]] = None
-    #: Terminal states (no process enabled) where not all processes halted.
+    #: Terminal states (no process enabled) that are not *settled*
+    #: (halted or crashed).  Provably 0 under the current process model
+    #: (enabled ⟺ neither halted nor crashed); counted defensively so a
+    #: future model with disabled-but-unsettled processes (blocked,
+    #: waiting) cannot be silently under-explored.
     stuck_states: int = 0
     #: What stopped the search before it exhausted the reachable states:
     #: ``"max_states"``, ``"max_depth"``, ``"violation"``, or ``None``
@@ -100,6 +108,10 @@ class ExplorationResult:
     #: Final size of the visited table (canonical keys), the walk's
     #: peak memory driver.
     peak_visited: int = 0
+    #: Name of the backend that ran the walk (``"serial"``/``"parallel"``).
+    backend: str = "serial"
+    #: Worker processes the backend used (1 for serial).
+    workers: int = 1
 
     @property
     def ok(self) -> bool:
@@ -107,10 +119,13 @@ class ExplorationResult:
         return self.violation is None
 
     @property
-    def states_per_second(self) -> float:
-        """Exploration throughput (0.0 when the walk was too fast to time)."""
+    def states_per_second(self) -> Optional[float]:
+        """Exploration throughput, or ``None`` when the walk finished
+        below timer resolution (a 0-second walk has no meaningful rate;
+        reporting 0.0 would silently record the *worst* possible
+        throughput for the *fastest* possible walk)."""
         if self.wall_seconds <= 0.0:
-            return 0.0
+            return None
         return self.states_explored / self.wall_seconds
 
     def summary(self) -> str:
@@ -140,16 +155,21 @@ def explore(
     max_depth: int = 10_000,
     raise_on_truncation: bool = False,
     canonicalizer: Optional[Canonicalizer] = None,
+    backend: Optional["ExplorationBackend"] = None,
 ) -> ExplorationResult:
     """Exhaustively explore ``system``'s reachable states, checking
     ``invariant`` in each.
 
-    The system must have been built with ``record_trace=False`` (tracing
-    millions of replayed events would defeat the purpose); its current
-    state is taken as the initial state.  The search is depth-first over
-    *real* global states, deduplicated on the keys ``canonicalizer``
-    produces — raw-state equality by default, orbit equality under
-    :func:`explore_symmetry_reduced`.
+    The walk runs entirely over *value* states: the system's current
+    state is captured once as the initial state and ``system`` itself is
+    never stepped, mutated or rewound — in particular its
+    ``record_trace`` flag and trace are left exactly as the caller set
+    them (historically this function force-flipped ``record_trace`` to
+    False and left it that way; the value-state kernel made the whole
+    concern moot).  Invariants are evaluated against a read-only
+    :class:`~repro.runtime.kernel.StateView`, which duck-types the
+    ``system.scheduler.*`` / ``system.inputs`` surface the stock
+    invariants (and the lint passes' custom collectors) read.
 
     Parameters
     ----------
@@ -164,128 +184,48 @@ def explore(
         to the renamings the group applies (all stock invariants are).
     max_states / max_depth:
         Search budgets.  Hitting ``max_states`` stops the walk
-        immediately (no further invariant checks or captures are spent
-        on an already-truncated search); hitting ``max_depth`` prunes
-        that branch only.  Either way the result has ``complete=False``
-        and ``truncated_by`` set (``raise_on_truncation`` optionally
-        turns budget truncation into
+        immediately; hitting ``max_depth`` prunes deeper exploration
+        only.  Either way the result has ``complete=False`` and
+        ``truncated_by`` set (``raise_on_truncation`` optionally turns
+        budget truncation into
         :class:`~repro.errors.ExplorationLimitExceeded`).
     canonicalizer:
         State-keying strategy; defaults to a fresh
         :class:`~repro.runtime.canonical.TrivialCanonicalizer` (compact
         encoding, no symmetry).  Must have been built for this
         ``system``'s scheduler.
+    backend:
+        The :class:`~repro.runtime.backends.ExplorationBackend` that
+        runs the walk.  Defaults to
+        :class:`~repro.runtime.backends.SerialBackend` — the historical
+        depth-first semantics, bit-identical counters included.  Pass a
+        :class:`~repro.runtime.backends.ParallelBackend` to fan the
+        frontier out across worker processes (same verdicts; see
+        docs/EXPLORATION.md for exactly which counters may differ on
+        budget-truncated walks).
     """
+    # Imported here, not at module top: backends imports
+    # ExplorationResult from this module.
+    from repro.runtime.backends import ExplorationTask, SerialBackend
+    from repro.runtime.kernel import StepInstance
+
     scheduler = system.scheduler
-    if scheduler.record_trace:
-        # Tolerate it, but stop accumulating events from here on.
-        scheduler.record_trace = False
     if canonicalizer is None:
         canonicalizer = TrivialCanonicalizer(scheduler)
+    if backend is None:
+        backend = SerialBackend()
 
-    initial = scheduler.capture_state()
-    initial_key, initial_raw = canonicalizer.key_of()
-    #: canonical key -> raw key of the representative that claimed it.
-    visited: Dict[CanonicalKey, CanonicalKey] = {initial_key: initial_raw}
-    # Each frame: (captured state, depth, parent link, raw key).  The
-    # link is a structure-sharing chain (parent_link, pid) so path
-    # reconstruction costs O(depth) only when a violation is actually
-    # found — storing a schedule tuple per frame would cost O(depth^2)
-    # memory overall.
-    stack: List[Tuple[object, int, Optional[tuple], CanonicalKey]] = [
-        (initial, 0, None, initial_raw)
-    ]
-    result = ExplorationResult(
-        complete=True,
-        states_explored=0,
-        events_executed=0,
-        max_depth_reached=0,
-        group_size=canonicalizer.group_order,
+    task = ExplorationTask(
+        instance=StepInstance.from_system(system),
+        initial=scheduler.capture_state(),
+        invariant=invariant,
+        canonicalizer=canonicalizer,
+        max_states=max_states,
+        max_depth=max_depth,
     )
-    started = time.perf_counter()
-
-    def unwind(link: Optional[tuple]) -> Tuple[ProcessId, ...]:
-        path: List[ProcessId] = []
-        while link is not None:
-            link, pid = link
-            path.append(pid)
-        return tuple(reversed(path))
-
-    while stack:
-        state, depth, link, state_raw = stack.pop()
-        scheduler.restore_state(state)
-        result.states_explored += 1
-        result.max_depth_reached = max(result.max_depth_reached, depth)
-
-        violation = invariant(system)
-        if violation is not None:
-            result.violation = violation
-            result.violation_schedule = unwind(link)
-            result.truncated_by = "violation"
-            break
-
-        enabled = scheduler.enabled_pids()
-        if not enabled:
-            if not all(
-                scheduler.runtime(pid).halted or scheduler.runtime(pid).crashed
-                for pid in scheduler.pids
-            ):
-                result.stuck_states += 1
-            continue
-
-        if depth >= max_depth:
-            result.truncated_by = "max_depth"
-            continue
-
-        budget_exhausted = False
-        for pid in enabled:
-            scheduler.restore_state(state)
-            scheduler.step(pid)
-            result.events_executed += 1
-            key, raw = canonicalizer.key_of()
-            step_link = (link, pid)
-            if raw == state_raw:
-                # Inert self-loop: the step changed nothing the
-                # canonicalizer records — no memory effect, identical
-                # footprints and flags — so the successor is bisimilar
-                # to the popped state, and its steps are invisible to
-                # (hence commute with) every other process.  Accelerate:
-                # keep stepping this process until something observable
-                # changes; only that exit state is a new quotient edge.
-                # A repeated local state inside the loop is a genuine
-                # livelock within the class — nothing new is reachable.
-                seen_locals = {scheduler.runtime(pid).state}
-                while raw == state_raw and scheduler.runtime(pid).enabled:
-                    scheduler.step(pid)
-                    result.events_executed += 1
-                    step_link = (step_link, pid)
-                    key, raw = canonicalizer.key_of()
-                    local = scheduler.runtime(pid).state
-                    if raw == state_raw:
-                        if local in seen_locals:
-                            break
-                        seen_locals.add(local)
-                if raw == state_raw:
-                    continue
-            claimed = visited.get(key)
-            if claimed is not None:
-                if claimed is not raw and claimed != raw:
-                    result.orbits_collapsed += 1
-                continue
-            if len(visited) >= max_states:
-                result.truncated_by = "max_states"
-                budget_exhausted = True
-                break
-            visited[key] = raw
-            # Capture only states that will actually be explored —
-            # visited successors above never pay for a capture.
-            stack.append((scheduler.capture_state(), depth + 1, step_link, raw))
-        if budget_exhausted:
-            break
-
-    result.complete = result.truncated_by is None
-    result.wall_seconds = time.perf_counter() - started
-    result.peak_visited = len(visited)
+    result = backend.run(task)
+    result.backend = backend.name
+    result.workers = backend.workers
     if raise_on_truncation and result.truncated_by in ("max_states", "max_depth"):
         raise ExplorationLimitExceeded(
             f"exploration truncated by {result.truncated_by}; "
@@ -302,15 +242,16 @@ def explore_symmetry_reduced(
     raise_on_truncation: bool = False,
     footprints: bool = True,
     max_group: int = 720,
+    backend: Optional["ExplorationBackend"] = None,
 ) -> ExplorationResult:
     """:func:`explore` under the strongest sound canonicalizer.
 
     Builds a :func:`~repro.runtime.canonical.build_canonicalizer` for
     ``system`` — symmetry quotient plus per-automaton footprints where
     the automata opt in, transparently falling back to plain compact
-    encoding where they don't — and runs the same walk.  ``invariant``
-    must be symmetric (see :func:`explore`); the stock invariants in
-    this module all are.
+    encoding where they don't — and runs the same walk, on whichever
+    ``backend`` the caller selects.  ``invariant`` must be symmetric
+    (see :func:`explore`); the stock invariants in this module all are.
     """
     canonicalizer = build_canonicalizer(
         system, footprints=footprints, max_group=max_group
@@ -322,6 +263,7 @@ def explore_symmetry_reduced(
         max_depth=max_depth,
         raise_on_truncation=raise_on_truncation,
         canonicalizer=canonicalizer,
+        backend=backend,
     )
 
 
@@ -382,14 +324,27 @@ def unique_names_invariant(system: System) -> Optional[str]:
     return None
 
 
-def conjoin(*invariants: Invariant) -> Invariant:
-    """Combine invariants; reports the first violation among them."""
+class _ConjoinedInvariant:
+    """Conjunction of invariants; reports the first violation among them.
 
-    def combined(system: System) -> Optional[str]:
-        for inv in invariants:
+    A class, not a closure, so conjoined invariants are picklable and
+    survive the trip to parallel-backend workers under any
+    ``multiprocessing`` start method.
+    """
+
+    __slots__ = ("invariants",)
+
+    def __init__(self, invariants: Tuple[Invariant, ...]) -> None:
+        self.invariants = invariants
+
+    def __call__(self, system: System) -> Optional[str]:
+        for inv in self.invariants:
             message = inv(system)
             if message is not None:
                 return message
         return None
 
-    return combined
+
+def conjoin(*invariants: Invariant) -> Invariant:
+    """Combine invariants; reports the first violation among them."""
+    return _ConjoinedInvariant(invariants)

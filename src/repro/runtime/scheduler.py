@@ -30,8 +30,10 @@ from repro.errors import ProtocolError, SchedulingError
 from repro.memory.anonymous import AnonymousMemory, MemoryView
 from repro.runtime.automaton import LocalState, ProcessAutomaton
 from repro.runtime.events import Event, Trace
-from repro.runtime.ops import ReadOp, WriteOp
+from repro.runtime.kernel import GlobalState, execute_via_view
 from repro.types import ProcessId
+
+__all__ = ["GlobalState", "ProcessRuntime", "Scheduler"]
 
 
 @dataclass
@@ -51,11 +53,9 @@ class ProcessRuntime:
         return not self.halted and not self.crashed
 
 
-#: A captured global state: (register values, {pid: (local state, halted,
-#: crashed)}).  §6.1: "a (global) state ... is completely described by the
-#: values of the (local and shared) registers and the values of the
-#: location counters" — local dataclasses carry both locals and pc.
-GlobalState = Tuple[Tuple[Any, ...], Tuple[Tuple[ProcessId, LocalState, bool, bool], ...]]
+# GlobalState — the captured-global-state value tuple — now lives in
+# :mod:`repro.runtime.kernel` next to the pure transition function that
+# consumes it; it is re-exported here for backward compatibility.
 
 
 class Scheduler:
@@ -141,6 +141,23 @@ class Scheduler:
         """True when no process is enabled anymore."""
         return not self.enabled_pids()
 
+    def all_settled(self) -> bool:
+        """True when every process has halted or crashed.
+
+        Under the current process model this coincides with
+        :meth:`all_halted` (enabled ⟺ neither halted nor crashed), but
+        the two express different questions: "is nobody runnable?"
+        versus "has every process reached a final status?".  The
+        explorers ask the second and count any terminal-but-unsettled
+        state as stuck — a defensive guard that fires only if the two
+        notions ever diverge (e.g. a process model with blocked/waiting
+        states).  The value-state analogue for exploration backends is
+        :func:`repro.runtime.kernel.all_settled`.
+        """
+        return all(
+            rt.halted or rt.crashed for rt in self._runtimes.values()
+        )
+
     def output_of(self, pid: ProcessId) -> Any:
         """Output of a halted process."""
         rt = self.runtime(pid)
@@ -175,22 +192,25 @@ class Scheduler:
     # -- execution ----------------------------------------------------------
 
     def step(self, pid: ProcessId) -> Event:
-        """Execute ``pid``'s single pending operation atomically."""
+        """Execute ``pid``'s single pending operation atomically.
+
+        The scheduler is a stateful façade over the value-state kernel:
+        the transition itself is computed by
+        :func:`repro.runtime.kernel.execute_via_view` (the same core the
+        exploration backends run purely over value states), and this
+        method only adds what a *live* run has that a value walk does
+        not — the event sequence, trace recording and per-process step
+        counters.
+        """
         rt = self.runtime(pid)
         if rt.crashed:
             raise SchedulingError(f"process {pid} has crashed and cannot step")
         if rt.halted:
             raise SchedulingError(f"process {pid} has halted and cannot step")
 
-        op = rt.automaton.next_op(rt.state)
-        physical_index = None
-        result = None
-        if isinstance(op, ReadOp):
-            physical_index = rt.view.physical_index_of(op.index)
-            result = rt.view.read(op.index)
-        elif isinstance(op, WriteOp):
-            physical_index = rt.view.physical_index_of(op.index)
-            rt.view.write(op.index, op.value)
+        op, physical_index, result, new_state, halted = execute_via_view(
+            rt.automaton, rt.state, rt.view
+        )
 
         phase_fn = getattr(rt.automaton, "phase", None)
         event = Event(
@@ -205,9 +225,9 @@ class Scheduler:
         if self.record_trace:
             self.trace.append(event)
 
-        rt.state = rt.automaton.apply(rt.state, op, result)
+        rt.state = new_state
         rt.steps += 1
-        if rt.automaton.is_halted(rt.state):
+        if halted:
             rt.halted = True
             if self.record_trace:
                 self.trace.record_halt(pid, rt.automaton.output(rt.state))

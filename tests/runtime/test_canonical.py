@@ -1,5 +1,9 @@
 """Unit tests for the canonical state encoding and symmetry group."""
 
+import pickle
+import random
+from dataclasses import dataclass
+
 from repro.core.consensus import AnonymousConsensus
 from repro.core.mutex import AnonymousMutex
 from repro.memory.naming import RingNaming
@@ -9,6 +13,7 @@ from repro.runtime.canonical import (
     TrivialCanonicalizer,
     build_canonicalizer,
     hook_owner,
+    stable_encode,
 )
 from repro.runtime.system import System
 
@@ -223,3 +228,105 @@ class TestCompactEncoding:
         description = build_canonicalizer(mutex_system()).describe()
         assert "group=2" in description
         assert "footprints=on" in description
+
+
+@dataclass(frozen=True)
+class _Point:
+    x: int
+    y: int
+
+
+@dataclass(frozen=True)
+class _Pair:
+    x: int
+    y: int
+
+
+class TestStableEncode:
+    """The content-addressed encoding under the digest layer.
+
+    Key equality across OS processes (what the parallel backend relies
+    on) needs the encoding to be a pure function of value *content* and
+    injective across the value shapes the model traffics in.
+    """
+
+    def test_container_shapes_never_collide(self):
+        values = [12, "12", (1, 2), [1, 2], ("12",), ("1", "2"), b"12",
+                  frozenset({1, 2}), {1: 2}, 12.0, None]
+        encodings = [stable_encode(value) for value in values]
+        assert len(set(encodings)) == len(encodings)
+
+    def test_bool_is_not_int(self):
+        assert stable_encode(True) != stable_encode(1)
+        assert stable_encode(False) != stable_encode(0)
+
+    def test_unordered_containers_encode_order_free(self):
+        assert stable_encode({3, 1, 2}) == stable_encode({2, 3, 1})
+        assert stable_encode({"a": 1, "b": 2}) == stable_encode(
+            dict([("b", 2), ("a", 1)])
+        )
+
+    def test_length_delimiting_blocks_boundary_shifts(self):
+        assert stable_encode(("ab", "c")) != stable_encode(("a", "bc"))
+        assert stable_encode((1, (2,))) != stable_encode(((1,), 2))
+
+    def test_dataclasses_encode_class_and_fields(self):
+        assert stable_encode(_Point(1, 2)) == stable_encode(_Point(1, 2))
+        assert stable_encode(_Point(1, 2)) != stable_encode(_Point(2, 1))
+        # Same field values, different class: distinct states.
+        assert stable_encode(_Point(1, 2)) != stable_encode(_Pair(1, 2))
+
+    def test_encoding_is_reproducible(self):
+        nested = {"k": [(_Point(1, 2), frozenset({"a", "b"})), None, True]}
+        rebuilt = {"k": [(_Point(1, 2), frozenset({"b", "a"})), None, True]}
+        assert stable_encode(nested) == stable_encode(rebuilt)
+
+
+class TestCanonicalizerPickling:
+    """Workers receive canonicalizers by pickle and key value states."""
+
+    def test_round_trip_keys_match_on_a_walk(self):
+        system = mutex_system()
+        canonicalizer = build_canonicalizer(system)
+        copy = pickle.loads(pickle.dumps(canonicalizer))
+        assert copy.group_order == canonicalizer.group_order
+        assert copy.uses_footprints == canonicalizer.uses_footprints
+        scheduler = system.scheduler
+        rng = random.Random(19)
+        for _ in range(80):
+            state = scheduler.capture_state()
+            assert copy.key_of_state(state) == canonicalizer.key_of_state(state)
+            # The live canonicalizer's two entry points agree too.
+            assert canonicalizer.key_of() == canonicalizer.key_of_state(state)
+            enabled = scheduler.enabled_pids()
+            if not enabled:
+                break
+            scheduler.step(rng.choice(enabled))
+
+    def test_unpickled_copy_refuses_the_live_entry_point(self):
+        import pytest
+
+        copy = pickle.loads(pickle.dumps(build_canonicalizer(mutex_system())))
+        with pytest.raises(RuntimeError, match="use key_of_state"):
+            copy.key_of()
+
+    def test_fresh_canonicalizers_agree_on_keys(self):
+        # Content addressing: no interning-order dependence.  Two
+        # canonicalizers that digest states in different orders must
+        # still emit identical keys for identical states.
+        system_a, system_b = mutex_system(), mutex_system()
+        canon_a = build_canonicalizer(system_a)
+        canon_b = build_canonicalizer(system_b)
+        p, q = pids(2)
+        # Walk A forward, then key the shared schedule's states; walk B
+        # keys them cold, in reverse.
+        schedule = [p, q, p, q, q, p, p, q]
+        states = []
+        for pid in schedule:
+            system_a.scheduler.step(pid)
+            states.append(system_a.scheduler.capture_state())
+        keys_a = [canon_a.key_of_state(state) for state in states]
+        keys_b = list(reversed(
+            [canon_b.key_of_state(state) for state in reversed(states)]
+        ))
+        assert keys_a == keys_b

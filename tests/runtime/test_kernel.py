@@ -1,0 +1,254 @@
+"""Unit tests for the value-state transition kernel.
+
+The kernel's contract is *semantic identity* with the stateful
+:class:`~repro.runtime.scheduler.Scheduler`: the pure
+:func:`~repro.runtime.kernel.step_state` must produce, step for step,
+the states and event metadata a live scheduler produces, while never
+mutating anything.  These tests pin that contract directly (the
+backend differentials in ``test_backends.py`` pin it transitively at
+exploration scale).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.consensus import AnonymousConsensus
+from repro.core.mutex import AnonymousMutex
+from repro.errors import ProtocolError, SchedulingError
+from repro.runtime.exploration import (
+    agreement_invariant,
+    conjoin,
+    mutual_exclusion_invariant,
+    validity_invariant,
+)
+from repro.runtime.kernel import (
+    StateView,
+    StepInstance,
+    all_settled,
+    enabled_pids,
+    step_state,
+    step_value,
+)
+from repro.runtime.system import System
+
+from tests.conftest import pids
+
+
+def mutex_system(m=3, **kwargs):
+    return System(
+        AnonymousMutex(m=m, cs_visits=1), pids(2), record_trace=False, **kwargs
+    )
+
+
+def consensus_system(n=2):
+    return System(
+        AnonymousConsensus(n=n),
+        {pid: f"v{k}" for k, pid in enumerate(pids(n))},
+        record_trace=False,
+    )
+
+
+SYSTEMS = [
+    pytest.param(mutex_system, id="mutex"),
+    pytest.param(consensus_system, id="consensus"),
+]
+
+
+class TestStepStateParity:
+    """step_state ≡ Scheduler.step, state and metadata alike."""
+
+    @pytest.mark.parametrize("factory", SYSTEMS)
+    def test_random_walk_matches_scheduler(self, factory):
+        system = factory()
+        scheduler = system.scheduler
+        instance = StepInstance.from_system(system)
+        state = scheduler.capture_state()
+        rng = random.Random(11)
+        for _ in range(300):
+            enabled = scheduler.enabled_pids()
+            assert enabled_pids(instance, state) == enabled
+            if not enabled:
+                break
+            pid = rng.choice(enabled)
+            state, meta = step_state(instance, state, pid)
+            event = scheduler.step(pid)
+            assert state == scheduler.capture_state()
+            assert meta.pid == event.pid
+            assert meta.op == event.op
+            assert meta.physical_index == event.physical_index
+            assert meta.result == event.result
+            assert meta.halted == scheduler.runtime(pid).halted
+
+    def test_step_state_is_pure(self):
+        system = mutex_system()
+        instance = StepInstance.from_system(system)
+        state = system.scheduler.capture_state()
+        frozen = pickle.dumps(state)
+        successor, _ = step_state(instance, state, pids(1)[0])
+        assert successor != state
+        assert pickle.dumps(state) == frozen
+        # The live system was never touched either.
+        assert system.scheduler.capture_state() == state
+
+    def test_step_value_drops_only_the_meta(self):
+        system = mutex_system()
+        instance = StepInstance.from_system(system)
+        state = system.scheduler.capture_state()
+        p = pids(1)[0]
+        via_meta, _ = step_state(instance, state, p)
+        assert step_value(instance, state, p) == via_meta
+
+
+class TestStepStateErrors:
+    def test_unknown_pid(self):
+        system = mutex_system()
+        instance = StepInstance.from_system(system)
+        state = system.scheduler.capture_state()
+        with pytest.raises(SchedulingError, match="unknown process id"):
+            step_state(instance, state, 999)
+
+    def test_halted_and_crashed_refuse_to_step(self):
+        system = mutex_system()
+        scheduler = system.scheduler
+        p, q = pids(2)
+        scheduler.crash(q)
+        scheduler.run_solo_until_halt(p)
+        instance = StepInstance.from_system(system)
+        state = scheduler.capture_state()
+        with pytest.raises(SchedulingError, match="halted"):
+            step_state(instance, state, p)
+        with pytest.raises(SchedulingError, match="crashed"):
+            step_state(instance, state, q)
+
+    def test_out_of_range_register_is_a_protocol_error(self):
+        # Same contract (and message shape) as the live scheduler: a
+        # register number past the process's view is the algorithm's
+        # bug, not a scheduling accident.
+        system = mutex_system()
+        instance = StepInstance.from_system(system)
+        state = system.scheduler.capture_state()
+        p = pids(1)[0]
+        instance.permutations[p] = instance.permutations[p][:1]
+        with pytest.raises(ProtocolError, match="out of range"):
+            for _ in range(20):
+                state = step_value(instance, state, p)
+
+
+class TestSettling:
+    def test_all_settled_matches_scheduler(self):
+        system = mutex_system()
+        scheduler = system.scheduler
+        p, q = pids(2)
+        assert not scheduler.all_settled()
+        assert not all_settled(scheduler.capture_state())
+        scheduler.run_solo_until_halt(p)
+        scheduler.run_solo_until_halt(q)
+        assert scheduler.all_settled()
+        assert all_settled(scheduler.capture_state())
+
+    def test_crashed_processes_count_as_settled(self):
+        # "Settled" is a final *status* — halted or crashed — not a
+        # success: a crash-terminated run is settled, and the explorers'
+        # stuck counter (terminal but unsettled) stays at zero.
+        system = mutex_system()
+        scheduler = system.scheduler
+        p, q = pids(2)
+        scheduler.crash(q)
+        assert not scheduler.all_settled()
+        scheduler.run_solo_until_halt(p)
+        assert scheduler.all_halted()
+        assert scheduler.all_settled()
+        assert all_settled(scheduler.capture_state())
+
+    def test_settled_coincides_with_terminal_in_this_model(self):
+        # The invariant the explorers' defensive stuck counter guards:
+        # enabled ⟺ neither halted nor crashed, so "nobody runnable"
+        # and "everyone reached a final status" agree at every state.
+        system = mutex_system()
+        scheduler = system.scheduler
+        rng = random.Random(7)
+        p, q = pids(2)
+        scheduler.crash(q)
+        for _ in range(200):
+            assert scheduler.all_halted() == scheduler.all_settled()
+            assert (
+                all_settled(scheduler.capture_state())
+                == scheduler.all_settled()
+            )
+            enabled = scheduler.enabled_pids()
+            if not enabled:
+                break
+            scheduler.step(rng.choice(enabled))
+
+
+class TestStateView:
+    def test_duck_types_the_system_surface(self):
+        system = consensus_system()
+        instance = StepInstance.from_system(system)
+        view = StateView(instance, system.scheduler.capture_state())
+        # Both invariant spellings must hit the same object.
+        assert view.scheduler is view
+        assert view.inputs == system.inputs
+        assert view.pids == system.scheduler.pids
+        assert view.enabled_pids() == system.scheduler.enabled_pids()
+        assert not view.all_halted()
+        assert not view.all_settled()
+        assert view.outputs() == {}
+        for pid, runtime in view.runtimes():
+            assert runtime.enabled
+            assert runtime.state == system.scheduler.runtime(pid).state
+        with pytest.raises(SchedulingError, match="unknown process id"):
+            view.runtime(999)
+        with pytest.raises(SchedulingError, match="has not halted"):
+            view.output_of(pids(1)[0])
+
+    def test_stock_invariants_agree_with_the_live_system(self):
+        system = consensus_system()
+        scheduler = system.scheduler
+        instance = StepInstance.from_system(system)
+        invariant = conjoin(agreement_invariant, validity_invariant)
+
+        def check_both():
+            view = StateView(instance, scheduler.capture_state())
+            assert invariant(view) == invariant(system)
+
+        rng = random.Random(3)
+        check_both()
+        for _ in range(100):
+            enabled = scheduler.enabled_pids()
+            if not enabled:
+                break
+            scheduler.step(rng.choice(enabled))
+            check_both()
+        view = StateView(instance, scheduler.capture_state())
+        assert view.outputs() == scheduler.outputs()
+        for pid in scheduler.pids:
+            if scheduler.runtime(pid).halted:
+                assert view.output_of(pid) == scheduler.output_of(pid)
+
+    def test_mutex_invariant_reads_the_view(self):
+        system = mutex_system()
+        instance = StepInstance.from_system(system)
+        view = StateView(instance, system.scheduler.capture_state())
+        assert mutual_exclusion_invariant(view) is None
+
+
+class TestStepInstancePickling:
+    def test_round_trip_preserves_transitions(self):
+        system = mutex_system()
+        instance = StepInstance.from_system(system)
+        copy = pickle.loads(pickle.dumps(instance))
+        assert copy.pid_order == instance.pid_order
+        assert copy.slot_of == instance.slot_of
+        assert copy.permutations == instance.permutations
+        assert copy.inputs == instance.inputs
+        state = system.scheduler.capture_state()
+        p, q = pids(2)
+        for pid in (p, q, p, p, q):
+            original, meta_a = step_state(instance, state, pid)
+            copied, meta_b = step_state(copy, state, pid)
+            assert original == copied
+            assert meta_a == meta_b
+            state = original

@@ -81,7 +81,7 @@ class TestExplorationBench:
         problems = harness.check_baseline(doc(771, verdict="bounded-ok"), baseline)
         assert problems and "verdict changed" in problems[0]
 
-    def test_quick_bench_writes_schema_v1(self, harness, tmp_path, capsys):
+    def test_quick_bench_writes_schema_v2(self, harness, tmp_path, capsys):
         out = tmp_path / "bench.json"
         import json
 
@@ -89,8 +89,11 @@ class TestExplorationBench:
         capsys.readouterr()
         assert code == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == "repro.bench_explore/v1"
+        assert document["schema"] == "repro.bench_explore/v2"
         assert document["rng_seed"] == 5
+        assert document["backend"] == "serial"
+        assert document["workers"] == 1
+        assert document["host_cpus"] >= 1
         for record in document["instances"]:
             assert record["seed"]["verdict"] == record["canonical"]["verdict"]
             assert (
