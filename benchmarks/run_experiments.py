@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Regenerate every experiment table (E1-E14) in one run, without pytest.
+"""Regenerate the paper-claim experiment tables (E1-E14), without pytest.
 
 This is the script that produced the measurements recorded in
 EXPERIMENTS.md.  Each section corresponds to one experiment in
-DESIGN.md's index; each experiment asserts the paper's claim before
-printing its table, so a successful run *is* the reproduction.
+DESIGN.md's E1-E17 index; each experiment asserts the paper's claim
+before printing its table, so a successful run *is* the reproduction.
+The three extension experiments (E15-E17) are pytest-benchmark suites
+and run separately: ``pytest benchmarks/ --benchmark-only``.
 
 Run with:           python benchmarks/run_experiments.py [E1 E12 ...]
 
@@ -16,10 +18,16 @@ numbers are recorded as a machine-readable trajectory:
                                                             # BENCH_explore.json
     python benchmarks/run_experiments.py --bench --quick    # CI smoke subset
     ... --bench --quick --check-baseline benchmarks/BENCH_explore.json
+    ... --bench --quick --telemetry benchmarks/telemetry    # + run manifests
 
 ``--check-baseline`` exits non-zero if any instance's verdict changed or
 its canonical state count regressed against the recorded baseline.
-See docs/EXPLORATION.md for the file format.
+``--telemetry DIR`` attaches a live :class:`repro.obs.Telemetry` sink to
+every engine run and writes one ``repro.obs`` run manifest per run into
+DIR (render them with ``python -m repro report DIR``); the bench JSON
+then carries a ``telemetry`` block naming the manifests.
+See docs/EXPLORATION.md for the trajectory format and
+docs/OBSERVABILITY.md for the manifest schema.
 """
 
 import argparse
@@ -51,6 +59,7 @@ from repro.memory.naming import (
     RingNaming,
     all_namings_for_tests,
 )
+from repro.obs import RunManifest, Telemetry
 from repro.runtime.adversary import (
     RandomAdversary,
     SoloAdversary,
@@ -482,7 +491,35 @@ def _engine_record(res, canonicalizer=None):
     return record
 
 
-def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2):
+def _bench_slug(label):
+    """Filesystem-safe manifest stem from an instance label."""
+    slug = "".join(ch if ch.isalnum() else "-" for ch in label.lower())
+    while "--" in slug:
+        slug = slug.replace("--", "-")
+    return slug.strip("-")
+
+
+def _write_bench_manifest(directory, index, label, engine, budgets, record,
+                          telemetry, backend="serial", workers=1):
+    """Write one repro.obs run manifest for one engine run; returns its name."""
+    manifest = RunManifest.create(
+        kind="exploration",
+        algorithm=label,
+        parameters=dict(budgets, engine=engine),
+        naming="identity",
+        adversary="exhaustive (all schedules)",
+        backend=backend,
+        workers=workers,
+        outcome=dict(record),
+        telemetry=telemetry.snapshot(),
+    )
+    name = f"explore-{index:02d}-{_bench_slug(label)}-{engine}.json"
+    manifest.write(directory / name)
+    return name
+
+
+def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
+                          telemetry_dir=None):
     """Run every instance under both engines; return the JSON document.
 
     With ``backend="parallel"`` each instance additionally runs the
@@ -493,24 +530,43 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2):
     (``host_cpus`` is recorded alongside, because on a single-core host
     the honest speedup is necessarily < 1 — the parallel run pays IPC
     with no extra hardware to spend it on).
+
+    With ``telemetry_dir`` every engine run gets a live
+    :class:`repro.obs.Telemetry` sink and leaves one run manifest in
+    that directory; the returned document's ``telemetry`` block lists
+    the manifest file names.
     """
     parallel_backend = None
     if backend == "parallel":
         parallel_backend = resolve_backend("parallel", workers)
+    if telemetry_dir is not None:
+        telemetry_dir = Path(telemetry_dir)
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+
+    def bench_telemetry():
+        return Telemetry() if telemetry_dir is not None else None
+
+    manifest_names = []
     rows = []
     records = []
-    for label, factory, invariant, overrides in _bench_instances(quick):
+    for index, (label, factory, invariant, overrides) in enumerate(
+        _bench_instances(quick)
+    ):
         budgets = dict(BENCH_BUDGETS, **(overrides or {}))
         system = factory()
+        seed_tel = bench_telemetry()
         seed_res = explore(
             system, invariant,
             canonicalizer=TrivialCanonicalizer(system.scheduler),
+            telemetry=seed_tel,
             **budgets,
         )
         system = factory()
         canonicalizer = build_canonicalizer(system)
+        canonical_tel = bench_telemetry()
         reduced_res = explore(
-            system, invariant, canonicalizer=canonicalizer, **budgets
+            system, invariant, canonicalizer=canonicalizer,
+            telemetry=canonical_tel, **budgets,
         )
         assert seed_res.ok == reduced_res.ok, label
         reduction = seed_res.states_explored / reduced_res.states_explored
@@ -523,13 +579,23 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2):
             "reduction_factor": round(reduction, 2),
             "newly_tractable": newly_tractable,
         }
+        if telemetry_dir is not None:
+            manifest_names.append(_write_bench_manifest(
+                telemetry_dir, index, label, "seed", budgets,
+                record["seed"], seed_tel,
+            ))
+            manifest_names.append(_write_bench_manifest(
+                telemetry_dir, index, label, "canonical", budgets,
+                record["canonical"], canonical_tel,
+            ))
         row_tail = []
         if parallel_backend is not None:
             system = factory()
             par_canonicalizer = build_canonicalizer(system)
+            par_tel = bench_telemetry()
             par_res = explore(
                 system, invariant, canonicalizer=par_canonicalizer,
-                backend=parallel_backend, **budgets,
+                backend=parallel_backend, telemetry=par_tel, **budgets,
             )
             par_verdict = "violation" if not par_res.ok else (
                 "exhaustive-ok" if par_res.complete else "bounded-ok"
@@ -547,6 +613,12 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2):
                 if par_res.wall_seconds > 0 else None
             )
             record["parallel"] = par_record
+            if telemetry_dir is not None:
+                manifest_names.append(_write_bench_manifest(
+                    telemetry_dir, index, label, "parallel", budgets,
+                    par_record, par_tel,
+                    backend="parallel", workers=par_res.workers,
+                ))
             row_tail = [f"x{par_record['speedup_vs_serial']}"]
         records.append(record)
         rows.append([
@@ -571,8 +643,10 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2):
         generated += " --quick"
     if parallel_backend is not None:
         generated += f" --backend parallel --workers {parallel_backend.workers}"
+    if telemetry_dir is not None:
+        generated += f" --telemetry {telemetry_dir}"
     return {
-        "schema": "repro.bench_explore/v2",
+        "schema": "repro.bench_explore/v3",
         "generated_by": generated,
         "rng_seed": rng_seed,
         "quick": quick,
@@ -580,6 +654,11 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2):
         "workers": parallel_backend.workers if parallel_backend else 1,
         "host_cpus": os.cpu_count(),
         "budgets": dict(BENCH_BUDGETS),
+        "telemetry": {
+            "enabled": telemetry_dir is not None,
+            "dir": str(telemetry_dir) if telemetry_dir is not None else None,
+            "manifests": manifest_names,
+        },
         "instances": records,
     }
 
@@ -653,6 +732,12 @@ def main(argv=None):
              "and exit non-zero on verdict or state-count regressions",
     )
     parser.add_argument(
+        "--telemetry", type=Path, default=None, metavar="DIR",
+        help="with --bench: attach a live Telemetry sink to every engine "
+             "run and write one repro.obs run manifest per run into DIR "
+             "(render with: python -m repro report DIR)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=5, metavar="N",
         help="RNG seed for the randomised E14 workloads (default: 5); "
              "recorded in the bench JSON",
@@ -673,6 +758,7 @@ def main(argv=None):
         document = exploration_benchmark(
             quick=args.quick, rng_seed=args.seed,
             backend=args.backend, workers=args.workers,
+            telemetry_dir=args.telemetry,
         )
         out = args.bench_out
         if out is None and not args.quick:
@@ -680,6 +766,9 @@ def main(argv=None):
         if out is not None:
             out.write_text(json.dumps(document, indent=1) + "\n")
             print(f"wrote {out}")
+        if args.telemetry is not None:
+            count = len(document["telemetry"]["manifests"])
+            print(f"wrote {count} run manifests to {args.telemetry}")
         if args.check_baseline is not None:
             problems = check_baseline(document, args.check_baseline)
             for problem in problems:

@@ -29,6 +29,10 @@ Layout
 ``repro.analysis``
     Experiment sweeps, metrics and table rendering for the benchmark
     harness.
+``repro.obs``
+    Structured run observability: telemetry sinks (counters, gauges,
+    phase timers, bounded events), versioned run manifests, and the
+    ``python -m repro report`` renderer.
 
 Quickstart
 ----------
@@ -41,6 +45,7 @@ Quickstart
 1
 """
 
+from repro.analysis.experiments import sweep
 from repro.core.consensus import AnonymousConsensus
 from repro.core.election import AnonymousElection, elected_leader
 from repro.core.mutex import AnonymousMutex
@@ -49,6 +54,7 @@ from repro.errors import (
     AgreementViolation,
     ConfigurationError,
     DeadlockFreedomViolation,
+    ManifestValidationError,
     MutualExclusionViolation,
     NameRangeViolation,
     ProtocolError,
@@ -66,6 +72,7 @@ from repro.memory import (
     RandomNaming,
     RingNaming,
 )
+from repro.obs import NULL_TELEMETRY, NullTelemetry, RunManifest, Telemetry
 from repro.runtime import (
     LockstepAdversary,
     RandomAdversary,
@@ -94,9 +101,15 @@ __all__ = [
     "RandomNaming",
     "RingNaming",
     "ExplicitNaming",
-    # runtime
+    # runtime + analysis
     "System",
     "explore",
+    "sweep",
+    # observability
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "RunManifest",
     "RandomAdversary",
     "RoundRobinAdversary",
     "LockstepAdversary",
@@ -107,6 +120,7 @@ __all__ = [
     # errors
     "ReproError",
     "ConfigurationError",
+    "ManifestValidationError",
     "ProtocolError",
     "SchedulingError",
     "SpecViolation",

@@ -10,7 +10,12 @@ Subcommands:
                     an even register count and show the provable livelock;
 * ``lint``        — static analysis + runtime audits of the model rules
                     (symmetry, anonymity, atomicity, pc annotations);
-* ``experiments`` — regenerate every experiment table (E1-E14; slower).
+* ``experiments`` — regenerate the paper-claim experiment tables (E1-E14
+                    of the E1-E17 index in DESIGN.md; the E15-E17
+                    extension tables run via ``pytest benchmarks/
+                    --benchmark-only``; slower);
+* ``report``      — validate and summarise run manifests written by the
+                    telemetry subsystem (``repro.obs``).
 """
 
 from __future__ import annotations
@@ -107,6 +112,12 @@ def cmd_lint(rest=()) -> int:
     return lint_main(list(rest))
 
 
+def cmd_report(rest=()) -> int:
+    from repro.obs.report import report_main
+
+    return report_main(list(rest))
+
+
 def cmd_experiments() -> int:
     import importlib.util
     from pathlib import Path
@@ -135,12 +146,19 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "verify", "attack", "lint", "experiments"],
+        choices=["demo", "verify", "attack", "lint", "experiments", "report"],
+        help="demo (default) | verify | attack | lint | "
+             "experiments (tables E1-E14 of the E1-E17 index; E15-E17 "
+             "run via pytest benchmarks/) | "
+             "report <manifest-or-dir> (summarise repro.obs run manifests)",
     )
     args, rest = parser.parse_known_args(argv)
     if args.command == "lint":
         # Forward the remaining flags (e.g. --skip-races) to the lint CLI.
         return cmd_lint(rest)
+    if args.command == "report":
+        # Forward the manifest path / flags to the report CLI.
+        return cmd_report(rest)
     if rest:
         parser.error(f"unrecognized arguments: {' '.join(rest)}")
     return {

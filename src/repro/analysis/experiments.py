@@ -18,12 +18,15 @@ the records.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import RunMetrics, collect_metrics
-from repro.errors import SpecViolation
+from repro.errors import ConfigurationError, SpecViolation
 from repro.memory.naming import NamingAssignment
+from repro.obs.telemetry import NULL_TELEMETRY, TelemetrySink
 from repro.runtime.adversary import Adversary
 from repro.runtime.automaton import Algorithm
 from repro.runtime.events import Trace
@@ -140,6 +143,10 @@ def _run_sweep_cell(index: int) -> RunRecord:
     return record
 
 
+#: Sentinel distinguishing "executor= not passed" from an explicit None.
+_EXECUTOR_UNSET = object()
+
+
 def sweep(
     algorithm_factory: Callable[[], Algorithm],
     inputs,
@@ -147,7 +154,10 @@ def sweep(
     adversaries: Sequence[Adversary],
     checkers_factory: Callable[..., Iterable[PropertyChecker]],
     max_steps: int = 200_000,
-    executor=None,
+    backend: Optional[Union[str, Any]] = None,
+    telemetry: Optional[TelemetrySink] = None,
+    manifest_dir: Optional[Union[str, Path]] = None,
+    executor: Any = _EXECUTOR_UNSET,
 ) -> SweepResult:
     """Run every naming × adversary combination and check each trace.
 
@@ -161,13 +171,40 @@ def sweep(
     bug).  Violations are *collected*, not raised — impossibility-side
     sweeps count them.
 
-    ``executor`` fans the independent cells out:
-    :class:`~repro.runtime.backends.SerialExecutor` (the default) keeps
-    the historical in-process loop; a
-    :class:`~repro.runtime.backends.ProcessExecutor` runs cells across
-    worker processes with bit-identical records (see module docstring).
+    ``backend`` fans the independent cells out, in the same vocabulary
+    the explorer uses: ``"serial"`` (the default — the historical
+    in-process loop via
+    :class:`~repro.runtime.backends.SerialExecutor`), ``"process"``
+    (worker processes via
+    :class:`~repro.runtime.backends.ProcessExecutor`, bit-identical
+    records, see module docstring), or an executor instance.  The old
+    ``executor=`` kwarg still works but emits a
+    :class:`DeprecationWarning`.
+
+    ``telemetry`` receives the per-sweep counters (``sweep.cells``,
+    ``sweep.violations``) and the ``sweep.map`` phase timer;
+    ``manifest_dir`` additionally writes one
+    :class:`~repro.obs.manifest.RunManifest` per cell (NDJSON, one line
+    per cell) into that directory — the after-the-fact audit record of
+    what each cell ran.
     """
-    from repro.runtime.backends import SerialExecutor
+    from repro.runtime.backends import resolve_executor
+
+    if executor is not _EXECUTOR_UNSET:
+        warnings.warn(
+            "sweep(executor=...) is deprecated; pass backend=\"serial\", "
+            "backend=\"process\" or backend=<executor> instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if backend is not None:
+            raise ConfigurationError(
+                "pass either backend= or the deprecated executor=, not both"
+            )
+        backend = executor
+    chosen = resolve_executor(backend if backend is not None else "serial")
+    if telemetry is None:
+        telemetry = NULL_TELEMETRY
 
     cells = tuple(
         (naming, adversary) for naming in namings for adversary in adversaries
@@ -175,17 +212,80 @@ def sweep(
     payload: _SweepPayload = (
         algorithm_factory, inputs, cells, checkers_factory, max_steps,
     )
-    if executor is None:
-        executor = SerialExecutor()
-    records = executor.map(
-        _run_sweep_cell,
-        range(len(cells)),
-        initializer=_init_sweep_worker,
-        initargs=(payload,),
-    )
+    with telemetry.phase("sweep.map"):
+        records = chosen.map(
+            _run_sweep_cell,
+            range(len(cells)),
+            initializer=_init_sweep_worker,
+            initargs=(payload,),
+        )
     result = SweepResult(algorithm=algorithm_factory().name)
     result.records.extend(records)
+    if telemetry.enabled:
+        telemetry.count("sweep.cells", len(records))
+        telemetry.count(
+            "sweep.violations",
+            sum(len(record.violations) for record in records),
+        )
+        telemetry.event(
+            "sweep.done",
+            algorithm=result.algorithm,
+            cells=len(records),
+            backend=chosen.name,
+            workers=chosen.workers,
+            all_ok=result.all_ok,
+        )
+    if manifest_dir is not None:
+        write_sweep_manifests(
+            result, Path(manifest_dir),
+            backend=chosen.name, workers=chosen.workers,
+            max_steps=max_steps,
+        )
     return result
+
+
+def write_sweep_manifests(
+    result: SweepResult,
+    directory: Path,
+    backend: str = "serial",
+    workers: int = 1,
+    max_steps: int = 0,
+) -> Path:
+    """Write one manifest per sweep cell as NDJSON under ``directory``.
+
+    The file is named after the algorithm (slugged); an existing file
+    gets a numeric suffix instead of being overwritten, so repeated
+    sweeps in one telemetry directory all keep their records.
+    """
+    from repro.obs.manifest import RunManifest, write_manifests_ndjson
+
+    slug = "".join(
+        ch if ch.isalnum() or ch in "-_" else "-" for ch in result.algorithm.lower()
+    ).strip("-")
+    target = directory / f"sweep-{slug}.ndjson"
+    suffix = 1
+    while target.exists():
+        suffix += 1
+        target = directory / f"sweep-{slug}-{suffix}.ndjson"
+    manifests = []
+    for index, record in enumerate(result.records):
+        manifests.append(
+            RunManifest.create(
+                kind="sweep-cell",
+                algorithm=result.algorithm,
+                parameters={"cell": index, "max_steps": max_steps},
+                naming=record.naming,
+                adversary=record.adversary,
+                backend=backend,
+                workers=workers,
+                outcome={
+                    "verdict": "ok" if record.ok else "violation",
+                    "events": len(record.trace),
+                    "violations": [str(v) for v in record.violations],
+                },
+            )
+        )
+    return write_manifests_ndjson(manifests, target)
 
 
 def gives_solo_opportunities(adversary: Adversary) -> bool:

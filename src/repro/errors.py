@@ -52,6 +52,17 @@ class ExplorationLimitExceeded(ReproError):
     """
 
 
+class ManifestValidationError(ReproError):
+    """A run manifest failed its schema check.
+
+    Raised when loading or constructing a
+    :class:`repro.obs.manifest.RunManifest` from a document that is
+    missing required fields, carries wrong types, or declares an
+    unsupported schema version.  The message lists every problem found,
+    not just the first.
+    """
+
+
 class SpecViolation(ReproError):
     """Base class for safety/liveness property violations found in a trace.
 

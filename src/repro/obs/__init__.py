@@ -1,0 +1,58 @@
+"""repro.obs — structured run observability (telemetry + manifests).
+
+The paper's evaluation *is* its theorems, so the evidence quality of
+every claim rests on knowing exactly what each run did: how many states
+a walk visited, which phases dominated its wall time, whether dedup or a
+budget truncation fired.  This package is the zero-dependency layer that
+records those facts and makes them auditable after the fact:
+
+:class:`Telemetry` / :class:`NullTelemetry`
+    An in-memory sink of counters, gauges, monotonic phase timers and a
+    bounded event log.  Hot paths receive a sink as an *optional* hook —
+    the default :data:`NULL_TELEMETRY` advertises ``enabled = False`` so
+    instrumented loops skip all recording work.
+
+:class:`RunManifest`
+    A versioned, machine-readable JSON record of one run: algorithm,
+    parameters, naming, adversary, backend, host fingerprint, git
+    revision, outcome, and the telemetry snapshot.  Manifests are what
+    ``benchmarks/run_experiments.py --telemetry <dir>`` writes next to
+    ``BENCH_explore.json`` and what ``python -m repro report`` renders.
+
+The exporter speaks both one-file-per-run JSON and NDJSON (one manifest
+per line) and every load path re-validates against the schema — a
+manifest that does not validate is a bug in the producer, never silently
+accepted.  See docs/OBSERVABILITY.md for the telemetry model and the
+manifest schema.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    host_fingerprint,
+    load_manifests,
+    validate_manifest,
+    write_manifests_ndjson,
+)
+from repro.obs.report import render_report, report_main
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySink,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "TelemetrySink",
+    "RunManifest",
+    "MANIFEST_SCHEMA",
+    "validate_manifest",
+    "host_fingerprint",
+    "load_manifests",
+    "write_manifests_ndjson",
+    "render_report",
+    "report_main",
+]

@@ -62,10 +62,12 @@ from typing import (
     Set,
     Tuple,
     TypeVar,
+    Union,
 )
 from zlib import crc32
 
 from repro.errors import ConfigurationError
+from repro.obs.telemetry import NULL_TELEMETRY, TelemetrySink
 from repro.runtime.canonical import Canonicalizer, CanonicalKey
 from repro.runtime.exploration import ExplorationResult
 from repro.runtime.kernel import (
@@ -110,8 +112,17 @@ class ExplorationBackend(Protocol):
     #: Degree of parallelism (1 for serial backends).
     workers: int
 
-    def run(self, task: ExplorationTask) -> ExplorationResult:
-        """Explore ``task`` and return the outcome."""
+    def run(
+        self,
+        task: ExplorationTask,
+        telemetry: TelemetrySink = NULL_TELEMETRY,
+    ) -> ExplorationResult:
+        """Explore ``task`` and return the outcome.
+
+        ``telemetry`` is an optional observability hook; backends must
+        produce identical results whether it is the null sink or a
+        recording one (telemetry observes the walk, never steers it).
+        """
         ...
 
 
@@ -134,13 +145,26 @@ class SerialBackend:
     name = "serial"
     workers = 1
 
-    def run(self, task: ExplorationTask) -> ExplorationResult:
+    #: Emit one progress event per this many popped states (power of
+    #: two: the hot-loop check is a single mask).  Class attribute so
+    #: tests can lower it to exercise the progress path on toy walks.
+    progress_interval = 8192
+
+    def run(
+        self,
+        task: ExplorationTask,
+        telemetry: TelemetrySink = NULL_TELEMETRY,
+    ) -> ExplorationResult:
         instance = task.instance
         canonicalizer = task.canonicalizer
         invariant = task.invariant
         max_states = task.max_states
         max_depth = task.max_depth
         slot_of = instance.slot_of
+        # Hoisted once: with the null sink the per-state telemetry cost
+        # is a single short-circuited local-bool test.
+        emit = telemetry.enabled
+        progress_mask = self.progress_interval - 1
 
         initial = task.initial
         initial_key, initial_raw = canonicalizer.key_of_state(initial)
@@ -175,6 +199,17 @@ class SerialBackend:
             result.states_explored += 1
             if depth > result.max_depth_reached:
                 result.max_depth_reached = depth
+            if emit and not (result.states_explored & progress_mask):
+                telemetry.gauge("explore.visited", len(visited))
+                telemetry.gauge("explore.frontier", len(stack))
+                telemetry.event(
+                    "explore.progress",
+                    states=result.states_explored,
+                    frontier=len(stack),
+                    visited=len(visited),
+                    orbit_hits=result.orbits_collapsed,
+                    depth=depth,
+                )
 
             violation = invariant(StateView(instance, state))
             if violation is not None:
@@ -243,6 +278,11 @@ class SerialBackend:
         result.complete = result.truncated_by is None
         result.wall_seconds = time.perf_counter() - started
         result.peak_visited = len(visited)
+        if emit:
+            telemetry.gauge("explore.visited", len(visited))
+            telemetry.gauge("explore.frontier", len(stack))
+            telemetry.count("explore.events", result.events_executed)
+            telemetry.count("explore.orbit_hits", result.orbits_collapsed)
         return result
 
 
@@ -271,13 +311,17 @@ _Chunk = Tuple[bool, List[Tuple[GlobalState, bytes]]]
 #: What a worker returns per chunk, all offsets chunk-local:
 #: (violations [(offset, message)], stuck count, events executed,
 #:  expandable-at-max-depth count,
-#:  successors [(offset, pid path, canonical key, raw key, state)]).
+#:  successors [(offset, pid path, canonical key, raw key, state)],
+#:  chunk wall seconds — the worker-side expansion time, measured where
+#:  it happens so the coordinator's telemetry can report per-worker load
+#:  without a cross-process clock).
 _ChunkResult = Tuple[
     List[Tuple[int, str]],
     int,
     int,
     int,
     List[Tuple[int, Tuple[ProcessId, ...], CanonicalKey, bytes, GlobalState]],
+    float,
 ]
 
 
@@ -309,6 +353,7 @@ def _expand_chunk_with(payload: _WorkerPayload, chunk: _Chunk) -> _ChunkResult:
     instance, canonicalizer, invariant, emitted = payload
     slot_of = instance.slot_of
     check_only, entries = chunk
+    chunk_started = time.perf_counter()
     violations: List[Tuple[int, str]] = []
     stuck = 0
     events = 0
@@ -356,7 +401,10 @@ def _expand_chunk_with(payload: _WorkerPayload, chunk: _Chunk) -> _ChunkResult:
                 continue
             emitted.add(key)
             successors.append((offset, path, key, raw, child))
-    return violations, stuck, events, expandable, successors
+    return (
+        violations, stuck, events, expandable, successors,
+        time.perf_counter() - chunk_started,
+    )
 
 
 class ParallelBackend:
@@ -405,9 +453,14 @@ class ParallelBackend:
         self.inline_frontier = inline_frontier
         self._mp_context = mp_context
 
-    def run(self, task: ExplorationTask) -> ExplorationResult:
+    def run(
+        self,
+        task: ExplorationTask,
+        telemetry: TelemetrySink = NULL_TELEMETRY,
+    ) -> ExplorationResult:
         instance = task.instance
         canonicalizer = task.canonicalizer
+        emit = telemetry.enabled
         started = time.perf_counter()
         initial_key, initial_raw = canonicalizer.key_of_state(task.initial)
         shard_count = self.shards
@@ -450,18 +503,31 @@ class ParallelBackend:
                 check_only = depth >= task.max_depth
                 result.states_explored += len(frontier)
                 result.max_depth_reached = depth
-                if len(frontier) < self.inline_frontier:
-                    chunks: List[_Chunk] = [(check_only, frontier)]
-                    outputs = [_expand_chunk_with(payload, chunks[0])]
-                else:
-                    chunks = self._partition(frontier, check_only)
-                    outputs = pool.map(_expand_chunk, chunks)
+                with telemetry.phase("parallel.expand"):
+                    if len(frontier) < self.inline_frontier:
+                        chunks: List[_Chunk] = [(check_only, frontier)]
+                        outputs = [_expand_chunk_with(payload, chunks[0])]
+                    else:
+                        chunks = self._partition(frontier, check_only)
+                        outputs = pool.map(_expand_chunk, chunks)
+
+                if emit:
+                    telemetry.count("parallel.levels")
+                    telemetry.gauge("explore.frontier", len(frontier))
+                    telemetry.gauge("explore.visited", visited_total)
+                    telemetry.event(
+                        "parallel.level",
+                        depth=depth,
+                        frontier=len(frontier),
+                        chunks=len(chunks),
+                        chunk_seconds=[round(out[5], 6) for out in outputs],
+                    )
 
                 # -- merge, strictly in chunk order --------------------
                 chunk_starts = self._chunk_starts(chunks)
                 first_violation: Optional[Tuple[int, str]] = None
                 expandable_total = 0
-                for start, (violations, stuck, events, expandable, _) in zip(
+                for start, (violations, stuck, events, expandable, _, _) in zip(
                     chunk_starts, outputs
                 ):
                     result.events_executed += events
@@ -486,26 +552,27 @@ class ParallelBackend:
                 new_frontier: List[Tuple[GlobalState, bytes]] = []
                 new_links: List[Tuple[int, Tuple[ProcessId, ...]]] = []
                 budget_exhausted = False
-                for start, (_, _, _, _, successors) in zip(
-                    chunk_starts, outputs
-                ):
-                    for offset, path, key, raw, child in successors:
-                        shard = shards[crc32(key) % shard_count]
-                        claimed = shard.get(key)
-                        if claimed is not None:
-                            if claimed != raw:
-                                result.orbits_collapsed += 1
-                            continue
-                        if visited_total >= task.max_states:
-                            result.truncated_by = "max_states"
-                            budget_exhausted = True
+                with telemetry.phase("parallel.merge"):
+                    for start, (_, _, _, _, successors, _) in zip(
+                        chunk_starts, outputs
+                    ):
+                        for offset, path, key, raw, child in successors:
+                            shard = shards[crc32(key) % shard_count]
+                            claimed = shard.get(key)
+                            if claimed is not None:
+                                if claimed != raw:
+                                    result.orbits_collapsed += 1
+                                continue
+                            if visited_total >= task.max_states:
+                                result.truncated_by = "max_states"
+                                budget_exhausted = True
+                                break
+                            shard[key] = raw
+                            visited_total += 1
+                            new_links.append((start + offset, path))
+                            new_frontier.append((child, raw))
+                        if budget_exhausted:
                             break
-                        shard[key] = raw
-                        visited_total += 1
-                        new_links.append((start + offset, path))
-                        new_frontier.append((child, raw))
-                    if budget_exhausted:
-                        break
                 if budget_exhausted:
                     break
                 levels.append(new_links)
@@ -515,6 +582,10 @@ class ParallelBackend:
         result.complete = result.truncated_by is None
         result.wall_seconds = time.perf_counter() - started
         result.peak_visited = visited_total
+        if emit:
+            telemetry.gauge("explore.visited", visited_total)
+            telemetry.count("explore.events", result.events_executed)
+            telemetry.count("explore.orbit_hits", result.orbits_collapsed)
         return result
 
     def _partition(
@@ -659,3 +730,48 @@ def resolve_backend(
     raise ConfigurationError(
         f"unknown exploration backend {spec!r}; expected 'serial' or 'parallel'"
     )
+
+
+class SweepExecutor(Protocol):
+    """The ordered-``map`` interface :func:`repro.analysis.experiments.sweep`
+    fans its cells out over (satisfied by :class:`SerialExecutor` and
+    :class:`ProcessExecutor`)."""
+
+    name: str
+    workers: int
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Sequence[_T],
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Tuple[Any, ...] = (),
+    ) -> List[_R]:
+        """Apply ``fn`` to every item, preserving submission order."""
+        ...
+
+
+def resolve_executor(
+    spec: Union[str, SweepExecutor], workers: Optional[int] = None
+) -> SweepExecutor:
+    """Build a sweep executor from a spec.
+
+    Accepts the backend vocabulary as strings — ``"serial"`` →
+    :class:`SerialExecutor`, ``"process"`` → :class:`ProcessExecutor` —
+    or passes an executor instance (anything with a ``map``) through
+    unchanged, so ``sweep(backend=...)`` takes either spelling.
+    """
+    if isinstance(spec, str):
+        if spec == "serial":
+            return SerialExecutor()
+        if spec == "process":
+            return ProcessExecutor(workers=workers or 2)
+        raise ConfigurationError(
+            f"unknown sweep backend {spec!r}; expected 'serial' or 'process'"
+        )
+    if not hasattr(spec, "map"):
+        raise ConfigurationError(
+            f"sweep backend must be 'serial', 'process' or an executor "
+            f"with a map() method, got {spec!r}"
+        )
+    return spec

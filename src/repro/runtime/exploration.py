@@ -16,20 +16,24 @@ for concrete (n, m, naming) instances.
 Deduplication is delegated to a
 :class:`~repro.runtime.canonical.Canonicalizer`: at minimum a compact
 interned encoding of the raw global state, and — via
-:func:`explore_symmetry_reduced` — a quotient under the instance's
-naming-automorphism group, which collapses states that differ only by a
-symmetry and typically shrinks the visited set by the group order and
-more (see docs/EXPLORATION.md for the soundness argument).  The quotient
-walk explores *real* states (one representative per orbit), so reported
-violation schedules replay directly on a fresh system.
+``explore(..., reduction="symmetry")`` — a quotient under the
+instance's naming-automorphism group, which collapses states that
+differ only by a symmetry and typically shrinks the visited set by the
+group order and more (see docs/EXPLORATION.md for the soundness
+argument).  The quotient walk explores *real* states (one
+representative per orbit), so reported violation schedules replay
+directly on a fresh system.  (:func:`explore_symmetry_reduced` is the
+deprecated spelling of the same quotient walk.)
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Tuple, Union
 
-from repro.errors import ExplorationLimitExceeded
+from repro.errors import ConfigurationError, ExplorationLimitExceeded
+from repro.obs.telemetry import NULL_TELEMETRY, TelemetrySink
 from repro.runtime.canonical import (
     Canonicalizer,
     TrivialCanonicalizer,
@@ -155,10 +159,15 @@ def explore(
     max_depth: int = 10_000,
     raise_on_truncation: bool = False,
     canonicalizer: Optional[Canonicalizer] = None,
-    backend: Optional["ExplorationBackend"] = None,
+    backend: Optional[Union[str, "ExplorationBackend"]] = None,
+    *,
+    reduction: Optional[str] = None,
+    telemetry: Optional[TelemetrySink] = None,
+    footprints: bool = True,
+    max_group: int = 720,
 ) -> ExplorationResult:
     """Exhaustively explore ``system``'s reachable states, checking
-    ``invariant`` in each.
+    ``invariant`` in each.  The single public exploration entrypoint.
 
     The walk runs entirely over *value* states: the system's current
     state is captured once as the initial state and ``system`` itself is
@@ -189,31 +198,74 @@ def explore(
         ``truncated_by`` set (``raise_on_truncation`` optionally turns
         budget truncation into
         :class:`~repro.errors.ExplorationLimitExceeded`).
+    reduction:
+        State-space quotient selector: ``"none"`` (the default — plain
+        compact dedup of raw states) or ``"symmetry"`` (the strongest
+        sound canonicalizer for this system, built via
+        :func:`~repro.runtime.canonical.build_canonicalizer` with
+        ``footprints``/``max_group`` — typically shrinks the visited
+        set by the naming-automorphism group order and more).  Mutually
+        exclusive with ``canonicalizer``.
     canonicalizer:
-        State-keying strategy; defaults to a fresh
-        :class:`~repro.runtime.canonical.TrivialCanonicalizer` (compact
-        encoding, no symmetry).  Must have been built for this
-        ``system``'s scheduler.
+        Explicit state-keying strategy for callers that need one beyond
+        the two ``reduction`` presets (the benchmark harness compares
+        engines this way).  Must have been built for this ``system``'s
+        scheduler.
     backend:
         The :class:`~repro.runtime.backends.ExplorationBackend` that
-        runs the walk.  Defaults to
+        runs the walk — an instance, or the string ``"serial"`` /
+        ``"parallel"`` (resolved via
+        :func:`~repro.runtime.backends.resolve_backend`).  Defaults to
         :class:`~repro.runtime.backends.SerialBackend` — the historical
-        depth-first semantics, bit-identical counters included.  Pass a
-        :class:`~repro.runtime.backends.ParallelBackend` to fan the
+        depth-first semantics, bit-identical counters included.  A
+        :class:`~repro.runtime.backends.ParallelBackend` fans the
         frontier out across worker processes (same verdicts; see
         docs/EXPLORATION.md for exactly which counters may differ on
         budget-truncated walks).
+    telemetry:
+        A :class:`~repro.obs.telemetry.TelemetrySink` receiving phase
+        timers (canonicalizer build, walk), visited/frontier gauges and
+        periodic progress events.  Defaults to the shared
+        :data:`~repro.obs.telemetry.NULL_TELEMETRY`, which disables all
+        recording; results are identical either way (pinned by the
+        differential tests in ``tests/obs/test_telemetry.py``).
+    footprints / max_group:
+        Forwarded to the canonicalizer builder when
+        ``reduction="symmetry"``; ignored (and unvalidated) otherwise.
     """
     # Imported here, not at module top: backends imports
     # ExplorationResult from this module.
-    from repro.runtime.backends import ExplorationTask, SerialBackend
+    from repro.runtime.backends import (
+        ExplorationTask,
+        SerialBackend,
+        resolve_backend,
+    )
     from repro.runtime.kernel import StepInstance
 
+    if telemetry is None:
+        telemetry = NULL_TELEMETRY
     scheduler = system.scheduler
+    if reduction is not None and canonicalizer is not None:
+        raise ConfigurationError(
+            "pass either reduction= or canonicalizer=, not both "
+            f"(got reduction={reduction!r} and an explicit canonicalizer)"
+        )
     if canonicalizer is None:
-        canonicalizer = TrivialCanonicalizer(scheduler)
+        if reduction in (None, "none"):
+            canonicalizer = TrivialCanonicalizer(scheduler)
+        elif reduction == "symmetry":
+            with telemetry.phase("explore.build_canonicalizer"):
+                canonicalizer = build_canonicalizer(
+                    system, footprints=footprints, max_group=max_group
+                )
+        else:
+            raise ConfigurationError(
+                f"unknown reduction {reduction!r}; expected 'symmetry' or 'none'"
+            )
     if backend is None:
         backend = SerialBackend()
+    elif isinstance(backend, str):
+        backend = resolve_backend(backend)
 
     task = ExplorationTask(
         instance=StepInstance.from_system(system),
@@ -223,9 +275,32 @@ def explore(
         max_states=max_states,
         max_depth=max_depth,
     )
-    result = backend.run(task)
+    if telemetry.enabled:
+        telemetry.gauge("explore.group_size", canonicalizer.group_order)
+        telemetry.event(
+            "explore.start",
+            backend=backend.name,
+            workers=backend.workers,
+            max_states=max_states,
+            max_depth=max_depth,
+        )
+    with telemetry.phase("explore.walk"):
+        result = backend.run(task, telemetry=telemetry)
     result.backend = backend.name
     result.workers = backend.workers
+    if telemetry.enabled:
+        telemetry.gauge("explore.states", result.states_explored)
+        telemetry.gauge("explore.peak_visited", result.peak_visited)
+        telemetry.gauge("explore.orbit_hits", result.orbits_collapsed)
+        telemetry.event(
+            "explore.done",
+            verdict="violation" if not result.ok else (
+                "exhaustive-ok" if result.complete else "bounded-ok"
+            ),
+            states=result.states_explored,
+            events=result.events_executed,
+            truncated_by=result.truncated_by,
+        )
     if raise_on_truncation and result.truncated_by in ("max_states", "max_depth"):
         raise ExplorationLimitExceeded(
             f"exploration truncated by {result.truncated_by}; "
@@ -242,19 +317,20 @@ def explore_symmetry_reduced(
     raise_on_truncation: bool = False,
     footprints: bool = True,
     max_group: int = 720,
-    backend: Optional["ExplorationBackend"] = None,
+    backend: Optional[Union[str, "ExplorationBackend"]] = None,
 ) -> ExplorationResult:
-    """:func:`explore` under the strongest sound canonicalizer.
+    """Deprecated spelling of ``explore(..., reduction="symmetry")``.
 
-    Builds a :func:`~repro.runtime.canonical.build_canonicalizer` for
-    ``system`` — symmetry quotient plus per-automaton footprints where
-    the automata opt in, transparently falling back to plain compact
-    encoding where they don't — and runs the same walk, on whichever
-    ``backend`` the caller selects.  ``invariant`` must be symmetric
-    (see :func:`explore`); the stock invariants in this module all are.
+    Retained as a thin shim for one deprecation cycle; it emits a
+    :class:`DeprecationWarning` and forwards.  New code should call
+    :func:`explore` with ``reduction="symmetry"`` — same canonicalizer,
+    same walk, same result.
     """
-    canonicalizer = build_canonicalizer(
-        system, footprints=footprints, max_group=max_group
+    warnings.warn(
+        "explore_symmetry_reduced() is deprecated; call "
+        "explore(..., reduction=\"symmetry\") instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
     return explore(
         system,
@@ -262,8 +338,10 @@ def explore_symmetry_reduced(
         max_states=max_states,
         max_depth=max_depth,
         raise_on_truncation=raise_on_truncation,
-        canonicalizer=canonicalizer,
         backend=backend,
+        reduction="symmetry",
+        footprints=footprints,
+        max_group=max_group,
     )
 
 

@@ -28,9 +28,11 @@ from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError, SchedulingError
 from repro.memory.anonymous import AnonymousMemory, MemoryView
+from repro.obs.telemetry import NULL_TELEMETRY, TelemetrySink
 from repro.runtime.automaton import LocalState, ProcessAutomaton
 from repro.runtime.events import Event, Trace
 from repro.runtime.kernel import GlobalState, execute_via_view
+from repro.runtime.ops import ReadOp, WriteOp
 from repro.types import ProcessId
 
 __all__ = ["GlobalState", "ProcessRuntime", "Scheduler"]
@@ -71,6 +73,14 @@ class Scheduler:
     record_trace:
         When False, events are not accumulated (used by the model checker,
         which replays millions of short runs and only needs final states).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetrySink` receiving
+        per-step counters (``scheduler.steps`` / ``.reads`` /
+        ``.writes`` / ``.halts``) and the register-contention counter
+        ``scheduler.contended_accesses`` — accesses to a physical
+        register whose previous access came from a *different* process.
+        Defaults to the shared null sink (no recording, no overhead
+        beyond one flag test per step).
     """
 
     def __init__(
@@ -78,8 +88,13 @@ class Scheduler:
         memory: AnonymousMemory,
         automata: Dict[ProcessId, ProcessAutomaton],
         record_trace: bool = True,
+        telemetry: Optional[TelemetrySink] = None,
     ):
         self.memory = memory
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: physical register index -> pid of its last accessor; only
+        #: maintained while telemetry is enabled (contention counter).
+        self._last_accessor: Dict[int, ProcessId] = {}
         self._runtimes: Dict[ProcessId, ProcessRuntime] = {}
         for pid, automaton in automata.items():
             view = memory.view(pid)
@@ -211,6 +226,21 @@ class Scheduler:
         op, physical_index, result, new_state, halted = execute_via_view(
             rt.automaton, rt.state, rt.view
         )
+
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("scheduler.steps")
+            if isinstance(op, ReadOp):
+                telemetry.count("scheduler.reads")
+            elif isinstance(op, WriteOp):
+                telemetry.count("scheduler.writes")
+            if physical_index is not None:
+                previous = self._last_accessor.get(physical_index)
+                if previous is not None and previous != pid:
+                    telemetry.count("scheduler.contended_accesses")
+                self._last_accessor[physical_index] = pid
+            if halted:
+                telemetry.count("scheduler.halts")
 
         phase_fn = getattr(rt.automaton, "phase", None)
         event = Event(

@@ -56,6 +56,10 @@ class System:
         real-thread backend rather than the scheduler).
     record_trace:
         Forwarded to the scheduler; exploration turns it off.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetrySink`, forwarded
+        to the scheduler for per-step and contention counters (see
+        :class:`~repro.runtime.scheduler.Scheduler`).
     """
 
     def __init__(
@@ -65,6 +69,7 @@ class System:
         naming: Optional[NamingAssignment] = None,
         locked: bool = False,
         record_trace: bool = True,
+        telemetry=None,
     ):
         self.algorithm = algorithm
         if isinstance(inputs, Mapping):
@@ -102,7 +107,8 @@ class System:
             for pid, value in self.inputs.items()
         }
         self.scheduler = Scheduler(
-            self.memory, self.automata, record_trace=record_trace
+            self.memory, self.automata, record_trace=record_trace,
+            telemetry=telemetry,
         )
 
     @property

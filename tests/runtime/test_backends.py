@@ -33,7 +33,6 @@ from repro.runtime.canonical import build_canonicalizer
 from repro.runtime.exploration import (
     ExplorationResult,
     explore,
-    explore_symmetry_reduced,
     mutual_exclusion_invariant,
 )
 from repro.runtime.ops import ReadOp
@@ -85,9 +84,10 @@ class TestParallelMatchesSerial:
 
     @pytest.mark.parametrize("factory, invariant", SHIPPED_INSTANCES)
     def test_shipped_instances_agree(self, factory, invariant):
-        serial = explore_symmetry_reduced(factory(), invariant)
-        parallel = explore_symmetry_reduced(
-            factory(), invariant, backend=ParallelBackend(workers=2)
+        serial = explore(factory(), invariant, reduction="symmetry")
+        parallel = explore(
+            factory(), invariant, reduction="symmetry",
+            backend=ParallelBackend(workers=2),
         )
         assert (parallel.backend, parallel.workers) == ("parallel", 2)
         assert serial.complete and parallel.complete
@@ -106,9 +106,10 @@ class TestParallelMatchesSerial:
 
     @pytest.mark.parametrize("factory, invariant", VIOLATING_INSTANCES)
     def test_violations_agree_and_replay(self, factory, invariant):
-        serial = explore_symmetry_reduced(factory(), invariant)
-        parallel = explore_symmetry_reduced(
-            factory(), invariant, backend=ParallelBackend(workers=2)
+        serial = explore(factory(), invariant, reduction="symmetry")
+        parallel = explore(
+            factory(), invariant, reduction="symmetry",
+            backend=ParallelBackend(workers=2),
         )
         assert not serial.ok and not parallel.ok
         assert serial.truncated_by == "violation"
@@ -161,10 +162,13 @@ class TestParallelMatchesSerial:
         # Workers under ``spawn`` run a fresh interpreter with its own
         # hash seed: identical results pin the content-addressed keys'
         # process independence end to end.
-        serial = explore_symmetry_reduced(mutex_system(), mutual_exclusion_invariant)
-        spawned = explore_symmetry_reduced(
+        serial = explore(
+            mutex_system(), mutual_exclusion_invariant, reduction="symmetry"
+        )
+        spawned = explore(
             mutex_system(),
             mutual_exclusion_invariant,
+            reduction="symmetry",
             backend=ParallelBackend(
                 workers=2,
                 inline_frontier=1,  # force every level through the pool
@@ -415,7 +419,7 @@ class TestExecutors:
         assert ProcessExecutor(workers=2).map(_square, []) == []
 
     def test_sweep_records_identical_under_both_executors(self):
-        def run(executor):
+        def run(backend):
             return sweep(
                 lambda: AnonymousMutex(m=3, cs_visits=1),
                 pids(2),
@@ -424,7 +428,7 @@ class TestExecutors:
                 + [RandomAdversary(seed) for seed in range(3)],
                 checkers_factory=lambda: [MutualExclusionChecker()],
                 max_steps=20_000,
-                executor=executor,
+                backend=backend,
             )
 
         serial = run(SerialExecutor())

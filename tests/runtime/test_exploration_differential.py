@@ -20,7 +20,6 @@ from repro.runtime.exploration import (
     agreement_invariant,
     conjoin,
     explore,
-    explore_symmetry_reduced,
     mutual_exclusion_invariant,
     unique_names_invariant,
     validity_invariant,
@@ -42,6 +41,11 @@ def seed_explore(system, invariant, **budgets):
         canonicalizer=TrivialCanonicalizer(system.scheduler),
         **budgets,
     )
+
+
+def reduced_explore(system, invariant, **budgets):
+    """The quotient walk through the unified entrypoint."""
+    return explore(system, invariant, reduction="symmetry", **budgets)
 
 
 def null_invariant(_system):
@@ -122,7 +126,7 @@ class TestShippedInstancesAgree:
     @pytest.mark.parametrize("factory, invariant", SHIPPED_INSTANCES)
     def test_same_verdict_with_fewer_states(self, factory, invariant):
         seed = seed_explore(factory(), invariant)
-        reduced = explore_symmetry_reduced(factory(), invariant)
+        reduced = reduced_explore(factory(), invariant)
         assert seed.complete and reduced.complete
         assert seed.ok and reduced.ok
         assert reduced.states_explored <= seed.states_explored
@@ -135,14 +139,14 @@ class TestViolationsAgree:
     @pytest.mark.parametrize("factory, invariant", VIOLATING_INSTANCES)
     def test_both_engines_find_the_violation(self, factory, invariant):
         seed = seed_explore(factory(), invariant)
-        reduced = explore_symmetry_reduced(factory(), invariant)
+        reduced = reduced_explore(factory(), invariant)
         assert not seed.ok and not reduced.ok
         assert seed.truncated_by == "violation"
         assert reduced.truncated_by == "violation"
 
     @pytest.mark.parametrize("factory, invariant", VIOLATING_INSTANCES)
     def test_reduced_schedule_replays_to_a_violation(self, factory, invariant):
-        reduced = explore_symmetry_reduced(factory(), invariant)
+        reduced = reduced_explore(factory(), invariant)
         assert reduced.violation_schedule is not None
         fresh = factory()
         replay_schedule(fresh, reduced.violation_schedule)
@@ -170,9 +174,9 @@ class TestMutantsAgree:
 
         budgets = dict(max_states=2_000, max_depth=200)
         outcomes = []
-        for engine in (seed_explore, explore_symmetry_reduced):
+        for engine in (seed_explore, reduced_explore):
             system = build()
-            if engine is explore_symmetry_reduced:
+            if engine is reduced_explore:
                 assert isinstance(
                     build_canonicalizer(system), TrivialCanonicalizer
                 )

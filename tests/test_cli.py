@@ -31,3 +31,27 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_report_renders_a_manifest_directory(self, tmp_path, capsys):
+        from repro.obs import RunManifest
+
+        RunManifest.create(
+            kind="exploration",
+            algorithm="mutex m=3 (n=2)",
+            outcome={"verdict": "exhaustive-ok"},
+        ).write(tmp_path / "run.json")
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s), all schema-valid" in out
+        assert "exhaustive-ok" in out
+
+    def test_report_without_argument_is_a_usage_error(self, capsys):
+        assert main(["report"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_help_text_is_honest_about_the_experiment_index(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "E1-E14" in out and "E1-E17" in out
+        assert "report" in out

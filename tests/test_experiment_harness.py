@@ -81,7 +81,7 @@ class TestExplorationBench:
         problems = harness.check_baseline(doc(771, verdict="bounded-ok"), baseline)
         assert problems and "verdict changed" in problems[0]
 
-    def test_quick_bench_writes_schema_v2(self, harness, tmp_path, capsys):
+    def test_quick_bench_writes_schema_v3(self, harness, tmp_path, capsys):
         out = tmp_path / "bench.json"
         import json
 
@@ -89,13 +89,54 @@ class TestExplorationBench:
         capsys.readouterr()
         assert code == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == "repro.bench_explore/v2"
+        assert document["schema"] == "repro.bench_explore/v3"
         assert document["rng_seed"] == 5
         assert document["backend"] == "serial"
         assert document["workers"] == 1
         assert document["host_cpus"] >= 1
+        assert document["telemetry"] == {
+            "enabled": False, "dir": None, "manifests": [],
+        }
         for record in document["instances"]:
             assert record["seed"]["verdict"] == record["canonical"]["verdict"]
             assert (
                 record["canonical"]["states"] <= record["seed"]["states"]
             )
+
+    def test_telemetry_flag_writes_schema_valid_manifests(
+        self, harness, tmp_path, capsys
+    ):
+        from repro.obs import load_manifests
+
+        out = tmp_path / "bench.json"
+        telemetry_dir = tmp_path / "telemetry"
+        import json
+
+        code = harness.main([
+            "--bench", "--quick", "--bench-out", str(out),
+            "--telemetry", str(telemetry_dir),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        document = json.loads(out.read_text())
+        block = document["telemetry"]
+        assert block["enabled"] and block["dir"] == str(telemetry_dir)
+        # One seed + one canonical manifest per quick instance.
+        assert len(block["manifests"]) == 2 * len(document["instances"])
+        manifests = load_manifests(telemetry_dir)
+        assert len(manifests) == len(block["manifests"])
+        assert {m.kind for m in manifests} == {"exploration"}
+        for record in document["instances"]:
+            for engine in ("seed", "canonical"):
+                matches = [
+                    m for m in manifests
+                    if m.algorithm == record["instance"]
+                    and m.parameters["engine"] == engine
+                ]
+                assert len(matches) == 1
+                assert matches[0].verdict() == record[engine]["verdict"]
+                assert matches[0].outcome["states"] == record[engine]["states"]
+                assert (
+                    matches[0].telemetry["gauges"]["explore.states"]
+                    == record[engine]["states"]
+                )
