@@ -38,7 +38,7 @@ import time
 from math import gcd
 from pathlib import Path
 
-from repro.analysis.experiments import gives_solo_opportunities, sweep
+from repro.analysis.experiments import gives_solo_opportunities, sweep_problem
 from repro.analysis.metrics import contention_spread, solo_iterations
 from repro.analysis.tables import print_table
 from repro.baselines.named_consensus import NamedConsensus, PaddedAlgorithm
@@ -68,14 +68,7 @@ from repro.runtime.adversary import (
 )
 from repro.runtime.backends import resolve_backend
 from repro.runtime.canonical import TrivialCanonicalizer, build_canonicalizer
-from repro.runtime.exploration import (
-    agreement_invariant,
-    conjoin,
-    explore,
-    mutual_exclusion_invariant,
-    unique_names_invariant,
-    validity_invariant,
-)
+from repro.runtime.exploration import explore, mutual_exclusion_invariant
 from repro.runtime.system import System
 from repro.spec.consensus_spec import (
     AgreementChecker,
@@ -186,12 +179,12 @@ def e3_e4_consensus():
                 battery.append(ObstructionFreeTerminationChecker())
             return battery
 
-        result = sweep(
-            lambda: AnonymousConsensus(n=n),
-            inputs,
+        result = sweep_problem(
+            "figure-2-consensus",
             namings=all_namings_for_tests(pids(n), 2 * n - 1),
             adversaries=standard_adversaries(range(3)),
             checkers_factory=checkers,
+            params={"n": n},
             max_steps=150_000,
         )
         assert result.all_ok, result.describe_failures()
@@ -418,7 +411,11 @@ BENCH_BUDGETS = {"max_states": 500_000, "max_depth": 1_000_000}
 
 
 def _bench_instances(quick):
-    """(label, factory, invariant, budget overrides); small subset if quick.
+    """(label, factory, invariant, overrides, spec, instance) rows,
+    projected from the problem registry's ``"bench"``-role instances
+    (``--quick`` keeps the ``bench_quick`` subset).  Labels are the
+    registry's ``bench_label`` values — the stable trajectory keys of
+    BENCH_explore.json.
 
     The two "extended budget" instances raise ``max_states`` past the
     default so the *seed* side can show its true cost: m=9 completes
@@ -426,41 +423,24 @@ def _bench_instances(quick):
     the quotient's verdict there is strictly stronger at a fraction of
     the states.
     """
-    consensus_invariant = conjoin(agreement_invariant, validity_invariant)
+    from functools import partial
 
-    def mutex(m):
-        return lambda: System(
-            AnonymousMutex(m=m, cs_visits=1), pids(2), record_trace=False
-        )
+    from repro.problems import instances_with_role
 
-    def consensus(n, equal):
-        inputs = (
-            {pid: "same" for pid in pids(n)} if equal else consensus_inputs(n)
-        )
-        return lambda: System(AnonymousConsensus(n=n), inputs, record_trace=False)
-
-    def renaming(n):
-        return lambda: System(AnonymousRenaming(n=n), pids(n), record_trace=False)
-
-    instances = [
-        ("mutex m=3 (n=2)", mutex(3), mutual_exclusion_invariant, None),
-        ("mutex m=5 (n=2)", mutex(5), mutual_exclusion_invariant, None),
-        ("consensus n=2 (distinct inputs)", consensus(2, False),
-         consensus_invariant, None),
-        ("renaming n=2", renaming(2), unique_names_invariant, None),
-    ]
-    if not quick:
-        instances += [
-            ("mutex m=7 (n=2)", mutex(7), mutual_exclusion_invariant, None),
-            ("mutex m=9 (n=2)", mutex(9), mutual_exclusion_invariant, None),
-            ("mutex m=9 (n=2, extended budget)", mutex(9),
-             mutual_exclusion_invariant, {"max_states": 1_000_000}),
-            ("consensus n=3 (equal inputs)", consensus(3, True),
-             consensus_invariant, None),
-            ("consensus n=3 (equal inputs, extended budget)", consensus(3, True),
-             consensus_invariant, {"max_states": 1_500_000}),
-        ]
-    return instances
+    rows = []
+    for spec, instance in instances_with_role("bench"):
+        if quick and not instance.bench_quick:
+            continue
+        assert spec.invariant is not None, spec.key
+        rows.append((
+            instance.bench_label,
+            partial(spec.system, instance),
+            spec.invariant,
+            dict(instance.bench_overrides) or None,
+            spec,
+            instance,
+        ))
+    return rows
 
 
 def _rate(res):
@@ -549,8 +529,8 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
     manifest_names = []
     rows = []
     records = []
-    for index, (label, factory, invariant, overrides) in enumerate(
-        _bench_instances(quick)
+    for index, (label, factory, invariant, overrides, spec, instance) in (
+        enumerate(_bench_instances(quick))
     ):
         budgets = dict(BENCH_BUDGETS, **(overrides or {}))
         system = factory()
@@ -579,6 +559,32 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
             "reduction_factor": round(reduction, 2),
             "newly_tractable": newly_tractable,
         }
+        if instance.has_role("verify") and spec.liveness:
+            # Graph-retention overhead: the same walk with the full
+            # successor relation retained, plus the exhaustive liveness
+            # analyses over it (python -m repro verify's pipeline).
+            from repro.verify import verify_instance
+
+            verify_report = verify_instance(spec, instance)
+            record["verify"] = {
+                "ok": verify_report.ok,
+                "retained_edges": verify_report.retained_edges,
+                "explore_wall_seconds": round(
+                    verify_report.explore_seconds, 3
+                ),
+                "verify_wall_seconds": round(verify_report.verify_seconds, 3),
+                "retention_overhead": (
+                    round(
+                        verify_report.explore_seconds / seed_res.wall_seconds,
+                        2,
+                    )
+                    if seed_res.wall_seconds > 0
+                    else None
+                ),
+                "properties": [
+                    outcome.describe() for outcome in verify_report.outcomes
+                ],
+            }
         if telemetry_dir is not None:
             manifest_names.append(_write_bench_manifest(
                 telemetry_dir, index, label, "seed", budgets,
@@ -646,7 +652,7 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
     if telemetry_dir is not None:
         generated += f" --telemetry {telemetry_dir}"
     return {
-        "schema": "repro.bench_explore/v3",
+        "schema": "repro.bench_explore/v4",
         "generated_by": generated,
         "rng_seed": rng_seed,
         "quick": quick,

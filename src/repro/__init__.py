@@ -33,6 +33,16 @@ Layout
     Structured run observability: telemetry sinks (counters, gauges,
     phase timers, bounded events), versioned run manifests, and the
     ``python -m repro report`` renderer.
+``repro.problems``
+    The declarative problem registry: one :class:`ProblemSpec` per
+    shipped algorithm (builder, parameter space, invariants, declared
+    liveness theorems, role-tagged instances) — the single table lint,
+    verify, sweep and the benchmark all resolve algorithms through.
+``repro.verify``
+    Exhaustive verification: state-graph retention during exploration,
+    SCC-based deadlock-freedom and solo-run obstruction-freedom
+    checking, replayable lasso counterexamples
+    (``python -m repro verify``).
 
 Quickstart
 ----------
@@ -45,7 +55,7 @@ Quickstart
 1
 """
 
-from repro.analysis.experiments import sweep
+from repro.analysis.experiments import sweep, sweep_problem
 from repro.core.consensus import AnonymousConsensus
 from repro.core.election import AnonymousElection, elected_leader
 from repro.core.mutex import AnonymousMutex
@@ -64,6 +74,7 @@ from repro.errors import (
     TerminationViolation,
     UniquenessViolation,
     ValidityViolation,
+    VerificationError,
 )
 from repro.memory import (
     AnonymousMemory,
@@ -73,6 +84,7 @@ from repro.memory import (
     RingNaming,
 )
 from repro.obs import NULL_TELEMETRY, NullTelemetry, RunManifest, Telemetry
+from repro.problems import ProblemInstance, ProblemSpec, get_problem, problem_specs
 from repro.runtime import (
     LockstepAdversary,
     RandomAdversary,
@@ -83,6 +95,11 @@ from repro.runtime import (
     explore,
     run_threaded,
     run_threaded_with_backoff,
+)
+from repro.verify import (
+    StateGraph,
+    VerificationReport,
+    verify_instance,
 )
 
 __version__ = "1.0.0"
@@ -105,6 +122,15 @@ __all__ = [
     "System",
     "explore",
     "sweep",
+    "sweep_problem",
+    # problem registry + exhaustive verification
+    "ProblemSpec",
+    "ProblemInstance",
+    "problem_specs",
+    "get_problem",
+    "StateGraph",
+    "VerificationReport",
+    "verify_instance",
     # observability
     "Telemetry",
     "NullTelemetry",
@@ -131,4 +157,5 @@ __all__ = [
     "UniquenessViolation",
     "NameRangeViolation",
     "TerminationViolation",
+    "VerificationError",
 ]

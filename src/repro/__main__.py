@@ -4,8 +4,12 @@ Subcommands:
 
 * ``demo``        — run the three algorithms once and print what happened
                     (default when no subcommand is given);
-* ``verify``      — exhaustively model-check the small instances
-                    (Figure 1 m=3, Figure 2 n=2, Figure 3 n=2);
+* ``verify``      — exhaustively verify the problem registry's declared
+                    safety invariants *and* liveness theorems
+                    (deadlock-freedom, obstruction-freedom) over retained
+                    state graphs, mutant counterexamples included
+                    (``--list``, ``--problem``, ``--instance``,
+                    ``--backend``, ``--telemetry``);
 * ``attack``      — run the Theorem 3.4 symmetry attack on Figure 1 with
                     an even register count and show the provable livelock;
 * ``lint``        — static analysis + runtime audits of the model rules
@@ -54,40 +58,138 @@ def cmd_demo() -> int:
     return 0
 
 
-def cmd_verify() -> int:
-    from repro import AnonymousConsensus, AnonymousMutex, AnonymousRenaming, System, explore
-    from repro.runtime.exploration import (
-        agreement_invariant,
-        conjoin,
-        mutual_exclusion_invariant,
-        unique_names_invariant,
-        validity_invariant,
-    )
+def cmd_verify(rest=()) -> int:
+    """Exhaustive safety + liveness verification of registry instances."""
+    from repro.errors import VerificationError
+    from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+    from repro.problems import get_problem, instances_with_role
+    from repro.runtime.backends import resolve_backend
+    from repro.verify import verify_instance, write_verify_manifest
 
-    checks = [
-        (
-            "Figure 1 (m=3, 2 processes): mutual exclusion",
-            System(AnonymousMutex(m=3), [11, 13], record_trace=False),
-            mutual_exclusion_invariant,
-        ),
-        (
-            "Figure 2 (n=2): agreement + validity",
-            System(AnonymousConsensus(n=2), {11: "a", 13: "b"}, record_trace=False),
-            conjoin(agreement_invariant, validity_invariant),
-        ),
-        (
-            "Figure 3 (n=2): unique names",
-            System(AnonymousRenaming(n=2), [11, 13], record_trace=False),
-            unique_names_invariant,
-        ),
-    ]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro verify",
+        description="Exhaustively verify the registry's declared safety "
+        "invariants and liveness theorems (deadlock-freedom via SCC "
+        "non-progress-cycle analysis, obstruction-freedom via solo-run "
+        "termination) over retained state graphs — no adversary sampling. "
+        "Seeded mutants are expected to FAIL their property and count as "
+        "OK when they do, with a replayable lasso counterexample.",
+    )
+    parser.add_argument(
+        "--problem",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="only verify this problem's instances (repeatable)",
+    )
+    parser.add_argument(
+        "--instance",
+        action="append",
+        default=None,
+        metavar="LABEL",
+        help="only verify this instance label (repeatable)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the verify-role instances and exit",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "parallel"],
+        default="serial",
+        help="exploration backend for the graph-retaining walk",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend parallel",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override each instance's verification state budget",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="write one run manifest per instance into DIR "
+        "(readable by `python -m repro report DIR`)",
+    )
+    args = parser.parse_args(list(rest))
+
+    selected = []
+    if args.problem:
+        for key in args.problem:
+            spec = get_problem(key)  # raises with known keys on typo
+            selected.extend(
+                (spec, inst) for inst in spec.instances_with_role("verify")
+            )
+    else:
+        selected = list(instances_with_role("verify", include_mutants=True))
+    if args.instance:
+        wanted = set(args.instance)
+        selected = [
+            (spec, inst) for spec, inst in selected if inst.label in wanted
+        ]
+        missing = wanted - {inst.label for _, inst in selected}
+        if missing:
+            known = [
+                inst.label
+                for _, inst in instances_with_role(
+                    "verify", include_mutants=True
+                )
+            ]
+            parser.error(
+                f"unknown instance label(s) {sorted(missing)}; known: {known}"
+            )
+    if args.list:
+        for spec, inst in selected:
+            liveness = ", ".join(
+                f"{prop.kind} ({prop.theorem})"
+                + (" [expect violation]" if prop.expect_violation else "")
+                for prop in spec.liveness
+            ) or "safety only"
+            print(f"{inst.label}: {liveness}")
+        return 0
+
     failed = 0
-    for label, system, invariant in checks:
-        result = explore(system, invariant, max_states=1_000_000)
-        status = "OK " if (result.complete and result.ok) else "FAIL"
-        if status == "FAIL":
+    for spec, inst in selected:
+        backend = resolve_backend(args.backend, workers=args.workers)
+        telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+        try:
+            report = verify_instance(
+                spec,
+                inst,
+                backend=backend,
+                telemetry=telemetry,
+                max_states=args.max_states,
+            )
+        except VerificationError as exc:
             failed += 1
-        print(f"[{status}] {label}: {result.summary()}")
+            print(f"[FAIL] {inst.label}: {exc}")
+            continue
+        status = "OK " if report.ok else "FAIL"
+        if not report.ok:
+            failed += 1
+        print(f"[{status}] {inst.label}: {report.summary()}")
+        for outcome in report.outcomes:
+            lasso = outcome.verdict.lasso
+            if lasso is not None:
+                print(
+                    f"       lasso: {len(lasso.prefix)}-step prefix, then "
+                    f"repeat {list(lasso.cycle)} forever "
+                    "(replayable via repro.runtime.replay.replay_schedule)"
+                )
+        if args.telemetry:
+            write_verify_manifest(
+                args.telemetry, spec, inst, report, telemetry.snapshot()
+            )
     return 1 if failed else 0
 
 
@@ -147,7 +249,9 @@ def main(argv=None) -> int:
         nargs="?",
         default="demo",
         choices=["demo", "verify", "attack", "lint", "experiments", "report"],
-        help="demo (default) | verify | attack | lint | "
+        help="demo (default) | verify [--list --problem --instance "
+             "--backend --telemetry] (exhaustive safety + liveness over "
+             "the problem registry) | attack | lint | "
              "experiments (tables E1-E14 of the E1-E17 index; E15-E17 "
              "run via pytest benchmarks/) | "
              "report <manifest-or-dir> (summarise repro.obs run manifests)",
@@ -159,11 +263,13 @@ def main(argv=None) -> int:
     if args.command == "report":
         # Forward the manifest path / flags to the report CLI.
         return cmd_report(rest)
+    if args.command == "verify":
+        # Forward the selection/backend flags to the verify CLI.
+        return cmd_verify(rest)
     if rest:
         parser.error(f"unrecognized arguments: {' '.join(rest)}")
     return {
         "demo": cmd_demo,
-        "verify": cmd_verify,
         "attack": cmd_attack,
         "experiments": cmd_experiments,
     }[args.command]()

@@ -244,6 +244,60 @@ def sweep(
     return result
 
 
+def sweep_problem(
+    problem: str,
+    namings: Sequence[NamingAssignment],
+    adversaries: Sequence[Adversary],
+    checkers_factory: Callable[..., Iterable[PropertyChecker]],
+    instance: Optional[str] = None,
+    params: Optional[dict] = None,
+    max_steps: int = 200_000,
+    backend: Optional[Union[str, Any]] = None,
+    telemetry: Optional[TelemetrySink] = None,
+    manifest_dir: Optional[Union[str, Path]] = None,
+) -> SweepResult:
+    """:func:`sweep`, with the algorithm resolved through the problem
+    registry instead of a hand-built factory.
+
+    ``problem`` is a :mod:`repro.problems` key (e.g.
+    ``"figure-1-mutex"``); the algorithm factory and inputs come from
+    the spec.  Parameters are taken from, in order of precedence:
+    ``params`` (an explicit dict), the registry instance named by
+    ``instance``, or — when both are omitted — the spec's first declared
+    instance.  Everything else forwards to :func:`sweep` unchanged, so
+    experiment scripts can stop carrying their own duplicate
+    algorithm/inputs tables.
+    """
+    from functools import partial
+
+    from repro.problems import get_problem
+
+    spec = get_problem(problem)
+    if params is not None:
+        if instance is not None:
+            raise ConfigurationError(
+                "pass either params= or instance=, not both"
+            )
+        chosen_params = dict(params)
+    elif instance is not None:
+        chosen_params = spec.instance(instance).params_dict()
+    elif spec.instances:
+        chosen_params = spec.instances[0].params_dict()
+    else:
+        chosen_params = {}
+    return sweep(
+        partial(spec.build, chosen_params),
+        spec.inputs(chosen_params),
+        namings,
+        adversaries,
+        checkers_factory,
+        max_steps=max_steps,
+        backend=backend,
+        telemetry=telemetry,
+        manifest_dir=manifest_dir,
+    )
+
+
 def write_sweep_manifests(
     result: SweepResult,
     directory: Path,

@@ -63,6 +63,19 @@ class ManifestValidationError(ReproError):
     """
 
 
+class VerificationError(ReproError):
+    """The exhaustive verifier could not produce a verdict.
+
+    Raised by :mod:`repro.verify` when the retained state graph is
+    unusable for a liveness analysis — the walk was truncated (an
+    incomplete graph is a strict under-approximation, so any verdict
+    over it would be unsound), the graph is missing, or a problem
+    declares a liveness property its automata cannot support.  Distinct
+    from a :class:`SpecViolation`: this is "could not check", not
+    "checked and failed".
+    """
+
+
 class SpecViolation(ReproError):
     """Base class for safety/liveness property violations found in a trace.
 

@@ -1,5 +1,10 @@
 """``python -m repro lint`` — run every pass, print a findings table.
 
+The classes and instances the passes cover come from the problem
+registry (:mod:`repro.problems`) via :mod:`repro.lint.registry`, so the
+summary line's counts are the registry's counts — there is no separate
+lint-side table to fall out of date.
+
 Exit status: 0 when no ``error``-severity finding was produced, 1
 otherwise — so CI can gate on the model disciplines the same way it
 gates on tests.

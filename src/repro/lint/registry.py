@@ -1,78 +1,61 @@
-"""What the lint passes run over: automaton discovery + small instances.
+"""What the lint passes run over — derived from :mod:`repro.problems`.
 
 Static passes analyse *classes*; dynamic passes (runtime anonymity
 audit, pc reachability, race sanitizer) need concrete *instances* small
-enough to explore exhaustively.  This module provides both:
+enough to explore exhaustively.  Both views are now projections of the
+problem registry (the single source of truth also feeding ``python -m
+repro verify``, the sweep harness and the exploration benchmark):
 
-* :func:`shipped_automaton_classes` imports every shipped algorithm
-  package and walks the :class:`ProcessAutomaton` subclass tree,
-  keeping only classes defined inside :mod:`repro` (so test mutants
-  never leak into a clean run);
-* :func:`lint_targets` returns one small instance per shipped
-  algorithm, with exploration budgets tuned so ``python -m repro lint``
-  stays fast.
+* :func:`shipped_automaton_classes` returns the registry-declared
+  automaton classes (the drift test in
+  ``tests/problems/test_registry.py`` walks the subclass tree over the
+  shipped modules and fails if the declaration ever falls out of sync,
+  so counts in the lint summary cannot silently drift);
+* :func:`lint_targets` adapts the registry's ``"lint"``-role instances
+  into the historical :class:`LintTarget` shape the passes consume,
+  with the same labels and budgets as before the registry existed.
 
-Process identifiers follow the test suite's convention (>= 100) so they
-can never collide with register indices or loop counters.
+This module used to carry its own hand-wired module list and a
+15-entry instance table; both now live in
+:mod:`repro.problems.registry` exactly once.
 """
 
 from __future__ import annotations
 
-import importlib
 from dataclasses import dataclass, field
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Type, Union
+from functools import partial
+from typing import Callable, List, Optional, Tuple, Type
 
+from repro.problems import (
+    PIDS as _REGISTRY_PIDS,
+    Inputs,
+    problem_specs,
+    shipped_automaton_classes as _shipped_automaton_classes,
+    shipped_modules,
+)
 from repro.runtime.automaton import Algorithm, ProcessAutomaton
 from repro.types import ProcessId
 
-#: Inputs as accepted by :class:`repro.runtime.system.System`.
-Inputs = Union[Sequence[ProcessId], Mapping[ProcessId, object]]
+__all__ = [
+    "SHIPPED_MODULES",
+    "PIDS",
+    "Inputs",
+    "LintTarget",
+    "lint_targets",
+    "shipped_automaton_classes",
+]
 
-#: The packages whose automata the lint covers.
-SHIPPED_MODULES: Tuple[str, ...] = (
-    "repro.core.mutex",
-    "repro.core.consensus",
-    "repro.core.renaming",
-    "repro.core.election",
-    "repro.baselines.named_mutex",
-    "repro.baselines.named_consensus",
-    "repro.baselines.named_renaming",
-    "repro.baselines.splitter_renaming",
-    "repro.extensions.commit_adopt",
-    "repro.extensions.kset",
-    "repro.extensions.naming_agreement",
-    "repro.extensions.unbounded_consensus",
-    "repro.extensions.variants",
-    "repro.lowerbounds.candidates",
-)
+#: The packages whose automata the lint covers (registry-derived).
+SHIPPED_MODULES: Tuple[str, ...] = shipped_modules()
 
-PIDS: Tuple[ProcessId, ...] = (101, 103, 107, 109)
-
-
-def _all_subclasses(cls: Type[ProcessAutomaton]) -> List[Type[ProcessAutomaton]]:
-    found: List[Type[ProcessAutomaton]] = []
-    for sub in cls.__subclasses__():
-        found.append(sub)
-        found.extend(_all_subclasses(sub))
-    return found
+PIDS: Tuple[ProcessId, ...] = _REGISTRY_PIDS
 
 
 def shipped_automaton_classes() -> List[Type[ProcessAutomaton]]:
-    """Every :class:`ProcessAutomaton` subclass shipped in :mod:`repro`.
-
-    Imports the shipped algorithm modules first, so the result does not
-    depend on what the caller already imported; classes defined outside
-    the :mod:`repro` package (e.g. test mutants) are excluded.
-    """
-    for module in SHIPPED_MODULES:
-        importlib.import_module(module)
-    classes = [
-        cls
-        for cls in _all_subclasses(ProcessAutomaton)
-        if cls.__module__.split(".")[0] == "repro"
-    ]
-    classes.sort(key=lambda cls: (cls.__module__, cls.__qualname__))
-    return classes
+    """Every shipped :class:`ProcessAutomaton` class, in stable
+    ``(module, qualname)`` order — see
+    :func:`repro.problems.registry.shipped_automaton_classes`."""
+    return _shipped_automaton_classes()
 
 
 @dataclass(frozen=True)
@@ -97,111 +80,23 @@ class LintTarget:
 
 
 def lint_targets() -> List[LintTarget]:
-    """One small instance per shipped algorithm (see module docstring)."""
-    from repro.baselines.named_consensus import NamedConsensus
-    from repro.baselines.named_mutex import PetersonMutex
-    from repro.baselines.named_renaming import ElectionChainRenaming
-    from repro.baselines.splitter_renaming import SplitterRenaming
-    from repro.core.consensus import AnonymousConsensus
-    from repro.core.election import AnonymousElection
-    from repro.core.mutex import AnonymousMutex
-    from repro.core.renaming import AnonymousRenaming
-    from repro.extensions.commit_adopt import CommitAdopt
-    from repro.extensions.kset import PartitionedKSetConsensus
-    from repro.extensions.naming_agreement import NamingAgreement
-    from repro.extensions.unbounded_consensus import UnboundedConsensus
-    from repro.extensions.variants import LenientConsensus, ThresholdMutex
-    from repro.lowerbounds.candidates import NaiveTestAndSetLock
-
-    two = PIDS[:2]
-    return [
-        LintTarget(
-            "figure-1-mutex(m=3)",
-            lambda: AnonymousMutex(m=3, cs_visits=1),
-            two,
-            race_check=True,
-        ),
-        LintTarget(
-            "figure-2-consensus(n=2)",
-            lambda: AnonymousConsensus(n=2),
-            {two[0]: "a", two[1]: "b"},
-            race_check=True,
-        ),
-        LintTarget(
-            "figure-3-renaming(n=2)",
-            lambda: AnonymousRenaming(n=2),
-            two,
-            race_check=True,
-        ),
-        LintTarget(
-            "election(n=2)",
-            lambda: AnonymousElection(n=2),
-            two,
-        ),
-        LintTarget(
-            "naming-agreement(n=2)",
-            lambda: NamingAgreement(n=2),
-            two,
-            max_states=400_000,
-            notes="repair_write needs deep interleavings",
-        ),
-        LintTarget(
-            "commit-adopt",
-            lambda: CommitAdopt(domain=(1, 2)),
-            {two[0]: 1, two[1]: 2},
-            naming_seed=None,
-        ),
-        LintTarget(
-            "ladder-consensus",
-            lambda: UnboundedConsensus(domain=(1, 2), max_rounds=8),
-            {two[0]: 1, two[1]: 2},
-            naming_seed=None,
-            notes="state space grows with rounds; truncation expected",
-        ),
-        LintTarget(
-            "threshold-mutex(m=3,t=2)",
-            lambda: ThresholdMutex(m=3, threshold=2, cs_visits=1),
-            two,
-        ),
-        LintTarget(
-            "lenient-consensus(n=2)",
-            lambda: LenientConsensus(n=2),
-            {two[0]: "a", two[1]: "b"},
-        ),
-        LintTarget(
-            "partitioned-k-set(n=2,k=2)",
-            lambda: PartitionedKSetConsensus(n=2, k=2),
-            {two[0]: "a", two[1]: "b"},
-            naming_seed=None,
-        ),
-        LintTarget(
-            "naive-lock",
-            lambda: NaiveTestAndSetLock(cs_visits=1),
-            two,
-        ),
-        LintTarget(
-            "peterson-mutex",
-            lambda: PetersonMutex(cs_visits=1),
-            two,
-            race_check=True,
-            naming_seed=None,
-        ),
-        LintTarget(
-            "election-chain-renaming(n=2)",
-            lambda: ElectionChainRenaming(n=2),
-            two,
-            naming_seed=None,
-        ),
-        LintTarget(
-            "splitter-renaming(n=2)",
-            lambda: SplitterRenaming(n=2),
-            two,
-            naming_seed=None,
-        ),
-        LintTarget(
-            "named-consensus(n=2)",
-            lambda: NamedConsensus(n=2),
-            {two[0]: "a", two[1]: "b"},
-            naming_seed=None,
-        ),
-    ]
+    """One small instance per shipped algorithm, projected from the
+    registry's ``"lint"``-role instances (registry declaration order,
+    which is the historical lint output order)."""
+    targets: List[LintTarget] = []
+    for spec in problem_specs():
+        for instance in spec.instances_with_role("lint"):
+            targets.append(
+                LintTarget(
+                    label=instance.label,
+                    factory=partial(spec.algorithm, instance),
+                    inputs=spec.inputs(instance.params_dict()),
+                    max_states=instance.max_states,
+                    max_depth=instance.max_depth,
+                    race_check=instance.race_check,
+                    thread_steps=instance.thread_steps,
+                    naming_seed=instance.naming_seed,
+                    notes=instance.notes,
+                )
+            )
+    return targets

@@ -1,0 +1,38 @@
+"""``repro.problems`` — the declarative problem registry.
+
+One :class:`~repro.problems.spec.ProblemSpec` per shipped algorithm
+(plus addressable mutants), consumed by the lint passes, the exhaustive
+verifier (``python -m repro verify``), the sweep harness and the
+exploration benchmark.  See :mod:`repro.problems.registry` for the
+table itself and docs/ARCHITECTURE.md for where the layer sits.
+"""
+
+from repro.problems.registry import (
+    PIDS,
+    get_problem,
+    instances_with_role,
+    pids,
+    problem_specs,
+    shipped_automaton_classes,
+    shipped_modules,
+)
+from repro.problems.spec import (
+    Inputs,
+    LivenessProperty,
+    ProblemInstance,
+    ProblemSpec,
+)
+
+__all__ = [
+    "PIDS",
+    "Inputs",
+    "LivenessProperty",
+    "ProblemInstance",
+    "ProblemSpec",
+    "get_problem",
+    "instances_with_role",
+    "pids",
+    "problem_specs",
+    "shipped_automaton_classes",
+    "shipped_modules",
+]

@@ -101,6 +101,11 @@ class ExplorationTask:
     canonicalizer: Canonicalizer
     max_states: int
     max_depth: int
+    #: Retain the full labelled successor relation as a
+    #: :class:`~repro.verify.graph.StateGraph` on the result.  Only
+    #: sound under a trivial canonicalizer (``explore()`` enforces
+    #: this); see :mod:`repro.verify.graph` for why.
+    retain_graph: bool = False
 
 
 class ExplorationBackend(Protocol):
@@ -168,6 +173,12 @@ class SerialBackend:
 
         initial = task.initial
         initial_key, initial_raw = canonicalizer.key_of_state(initial)
+        recorder = None
+        if task.retain_graph:
+            # Imported lazily: repro.verify sits above the runtime layer.
+            from repro.verify.graph import GraphRecorder
+
+            recorder = GraphRecorder(initial_raw, initial)
         #: canonical key -> raw key of the representative that claimed it.
         visited: Dict[CanonicalKey, CanonicalKey] = {initial_key: initial_raw}
         # Each frame: (state, depth, parent link, raw key).  The link is
@@ -222,12 +233,16 @@ class SerialBackend:
             if not enabled:
                 if not all_settled(state):
                     result.stuck_states += 1
+                if recorder is not None:
+                    recorder.mark_expanded(state_raw)
                 continue
 
             if depth >= max_depth:
                 result.truncated_by = "max_depth"
                 continue
 
+            if recorder is not None:
+                recorder.mark_expanded(state_raw)
             budget_exhausted = False
             for pid in enabled:
                 child = step_value(instance, state, pid)
@@ -260,7 +275,19 @@ class SerialBackend:
                                 break
                             seen_locals.add(local)
                     if raw == state_raw:
+                        # A genuine single-step self-loop: under the
+                        # trivial canonicalizer ``raw == state_raw`` on
+                        # the *first* step already means the successor
+                        # equals the popped state, so the loop above
+                        # exits immediately and the retained edge is the
+                        # one-step ``(pid, src)`` the liveness analyses
+                        # need (a solo livelock in the making).
+                        if recorder is not None:
+                            recorder.add_edge(state_raw, pid, state_raw)
                         continue
+                if recorder is not None:
+                    recorder.add_edge(state_raw, pid, raw)
+                    recorder.add_node(raw, child)
                 claimed = visited.get(key)
                 if claimed is not None:
                     if claimed != raw:
@@ -278,6 +305,8 @@ class SerialBackend:
         result.complete = result.truncated_by is None
         result.wall_seconds = time.perf_counter() - started
         result.peak_visited = len(visited)
+        if recorder is not None:
+            result.graph = recorder.finish(result.complete)
         if emit:
             telemetry.gauge("explore.visited", len(visited))
             telemetry.gauge("explore.frontier", len(stack))
@@ -291,10 +320,12 @@ class SerialBackend:
 # ---------------------------------------------------------------------------
 
 #: Worker-process payload planted by the pool initializer: the
-#: (instance, canonicalizer, invariant, emitted-keys set) quadruple every
-#: chunk expansion reuses.  One module-level slot per worker process; the
-#: set is private to that process.
-_WorkerPayload = Tuple[StepInstance, Canonicalizer, Invariant, Set[CanonicalKey]]
+#: (instance, canonicalizer, invariant, emitted-keys set, retain-graph
+#: flag) quintuple every chunk expansion reuses.  One module-level slot
+#: per worker process; the set is private to that process.
+_WorkerPayload = Tuple[
+    StepInstance, Canonicalizer, Invariant, Set[CanonicalKey], bool
+]
 
 _WORKER: Optional[_WorkerPayload] = None
 
@@ -312,6 +343,10 @@ _Chunk = Tuple[bool, List[Tuple[GlobalState, bytes]]]
 #: (violations [(offset, message)], stuck count, events executed,
 #:  expandable-at-max-depth count,
 #:  successors [(offset, pid path, canonical key, raw key, state)],
+#:  edges [(offset, pid, destination raw key)] — every enabled pid of
+#:  every expanded entry, *before* the emitted-keys return filter, so
+#:  graph retention sees the full successor relation (empty unless the
+#:  payload's retain-graph flag is set),
 #:  chunk wall seconds — the worker-side expansion time, measured where
 #:  it happens so the coordinator's telemetry can report per-worker load
 #:  without a cross-process clock).
@@ -321,6 +356,7 @@ _ChunkResult = Tuple[
     int,
     int,
     List[Tuple[int, Tuple[ProcessId, ...], CanonicalKey, bytes, GlobalState]],
+    List[Tuple[int, ProcessId, bytes]],
     float,
 ]
 
@@ -350,7 +386,7 @@ def _expand_chunk_with(payload: _WorkerPayload, chunk: _Chunk) -> _ChunkResult:
     cross-backend invariant — duplicate *encounters* are counted where
     they are cheapest to detect.)
     """
-    instance, canonicalizer, invariant, emitted = payload
+    instance, canonicalizer, invariant, emitted, retain_graph = payload
     slot_of = instance.slot_of
     check_only, entries = chunk
     chunk_started = time.perf_counter()
@@ -361,6 +397,7 @@ def _expand_chunk_with(payload: _WorkerPayload, chunk: _Chunk) -> _ChunkResult:
     successors: List[
         Tuple[int, Tuple[ProcessId, ...], CanonicalKey, bytes, GlobalState]
     ] = []
+    edges: List[Tuple[int, ProcessId, bytes]] = []
     for offset, (state, state_raw) in enumerate(entries):
         violation = invariant(StateView(instance, state))
         if violation is not None:
@@ -396,13 +433,19 @@ def _expand_chunk_with(payload: _WorkerPayload, chunk: _Chunk) -> _ChunkResult:
                             break
                         seen_locals.add(local)
                 if raw == state_raw:
+                    # Single-step self-loop (see the serial backend's
+                    # twin comment): retained as a ``(pid, src)`` edge.
+                    if retain_graph:
+                        edges.append((offset, pid, state_raw))
                     continue
+            if retain_graph:
+                edges.append((offset, pid, raw))
             if key in emitted:
                 continue
             emitted.add(key)
             successors.append((offset, path, key, raw, child))
     return (
-        violations, stuck, events, expandable, successors,
+        violations, stuck, events, expandable, successors, edges,
         time.perf_counter() - chunk_started,
     )
 
@@ -463,6 +506,12 @@ class ParallelBackend:
         emit = telemetry.enabled
         started = time.perf_counter()
         initial_key, initial_raw = canonicalizer.key_of_state(task.initial)
+        recorder = None
+        if task.retain_graph:
+            # Imported lazily: repro.verify sits above the runtime layer.
+            from repro.verify.graph import GraphRecorder
+
+            recorder = GraphRecorder(initial_raw, task.initial)
         shard_count = self.shards
         shards: List[Dict[CanonicalKey, bytes]] = [
             {} for _ in range(shard_count)
@@ -494,6 +543,7 @@ class ParallelBackend:
             canonicalizer,
             task.invariant,
             set(),
+            task.retain_graph,
         )
         with context.Pool(
             self.workers, initializer=_init_worker, initargs=(payload,)
@@ -520,16 +570,29 @@ class ParallelBackend:
                         depth=depth,
                         frontier=len(frontier),
                         chunks=len(chunks),
-                        chunk_seconds=[round(out[5], 6) for out in outputs],
+                        chunk_seconds=[round(out[6], 6) for out in outputs],
                     )
 
                 # -- merge, strictly in chunk order --------------------
                 chunk_starts = self._chunk_starts(chunks)
+                if recorder is not None and not check_only:
+                    # Every frontier entry of this level is expanded;
+                    # its edges (possibly none — terminal states) arrive
+                    # with the chunk results below, in chunk order, so
+                    # the per-node edge order matches the serial DFS's
+                    # scheduler pid order exactly.
+                    for _, entry_raw in frontier:
+                        recorder.mark_expanded(entry_raw)
+                    for start, out in zip(chunk_starts, outputs):
+                        for offset, pid, dst in out[5]:
+                            recorder.add_edge(
+                                frontier[start + offset][1], pid, dst
+                            )
                 first_violation: Optional[Tuple[int, str]] = None
                 expandable_total = 0
-                for start, (violations, stuck, events, expandable, _, _) in zip(
-                    chunk_starts, outputs
-                ):
+                for start, (
+                    violations, stuck, events, expandable, _, _, _
+                ) in zip(chunk_starts, outputs):
                     result.events_executed += events
                     result.stuck_states += stuck
                     expandable_total += expandable
@@ -553,10 +616,12 @@ class ParallelBackend:
                 new_links: List[Tuple[int, Tuple[ProcessId, ...]]] = []
                 budget_exhausted = False
                 with telemetry.phase("parallel.merge"):
-                    for start, (_, _, _, _, successors, _) in zip(
+                    for start, (_, _, _, _, successors, _, _) in zip(
                         chunk_starts, outputs
                     ):
                         for offset, path, key, raw, child in successors:
+                            if recorder is not None:
+                                recorder.add_node(raw, child)
                             shard = shards[crc32(key) % shard_count]
                             claimed = shard.get(key)
                             if claimed is not None:
@@ -582,6 +647,8 @@ class ParallelBackend:
         result.complete = result.truncated_by is None
         result.wall_seconds = time.perf_counter() - started
         result.peak_visited = visited_total
+        if recorder is not None:
+            result.graph = recorder.finish(result.complete)
         if emit:
             telemetry.gauge("explore.visited", visited_total)
             telemetry.count("explore.events", result.events_executed)

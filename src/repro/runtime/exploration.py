@@ -45,6 +45,7 @@ from repro.types import ProcessId
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends
     # imports ExplorationResult from here at runtime)
     from repro.runtime.backends import ExplorationBackend
+    from repro.verify.graph import StateGraph
 
 #: An invariant receives the system (or a value-state
 #: :class:`~repro.runtime.kernel.StateView`, which exposes the same
@@ -116,6 +117,11 @@ class ExplorationResult:
     backend: str = "serial"
     #: Worker processes the backend used (1 for serial).
     workers: int = 1
+    #: The retained :class:`~repro.verify.graph.StateGraph` when the
+    #: walk ran with ``retain_graph=True`` (else ``None``).  On complete
+    #: runs the graph is byte-identical across backends; liveness
+    #: verification (:mod:`repro.verify.liveness`) consumes it.
+    graph: Optional["StateGraph"] = None
 
     @property
     def ok(self) -> bool:
@@ -165,6 +171,7 @@ def explore(
     telemetry: Optional[TelemetrySink] = None,
     footprints: bool = True,
     max_group: int = 720,
+    retain_graph: bool = False,
 ) -> ExplorationResult:
     """Exhaustively explore ``system``'s reachable states, checking
     ``invariant`` in each.  The single public exploration entrypoint.
@@ -232,6 +239,20 @@ def explore(
     footprints / max_group:
         Forwarded to the canonicalizer builder when
         ``reduction="symmetry"``; ignored (and unvalidated) otherwise.
+    retain_graph:
+        Record the full labelled successor relation during the walk and
+        attach it to the result as
+        :attr:`ExplorationResult.graph` (a
+        :class:`~repro.verify.graph.StateGraph`).  Requires the trivial
+        canonicalizer: under a symmetry quotient the node set depends on
+        which orbit representatives the visit order happens to claim and
+        the edge pid labels are only correct up to a group element, so a
+        quotient graph is sound for *safety* verdicts but not for the
+        per-pid fairness analysis the graph exists to feed (see
+        :mod:`repro.verify.graph`).  Passing
+        ``reduction="symmetry"`` or a non-trivial canonicalizer together
+        with ``retain_graph=True`` raises
+        :class:`~repro.errors.ConfigurationError`.
     """
     # Imported here, not at module top: backends imports
     # ExplorationResult from this module.
@@ -262,6 +283,15 @@ def explore(
             raise ConfigurationError(
                 f"unknown reduction {reduction!r}; expected 'symmetry' or 'none'"
             )
+    if retain_graph and not isinstance(canonicalizer, TrivialCanonicalizer):
+        raise ConfigurationError(
+            "retain_graph=True requires the trivial canonicalizer "
+            "(reduction='none'): a symmetry-quotient graph's node set "
+            "depends on which orbit representatives the visit order "
+            "claims, and its edge pid labels are only correct up to a "
+            "group element — unsound for the liveness analyses the "
+            "graph feeds (see repro.verify.graph)"
+        )
     if backend is None:
         backend = SerialBackend()
     elif isinstance(backend, str):
@@ -274,6 +304,7 @@ def explore(
         canonicalizer=canonicalizer,
         max_states=max_states,
         max_depth=max_depth,
+        retain_graph=retain_graph,
     )
     if telemetry.enabled:
         telemetry.gauge("explore.group_size", canonicalizer.group_order)
@@ -292,6 +323,8 @@ def explore(
         telemetry.gauge("explore.states", result.states_explored)
         telemetry.gauge("explore.peak_visited", result.peak_visited)
         telemetry.gauge("explore.orbit_hits", result.orbits_collapsed)
+        if result.graph is not None:
+            telemetry.gauge("explore.retained_edges", result.graph.edge_count)
         telemetry.event(
             "explore.done",
             verdict="violation" if not result.ok else (

@@ -239,6 +239,33 @@ def _physical_index(
 # ---------------------------------------------------------------------------
 
 
+def solo_run_value(
+    instance: StepInstance,
+    global_state: GlobalState,
+    pid: ProcessId,
+    max_steps: int,
+) -> Tuple[GlobalState, int, bool]:
+    """Run ``pid`` alone from ``global_state`` for at most ``max_steps``.
+
+    The pure-value form of the obstruction-freedom experiment: repeated
+    :func:`step_value` applications of a single process with every other
+    process suspended.  Returns ``(final_state, steps_taken, settled)``
+    where ``settled`` is True when the process halted (or was already
+    halted/crashed) before the budget ran out.  The verifier uses this
+    to confirm solo-livelock cycles found on the retained state graph by
+    actually replaying them through the kernel.
+    """
+    state = global_state
+    slot = instance.slot_of[pid]
+    for steps in range(max_steps):
+        _, _, halted, crashed = state[1][slot]
+        if halted or crashed:
+            return state, steps, True
+        state = step_value(instance, state, pid)
+    _, _, halted, crashed = state[1][slot]
+    return state, max_steps, halted or crashed
+
+
 def enabled_pids(
     instance: StepInstance, global_state: GlobalState
 ) -> Tuple[ProcessId, ...]:

@@ -1,0 +1,502 @@
+"""Exhaustive liveness checking over retained state graphs.
+
+The paper's liveness theorems quantify over *infinite* executions: no
+fair schedule starves the Figure 1 mutex forever (Theorem 3.3), every
+solo run of the Figure 2/3 algorithms terminates (Theorems 4.1, 5.1).
+On the finite, complete transition system a backend retains (see
+:mod:`repro.verify.graph`) both reduce to cycle analysis:
+
+* **Deadlock-freedom.**  A violation is a *fair non-progress cycle*: a
+  reachable cycle in which every live process takes a step (so a fair
+  scheduler could loop it forever), no step enters the critical section,
+  and some live process is in its entry section.  The checker deletes
+  the progress edges (stepping pid's ``in_critical_section`` goes false
+  to true), computes strongly connected components of what remains, and
+  looks for an SCC whose internal edges cover the whole live set with a
+  trying state inside.  No such SCC means every fair infinite execution
+  enters the critical section infinitely often — the exhaustive form of
+  Theorem 3.3 (and, on the even-``m`` mutant, the Theorem 3.4 livelock
+  is *found* rather than assumed).
+* **Obstruction-freedom.**  A violation is a solo livelock: some state
+  from which one process, running alone, never halts.  Because each
+  node has at most one ``p``-labelled edge, ``p``'s solo runs form a
+  functional subgraph; the checker chain-walks it with memoisation and
+  reports any cycle (an inert self-loop included).  No cycle for any
+  process means every solo run from every reachable state terminates —
+  Theorems 4.1/4.2/5.1 as exhaustive verification instead of adversary
+  sampling.
+
+Counterexamples come back as a :class:`Lasso` — a finite prefix
+schedule from the initial state plus a repeatable cycle schedule — and
+are *validated before being returned*: the checker replays both parts
+through the pure kernel (:func:`~repro.runtime.kernel.step_value`,
+:func:`~repro.runtime.kernel.solo_run_value`) and re-checks the
+fairness/non-progress/trying conditions on the replayed states.  A
+lasso that fails its own replay is an internal error, never a verdict.
+
+All checkers require a ``complete`` graph: a truncated walk is a strict
+under-approximation and any liveness verdict over it would be unsound
+(:class:`~repro.errors.VerificationError`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import VerificationError
+from repro.runtime.kernel import (
+    GlobalState,
+    StepInstance,
+    solo_run_value,
+    step_value,
+)
+from repro.types import ProcessId
+from repro.verify.graph import Edge, NodeKey, StateGraph
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """A replayable infinite-execution witness: finite prefix + cycle.
+
+    ``prefix`` drives the system from the initial state to the cycle
+    entry; repeating ``cycle`` from there loops forever.  Both replay
+    through :func:`~repro.runtime.replay.replay_schedule` on a fresh
+    system (or :func:`~repro.runtime.kernel.step_value` on values).
+    """
+
+    prefix: Tuple[ProcessId, ...]
+    cycle: Tuple[ProcessId, ...]
+    #: Node key of the cycle entry state in the retained graph.
+    entry: NodeKey
+
+
+@dataclass(frozen=True)
+class LivenessVerdict:
+    """Outcome of one exhaustive liveness check."""
+
+    kind: str
+    holds: bool
+    states: int
+    detail: str
+    lasso: Optional[Lasso] = None
+
+
+def _require_complete(graph: StateGraph, kind: str) -> None:
+    if not graph.complete:
+        raise VerificationError(
+            f"cannot check {kind} on a truncated state graph "
+            f"({len(graph)} states retained): an incomplete graph is a "
+            "strict under-approximation, so any liveness verdict over "
+            "it would be unsound — raise the verification state budget"
+        )
+
+
+def _live_pids(
+    instance: StepInstance, state: GlobalState
+) -> Tuple[ProcessId, ...]:
+    """Processes neither halted nor crashed, in scheduler order."""
+    locals_part = state[1]
+    slot_of = instance.slot_of
+    return tuple(
+        pid
+        for pid in instance.pid_order
+        if not (locals_part[slot_of[pid]][2] or locals_part[slot_of[pid]][3])
+    )
+
+
+def _replay(
+    instance: StepInstance,
+    state: GlobalState,
+    schedule: Tuple[ProcessId, ...],
+) -> GlobalState:
+    for pid in schedule:
+        state = step_value(instance, state, pid)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Deadlock-freedom: fair non-progress cycles via SCC analysis
+# ---------------------------------------------------------------------------
+
+
+class _CsPredicate:
+    """Memoised ``in_critical_section`` / ``phase`` over local states."""
+
+    def __init__(self, instance: StepInstance) -> None:
+        for pid, automaton in instance.automata.items():
+            if not (
+                hasattr(automaton, "in_critical_section")
+                and hasattr(automaton, "phase")
+            ):
+                raise VerificationError(
+                    "deadlock-freedom requires mutex-style automata with "
+                    "in_critical_section()/phase() predicates; process "
+                    f"{pid}'s {type(automaton).__name__} has neither"
+                )
+        self._instance = instance
+        self._in_cs: Dict[Tuple[ProcessId, object], bool] = {}
+        self._phase: Dict[Tuple[ProcessId, object], str] = {}
+
+    def in_cs(self, state: GlobalState, pid: ProcessId) -> bool:
+        local = self._instance.slot_entry(state, pid)[1]
+        key = (pid, local)
+        cached = self._in_cs.get(key)
+        if cached is None:
+            cached = self._instance.automata[pid].in_critical_section(local)
+            self._in_cs[key] = cached
+        return cached
+
+    def phase(self, state: GlobalState, pid: ProcessId) -> str:
+        local = self._instance.slot_entry(state, pid)[1]
+        key = (pid, local)
+        cached = self._phase.get(key)
+        if cached is None:
+            cached = self._instance.automata[pid].phase(local)
+            self._phase[key] = cached
+        return cached
+
+
+def _tarjan_sccs(
+    order: List[NodeKey], edges: Dict[NodeKey, List[Edge]]
+) -> List[List[NodeKey]]:
+    """Iterative Tarjan over the (non-progress) edge relation."""
+    index: Dict[NodeKey, int] = {}
+    low: Dict[NodeKey, int] = {}
+    on_stack: Set[NodeKey] = set()
+    stack: List[NodeKey] = []
+    sccs: List[List[NodeKey]] = []
+    counter = 0
+    for root in order:
+        if root in index:
+            continue
+        work: List[Tuple[NodeKey, int]] = [(root, 0)]
+        while work:
+            node, edge_i = work[-1]
+            if edge_i == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            out = edges.get(node, [])
+            while edge_i < len(out):
+                _, dst = out[edge_i]
+                edge_i += 1
+                if dst not in index:
+                    work[-1] = (node, edge_i)
+                    work.append((dst, 0))
+                    advanced = True
+                    break
+                if dst in on_stack:
+                    low[node] = min(low[node], index[dst])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                members: List[NodeKey] = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    members.append(top)
+                    if top == node:
+                        break
+                sccs.append(members)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs
+
+
+def _route(
+    adj: Dict[NodeKey, List[Edge]],
+    src: NodeKey,
+    accept: Callable[[NodeKey, ProcessId, NodeKey], bool],
+) -> Tuple[List[ProcessId], NodeKey]:
+    """Shortest schedule from ``src`` whose final edge satisfies
+    ``accept``, breadth-first over the restricted adjacency."""
+    parent: Dict[NodeKey, Tuple[NodeKey, ProcessId]] = {}
+    queue: deque = deque([src])
+    seen = {src}
+    while queue:
+        node = queue.popleft()
+        for pid, dst in adj.get(node, []):
+            if accept(node, pid, dst):
+                path: List[ProcessId] = [pid]
+                cur = node
+                while cur != src:
+                    cur, step = parent[cur]
+                    path.append(step)
+                path.reverse()
+                return path, dst
+            if dst not in seen:
+                seen.add(dst)
+                parent[dst] = (node, pid)
+                queue.append(dst)
+    raise RuntimeError(
+        "internal error: SCC routing failed — the component is not "
+        "strongly connected under its internal edges"
+    )
+
+
+def _fair_cycle(
+    adj: Dict[NodeKey, List[Edge]],
+    start: NodeKey,
+    required: Tuple[ProcessId, ...],
+) -> Tuple[ProcessId, ...]:
+    """A cycle through ``start`` (within the restricted adjacency) in
+    which every required pid steps at least once."""
+    schedule: List[ProcessId] = []
+    remaining = set(required)
+    cur = start
+    while remaining:
+        hop, cur = _route(adj, cur, lambda u, p, v: p in remaining)
+        remaining.difference_update(hop)
+        schedule.extend(hop)
+    if cur != start:
+        hop, cur = _route(adj, cur, lambda u, p, v: v == start)
+        schedule.extend(hop)
+    return tuple(schedule)
+
+
+def check_deadlock_freedom(
+    instance: StepInstance, graph: StateGraph
+) -> LivenessVerdict:
+    """Exhaustive Theorem 3.3-style deadlock-freedom over ``graph``.
+
+    Holds iff the non-progress subgraph has no SCC whose internal edges
+    are fair for the component's live set while some member state has a
+    live process in its entry section.  On violation the returned
+    verdict carries a replay-validated :class:`Lasso`.
+    """
+    _require_complete(graph, "deadlock-freedom")
+    predicates = _CsPredicate(instance)
+    nodes = graph.nodes
+    order = sorted(nodes)
+
+    nonprogress: Dict[NodeKey, List[Edge]] = {}
+    for key in order:
+        src = nodes[key]
+        kept = [
+            (pid, dst)
+            for pid, dst in graph.successors(key)
+            if predicates.in_cs(src, pid)
+            or not predicates.in_cs(nodes[dst], pid)
+        ]
+        if kept:
+            nonprogress[key] = kept
+
+    sccs = _tarjan_sccs(order, nonprogress)
+    for members in sccs:
+        member_set = set(members)
+        internal: Dict[NodeKey, List[Edge]] = {}
+        stepped: Set[ProcessId] = set()
+        for key in members:
+            kept = [
+                (pid, dst)
+                for pid, dst in nonprogress.get(key, [])
+                if dst in member_set
+            ]
+            if kept:
+                internal[key] = kept
+                stepped.update(pid for pid, _ in kept)
+        if not internal:
+            continue  # trivial SCC: no cycle through it
+        live = _live_pids(instance, nodes[members[0]])
+        for key in members[1:]:
+            if _live_pids(instance, nodes[key]) != live:
+                raise RuntimeError(
+                    "internal error: live set varies within an SCC — "
+                    "halted/crashed flags are supposed to be monotone"
+                )
+        if not live or not set(live) <= stepped:
+            continue  # no fair scheduler can loop here forever
+        start = next(
+            (
+                key
+                for key in members
+                if any(
+                    predicates.phase(nodes[key], pid) == "entry"
+                    for pid in live
+                )
+            ),
+            None,
+        )
+        if start is None:
+            continue  # nobody trying: starving no one
+        cycle = _fair_cycle(internal, start, live)
+        prefix = graph.path_to(start)
+        _validate_df_lasso(
+            instance, nodes[graph.initial], prefix, cycle,
+            nodes[start], live, predicates,
+        )
+        return LivenessVerdict(
+            kind="deadlock-freedom",
+            holds=False,
+            states=len(graph),
+            detail=(
+                f"fair non-progress cycle of length {len(cycle)} through "
+                f"an SCC of {len(members)} states (live pids {list(live)} "
+                f"all step, no critical-section entry, a live process "
+                f"stays in its entry section); prefix length {len(prefix)}"
+            ),
+            lasso=Lasso(prefix=prefix, cycle=cycle, entry=start),
+        )
+    return LivenessVerdict(
+        kind="deadlock-freedom",
+        holds=True,
+        states=len(graph),
+        detail=(
+            f"no fair non-progress cycle in {len(graph)} states / "
+            f"{len(sccs)} SCCs: every fair infinite execution enters "
+            "the critical section infinitely often"
+        ),
+    )
+
+
+def _validate_df_lasso(
+    instance: StepInstance,
+    initial_state: GlobalState,
+    prefix: Tuple[ProcessId, ...],
+    cycle: Tuple[ProcessId, ...],
+    entry_state: GlobalState,
+    live: Tuple[ProcessId, ...],
+    predicates: _CsPredicate,
+) -> None:
+    """Replay the lasso through the pure kernel and re-check every
+    condition the verdict claims.  Failures are internal errors."""
+    state = _replay(instance, initial_state, prefix)
+    if state != entry_state:
+        raise RuntimeError(
+            "internal error: lasso prefix does not replay to the cycle "
+            "entry state"
+        )
+    if not any(predicates.phase(state, pid) == "entry" for pid in live):
+        raise RuntimeError(
+            "internal error: no live process is trying at the cycle entry"
+        )
+    stepped: Set[ProcessId] = set()
+    for pid in cycle:
+        successor = step_value(instance, state, pid)
+        if not predicates.in_cs(state, pid) and predicates.in_cs(
+            successor, pid
+        ):
+            raise RuntimeError(
+                "internal error: lasso cycle contains a progress edge"
+            )
+        stepped.add(pid)
+        state = successor
+    if state != entry_state:
+        raise RuntimeError(
+            "internal error: lasso cycle does not return to its entry state"
+        )
+    if not set(live) <= stepped:
+        raise RuntimeError(
+            "internal error: lasso cycle is not fair for the live set"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Obstruction-freedom: solo livelocks via functional-subgraph chain walks
+# ---------------------------------------------------------------------------
+
+
+def check_obstruction_freedom(
+    instance: StepInstance, graph: StateGraph
+) -> LivenessVerdict:
+    """Exhaustive Theorem 4.1/5.1-style obstruction-freedom over ``graph``.
+
+    For every process ``p`` and every reachable state, running ``p``
+    solo must terminate.  Each node has at most one ``p``-edge, so solo
+    runs form a functional subgraph: memoised chain walks classify each
+    node as terminating or cycling, and any cycle (self-loops included)
+    is a solo livelock, returned with a replay-validated lasso whose
+    cycle is just ``p`` repeated.
+    """
+    _require_complete(graph, "obstruction-freedom")
+    nodes = graph.nodes
+    order = sorted(nodes)
+    for pid in instance.pid_order:
+        terminates: Set[NodeKey] = set()
+        for origin in order:
+            if origin in terminates:
+                continue
+            path: List[NodeKey] = []
+            position: Dict[NodeKey, int] = {}
+            cur = origin
+            while True:
+                if cur in terminates:
+                    terminates.update(path)
+                    break
+                if cur in position:
+                    cycle_len = len(path) - position[cur]
+                    return _of_violation(instance, graph, pid, cur, cycle_len)
+                position[cur] = len(path)
+                path.append(cur)
+                nxt = graph.successor_via(cur, pid)
+                if nxt is None:
+                    # No p-edge: p is halted or crashed here — the solo
+                    # run has settled.
+                    terminates.update(path)
+                    break
+                cur = nxt
+    live_counts = sorted(
+        {len(_live_pids(instance, state)) for state in nodes.values()}
+    )
+    return LivenessVerdict(
+        kind="obstruction-freedom",
+        holds=True,
+        states=len(graph),
+        detail=(
+            f"every solo run from every of {len(graph)} states "
+            f"terminates, for each of {len(instance.pid_order)} "
+            f"processes (live-set sizes seen: {live_counts})"
+        ),
+    )
+
+
+def _of_violation(
+    instance: StepInstance,
+    graph: StateGraph,
+    pid: ProcessId,
+    entry: NodeKey,
+    cycle_len: int,
+) -> LivenessVerdict:
+    prefix = graph.path_to(entry)
+    cycle = (pid,) * cycle_len
+    entry_state = graph.nodes[entry]
+    state = _replay(instance, graph.nodes[graph.initial], prefix)
+    if state != entry_state:
+        raise RuntimeError(
+            "internal error: solo-livelock prefix does not replay to the "
+            "cycle entry state"
+        )
+    final, steps, settled = solo_run_value(
+        instance, entry_state, pid, cycle_len
+    )
+    if settled or final != entry_state:
+        raise RuntimeError(
+            "internal error: claimed solo livelock does not cycle under "
+            "the kernel's solo run"
+        )
+    return LivenessVerdict(
+        kind="obstruction-freedom",
+        holds=False,
+        states=len(graph),
+        detail=(
+            f"solo livelock: process {pid} running alone repeats a "
+            f"{cycle_len}-step cycle forever (prefix length "
+            f"{len(prefix)})"
+        ),
+        lasso=Lasso(prefix=prefix, cycle=cycle, entry=entry),
+    )
+
+
+#: Liveness property kind -> exhaustive checker.
+LIVENESS_CHECKERS: Dict[
+    str, Callable[[StepInstance, StateGraph], LivenessVerdict]
+] = {
+    "deadlock-freedom": check_deadlock_freedom,
+    "obstruction-freedom": check_obstruction_freedom,
+}

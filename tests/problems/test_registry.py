@@ -1,0 +1,209 @@
+"""The problem registry as single source of truth.
+
+Every consumer (lint, verify, bench, sweep) projects its view from
+:mod:`repro.problems.registry`; these tests pin the registry's own
+coherence and — via the drift test — that its declared automaton classes
+never fall out of sync with what the shipped modules actually define.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.naming import RingNaming
+from repro.problems import (
+    ProblemInstance,
+    ProblemSpec,
+    get_problem,
+    instances_with_role,
+    problem_specs,
+)
+from repro.problems.registry import shipped_automaton_classes, shipped_modules
+from repro.problems.spec import LIVENESS_KINDS, ROLES, LivenessProperty
+from repro.runtime.automaton import ProcessAutomaton
+from repro.runtime.system import System
+
+
+class TestRegistryCoherence:
+    def test_keys_are_unique(self):
+        keys = [spec.key for spec in problem_specs(include_mutants=True)]
+        assert len(set(keys)) == len(keys)
+
+    def test_instance_labels_are_globally_unique(self):
+        labels = [
+            inst.label
+            for spec in problem_specs(include_mutants=True)
+            for inst in spec.instances
+        ]
+        assert len(set(labels)) == len(labels)
+
+    def test_bench_labels_are_unique_and_only_on_bench_instances(self):
+        bench_labels = []
+        for spec in problem_specs(include_mutants=True):
+            for inst in spec.instances:
+                if inst.has_role("bench"):
+                    assert inst.bench_label, (
+                        f"{inst.label} plays the bench role without a "
+                        "bench_label (the BENCH_explore.json trajectory key)"
+                    )
+                    bench_labels.append(inst.bench_label)
+        assert len(set(bench_labels)) == len(bench_labels)
+
+    def test_every_role_is_known(self):
+        for spec in problem_specs(include_mutants=True):
+            for inst in spec.instances:
+                assert set(inst.roles) <= set(ROLES)
+
+    def test_liveness_declarations_need_checkable_kinds(self):
+        from repro.verify import LIVENESS_CHECKERS
+
+        assert set(LIVENESS_CHECKERS) == set(LIVENESS_KINDS)
+        for spec in problem_specs(include_mutants=True):
+            for prop in spec.liveness:
+                assert prop.kind in LIVENESS_CHECKERS
+
+    def test_verify_role_implies_an_invariant(self):
+        # The verifier's exhaustive safety pass is meaningless without a
+        # declared invariant; every verify-role instance must have one.
+        for spec, inst in instances_with_role("verify", include_mutants=True):
+            assert spec.invariant is not None, spec.key
+
+    def test_mutants_are_excluded_from_shipped_views(self):
+        shipped = {spec.key for spec in problem_specs()}
+        everything = {spec.key for spec in problem_specs(include_mutants=True)}
+        mutants = everything - shipped
+        assert "figure-1-mutex-even-m" in mutants
+        for key in mutants:
+            assert get_problem(key).mutant
+
+    def test_unknown_problem_key_lists_known_keys(self):
+        with pytest.raises(KeyError, match="figure-1-mutex"):
+            get_problem("no-such-problem")
+
+    def test_unknown_instance_label_lists_known_labels(self):
+        spec = get_problem("figure-1-mutex")
+        with pytest.raises(KeyError, match=r"figure-1-mutex\(m=3\)"):
+            spec.instance("no-such-instance")
+
+    def test_unknown_role_and_kind_are_rejected_at_declaration(self):
+        with pytest.raises(ValueError, match="unknown role"):
+            ProblemInstance("x", roles=("fuzz",))
+        with pytest.raises(ValueError, match="unknown liveness kind"):
+            LivenessProperty("starvation-freedom", "Theorem 0")
+
+
+class TestSpecProjection:
+    def test_system_builds_a_runnable_system(self):
+        spec = get_problem("figure-1-mutex")
+        inst = spec.instance("figure-1-mutex(m=3)")
+        system = spec.system(inst)
+        assert isinstance(system, System)
+
+    def test_mutant_system_pins_its_adversarial_naming(self):
+        spec = get_problem("figure-1-mutex-even-m")
+        inst = spec.instance("figure-1-mutex-even-m(m=4)")
+        naming = spec.naming(inst.params_dict())
+        assert isinstance(naming, RingNaming)
+
+    def test_algorithm_is_fresh_per_call(self):
+        spec = get_problem("figure-2-consensus")
+        inst = spec.instance("figure-2-consensus(n=2)")
+        assert spec.algorithm(inst) is not spec.algorithm(inst)
+
+    def test_params_dict_round_trips(self):
+        inst = get_problem("figure-1-mutex").instance("figure-1-mutex(m=5)")
+        assert inst.params_dict() == {"m": 5}
+
+    def test_instances_with_role_filters(self):
+        spec = get_problem("figure-1-mutex")
+        verify = spec.instances_with_role("verify")
+        assert [i.label for i in verify] == [
+            "figure-1-mutex(m=3)",
+            "figure-1-mutex(m=5)",
+            "figure-1-mutex(m=7)",
+        ]
+
+    def test_sweep_problem_resolves_through_the_registry(self):
+        from repro.analysis.experiments import sweep_problem
+        from repro.memory.naming import IdentityNaming
+        from repro.runtime.adversary import RandomAdversary
+        from repro.spec.mutex_spec import MutualExclusionChecker
+
+        result = sweep_problem(
+            "figure-1-mutex",
+            namings=[IdentityNaming()],
+            adversaries=[RandomAdversary(1)],
+            checkers_factory=lambda: [MutualExclusionChecker()],
+            max_steps=20_000,
+        )
+        assert result.runs == 1 and result.all_ok
+
+    def test_sweep_problem_rejects_params_and_instance_together(self):
+        from repro.analysis.experiments import sweep_problem
+
+        with pytest.raises(ConfigurationError, match="not both"):
+            sweep_problem(
+                "figure-1-mutex",
+                namings=[],
+                adversaries=[],
+                checkers_factory=lambda: [],
+                instance="figure-1-mutex(m=3)",
+                params={"m": 3},
+            )
+
+
+class TestDrift:
+    """The registry's declared automata vs. the shipped modules' reality.
+
+    ``repro lint``'s summary counts come from
+    :func:`shipped_automaton_classes`; this walk fails the build if a
+    shipped module ever gains (or loses) a concrete
+    :class:`ProcessAutomaton` subclass the registry does not declare, so
+    the counts can never silently drift again (the seed repo shipped a
+    stale "14 automata" string for two releases).
+    """
+
+    @staticmethod
+    def _walk(cls):
+        for sub in cls.__subclasses__():
+            yield sub
+            yield from TestDrift._walk(sub)
+
+    def test_registry_matches_the_subclass_walk(self):
+        modules = shipped_modules()
+        for module in modules:
+            importlib.import_module(module)
+        walked = {
+            cls
+            for cls in self._walk(ProcessAutomaton)
+            if cls.__module__ in modules and not inspect.isabstract(cls)
+        }
+        declared = set(shipped_automaton_classes())
+        missing = sorted(
+            f"{c.__module__}.{c.__qualname__}" for c in walked - declared
+        )
+        stale = sorted(
+            f"{c.__module__}.{c.__qualname__}" for c in declared - walked
+        )
+        assert not missing, f"shipped but undeclared automata: {missing}"
+        assert not stale, f"declared but unshipped automata: {stale}"
+
+    def test_lint_view_is_a_pure_projection(self):
+        from repro.lint.registry import lint_targets
+
+        targets = lint_targets()
+        registry = list(instances_with_role("lint"))
+        assert [t.label for t in targets] == [
+            inst.label for _, inst in registry
+        ]
+        for target, (_, inst) in zip(targets, registry):
+            assert target.max_states == inst.max_states
+            assert target.race_check == inst.race_check
+            assert target.naming_seed == inst.naming_seed
+
+    def test_classes_are_sorted_like_the_old_subclass_walk(self):
+        classes = shipped_automaton_classes()
+        keys = [(c.__module__, c.__qualname__) for c in classes]
+        assert keys == sorted(keys)

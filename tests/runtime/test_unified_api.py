@@ -166,6 +166,41 @@ class TestUnifiedSweep:
         assert len(names) == 2 and names[0] != names[1]
 
 
+class TestShimMessages:
+    """Pin the exact deprecation text.
+
+    Downstream scripts grep for these strings when migrating, and
+    CHANGES.md documents the removal target (two PRs after PR 5) against
+    these exact spellings — an edit here must update both.
+    """
+
+    def test_explore_shim_message_is_pinned(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            explore_symmetry_reduced(mutex_system(), mutual_exclusion_invariant)
+        messages = [
+            str(w.message) for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert messages == [
+            'explore_symmetry_reduced() is deprecated; call '
+            'explore(..., reduction="symmetry") instead'
+        ]
+
+    def test_sweep_executor_shim_message_is_pinned(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            mutex_sweep(executor=SerialExecutor())
+        messages = [
+            str(w.message) for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert messages == [
+            'sweep(executor=...) is deprecated; pass backend="serial", '
+            'backend="process" or backend=<executor> instead'
+        ]
+
+
 class TestSweepShim:
     def test_executor_kwarg_warns_and_matches_backend(self):
         new = mutex_sweep(backend=SerialExecutor())

@@ -17,10 +17,50 @@ class TestCli:
         assert "new names" in out
 
     def test_verify_reports_ok(self, capsys):
-        assert main(["verify"]) == 0
+        assert main([
+            "verify",
+            "--instance", "figure-1-mutex(m=3)",
+            "--instance", "figure-2-consensus(n=2)",
+            "--instance", "figure-3-renaming(n=2)",
+        ]) == 0
         out = capsys.readouterr().out
         assert out.count("[OK ]") == 3
-        assert "exhaustive-ok" in out
+        assert "safety exhaustive" in out
+        assert "deadlock-freedom (Theorem 3.3) holds" in out
+        assert "obstruction-freedom (Theorem 4.1) holds" in out
+        assert "obstruction-freedom (Theorem 5.1) holds" in out
+
+    def test_verify_mutant_reports_seeded_lasso_as_ok(self, capsys):
+        assert main(
+            ["verify", "--instance", "figure-1-mutex-even-m(m=4)"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[OK ]" in out
+        assert "deadlock-freedom (Theorem 3.4) violated (as seeded)" in out
+        assert "lasso:" in out and "repeat" in out
+
+    def test_verify_list_enumerates_registry_instances(self, capsys):
+        assert main(["verify", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-1-mutex(m=7): deadlock-freedom (Theorem 3.3)" in out
+        assert "[expect violation]" in out
+
+    def test_verify_unknown_instance_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "--instance", "no-such-instance"])
+        assert "known:" in capsys.readouterr().err
+
+    def test_verify_writes_report_readable_manifests(self, tmp_path, capsys):
+        assert main([
+            "verify",
+            "--instance", "figure-1-mutex(m=3)",
+            "--telemetry", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s), all schema-valid" in out
+        assert "verified" in out
 
     def test_attack_finds_violations(self, capsys):
         assert main(["attack"]) == 0

@@ -81,7 +81,7 @@ class TestExplorationBench:
         problems = harness.check_baseline(doc(771, verdict="bounded-ok"), baseline)
         assert problems and "verdict changed" in problems[0]
 
-    def test_quick_bench_writes_schema_v3(self, harness, tmp_path, capsys):
+    def test_quick_bench_writes_schema_v4(self, harness, tmp_path, capsys):
         out = tmp_path / "bench.json"
         import json
 
@@ -89,7 +89,7 @@ class TestExplorationBench:
         capsys.readouterr()
         assert code == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == "repro.bench_explore/v3"
+        assert document["schema"] == "repro.bench_explore/v4"
         assert document["rng_seed"] == 5
         assert document["backend"] == "serial"
         assert document["workers"] == 1
@@ -102,6 +102,17 @@ class TestExplorationBench:
             assert (
                 record["canonical"]["states"] <= record["seed"]["states"]
             )
+        # v4 adds a graph-retention/verification block to every instance
+        # whose registry entry declares liveness properties.
+        verified = [r for r in document["instances"] if "verify" in r]
+        assert verified, "no quick instance carries the v4 verify block"
+        for record in verified:
+            block = record["verify"]
+            assert block["ok"] is True
+            assert block["retained_edges"] > 0
+            assert block["verify_wall_seconds"] >= 0.0
+            assert block["explore_wall_seconds"] > 0.0
+            assert block["properties"]
 
     def test_telemetry_flag_writes_schema_valid_manifests(
         self, harness, tmp_path, capsys
