@@ -12,8 +12,11 @@ Subcommands:
                     ``--backend``, ``--telemetry``);
 * ``attack``      — run the Theorem 3.4 symmetry attack on Figure 1 with
                     an even register count and show the provable livelock;
-* ``lint``        — static analysis + runtime audits of the model rules
-                    (symmetry, anonymity, atomicity, pc annotations);
+* ``lint``        — dataflow-IR static analysis + runtime audits of the
+                    model rules (pid-taint symmetry, register footprints,
+                    bounded domains, anonymity, atomicity, pc
+                    annotations), with ``--format sarif``/``--strict``
+                    for CI gating;
 * ``experiments`` — regenerate the paper-claim experiment tables (E1-E14
                     of the E1-E17 index in DESIGN.md; the E15-E17
                     extension tables run via ``pytest benchmarks/

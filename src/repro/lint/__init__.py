@@ -1,12 +1,24 @@
 """repro.lint — static analysis and runtime audits for the model's rules.
 
-The paper's model bakes three structural disciplines into every
-algorithm, and this package checks all of them mechanically:
+The paper's model bakes structural disciplines into every algorithm,
+and this package checks all of them mechanically.  Since lint v2 the
+static passes share one foundation: :mod:`repro.lint.ir` lowers each
+automaton's methods into a def-use dataflow IR with an abstract value
+domain (provenance kinds, pid-taint, constant payloads), and the passes
+are queries over the analysis result rather than AST pattern-matches.
 
 * **symmetry** (§2): process identifiers may only be written, read and
-  compared for equality — :mod:`repro.lint.symmetry` walks each
-  automaton's AST and flags arithmetic, ordering, indexing or hashing
-  on identifiers;
+  compared for equality — :mod:`repro.lint.taint` tracks
+  identifier-derived *values* through locals, tuples, helper calls and
+  state fields and flags arithmetic, ordering, indexing or hashing on
+  them (:mod:`repro.lint.symmetry` remains the compatibility façade);
+* **footprints**: the register write-footprint inferred from the IR
+  must match the :class:`~repro.problems.spec.AutomatonFootprint`
+  declared in the problem registry and be coupled to the trusted
+  symmetry-hook claims — :mod:`repro.lint.footprints`;
+* **domains**: every value written to a register must come from a
+  finite domain (inputs, pids, constants, witnessed-bounded counters)
+  — :mod:`repro.lint.domains`;
 * **memory anonymity** (§2, §3.2): algorithms address registers only
   through their private :class:`~repro.memory.anonymous.MemoryView`,
   never the physical array — :mod:`repro.lint.anonymity` checks this
@@ -21,10 +33,22 @@ algorithm, and this package checks all of them mechanically:
 value to a paper figure line (:attr:`ProcessAutomaton.PC_LINES`) and
 uses the bounded explorer to prove the annotated lines are reachable.
 
+Findings carry stable IDs (:func:`~repro.lint.findings.assign_ids`);
+the CLI can emit them as a table, deterministic JSON or SARIF 2.1.0,
+and suppress known ones through the checked-in ``lint-baseline.json``
+(:mod:`repro.lint.baseline`).
+
 Entry point: ``python -m repro lint`` (:mod:`repro.lint.cli`).
 """
 
-from repro.lint.findings import Finding, errors_in, worst_severity
+from repro.lint.findings import (
+    Finding,
+    assign_ids,
+    errors_in,
+    failures_in,
+    finding_key,
+    worst_severity,
+)
 from repro.lint.registry import (
     LintTarget,
     lint_targets,
@@ -34,7 +58,10 @@ from repro.lint.registry import (
 __all__ = [
     "Finding",
     "LintTarget",
+    "assign_ids",
     "errors_in",
+    "failures_in",
+    "finding_key",
     "lint_targets",
     "shipped_automaton_classes",
     "worst_severity",

@@ -64,7 +64,7 @@ class _AnonymityVisitor(ast.NodeVisitor):
         self.first_line = first_line
         self.findings: List[Finding] = []
 
-    def _flag(self, node: ast.AST, detail: str) -> None:
+    def _flag(self, node: ast.AST, detail: str, rule: str) -> None:
         line = self.first_line + getattr(node, "lineno", 1) - 1
         self.findings.append(
             Finding(
@@ -73,22 +73,32 @@ class _AnonymityVisitor(ast.NodeVisitor):
                 subject=self.subject,
                 detail=detail,
                 location=f"{_short(self.filename)}:{line}",
+                rule=rule,
             )
         )
 
     def visit_Name(self, node: ast.Name) -> None:
         if node.id in FORBIDDEN_NAMES:
-            self._flag(node, f"references the memory substrate type {node.id}")
+            self._flag(
+                node,
+                f"references the memory substrate type {node.id}",
+                "substrate-reference",
+            )
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         if node.attr in FORBIDDEN_NAMES:
-            self._flag(node, f"references the memory substrate type {node.attr}")
+            self._flag(
+                node,
+                f"references the memory substrate type {node.attr}",
+                "substrate-reference",
+            )
         elif node.attr in FORBIDDEN_ATTRS:
             self._flag(
                 node,
                 f"accesses .{node.attr} — pierces the private register "
                 f"numbering (views only expose read/write to automata)",
+                "view-piercing",
             )
         self.generic_visit(node)
 
@@ -103,6 +113,7 @@ def check_class(cls: Type[ProcessAutomaton]) -> List[Finding]:
                 severity="info",
                 subject=cls.__qualname__,
                 detail="source unavailable — skipped",
+                rule="skipped",
             )
         ]
     node, filename, first_line = parsed
@@ -156,6 +167,7 @@ def run_anonymity_audit(
                     f"{bypass.physical_index} bypassed the process views"
                 ),
                 location=f"run:{target.label}",
+                rule="runtime-bypass",
             )
         )
     if audit.mediated_accesses == 0 and not audit.bypasses:
@@ -167,6 +179,7 @@ def run_anonymity_audit(
                 detail="runtime audit observed no register accesses "
                 "(schedule too short?)",
                 location=f"run:{target.label}",
+                rule="no-accesses",
             )
         )
     return findings

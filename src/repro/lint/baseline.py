@@ -1,0 +1,115 @@
+"""Baseline / suppression file for the lint CI gate.
+
+``lint-baseline.json`` (checked in at the repository root) lists finding
+IDs (:func:`repro.lint.findings.assign_ids`) that are *known* and must
+not fail the build.  The intended workflow mirrors ruff's
+``--add-noqa``-then-burn-down loop:
+
+1. a new pass lands (or an old one gets sharper) and produces findings
+   on existing code;
+2. the findings that cannot be fixed in the same change are added to the
+   baseline with a short ``reason``;
+3. ``python -m repro lint --strict`` stays green while each suppression
+   is burned down in follow-ups;
+4. a suppression whose finding no longer occurs is *stale* and reported
+   as a ``warning`` — under ``--strict`` the build fails until the dead
+   entry is deleted, so the baseline can only shrink by being edited.
+
+The file format is deliberately minimal::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"id": "symmetry.pid-index.SomeProcess", "reason": "tracked in #42"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+
+PASS = "baseline"
+
+#: Default baseline location: ``<repo root>/lint-baseline.json``.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baselined finding ID with its justification."""
+
+    finding_id: str
+    reason: str = ""
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: Path) -> List[Suppression]:
+    """Parse ``path``; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise BaselineError(f"{path}: expected an object with version 1")
+    entries = payload.get("suppressions", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"{path}: 'suppressions' must be a list")
+    suppressions: List[Suppression] = []
+    for entry in entries:
+        if not isinstance(entry, dict) or "id" not in entry:
+            raise BaselineError(
+                f"{path}: each suppression needs an 'id' field, got {entry!r}"
+            )
+        suppressions.append(
+            Suppression(finding_id=entry["id"], reason=entry.get("reason", ""))
+        )
+    return suppressions
+
+
+def apply_baseline(
+    identified: Sequence[Tuple[str, Finding]],
+    suppressions: Sequence[Suppression],
+) -> Tuple[List[Tuple[str, Finding]], List[Finding]]:
+    """Split findings into (kept, extra-stale-warnings).
+
+    Suppressed findings are dropped from the kept list — they neither
+    fail the run nor appear in the table.  Every suppression that
+    matched nothing produces a ``warning`` finding (pass ``baseline``,
+    rule ``stale-suppression``), so dead entries fail ``--strict``.
+    """
+    by_id: Dict[str, Suppression] = {s.finding_id: s for s in suppressions}
+    matched: Set[str] = set()
+    kept: List[Tuple[str, Finding]] = []
+    for finding_id, finding in identified:
+        if finding_id in by_id:
+            matched.add(finding_id)
+        else:
+            kept.append((finding_id, finding))
+    stale: List[Finding] = []
+    for suppression in suppressions:
+        if suppression.finding_id not in matched:
+            stale.append(
+                Finding(
+                    pass_name=PASS,
+                    severity="warning",
+                    subject=suppression.finding_id,
+                    detail=(
+                        "stale suppression: no current finding has this ID"
+                        + (f" (reason was: {suppression.reason})"
+                           if suppression.reason else "")
+                    ),
+                    rule="stale-suppression",
+                )
+            )
+    return kept, stale

@@ -1,24 +1,42 @@
-"""``python -m repro lint`` — run every pass, print a findings table.
+"""``python -m repro lint`` — run every pass, report, gate.
 
 The classes and instances the passes cover come from the problem
 registry (:mod:`repro.problems`) via :mod:`repro.lint.registry`, so the
 summary line's counts are the registry's counts — there is no separate
 lint-side table to fall out of date.
 
-Exit status: 0 when no ``error``-severity finding was produced, 1
-otherwise — so CI can gate on the model disciplines the same way it
-gates on tests.
+Output formats (``--format``):
+
+* ``table`` (default) — the human-facing aligned table plus summary;
+* ``json``  — deterministic JSON sorted by finding ID;
+* ``sarif`` — SARIF 2.1.0, suitable for GitHub code-scanning upload.
+
+Gating: findings suppressed by the baseline file (``--baseline``,
+default ``lint-baseline.json`` at the repo root) are dropped before
+gating.  Exit status is 0 unless an ``error`` finding remains — or,
+under ``--strict``, unless a ``warning`` remains (including the
+``stale-suppression`` warnings the baseline machinery itself emits), so
+CI can hold the line while local runs stay usable.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import time
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import render_table
-from repro.lint.findings import Finding, errors_in
+from repro.lint.baseline import (
+    DEFAULT_BASELINE,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+)
+from repro.lint.findings import Finding, assign_ids, errors_in, failures_in
 from repro.lint.registry import lint_targets, shipped_automaton_classes
+from repro.lint.sarif import render_json, render_sarif
 
 
 def collect_findings(
@@ -26,6 +44,8 @@ def collect_findings(
 ) -> List[Finding]:
     """Run every lint pass over the shipped algorithms."""
     from repro.lint.anonymity import run_anonymity_audits, run_anonymity_pass
+    from repro.lint.domains import run_domains_pass
+    from repro.lint.footprints import run_footprint_pass
     from repro.lint.pc_audit import run_pc_reachability_pass, run_pc_static_pass
     from repro.lint.races import run_race_sanitizer
     from repro.lint.symmetry import run_symmetry_pass
@@ -35,6 +55,8 @@ def collect_findings(
 
     findings: List[Finding] = []
     findings.extend(run_symmetry_pass(classes))
+    findings.extend(run_footprint_pass())
+    findings.extend(run_domains_pass(classes))
     findings.extend(run_anonymity_pass(classes))
     findings.extend(run_pc_static_pass(classes))
     if not skip_dynamic:
@@ -60,11 +82,19 @@ def render_findings(findings: Sequence[Finding]) -> str:
     )
 
 
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(text)
+    else:
+        sys.stdout.write(text)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
         description="Static analysis + runtime audits for the paper's model "
-        "rules (symmetry, memory anonymity, atomicity, pc annotations).",
+        "rules (symmetry, memory anonymity, register footprints, bounded "
+        "domains, atomicity, pc annotations).",
     )
     parser.add_argument(
         "--skip-races",
@@ -81,6 +111,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="hide info-severity findings from the table",
     )
+    parser.add_argument(
+        "--format",
+        choices=["table", "json", "sarif"],
+        default="table",
+        help="output format (json/sarif are deterministic, sorted by "
+        "finding ID)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout (the table "
+        "format's summary line still prints to stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppression file (default: lint-baseline.json at the repo "
+        "root; pass an empty string to disable)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings (including stale baseline suppressions) also fail "
+        "the run",
+    )
     args = parser.parse_args(argv)
 
     started = time.monotonic()
@@ -90,27 +147,64 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     duration = time.monotonic() - started
 
+    baseline_path = (
+        DEFAULT_BASELINE if args.baseline is None else Path(args.baseline)
+    )
+    identified: List[Tuple[str, Finding]] = assign_ids(findings)
+    if args.baseline != "":
+        try:
+            suppressions = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        identified, stale = apply_baseline(identified, suppressions)
+        identified.extend(assign_ids(stale))
+    findings = [finding for _, finding in identified]
+
+    if args.format == "json":
+        _emit(render_json(identified), args.output)
+    elif args.format == "sarif":
+        _emit(render_sarif(identified), args.output)
+
     shown = (
         [f for f in findings if f.severity != "info"]
         if args.quiet_info
         else list(findings)
     )
-    if shown:
-        print(render_findings(shown))
-        print()
+    if args.format == "table":
+        table = render_findings(shown) + "\n\n" if shown else ""
+        if args.output:
+            _emit(table, args.output)
+        elif table:
+            sys.stdout.write(table)
+    # When a machine-readable document goes to stdout, keep the human
+    # summary out of it (stderr) so the output stays parseable.
+    summary_stream = (
+        sys.stderr if args.format != "table" and not args.output else sys.stdout
+    )
     errors = errors_in(findings)
-    infos = len(findings) - len(errors)
+    warnings = [f for f in findings if f.severity == "warning"]
+    infos = len(findings) - len(errors) - len(warnings)
     print(
         f"repro lint: {len(classes)} automaton classes, "
         f"{len(lint_targets())} instances — "
         f"{len(errors)} error{'' if len(errors) == 1 else 's'}, "
-        f"{infos} note{'' if infos == 1 else 's'} ({duration:.1f}s)"
+        f"{len(warnings)} warning{'' if len(warnings) == 1 else 's'}, "
+        f"{infos} note{'' if infos == 1 else 's'} ({duration:.1f}s)",
+        file=summary_stream,
     )
-    if errors:
-        print("LINT FAILED: the model's structural rules are violated above")
+    failures = failures_in(findings, strict=args.strict)
+    if failures:
+        print(
+            "LINT FAILED: the model's structural rules are violated above",
+            file=summary_stream,
+        )
         return 1
-    print("all model disciplines hold: symmetric, view-mediated, race-free, "
-          "pc-annotated")
+    print(
+        "all model disciplines hold: symmetric, view-mediated, race-free, "
+        "pc-annotated",
+        file=summary_stream,
+    )
     return 0
 
 

@@ -1,0 +1,116 @@
+"""Bounded-domain pass: register writes must come from finite domains.
+
+The paper's anonymous-register model is only finitely explorable because
+every value that reaches shared memory is drawn from a finite set: the
+input domain, the pid set, small constant alphabets, or counters the
+algorithm itself bounds.  An automaton that writes an *unbounded*
+value — say ``result + 1`` accumulated without a witnessed bound —
+silently breaks every state-space argument downstream (the explorer
+would diverge rather than exhaust).
+
+The dataflow IR tags each value with provenance kinds; this pass walks
+every ``WriteOp`` site recorded for an automaton's ``next_op`` and
+checks the written value's kinds:
+
+``unbounded-write`` (error)
+    The written value carries the ``unbounded`` kind — some arithmetic
+    or opaque construction produced it and no bounded witness (a
+    comparison against the counter elsewhere in the class) redeemed it.
+
+``unforwarded-write`` (error)
+    The written value is forwarded verbatim from an inner automaton
+    (kind ``forwarded``) but the class's declared footprint says
+    ``forwards_values=False`` — the registry under-promises what can
+    reach memory.  When the class has no declaration the inferred
+    footprint is used, which makes this rule vacuous there (the
+    footprint pass separately flags the missing declaration).
+
+``skipped`` (info)
+    Source unavailable — the class cannot be analysed statically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Type
+
+from repro.lint.findings import Finding
+from repro.lint.ir import _short, analyze_class
+from repro.lint.registry import shipped_automaton_classes
+from repro.runtime.automaton import ProcessAutomaton
+
+PASS = "domains"
+
+
+def check_class(cls: Type[ProcessAutomaton]) -> List[Finding]:
+    """Bounded-domain findings for one automaton class."""
+    subject = cls.__qualname__
+    analysis = analyze_class(cls)
+    if analysis is None:
+        return [
+            Finding(
+                pass_name=PASS,
+                severity="info",
+                subject=subject,
+                detail="source unavailable — skipped",
+                rule="skipped",
+            )
+        ]
+    from repro.lint.footprints import declared_footprints
+
+    declared, _ = declared_footprints()
+    footprint = declared.get(subject)
+    forwards_ok = (
+        footprint.forwards_values
+        if footprint is not None
+        else analysis.footprint().forwards_values
+    )
+    findings: List[Finding] = []
+    for site in analysis.op_sites:
+        if site.kind != "write":
+            continue
+        location = f"{_short(site.filename)}:{site.line}"
+        if "unbounded" in site.value.kinds:
+            findings.append(
+                Finding(
+                    pass_name=PASS,
+                    severity="error",
+                    subject=subject,
+                    detail=(
+                        "WriteOp value is drawn from an unbounded domain "
+                        "(arithmetic without a witnessed counter bound) — "
+                        "exploration over this automaton cannot terminate"
+                    ),
+                    location=location,
+                    rule="unbounded-write",
+                )
+            )
+        if "forwarded" in site.value.kinds and not forwards_ok:
+            findings.append(
+                Finding(
+                    pass_name=PASS,
+                    severity="error",
+                    subject=subject,
+                    detail=(
+                        "WriteOp value is forwarded from an inner automaton "
+                        "but the declared footprint has forwards_values="
+                        "False — declare the forwarding or stop writing "
+                        "inner-automaton values"
+                    ),
+                    location=location,
+                    rule="unforwarded-write",
+                )
+            )
+    return findings
+
+
+def run_domains_pass(
+    classes: Optional[Iterable[Type[ProcessAutomaton]]] = None,
+) -> List[Finding]:
+    """Run the bounded-domain checker over ``classes`` (default: shipped)."""
+    target: Sequence[Type[ProcessAutomaton]] = (
+        list(classes) if classes is not None else shipped_automaton_classes()
+    )
+    findings: List[Finding] = []
+    for cls in target:
+        findings.extend(check_class(cls))
+    return findings

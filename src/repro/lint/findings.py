@@ -1,14 +1,26 @@
-"""The lint passes' common currency: the :class:`Finding` record."""
+"""The lint passes' common currency: the :class:`Finding` record.
+
+v2 adds three things the CI gate needs:
+
+* a ``warning`` level between ``info`` and ``error`` (fails only under
+  ``--strict``);
+* a machine-readable ``rule`` slug per finding, so findings have stable
+  identities across runs (the SARIF ``ruleId``, the suppression key);
+* :func:`assign_ids` — deterministic per-run finding IDs of the form
+  ``<pass>.<rule>.<subject>`` (with ``#N`` ordinals for repeats), which
+  the JSON/SARIF emitters sort by and the baseline file suppresses by.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-#: Finding severities, mildest first.  ``error`` findings fail the lint
-#: run (non-zero exit); ``info`` findings are advisory (skipped classes,
+#: Finding severities, mildest first.  ``error`` findings always fail
+#: the lint run (non-zero exit); ``warning`` findings fail only under
+#: ``--strict``; ``info`` findings are advisory (skipped classes,
 #: truncated explorations).
-SEVERITIES = ("info", "error")
+SEVERITIES = ("info", "warning", "error")
 
 
 @dataclass(frozen=True)
@@ -18,10 +30,11 @@ class Finding:
     Attributes
     ----------
     pass_name:
-        Which pass produced it: ``symmetry``, ``anonymity``, ``races``
-        or ``pc-audit``.
+        Which pass produced it: ``symmetry``, ``anonymity``, ``races``,
+        ``pc-audit``, ``footprints`` or ``domains``.
     severity:
-        ``"error"`` (violates a model rule) or ``"info"`` (advisory).
+        ``"error"`` (violates a model rule), ``"warning"`` (fails under
+        ``--strict``) or ``"info"`` (advisory).
     subject:
         The automaton class or lint target the finding is about.
     detail:
@@ -29,6 +42,10 @@ class Finding:
     location:
         ``file.py:line`` for static findings, a run label for dynamic
         ones; empty when not applicable.
+    rule:
+        Stable machine-readable slug for the *kind* of finding
+        (``pid-index``, ``drift``, ``unbounded-write``, …); part of the
+        finding's identity, so keep slugs stable across refactors.
     """
 
     pass_name: str
@@ -36,15 +53,48 @@ class Finding:
     subject: str
     detail: str
     location: str = ""
+    rule: str = ""
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
             raise ValueError(f"unknown finding severity {self.severity!r}")
 
 
+def finding_key(finding: Finding) -> str:
+    """The ID stem shared by identical-identity findings."""
+    return f"{finding.pass_name}.{finding.rule or 'general'}.{finding.subject}"
+
+
+def assign_ids(findings: Sequence[Finding]) -> List[Tuple[str, Finding]]:
+    """Deterministic IDs for a whole run's findings, in given order.
+
+    The first finding with a given ``(pass, rule, subject)`` identity
+    gets the bare stem; repeats get ``#2``, ``#3``, … ordinals.  IDs are
+    therefore stable as long as pass output order is (which the passes
+    guarantee by iterating the registry in declaration order).
+    """
+    counts: Dict[str, int] = {}
+    out: List[Tuple[str, Finding]] = []
+    for finding in findings:
+        stem = finding_key(finding)
+        counts[stem] = counts.get(stem, 0) + 1
+        ordinal = counts[stem]
+        out.append((stem if ordinal == 1 else f"{stem}#{ordinal}", finding))
+    return out
+
+
 def errors_in(findings: Sequence[Finding]) -> List[Finding]:
-    """The subset of ``findings`` that should fail the lint run."""
+    """The subset of ``findings`` that always fails the lint run."""
     return [f for f in findings if f.severity == "error"]
+
+
+def failures_in(
+    findings: Sequence[Finding], strict: bool = False
+) -> List[Finding]:
+    """The findings that fail the run: errors, plus warnings under
+    ``--strict``."""
+    failing = ("error", "warning") if strict else ("error",)
+    return [f for f in findings if f.severity in failing]
 
 
 def worst_severity(findings: Sequence[Finding]) -> Optional[str]:

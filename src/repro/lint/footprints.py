@@ -1,0 +1,213 @@
+"""Register-footprint pass: inferred write footprints vs. declarations.
+
+PR 2's canonicalizer and PR 5's problem registry both stake soundness on
+*hand-declared* facts about what each automaton writes: the symmetry
+hooks claim which renamings reach register values, and the specs claim
+which provenance classes those values come from.  This pass closes the
+loop: the dataflow IR (:mod:`repro.lint.ir`) *infers* each shipped
+automaton's write footprint from its ``next_op`` body, and any
+disagreement with the declarations is a build-breaking finding.
+
+Three rules:
+
+``undeclared`` (error)
+    A shipped automaton class has no
+    :class:`~repro.problems.spec.AutomatonFootprint` declaration in any
+    :class:`~repro.problems.spec.ProblemSpec` (or two specs declare
+    conflicting footprints for the same class).
+
+``drift`` (error)
+    The inferred footprint differs from the declared one.  Like PR 5's
+    count-drift test, the fix is to update the declaration *after
+    reading the diff* — the declaration is the reviewed statement of
+    intent, the inference is the code's actual behaviour.
+
+``hook-coupling`` (error)
+    The automaton has a trusted symmetry-hook bundle
+    (:func:`repro.runtime.canonical.hook_claims`) whose
+    ``rename_register_value`` does not rename a class of values the
+    automaton demonstrably writes: pid writes require pid renaming,
+    input writes require value renaming.  This is exactly the coupling
+    the orbit-minimisation bisimulation argument depends on.
+
+``skipped`` (info)
+    Source unavailable — the class cannot be analysed statically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.findings import Finding
+from repro.lint.ir import analyze_class
+from repro.lint.registry import shipped_automaton_classes
+from repro.problems.spec import AutomatonFootprint
+from repro.runtime.automaton import ProcessAutomaton
+from repro.runtime.canonical import hook_claims
+
+PASS = "footprints"
+
+
+def infer_footprint(
+    cls: Type[ProcessAutomaton],
+) -> Optional[AutomatonFootprint]:
+    """The statically inferred footprint, or ``None`` without source."""
+    analysis = analyze_class(cls)
+    return None if analysis is None else analysis.footprint()
+
+
+def declared_footprints() -> Tuple[Dict[str, AutomatonFootprint], List[Finding]]:
+    """The registry's declarations, unioned by automaton qualname.
+
+    Two specs may declare the same class (shared automata) as long as
+    they agree; a conflict is reported as an ``undeclared``-rule error
+    (the class effectively has no single trusted declaration).
+    """
+    from repro.problems.registry import problem_specs
+
+    declared: Dict[str, AutomatonFootprint] = {}
+    findings: List[Finding] = []
+    for spec in problem_specs():
+        for qualname, footprint in spec.footprints:
+            previous = declared.get(qualname)
+            if previous is not None and previous != footprint:
+                findings.append(
+                    Finding(
+                        pass_name=PASS,
+                        severity="error",
+                        subject=qualname,
+                        detail=(
+                            f"conflicting footprint declarations: "
+                            f"{previous.describe()} vs {footprint.describe()} "
+                            f"(latter from spec {spec.key!r})"
+                        ),
+                        rule="undeclared",
+                    )
+                )
+            declared[qualname] = footprint
+    return declared, findings
+
+
+def _diff(declared: AutomatonFootprint, inferred: AutomatonFootprint) -> str:
+    """Field-by-field description of a drift (only differing fields)."""
+    parts: List[str] = []
+    for name in (
+        "writes_pid",
+        "writes_input",
+        "writes_memory",
+        "writes_counter",
+        "writes_config",
+        "write_constants",
+        "index_constants",
+        "symbolic_indexing",
+        "forwards_values",
+        "no_ops",
+    ):
+        a, b = getattr(declared, name), getattr(inferred, name)
+        if a != b:
+            parts.append(f"{name}: declared {a!r}, inferred {b!r}")
+    return "; ".join(parts)
+
+
+def check_class(
+    cls: Type[ProcessAutomaton],
+    declared: Optional[AutomatonFootprint] = None,
+) -> List[Finding]:
+    """Footprint findings for one automaton class.
+
+    ``declared`` defaults to the registry's declaration for the class;
+    passing one explicitly lets tests exercise the drift rule directly.
+    """
+    subject = cls.__qualname__
+    inferred = infer_footprint(cls)
+    if inferred is None:
+        return [
+            Finding(
+                pass_name=PASS,
+                severity="info",
+                subject=subject,
+                detail="source unavailable — skipped",
+                rule="skipped",
+            )
+        ]
+    findings: List[Finding] = []
+    if declared is None:
+        registry_declared, _ = declared_footprints()
+        declared = registry_declared.get(subject)
+    if declared is None:
+        findings.append(
+            Finding(
+                pass_name=PASS,
+                severity="error",
+                subject=subject,
+                detail=(
+                    f"no AutomatonFootprint declared in any ProblemSpec; "
+                    f"inferred {inferred.describe()}"
+                ),
+                rule="undeclared",
+            )
+        )
+    elif declared != inferred:
+        findings.append(
+            Finding(
+                pass_name=PASS,
+                severity="error",
+                subject=subject,
+                detail=f"footprint drift — {_diff(declared, inferred)}",
+                rule="drift",
+            )
+        )
+    claims = hook_claims(cls)
+    if claims is not None:
+        if inferred.writes_pid and not claims.renames_pids:
+            findings.append(
+                Finding(
+                    pass_name=PASS,
+                    severity="error",
+                    subject=subject,
+                    detail=(
+                        "writes process identifiers to registers but its "
+                        "trusted rename_register_value hook never applies "
+                        "pids_renamed — the symmetry reduction would "
+                        "mis-canonicalize pid-carrying registers"
+                    ),
+                    rule="hook-coupling",
+                )
+            )
+        if inferred.writes_input and not claims.renames_values:
+            findings.append(
+                Finding(
+                    pass_name=PASS,
+                    severity="error",
+                    subject=subject,
+                    detail=(
+                        "writes input values to registers but its trusted "
+                        "rename_register_value hook never applies "
+                        "values_renamed — the symmetry reduction would "
+                        "mis-canonicalize input-carrying registers"
+                    ),
+                    rule="hook-coupling",
+                )
+            )
+    return findings
+
+
+def run_footprint_pass(
+    classes: Optional[Iterable[Type[ProcessAutomaton]]] = None,
+) -> List[Finding]:
+    """Run the footprint checker over ``classes`` (default: all shipped).
+
+    With the default class list the registry's declaration conflicts are
+    reported too; an explicit class list checks just those classes.
+    """
+    findings: List[Finding] = []
+    if classes is None:
+        target: Sequence[Type[ProcessAutomaton]] = shipped_automaton_classes()
+        declared, conflicts = declared_footprints()
+        findings.extend(conflicts)
+    else:
+        target = list(classes)
+        declared, _ = declared_footprints()
+    for cls in target:
+        findings.extend(check_class(cls, declared.get(cls.__qualname__)))
+    return findings

@@ -1,0 +1,1380 @@
+"""Dataflow IR over automaton step functions.
+
+The original symmetry pass matched *syntax*: ``self.pid`` in a
+forbidden position.  That cannot see through one local-variable hop
+(``x = self.pid; view[x]``), and it cannot answer the questions the
+canonicalizer and the problem registry stake soundness on — *which
+registers does this automaton write, with what values?*  This module
+lowers each automaton class into a small def-use IR and runs one
+flow-sensitive abstract interpreter over it; the analysis passes
+(:mod:`repro.lint.taint`, :mod:`repro.lint.footprints`,
+:mod:`repro.lint.domains`) are thin consumers of its results.
+
+Abstract domain
+---------------
+Every expression evaluates to an :class:`AbsVal`:
+
+* ``taint`` — does the value *derive from a process identifier*?
+  ``"direct"`` (it is one), ``"container"`` (a collection holding
+  one), ``"none"``.  Taint is what §2's discipline restricts: a
+  ``direct`` value may be written and equality-compared, nothing else.
+* ``kinds`` — provenance lattice for the footprint inference:
+  ``const``, ``config`` (constructor parameters), ``pid``, ``input``,
+  ``memory`` (values read back from registers), ``counter`` (bounded
+  loop counters), ``forwarded`` (values passing through an inner
+  automaton), ``unbounded`` (arithmetic escaping every finite domain).
+* ``consts`` — concrete payloads carried along pure-constant paths, so
+  the inferred footprint can name the literal register indices and
+  written constants.
+* ``fields`` — which state fields the value was read from (feeds the
+  bounded-counter classification).
+* ``role`` — structural roles the evaluator dispatches on: ``self``,
+  ``state``, ``automaton`` (an inner automaton object), ``function``,
+  ``ownop`` (a freshly built Read/Write operation).
+
+Method calls are interpreted interprocedurally with memoised summaries
+keyed on the argument values; state-field contents are solved by a
+small fixpoint over the transition methods.  Scope resolution is real:
+names go through the defining class's module namespace (local
+``import`` statements included), so ``dataclasses.replace``, record
+constructors and module-level helper functions are classified by the
+object they actually resolve to, not by name.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import dataclasses
+import importlib
+import inspect
+import textwrap
+import types
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from repro.problems.spec import AutomatonFootprint
+from repro.runtime.automaton import ProcessAutomaton
+
+#: Builtins whose application to an identifier treats it as a number —
+#: exactly what arbitrary-sized identifiers forbid.
+NUMERIC_BUILTINS = frozenset(
+    {"hash", "range", "divmod", "abs", "bin", "oct", "hex", "pow", "chr", "round"}
+)
+
+#: Comparison operators that are equality checks (allowed on identifiers).
+EQUALITY_OPS = (ast.Eq, ast.NotEq, ast.In, ast.NotIn)
+
+#: Provenance kinds (see module docstring).
+KINDS = frozenset(
+    {
+        "const",
+        "config",
+        "pid",
+        "input",
+        "memory",
+        "counter",
+        "forwarded",
+        "unbounded",
+    }
+)
+
+_TAINT_RANK = {"none": 0, "container": 1, "direct": 2}
+
+_SCALAR_TYPES = (int, float, str, bytes, bool, type(None))
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """One abstract value — the lattice element the evaluator computes."""
+
+    taint: str = "none"
+    kinds: FrozenSet[str] = frozenset()
+    consts: Tuple[Any, ...] = ()
+    fields: FrozenSet[str] = frozenset()
+    role: str = ""
+
+
+BOTTOM = AbsVal()
+SELF_VAL = AbsVal(role="self")
+STATE_VAL = AbsVal(role="state")
+PID_VAL = AbsVal(taint="direct", kinds=frozenset({"pid"}))
+INPUT_VAL = AbsVal(kinds=frozenset({"input"}))
+MEMORY_VAL = AbsVal(kinds=frozenset({"memory"}))
+CONFIG_VAL = AbsVal(kinds=frozenset({"config"}))
+AUTOMATON_VAL = AbsVal(role="automaton")
+FUNCTION_VAL = AbsVal(role="function")
+
+
+def _taint_max(a: str, b: str) -> str:
+    return a if _TAINT_RANK[a] >= _TAINT_RANK[b] else b
+
+
+def _merge_consts(a: Tuple[Any, ...], b: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    out: List[Any] = list(a)
+    for item in b:
+        if not any(item == seen and type(item) is type(seen) for seen in out):
+            out.append(item)
+    return tuple(out)
+
+
+def join(a: AbsVal, b: AbsVal) -> AbsVal:
+    """Least upper bound of two abstract values."""
+    if a == b:
+        return a
+    if a.role == b.role:
+        role = a.role
+    elif not a.role:
+        role = b.role  # "" is the role bottom, not a conflicting claim
+    elif not b.role:
+        role = a.role
+    else:
+        role = ""
+    return AbsVal(
+        taint=_taint_max(a.taint, b.taint),
+        kinds=a.kinds | b.kinds,
+        consts=_merge_consts(a.consts, b.consts),
+        fields=a.fields | b.fields,
+        role=role,
+    )
+
+
+def join_all(vals: Iterable[AbsVal]) -> AbsVal:
+    out = BOTTOM
+    for val in vals:
+        out = join(out, val)
+    return out
+
+
+def const_val(value: Any) -> AbsVal:
+    if isinstance(value, _SCALAR_TYPES):
+        return AbsVal(kinds=frozenset({"const"}), consts=(value,))
+    return AbsVal(kinds=frozenset({"const"}))
+
+
+def _demote(taint: str) -> str:
+    """Direct taint demoted to container (value absorbed into a result)."""
+    return "container" if taint == "direct" else taint
+
+
+def _extract(val: AbsVal) -> AbsVal:
+    """An element pulled out of a container value (iteration, ``.attr``)."""
+    taint = "direct" if val.taint in ("container", "direct") else "none"
+    return AbsVal(taint=taint, kinds=val.kinds)
+
+
+# ---------------------------------------------------------------------------
+# Source lowering
+# ---------------------------------------------------------------------------
+
+
+def class_source_tree(
+    cls: type,
+) -> Optional[Tuple[ast.ClassDef, str, int]]:
+    """Parse ``cls``'s own source: (class node, file name, first line).
+
+    Returns ``None`` when the source is unavailable *or unparseable* —
+    classes built in a REPL or via ``exec`` can make ``inspect`` raise
+    ``OSError``, hand back mis-sliced segments that fail to parse
+    (``IndentationError`` is a ``SyntaxError``), or return an unrelated
+    region; all of those degrade to "skipped", never a crash.
+    """
+    try:
+        source, first_line = inspect.getsourcelines(cls)
+        filename = inspect.getsourcefile(cls) or "<unknown>"
+        tree = ast.parse(textwrap.dedent("".join(source)))
+    except (OSError, TypeError, SyntaxError):
+        return None
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            return node, filename, first_line
+    return None
+
+
+def _short(filename: str) -> str:
+    marker = "repro/"
+    pos = filename.rfind(marker)
+    return filename[pos:] if pos >= 0 else filename
+
+
+@dataclass
+class MethodDef:
+    """One method body, attributed to the class whose source defines it."""
+
+    name: str
+    definer: type
+    node: ast.FunctionDef
+    filename: str
+    offset: int  # first source line of the definer's class body
+    is_static: bool
+
+    def line_of(self, node: ast.AST) -> int:
+        return self.offset + getattr(node, "lineno", 1) - 1
+
+
+@dataclass(frozen=True)
+class TaintViolation:
+    """One §2-discipline violation observed during evaluation."""
+
+    detail: str
+    filename: str
+    line: int
+
+
+@dataclass(frozen=True)
+class OpSite:
+    """One ``ReadOp``/``WriteOp`` construction reachable from ``next_op``."""
+
+    kind: str  # "read" | "write"
+    index: AbsVal
+    value: Optional[AbsVal]
+    filename: str
+    line: int
+
+
+def _is_staticmethod(node: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id == "staticmethod"
+        for dec in node.decorator_list
+    )
+
+
+def _analysis_mro(cls: type) -> List[type]:
+    """The MRO slice the analysis owns: everything below ProcessAutomaton."""
+    out: List[type] = []
+    for klass in cls.__mro__:
+        if klass is ProcessAutomaton:
+            break
+        out.append(klass)
+    return out
+
+
+def _witness_names(class_nodes: Sequence[ast.ClassDef]) -> Set[str]:
+    """Names appearing as comparison operands anywhere in the class bodies.
+
+    A state field compared against a bound (``state.j + 1 < self.m``,
+    ``myround == self.n``) is *witnessed* as a bounded counter.  A name
+    only counts in terminal position: not as the base of an attribute or
+    subscript (``myview[0].id == self.pid`` must not witness ``myview``)
+    and not as a call's function.
+    """
+    names: Set[str] = set()
+    for class_node in class_nodes:
+        for sub in ast.walk(class_node):
+            if not isinstance(sub, ast.Compare):
+                continue
+            for side in [sub.left, *sub.comparators]:
+                banned: Set[int] = set()
+                for parent in ast.walk(side):
+                    if isinstance(parent, (ast.Attribute, ast.Subscript)):
+                        banned.add(id(parent.value))
+                    elif isinstance(parent, ast.Call):
+                        banned.add(id(parent.func))
+                for term in ast.walk(side):
+                    if isinstance(term, ast.Name) and id(term) not in banned:
+                        names.add(term.id)
+                    elif (
+                        isinstance(term, ast.Attribute)
+                        and id(term) not in banned
+                    ):
+                        names.add(term.attr)
+    return names
+
+
+class ClassIR:
+    """The lowered form of one automaton class: method bodies with scope.
+
+    Built by :func:`build_class_ir`; consumed through
+    :func:`analyze_class` / :func:`taint_violations`.
+    """
+
+    def __init__(self, cls: Type[ProcessAutomaton]) -> None:
+        self.cls = cls
+        #: name -> most-derived definition (resolution order = MRO).
+        self.methods: Dict[str, MethodDef] = {}
+        #: every (definer, name) definition, MRO then source order.
+        self.method_index: Dict[Tuple[type, str], MethodDef] = {}
+        self.state_cls: Optional[type] = None
+        self.state_defaults: Dict[str, AbsVal] = {}
+        self.config_attrs: Dict[str, AbsVal] = {}
+        self.bounded_counters: FrozenSet[str] = frozenset()
+
+    # -- scope resolution ---------------------------------------------------
+
+    def module_ns(self, definer: type) -> Dict[str, Any]:
+        import sys
+
+        module = sys.modules.get(definer.__module__)
+        return vars(module) if module is not None else {}
+
+    def resolve_after(self, definer: type, name: str) -> Optional[MethodDef]:
+        """``super()`` resolution: the next definition past ``definer``."""
+        mro = _analysis_mro(self.cls)
+        try:
+            start = mro.index(definer) + 1
+        except ValueError:
+            return None
+        for klass in mro[start:]:
+            md = self.method_index.get((klass, name))
+            if md is not None:
+                return md
+        return None
+
+    def own_methods(self) -> List[MethodDef]:
+        return [
+            md
+            for (klass, _name), md in self.method_index.items()
+            if klass is self.cls
+        ]
+
+
+_NOTFOUND = object()
+
+
+def build_class_ir(cls: Type[ProcessAutomaton]) -> Optional[ClassIR]:
+    """Lower ``cls`` (and its analysable bases) into a :class:`ClassIR`.
+
+    Returns ``None`` when ``cls``'s own source is unavailable; a base
+    class without source merely contributes no methods (its behaviour is
+    treated as an analysis boundary).
+    """
+    ir = ClassIR(cls)
+    class_nodes: List[ast.ClassDef] = []
+    parsed_any_own = False
+    for klass in _analysis_mro(cls):
+        parsed = class_source_tree(klass)
+        if parsed is None:
+            if klass is cls:
+                return None
+            continue
+        node, filename, first_line = parsed
+        if klass is cls:
+            parsed_any_own = True
+        class_nodes.append(node)
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            md = MethodDef(
+                name=item.name,
+                definer=klass,
+                node=item,
+                filename=filename,
+                offset=first_line,
+                is_static=_is_staticmethod(item),
+            )
+            ir.method_index[(klass, item.name)] = md
+            ir.methods.setdefault(item.name, md)
+    if not parsed_any_own:
+        return None
+
+    _resolve_state_class(ir)
+    _collect_state_defaults(ir)
+    _collect_bounded_counters(ir, class_nodes)
+    _collect_config_attrs(ir)
+    return ir
+
+
+def _resolve_state_class(ir: ClassIR) -> None:
+    md = ir.methods.get("initial_state")
+    if md is None or md.node.returns is None:
+        return
+    annotation = md.node.returns
+    name: Optional[str] = None
+    if isinstance(annotation, ast.Name):
+        name = annotation.id
+    elif isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        name = annotation.value
+    elif isinstance(annotation, ast.Attribute):
+        name = annotation.attr
+    if name is None:
+        return
+    resolved = ir.module_ns(md.definer).get(name)
+    if isinstance(resolved, type) and dataclasses.is_dataclass(resolved):
+        ir.state_cls = resolved
+
+
+def _collect_state_defaults(ir: ClassIR) -> None:
+    if ir.state_cls is None:
+        return
+    for f in dataclasses.fields(ir.state_cls):
+        if f.default is not dataclasses.MISSING and isinstance(
+            f.default, _SCALAR_TYPES
+        ):
+            ir.state_defaults[f.name] = const_val(f.default)
+        else:
+            ir.state_defaults[f.name] = BOTTOM
+
+
+def _collect_bounded_counters(
+    ir: ClassIR, class_nodes: Sequence[ast.ClassDef]
+) -> None:
+    if ir.state_cls is None:
+        return
+    witnessed = _witness_names(class_nodes)
+    counters: Set[str] = set()
+    for f in dataclasses.fields(ir.state_cls):
+        int_ish = "int" in str(f.type) or (
+            isinstance(f.default, int) and not isinstance(f.default, bool)
+        )
+        if int_ish and f.name in witnessed:
+            counters.add(f.name)
+    ir.bounded_counters = frozenset(counters)
+
+
+def _collect_config_attrs(ir: ClassIR) -> None:
+    """Evaluate the ``__init__`` chain (base first) to type ``self.*``."""
+    evaluator = Evaluator(ir, {})
+    for klass in reversed(_analysis_mro(ir.cls)):
+        md = ir.method_index.get((klass, "__init__"))
+        if md is None:
+            continue
+        evaluator.eval_entry(md, collect_config=True)
+    ir.config_attrs = evaluator.config_writes
+
+
+# ---------------------------------------------------------------------------
+# The abstract interpreter
+# ---------------------------------------------------------------------------
+
+
+class _Frame:
+    __slots__ = ("env", "objs")
+
+    def __init__(self) -> None:
+        self.env: Dict[str, AbsVal] = {}
+        self.objs: Dict[str, Any] = {}
+
+
+class Evaluator:
+    """One flow-sensitive evaluation context over a :class:`ClassIR`.
+
+    The same evaluator instance is reused across entry points so that
+    method summaries are shared; it accumulates taint violations, op
+    sites (while inside the ``next_op`` closure) and state-field writes.
+    """
+
+    def __init__(self, ir: ClassIR, fields_env: Dict[str, AbsVal]) -> None:
+        self.ir = ir
+        self.fields_env = fields_env
+        self.violations: List[TaintViolation] = []
+        self.op_sites: List[OpSite] = []
+        self.field_writes: Dict[str, AbsVal] = {}
+        self.config_writes: Dict[str, AbsVal] = {}
+        self.next_op_return: AbsVal = BOTTOM
+        self._summaries: Dict[Tuple[Any, ...], AbsVal] = {}
+        self._active: Set[Tuple[Any, ...]] = set()
+        self._collect_ops = False
+        self._collect_config = False
+
+    # -- entry points -------------------------------------------------------
+
+    def eval_entry(
+        self, md: MethodDef, collect_config: bool = False
+    ) -> AbsVal:
+        args = self._entry_args(md, config_params=collect_config)
+        prev_ops, prev_cfg = self._collect_ops, self._collect_config
+        self._collect_ops = md.name == "next_op"
+        self._collect_config = collect_config
+        try:
+            result = self._eval_method(md, args)
+        finally:
+            self._collect_ops, self._collect_config = prev_ops, prev_cfg
+        if md.name == "next_op":
+            self.next_op_return = join(self.next_op_return, result)
+        return result
+
+    def _entry_args(
+        self, md: MethodDef, config_params: bool = False
+    ) -> Tuple[AbsVal, ...]:
+        vals: List[AbsVal] = []
+        for index, param in enumerate(md.node.args.args):
+            if index == 0 and not md.is_static:
+                vals.append(SELF_VAL)
+            elif param.arg == "state":
+                vals.append(STATE_VAL)
+            elif param.arg == "result":
+                vals.append(MEMORY_VAL)
+            elif param.arg == "pid":
+                vals.append(PID_VAL)
+            elif param.arg == "input":
+                vals.append(INPUT_VAL)
+            elif config_params:
+                # ``__init__`` parameters *are* the configuration.
+                vals.append(CONFIG_VAL)
+            else:
+                vals.append(BOTTOM)
+        return tuple(vals)
+
+    # -- interprocedural summaries -----------------------------------------
+
+    def _eval_method(self, md: MethodDef, args: Tuple[AbsVal, ...]) -> AbsVal:
+        key = (
+            md.definer.__qualname__,
+            md.name,
+            args,
+            self._collect_ops,
+            self._collect_config,
+        )
+        if key in self._summaries:
+            return self._summaries[key]
+        if key in self._active:
+            return BOTTOM  # recursion: converge at bottom
+        self._active.add(key)
+        try:
+            frame = _Frame()
+            params = md.node.args.args
+            for index, param in enumerate(params):
+                frame.env[param.arg] = (
+                    args[index] if index < len(args) else BOTTOM
+                )
+            defaults = md.node.args.defaults
+            if defaults:
+                for param, default in zip(params[-len(defaults):], defaults):
+                    if param.arg not in frame.env or (
+                        frame.env[param.arg] == BOTTOM
+                        and len(args) <= params.index(param)
+                    ):
+                        frame.env[param.arg] = self._eval(
+                            md, default, frame
+                        )
+            returns: List[AbsVal] = []
+            self._exec_block(md, md.node.body, frame, returns)
+            if not returns:
+                returns.append(const_val(None))
+            result = join_all(returns)
+        finally:
+            self._active.discard(key)
+        self._summaries[key] = result
+        return result
+
+    def _bind_call(
+        self,
+        md: MethodDef,
+        pos: Sequence[AbsVal],
+        kw: Dict[str, AbsVal],
+        self_val: Optional[AbsVal],
+    ) -> Tuple[AbsVal, ...]:
+        params = [p.arg for p in md.node.args.args]
+        bound: List[AbsVal] = []
+        supplied = ([self_val] if self_val is not None else []) + list(pos)
+        for index, name in enumerate(params):
+            if index < len(supplied):
+                bound.append(supplied[index])
+            elif name in kw:
+                bound.append(kw[name])
+            else:
+                bound.append(BOTTOM)
+        return tuple(bound)
+
+    # -- statements ---------------------------------------------------------
+
+    def _exec_block(
+        self,
+        md: MethodDef,
+        stmts: Sequence[ast.stmt],
+        frame: _Frame,
+        returns: List[AbsVal],
+    ) -> None:
+        for stmt in stmts:
+            self._exec_stmt(md, stmt, frame, returns)
+
+    def _join_env(
+        self, base: Dict[str, AbsVal], other: Dict[str, AbsVal]
+    ) -> Dict[str, AbsVal]:
+        out: Dict[str, AbsVal] = {}
+        for name in set(base) | set(other):
+            a = base.get(name, BOTTOM)
+            b = other.get(name, BOTTOM)
+            out[name] = join(a, b)
+        return out
+
+    def _exec_stmt(
+        self,
+        md: MethodDef,
+        stmt: ast.stmt,
+        frame: _Frame,
+        returns: List[AbsVal],
+    ) -> None:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                returns.append(const_val(None))
+            else:
+                returns.append(self._eval(md, stmt.value, frame))
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(md, stmt.value, frame)
+            for target in stmt.targets:
+                self._assign(md, target, stmt.value, value, frame)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._eval(md, stmt.value, frame)
+                self._assign(md, stmt.target, stmt.value, value, frame)
+        elif isinstance(stmt, ast.AugAssign):
+            load = ast.copy_location(
+                ast.Name(id=stmt.target.id, ctx=ast.Load()), stmt
+            ) if isinstance(stmt.target, ast.Name) else None
+            left = (
+                self._eval(md, load, frame) if load is not None else BOTTOM
+            )
+            right = self._eval(md, stmt.value, frame)
+            value = self._binop_result(
+                md, stmt, stmt.op, load or stmt.target, stmt.value, left, right
+            )
+            self._assign(md, stmt.target, stmt.value, value, frame)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(md, stmt.value, frame)
+        elif isinstance(stmt, ast.If):
+            self._eval(md, stmt.test, frame)
+            then_env = dict(frame.env)
+            else_env = dict(frame.env)
+            then_frame = _Frame()
+            then_frame.env, then_frame.objs = then_env, dict(frame.objs)
+            else_frame = _Frame()
+            else_frame.env, else_frame.objs = else_env, dict(frame.objs)
+            self._exec_block(md, stmt.body, then_frame, returns)
+            self._exec_block(md, stmt.orelse, else_frame, returns)
+            frame.env = self._join_env(then_frame.env, else_frame.env)
+            frame.objs.update(then_frame.objs)
+            frame.objs.update(else_frame.objs)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self._eval(md, stmt.iter, frame)
+            element = _extract(iterable)
+            self._assign(md, stmt.target, None, element, frame)
+            for _ in range(2):  # two passes approximate the loop fixpoint
+                snapshot = dict(frame.env)
+                self._exec_block(md, stmt.body, frame, returns)
+                frame.env = self._join_env(snapshot, frame.env)
+            self._exec_block(md, stmt.orelse, frame, returns)
+        elif isinstance(stmt, ast.While):
+            self._eval(md, stmt.test, frame)
+            for _ in range(2):
+                snapshot = dict(frame.env)
+                self._exec_block(md, stmt.body, frame, returns)
+                self._eval(md, stmt.test, frame)
+                frame.env = self._join_env(snapshot, frame.env)
+            self._exec_block(md, stmt.orelse, frame, returns)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(md, stmt.exc, frame)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(md, stmt.test, frame)
+            if stmt.msg is not None:
+                self._eval(md, stmt.msg, frame)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(md, stmt.body, frame, returns)
+            for handler in stmt.handlers:
+                handler_frame = _Frame()
+                handler_frame.env = dict(frame.env)
+                handler_frame.objs = dict(frame.objs)
+                self._exec_block(md, handler.body, handler_frame, returns)
+                frame.env = self._join_env(frame.env, handler_frame.env)
+            self._exec_block(md, stmt.orelse, frame, returns)
+            self._exec_block(md, stmt.finalbody, frame, returns)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._eval(md, item.context_expr, frame)
+            self._exec_block(md, stmt.body, frame, returns)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                try:
+                    module = importlib.import_module(alias.name)
+                except Exception:
+                    continue
+                frame.objs[alias.asname or alias.name.split(".")[0]] = module
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module is None or stmt.level:
+                return
+            try:
+                module = importlib.import_module(stmt.module)
+            except Exception:
+                return
+            for alias in stmt.names:
+                resolved = getattr(module, alias.name, _NOTFOUND)
+                if resolved is not _NOTFOUND:
+                    frame.objs[alias.asname or alias.name] = resolved
+        elif isinstance(stmt, ast.FunctionDef):
+            frame.env[stmt.name] = FUNCTION_VAL
+        # Pass/Break/Continue/Global/Nonlocal: nothing to do.
+
+    def _assign(
+        self,
+        md: MethodDef,
+        target: ast.expr,
+        value_node: Optional[ast.expr],
+        value: AbsVal,
+        frame: _Frame,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            frame.env[target.id] = value
+            frame.objs.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if (
+                isinstance(value_node, ast.Tuple)
+                and len(value_node.elts) == len(target.elts)
+            ):
+                for sub_target, sub_node in zip(target.elts, value_node.elts):
+                    sub_value = self._eval(md, sub_node, frame)
+                    self._assign(md, sub_target, sub_node, sub_value, frame)
+            else:
+                element = _extract(value)
+                for sub_target in target.elts:
+                    self._assign(md, sub_target, None, element, frame)
+        elif isinstance(target, ast.Subscript):
+            self._eval(md, target.slice, frame)
+            if isinstance(target.value, ast.Name):
+                name = target.value.id
+                current = frame.env.get(name, BOTTOM)
+                absorbed = AbsVal(
+                    taint=_demote(value.taint),
+                    kinds=value.kinds,
+                )
+                frame.env[name] = join(current, absorbed)
+        elif isinstance(target, ast.Attribute):
+            base = self._eval(md, target.value, frame)
+            if base.role == "self" and self._collect_config:
+                current = self.config_writes.get(target.attr, BOTTOM)
+                self.config_writes[target.attr] = (
+                    value if current == BOTTOM else join(current, value)
+                )
+        elif isinstance(target, ast.Starred):
+            self._assign(md, target.value, None, _extract(value), frame)
+
+    # -- expressions --------------------------------------------------------
+
+    def _flag(self, md: MethodDef, node: ast.AST, detail: str) -> None:
+        self.violations.append(
+            TaintViolation(
+                detail=detail,
+                filename=md.filename,
+                line=md.line_of(node),
+            )
+        )
+
+    def _eval(self, md: MethodDef, node: ast.expr, frame: _Frame) -> AbsVal:
+        if isinstance(node, ast.Constant):
+            if node.value is Ellipsis:
+                return BOTTOM
+            return const_val(node.value)
+        if isinstance(node, ast.Name):
+            return self._eval_name(md, node, frame)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(md, node, frame)
+        if isinstance(node, ast.Call):
+            return self._eval_call(md, node, frame)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(md, node.left, frame)
+            right = self._eval(md, node.right, frame)
+            return self._binop_result(
+                md, node, node.op, node.left, node.right, left, right
+            )
+        if isinstance(node, ast.BoolOp):
+            return join_all(self._eval(md, v, frame) for v in node.values)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(md, node.operand, frame)
+            if isinstance(node.op, ast.Not):
+                return AbsVal()
+            if operand.taint == "direct":
+                self._flag(md, node, "unary arithmetic on a process identifier")
+            if (
+                isinstance(node.op, ast.USub)
+                and operand.kinds == frozenset({"const"})
+                and operand.consts
+            ):
+                negated = tuple(
+                    -c for c in operand.consts if isinstance(c, (int, float))
+                )
+                return AbsVal(kinds=operand.kinds, consts=negated)
+            return AbsVal(kinds=operand.kinds, fields=operand.fields)
+        if isinstance(node, ast.Compare):
+            sides = [node.left, *node.comparators]
+            side_vals = [self._eval(md, side, frame) for side in sides]
+            if any(val.taint == "direct" for val in side_vals):
+                for op in node.ops:
+                    if not isinstance(op, EQUALITY_OPS):
+                        self._flag(
+                            md,
+                            node,
+                            f"non-equality comparison on a process "
+                            f"identifier ({type(op).__name__})",
+                        )
+                        break
+            return AbsVal()
+        if isinstance(node, ast.IfExp):
+            self._eval(md, node.test, frame)
+            return join(
+                self._eval(md, node.body, frame),
+                self._eval(md, node.orelse, frame),
+            )
+        if isinstance(node, ast.Subscript):
+            base = self._eval(md, node.value, frame)
+            index = self._eval(md, node.slice, frame)
+            if index.taint == "direct":
+                self._flag(md, node, "process identifier used as an index")
+            if isinstance(node.slice, ast.Slice):
+                return AbsVal(taint=base.taint, kinds=base.kinds)
+            taint = "direct" if base.taint in ("container", "direct") else "none"
+            return AbsVal(taint=taint, kinds=base.kinds)
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(md, part, frame)
+            return BOTTOM
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            elems = [self._eval(md, elt, frame) for elt in node.elts]
+            kinds = frozenset().union(*(e.kinds for e in elems)) if elems else frozenset()
+            taint = (
+                "container"
+                if any(e.taint != "none" for e in elems)
+                else "none"
+            )
+            return AbsVal(taint=taint, kinds=kinds)
+        if isinstance(node, ast.Dict):
+            parts = [
+                self._eval(md, part, frame)
+                for part in [*node.keys, *node.values]
+                if part is not None
+            ]
+            kinds = frozenset().union(*(p.kinds for p in parts)) if parts else frozenset()
+            taint = (
+                "container"
+                if any(p.taint != "none" for p in parts)
+                else "none"
+            )
+            return AbsVal(taint=taint, kinds=kinds)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            comp_frame = self._comp_frame(md, node.generators, frame)
+            element = self._eval(md, node.elt, comp_frame)
+            taint = "container" if element.taint != "none" else "none"
+            return AbsVal(taint=taint, kinds=element.kinds)
+        if isinstance(node, ast.DictComp):
+            comp_frame = self._comp_frame(md, node.generators, frame)
+            key = self._eval(md, node.key, comp_frame)
+            value = self._eval(md, node.value, comp_frame)
+            merged = join(key, value)
+            taint = "container" if merged.taint != "none" else "none"
+            return AbsVal(taint=taint, kinds=merged.kinds)
+        if isinstance(node, ast.Lambda):
+            lambda_frame = _Frame()
+            lambda_frame.objs = dict(frame.objs)
+            for param in node.args.args:
+                lambda_frame.env[param.arg] = BOTTOM
+            self._eval(md, node.body, lambda_frame)
+            return FUNCTION_VAL
+        if isinstance(node, ast.JoinedStr):
+            taint = "none"
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    val = self._eval(md, part.value, frame)
+                    taint = _taint_max(taint, _demote(val.taint))
+            return AbsVal(taint=taint)
+        if isinstance(node, ast.FormattedValue):
+            return self._eval(md, node.value, frame)
+        if isinstance(node, ast.Starred):
+            return self._eval(md, node.value, frame)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(md, node.value, frame)
+            self._assign(md, node.target, node.value, value, frame)
+            return value
+        return BOTTOM
+
+    def _comp_frame(
+        self,
+        md: MethodDef,
+        generators: Sequence[ast.comprehension],
+        frame: _Frame,
+    ) -> _Frame:
+        comp_frame = _Frame()
+        comp_frame.env = dict(frame.env)
+        comp_frame.objs = dict(frame.objs)
+        for gen in generators:
+            iterable = self._eval(md, gen.iter, comp_frame)
+            self._assign(md, gen.target, None, _extract(iterable), comp_frame)
+            for condition in gen.ifs:
+                # Conditions are evaluated for sink detection only; a
+                # filter over a tainted view does not taint the result
+                # (``sum(1 for v in myview if v == self.pid)`` is clean).
+                self._eval(md, condition, comp_frame)
+        return comp_frame
+
+    def _eval_name(
+        self, md: MethodDef, node: ast.Name, frame: _Frame
+    ) -> AbsVal:
+        if node.id in frame.env:
+            return frame.env[node.id]
+        if node.id == "pid":
+            return PID_VAL
+        resolved = self._resolve_name(md, node.id, frame)
+        if resolved is _NOTFOUND:
+            return BOTTOM
+        if isinstance(resolved, _SCALAR_TYPES):
+            return const_val(resolved)
+        return FUNCTION_VAL
+
+    def _resolve_name(self, md: MethodDef, name: str, frame: _Frame) -> Any:
+        if name in frame.objs:
+            return frame.objs[name]
+        ns = self.ir.module_ns(md.definer)
+        if name in ns:
+            return ns[name]
+        return getattr(builtins, name, _NOTFOUND)
+
+    def _eval_attribute(
+        self, md: MethodDef, node: ast.Attribute, frame: _Frame
+    ) -> AbsVal:
+        base = self._eval(md, node.value, frame)
+        if node.attr == "pid":
+            return AbsVal(
+                taint="direct", kinds=frozenset({"pid"}) | base.kinds
+            )
+        if base.role == "self":
+            if node.attr == "input":
+                return INPUT_VAL
+            if node.attr in self.ir.config_attrs:
+                return self.ir.config_attrs[node.attr]
+            if node.attr in self.ir.methods:
+                return FUNCTION_VAL
+            return CONFIG_VAL
+        if base.role == "state":
+            if node.attr in self.ir.state_defaults:
+                val = self.fields_env.get(
+                    node.attr, self.ir.state_defaults[node.attr]
+                )
+                consts = val.consts if val.kinds <= {"const"} else ()
+                taint = "container" if "pid" in val.kinds else "none"
+                return AbsVal(
+                    taint=taint,
+                    kinds=val.kinds,
+                    consts=consts,
+                    fields=frozenset({node.attr}),
+                )
+            return AbsVal(fields=frozenset({node.attr}))
+        if base.role == "automaton":
+            return AbsVal(kinds=frozenset({"forwarded"}))
+        taint = "direct" if base.taint in ("container", "direct") else "none"
+        return AbsVal(taint=taint, kinds=base.kinds)
+
+    # -- binary operators ---------------------------------------------------
+
+    def _binop_result(
+        self,
+        md: MethodDef,
+        node: ast.AST,
+        op: ast.operator,
+        left_node: ast.expr,
+        right_node: ast.expr,
+        left: AbsVal,
+        right: AbsVal,
+    ) -> AbsVal:
+        if left.taint == "direct" or right.taint == "direct":
+            self._flag(
+                md,
+                node,
+                f"arithmetic on a process identifier ({type(op).__name__})",
+            )
+            # Flag once; downstream uses of the result are not re-tainted.
+        counters = self.ir.bounded_counters
+        witnessed = bool((left.fields | right.fields) & counters) or any(
+            self._terminal_name(n) in counters
+            for n in (left_node, right_node)
+        )
+        if witnessed:
+            return AbsVal(kinds=frozenset({"counter"}))
+        combined = left.kinds | right.kinds
+        # Collection ops (set union, tuple/list concatenation) carry
+        # provenance through unchanged; they never *create* values.
+        if isinstance(op, ast.BitOr) or (
+            isinstance(op, ast.Add)
+            and (
+                isinstance(left_node, (ast.Tuple, ast.List, ast.Set))
+                or isinstance(right_node, (ast.Tuple, ast.List, ast.Set))
+                or left.taint == "container"
+                or right.taint == "container"
+            )
+        ):
+            taint = _taint_max(_demote(left.taint), _demote(right.taint))
+            return AbsVal(taint=taint, kinds=combined)
+        if combined and combined <= {"const", "config"}:
+            return AbsVal(kinds=frozenset({"config"}))
+        return AbsVal(kinds=frozenset({"unbounded"}))
+
+    @staticmethod
+    def _terminal_name(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    # -- calls --------------------------------------------------------------
+
+    def _eval_call(
+        self, md: MethodDef, node: ast.Call, frame: _Frame
+    ) -> AbsVal:
+        args = [self._eval(md, arg, frame) for arg in node.args]
+        kwargs: Dict[str, AbsVal] = {}
+        extra: List[AbsVal] = []
+        for kw in node.keywords:
+            val = self._eval(md, kw.value, frame)
+            if kw.arg is None:
+                extra.append(val)
+            else:
+                kwargs[kw.arg] = val
+        all_vals = args + list(kwargs.values()) + extra
+
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return self._eval_method_call(
+                md, node, func, args, kwargs, all_vals, frame
+            )
+        if isinstance(func, ast.Name):
+            if func.id in frame.env:
+                return self._generic_call(all_vals)
+            resolved = self._resolve_name(md, func.id, frame)
+            return self._classify_call(
+                md, node, func.id, resolved, args, kwargs, all_vals
+            )
+        self._eval(md, func, frame)
+        return self._generic_call(all_vals)
+
+    def _eval_method_call(
+        self,
+        md: MethodDef,
+        node: ast.Call,
+        func: ast.Attribute,
+        args: List[AbsVal],
+        kwargs: Dict[str, AbsVal],
+        all_vals: List[AbsVal],
+        frame: _Frame,
+    ) -> AbsVal:
+        # super().m(...) — continue past the defining class in the MRO.
+        if (
+            isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+        ):
+            target = self.ir.resolve_after(md.definer, func.attr)
+            if target is None:
+                return BOTTOM  # ProcessAutomaton default: analysis boundary
+            bound = self._bind_call(target, args, kwargs, SELF_VAL)
+            return self._eval_method(target, bound)
+
+        base = self._eval(md, func.value, frame)
+        if base.role == "self":
+            target = self.ir.methods.get(func.attr)
+            if target is None:
+                return BOTTOM  # e.g. require_running / pc_key: boundary
+            self_val = None if target.is_static else SELF_VAL
+            bound = self._bind_call(target, args, kwargs, self_val)
+            return self._eval_method(target, bound)
+        if base.role == "automaton":
+            return AbsVal(kinds=frozenset({"forwarded"}))
+        # Resolve module-attribute calls (``dataclasses.replace(...)``).
+        if isinstance(func.value, ast.Name):
+            module = frame.objs.get(func.value.id)
+            if module is None:
+                module = self.ir.module_ns(md.definer).get(func.value.id)
+            if isinstance(module, types.ModuleType):
+                resolved = getattr(module, func.attr, _NOTFOUND)
+                if resolved is not _NOTFOUND:
+                    return self._classify_call(
+                        md, node, func.attr, resolved, args, kwargs, all_vals
+                    )
+        # Unknown method on an arbitrary value: union in the base too
+        # (``self.domain.index(x)`` is configuration-derived).
+        kinds = base.kinds
+        for val in all_vals:
+            kinds = kinds | val.kinds
+        taint = _demote(base.taint)
+        for val in all_vals:
+            taint = _taint_max(taint, _demote(val.taint))
+        return AbsVal(taint=taint, kinds=kinds)
+
+    def _classify_call(
+        self,
+        md: MethodDef,
+        node: ast.Call,
+        name: str,
+        resolved: Any,
+        args: List[AbsVal],
+        kwargs: Dict[str, AbsVal],
+        all_vals: List[AbsVal],
+    ) -> AbsVal:
+        ir = self.ir
+        if resolved is _NOTFOUND:
+            if name in NUMERIC_BUILTINS:
+                return self._numeric_builtin(md, node, name, all_vals)
+            return self._generic_call(all_vals)
+
+        if isinstance(resolved, type):
+            if resolved.__module__ == "repro.runtime.ops" and resolved.__name__ in (
+                "ReadOp",
+                "WriteOp",
+            ):
+                return self._op_site(md, node, resolved.__name__, args, kwargs)
+            if issubclass(resolved, ProcessAutomaton):
+                return AUTOMATON_VAL
+            if ir.state_cls is not None and resolved is ir.state_cls:
+                return self._state_ctor(args, kwargs)
+            # Record constructor: provenance flows through, payloads and
+            # direct taint do not (the record is a container).
+            kinds = frozenset().union(*(v.kinds for v in all_vals)) if all_vals else frozenset()
+            kinds = kinds - {"const"} | ({"const"} if any("const" in v.kinds for v in all_vals) else frozenset())
+            taint = "none"
+            for val in all_vals:
+                taint = _taint_max(taint, _demote(val.taint))
+            return AbsVal(taint=taint, kinds=kinds)
+
+        if resolved is dataclasses.replace or (
+            callable(resolved)
+            and getattr(resolved, "__name__", "") == "replace"
+            and getattr(resolved, "__module__", "") == "dataclasses"
+        ):
+            return self._replace_call(args, kwargs, all_vals)
+
+        if isinstance(resolved, types.BuiltinFunctionType) or (
+            getattr(resolved, "__module__", None) == "builtins"
+        ):
+            if name in NUMERIC_BUILTINS:
+                return self._numeric_builtin(md, node, name, all_vals)
+            return self._generic_call(all_vals)
+
+        if isinstance(resolved, types.FunctionType) and getattr(
+            resolved, "__module__", ""
+        ).startswith("repro."):
+            # Module-level helper: a taint boundary (helpers receive
+            # values, not the identity-bearing role) that also strips
+            # threshold/config parameters from the provenance union.
+            kinds = frozenset().union(*(v.kinds for v in all_vals)) if all_vals else frozenset()
+            return AbsVal(kinds=kinds - {"config"})
+
+        if name in NUMERIC_BUILTINS:
+            return self._numeric_builtin(md, node, name, all_vals)
+        return self._generic_call(all_vals)
+
+    def _numeric_builtin(
+        self,
+        md: MethodDef,
+        node: ast.Call,
+        name: str,
+        all_vals: List[AbsVal],
+    ) -> AbsVal:
+        if any(val.taint in ("direct", "container") for val in all_vals):
+            self._flag(
+                md,
+                node,
+                f"process identifier passed to numeric builtin {name}()",
+            )
+        kinds = frozenset().union(*(v.kinds for v in all_vals)) if all_vals else frozenset()
+        return AbsVal(kinds=kinds)
+
+    def _generic_call(self, all_vals: List[AbsVal]) -> AbsVal:
+        kinds = frozenset().union(*(v.kinds for v in all_vals)) if all_vals else frozenset()
+        taint = "none"
+        for val in all_vals:
+            taint = _taint_max(taint, _demote(val.taint))
+        return AbsVal(taint=taint, kinds=kinds)
+
+    def _state_ctor(
+        self, args: List[AbsVal], kwargs: Dict[str, AbsVal]
+    ) -> AbsVal:
+        assert self.ir.state_cls is not None
+        field_list = dataclasses.fields(self.ir.state_cls)
+        for index, f in enumerate(field_list):
+            if index < len(args):
+                val = args[index]
+            elif f.name in kwargs:
+                val = kwargs[f.name]
+            else:
+                val = self.ir.state_defaults.get(f.name, BOTTOM)
+            self._record_field_write(f.name, val)
+        return STATE_VAL
+
+    def _replace_call(
+        self,
+        args: List[AbsVal],
+        kwargs: Dict[str, AbsVal],
+        all_vals: List[AbsVal],
+    ) -> AbsVal:
+        if args and args[0].role == "state":
+            for name, val in kwargs.items():
+                self._record_field_write(name, val)
+            return STATE_VAL
+        return self._generic_call(all_vals)
+
+    def _record_field_write(self, name: str, val: AbsVal) -> None:
+        stripped = AbsVal(
+            taint="none",
+            kinds=val.kinds,
+            consts=val.consts,
+        )
+        current = self.field_writes.get(name, BOTTOM)
+        self.field_writes[name] = (
+            stripped if current == BOTTOM else join(current, stripped)
+        )
+
+    def _op_site(
+        self,
+        md: MethodDef,
+        node: ast.Call,
+        op_name: str,
+        args: List[AbsVal],
+        kwargs: Dict[str, AbsVal],
+    ) -> AbsVal:
+        index = args[0] if args else kwargs.get("index", BOTTOM)
+        value: Optional[AbsVal] = None
+        if op_name == "WriteOp":
+            value = args[1] if len(args) > 1 else kwargs.get("value", BOTTOM)
+        if index.taint == "direct":
+            self._flag(
+                md,
+                node,
+                f"process identifier used as a {op_name} register index",
+            )
+        if self._collect_ops:
+            self.op_sites.append(
+                OpSite(
+                    kind="read" if op_name == "ReadOp" else "write",
+                    index=index,
+                    value=value,
+                    filename=md.filename,
+                    line=md.line_of(node),
+                )
+            )
+        return AbsVal(role="ownop")
+
+
+# ---------------------------------------------------------------------------
+# Whole-class analysis results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClassAnalysis:
+    """Everything the passes consume for one automaton class."""
+
+    ir: ClassIR
+    fields_env: Dict[str, AbsVal]
+    op_sites: List[OpSite]
+    next_op_return: AbsVal
+
+    def footprint(self) -> AutomatonFootprint:
+        """The statically inferred register footprint."""
+        writes_pid = writes_input = writes_memory = False
+        writes_counter = writes_config = False
+        forwards = "forwarded" in self.next_op_return.kinds
+        write_constants: List[Any] = []
+        index_constants: List[Any] = []
+        symbolic = False
+        for site in self.op_sites:
+            index = site.index
+            if index.kinds <= {"const"} and index.consts:
+                for payload in index.consts:
+                    if payload not in index_constants:
+                        index_constants.append(payload)
+            else:
+                symbolic = True
+            if site.kind != "write" or site.value is None:
+                continue
+            kinds = site.value.kinds
+            writes_pid = writes_pid or "pid" in kinds
+            writes_input = writes_input or "input" in kinds
+            writes_memory = writes_memory or "memory" in kinds
+            writes_counter = writes_counter or "counter" in kinds
+            writes_config = writes_config or "config" in kinds
+            forwards = forwards or "forwarded" in kinds
+            if "const" in kinds:
+                for payload in site.value.consts:
+                    if payload not in write_constants:
+                        write_constants.append(payload)
+        return AutomatonFootprint(
+            writes_pid=writes_pid,
+            writes_input=writes_input,
+            writes_memory=writes_memory,
+            writes_counter=writes_counter,
+            writes_config=writes_config,
+            write_constants=tuple(sorted(write_constants, key=repr)),
+            index_constants=tuple(sorted(index_constants, key=repr)),
+            symbolic_indexing=symbolic,
+            forwards_values=forwards,
+            no_ops=not self.op_sites,
+        )
+
+
+_ENTRY_SKIP = frozenset({"__init__"})
+
+_FIXPOINT_CAP = 10
+
+
+def analyze_class(cls: Type[ProcessAutomaton]) -> Optional[ClassAnalysis]:
+    """Run the field fixpoint + op-site collection for one class.
+
+    Returns ``None`` when the class source is unavailable.
+    """
+    ir = build_class_ir(cls)
+    if ir is None:
+        return None
+    fields_env: Dict[str, AbsVal] = dict(ir.state_defaults)
+    evaluator = Evaluator(ir, fields_env)
+    for _ in range(_FIXPOINT_CAP):
+        evaluator = Evaluator(ir, fields_env)
+        for name, md in ir.methods.items():
+            if name in _ENTRY_SKIP or name.startswith("__"):
+                continue
+            evaluator.eval_entry(md)
+        new_env = {
+            name: join(
+                ir.state_defaults.get(name, BOTTOM),
+                evaluator.field_writes.get(name, BOTTOM),
+            )
+            for name in set(ir.state_defaults) | set(evaluator.field_writes)
+        }
+        if new_env == fields_env:
+            break
+        fields_env = new_env
+    return ClassAnalysis(
+        ir=ir,
+        fields_env=fields_env,
+        op_sites=evaluator.op_sites,
+        next_op_return=evaluator.next_op_return,
+    )
+
+
+def taint_violations(
+    cls: Type[ProcessAutomaton], analysis: Optional[ClassAnalysis] = None
+) -> Optional[List[TaintViolation]]:
+    """§2-discipline violations in ``cls``'s *own* body (deduplicated).
+
+    Violations inside inherited methods belong to the defining class's
+    own check; this keeps the per-class attribution of the original
+    syntactic pass.  Returns ``None`` when the source is unavailable.
+    """
+    if analysis is None:
+        analysis = analyze_class(cls)
+    if analysis is None:
+        return None
+    evaluator = Evaluator(analysis.ir, analysis.fields_env)
+    own = {id(md.node) for md in analysis.ir.own_methods()}
+    for md in analysis.ir.own_methods():
+        evaluator.eval_entry(md, collect_config=(md.name == "__init__"))
+    seen: Set[Tuple[str, int, str]] = set()
+    result: List[TaintViolation] = []
+    for violation in evaluator.violations:
+        key = (violation.filename, violation.line, violation.detail)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(violation)
+    del own  # attribution is by recorded file/line, which follows the body
+    return result

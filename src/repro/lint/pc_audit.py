@@ -109,6 +109,7 @@ def check_class(cls: Type[ProcessAutomaton]) -> List[Finding]:
                 detail="no PC_LINES annotation: every automaton must map its "
                 "pc values to paper figure lines",
                 location=filename,
+                rule="missing-pc-lines",
             )
         ]
     findings: List[Finding] = []
@@ -123,6 +124,7 @@ def check_class(cls: Type[ProcessAutomaton]) -> List[Finding]:
                     detail=f"pc {literal!r} (key {key!r}) has no PC_LINES "
                     f"entry",
                     location=f"{filename}:{line}",
+                    rule="unannotated-pc",
                 )
             )
     return findings
@@ -188,6 +190,7 @@ def run_pc_reachability(target: LintTarget) -> List[Finding]:
                 detail="state has no pc attribute — location counters are "
                 "part of the model (§6.1)",
                 location=f"run:{target.label}",
+                rule="missing-pc-field",
             )
         )
     if result.violation == _ALL_SEEN:
@@ -211,6 +214,7 @@ def run_pc_reachability(target: LintTarget) -> List[Finding]:
                         )
                     ),
                     location=f"run:{target.label}",
+                    rule="dead-pc",
                 )
             )
     return findings

@@ -120,6 +120,7 @@ def analyze_events(events: List[AccessEvent], subject: str) -> List[Finding]:
                                 f"without holding its lock"
                             ),
                             location=f"event:{event.seq}",
+                            rule="lock-discipline",
                         )
                     )
 
@@ -156,6 +157,7 @@ def analyze_events(events: List[AccessEvent], subject: str) -> List[Finding]:
                             f"by {write[0]}"
                         ),
                         location=f"events:{write[2]},{event.seq}",
+                        rule="data-race",
                     )
                 )
         if event.kind == "write":
@@ -175,6 +177,7 @@ def analyze_events(events: List[AccessEvent], subject: str) -> List[Finding]:
                                     f"by {other}"
                                 ),
                                 location=f"events:{seq},{event.seq}",
+                                rule="data-race",
                             )
                         )
             last_write[event.register] = (thread, mine[thread], event.seq)
@@ -228,6 +231,7 @@ def analyze_events(events: List[AccessEvent], subject: str) -> List[Finding]:
                         f"{event.seq} — all unguarded"
                     ),
                     location=f"events:{read.seq},{intervening.seq},{event.seq}",
+                    rule="torn-rmw",
                 )
             )
     return findings
@@ -260,6 +264,7 @@ def record_threaded_run(
                     subject=subject,
                     detail=f"thread for process {pid} raised {exc!r}",
                     location=f"run:{subject}",
+                    rule="thread-error",
                 )
             )
     if result.timed_out:
@@ -270,6 +275,7 @@ def record_threaded_run(
                 subject=subject,
                 detail=f"threaded run timed out for processes {result.timed_out}",
                 location=f"run:{subject}",
+                rule="timeout",
             )
         )
     return findings, recorder.events
@@ -297,6 +303,7 @@ def run_race_sanitizer(
                 subject=target.label,
                 detail="threaded run produced no register accesses",
                 location=f"run:{target.label}",
+                rule="no-accesses",
             )
         )
     return findings

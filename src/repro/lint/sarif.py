@@ -1,0 +1,117 @@
+"""Machine-readable lint output: deterministic JSON and SARIF 2.1.0.
+
+Both emitters consume the ``(finding_id, Finding)`` pairs from
+:func:`repro.lint.findings.assign_ids` and sort by finding ID, so two
+runs over the same code produce byte-identical output regardless of
+pass scheduling — a property the golden test pins.
+
+The SARIF document is the minimal valid 2.1.0 shape GitHub code
+scanning accepts: one run, one driver, one ``rules`` entry per distinct
+``<pass>.<rule>`` pair, one ``results`` entry per finding.  Severities
+map ``info``→``note``, ``warning``→``warning``, ``error``→``error``.
+``file.py:line`` locations become physical locations; run-labelled
+locations (``run:...``, ``events:...``) stay in the message only, since
+SARIF locations must name artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+#: ``src/repro/lint/ir.py:123``-style locations (no URL schemes, no
+#: ``run:`` / ``events:`` labels).
+_FILE_LINE = re.compile(r"^(?P<file>[\w./-]+\.py):(?P<line>\d+)$")
+
+
+def _sorted(
+    identified: Sequence[Tuple[str, Finding]]
+) -> List[Tuple[str, Finding]]:
+    return sorted(identified, key=lambda pair: pair[0])
+
+
+def render_json(identified: Sequence[Tuple[str, Finding]]) -> str:
+    """All findings as a deterministic JSON document (sorted by ID)."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {
+                "id": finding_id,
+                "pass": finding.pass_name,
+                "rule": finding.rule or "general",
+                "severity": finding.severity,
+                "subject": finding.subject,
+                "detail": finding.detail,
+                "location": finding.location,
+            }
+            for finding_id, finding in _sorted(identified)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(identified: Sequence[Tuple[str, Finding]]) -> str:
+    """All findings as a SARIF 2.1.0 document (sorted by ID)."""
+    ordered = _sorted(identified)
+    rules: Dict[str, Dict[str, Any]] = {}
+    results: List[Dict[str, Any]] = []
+    for finding_id, finding in ordered:
+        rule_id = f"{finding.pass_name}.{finding.rule or 'general'}"
+        rules.setdefault(
+            rule_id,
+            {
+                "id": rule_id,
+                "name": rule_id.replace(".", "-"),
+                "shortDescription": {
+                    "text": f"repro lint {finding.pass_name} pass, "
+                    f"rule {finding.rule or 'general'}"
+                },
+            },
+        )
+        result: Dict[str, Any] = {
+            "ruleId": rule_id,
+            "level": _LEVELS[finding.severity],
+            "message": {
+                "text": f"{finding.subject}: {finding.detail}"
+                + (f" [{finding.location}]" if finding.location else "")
+            },
+            "partialFingerprints": {"reproLintId/v1": finding_id},
+        }
+        match = _FILE_LINE.match(finding.location)
+        if match:
+            result["locations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": match.group("file")},
+                        "region": {"startLine": int(match.group("line"))},
+                    }
+                }
+            ]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [rules[key] for key in sorted(rules)],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

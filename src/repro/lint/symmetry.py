@@ -3,52 +3,45 @@
 Section 2 of the paper defines symmetric algorithms: "the only way
 processes can use their identifiers is by comparing them for equality"
 (arbitrary-sized identifiers rule out counting through them, ordering
-them, or using them as register indices).  Every shipped anonymous
-algorithm obeys this by construction; this pass makes the discipline
-mechanical by walking each automaton class's AST and flagging any other
-use of an identifier expression:
+them, or using them as register indices).
 
-* arithmetic (``pid % 2``, ``pid + 1``, unary minus, …);
-* ordering comparisons (``pid < other`` — only ``==``/``!=`` and
-  ``in``/``not in`` are equality-flavoured and allowed);
-* indexing (``view[pid]``, ``myview[self.pid]``);
-* numeric builtins (``hash(pid)``, ``range(pid)``, ``divmod``, …);
-* register addressing (an identifier in the *index* position of
-  ``ReadOp``/``WriteOp`` — the value position is fine: the algorithms
-  write their identifiers all the time).
-
-Identifier expressions are recognised syntactically: ``self.pid``, any
-attribute ending in ``.pid``, and bare names ``pid``.  The analysis is
-scoped to the class body (module-level helpers such as
-``choose_index`` may hash their ``salt`` freely — they receive values,
-not the identity-bearing role).
-
-Named-model baselines declare ``SYMMETRIC = False`` (their prior
-agreement is positional, which no AST scan can see through) and are
-reported as skipped rather than analysed.
+This module is now a thin façade: the enforcement lives in the
+dataflow-IR taint pass (:mod:`repro.lint.taint`, built on
+:mod:`repro.lint.ir`), which tracks identifier-derived *values* through
+locals, tuples, helper calls and state fields instead of matching
+identifier-shaped *expressions*.  ``check_class`` and
+``run_symmetry_pass`` keep their historical home here so existing
+callers and tests are untouched; the syntactic helpers
+(:func:`is_pid_expr`, :func:`contains_pid`) remain for code that wants
+the cheap expression-shape test.
 """
 
 from __future__ import annotations
 
 import ast
-import inspect
-import textwrap
-from typing import Iterable, List, Optional, Sequence, Tuple, Type
 
-from repro.lint.findings import Finding
-from repro.lint.registry import shipped_automaton_classes
-from repro.runtime.automaton import ProcessAutomaton
-
-PASS = "symmetry"
-
-#: Builtins whose application to an identifier treats it as a number —
-#: exactly what arbitrary-sized identifiers forbid.
-NUMERIC_BUILTINS = frozenset(
-    {"hash", "range", "divmod", "abs", "bin", "oct", "hex", "pow", "chr", "round"}
+from repro.lint.ir import (  # noqa: F401  (re-exports: historical home)
+    EQUALITY_OPS,
+    NUMERIC_BUILTINS,
+    _short,
+    class_source_tree,
+)
+from repro.lint.taint import (  # noqa: F401  (re-exports: historical home)
+    PASS,
+    check_class,
+    run_symmetry_pass,
 )
 
-#: Comparison operators that are equality checks (allowed on identifiers).
-EQUALITY_OPS = (ast.Eq, ast.NotEq, ast.In, ast.NotIn)
+__all__ = [
+    "PASS",
+    "NUMERIC_BUILTINS",
+    "EQUALITY_OPS",
+    "is_pid_expr",
+    "contains_pid",
+    "class_source_tree",
+    "check_class",
+    "run_symmetry_pass",
+]
 
 
 def is_pid_expr(node: ast.AST) -> bool:
@@ -63,144 +56,3 @@ def is_pid_expr(node: ast.AST) -> bool:
 def contains_pid(node: ast.AST) -> bool:
     """True when any sub-expression of ``node`` is an identifier."""
     return any(is_pid_expr(sub) for sub in ast.walk(node))
-
-
-def class_source_tree(
-    cls: Type[ProcessAutomaton],
-) -> Optional[Tuple[ast.ClassDef, str, int]]:
-    """Parse ``cls``'s own source: (class node, file name, first line).
-
-    Returns ``None`` when the source is unavailable (e.g. classes built
-    in a REPL); inherited methods are analysed on the class that defines
-    them, so each class contributes exactly its own body.
-    """
-    try:
-        source, first_line = inspect.getsourcelines(cls)
-        filename = inspect.getsourcefile(cls) or "<unknown>"
-    except (OSError, TypeError):
-        return None
-    tree = ast.parse(textwrap.dedent("".join(source)))
-    for node in tree.body:
-        if isinstance(node, ast.ClassDef):
-            return node, filename, first_line
-    return None
-
-
-def _short(filename: str) -> str:
-    marker = "repro/"
-    pos = filename.rfind(marker)
-    return filename[pos:] if pos >= 0 else filename
-
-
-class _SymmetryVisitor(ast.NodeVisitor):
-    def __init__(self, subject: str, filename: str, first_line: int) -> None:
-        self.subject = subject
-        self.filename = filename
-        self.first_line = first_line
-        self.findings: List[Finding] = []
-
-    def _flag(self, node: ast.AST, detail: str) -> None:
-        line = self.first_line + getattr(node, "lineno", 1) - 1
-        self.findings.append(
-            Finding(
-                pass_name=PASS,
-                severity="error",
-                subject=self.subject,
-                detail=detail,
-                location=f"{_short(self.filename)}:{line}",
-            )
-        )
-
-    def visit_BinOp(self, node: ast.BinOp) -> None:
-        if contains_pid(node.left) or contains_pid(node.right):
-            op = type(node.op).__name__
-            self._flag(node, f"arithmetic on a process identifier ({op})")
-        self.generic_visit(node)
-
-    def visit_UnaryOp(self, node: ast.UnaryOp) -> None:
-        if not isinstance(node.op, ast.Not) and contains_pid(node.operand):
-            self._flag(node, "unary arithmetic on a process identifier")
-        self.generic_visit(node)
-
-    def visit_Compare(self, node: ast.Compare) -> None:
-        sides = [node.left, *node.comparators]
-        if any(is_pid_expr(side) for side in sides):
-            for op in node.ops:
-                if not isinstance(op, EQUALITY_OPS):
-                    self._flag(
-                        node,
-                        f"non-equality comparison on a process identifier "
-                        f"({type(op).__name__})",
-                    )
-                    break
-        self.generic_visit(node)
-
-    def visit_Subscript(self, node: ast.Subscript) -> None:
-        if contains_pid(node.slice):
-            self._flag(node, "process identifier used as an index")
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if isinstance(func, ast.Name):
-            if func.id in NUMERIC_BUILTINS and any(
-                contains_pid(arg) for arg in node.args
-            ):
-                self._flag(
-                    node, f"process identifier passed to numeric builtin {func.id}()"
-                )
-            elif func.id == "ReadOp" and any(contains_pid(arg) for arg in node.args):
-                self._flag(node, "process identifier used as a ReadOp register index")
-            elif func.id == "WriteOp":
-                index_exprs: List[ast.AST] = []
-                if node.args:
-                    index_exprs.append(node.args[0])
-                index_exprs.extend(
-                    kw.value for kw in node.keywords if kw.arg == "index"
-                )
-                if any(contains_pid(expr) for expr in index_exprs):
-                    self._flag(
-                        node, "process identifier used as a WriteOp register index"
-                    )
-        self.generic_visit(node)
-
-
-def check_class(cls: Type[ProcessAutomaton]) -> List[Finding]:
-    """Symmetry findings for one automaton class (its own body only)."""
-    if not cls.SYMMETRIC:
-        return [
-            Finding(
-                pass_name=PASS,
-                severity="info",
-                subject=cls.__qualname__,
-                detail="declares SYMMETRIC = False (named-model prior "
-                "agreement) — skipped",
-            )
-        ]
-    parsed = class_source_tree(cls)
-    if parsed is None:
-        return [
-            Finding(
-                pass_name=PASS,
-                severity="info",
-                subject=cls.__qualname__,
-                detail="source unavailable — skipped",
-            )
-        ]
-    node, filename, first_line = parsed
-    visitor = _SymmetryVisitor(cls.__qualname__, filename, first_line)
-    visitor.visit(node)
-    return visitor.findings
-
-
-def run_symmetry_pass(
-    classes: Optional[Iterable[Type[ProcessAutomaton]]] = None,
-) -> List[Finding]:
-    """Run the symmetry linter over ``classes`` (default: all shipped)."""
-    target_classes: Sequence[Type[ProcessAutomaton]] = (
-        list(classes) if classes is not None else shipped_automaton_classes()
-    )
-    findings: List[Finding] = []
-    for cls in target_classes:
-        findings.extend(check_class(cls))
-    return findings

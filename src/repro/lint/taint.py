@@ -1,0 +1,105 @@
+"""Pid-taint pass: the §2 identifier discipline, enforced semantically.
+
+The syntactic pass in :mod:`repro.lint.symmetry` flagged forbidden
+*expressions* (``view[self.pid]``); this pass flags forbidden *values*.
+It evaluates each automaton's own method bodies under the dataflow IR
+(:mod:`repro.lint.ir`), so an identifier laundered through a local, a
+tuple, a helper-method return value or a state field is still caught:
+
+    x = self.pid
+    myview = (result, result)
+    ...myview[x]...          # flagged: process identifier used as an index
+
+The pass name stays ``"symmetry"`` — it is the same discipline, checked
+more deeply — so existing baselines, tests and docs keep addressing the
+findings the same way.  Findings carry machine-readable rule slugs:
+
+==========================  ============================================
+rule                        flags
+==========================  ============================================
+``pid-arithmetic``          binary/unary arithmetic on an identifier
+``pid-ordering``            ``<``/``<=``/... between identifiers
+``pid-index``               identifier as a subscript index
+``pid-numeric-builtin``     ``hash(pid)``, ``range(pid)``, ...
+``pid-register-index``      identifier in a Read/WriteOp index position
+``skipped``                 class not analysed (opt-out or no source)
+==========================  ============================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Type
+
+from repro.lint.findings import Finding
+from repro.lint.ir import _short, taint_violations
+from repro.lint.registry import shipped_automaton_classes
+from repro.runtime.automaton import ProcessAutomaton
+
+PASS = "symmetry"
+
+#: detail-prefix → rule slug (first match wins).
+_RULES = (
+    ("non-equality comparison", "pid-ordering"),
+    ("process identifier used as an index", "pid-index"),
+    ("process identifier passed to numeric builtin", "pid-numeric-builtin"),
+    ("process identifier used as a ", "pid-register-index"),
+    ("arithmetic on a process identifier", "pid-arithmetic"),
+    ("unary arithmetic", "pid-arithmetic"),
+)
+
+
+def _rule_for(detail: str) -> str:
+    for fragment, rule in _RULES:
+        if fragment in detail:
+            return rule
+    return "pid-use"
+
+
+def check_class(cls: Type[ProcessAutomaton]) -> List[Finding]:
+    """Taint findings for one automaton class (its own body only)."""
+    if not cls.SYMMETRIC:
+        return [
+            Finding(
+                pass_name=PASS,
+                severity="info",
+                subject=cls.__qualname__,
+                detail="declares SYMMETRIC = False (named-model prior "
+                "agreement) — skipped",
+                rule="skipped",
+            )
+        ]
+    violations = taint_violations(cls)
+    if violations is None:
+        return [
+            Finding(
+                pass_name=PASS,
+                severity="info",
+                subject=cls.__qualname__,
+                detail="source unavailable — skipped",
+                rule="skipped",
+            )
+        ]
+    return [
+        Finding(
+            pass_name=PASS,
+            severity="error",
+            subject=cls.__qualname__,
+            detail=violation.detail,
+            location=f"{_short(violation.filename)}:{violation.line}",
+            rule=_rule_for(violation.detail),
+        )
+        for violation in violations
+    ]
+
+
+def run_symmetry_pass(
+    classes: Optional[Iterable[Type[ProcessAutomaton]]] = None,
+) -> List[Finding]:
+    """Run the pid-taint linter over ``classes`` (default: all shipped)."""
+    target_classes: Sequence[Type[ProcessAutomaton]] = (
+        list(classes) if classes is not None else shipped_automaton_classes()
+    )
+    findings: List[Finding] = []
+    for cls in target_classes:
+        findings.extend(check_class(cls))
+    return findings

@@ -28,6 +28,7 @@ import importlib
 from typing import Dict, Iterator, List, Tuple, Type
 
 from repro.problems.spec import (
+    AutomatonFootprint,
     Inputs,
     LivenessProperty,
     ProblemInstance,
@@ -130,6 +131,16 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             liveness=(
                 LivenessProperty("deadlock-freedom", "Theorem 3.3"),
             ),
+            footprints=(
+                (
+                    "AnonymousMutexProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        write_constants=(0,),
+                        symbolic_indexing=True,
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "figure-1-mutex(m=3)",
@@ -180,6 +191,17 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             liveness=(
                 LivenessProperty("obstruction-freedom", "Theorem 4.1"),
             ),
+            footprints=(
+                (
+                    "AnonymousConsensusProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        writes_input=True,
+                        writes_memory=True,
+                        symbolic_indexing=True,
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "figure-2-consensus(n=2)",
@@ -216,6 +238,17 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             invariant=unique_names_invariant,
             liveness=(
                 LivenessProperty("obstruction-freedom", "Theorem 5.1"),
+            ),
+            footprints=(
+                (
+                    "AnonymousRenamingProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        writes_memory=True,
+                        writes_counter=True,
+                        symbolic_indexing=True,
+                    ),
+                ),
             ),
             instances=(
                 ProblemInstance(
@@ -257,6 +290,18 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             automata=(NamingAgreementProcess,),
             build=lambda p: NamingAgreement(n=p["n"]),
             inputs=_mutex_pids,
+            footprints=(
+                (
+                    "NamingAgreementProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        writes_memory=True,
+                        writes_counter=True,
+                        writes_config=True,
+                        symbolic_indexing=True,
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "naming-agreement(n=2)",
@@ -273,6 +318,15 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             automata=(CommitAdoptProcess,),
             build=lambda p: CommitAdopt(domain=(1, 2)),
             inputs=_binary_inputs,
+            footprints=(
+                (
+                    "CommitAdoptProcess",
+                    AutomatonFootprint(
+                        write_constants=(1,),
+                        symbolic_indexing=True,
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance("commit-adopt", naming_seed=None),
             ),
@@ -286,6 +340,12 @@ def _specs() -> Tuple[ProblemSpec, ...]:
                 domain=(1, 2), max_rounds=p.get("max_rounds", 8)
             ),
             inputs=_binary_inputs,
+            footprints=(
+                (
+                    "LadderConsensusProcess",
+                    AutomatonFootprint(forwards_values=True, no_ops=True),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "ladder-consensus",
@@ -305,6 +365,16 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             ),
             inputs=_mutex_pids,
             invariant=mutual_exclusion_invariant,
+            footprints=(
+                (
+                    "ThresholdMutexProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        write_constants=(0,),
+                        symbolic_indexing=True,
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "threshold-mutex(m=3,t=2)",
@@ -319,6 +389,17 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             automata=(LenientConsensusProcess,),
             build=lambda p: LenientConsensus(n=p["n"]),
             inputs=_consensus_inputs,
+            footprints=(
+                (
+                    "LenientConsensusProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        writes_input=True,
+                        writes_memory=True,
+                        symbolic_indexing=True,
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "lenient-consensus(n=2)", params=(("n", 2),)
@@ -332,6 +413,14 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             automata=(PartitionedProcess,),
             build=lambda p: PartitionedKSetConsensus(n=p["n"], k=p["k"]),
             inputs=_consensus_inputs,
+            footprints=(
+                (
+                    "PartitionedProcess",
+                    AutomatonFootprint(
+                        symbolic_indexing=True, forwards_values=True
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "partitioned-k-set(n=2,k=2)",
@@ -347,6 +436,16 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             automata=(NaiveTestAndSetProcess,),
             build=lambda p: NaiveTestAndSetLock(cs_visits=1),
             inputs=_mutex_pids,
+            footprints=(
+                (
+                    "NaiveTestAndSetProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        write_constants=(0,),
+                        index_constants=(0,),
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance("naive-lock"),
             ),
@@ -359,6 +458,17 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             build=lambda p: PetersonMutex(cs_visits=1),
             inputs=_mutex_pids,
             invariant=mutual_exclusion_invariant,
+            footprints=(
+                (
+                    "TournamentMutexProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        writes_config=True,
+                        write_constants=(0,),
+                        symbolic_indexing=True,
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "peterson-mutex", race_check=True, naming_seed=None
@@ -372,6 +482,14 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             automata=(ElectionChainProcess,),
             build=lambda p: ElectionChainRenaming(n=p["n"]),
             inputs=_mutex_pids,
+            footprints=(
+                (
+                    "ElectionChainProcess",
+                    AutomatonFootprint(
+                        symbolic_indexing=True, forwards_values=True
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "election-chain-renaming(n=2)",
@@ -387,6 +505,16 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             automata=(SplitterRenamingProcess,),
             build=lambda p: SplitterRenaming(n=p["n"]),
             inputs=_mutex_pids,
+            footprints=(
+                (
+                    "SplitterRenamingProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        write_constants=(1,),
+                        symbolic_indexing=True,
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "splitter-renaming(n=2)",
@@ -402,6 +530,17 @@ def _specs() -> Tuple[ProblemSpec, ...]:
             automata=(NamedConsensusProcess,),
             build=lambda p: NamedConsensus(n=p["n"]),
             inputs=_consensus_inputs,
+            footprints=(
+                (
+                    "NamedConsensusProcess",
+                    AutomatonFootprint(
+                        writes_pid=True,
+                        writes_input=True,
+                        writes_memory=True,
+                        symbolic_indexing=True,
+                    ),
+                ),
+            ),
             instances=(
                 ProblemInstance(
                     "named-consensus(n=2)",

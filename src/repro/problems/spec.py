@@ -59,6 +59,61 @@ LIVENESS_KINDS = ("deadlock-freedom", "obstruction-freedom")
 
 
 @dataclass(frozen=True)
+class AutomatonFootprint:
+    """The register read/write footprint of one automaton class.
+
+    Declared here (on the spec, next to the automata it describes) and
+    *inferred* independently by the dataflow IR in
+    :mod:`repro.lint.ir`; :mod:`repro.lint.footprints` cross-checks the
+    two and turns any drift into a build-breaking finding.  The
+    ``writes_*`` flags classify the provenance of values an automaton
+    can store into registers; ``write_constants``/``index_constants``
+    name the literal payloads and register indices used along
+    pure-constant paths; ``symbolic_indexing`` records whether any
+    register index is computed (renamed views, hashed slots) rather
+    than literal; ``forwards_values`` marks wrappers that relay an
+    inner automaton's operations; ``no_ops`` marks automata that never
+    construct a register operation themselves.
+    """
+
+    writes_pid: bool = False
+    writes_input: bool = False
+    writes_memory: bool = False
+    writes_counter: bool = False
+    writes_config: bool = False
+    write_constants: Tuple[Any, ...] = ()
+    index_constants: Tuple[Any, ...] = ()
+    symbolic_indexing: bool = False
+    forwards_values: bool = False
+    no_ops: bool = False
+
+    def describe(self) -> str:
+        """A compact human-readable summary (used in drift findings)."""
+        parts = [
+            name
+            for name, flag in (
+                ("pid", self.writes_pid),
+                ("input", self.writes_input),
+                ("memory", self.writes_memory),
+                ("counter", self.writes_counter),
+                ("config", self.writes_config),
+            )
+            if flag
+        ]
+        if self.write_constants:
+            parts.append(f"consts={list(self.write_constants)!r}")
+        if self.index_constants:
+            parts.append(f"indices={list(self.index_constants)!r}")
+        if self.symbolic_indexing:
+            parts.append("symbolic-indexing")
+        if self.forwards_values:
+            parts.append("forwards")
+        if self.no_ops:
+            parts.append("no-ops")
+        return "writes[" + ", ".join(parts) + "]" if parts else "writes[]"
+
+
+@dataclass(frozen=True)
 class LivenessProperty:
     """One liveness claim the exhaustive verifier can check.
 
@@ -153,6 +208,9 @@ class ProblemSpec:
     instances: Tuple[ProblemInstance, ...] = ()
     naming: Optional[NamingBuilder] = None
     mutant: bool = False
+    #: Declared register footprints, keyed by automaton qualname; the
+    #: footprint pass cross-checks these against the inferred ones.
+    footprints: Tuple[Tuple[str, AutomatonFootprint], ...] = ()
 
     def instance(self, label: str) -> ProblemInstance:
         """The instance with the given label.

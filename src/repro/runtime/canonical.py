@@ -61,7 +61,10 @@ seed explorer's semantics.
 
 from __future__ import annotations
 
-from dataclasses import fields, is_dataclass
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, fields, is_dataclass
 from hashlib import blake2b
 from itertools import permutations, product
 from math import factorial
@@ -226,6 +229,54 @@ def _definer(cls: type, name: str) -> Optional[type]:
         if name in vars(klass):
             return klass
     return None
+
+
+@dataclass(frozen=True)
+class HookClaims:
+    """What a trusted hook bundle claims about its automaton's writes.
+
+    ``renames_pids``/``renames_values`` report whether the owner's
+    ``rename_register_value`` body actually *uses* the corresponding
+    renaming table — i.e. whether the hooks claim that register values
+    can carry process identifiers / input values.  The footprint lint
+    pass cross-checks these claims against the write footprint inferred
+    from ``next_op``: an automaton that writes its pid through a hook
+    bundle that never renames pids would silently break the symmetry
+    reduction's bisimulation argument.
+    """
+
+    owner: type
+    renames_pids: bool
+    renames_values: bool
+
+
+def hook_claims(cls: type) -> Optional[HookClaims]:
+    """The renaming claims of ``cls``'s trusted hook bundle, or ``None``.
+
+    ``None`` means no trusted bundle (no owner — subclass drift, or the
+    defaults) or the owner's source is unavailable; callers should then
+    skip the cross-check rather than guess.
+    """
+    owner = hook_owner(cls)
+    if owner is None:
+        return None
+    rename = vars(owner).get("rename_register_value")
+    if rename is None:
+        return None
+    try:
+        source, _ = inspect.getsourcelines(rename)
+        tree = ast.parse(textwrap.dedent("".join(source)))
+    except (OSError, TypeError, SyntaxError):
+        return None
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            used.add(node.id)
+    return HookClaims(
+        owner=owner,
+        renames_pids="pids_renamed" in used,
+        renames_values="values_renamed" in used,
+    )
 
 
 def hook_owner(cls: type) -> Optional[type]:

@@ -113,6 +113,23 @@ class PidReadIndexProcess(_TwoStepBase):
         return ReadOp(self.pid)  # MUTANT: pid as a register index
 
 
+class PidLaunderingProcess(_TwoStepBase):
+    """Launders the pid through a local before indexing with it.
+
+    No expression here *contains* ``self.pid``'s shape at the forbidden
+    site, so the old syntactic pass was blind to it; the dataflow IR
+    tracks the identifier's taint through the assignment and flags the
+    subscript.
+    """
+
+    def apply(self, state: StepState, op: Operation, result: Any) -> StepState:
+        x = self.pid  # MUTANT: the identifier goes underground here...
+        myview = (result, result)
+        if state.pc == "readback":
+            return replace(state, pc="done", scratch=myview[x])  # ...and surfaces here
+        return super().apply(state, op, result)
+
+
 # ---------------------------------------------------------------------------
 # Anonymity mutants — touching the substrate behind the view.
 # ---------------------------------------------------------------------------
@@ -149,6 +166,80 @@ class CheatingSubstrateProcess(_TwoStepBase):
             sneak = self.substrate.read(0)  # MUTANT: bypasses the views
             return replace(state, pc="done", scratch=sneak)
         return super().apply(state, op, result)
+
+
+# ---------------------------------------------------------------------------
+# Footprint / bounded-domain mutants.
+# ---------------------------------------------------------------------------
+
+
+class FootprintDriftProcess(_TwoStepBase):
+    """Ships without (or against) an AutomatonFootprint declaration.
+
+    Writes a constant the registry knows nothing about: with no
+    declaration the footprint pass reports ``undeclared``; handed a
+    deliberately wrong declaration it reports ``drift``.
+    """
+
+    def next_op(self, state: StepState) -> Operation:
+        if state.pc == "start":
+            return WriteOp(0, 7)  # MUTANT: unregistered write footprint
+        return ReadOp(0)
+
+
+class HookDriftProcess(_TwoStepBase):
+    """Owns a trusted hook bundle that never renames pids — yet writes one.
+
+    All four symmetry hooks are overridden here (so the canonicalizer
+    trusts them), but ``rename_register_value`` ignores the pid renaming
+    while the inherited ``next_op`` writes ``self.pid`` to register 0:
+    exactly the decoupling that would silently break the symmetry
+    reduction's bisimulation argument.
+    """
+
+    def symmetry_signature(self) -> Tuple[Any, Any]:
+        return ((), None)
+
+    def state_footprint(self, state: StepState) -> StepState:
+        return state
+
+    def rename_state_footprint(
+        self, footprint: StepState, pids_renamed: Any, values_renamed: Any
+    ) -> StepState:
+        return footprint
+
+    def rename_register_value(
+        self, value: Any, pids_renamed: Any, values_renamed: Any
+    ) -> Any:
+        return value  # MUTANT: pids_renamed never consulted
+
+
+class DomainEscapeProcess(_TwoStepBase):
+    """Accumulates an unwitnessed counter and writes it to a register.
+
+    ``scratch`` grows by one per round with no comparison bounding it
+    anywhere in the class, so the value written at ``pc == "bump"`` is
+    drawn from an unbounded domain — exploration could never exhaust
+    this automaton's reachable registers.
+    """
+
+    PC_LINES = dict(
+        _TwoStepBase.PC_LINES, bump="test mutant — write the counter back"
+    )
+
+    def next_op(self, state: StepState) -> Operation:
+        if state.pc == "start":
+            return WriteOp(0, 1)
+        if state.pc == "bump":
+            return WriteOp(0, state.scratch)  # MUTANT: unbounded value
+        return ReadOp(0)
+
+    def apply(self, state: StepState, op: Operation, result: Any) -> StepState:
+        if state.pc == "start":
+            return replace(state, pc="readback")
+        if state.pc == "readback":
+            return replace(state, pc="bump", scratch=result + 1)  # MUTANT
+        return replace(state, pc="done", scratch=result)
 
 
 # ---------------------------------------------------------------------------
@@ -216,6 +307,10 @@ ALL_MUTANTS = (
     (PidIndexingProcess, "symmetry"),
     (PidHashingProcess, "symmetry"),
     (PidReadIndexProcess, "symmetry"),
+    (PidLaunderingProcess, "symmetry"),
+    (FootprintDriftProcess, "footprints"),
+    (HookDriftProcess, "footprints"),
+    (DomainEscapeProcess, "domains"),
     (PhysicalSnoopProcess, "anonymity"),
     (CheatingSubstrateProcess, "anonymity"),
     (UnannotatedPcProcess, "pc-audit"),
@@ -223,6 +318,14 @@ ALL_MUTANTS = (
     (DeadPcProcess, "pc-audit"),
     (PcFreeStateProcess, "pc-audit"),
 )
+
+#: Mutants that deliberately own a *trusted* symmetry-hook bundle.  The
+#: runtime differential suites assert that every other mutant degrades
+#: :func:`repro.runtime.canonical.build_canonicalizer` to the trivial
+#: canonicalizer; a hooked mutant cannot — its lying bundle is exactly
+#: what the footprint pass's ``hook-coupling`` rule exists to reject
+#: before exploration ever runs.
+HOOKED_MUTANTS = (HookDriftProcess,)
 
 
 class MutantAlgorithm(Algorithm):

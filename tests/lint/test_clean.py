@@ -2,7 +2,9 @@
 
 from repro.lint.anonymity import run_anonymity_audits, run_anonymity_pass
 from repro.lint.cli import collect_findings
+from repro.lint.domains import run_domains_pass
 from repro.lint.findings import errors_in
+from repro.lint.footprints import declared_footprints, infer_footprint, run_footprint_pass
 from repro.lint.pc_audit import run_pc_reachability_pass, run_pc_static_pass
 from repro.lint.races import run_race_sanitizer
 from repro.lint.registry import lint_targets, shipped_automaton_classes
@@ -44,6 +46,30 @@ def test_symmetry_pass_clean_on_shipped_algorithms():
     # The named-model baselines are skipped with a note, not silently.
     skipped = {f.subject for f in findings if "SYMMETRIC = False" in f.detail}
     assert "TournamentMutexProcess" in skipped
+
+
+def test_footprint_pass_clean_on_shipped_algorithms():
+    assert run_footprint_pass() == []
+
+
+def test_every_shipped_footprint_matches_its_declaration():
+    # The acceptance criterion, spelled out: each shipped automaton's
+    # inferred footprint equals its registry declaration exactly.
+    declared, conflicts = declared_footprints()
+    assert conflicts == []
+    for cls in shipped_automaton_classes():
+        inferred = infer_footprint(cls)
+        assert inferred is not None, cls.__qualname__
+        assert cls.__qualname__ in declared, cls.__qualname__
+        assert inferred == declared[cls.__qualname__], (
+            cls.__qualname__,
+            inferred.describe(),
+            declared[cls.__qualname__].describe(),
+        )
+
+
+def test_domains_pass_clean_on_shipped_algorithms():
+    assert run_domains_pass() == []
 
 
 def test_anonymity_pass_clean_on_shipped_algorithms():

@@ -1,0 +1,214 @@
+"""Unit tests for the dataflow IR underneath the static lint passes."""
+
+import inspect
+from dataclasses import dataclass, replace
+from typing import Any
+
+import pytest
+
+from repro.lint.ir import (
+    BOTTOM,
+    PID_VAL,
+    AbsVal,
+    analyze_class,
+    class_source_tree,
+    join,
+    taint_violations,
+)
+from repro.lint.taint import check_class as taint_check
+from repro.runtime.automaton import ProcessAutomaton
+from repro.runtime.ops import Operation, ReadOp, WriteOp
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True)
+class CounterState:
+    pc: str = "loop"
+    tries: int = 0
+    best: Any = None
+
+
+class BoundedCounterProcess(ProcessAutomaton):
+    """Counts attempts, but a comparison witnesses the bound."""
+
+    PC_LINES = {"loop": "test — retry loop", "done": "test — halted"}
+
+    def __init__(self, pid: ProcessId, limit: int = 3):
+        self.pid = pid
+        self.limit = limit
+
+    def initial_state(self) -> CounterState:
+        return CounterState()
+
+    def is_halted(self, state: CounterState) -> bool:
+        return state.pc == "done"
+
+    def output(self, state: CounterState) -> Any:
+        return state.best if state.pc == "done" else None
+
+    def next_op(self, state: CounterState) -> Operation:
+        if state.tries >= self.limit:  # the witness: tries is bounded
+            return ReadOp(0)
+        return WriteOp(0, state.tries)
+
+    def apply(self, state: CounterState, op: Operation, result: Any) -> CounterState:
+        if state.tries >= self.limit:
+            return replace(state, pc="done", best=result)
+        return replace(state, tries=state.tries + 1)
+
+
+class TestAbsValDomain:
+    def test_join_takes_worst_taint(self):
+        tainted = join(BOTTOM, PID_VAL)
+        assert tainted.taint == "direct"
+        assert "pid" in tainted.kinds
+
+    def test_join_unions_kinds_and_consts(self):
+        a = AbsVal(kinds=frozenset({"const"}), consts=(1,))
+        b = AbsVal(kinds=frozenset({"config"}), consts=(2,))
+        joined = join(a, b)
+        assert joined.kinds == {"const", "config"}
+        assert set(joined.consts) == {1, 2}
+
+    def test_join_role_bottom_is_identity(self):
+        automaton = AbsVal(role="automaton")
+        assert join(BOTTOM, automaton).role == "automaton"
+        assert join(automaton, BOTTOM).role == "automaton"
+
+    def test_join_conflicting_roles_collapse(self):
+        assert join(AbsVal(role="state"), AbsVal(role="automaton")).role == ""
+
+
+class TestAnalysis:
+    def test_witnessed_counter_is_not_unbounded(self):
+        analysis = analyze_class(BoundedCounterProcess)
+        assert analysis is not None
+        writes = [s for s in analysis.op_sites if s.kind == "write"]
+        assert writes
+        assert all("unbounded" not in s.value.kinds for s in writes)
+        assert analysis.footprint().writes_counter
+
+    def test_footprint_of_counter_process(self):
+        footprint = analyze_class(BoundedCounterProcess).footprint()
+        assert not footprint.writes_pid
+        assert not footprint.symbolic_indexing
+        assert footprint.index_constants == (0,)
+
+    def test_clean_class_has_no_taint_violations(self):
+        assert taint_violations(BoundedCounterProcess) == []
+
+
+class TestSourceDegradation:
+    """Satellite (b): lint must degrade, not crash, without clean source."""
+
+    def test_exec_defined_class_yields_none_tree(self):
+        namespace = {}
+        exec(
+            "class Ghost:\n    def next_op(self, state):\n        return None\n",
+            namespace,
+        )
+        assert class_source_tree(namespace["Ghost"]) is None
+
+    def test_garbage_source_yields_none_tree(self, monkeypatch):
+        # inspect returning an un-dedentable fragment used to raise
+        # IndentationError out of the lint run.
+        monkeypatch.setattr(
+            inspect, "getsourcelines", lambda obj: (["    if x:\n"], 1)
+        )
+        assert class_source_tree(BoundedCounterProcess) is None
+
+    def test_taint_pass_reports_skip_for_sourceless_class(self, monkeypatch):
+        monkeypatch.setattr(
+            inspect, "getsourcelines", lambda obj: (["@@@ not python"], 1)
+        )
+        (finding,) = taint_check(BoundedCounterProcess)
+        assert finding.severity == "info"
+        assert finding.rule == "skipped"
+        assert "source unavailable" in finding.detail
+
+    def test_footprint_pass_reports_skip_for_sourceless_class(self, monkeypatch):
+        from repro.lint.footprints import check_class as footprints_check
+
+        monkeypatch.setattr(
+            inspect, "getsourcelines", lambda obj: (["@@@ not python"], 1)
+        )
+        (finding,) = footprints_check(BoundedCounterProcess)
+        assert finding.severity == "info"
+        assert finding.rule == "skipped"
+
+    def test_analyze_class_returns_none_without_source(self, monkeypatch):
+        monkeypatch.setattr(
+            inspect,
+            "getsourcelines",
+            lambda obj: (_ for _ in ()).throw(OSError("no source")),
+        )
+        assert analyze_class(BoundedCounterProcess) is None
+
+
+class TestMethodSummaries:
+    def test_pid_survives_helper_roundtrip(self):
+        class LaunderViaHelper(ProcessAutomaton):
+            PC_LINES = {"s": "test"}
+
+            def __init__(self, pid):
+                self.pid = pid
+
+            def _pick(self):
+                chosen = self.pid
+                return chosen
+
+            def initial_state(self):
+                return CounterState(pc="s")
+
+            def is_halted(self, state):
+                return False
+
+            def output(self, state):
+                return None
+
+            def next_op(self, state):
+                return ReadOp(self._pick())  # pid via helper return
+
+            def apply(self, state, op, result):
+                return state
+
+        violations = taint_violations(LaunderViaHelper)
+        assert violations is not None
+        assert any("ReadOp register index" in v.detail for v in violations)
+
+    def test_pid_via_module_level_helper_is_flagged(self):
+        violations = taint_violations(HelperLaunderProcess)
+        assert violations is not None
+        assert any("register index" in v.detail for v in violations)
+
+
+class HelperLaunderProcess(ProcessAutomaton):
+    """Module-level: pid flows through a helper method into ReadOp."""
+
+    PC_LINES = {"s": "test"}
+
+    def __init__(self, pid: ProcessId):
+        self.pid = pid
+
+    def _pick(self) -> Any:
+        chosen = self.pid
+        return chosen
+
+    def initial_state(self) -> CounterState:
+        return CounterState(pc="s")
+
+    def is_halted(self, state: CounterState) -> bool:
+        return False
+
+    def output(self, state: CounterState) -> Any:
+        return None
+
+    def next_op(self, state: CounterState) -> Operation:
+        return ReadOp(self._pick())
+
+    def apply(self, state: CounterState, op: Operation, result: Any) -> CounterState:
+        return state
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

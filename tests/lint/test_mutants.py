@@ -4,12 +4,15 @@ import pytest
 
 from repro.lint.anonymity import check_class as anonymity_check
 from repro.lint.anonymity import run_anonymity_pass
+from repro.lint.domains import check_class as domains_check
 from repro.lint.findings import errors_in
+from repro.lint.footprints import check_class as footprints_check
 from repro.lint.pc_audit import check_class as pc_check
 from repro.lint.pc_audit import run_pc_reachability
 from repro.lint.races import AccessEvent, analyze_events, record_threaded_run
 from repro.lint.registry import LintTarget
 from repro.lint.symmetry import check_class as symmetry_check
+from repro.problems.spec import AutomatonFootprint
 from repro.runtime.adversary import RandomAdversary
 from repro.runtime.system import System
 
@@ -18,6 +21,8 @@ from tests.lint.mutants import (
     ALL_MUTANTS,
     CheatingSubstrateProcess,
     DeadPcProcess,
+    DomainEscapeProcess,
+    FootprintDriftProcess,
     MutantAlgorithm,
     NoAnnotationsProcess,
     PcFreeStateProcess,
@@ -25,6 +30,7 @@ from tests.lint.mutants import (
     PidArithmeticProcess,
     PidHashingProcess,
     PidIndexingProcess,
+    PidLaunderingProcess,
     PidOrderingProcess,
     PidReadIndexProcess,
     UnannotatedPcProcess,
@@ -40,6 +46,7 @@ class TestSymmetryMutants:
             (PidIndexingProcess, "index"),
             (PidHashingProcess, "numeric builtin hash"),
             (PidReadIndexProcess, "ReadOp register index"),
+            (PidLaunderingProcess, "index"),
         ],
     )
     def test_mutant_is_flagged(self, mutant, fragment):
@@ -50,6 +57,70 @@ class TestSymmetryMutants:
     def test_findings_carry_locations(self):
         (finding,) = errors_in(symmetry_check(PidHashingProcess))
         assert "mutants.py:" in finding.location
+
+    def test_laundered_pid_invisible_to_expression_shapes(self):
+        # The forbidden subscript never mentions ``pid`` syntactically —
+        # only value tracking can connect ``x`` back to the identifier.
+        import ast
+        import inspect
+        import textwrap
+
+        from repro.lint.symmetry import contains_pid
+
+        source = textwrap.dedent(
+            inspect.getsource(PidLaunderingProcess.apply)
+        )
+        subscripts = [
+            node
+            for node in ast.walk(ast.parse(source))
+            if isinstance(node, ast.Subscript)
+        ]
+        assert subscripts and not any(contains_pid(s) for s in subscripts)
+
+
+class TestFootprintMutants:
+    def test_undeclared_footprint_flagged(self):
+        findings = errors_in(footprints_check(FootprintDriftProcess))
+        assert any(f.rule == "undeclared" for f in findings), findings
+
+    def test_drift_against_explicit_declaration_flagged(self):
+        wrong = AutomatonFootprint(writes_pid=True, symbolic_indexing=True)
+        findings = errors_in(footprints_check(FootprintDriftProcess, wrong))
+        assert any(f.rule == "drift" for f in findings), findings
+        detail = " | ".join(f.detail for f in findings)
+        assert "writes_pid" in detail and "write_constants" in detail
+
+    def test_correct_declaration_is_accepted(self):
+        right = AutomatonFootprint(
+            write_constants=(7,),
+            index_constants=(0,),
+        )
+        assert not errors_in(footprints_check(FootprintDriftProcess, right))
+
+    def test_hook_claims_decoupled_from_writes_flagged(self):
+        from repro.lint.footprints import infer_footprint
+        from tests.lint.mutants import HookDriftProcess
+
+        # Hand the checker the correct declaration so only the
+        # hook-coupling violation remains.
+        declared = infer_footprint(HookDriftProcess)
+        findings = errors_in(footprints_check(HookDriftProcess, declared))
+        assert [f.rule for f in findings] == ["hook-coupling"], findings
+        assert "pids_renamed" in findings[0].detail
+
+
+class TestDomainMutants:
+    def test_unbounded_write_flagged(self):
+        findings = errors_in(domains_check(DomainEscapeProcess))
+        assert any(f.rule == "unbounded-write" for f in findings), findings
+        assert any("unbounded domain" in f.detail for f in findings)
+        assert any("mutants.py:" in f.location for f in findings)
+
+    def test_other_mutants_do_not_trip_domains(self):
+        # The symmetry mutants misuse the pid but never write from an
+        # unbounded domain; no cross-pass false positives.
+        for mutant in (PidArithmeticProcess, PidIndexingProcess):
+            assert not errors_in(domains_check(mutant))
 
 
 class TestAnonymityMutants:
@@ -171,6 +242,8 @@ def test_every_mutant_is_caught_by_its_pass():
         "symmetry": symmetry_check,
         "anonymity": anonymity_check,
         "pc-audit": pc_check,
+        "footprints": footprints_check,
+        "domains": domains_check,
     }
     dynamic_pc = {DeadPcProcess, PcFreeStateProcess}
     runtime_anonymity = {CheatingSubstrateProcess}

@@ -1,0 +1,278 @@
+"""Findings engine v2: IDs, JSON/SARIF emitters, baseline, CLI gating."""
+
+import json
+
+import pytest
+
+import repro.lint.cli as lint_cli
+from repro.lint.baseline import (
+    BaselineError,
+    Suppression,
+    apply_baseline,
+    load_baseline,
+)
+from repro.lint.findings import Finding, assign_ids, failures_in
+from repro.lint.sarif import SARIF_VERSION, render_json, render_sarif
+
+ERROR = Finding(
+    pass_name="symmetry",
+    severity="error",
+    subject="EvilProcess",
+    detail="arithmetic on a process identifier (Mod)",
+    location="repro/core/evil.py:12",
+    rule="pid-arithmetic",
+)
+WARNING = Finding(
+    pass_name="footprints",
+    severity="warning",
+    subject="MehProcess",
+    detail="something dubious",
+    rule="drift",
+)
+INFO = Finding(
+    pass_name="symmetry",
+    severity="info",
+    subject="NamedProcess",
+    detail="declares SYMMETRIC = False — skipped",
+    rule="skipped",
+)
+
+
+class TestFindingIds:
+    def test_ids_are_pass_rule_subject(self):
+        (pair,) = assign_ids([ERROR])
+        assert pair[0] == "symmetry.pid-arithmetic.EvilProcess"
+
+    def test_repeats_get_ordinals(self):
+        ids = [fid for fid, _ in assign_ids([ERROR, ERROR, ERROR])]
+        assert ids == [
+            "symmetry.pid-arithmetic.EvilProcess",
+            "symmetry.pid-arithmetic.EvilProcess#2",
+            "symmetry.pid-arithmetic.EvilProcess#3",
+        ]
+
+    def test_missing_rule_falls_back_to_general(self):
+        bare = Finding("races", "error", "X", "boom")
+        (pair,) = assign_ids([bare])
+        assert pair[0] == "races.general.X"
+
+    def test_strictness_gates_warnings(self):
+        findings = [WARNING, INFO]
+        assert failures_in(findings) == []
+        assert failures_in(findings, strict=True) == [WARNING]
+
+
+class TestJsonOutput:
+    def test_json_is_sorted_by_id_and_deterministic(self):
+        forward = render_json(assign_ids([ERROR, WARNING, INFO]))
+        # Different pass ordering, same findings: identical document.
+        backward = render_json(assign_ids([INFO, WARNING, ERROR]))
+        assert forward == backward
+        ids = [f["id"] for f in json.loads(forward)["findings"]]
+        assert ids == sorted(ids)
+
+    def test_json_golden(self):
+        document = json.loads(render_json(assign_ids([ERROR])))
+        assert document == {
+            "version": 1,
+            "findings": [
+                {
+                    "id": "symmetry.pid-arithmetic.EvilProcess",
+                    "pass": "symmetry",
+                    "rule": "pid-arithmetic",
+                    "severity": "error",
+                    "subject": "EvilProcess",
+                    "detail": "arithmetic on a process identifier (Mod)",
+                    "location": "repro/core/evil.py:12",
+                }
+            ],
+        }
+
+
+def _validate_sarif_2_1_0(document: dict) -> None:
+    """Structural validation against the SARIF 2.1.0 required shape.
+
+    (The full JSON Schema needs the ``jsonschema`` package plus a
+    network fetch; this asserts every constraint the spec marks
+    *required* on the path we emit.)
+    """
+    assert document["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0.json" in document["$schema"]
+    assert isinstance(document["runs"], list) and document["runs"]
+    for run in document["runs"]:
+        driver = run["tool"]["driver"]
+        assert isinstance(driver["name"], str) and driver["name"]
+        rule_ids = set()
+        for rule in driver.get("rules", []):
+            assert isinstance(rule["id"], str) and rule["id"]
+            rule_ids.add(rule["id"])
+        for result in run.get("results", []):
+            assert result["message"]["text"]
+            assert result["level"] in {"none", "note", "warning", "error"}
+            assert result["ruleId"] in rule_ids
+            for location in result.get("locations", []):
+                physical = location["physicalLocation"]
+                assert physical["artifactLocation"]["uri"]
+                assert physical["region"]["startLine"] >= 1
+
+
+class TestSarifOutput:
+    def test_document_validates_against_2_1_0_shape(self):
+        document = json.loads(render_sarif(assign_ids([ERROR, WARNING, INFO])))
+        _validate_sarif_2_1_0(document)
+
+    def test_severity_mapping_and_locations(self):
+        document = json.loads(render_sarif(assign_ids([ERROR, INFO])))
+        results = document["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        error = by_rule["symmetry.pid-arithmetic"]
+        assert error["level"] == "error"
+        region = error["locations"][0]["physicalLocation"]
+        assert region["artifactLocation"]["uri"] == "repro/core/evil.py"
+        assert region["region"]["startLine"] == 12
+        note = by_rule["symmetry.skipped"]
+        assert note["level"] == "note"
+        assert "locations" not in note  # no file:line to point at
+
+    def test_sarif_version_constant(self):
+        assert SARIF_VERSION == "2.1.0"
+
+    def test_full_real_run_emits_valid_sarif(self):
+        from repro.lint.findings import assign_ids as real_ids
+
+        findings = lint_cli.collect_findings(skip_dynamic=True)
+        document = json.loads(render_sarif(real_ids(findings)))
+        _validate_sarif_2_1_0(document)
+
+
+class TestBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": [
+                        {
+                            "id": "symmetry.pid-arithmetic.EvilProcess",
+                            "reason": "tracked in #42",
+                        }
+                    ],
+                }
+            )
+        )
+        (suppression,) = load_baseline(path)
+        assert suppression.finding_id == "symmetry.pid-arithmetic.EvilProcess"
+        assert suppression.reason == "tracked in #42"
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "v2.json"
+        path.write_text('{"version": 2, "suppressions": []}')
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_suppression_drops_matching_finding(self):
+        identified = assign_ids([ERROR, INFO])
+        kept, stale = apply_baseline(
+            identified,
+            [Suppression("symmetry.pid-arithmetic.EvilProcess", "known")],
+        )
+        assert [fid for fid, _ in kept] == ["symmetry.skipped.NamedProcess"]
+        assert stale == []
+
+    def test_stale_suppression_becomes_warning(self):
+        kept, stale = apply_baseline(
+            assign_ids([INFO]), [Suppression("symmetry.gone.Nobody", "old")]
+        )
+        assert len(kept) == 1
+        (warning,) = stale
+        assert warning.severity == "warning"
+        assert warning.rule == "stale-suppression"
+        assert "symmetry.gone.Nobody" in warning.subject
+
+
+class TestCliGating:
+    def _patch(self, monkeypatch, findings):
+        monkeypatch.setattr(
+            lint_cli, "collect_findings", lambda **kwargs: list(findings)
+        )
+
+    def test_baseline_suppresses_error(self, tmp_path, monkeypatch, capsys):
+        self._patch(monkeypatch, [ERROR])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "suppressions": [
+                        {"id": "symmetry.pid-arithmetic.EvilProcess"}
+                    ],
+                }
+            )
+        )
+        assert lint_cli.main(["--baseline", str(baseline)]) == 0
+        assert "EvilProcess" not in capsys.readouterr().out
+
+    def test_stale_suppression_fails_only_strict(self, tmp_path, monkeypatch):
+        self._patch(monkeypatch, [])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {"version": 1, "suppressions": [{"id": "symmetry.gone.X"}]}
+            )
+        )
+        assert lint_cli.main(["--baseline", str(baseline)]) == 0
+        assert (
+            lint_cli.main(["--baseline", str(baseline), "--strict"]) == 1
+        )
+
+    def test_warning_fails_only_strict(self, monkeypatch):
+        self._patch(monkeypatch, [WARNING])
+        assert lint_cli.main(["--baseline", ""]) == 0
+        assert lint_cli.main(["--baseline", "", "--strict"]) == 1
+
+    def test_json_output_file(self, tmp_path, monkeypatch):
+        self._patch(monkeypatch, [ERROR, INFO])
+        out = tmp_path / "findings.json"
+        assert (
+            lint_cli.main(
+                ["--baseline", "", "--format", "json", "--output", str(out)]
+            )
+            == 1
+        )
+        document = json.loads(out.read_text())
+        ids = [f["id"] for f in document["findings"]]
+        assert ids == sorted(ids)
+        assert "symmetry.pid-arithmetic.EvilProcess" in ids
+
+    def test_sarif_output_file_validates(self, tmp_path, monkeypatch):
+        self._patch(monkeypatch, [ERROR])
+        out = tmp_path / "lint.sarif"
+        lint_cli.main(
+            ["--baseline", "", "--format", "sarif", "--output", str(out)]
+        )
+        _validate_sarif_2_1_0(json.loads(out.read_text()))
+
+    def test_malformed_baseline_exits_2(self, tmp_path, monkeypatch, capsys):
+        self._patch(monkeypatch, [])
+        baseline = tmp_path / "broken.json"
+        baseline.write_text("{nope")
+        assert lint_cli.main(["--baseline", str(baseline)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_checked_in_baseline_is_valid_and_fresh(self):
+        from repro.lint.baseline import DEFAULT_BASELINE
+
+        # The repo's own baseline must parse — and stay empty until a
+        # finding is deliberately suppressed with a reason.
+        suppressions = load_baseline(DEFAULT_BASELINE)
+        assert all(s.finding_id for s in suppressions)

@@ -41,7 +41,7 @@ from repro.runtime.system import System
 from repro.spec.mutex_spec import MutualExclusionChecker
 
 from tests.conftest import pids
-from tests.lint.mutants import ALL_MUTANTS, MutantAlgorithm
+from tests.lint.mutants import ALL_MUTANTS, HOOKED_MUTANTS, MutantAlgorithm
 from tests.runtime.test_exploration_differential import (
     SHIPPED_INSTANCES,
     VIOLATING_INSTANCES,
@@ -120,8 +120,13 @@ class TestParallelMatchesSerial:
         assert invariant(fresh) is not None
 
     @pytest.mark.parametrize(
-        "mutant_cls", [cls for cls, _pass in ALL_MUTANTS],
-        ids=[cls.__name__ for cls, _pass in ALL_MUTANTS],
+        "mutant_cls",
+        [cls for cls, _pass in ALL_MUTANTS if cls not in HOOKED_MUTANTS],
+        ids=[
+            cls.__name__
+            for cls, _pass in ALL_MUTANTS
+            if cls not in HOOKED_MUTANTS
+        ],
     )
     def test_mutants_agree(self, mutant_cls):
         def build():
