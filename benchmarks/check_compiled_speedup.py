@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""CI gate for the table-compiled step kernel's throughput claim.
+
+Runs the mutex m=7 bench instance (the headline row of
+``BENCH_explore.json``) under the seed engine and the compiled kernel —
+same trivial-dedup walk, same budgets, same process — asserts the state
+counts are identical, and exits non-zero when the measured
+``speedup_vs_interpreted`` falls below the threshold.
+
+The committed benchmark records the full ≥10× measurement; CI holds the
+gate at 5× (``--threshold 5``) so shared-runner noise cannot flake an
+honest build.
+
+Run with:   PYTHONPATH=src python benchmarks/check_compiled_speedup.py
+"""
+
+import argparse
+import sys
+
+from repro.core.mutex import AnonymousMutex
+from repro.runtime.canonical import TrivialCanonicalizer
+from repro.runtime.compiled import CompiledBackend
+from repro.runtime.exploration import explore, mutual_exclusion_invariant
+from repro.runtime.system import System
+
+PIDS = (101, 103)
+
+#: The exploration benchmark's budgets (BENCH_BUDGETS in
+#: run_experiments.py) — m=7 completes exhaustively well inside them.
+BUDGETS = {"max_states": 500_000, "max_depth": 1_000_000}
+
+
+def run(m, backend):
+    system = System(AnonymousMutex(m=m, cs_visits=1), PIDS, record_trace=False)
+    return explore(
+        system,
+        mutual_exclusion_invariant,
+        canonicalizer=TrivialCanonicalizer(system.scheduler),
+        backend=backend,
+        **BUDGETS,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--m", type=int, default=7, metavar="M",
+        help="mutex register count (default: 7, the headline instance)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=5.0, metavar="X",
+        help="minimum acceptable compiled/interpreted throughput ratio "
+             "(default: 5)",
+    )
+    args = parser.parse_args(argv)
+
+    interpreted = run(args.m, backend=None)
+    compiled = run(args.m, backend=CompiledBackend())
+    assert compiled.kernel == "compiled", "table compilation fell back"
+    assert compiled.states_explored == interpreted.states_explored, (
+        f"state-count mismatch: compiled {compiled.states_explored} "
+        f"!= interpreted {interpreted.states_explored}"
+    )
+    assert compiled.ok == interpreted.ok
+
+    if not interpreted.states_per_second or not compiled.states_per_second:
+        print("walk finished below timer resolution; cannot gate throughput")
+        return 1
+    speedup = compiled.states_per_second / interpreted.states_per_second
+    print(
+        f"mutex m={args.m}: {interpreted.states_explored} states; "
+        f"interpreted {interpreted.states_per_second:,.0f}/s, "
+        f"compiled {compiled.states_per_second:,.0f}/s "
+        f"-> speedup x{speedup:.2f} (threshold x{args.threshold})"
+    )
+    if speedup < args.threshold:
+        print(
+            f"FAIL: compiled kernel speedup x{speedup:.2f} is below the "
+            f"x{args.threshold} gate"
+        )
+        return 1
+    print("compiled speedup gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

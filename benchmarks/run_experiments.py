@@ -68,6 +68,7 @@ from repro.runtime.adversary import (
 )
 from repro.runtime.backends import resolve_backend
 from repro.runtime.canonical import TrivialCanonicalizer, build_canonicalizer
+from repro.runtime.compiled import CompiledBackend
 from repro.runtime.exploration import explore, mutual_exclusion_invariant
 from repro.runtime.system import System
 from repro.spec.consensus_spec import (
@@ -499,7 +500,7 @@ def _write_bench_manifest(directory, index, label, engine, budgets, record,
 
 
 def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
-                          telemetry_dir=None):
+                          telemetry_dir=None, kernel="interpreted"):
     """Run every instance under both engines; return the JSON document.
 
     With ``backend="parallel"`` each instance additionally runs the
@@ -509,7 +510,15 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
     serial canonical run and stores the measured wall-clock speedup
     (``host_cpus`` is recorded alongside, because on a single-core host
     the honest speedup is necessarily < 1 — the parallel run pays IPC
-    with no extra hardware to spend it on).
+    with no extra hardware to spend it on; such blocks carry
+    ``degraded_host: true``).
+
+    With ``kernel="compiled"`` each instance additionally runs the
+    table-compiled step kernel (:mod:`repro.runtime.compiled`) under
+    both canonicalizers; the record asserts state-count identity against
+    the interpreted runs and stores ``speedup_vs_interpreted`` — the
+    compiled walk's throughput over the seed engine's on the *same*
+    trivial-dedup walk, measured in the same process.
 
     With ``telemetry_dir`` every engine run gets a live
     :class:`repro.obs.Telemetry` sink and leaves one run manifest in
@@ -559,6 +568,56 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
             "reduction_factor": round(reduction, 2),
             "newly_tractable": newly_tractable,
         }
+        compiled_tel = None
+        if kernel == "compiled":
+            domain = (
+                spec.value_domain(instance.params_dict())
+                if spec.value_domain is not None
+                else ()
+            )
+            system = factory()
+            compiled_tel = bench_telemetry()
+            compiled_res = explore(
+                system, invariant,
+                canonicalizer=TrivialCanonicalizer(system.scheduler),
+                backend=CompiledBackend(domain_hint=domain),
+                telemetry=compiled_tel,
+                **budgets,
+            )
+            assert compiled_res.states_explored == seed_res.states_explored, (
+                f"{label}: compiled kernel explored "
+                f"{compiled_res.states_explored} states, "
+                f"interpreted {seed_res.states_explored}"
+            )
+            assert compiled_res.ok == seed_res.ok, label
+            system = factory()
+            compiled_canonical_res = explore(
+                system, invariant,
+                canonicalizer=build_canonicalizer(system),
+                backend=CompiledBackend(domain_hint=domain),
+                **budgets,
+            )
+            assert (
+                compiled_canonical_res.states_explored
+                == reduced_res.states_explored
+            ), label
+            compiled_rate = compiled_res.states_per_second
+            seed_rate = seed_res.states_per_second
+            speedup = (
+                round(compiled_rate / seed_rate, 2)
+                if compiled_rate and seed_rate
+                else None
+            )
+            compiled_record = _engine_record(compiled_res)
+            compiled_record["kernel"] = compiled_res.kernel
+            compiled_record["speedup_vs_interpreted"] = speedup
+            compiled_record["canonical"] = _engine_record(
+                compiled_canonical_res
+            )
+            compiled_record["canonical"]["kernel"] = (
+                compiled_canonical_res.kernel
+            )
+            record["compiled"] = compiled_record
         if instance.has_role("verify") and spec.liveness:
             # Graph-retention overhead: the same walk with the full
             # successor relation retained, plus the exhaustive liveness
@@ -594,7 +653,18 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
                 telemetry_dir, index, label, "canonical", budgets,
                 record["canonical"], canonical_tel,
             ))
+            if compiled_tel is not None:
+                manifest_names.append(_write_bench_manifest(
+                    telemetry_dir, index, label, "compiled", budgets,
+                    record["compiled"], compiled_tel,
+                    backend="compiled",
+                ))
         row_tail = []
+        if kernel == "compiled":
+            speedup = record["compiled"]["speedup_vs_interpreted"]
+            row_tail.append(
+                "n/a" if speedup is None else f"x{speedup}"
+            )
         if parallel_backend is not None:
             system = factory()
             par_canonicalizer = build_canonicalizer(system)
@@ -618,6 +688,9 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
                 round(reduced_res.wall_seconds / par_res.wall_seconds, 2)
                 if par_res.wall_seconds > 0 else None
             )
+            # A single-hardware-thread host cannot show a real speedup;
+            # flag the block so baseline consumers discount it.
+            par_record["degraded_host"] = os.cpu_count() == 1
             record["parallel"] = par_record
             if telemetry_dir is not None:
                 manifest_names.append(_write_bench_manifest(
@@ -625,7 +698,7 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
                     par_record, par_tel,
                     backend="parallel", workers=par_res.workers,
                 ))
-            row_tail = [f"x{par_record['speedup_vs_serial']}"]
+            row_tail.append(f"x{par_record['speedup_vs_serial']}")
         records.append(record)
         rows.append([
             label,
@@ -637,6 +710,8 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
         ] + row_tail)
     headers = ["instance", "seed explorer", "canonical explorer", "reduction",
                "canonical rate", ""]
+    if kernel == "compiled":
+        headers.append("compiled speedup")
     if parallel_backend is not None:
         headers.append(f"parallel x{parallel_backend.workers} speedup")
     print_table(
@@ -649,14 +724,17 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
         generated += " --quick"
     if parallel_backend is not None:
         generated += f" --backend parallel --workers {parallel_backend.workers}"
+    if kernel == "compiled":
+        generated += " --kernel compiled"
     if telemetry_dir is not None:
         generated += f" --telemetry {telemetry_dir}"
     return {
-        "schema": "repro.bench_explore/v4",
+        "schema": "repro.bench_explore/v5",
         "generated_by": generated,
         "rng_seed": rng_seed,
         "quick": quick,
         "backend": backend,
+        "kernel": kernel,
         "workers": parallel_backend.workers if parallel_backend else 1,
         "host_cpus": os.cpu_count(),
         "budgets": dict(BENCH_BUDGETS),
@@ -758,13 +836,20 @@ def main(argv=None):
         "--workers", type=int, default=4, metavar="N",
         help="with --backend parallel: worker process count (default: 4)",
     )
+    parser.add_argument(
+        "--kernel", choices=("interpreted", "compiled"),
+        default="interpreted",
+        help="with --bench: also run the table-compiled step kernel on "
+             "every instance and record its speedup over the seed engine "
+             "(default: interpreted only)",
+    )
     args = parser.parse_args(argv)
 
     if args.bench:
         document = exploration_benchmark(
             quick=args.quick, rng_seed=args.seed,
             backend=args.backend, workers=args.workers,
-            telemetry_dir=args.telemetry,
+            telemetry_dir=args.telemetry, kernel=args.kernel,
         )
         out = args.bench_out
         if out is None and not args.quick:

@@ -9,7 +9,7 @@ Subcommands:
                     (deadlock-freedom, obstruction-freedom) over retained
                     state graphs, mutant counterexamples included
                     (``--list``, ``--problem``, ``--instance``,
-                    ``--backend``, ``--telemetry``);
+                    ``--backend``, ``--kernel``, ``--telemetry``);
 * ``attack``      — run the Theorem 3.4 symmetry attack on Figure 1 with
                     an even register count and show the provable livelock;
 * ``lint``        — dataflow-IR static analysis + runtime audits of the
@@ -118,6 +118,14 @@ def cmd_verify(rest=()) -> int:
         help="override each instance's verification state budget",
     )
     parser.add_argument(
+        "--kernel",
+        choices=["interpreted", "compiled"],
+        default="interpreted",
+        help="step kernel for the walk: 'compiled' runs the "
+        "table-compiled kernel (serial backend only; bit-identical "
+        "graph, ~10x the throughput)",
+    )
+    parser.add_argument(
         "--telemetry",
         metavar="DIR",
         default=None,
@@ -125,6 +133,11 @@ def cmd_verify(rest=()) -> int:
         "(readable by `python -m repro report DIR`)",
     )
     args = parser.parse_args(list(rest))
+    if args.kernel == "compiled" and args.backend != "serial":
+        parser.error(
+            "--kernel compiled is a drop-in replacement for the serial "
+            "backend; it cannot combine with --backend parallel"
+        )
 
     selected = []
     if args.problem:
@@ -163,13 +176,19 @@ def cmd_verify(rest=()) -> int:
 
     failed = 0
     for spec, inst in selected:
-        backend = resolve_backend(args.backend, workers=args.workers)
+        if args.kernel == "compiled":
+            # verify_instance builds the compiled backend itself so it
+            # can seed it with the spec's declared value domain.
+            backend = None
+        else:
+            backend = resolve_backend(args.backend, workers=args.workers)
         telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
         try:
             report = verify_instance(
                 spec,
                 inst,
                 backend=backend,
+                kernel=args.kernel if args.kernel == "compiled" else None,
                 telemetry=telemetry,
                 max_states=args.max_states,
             )
@@ -253,7 +272,8 @@ def main(argv=None) -> int:
         default="demo",
         choices=["demo", "verify", "attack", "lint", "experiments", "report"],
         help="demo (default) | verify [--list --problem --instance "
-             "--backend --telemetry] (exhaustive safety + liveness over "
+             "--backend --kernel --telemetry] (exhaustive safety + "
+             "liveness over "
              "the problem registry) | attack | lint | "
              "experiments (tables E1-E14 of the E1-E17 index; E15-E17 "
              "run via pytest benchmarks/) | "

@@ -18,7 +18,6 @@ the records.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
@@ -143,10 +142,6 @@ def _run_sweep_cell(index: int) -> RunRecord:
     return record
 
 
-#: Sentinel distinguishing "executor= not passed" from an explicit None.
-_EXECUTOR_UNSET = object()
-
-
 def sweep(
     algorithm_factory: Callable[[], Algorithm],
     inputs,
@@ -157,7 +152,6 @@ def sweep(
     backend: Optional[Union[str, Any]] = None,
     telemetry: Optional[TelemetrySink] = None,
     manifest_dir: Optional[Union[str, Path]] = None,
-    executor: Any = _EXECUTOR_UNSET,
 ) -> SweepResult:
     """Run every naming × adversary combination and check each trace.
 
@@ -177,9 +171,7 @@ def sweep(
     :class:`~repro.runtime.backends.SerialExecutor`), ``"process"``
     (worker processes via
     :class:`~repro.runtime.backends.ProcessExecutor`, bit-identical
-    records, see module docstring), or an executor instance.  The old
-    ``executor=`` kwarg still works but emits a
-    :class:`DeprecationWarning`.
+    records, see module docstring), or an executor instance.
 
     ``telemetry`` receives the per-sweep counters (``sweep.cells``,
     ``sweep.violations``) and the ``sweep.map`` phase timer;
@@ -190,18 +182,6 @@ def sweep(
     """
     from repro.runtime.backends import resolve_executor
 
-    if executor is not _EXECUTOR_UNSET:
-        warnings.warn(
-            "sweep(executor=...) is deprecated; pass backend=\"serial\", "
-            "backend=\"process\" or backend=<executor> instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if backend is not None:
-            raise ConfigurationError(
-                "pass either backend= or the deprecated executor=, not both"
-            )
-        backend = executor
     chosen = resolve_executor(backend if backend is not None else "serial")
     if telemetry is None:
         telemetry = NULL_TELEMETRY

@@ -789,13 +789,20 @@ class ProcessExecutor:
 def resolve_backend(
     spec: str, workers: Optional[int] = None
 ) -> ExplorationBackend:
-    """Build a backend from a CLI-style spec (``"serial"``/``"parallel"``)."""
+    """Build a backend from a CLI-style spec
+    (``"serial"``/``"parallel"``/``"compiled"``)."""
     if spec == "serial":
         return SerialBackend()
     if spec == "parallel":
         return ParallelBackend(workers=workers or 2)
+    if spec == "compiled":
+        # Imported here: compiled.py imports this module at the top.
+        from repro.runtime.compiled import CompiledBackend
+
+        return CompiledBackend()
     raise ConfigurationError(
-        f"unknown exploration backend {spec!r}; expected 'serial' or 'parallel'"
+        f"unknown exploration backend {spec!r}; "
+        "expected 'serial', 'parallel' or 'compiled'"
     )
 
 

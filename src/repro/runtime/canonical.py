@@ -341,6 +341,40 @@ class _GroupElement:
         self.footprint_ids: Dict[Any, bytes] = {}
 
 
+@dataclass(frozen=True)
+class PackedCandidate:
+    """One group element's digest tables over a packed-state domain.
+
+    ``value_digest[vi]`` is the digest of the *renamed* register value
+    ``values[vi]``; ``slot_digest[slot][si]`` is the digest of slot
+    ``slot``'s renamed footprint for local state ``si`` with the source
+    slot's flag byte appended — exactly the bytes :meth:`Canonicalizer._key`
+    contributes for that element, reindexed by packed-state components.
+    """
+
+    source_phys: Tuple[int, ...]
+    source_slot: Tuple[int, ...]
+    value_digest: Tuple[bytes, ...]
+    slot_digest: Tuple[Tuple[bytes, ...], ...]
+
+
+@dataclass(frozen=True)
+class PackedDigestTables:
+    """Digest tables for computing canonical keys from packed states.
+
+    Produced by :meth:`Canonicalizer.packed_digest_tables` for the
+    compiled kernel: ``value_raw[vi]`` and ``slot_raw[slot][si]``
+    (footprint digest + flag byte) concatenate to the raw key, and each
+    :class:`PackedCandidate` yields one orbit candidate; the canonical
+    key is the minimum — byte-identical to :meth:`Canonicalizer._key`
+    because every digest passed through the same intern/digest path.
+    """
+
+    value_raw: Tuple[bytes, ...]
+    slot_raw: Tuple[Tuple[bytes, ...], ...]
+    candidates: Tuple[PackedCandidate, ...]
+
+
 class Canonicalizer:
     """Maps a global state to a canonical content-addressed key.
 
@@ -523,6 +557,95 @@ class Canonicalizer:
             if packed < best:
                 best = packed
         return best, raw
+
+    def packed_digest_tables(
+        self,
+        values: Sequence[Any],
+        slot_states: Sequence[Sequence[Any]],
+        slot_halted: Sequence[Sequence[bool]],
+        slot_crashed: Sequence[bool],
+    ) -> PackedDigestTables:
+        """Precompute the digests :meth:`_key` would produce, by index.
+
+        The compiled kernel enumerates a closed register value domain
+        and per-slot local-state spaces ahead of time; this method runs
+        every (value, footprint, rename) through the *same* intern and
+        digest path as :meth:`_key`, so keys assembled from the returned
+        tables are byte-identical to ``key_of_state`` on the unpacked
+        state.  Raises whatever a footprint or rename hook raises —
+        callers treat that as a compilation failure.
+        """
+        intern = self._intern
+
+        def digest_of(value: Any) -> bytes:
+            cached = intern.get(value)
+            if cached is None:
+                cached = _digest(value)
+                intern[value] = cached
+            return cached
+
+        value_raw = tuple(digest_of(value) for value in values)
+        footprints: List[List[Any]] = []
+        flags: List[List[bytes]] = []
+        slot_raw_rows: List[Tuple[bytes, ...]] = []
+        for slot, states in enumerate(slot_states):
+            footprint_fn = self._footprint_fns[slot]
+            fps = [
+                state if footprint_fn is None else footprint_fn(state)
+                for state in states
+            ]
+            footprints.append(fps)
+            crashed_bit = 1 if slot_crashed[slot] else 0
+            flag_row = [
+                _FLAG_BYTES[(2 if halted else 0) | crashed_bit]
+                for halted in slot_halted[slot]
+            ]
+            flags.append(flag_row)
+            slot_raw_rows.append(
+                tuple(
+                    digest_of(fp) + flag
+                    for fp, flag in zip(fps, flag_row)
+                )
+            )
+        candidates: List[PackedCandidate] = []
+        for element in self._elements:
+            value_digest = tuple(
+                digest_of(
+                    self._rename_value_fn(
+                        value, element.pids_renamed, element.values_renamed
+                    )
+                )
+                for value in values
+            )
+            slot_digest_rows: List[Tuple[bytes, ...]] = []
+            for slot, fps in enumerate(footprints):
+                rename_fn = self._rename_footprint_fns[slot]
+                slot_digest_rows.append(
+                    tuple(
+                        digest_of(
+                            rename_fn(
+                                fp,
+                                element.pids_renamed,
+                                element.values_renamed,
+                            )
+                        )
+                        + flag
+                        for fp, flag in zip(fps, flags[slot])
+                    )
+                )
+            candidates.append(
+                PackedCandidate(
+                    source_phys=element.source_phys,
+                    source_slot=element.source_slot,
+                    value_digest=value_digest,
+                    slot_digest=tuple(slot_digest_rows),
+                )
+            )
+        return PackedDigestTables(
+            value_raw=value_raw,
+            slot_raw=tuple(slot_raw_rows),
+            candidates=tuple(candidates),
+        )
 
 
 class TrivialCanonicalizer(Canonicalizer):

@@ -1,0 +1,1387 @@
+"""Table-compiled step kernel: packed states, integer transition tables.
+
+The interpreted hot path costs, per event, a ``next_op`` call, an
+``isinstance`` dispatch, an ``apply`` call, an ``is_halted`` call, and a
+tuple rebuild over heterogeneous values.  For the shipped automata the
+whole of that work is a pure function of *which local state the stepping
+process is in* and *which register value it reads* — both drawn from
+small finite sets.  This module hoists it to compile time:
+
+1. :func:`compile_program` enumerates each slot's reachable local-state
+   space and the closed register value domain ahead of time (an
+   interleaved fixpoint: classifying a state can grow the value domain
+   via its write, and growing the domain extends every read row), and
+   collapses ``next_op`` / ``apply`` / ``is_halted`` into dense integer
+   tables — ``kind[s][si]`` (LOCAL / READ / WRITE / HALTED / RAISE),
+   ``arg[s][si]`` (physical register index), ``write_value[s][si]``,
+   ``next_state[s][si]`` and per-read-state rows
+   ``rows[s][si][value_index]``.
+
+2. A :data:`PackedState` is a flat tuple of small integers — ``m``
+   register value indices followed by one local-state index per slot —
+   so successor expansion is integer indexing plus a tuple copy instead
+   of attribute lookups and ``isinstance`` dispatch per step.
+
+3. :class:`CompiledBackend` conforms to the
+   :class:`~repro.runtime.backends.ExplorationBackend` protocol and
+   mirrors :class:`~repro.runtime.backends.SerialBackend` statement for
+   statement over packed states, including ``retain_graph`` recording
+   whose :meth:`StateGraph.to_bytes` is byte-identical.
+
+**Overflow to the interpreter.**  Compilation is best-effort, never
+load-bearing for correctness:
+
+* If a local-state space or value domain is unbounded (caps exceeded),
+  a hook raises, or the instance's shape is unexpected, the backend
+  falls back wholesale to ``SerialBackend`` — bit-identical by
+  definition.  ``result.kernel`` stays ``"interpreted"`` in that case so
+  callers can see which kernel actually ran.
+* A transition whose ``next_op``/``apply``/``is_halted`` raised at
+  compile time is marked :data:`OP_RAISE`; reaching it at runtime
+  unpacks the state and re-executes the interpreted
+  :func:`~repro.runtime.kernel.step_value`, reproducing the genuine
+  exception (the automata are deterministic).
+* Invariants are handled by *suspicion tables*: for the stock invariants
+  a per-(slot, local-state) fact table decides suspicion with a few
+  integer lookups, and only suspected states are unpacked and handed to
+  the real invariant — so violation messages are byte-identical by
+  construction.  Unknown invariants are evaluated on every state over an
+  unpacked :class:`~repro.runtime.kernel.StateView` (slow but exact).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.telemetry import NULL_TELEMETRY, TelemetrySink
+from repro.runtime.backends import ExplorationTask, Invariant, SerialBackend
+from repro.runtime.canonical import TrivialCanonicalizer
+from repro.runtime.exploration import ExplorationResult
+from repro.runtime.kernel import GlobalState, StateView, StepInstance, step_value
+from repro.runtime.ops import ReadOp, WriteOp
+from repro.types import ProcessId
+
+#: A packed global state: ``m`` register value indices followed by one
+#: local-state index per slot, all small ints.  Injective over the
+#: enumerated closure by construction (indices are interned by value
+#: equality, exactly like the canonicalizer's digest intern).
+PackedState = Tuple[int, ...]
+
+# Transition kinds, one per local state per slot.
+OP_LOCAL = 0  #: no memory effect; successor in ``next_state``
+OP_READ = 1  #: successor row indexed by the read value's index
+OP_WRITE = 2  #: writes ``write_value`` to ``arg``; successor in ``next_state``
+OP_HALTED = 3  #: no transition; stepping it is a scheduling error
+OP_RAISE = 4  #: compile-time poison — delegate to the interpreter
+
+#: Poisoned read-row entry: this (state, value) transition raised at
+#: compile time; delegate to the interpreter to reproduce the exception.
+RAISE_ENTRY = -1
+
+
+class CompileOverflow(Exception):
+    """The instance exceeds the compiler's enumerable envelope.
+
+    Raised when a local-state space or register value domain is (or
+    appears) unbounded, a value is unhashable, or the instance's shape
+    does not match the packed layout.  The backend responds by falling
+    back to the interpreted ``SerialBackend``.
+    """
+
+
+class _Poison(Exception):
+    """Internal: a hook raised while materialising a successor state."""
+
+
+class CompiledProgram:
+    """Dense transition tables for one :class:`StepInstance`.
+
+    Instances are produced by :func:`compile_program`; all attributes
+    are read-mostly plain lists/tuples so the backend's hot loop can
+    hoist them into locals.
+    """
+
+    def __init__(
+        self,
+        instance: StepInstance,
+        values: List[Any],
+        value_index: Dict[Any, int],
+        slots: Tuple[ProcessId, ...],
+        autos: List[Any],
+        states: List[List[Any]],
+        state_index: List[Dict[Any, int]],
+        halted: List[List[bool]],
+        crashed: List[bool],
+        kind: List[List[int]],
+        arg: List[List[int]],
+        write_value: List[List[int]],
+        next_state: List[List[int]],
+        rows: List[List[Optional[List[int]]]],
+        initial_packed: PackedState,
+    ) -> None:
+        self.instance = instance
+        self.values = values
+        self.value_index = value_index
+        self.slots = slots
+        self.autos = autos
+        self.states = states
+        self.state_index = state_index
+        self.halted = halted
+        self.crashed = crashed
+        self.kind = kind
+        self.arg = arg
+        self.write_value = write_value
+        self.next_state = next_state
+        self.rows = rows
+        self.initial_packed = initial_packed
+        self.m = len(initial_packed) - len(slots)
+        #: (pid, slot, packed offset) in the instance's scheduling order.
+        self.step_order: Tuple[Tuple[ProcessId, int, int], ...] = tuple(
+            (pid, instance.slot_of[pid], self.m + instance.slot_of[pid])
+            for pid in instance.pid_order
+        )
+
+    # -- conversions ---------------------------------------------------
+
+    def pack(self, state: GlobalState) -> PackedState:
+        """Pack a kernel value state; raises if outside the closure."""
+        registers, locals_part = state
+        return tuple(self.value_index[v] for v in registers) + tuple(
+            self.state_index[s][entry[1]]
+            for s, entry in enumerate(locals_part)
+        )
+
+    def unpack(self, packed: PackedState) -> GlobalState:
+        """Rebuild the exact kernel value state a packed state denotes."""
+        m = self.m
+        registers = tuple(self.values[vi] for vi in packed[:m])
+        locals_part = tuple(
+            (
+                pid,
+                self.states[s][packed[m + s]],
+                self.halted[s][packed[m + s]],
+                self.crashed[s],
+            )
+            for s, pid in enumerate(self.slots)
+        )
+        return registers, locals_part
+
+    # -- stepping ------------------------------------------------------
+
+    def step_packed(self, packed: PackedState, slot: int) -> PackedState:
+        """One step of ``slot``'s process on a packed state.
+
+        Table-driven for LOCAL/READ/WRITE; overflow entries (poisoned
+        reads, OP_RAISE, OP_HALTED) delegate to the interpreter, which
+        reproduces the interpreted result or exception exactly.
+        """
+        off = self.m + slot
+        si = packed[off]
+        k = self.kind[slot][si]
+        if k == OP_READ:
+            row = self.rows[slot][si]
+            assert row is not None
+            nsi = row[packed[self.arg[slot][si]]]
+            if nsi < 0:
+                return self._interpret(packed, slot)
+            return packed[:off] + (nsi,) + packed[off + 1 :]
+        if k == OP_WRITE:
+            phys = self.arg[slot][si]
+            return (
+                packed[:phys]
+                + (self.write_value[slot][si],)
+                + packed[phys + 1 : off]
+                + (self.next_state[slot][si],)
+                + packed[off + 1 :]
+            )
+        if k == OP_LOCAL:
+            return packed[:off] + (self.next_state[slot][si],) + packed[off + 1 :]
+        return self._interpret(packed, slot)
+
+    def _interpret(self, packed: PackedState, slot: int) -> PackedState:
+        """Overflow path: unpack, run the interpreted step, repack."""
+        state = self.unpack(packed)
+        child = step_value(self.instance, state, self.slots[slot])
+        return self.pack(child)
+
+
+def compile_program(
+    instance: StepInstance,
+    initial: GlobalState,
+    domain_hint: Sequence[Any] = (),
+    max_local_states: int = 65536,
+    max_domain: int = 4096,
+) -> CompiledProgram:
+    """Enumerate the closure of ``initial`` into a :class:`CompiledProgram`.
+
+    Interleaved fixpoint: classify pending local states (which can grow
+    the value domain through writes and spawn successor states through
+    applies), then extend every read row to span the current domain
+    (which can spawn further states), until both queues are dry.  At the
+    fixpoint every read row covers the full closed domain, so no
+    reachable runtime read can fall off a row — the :data:`RAISE_ENTRY`
+    sentinel remains as a defensive overflow only for transitions whose
+    hooks genuinely raised.
+
+    ``domain_hint`` seeds the value domain (a
+    :meth:`~repro.problems.spec.ProblemSpec.value_domain` declaration);
+    a superset is harmless, a subset is completed by the fixpoint.
+
+    Raises :class:`CompileOverflow` when the closure exceeds the caps or
+    the instance's shape defeats packing; callers fall back to the
+    interpreter.
+    """
+    registers, locals_part = initial
+    m = len(registers)
+    slots = tuple(entry[0] for entry in locals_part)
+    for pid, slot in instance.slot_of.items():
+        if slot >= len(slots) or slots[slot] != pid:
+            raise CompileOverflow("slot layout does not match the instance")
+    autos = [instance.automata[pid] for pid in slots]
+    perms = [instance.permutations[pid] for pid in slots]
+    crashed = [bool(entry[3]) for entry in locals_part]
+    nslots = len(slots)
+
+    values: List[Any] = []
+    value_index: Dict[Any, int] = {}
+
+    def intern_value(value: Any) -> int:
+        try:
+            vi = value_index.get(value)
+        except TypeError as error:
+            raise CompileOverflow(
+                f"unhashable register value {value!r}"
+            ) from error
+        if vi is None:
+            if len(values) >= max_domain:
+                raise CompileOverflow(
+                    f"register value domain exceeds {max_domain} values"
+                )
+            vi = len(values)
+            value_index[value] = vi
+            values.append(value)
+        return vi
+
+    for value in registers:
+        intern_value(value)
+    for value in domain_hint:
+        intern_value(value)
+
+    states: List[List[Any]] = [[] for _ in range(nslots)]
+    state_index: List[Dict[Any, int]] = [{} for _ in range(nslots)]
+    halted: List[List[bool]] = [[] for _ in range(nslots)]
+    kind: List[List[int]] = [[] for _ in range(nslots)]
+    arg: List[List[int]] = [[] for _ in range(nslots)]
+    write_value: List[List[int]] = [[] for _ in range(nslots)]
+    next_state: List[List[int]] = [[] for _ in range(nslots)]
+    rows: List[List[Optional[List[int]]]] = [[] for _ in range(nslots)]
+    pending: List[Tuple[int, int]] = []
+    # (slot, si, the ReadOp) for every READ state, for row extension.
+    read_sites: List[Tuple[int, int, Any]] = []
+
+    def add_state(slot: int, local: Any) -> int:
+        try:
+            si = state_index[slot].get(local)
+        except TypeError as error:
+            raise CompileOverflow(
+                f"unhashable local state for slot {slot}"
+            ) from error
+        if si is None:
+            if len(states[slot]) >= max_local_states:
+                raise CompileOverflow(
+                    f"slot {slot} local-state space exceeds"
+                    f" {max_local_states} states"
+                )
+            try:
+                is_halted = bool(autos[slot].is_halted(local))
+            except CompileOverflow:
+                raise
+            except Exception as error:
+                raise _Poison from error
+            si = len(states[slot])
+            state_index[slot][local] = si
+            states[slot].append(local)
+            halted[slot].append(is_halted)
+            kind[slot].append(OP_RAISE)
+            arg[slot].append(0)
+            write_value[slot].append(0)
+            next_state[slot].append(0)
+            rows[slot].append(None)
+            pending.append((slot, si))
+        return si
+
+    initial_sis: List[int] = []
+    for slot, entry in enumerate(locals_part):
+        try:
+            si = add_state(slot, entry[1])
+        except _Poison as error:
+            raise CompileOverflow(
+                f"is_halted raised on slot {slot}'s initial state"
+            ) from error
+        if halted[slot][si] != bool(entry[2]):
+            raise CompileOverflow(
+                f"slot {slot}: initial halted flag disagrees with is_halted"
+            )
+        initial_sis.append(si)
+
+    def classify(slot: int, si: int) -> None:
+        local = states[slot][si]
+        if halted[slot][si]:
+            kind[slot][si] = OP_HALTED
+            return
+        auto = autos[slot]
+        try:
+            op = auto.next_op(local)
+        except Exception:
+            kind[slot][si] = OP_RAISE
+            return
+        if isinstance(op, ReadOp):
+            # An out-of-range view index raises ProtocolError at
+            # runtime; leave it to the interpreter to say so.
+            if not 0 <= op.index < m:
+                kind[slot][si] = OP_RAISE
+                return
+            kind[slot][si] = OP_READ
+            arg[slot][si] = perms[slot][op.index]
+            rows[slot][si] = []
+            read_sites.append((slot, si, op))
+            return
+        if isinstance(op, WriteOp):
+            if not 0 <= op.index < m:
+                kind[slot][si] = OP_RAISE
+                return
+            vi = intern_value(op.value)
+            try:
+                nsi = add_state(slot, auto.apply(local, op, None))
+            except (_Poison, CompileOverflow) as error:
+                if isinstance(error, CompileOverflow):
+                    raise
+                kind[slot][si] = OP_RAISE
+                return
+            except Exception:
+                kind[slot][si] = OP_RAISE
+                return
+            kind[slot][si] = OP_WRITE
+            arg[slot][si] = perms[slot][op.index]
+            write_value[slot][si] = vi
+            next_state[slot][si] = nsi
+            return
+        # Any other operation: no memory effect, read result is None.
+        try:
+            nsi = add_state(slot, auto.apply(local, op, None))
+        except (_Poison, CompileOverflow) as error:
+            if isinstance(error, CompileOverflow):
+                raise
+            kind[slot][si] = OP_RAISE
+            return
+        except Exception:
+            kind[slot][si] = OP_RAISE
+            return
+        kind[slot][si] = OP_LOCAL
+        next_state[slot][si] = nsi
+
+    while True:
+        while pending:
+            slot, si = pending.pop()
+            classify(slot, si)
+        progress = False
+        for slot, si, op in read_sites:
+            row = rows[slot][si]
+            assert row is not None
+            if len(row) == len(values):
+                continue
+            local = states[slot][si]
+            auto = autos[slot]
+            while len(row) < len(values):
+                value = values[len(row)]
+                try:
+                    nsi = add_state(slot, auto.apply(local, op, value))
+                except (_Poison, CompileOverflow) as error:
+                    if isinstance(error, CompileOverflow):
+                        raise
+                    nsi = RAISE_ENTRY
+                except Exception:
+                    nsi = RAISE_ENTRY
+                row.append(nsi)
+            progress = True
+        if not pending and not progress:
+            break
+
+    initial_packed = tuple(value_index[v] for v in registers) + tuple(
+        initial_sis
+    )
+    return CompiledProgram(
+        instance=instance,
+        values=values,
+        value_index=value_index,
+        slots=slots,
+        autos=autos,
+        states=states,
+        state_index=state_index,
+        halted=halted,
+        crashed=crashed,
+        kind=kind,
+        arg=arg,
+        write_value=write_value,
+        next_state=next_state,
+        rows=rows,
+        initial_packed=initial_packed,
+    )
+
+
+# -- invariant compilation ---------------------------------------------
+#
+# A *suspect function* maps a packed state to "might the invariant
+# return non-None here?".  It must never report False on a state the
+# interpreted invariant would flag (false negatives are unsound); a
+# False positive merely costs one unpack + real-invariant call that
+# returns None.  The fact tables below are exact on every enumerated
+# state, so both directions hold; any hook failure during fact
+# computation poisons the table and the checker degrades to evaluating
+# the real invariant on every state (slow but trivially exact).
+
+_SKIP = object()  # slot not decided (not halted, or output is None)
+
+
+def _always_suspect(_packed: PackedState) -> bool:
+    """Generic fallback: treat every state as suspect (evaluate the
+    real invariant on all of them — slow but trivially exact)."""
+    return True
+
+
+def _output_facts(program: CompiledProgram) -> Optional[List[List[Any]]]:
+    """Per (slot, si): the decided non-None output, else ``_SKIP``.
+
+    Returns None (poison) if any ``output`` hook raises or any output
+    is unhashable (the stock invariants build sets of them, so an
+    unhashable output makes the *interpreted* invariant raise — the
+    generic path reproduces that).
+    """
+    facts: List[List[Any]] = []
+    for slot, auto in enumerate(program.autos):
+        row: List[Any] = []
+        for si, local in enumerate(program.states[slot]):
+            if not program.halted[slot][si]:
+                row.append(_SKIP)
+                continue
+            try:
+                out = auto.output(local)
+                hash(out)
+            except Exception:
+                return None
+            row.append(_SKIP if out is None else out)
+        facts.append(row)
+    return facts
+
+
+class _PairSuspect:
+    """Two-slot boolean-AND suspect (mutex with n=2).
+
+    Callable like any suspect function, but also exposes its per-slot
+    fact tables so the unrolled two-process loop can inline the two
+    subscripts instead of paying a function call per state: with 0/1
+    facts, ``count > 1`` ⟺ both flags set.
+    """
+
+    __slots__ = ("tables", "m")
+
+    def __init__(self, tables: List[List[int]], m: int) -> None:
+        self.tables = tables
+        self.m = m
+
+    def __call__(self, packed: PackedState) -> bool:
+        m = self.m
+        return bool(self.tables[0][packed[m]] and self.tables[1][packed[m + 1]])
+
+
+def _mutex_suspect(
+    program: CompiledProgram,
+) -> Optional[Callable[[PackedState], bool]]:
+    """Suspect when ≥ 2 non-halted processes sit in the critical section."""
+    tables: List[List[int]] = []
+    for slot, auto in enumerate(program.autos):
+        in_cs = getattr(auto, "in_critical_section", None)
+        if in_cs is None:
+            return None
+        row: List[int] = []
+        for si, local in enumerate(program.states[slot]):
+            if program.halted[slot][si]:
+                row.append(0)
+            else:
+                try:
+                    row.append(1 if in_cs(local) else 0)
+                except Exception:
+                    return None
+        tables.append(row)
+    m = program.m
+    if len(tables) == 2:
+        return _PairSuspect(tables, m)
+    offs = [(m + slot, row) for slot, row in enumerate(tables)]
+
+    def suspect(packed: PackedState) -> bool:
+        count = 0
+        for off, row in offs:
+            count += row[packed[off]]
+        return count > 1
+
+    return suspect
+
+
+def _agreement_suspect(
+    program: CompiledProgram,
+) -> Optional[Callable[[PackedState], bool]]:
+    """Suspect when two decided outputs are distinct (set semantics)."""
+    facts = _output_facts(program)
+    if facts is None:
+        return None
+    m = program.m
+    offs = [(m + slot, row) for slot, row in enumerate(facts)]
+
+    def suspect(packed: PackedState) -> bool:
+        decided = [
+            v for off, row in offs if (v := row[packed[off]]) is not _SKIP
+        ]
+        return len(decided) > 1 and len(set(decided)) > 1
+
+    return suspect
+
+
+def _validity_suspect(
+    program: CompiledProgram,
+) -> Optional[Callable[[PackedState], bool]]:
+    """Suspect when a decided output is not one of the instance inputs."""
+    try:
+        legal = set(program.instance.inputs.values())
+    except Exception:
+        return None
+    facts = _output_facts(program)
+    if facts is None:
+        return None
+    tables: List[List[bool]] = []
+    for row in facts:
+        try:
+            tables.append(
+                [v is not _SKIP and v not in legal for v in row]
+            )
+        except Exception:
+            return None
+    m = program.m
+    offs = [(m + slot, row) for slot, row in enumerate(tables)]
+
+    def suspect(packed: PackedState) -> bool:
+        return any(row[packed[off]] for off, row in offs)
+
+    return suspect
+
+
+def _unique_names_suspect(
+    program: CompiledProgram,
+) -> Optional[Callable[[PackedState], bool]]:
+    """Suspect on duplicate names or a name outside ``1..n``."""
+    facts = _output_facts(program)
+    if facts is None:
+        return None
+    n = len(program.instance.inputs)
+    bad: List[List[bool]] = []
+    for row in facts:
+        bad_row: List[bool] = []
+        for v in row:
+            if v is _SKIP:
+                bad_row.append(False)
+            else:
+                try:
+                    bad_row.append(not 1 <= v <= n)
+                except Exception:
+                    # Non-comparable name: the interpreted invariant's
+                    # range check raises on such states — only the
+                    # generic path reproduces that faithfully.
+                    return None
+        bad.append(bad_row)
+    m = program.m
+    offs = [
+        (m + slot, facts[slot], bad[slot]) for slot in range(len(facts))
+    ]
+
+    def suspect(packed: PackedState) -> bool:
+        names: List[Any] = []
+        for off, row, bad_row in offs:
+            si = packed[off]
+            v = row[si]
+            if v is _SKIP:
+                continue
+            if bad_row[si]:
+                return True
+            names.append(v)
+        return len(names) > 1 and len(set(names)) != len(names)
+
+    return suspect
+
+
+def _compile_suspect(
+    invariant: Invariant, program: CompiledProgram
+) -> Optional[Callable[[PackedState], bool]]:
+    """Suspect function for a known invariant, or None to go generic."""
+    from repro.runtime import exploration as _exploration
+
+    try:
+        from repro.verify.runner import _no_invariant
+    except ImportError:  # pragma: no cover - verify layer always ships
+        _no_invariant = None
+    if _no_invariant is not None and invariant is _no_invariant:
+        return lambda packed: False
+    if invariant is _exploration.mutual_exclusion_invariant:
+        return _mutex_suspect(program)
+    if invariant is _exploration.agreement_invariant:
+        return _agreement_suspect(program)
+    if invariant is _exploration.validity_invariant:
+        return _validity_suspect(program)
+    if invariant is _exploration.unique_names_invariant:
+        return _unique_names_suspect(program)
+    if isinstance(invariant, _exploration._ConjoinedInvariant):
+        subs = [
+            _compile_suspect(sub, program) for sub in invariant.invariants
+        ]
+        if any(sub is None for sub in subs):
+            return None
+
+        def conjoined(packed: PackedState) -> bool:
+            for sub in subs:
+                if sub(packed):  # type: ignore[misc]
+                    return True
+            return False
+
+        return conjoined
+    return None
+
+
+def compile_checker(
+    invariant: Invariant, program: CompiledProgram
+) -> Callable[[PackedState], Optional[str]]:
+    """Packed-state invariant checker, message-identical to ``invariant``.
+
+    Suspected states (and, on the generic path, every state) are
+    unpacked and handed to the real invariant over a ``StateView``, so
+    the returned violation string — or raised exception — is exactly
+    the interpreted one.
+    """
+    suspect = _compile_suspect(invariant, program)
+    instance = program.instance
+    unpack = program.unpack
+    if suspect is None:
+
+        def generic(packed: PackedState) -> Optional[str]:
+            return invariant(StateView(instance, unpack(packed)))
+
+        return generic
+
+    def fast(packed: PackedState) -> Optional[str]:
+        if suspect(packed):
+            return invariant(StateView(instance, unpack(packed)))
+        return None
+
+    return fast
+
+
+# -- the backend -------------------------------------------------------
+
+
+def _unwind(link: Any) -> Tuple[ProcessId, ...]:
+    path: List[ProcessId] = []
+    while link:
+        link, pid = link
+        path.append(pid)
+    return tuple(reversed(path))
+
+
+class CompiledBackend:
+    """Serial DFS over packed states; bit-identical to ``SerialBackend``.
+
+    Compilation failures of any kind fall back to the interpreted
+    backend wholesale, so ``run`` is total over every task the serial
+    backend accepts.  ``result.kernel`` records which kernel actually
+    ran ("compiled" only when the table-driven walk did the work).
+    """
+
+    name = "compiled"
+    workers = 1
+    progress_interval = 8192  # power of two, matches SerialBackend
+
+    def __init__(
+        self,
+        domain_hint: Sequence[Any] = (),
+        max_local_states: int = 65536,
+        max_domain: int = 4096,
+    ) -> None:
+        self.domain_hint = tuple(domain_hint)
+        self.max_local_states = max_local_states
+        self.max_domain = max_domain
+
+    def run(
+        self,
+        task: ExplorationTask,
+        telemetry: TelemetrySink = NULL_TELEMETRY,
+    ) -> ExplorationResult:
+        trivial = isinstance(task.canonicalizer, TrivialCanonicalizer)
+        if task.retain_graph and not trivial:
+            # explore() rejects this combination; a hand-built task gets
+            # the serial behaviour verbatim.
+            return SerialBackend().run(task, telemetry=telemetry)
+        try:
+            program = compile_program(
+                task.instance,
+                task.initial,
+                domain_hint=self.domain_hint,
+                max_local_states=self.max_local_states,
+                max_domain=self.max_domain,
+            )
+            suspect = _compile_suspect(task.invariant, program)
+            if trivial:
+                tables = (
+                    task.canonicalizer.packed_digest_tables(
+                        program.values,
+                        program.states,
+                        program.halted,
+                        program.crashed,
+                    )
+                    if task.retain_graph
+                    else None
+                )
+            else:
+                tables = task.canonicalizer.packed_digest_tables(
+                    program.values,
+                    program.states,
+                    program.halted,
+                    program.crashed,
+                )
+        except Exception:
+            return SerialBackend().run(task, telemetry=telemetry)
+        invariant = task.invariant
+        instance = task.instance
+        unpack = program.unpack
+
+        def slow(packed: PackedState) -> Optional[str]:
+            return invariant(StateView(instance, unpack(packed)))
+
+        if suspect is None:
+            # Unknown invariant: evaluate it on every state.
+            suspect = _always_suspect
+        if trivial:
+            if len(program.slots) == 2 and not task.retain_graph:
+                result = self._run_trivial_two(
+                    task, program, suspect, slow, telemetry
+                )
+            else:
+                result = self._run_trivial(
+                    task, program, suspect, slow, tables, telemetry
+                )
+        else:
+            result = self._run_general(
+                task, program, suspect, slow, tables, telemetry
+            )
+        result.kernel = "compiled"
+        return result
+
+    # The two walks below mirror SerialBackend.run statement for
+    # statement; every counter update, telemetry emission, budget check
+    # and recorder call happens at the same point in the same order.
+    # Deviations are all of the form "equivalent predicate over packed
+    # states" and are individually justified in comments.
+
+    def _run_trivial_two(
+        self,
+        task: ExplorationTask,
+        program: CompiledProgram,
+        suspect: Callable[[PackedState], bool],
+        slow: Callable[[PackedState], Optional[str]],
+        telemetry: TelemetrySink,
+    ) -> ExplorationResult:
+        """The two-process trivial walk with the per-pid loop unrolled.
+
+        Semantically the n=2 instantiation of :meth:`_run_trivial`
+        without a recorder — every check happens at the same point in
+        the same order — but with the expansion list, tuple unpacking
+        and double subscripts flattened into straight-line code.  All
+        shipped verify/bench instances are two-process, so this is the
+        throughput-critical loop.
+        """
+        max_states = task.max_states
+        max_depth = task.max_depth
+        emit = telemetry.enabled
+        progress_mask = self.progress_interval - 1
+        step_packed = program.step_packed
+
+        (pid_a, s_a, off_a), (pid_b, s_b, off_b) = program.step_order
+        live_a = [
+            not (program.crashed[s_a] or h) for h in program.halted[s_a]
+        ]
+        live_b = [
+            not (program.crashed[s_b] or h) for h in program.halted[s_b]
+        ]
+        kind_a, kind_b = program.kind[s_a], program.kind[s_b]
+        arg_a, arg_b = program.arg[s_a], program.arg[s_b]
+        wval_a, wval_b = program.write_value[s_a], program.write_value[s_b]
+        nxt_a, nxt_b = program.next_state[s_a], program.next_state[s_b]
+        rows_a, rows_b = program.rows[s_a], program.rows[s_b]
+        # A _PairSuspect's table lookups inline into the loop; any other
+        # suspect is called.
+        cs_a = cs_b = None
+        if isinstance(suspect, _PairSuspect):
+            cs_a = suspect.tables[s_a]
+            cs_b = suspect.tables[s_b]
+
+        initial = program.initial_packed
+        visited = {initial}
+        stack: List[Tuple[PackedState, int, Any]] = [(initial, 0, None)]
+        result = ExplorationResult(
+            complete=True,
+            states_explored=0,
+            events_executed=0,
+            max_depth_reached=0,
+            group_size=task.canonicalizer.group_order,
+        )
+        states_explored = 0
+        events_executed = 0
+        max_depth_reached = 0
+        started = time.perf_counter()
+
+        while stack:
+            state, depth, link = stack.pop()
+            states_explored += 1
+            if depth > max_depth_reached:
+                max_depth_reached = depth
+            if emit and not (states_explored & progress_mask):
+                telemetry.gauge("explore.visited", len(visited))
+                telemetry.gauge("explore.frontier", len(stack))
+                telemetry.event(
+                    "explore.progress",
+                    states=states_explored,
+                    frontier=len(stack),
+                    visited=len(visited),
+                    orbit_hits=result.orbits_collapsed,
+                    depth=depth,
+                )
+            si_a = state[off_a]
+            si_b = state[off_b]
+            if (
+                (cs_a[si_a] and cs_b[si_b])
+                if cs_a is not None
+                else suspect(state)
+            ):
+                violation = slow(state)
+                if violation is not None:
+                    result.violation = violation
+                    result.violation_schedule = _unwind(link)
+                    result.truncated_by = "violation"
+                    break
+            enabled_a = live_a[si_a]
+            enabled_b = live_b[si_b]
+            if not (enabled_a or enabled_b):
+                # All settled (see _run_trivial); stuck never ticks.
+                continue
+            if depth >= max_depth:
+                result.truncated_by = "max_depth"
+                continue
+            # Per pid: child is None ⟺ the step is inert (child ==
+            # state) — decidable from table indices alone (packing is
+            # injective), so inert steps never build a child tuple.
+            if enabled_a:
+                child = None
+                k = kind_a[si_a]
+                if k == OP_READ:
+                    nsi = rows_a[si_a][state[arg_a[si_a]]]
+                    if nsi >= 0:
+                        if nsi != si_a:
+                            child = (
+                                state[:off_a] + (nsi,) + state[off_a + 1 :]
+                            )
+                    else:
+                        child = step_packed(state, s_a)
+                        if child == state:
+                            child = None
+                elif k == OP_WRITE:
+                    phys = arg_a[si_a]
+                    nsi = nxt_a[si_a]
+                    if nsi != si_a or state[phys] != wval_a[si_a]:
+                        child = (
+                            state[:phys]
+                            + (wval_a[si_a],)
+                            + state[phys + 1 : off_a]
+                            + (nsi,)
+                            + state[off_a + 1 :]
+                        )
+                elif k == OP_LOCAL:
+                    nsi = nxt_a[si_a]
+                    if nsi != si_a:
+                        child = (
+                            state[:off_a] + (nsi,) + state[off_a + 1 :]
+                        )
+                else:
+                    child = step_packed(state, s_a)
+                    if child == state:
+                        child = None
+                if child is None:
+                    events_executed += 2
+                elif child in visited:
+                    events_executed += 1
+                else:
+                    events_executed += 1
+                    if len(visited) >= max_states:
+                        result.truncated_by = "max_states"
+                        break
+                    visited.add(child)
+                    stack.append((child, depth + 1, (link, pid_a)))
+            if enabled_b:
+                child = None
+                k = kind_b[si_b]
+                if k == OP_READ:
+                    nsi = rows_b[si_b][state[arg_b[si_b]]]
+                    if nsi >= 0:
+                        if nsi != si_b:
+                            child = (
+                                state[:off_b] + (nsi,) + state[off_b + 1 :]
+                            )
+                    else:
+                        child = step_packed(state, s_b)
+                        if child == state:
+                            child = None
+                elif k == OP_WRITE:
+                    phys = arg_b[si_b]
+                    nsi = nxt_b[si_b]
+                    if nsi != si_b or state[phys] != wval_b[si_b]:
+                        child = (
+                            state[:phys]
+                            + (wval_b[si_b],)
+                            + state[phys + 1 : off_b]
+                            + (nsi,)
+                            + state[off_b + 1 :]
+                        )
+                elif k == OP_LOCAL:
+                    nsi = nxt_b[si_b]
+                    if nsi != si_b:
+                        child = (
+                            state[:off_b] + (nsi,) + state[off_b + 1 :]
+                        )
+                else:
+                    child = step_packed(state, s_b)
+                    if child == state:
+                        child = None
+                if child is None:
+                    events_executed += 2
+                elif child in visited:
+                    events_executed += 1
+                else:
+                    events_executed += 1
+                    if len(visited) >= max_states:
+                        result.truncated_by = "max_states"
+                        break
+                    visited.add(child)
+                    stack.append((child, depth + 1, (link, pid_b)))
+
+        result.states_explored = states_explored
+        result.events_executed = events_executed
+        result.max_depth_reached = max_depth_reached
+        result.complete = result.truncated_by is None
+        result.wall_seconds = time.perf_counter() - started
+        result.peak_visited = len(visited)
+        if emit:
+            telemetry.gauge("explore.visited", len(visited))
+            telemetry.gauge("explore.frontier", len(stack))
+            telemetry.count("explore.events", result.events_executed)
+            telemetry.count("explore.orbit_hits", result.orbits_collapsed)
+        return result
+
+    def _run_trivial(
+        self,
+        task: ExplorationTask,
+        program: CompiledProgram,
+        suspect: Callable[[PackedState], bool],
+        slow: Callable[[PackedState], Optional[str]],
+        tables: Any,
+        telemetry: TelemetrySink,
+    ) -> ExplorationResult:
+        max_states = task.max_states
+        max_depth = task.max_depth
+        emit = telemetry.enabled
+        progress_mask = self.progress_interval - 1
+
+        m = program.m
+        halted = program.halted
+        crashed = program.crashed
+        step_packed = program.step_packed
+        nslots = len(program.slots)
+        # One bundle per pid in scheduling order: every per-slot table
+        # the expansion needs, pre-indexed so the hot loop does single
+        # subscripts only.  live[s][si] ⟺ the slot can step.
+        live = [
+            [not (crashed[s] or h) for h in halted[s]]
+            for s in range(nslots)
+        ]
+        step_tabs = tuple(
+            (
+                pid,
+                s,
+                off,
+                live[s],
+                program.kind[s],
+                program.arg[s],
+                program.write_value[s],
+                program.next_state[s],
+                program.rows[s],
+            )
+            for pid, s, off in program.step_order
+        )
+
+        recorder = None
+        state_raw = b""
+        raw_cache: Dict[PackedState, bytes] = {}
+
+        def raw_of(packed: PackedState) -> bytes:
+            raw = raw_cache.get(packed)
+            if raw is None:
+                parts = [value_raw[packed[i]] for i in range(m)]
+                for s in range(nslots):
+                    parts.append(slot_raw[s][packed[m + s]])
+                raw = b"".join(parts)
+                raw_cache[packed] = raw
+            return raw
+
+        initial = program.initial_packed
+        if task.retain_graph:
+            from repro.verify.graph import GraphRecorder
+
+            value_raw = tables.value_raw
+            slot_raw = tables.slot_raw
+            recorder = GraphRecorder(raw_of(initial), task.initial)
+
+        # Under the trivial canonicalizer a raw key is the content
+        # digest of the concrete state, so raw equality is state
+        # equality — packed tuples (injective over the closure) are an
+        # equivalent, cheaper dedup key.
+        visited = {initial}
+        stack: List[Tuple[PackedState, int, Any]] = [(initial, 0, None)]
+        result = ExplorationResult(
+            complete=True,
+            states_explored=0,
+            events_executed=0,
+            max_depth_reached=0,
+            group_size=task.canonicalizer.group_order,
+        )
+        states_explored = 0
+        events_executed = 0
+        max_depth_reached = 0
+        started = time.perf_counter()
+
+        while stack:
+            state, depth, link = stack.pop()
+            states_explored += 1
+            if depth > max_depth_reached:
+                max_depth_reached = depth
+            if emit and not (states_explored & progress_mask):
+                telemetry.gauge("explore.visited", len(visited))
+                telemetry.gauge("explore.frontier", len(stack))
+                telemetry.event(
+                    "explore.progress",
+                    states=states_explored,
+                    frontier=len(stack),
+                    visited=len(visited),
+                    orbit_hits=result.orbits_collapsed,
+                    depth=depth,
+                )
+            if suspect(state):
+                violation = slow(state)
+                if violation is not None:
+                    result.violation = violation
+                    result.violation_schedule = _unwind(link)
+                    result.truncated_by = "violation"
+                    break
+            expand = [t for t in step_tabs if t[3][state[t[2]]]]
+            if not expand:
+                # No enabled pid ⟺ every slot halted or crashed ⟺
+                # all_settled, so the serial stuck counter can never
+                # tick here.
+                if recorder is not None:
+                    recorder.mark_expanded(raw_of(state))
+                continue
+            if depth >= max_depth:
+                result.truncated_by = "max_depth"
+                continue
+            if recorder is not None:
+                state_raw = raw_of(state)
+                recorder.mark_expanded(state_raw)
+            budget_exhausted = False
+            for (
+                pid,
+                s,
+                off,
+                _live_row,
+                kind_row,
+                arg_row,
+                wval_row,
+                nxt_row,
+                rows_row,
+            ) in expand:
+                si = state[off]
+                k = kind_row[si]
+                if k == OP_READ:
+                    nsi = rows_row[si][state[arg_row[si]]]
+                    child = (
+                        state[:off] + (nsi,) + state[off + 1 :]
+                        if nsi >= 0
+                        else step_packed(state, s)
+                    )
+                elif k == OP_WRITE:
+                    phys = arg_row[si]
+                    child = (
+                        state[:phys]
+                        + (wval_row[si],)
+                        + state[phys + 1 : off]
+                        + (nxt_row[si],)
+                        + state[off + 1 :]
+                    )
+                elif k == OP_LOCAL:
+                    child = state[:off] + (nxt_row[si],) + state[off + 1 :]
+                else:
+                    child = step_packed(state, s)
+                if child == state:
+                    # Inert self-loop.  Serial steps once (1 event),
+                    # enters the acceleration loop, steps once more (a
+                    # deterministic repeat), sees the local repeat and
+                    # gives up: exactly 2 events, then a self-edge.
+                    events_executed += 2
+                    if recorder is not None:
+                        recorder.add_edge(state_raw, pid, state_raw)
+                    continue
+                events_executed += 1
+                if recorder is not None:
+                    child_raw = raw_of(child)
+                    recorder.add_edge(state_raw, pid, child_raw)
+                    if child_raw not in recorder.nodes:
+                        recorder.add_node(child_raw, program.unpack(child))
+                if child in visited:
+                    continue
+                if len(visited) >= max_states:
+                    result.truncated_by = "max_states"
+                    budget_exhausted = True
+                    break
+                visited.add(child)
+                stack.append((child, depth + 1, (link, pid)))
+            if budget_exhausted:
+                break
+
+        result.states_explored = states_explored
+        result.events_executed = events_executed
+        result.max_depth_reached = max_depth_reached
+        result.complete = result.truncated_by is None
+        result.wall_seconds = time.perf_counter() - started
+        result.peak_visited = len(visited)
+        if recorder is not None:
+            result.graph = recorder.finish(result.complete)
+        if emit:
+            telemetry.gauge("explore.visited", len(visited))
+            telemetry.gauge("explore.frontier", len(stack))
+            telemetry.count("explore.events", result.events_executed)
+            telemetry.count("explore.orbit_hits", result.orbits_collapsed)
+        return result
+
+    def _run_general(
+        self,
+        task: ExplorationTask,
+        program: CompiledProgram,
+        suspect: Callable[[PackedState], bool],
+        slow: Callable[[PackedState], Optional[str]],
+        tables: Any,
+        telemetry: TelemetrySink,
+    ) -> ExplorationResult:
+        canonicalizer = task.canonicalizer
+        max_states = task.max_states
+        max_depth = task.max_depth
+        emit = telemetry.enabled
+        progress_mask = self.progress_interval - 1
+
+        m = program.m
+        halted = program.halted
+        crashed = program.crashed
+        step_packed = program.step_packed
+        nslots = len(program.slots)
+        live = [
+            [not (crashed[s] or h) for h in halted[s]]
+            for s in range(nslots)
+        ]
+        step_tabs = tuple(
+            (
+                pid,
+                s,
+                off,
+                live[s],
+                program.kind[s],
+                program.arg[s],
+                program.write_value[s],
+                program.next_state[s],
+                program.rows[s],
+            )
+            for pid, s, off in program.step_order
+        )
+
+        value_raw = tables.value_raw
+        slot_raw = tables.slot_raw
+        candidates = tables.candidates
+
+        def key_of(packed: PackedState) -> Tuple[bytes, bytes]:
+            """``canonicalizer.key_of_state`` over a packed state.
+
+            Byte-identical by construction: every digest in the tables
+            went through the canonicalizer's own intern/digest path.
+            """
+            parts = [value_raw[packed[i]] for i in range(m)]
+            for s in range(nslots):
+                parts.append(slot_raw[s][packed[m + s]])
+            raw = b"".join(parts)
+            if not candidates:
+                return raw, raw
+            best = raw
+            for cand in candidates:
+                cparts = [
+                    cand.value_digest[packed[phys]]
+                    for phys in cand.source_phys
+                ]
+                for s in cand.source_slot:
+                    cparts.append(cand.slot_digest[s][packed[m + s]])
+                joined = b"".join(cparts)
+                if joined < best:
+                    best = joined
+            return best, raw
+
+        initial = program.initial_packed
+        initial_key, initial_raw = key_of(initial)
+        visited: Dict[bytes, bytes] = {initial_key: initial_raw}
+        stack: List[Tuple[PackedState, int, Any, bytes]] = [
+            (initial, 0, None, initial_raw)
+        ]
+        result = ExplorationResult(
+            complete=True,
+            states_explored=0,
+            events_executed=0,
+            max_depth_reached=0,
+            group_size=canonicalizer.group_order,
+        )
+        states_explored = 0
+        events_executed = 0
+        max_depth_reached = 0
+        orbits_collapsed = 0
+        started = time.perf_counter()
+
+        while stack:
+            state, depth, link, state_raw = stack.pop()
+            states_explored += 1
+            if depth > max_depth_reached:
+                max_depth_reached = depth
+            if emit and not (states_explored & progress_mask):
+                telemetry.gauge("explore.visited", len(visited))
+                telemetry.gauge("explore.frontier", len(stack))
+                telemetry.event(
+                    "explore.progress",
+                    states=states_explored,
+                    frontier=len(stack),
+                    visited=len(visited),
+                    orbit_hits=orbits_collapsed,
+                    depth=depth,
+                )
+            if suspect(state):
+                violation = slow(state)
+                if violation is not None:
+                    result.violation = violation
+                    result.violation_schedule = _unwind(link)
+                    result.truncated_by = "violation"
+                    break
+            expand = [t for t in step_tabs if t[3][state[t[2]]]]
+            if not expand:
+                # No enabled pid ⟺ all_settled: stuck never ticks.
+                continue
+            if depth >= max_depth:
+                result.truncated_by = "max_depth"
+                continue
+            budget_exhausted = False
+            for (
+                pid,
+                s,
+                off,
+                _live_row,
+                kind_row,
+                arg_row,
+                wval_row,
+                nxt_row,
+                rows_row,
+            ) in expand:
+                si = state[off]
+                k = kind_row[si]
+                if k == OP_READ:
+                    nsi = rows_row[si][state[arg_row[si]]]
+                    child = (
+                        state[:off] + (nsi,) + state[off + 1 :]
+                        if nsi >= 0
+                        else step_packed(state, s)
+                    )
+                elif k == OP_WRITE:
+                    phys = arg_row[si]
+                    child = (
+                        state[:phys]
+                        + (wval_row[si],)
+                        + state[phys + 1 : off]
+                        + (nxt_row[si],)
+                        + state[off + 1 :]
+                    )
+                elif k == OP_LOCAL:
+                    child = state[:off] + (nxt_row[si],) + state[off + 1 :]
+                else:
+                    child = step_packed(state, s)
+                events_executed += 1
+                key, raw = key_of(child)
+                step_link = (link, pid)
+                if raw == state_raw:
+                    # Inert acceleration, exactly as serial: keep
+                    # stepping this pid while it stays inert, watching
+                    # its local state (⟺ its packed index — interning
+                    # is by value equality) for a repeat.
+                    seen_locals = {child[off]}
+                    while raw == state_raw and not (
+                        halted[s][child[off]] or crashed[s]
+                    ):
+                        child = step_packed(child, s)
+                        events_executed += 1
+                        step_link = (step_link, pid)
+                        key, raw = key_of(child)
+                        local = child[off]
+                        if raw == state_raw:
+                            if local in seen_locals:
+                                break
+                            seen_locals.add(local)
+                    if raw == state_raw:
+                        continue
+                claimed = visited.get(key)
+                if claimed is not None:
+                    if claimed != raw:
+                        orbits_collapsed += 1
+                    continue
+                if len(visited) >= max_states:
+                    result.truncated_by = "max_states"
+                    budget_exhausted = True
+                    break
+                visited[key] = raw
+                stack.append((child, depth + 1, step_link, raw))
+            if budget_exhausted:
+                break
+
+        result.states_explored = states_explored
+        result.events_executed = events_executed
+        result.max_depth_reached = max_depth_reached
+        result.orbits_collapsed = orbits_collapsed
+        result.complete = result.truncated_by is None
+        result.wall_seconds = time.perf_counter() - started
+        result.peak_visited = len(visited)
+        if emit:
+            telemetry.gauge("explore.visited", len(visited))
+            telemetry.gauge("explore.frontier", len(stack))
+            telemetry.count("explore.events", result.events_executed)
+            telemetry.count("explore.orbit_hits", result.orbits_collapsed)
+        return result

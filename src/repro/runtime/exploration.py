@@ -22,13 +22,11 @@ differ only by a symmetry and typically shrinks the visited set by the
 group order and more (see docs/EXPLORATION.md for the soundness
 argument).  The quotient walk explores *real* states (one
 representative per orbit), so reported violation schedules replay
-directly on a fresh system.  (:func:`explore_symmetry_reduced` is the
-deprecated spelling of the same quotient walk.)
+directly on a fresh system.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Tuple, Union
 
@@ -113,10 +111,18 @@ class ExplorationResult:
     #: Final size of the visited table (canonical keys), the walk's
     #: peak memory driver.
     peak_visited: int = 0
-    #: Name of the backend that ran the walk (``"serial"``/``"parallel"``).
+    #: Name of the backend that ran the walk
+    #: (``"serial"``/``"parallel"``/``"compiled"``).
     backend: str = "serial"
     #: Worker processes the backend used (1 for serial).
     workers: int = 1
+    #: Which step kernel actually executed the walk: ``"interpreted"``
+    #: (the ``step_value`` interpreter) or ``"compiled"`` (the
+    #: table-compiled packed-state kernel).  A ``CompiledBackend`` that
+    #: overflowed its compilation envelope and fell back to the
+    #: interpreter reports ``backend="compiled"`` but
+    #: ``kernel="interpreted"``.
+    kernel: str = "interpreted"
     #: The retained :class:`~repro.verify.graph.StateGraph` when the
     #: walk ran with ``retain_graph=True`` (else ``None``).  On complete
     #: runs the graph is byte-identical across backends; liveness
@@ -168,6 +174,7 @@ def explore(
     backend: Optional[Union[str, "ExplorationBackend"]] = None,
     *,
     reduction: Optional[str] = None,
+    kernel: Optional[str] = None,
     telemetry: Optional[TelemetrySink] = None,
     footprints: bool = True,
     max_group: int = 720,
@@ -229,6 +236,20 @@ def explore(
         frontier out across worker processes (same verdicts; see
         docs/EXPLORATION.md for exactly which counters may differ on
         budget-truncated walks).
+    kernel:
+        Step-kernel selector: ``"interpreted"`` (the default — the
+        ``step_value`` interpreter) or ``"compiled"`` (the
+        table-compiled packed-state kernel,
+        :class:`~repro.runtime.compiled.CompiledBackend` — bit-identical
+        results at ~10× the serial throughput on the shipped automata).
+        ``"compiled"`` requires the serial backend (the default); it is
+        a drop-in replacement for it, so combining it with
+        ``backend="parallel"`` raises
+        :class:`~repro.errors.ConfigurationError`.  Instances whose
+        local-state space or register value domain cannot be enumerated
+        fall back to the interpreter automatically —
+        :attr:`ExplorationResult.kernel` records which kernel actually
+        ran.
     telemetry:
         A :class:`~repro.obs.telemetry.TelemetrySink` receiving phase
         timers (canonicalizer build, walk), visited/frontier gauges and
@@ -296,6 +317,20 @@ def explore(
         backend = SerialBackend()
     elif isinstance(backend, str):
         backend = resolve_backend(backend)
+    if kernel not in (None, "interpreted", "compiled"):
+        raise ConfigurationError(
+            f"unknown kernel {kernel!r}; expected 'interpreted' or 'compiled'"
+        )
+    if kernel == "compiled":
+        from repro.runtime.compiled import CompiledBackend
+
+        if isinstance(backend, SerialBackend):
+            backend = CompiledBackend()
+        elif not isinstance(backend, CompiledBackend):
+            raise ConfigurationError(
+                "kernel='compiled' is a drop-in replacement for the "
+                f"serial backend; got backend {backend.name!r}"
+            )
 
     task = ExplorationTask(
         instance=StepInstance.from_system(system),
@@ -340,42 +375,6 @@ def explore(
             f"{result.states_explored} states visited"
         )
     return result
-
-
-def explore_symmetry_reduced(
-    system: System,
-    invariant: Invariant,
-    max_states: int = 500_000,
-    max_depth: int = 10_000,
-    raise_on_truncation: bool = False,
-    footprints: bool = True,
-    max_group: int = 720,
-    backend: Optional[Union[str, "ExplorationBackend"]] = None,
-) -> ExplorationResult:
-    """Deprecated spelling of ``explore(..., reduction="symmetry")``.
-
-    Retained as a thin shim for one deprecation cycle; it emits a
-    :class:`DeprecationWarning` and forwards.  New code should call
-    :func:`explore` with ``reduction="symmetry"`` — same canonicalizer,
-    same walk, same result.
-    """
-    warnings.warn(
-        "explore_symmetry_reduced() is deprecated; call "
-        "explore(..., reduction=\"symmetry\") instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return explore(
-        system,
-        invariant,
-        max_states=max_states,
-        max_depth=max_depth,
-        raise_on_truncation=raise_on_truncation,
-        backend=backend,
-        reduction="symmetry",
-        footprints=footprints,
-        max_group=max_group,
-    )
 
 
 # ---------------------------------------------------------------------------

@@ -122,8 +122,15 @@ def verify_instance(
     backend: Optional[Any] = None,
     telemetry: Optional[TelemetrySink] = None,
     max_states: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> VerificationReport:
     """Exhaustively verify one registry instance (see module docstring).
+
+    ``kernel="compiled"`` runs the graph-retaining walk on the
+    table-compiled step kernel (:mod:`repro.runtime.compiled`), seeded
+    with the spec's declared value domain when it has one; the retained
+    graph is byte-identical to the interpreted walk's, so every liveness
+    verdict is too.
 
     Raises :class:`~repro.errors.VerificationError` when the instance
     declares liveness properties but the exploration could not retain a
@@ -135,6 +142,16 @@ def verify_instance(
     system = spec.system(instance)
     invariant = spec.invariant if spec.invariant is not None else _no_invariant
     budget = max_states if max_states is not None else instance.verify_max_states
+    if kernel == "compiled" and backend is None:
+        from repro.runtime.compiled import CompiledBackend
+
+        domain = (
+            spec.value_domain(instance.params_dict())
+            if spec.value_domain is not None
+            else ()
+        )
+        backend = CompiledBackend(domain_hint=domain)
+        kernel = None  # already resolved into the backend
     result = explore(
         system,
         invariant,
@@ -143,6 +160,7 @@ def verify_instance(
         # the walk is only ever truncated by max_states, never by depth.
         max_depth=budget,
         backend=backend,
+        kernel=kernel,
         telemetry=telemetry,
         retain_graph=True,
     )
@@ -227,6 +245,7 @@ def verify_manifest(
         outcome={
             "verdict": "verified" if report.ok else "failed",
             "instance": instance.label,
+            "kernel": exploration.kernel,
             "states": exploration.states_explored,
             "retained_edges": report.retained_edges,
             "explore_seconds": report.explore_seconds,

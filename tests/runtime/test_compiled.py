@@ -1,0 +1,332 @@
+"""Differential + property validation of the table-compiled step kernel.
+
+The compiled backend's contract is *bit-identity*: on every instance it
+can compile it must reproduce the serial backend's results exactly —
+verdict, counters, violation text and schedule, retained graph bytes —
+at a fraction of the wall time; on everything else it must fall back to
+the interpreter wholesale (``kernel == "interpreted"``) rather than
+degrade semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mutex import AnonymousMutex
+from repro.errors import ConfigurationError
+from repro.problems import instances_with_role, problem_specs
+from repro.runtime.backends import SerialBackend, resolve_backend
+from repro.runtime.canonical import TrivialCanonicalizer, build_canonicalizer
+from repro.runtime.compiled import CompiledBackend, compile_program
+from repro.runtime.exploration import explore, mutual_exclusion_invariant
+from repro.runtime.kernel import StepInstance, enabled_pids, step_value
+from repro.runtime.system import System
+
+from tests.conftest import pids
+from tests.lint.mutants import ALL_MUTANTS, HOOKED_MUTANTS, MutantAlgorithm
+from tests.runtime.test_exploration_differential import (
+    SHIPPED_INSTANCES,
+    VIOLATING_INSTANCES,
+    null_invariant,
+)
+
+
+def fingerprint(result):
+    """Every observable field the two backends must agree on."""
+    return (
+        result.ok,
+        result.complete,
+        result.truncated_by,
+        result.violation,
+        result.violation_schedule,
+        result.states_explored,
+        result.events_executed,
+        result.max_depth_reached,
+        result.stuck_states,
+        result.orbits_collapsed,
+        result.peak_visited,
+    )
+
+
+def mutex_system(m=3):
+    return System(AnonymousMutex(m=m, cs_visits=1), pids(2), record_trace=False)
+
+
+class TestCompiledMatchesSerial:
+    @pytest.mark.parametrize(
+        "factory, invariant", SHIPPED_INSTANCES + VIOLATING_INSTANCES
+    )
+    @pytest.mark.parametrize("reduction", ["trivial", "symmetry"])
+    def test_bit_identical(self, factory, invariant, reduction):
+        def run(backend):
+            system = factory()
+            canonicalizer = (
+                TrivialCanonicalizer(system.scheduler)
+                if reduction == "trivial"
+                else build_canonicalizer(system)
+            )
+            return explore(
+                system, invariant, canonicalizer=canonicalizer, backend=backend
+            )
+
+        serial = run(SerialBackend())
+        compiled = run(CompiledBackend())
+        assert fingerprint(serial) == fingerprint(compiled)
+        assert compiled.backend == "compiled"
+        assert compiled.kernel == "compiled"
+
+    @pytest.mark.parametrize(
+        "budgets",
+        [dict(max_states=5_000), dict(max_depth=25)],
+        ids=["max_states", "max_depth"],
+    )
+    def test_truncated_walks_are_bit_identical(self, budgets):
+        def run(backend):
+            system = mutex_system(m=5)
+            return explore(
+                system,
+                mutual_exclusion_invariant,
+                canonicalizer=TrivialCanonicalizer(system.scheduler),
+                backend=backend,
+                **budgets,
+            )
+
+        serial = run(SerialBackend())
+        compiled = run(CompiledBackend())
+        assert not serial.complete
+        assert fingerprint(serial) == fingerprint(compiled)
+
+
+VERIFY_INSTANCES = list(instances_with_role("verify", include_mutants=True))
+
+
+class TestRetainedGraph:
+    @pytest.mark.parametrize(
+        "spec, inst",
+        VERIFY_INSTANCES,
+        ids=[inst.label for _, inst in VERIFY_INSTANCES],
+    )
+    def test_graph_bytes_identical(self, spec, inst):
+        invariant = spec.invariant or null_invariant
+
+        def run(backend):
+            system = spec.system(inst)
+            budget = inst.verify_max_states
+            return explore(
+                system,
+                invariant,
+                max_states=budget,
+                max_depth=budget,
+                backend=backend,
+                retain_graph=True,
+            )
+
+        serial = run(SerialBackend())
+        compiled = run(CompiledBackend())
+        assert fingerprint(serial) == fingerprint(compiled)
+        assert serial.graph is not None and compiled.graph is not None
+        assert serial.graph.to_bytes() == compiled.graph.to_bytes()
+
+
+class TestMutantsAgree:
+    """The generic (no compiled suspect table) path, across every
+    non-hooked lint mutant — including the two whose exploration raises,
+    which the overflow path must reproduce with the same exception."""
+
+    @pytest.mark.parametrize(
+        "mutant_cls",
+        [cls for cls, _pass in ALL_MUTANTS if cls not in HOOKED_MUTANTS],
+        ids=[
+            cls.__name__
+            for cls, _pass in ALL_MUTANTS
+            if cls not in HOOKED_MUTANTS
+        ],
+    )
+    def test_mutant_exploration_is_bit_identical(self, mutant_cls):
+        def build():
+            return System(
+                MutantAlgorithm(mutant_cls), pids(2), record_trace=False
+            )
+
+        budgets = dict(max_states=2_000, max_depth=200)
+        outcomes = []
+        for backend in (SerialBackend(), CompiledBackend()):
+            system = build()
+            try:
+                result = explore(
+                    system,
+                    null_invariant,
+                    canonicalizer=TrivialCanonicalizer(system.scheduler),
+                    backend=backend,
+                    **budgets,
+                )
+            except Exception as error:  # noqa: BLE001 — compared below
+                outcomes.append(("raised", type(error).__name__))
+            else:
+                outcomes.append(fingerprint(result))
+        assert outcomes[0] == outcomes[1]
+
+
+def _compiled_mutex(m=3):
+    system = mutex_system(m=m)
+    instance = StepInstance.from_system(system)
+    initial = system.scheduler.capture_state()
+    return instance, initial, compile_program(instance, initial)
+
+
+_MUTEX_PROGRAM = _compiled_mutex()
+
+
+def _walk(instance, initial, choices):
+    """A reachable state: follow the choice list through enabled pids."""
+    state = initial
+    for choice in choices:
+        enabled = enabled_pids(instance, state)
+        if not enabled:
+            break
+        state = step_value(instance, state, enabled[choice % len(enabled)])
+    return state
+
+
+class TestPackedStateProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=40))
+    def test_pack_unpack_round_trips(self, choices):
+        instance, initial, program = _MUTEX_PROGRAM
+        state = _walk(instance, initial, choices)
+        assert program.unpack(program.pack(state)) == state
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=40))
+    def test_step_packed_agrees_with_interpreter(self, choices):
+        instance, initial, program = _MUTEX_PROGRAM
+        state = _walk(instance, initial, choices)
+        packed = program.pack(state)
+        for pid in enabled_pids(instance, state):
+            slot = instance.slot_of[pid]
+            assert program.step_packed(packed, slot) == program.pack(
+                step_value(instance, state, pid)
+            )
+
+
+class TestKernelWiring:
+    def test_resolve_backend_compiled(self):
+        assert isinstance(resolve_backend("compiled"), CompiledBackend)
+
+    def test_resolve_backend_unknown(self):
+        with pytest.raises(
+            ConfigurationError, match="unknown exploration backend"
+        ):
+            resolve_backend("quantum")
+
+    def test_explore_kernel_compiled(self):
+        result = explore(
+            mutex_system(), mutual_exclusion_invariant, kernel="compiled"
+        )
+        assert result.backend == "compiled"
+        assert result.kernel == "compiled"
+
+    def test_explore_kernel_interpreted_is_the_default(self):
+        result = explore(mutex_system(), mutual_exclusion_invariant)
+        assert result.backend == "serial"
+        assert result.kernel == "interpreted"
+
+    def test_explore_unknown_kernel(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            explore(
+                mutex_system(), mutual_exclusion_invariant, kernel="quantum"
+            )
+
+    def test_explore_kernel_compiled_rejects_parallel(self):
+        with pytest.raises(ConfigurationError, match="drop-in replacement"):
+            explore(
+                mutex_system(),
+                mutual_exclusion_invariant,
+                kernel="compiled",
+                backend="parallel",
+            )
+
+    def test_overflow_falls_back_to_the_interpreter(self):
+        # A one-state cap defeats table compilation; the backend must
+        # run the serial walk wholesale and say so in the kernel field.
+        serial = explore(
+            mutex_system(), mutual_exclusion_invariant, backend=SerialBackend()
+        )
+        result = explore(
+            mutex_system(),
+            mutual_exclusion_invariant,
+            backend=CompiledBackend(max_local_states=1),
+        )
+        assert result.backend == "compiled"
+        assert result.kernel == "interpreted"
+        assert fingerprint(result) == fingerprint(serial)
+
+
+DOMAIN_CASES = [
+    (spec, inst)
+    for spec in problem_specs(include_mutants=True)
+    if spec.value_domain is not None
+    for inst in spec.instances_with_role("verify")
+]
+
+
+class TestDeclaredValueDomains:
+    @pytest.mark.parametrize(
+        "spec, inst",
+        DOMAIN_CASES,
+        ids=[inst.label for _, inst in DOMAIN_CASES],
+    )
+    def test_discovered_domain_is_within_the_declared_one(self, spec, inst):
+        declared = set(spec.value_domain(inst.params_dict()))
+        system = spec.system(inst)
+        program = compile_program(
+            StepInstance.from_system(system), system.scheduler.capture_state()
+        )
+        assert set(program.values) <= declared
+
+
+class TestVerifyKernel:
+    def test_verify_instance_kernel_compiled_matches_interpreted(self):
+        from repro.problems import get_problem
+        from repro.verify import verify_instance
+
+        spec = get_problem("figure-1-mutex")
+        inst = spec.instance("figure-1-mutex(m=3)")
+        interpreted = verify_instance(spec, inst)
+        compiled = verify_instance(spec, inst, kernel="compiled")
+        assert compiled.exploration.kernel == "compiled"
+        assert fingerprint(compiled.exploration) == fingerprint(
+            interpreted.exploration
+        )
+        assert (
+            compiled.exploration.graph.to_bytes()
+            == interpreted.exploration.graph.to_bytes()
+        )
+        assert [o.describe() for o in compiled.outcomes] == [
+            o.describe() for o in interpreted.outcomes
+        ]
+
+    def test_cli_kernel_compiled(self, capsys):
+        from repro.__main__ import cmd_verify
+
+        code = cmd_verify(
+            ["--instance", "figure-1-mutex(m=3)", "--kernel", "compiled"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[OK ]" in out
+
+    def test_cli_kernel_compiled_rejects_parallel_backend(self, capsys):
+        from repro.__main__ import cmd_verify
+
+        with pytest.raises(SystemExit):
+            cmd_verify(
+                [
+                    "--instance",
+                    "figure-1-mutex(m=3)",
+                    "--kernel",
+                    "compiled",
+                    "--backend",
+                    "parallel",
+                ]
+            )

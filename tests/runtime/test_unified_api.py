@@ -1,9 +1,9 @@
-"""The unified exploration/sweep API surface and its deprecation shims.
+"""The unified exploration/sweep API surface.
 
-One public spelling going forward — ``explore(..., reduction=...)`` and
-``sweep(..., backend=...)`` — with the historical spellings
-(:func:`explore_symmetry_reduced`, ``sweep(executor=...)``) retained as
-warning shims that must produce identical results.
+One public spelling — ``explore(..., reduction=...)`` and
+``sweep(..., backend=...)``.  The PR-5 deprecation shims
+(``explore_symmetry_reduced``, ``sweep(executor=...)``) are gone; these
+tests pin the unified surface they migrated to.
 """
 
 import warnings
@@ -19,16 +19,11 @@ from repro.obs import load_manifests
 from repro.runtime.adversary import RandomAdversary
 from repro.runtime.backends import (
     ProcessExecutor,
-    SerialBackend,
     SerialExecutor,
     resolve_executor,
 )
 from repro.runtime.canonical import TrivialCanonicalizer
-from repro.runtime.exploration import (
-    explore,
-    explore_symmetry_reduced,
-    mutual_exclusion_invariant,
-)
+from repro.runtime.exploration import explore, mutual_exclusion_invariant
 from repro.runtime.system import System
 from repro.spec.mutex_spec import MutualExclusionChecker
 
@@ -71,6 +66,13 @@ class TestUnifiedExplore:
         assert result.group_size >= 2
         assert result.orbits_collapsed > 0
 
+    def test_reduction_symmetry_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            explore(
+                mutex_system(), mutual_exclusion_invariant, reduction="symmetry"
+            )
+
     def test_reduction_and_canonicalizer_conflict(self):
         system = mutex_system()
         with pytest.raises(ConfigurationError, match="not both"):
@@ -93,42 +95,16 @@ class TestUnifiedExplore:
         )
         assert result.backend == "serial"
 
+    def test_deprecated_spelling_is_gone(self):
+        import repro.runtime.exploration as exploration
+
+        assert not hasattr(exploration, "explore_symmetry_reduced")
+
     def test_package_root_exports_the_unified_surface(self):
         assert repro.explore is explore
         assert repro.sweep is sweep
         for name in ("Telemetry", "NullTelemetry", "RunManifest", "sweep"):
             assert name in repro.__all__
-
-
-class TestExploreShim:
-    def test_shim_warns_and_matches_the_unified_spelling(self):
-        new = explore(
-            mutex_system(), mutual_exclusion_invariant, reduction="symmetry"
-        )
-        with pytest.warns(DeprecationWarning, match="explore_symmetry_reduced"):
-            old = explore_symmetry_reduced(
-                mutex_system(), mutual_exclusion_invariant
-            )
-        assert old.states_explored == new.states_explored
-        assert old.group_size == new.group_size
-        assert old.ok == new.ok
-
-    def test_shim_forwards_backend_and_budgets(self):
-        with pytest.warns(DeprecationWarning):
-            result = explore_symmetry_reduced(
-                mutex_system(),
-                mutual_exclusion_invariant,
-                max_states=10,
-                backend=SerialBackend(),
-            )
-        assert result.truncated_by == "max_states"
-
-    def test_unified_spelling_does_not_warn(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            explore(
-                mutex_system(), mutual_exclusion_invariant, reduction="symmetry"
-            )
 
 
 class TestUnifiedSweep:
@@ -152,6 +128,10 @@ class TestUnifiedSweep:
             warnings.simplefilter("error", DeprecationWarning)
             mutex_sweep()
 
+    def test_executor_kwarg_is_gone(self):
+        with pytest.raises(TypeError, match="executor"):
+            mutex_sweep(executor=SerialExecutor())
+
     def test_manifest_dir_writes_one_manifest_per_cell(self, tmp_path):
         result = mutex_sweep(backend="serial", manifest_dir=tmp_path)
         manifests = load_manifests(tmp_path)
@@ -164,56 +144,6 @@ class TestUnifiedSweep:
         mutex_sweep(backend="serial", manifest_dir=tmp_path)
         names = sorted(p.name for p in tmp_path.iterdir())
         assert len(names) == 2 and names[0] != names[1]
-
-
-class TestShimMessages:
-    """Pin the exact deprecation text.
-
-    Downstream scripts grep for these strings when migrating, and
-    CHANGES.md documents the removal target (two PRs after PR 5) against
-    these exact spellings — an edit here must update both.
-    """
-
-    def test_explore_shim_message_is_pinned(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            explore_symmetry_reduced(mutex_system(), mutual_exclusion_invariant)
-        messages = [
-            str(w.message) for w in caught
-            if issubclass(w.category, DeprecationWarning)
-        ]
-        assert messages == [
-            'explore_symmetry_reduced() is deprecated; call '
-            'explore(..., reduction="symmetry") instead'
-        ]
-
-    def test_sweep_executor_shim_message_is_pinned(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            mutex_sweep(executor=SerialExecutor())
-        messages = [
-            str(w.message) for w in caught
-            if issubclass(w.category, DeprecationWarning)
-        ]
-        assert messages == [
-            'sweep(executor=...) is deprecated; pass backend="serial", '
-            'backend="process" or backend=<executor> instead'
-        ]
-
-
-class TestSweepShim:
-    def test_executor_kwarg_warns_and_matches_backend(self):
-        new = mutex_sweep(backend=SerialExecutor())
-        with pytest.warns(DeprecationWarning, match="sweep\\(executor=...\\)"):
-            old = mutex_sweep(executor=SerialExecutor())
-        assert [r.trace.events for r in old.records] == [
-            r.trace.events for r in new.records
-        ]
-
-    def test_backend_and_executor_conflict(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigurationError, match="not both"):
-                mutex_sweep(backend="serial", executor=SerialExecutor())
 
 
 class TestResolveExecutor:

@@ -81,17 +81,21 @@ class TestExplorationBench:
         problems = harness.check_baseline(doc(771, verdict="bounded-ok"), baseline)
         assert problems and "verdict changed" in problems[0]
 
-    def test_quick_bench_writes_schema_v4(self, harness, tmp_path, capsys):
+    def test_quick_bench_writes_schema_v5(self, harness, tmp_path, capsys):
         out = tmp_path / "bench.json"
         import json
 
-        code = harness.main(["--bench", "--quick", "--bench-out", str(out)])
+        code = harness.main([
+            "--bench", "--quick", "--bench-out", str(out),
+            "--kernel", "compiled",
+        ])
         capsys.readouterr()
         assert code == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == "repro.bench_explore/v4"
+        assert document["schema"] == "repro.bench_explore/v5"
         assert document["rng_seed"] == 5
         assert document["backend"] == "serial"
+        assert document["kernel"] == "compiled"
         assert document["workers"] == 1
         assert document["host_cpus"] >= 1
         assert document["telemetry"] == {
@@ -102,6 +106,18 @@ class TestExplorationBench:
             assert (
                 record["canonical"]["states"] <= record["seed"]["states"]
             )
+            # v5: the compiled block repeats both walks on the
+            # table-compiled kernel; state counts are asserted equal by
+            # the harness before anything is recorded.
+            block = record["compiled"]
+            assert block["kernel"] == "compiled"
+            assert block["states"] == record["seed"]["states"]
+            assert block["verdict"] == record["seed"]["verdict"]
+            speedup = block["speedup_vs_interpreted"]
+            assert speedup is None or speedup > 0
+            nested = block["canonical"]
+            assert nested["states"] == record["canonical"]["states"]
+            assert nested["kernel"] == "compiled"
         # v4 adds a graph-retention/verification block to every instance
         # whose registry entry declares liveness properties.
         verified = [r for r in document["instances"] if "verify" in r]
