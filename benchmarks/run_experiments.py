@@ -499,6 +499,64 @@ def _write_bench_manifest(directory, index, label, engine, budgets, record,
     return name
 
 
+def _bench_sweep_farm():
+    """Measure the disk-backed sweep farm on a micro-grid; return a dict.
+
+    Three numbers the baseline file tracks per release: drain
+    throughput (cells/s over a fresh farm), the fixed cost a
+    ``--resume`` cycle adds on an already-complete farm (open the run
+    table, reset stale claims, discover nothing pending), and the disk
+    footprint of the verify cell's retained edge array.
+    """
+    import shutil
+    import tempfile
+
+    from repro.farm import (
+        GRAPHS_DIRNAME,
+        create_farm,
+        drain_farm,
+        resume_farm,
+    )
+
+    config = {
+        "problem": "figure-1-mutex",
+        "instance": "figure-1-mutex(m=3)",
+        "namings": [{"type": "identity"}, {"type": "random", "seed": 1}],
+        "adversaries": [
+            {"type": "random", "seed": 1},
+            {"type": "random", "seed": 2},
+            {"type": "round-robin"},
+        ],
+        "max_steps": 20_000,
+        "retain_graph": True,
+    }
+    root = Path(tempfile.mkdtemp(prefix="repro-farm-bench-"))
+    try:
+        farm = root / "farm"
+        cells = create_farm(farm, config)
+        start = time.perf_counter()
+        result = drain_farm(farm)
+        drain_seconds = time.perf_counter() - start
+        assert result.complete, "farm bench grid did not drain clean"
+        start = time.perf_counter()
+        resume_farm(farm)
+        drain_farm(farm)
+        resume_seconds = time.perf_counter() - start
+        edge_bytes = sum(
+            path.stat().st_size
+            for path in (farm / GRAPHS_DIRNAME).rglob("edges.bin")
+        )
+        return {
+            "grid_cells": cells,
+            "cells_per_second": round(cells / drain_seconds, 2)
+            if drain_seconds > 0 else None,
+            "resume_overhead_seconds": round(resume_seconds, 4),
+            "retained_edge_bytes": edge_bytes,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
                           telemetry_dir=None, kernel="interpreted"):
     """Run every instance under both engines; return the JSON document.
@@ -729,7 +787,7 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
     if telemetry_dir is not None:
         generated += f" --telemetry {telemetry_dir}"
     return {
-        "schema": "repro.bench_explore/v5",
+        "schema": "repro.bench_explore/v6",
         "generated_by": generated,
         "rng_seed": rng_seed,
         "quick": quick,
@@ -743,6 +801,11 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
             "dir": str(telemetry_dir) if telemetry_dir is not None else None,
             "manifests": manifest_names,
         },
+        # v6: disk-backed sweep-farm micro-benchmark (drain throughput,
+        # resume fixed cost, retained edge-array footprint).  Wall-clock
+        # numbers are advisory; check_baseline reads only the
+        # backend-invariant exploration fields above.
+        "sweep": _bench_sweep_farm(),
         "instances": records,
     }
 

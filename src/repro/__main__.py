@@ -1,6 +1,7 @@
 """Command-line entry point: ``python -m repro``.
 
-Subcommands:
+Subcommands (every key of ``COMMANDS`` below appears here; pinned by
+``tests/test_docs.py``):
 
 * ``demo``        — run the three algorithms once and print what happened
                     (default when no subcommand is given);
@@ -17,12 +18,20 @@ Subcommands:
                     bounded domains, anonymity, atomicity, pc
                     annotations), with ``--format sarif``/``--strict``
                     for CI gating;
+* ``sweep``       — run a naming × adversary grid as a resumable,
+                    disk-backed farm (``--out DIR`` persists a sqlite
+                    run table that ``--resume DIR`` picks up exactly
+                    where a killed sweep stopped; ``--workers N`` drains
+                    it with N claiming processes; ``--retain-graph``
+                    adds an exhaustive verify cell whose StateGraph
+                    lands in the farm's mmap disk store);
 * ``experiments`` — regenerate the paper-claim experiment tables (E1-E14
                     of the E1-E17 index in DESIGN.md; the E15-E17
                     extension tables run via ``pytest benchmarks/
                     --benchmark-only``; slower);
 * ``report``      — validate and summarise run manifests written by the
-                    telemetry subsystem (``repro.obs``).
+                    telemetry subsystem (``repro.obs``), including farm
+                    directories (cell status counts + manifest table).
 """
 
 from __future__ import annotations
@@ -242,6 +251,153 @@ def cmd_report(rest=()) -> int:
     return report_main(list(rest))
 
 
+def cmd_sweep(rest=()) -> int:
+    """Resumable disk-backed sweep farm (see repro.farm)."""
+    from repro.errors import ReproError
+    from repro.farm import (
+        create_farm,
+        farm_result,
+        is_farm_dir,
+        parse_adversary_spec,
+        parse_naming_spec,
+        resume_farm,
+        run_farm,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Run a naming × adversary grid over a problem from "
+        "the registry.  With --out DIR the grid persists as a sqlite "
+        "run table workers claim cells from; a killed run restarts with "
+        "--resume DIR exactly where it stopped (done cells are never "
+        "re-executed).  Without --out the grid runs in-memory, like "
+        "repro.analysis.experiments.sweep().",
+    )
+    parser.add_argument("--problem", metavar="KEY",
+                        help="problem registry key (e.g. figure-1-mutex)")
+    parser.add_argument("--instance", metavar="LABEL", default=None,
+                        help="registry instance supplying the parameters")
+    parser.add_argument("--param", action="append", default=None,
+                        metavar="K=V",
+                        help="explicit builder parameter (repeatable; "
+                        "mutually exclusive with --instance)")
+    parser.add_argument("--namings", default="identity,random:1",
+                        metavar="SPECS",
+                        help="comma-separated naming specs: identity | "
+                        "random:SEED (default: %(default)s)")
+    parser.add_argument("--adversaries", default="random:1,random:2,round-robin",
+                        metavar="SPECS",
+                        help="comma-separated adversary specs: round-robin | "
+                        "random:SEED | burst:SEED | staged:PREFIX:SEED "
+                        "(default: %(default)s)")
+    parser.add_argument("--max-steps", type=int, default=200_000, metavar="N",
+                        help="step budget per run cell (default: %(default)s)")
+    parser.add_argument("--retain-graph", action="store_true",
+                        help="append one exhaustive verify cell whose "
+                        "retained StateGraph is persisted in the farm's "
+                        "disk store (graphs/cell-*/)")
+    parser.add_argument("--verify-max-states", type=int, default=None,
+                        metavar="N", help="state budget for the verify cell")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="create a farm directory and drain it")
+    parser.add_argument("--resume", metavar="DIR", default=None,
+                        help="reclaim a killed farm's cells and drain the rest")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="claiming worker processes (needs --out/--resume)")
+    args = parser.parse_args(list(rest))
+
+    if args.resume is not None:
+        if args.out is not None or args.problem is not None:
+            parser.error("--resume takes its grid from the farm directory; "
+                         "drop --out/--problem")
+        if not is_farm_dir(args.resume):
+            parser.error(f"{args.resume}: no run table found "
+                         "(not a farm directory?)")
+        reclaimed = resume_farm(args.resume)
+        before = farm_result(args.resume)
+        remaining = before.counts["pending"]
+        print(f"resume: reclaimed {reclaimed} stale claim(s), "
+              f"{remaining} cell(s) to run")
+        if remaining == 0:
+            print(before.summary())
+            return 1 if before.errors else 0
+        result = run_farm(args.resume, workers=args.workers)
+    else:
+        if args.problem is None:
+            parser.error("--problem is required (unless resuming)")
+        if args.param is not None and args.instance is not None:
+            parser.error("pass either --param or --instance, not both")
+        params = None
+        if args.param is not None:
+            params = {}
+            for item in args.param:
+                key, sep, value = item.partition("=")
+                if not sep:
+                    parser.error(f"--param needs K=V, got {item!r}")
+                try:
+                    params[key] = int(value)
+                except ValueError:
+                    params[key] = value
+        try:
+            config = {
+                "problem": args.problem,
+                "instance": args.instance,
+                "params": params,
+                "namings": [
+                    parse_naming_spec(spec)
+                    for spec in args.namings.split(",") if spec.strip()
+                ],
+                "adversaries": [
+                    parse_adversary_spec(spec)
+                    for spec in args.adversaries.split(",") if spec.strip()
+                ],
+                "max_steps": args.max_steps,
+                "retain_graph": args.retain_graph,
+                "verify_max_states": args.verify_max_states,
+            }
+        except ReproError as exc:
+            parser.error(str(exc))
+        if args.out is not None:
+            if is_farm_dir(args.out):
+                parser.error(f"{args.out}: run table already exists; "
+                             "use --resume to continue it")
+            try:
+                count = create_farm(args.out, config)
+            except ReproError as exc:
+                parser.error(str(exc))
+            print(f"farm: {count} cell(s) at {args.out}")
+            result = run_farm(args.out, workers=args.workers)
+        else:
+            if args.workers > 1:
+                parser.error("--workers needs a shared run table; "
+                             "add --out DIR")
+            result = _sweep_in_memory(config)
+
+    print(result.summary())
+    violations = sum(
+        1 for row in result.done
+        if (row.result or {}).get("verdict") not in ("ok", "verified", None)
+    )
+    if violations:
+        print(f"{violations} cell(s) recorded property violations")
+    for row in result.errors:
+        print(f"[error] cell {row.index}: {row.error}", file=sys.stderr)
+    return 1 if result.errors else 0
+
+
+def _sweep_in_memory(config) -> "object":
+    """One-shot sweep over a MemoryRunTable (no farm directory)."""
+    from repro.farm import FarmResult, MemoryRunTable, execute_cell, grid_cells
+
+    table = MemoryRunTable(grid_cells(config))
+    while True:
+        cell = table.claim("cli")
+        if cell is None:
+            break
+        table.finish(cell.index, execute_cell(config, cell, graphs_dir=None))
+    return FarmResult(problem=config["problem"], rows=table.rows())
+
+
 def cmd_experiments() -> int:
     import importlib.util
     from pathlib import Path
@@ -261,6 +417,23 @@ def cmd_experiments() -> int:
     return 0
 
 
+#: The subcommand registry: name → handler.  Every key must appear in
+#: the module docstring above (asserted by tests/test_docs.py).
+COMMANDS = {
+    "demo": cmd_demo,
+    "verify": cmd_verify,
+    "attack": cmd_attack,
+    "lint": cmd_lint,
+    "sweep": cmd_sweep,
+    "experiments": cmd_experiments,
+    "report": cmd_report,
+}
+
+#: Subcommands with their own ArgumentParser: the remaining argv is
+#: forwarded to them instead of being rejected here.
+_FORWARDS_REST = frozenset({"verify", "lint", "sweep", "report"})
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -270,32 +443,24 @@ def main(argv=None) -> int:
         "command",
         nargs="?",
         default="demo",
-        choices=["demo", "verify", "attack", "lint", "experiments", "report"],
+        choices=list(COMMANDS),
         help="demo (default) | verify [--list --problem --instance "
              "--backend --kernel --telemetry] (exhaustive safety + "
              "liveness over "
              "the problem registry) | attack | lint | "
+             "sweep [--out DIR --resume DIR --workers N] (resumable "
+             "disk-backed naming × adversary grid) | "
              "experiments (tables E1-E14 of the E1-E17 index; E15-E17 "
              "run via pytest benchmarks/) | "
-             "report <manifest-or-dir> (summarise repro.obs run manifests)",
+             "report <manifest-or-dir> (summarise repro.obs run "
+             "manifests or a sweep-farm directory)",
     )
     args, rest = parser.parse_known_args(argv)
-    if args.command == "lint":
-        # Forward the remaining flags (e.g. --skip-races) to the lint CLI.
-        return cmd_lint(rest)
-    if args.command == "report":
-        # Forward the manifest path / flags to the report CLI.
-        return cmd_report(rest)
-    if args.command == "verify":
-        # Forward the selection/backend flags to the verify CLI.
-        return cmd_verify(rest)
+    if args.command in _FORWARDS_REST:
+        return COMMANDS[args.command](rest)
     if rest:
         parser.error(f"unrecognized arguments: {' '.join(rest)}")
-    return {
-        "demo": cmd_demo,
-        "attack": cmd_attack,
-        "experiments": cmd_experiments,
-    }[args.command]()
+    return COMMANDS[args.command]()
 
 
 if __name__ == "__main__":

@@ -63,6 +63,18 @@ class ManifestValidationError(ReproError):
     """
 
 
+class FarmError(ReproError):
+    """A sweep-farm run table refused an operation.
+
+    Raised by :mod:`repro.farm` when the claim protocol is violated
+    (finishing a cell that is not claimed, claiming from a table that
+    does not exist, creating a farm over an existing run table) or when
+    a farm directory is structurally broken.  The claim transaction
+    itself never raises this for the benign case — "someone else claimed
+    it first" simply returns no cell.
+    """
+
+
 class VerificationError(ReproError):
     """The exhaustive verifier could not produce a verdict.
 

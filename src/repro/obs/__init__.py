@@ -29,6 +29,7 @@ manifest schema.
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     RunManifest,
+    TruncatedManifestWarning,
     host_fingerprint,
     load_manifests,
     validate_manifest,
@@ -53,6 +54,7 @@ __all__ = [
     "host_fingerprint",
     "load_manifests",
     "write_manifests_ndjson",
+    "TruncatedManifestWarning",
     "render_report",
     "report_main",
 ]

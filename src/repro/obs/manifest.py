@@ -26,6 +26,7 @@ import json
 import os
 import platform
 import subprocess
+import warnings
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
@@ -36,12 +37,24 @@ from repro.errors import ManifestValidationError
 __all__ = [
     "MANIFEST_SCHEMA",
     "RunManifest",
+    "TruncatedManifestWarning",
     "validate_manifest",
     "host_fingerprint",
     "current_git_revision",
     "load_manifests",
     "write_manifests_ndjson",
 ]
+
+
+class TruncatedManifestWarning(UserWarning):
+    """An NDJSON manifest stream ended in a torn, unparseable line.
+
+    Exactly the state a writer killed mid-append leaves behind (the
+    sweep farm's per-worker manifest streams, most prominently).  Only
+    emitted when the caller opts in via
+    ``load_manifests(..., tolerate_truncated_tail=True)`` — by default
+    a torn line is still a hard parse error.
+    """
 
 #: Current manifest schema identifier.  Bump the version suffix on any
 #: breaking field change; readers reject versions they do not know.
@@ -293,7 +306,10 @@ def write_manifests_ndjson(
     return target
 
 
-def load_manifests(path: Union[str, Path]) -> List[RunManifest]:
+def load_manifests(
+    path: Union[str, Path],
+    tolerate_truncated_tail: bool = False,
+) -> List[RunManifest]:
     """Load and validate manifests from a file or a directory.
 
     * a ``.ndjson`` file yields one manifest per non-blank line;
@@ -302,6 +318,12 @@ def load_manifests(path: Union[str, Path]) -> List[RunManifest]:
       (sorted by name, non-recursive) — ``BENCH_explore.json`` style
       non-manifest JSON neighbours are rejected loudly by validation,
       so point this at a dedicated telemetry directory.
+
+    ``tolerate_truncated_tail=True`` lets the *final* non-blank line of
+    an ``.ndjson`` stream be unparseable JSON: it is dropped with a
+    :class:`TruncatedManifestWarning` instead of raising.  That is the
+    exact state a writer killed mid-append leaves behind — any earlier
+    torn line is corruption, not a crash artifact, and still raises.
 
     Raises :class:`~repro.errors.ManifestValidationError` on the first
     file that fails validation (naming the file), and ``OSError`` /
@@ -320,14 +342,28 @@ def load_manifests(path: Union[str, Path]) -> List[RunManifest]:
             )
         manifests: List[RunManifest] = []
         for entry in files:
-            manifests.extend(load_manifests(entry))
+            manifests.extend(
+                load_manifests(entry, tolerate_truncated_tail)
+            )
         return manifests
     if source.suffix == ".ndjson":
-        documents = [
-            json.loads(line)
-            for line in source.read_text().splitlines()
-            if line.strip()
+        lines = [
+            line for line in source.read_text().splitlines() if line.strip()
         ]
+        documents: List[Any] = []
+        for position, line in enumerate(lines):
+            try:
+                documents.append(json.loads(line))
+            except json.JSONDecodeError:
+                if tolerate_truncated_tail and position == len(lines) - 1:
+                    warnings.warn(
+                        f"{source}: dropped truncated final line "
+                        "(writer killed mid-append?)",
+                        TruncatedManifestWarning,
+                        stacklevel=2,
+                    )
+                    break
+                raise
     else:
         documents = [json.loads(source.read_text())]
     loaded: List[RunManifest] = []

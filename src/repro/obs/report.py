@@ -13,13 +13,19 @@ from __future__ import annotations
 
 import os
 import sys
+import warnings
+from pathlib import Path
 from typing import Any, List, Optional, Sequence
 
 from repro.analysis.tables import render_table
 from repro.errors import ManifestValidationError
-from repro.obs.manifest import RunManifest, load_manifests
+from repro.obs.manifest import (
+    RunManifest,
+    TruncatedManifestWarning,
+    load_manifests,
+)
 
-__all__ = ["render_report", "report_main"]
+__all__ = ["render_report", "render_farm_summary", "report_main"]
 
 
 def _outcome_number(manifest: RunManifest, *keys: str) -> Any:
@@ -85,20 +91,77 @@ def render_report(manifests: Sequence[RunManifest], title: Optional[str] = None)
     )
 
 
+def render_farm_summary(directory: Path) -> str:
+    """Status summary of a sweep-farm directory's run table.
+
+    One line per status count plus the grid's identity and the disk
+    footprint of any retained graph stores — the "how far did my farm
+    get" view ``repro report <farm-dir>`` leads with.
+    """
+    from repro.farm import GRAPHS_DIRNAME, farm_result, graph_store_bytes
+
+    result = farm_result(directory)
+    counts = result.counts
+    lines = [f"sweep farm — {directory}", result.summary()]
+    claimed = counts["claimed"]
+    if claimed:
+        lines.append(
+            f"note: {claimed} cell(s) still claimed — a live worker, or a "
+            "killed one (resume with: python -m repro sweep --resume "
+            f"{directory})"
+        )
+    retained = graph_store_bytes(directory / GRAPHS_DIRNAME)
+    if retained:
+        lines.append(f"retained graph stores: {retained} bytes on disk")
+    for row in result.errors:
+        lines.append(f"[error] cell {row.index}: {row.error}")
+    return "\n".join(lines)
+
+
 def report_main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI body for ``python -m repro report <manifest-or-dir>``."""
     args = list(argv or [])
     if len(args) != 1 or args[0] in ("-h", "--help"):
         print(
-            "usage: python -m repro report <manifest.json | manifests.ndjson | dir>\n"
+            "usage: python -m repro report "
+            "<manifest.json | manifests.ndjson | dir | farm-dir>\n"
             "\n"
             "Validate run manifests against the schema and print a summary\n"
-            "table (see docs/OBSERVABILITY.md for the manifest format).",
+            "table (see docs/OBSERVABILITY.md for the manifest format).\n"
+            "A sweep-farm directory (one holding runs.sqlite) additionally\n"
+            "gets its run-table status summary; its manifest streams are\n"
+            "read tolerating a crash-truncated final line.",
             file=sys.stderr if len(args) != 1 else sys.stdout,
         )
         return 0 if args and args[0] in ("-h", "--help") else 2
+
+    farm_dir: Optional[Path] = None
+    source = Path(args[0])
+    if source.is_dir() and (source / "runs.sqlite").exists():
+        farm_dir = source
     try:
-        manifests = load_manifests(args[0])
+        if farm_dir is not None:
+            from repro.farm import MANIFEST_PREFIX
+
+            print(render_farm_summary(farm_dir))
+            streams = sorted(farm_dir.glob(f"{MANIFEST_PREFIX}*.ndjson"))
+            manifests: List[RunManifest] = []
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always", TruncatedManifestWarning)
+                for stream in streams:
+                    manifests.extend(
+                        load_manifests(stream, tolerate_truncated_tail=True)
+                    )
+            for warning in caught:
+                print(f"warning: {warning.message}", file=sys.stderr)
+            if not streams:
+                # A freshly created (or instantly killed) farm: status
+                # summary above is the whole report.
+                from repro.farm import farm_result
+
+                return 1 if farm_result(farm_dir).errors else 0
+        else:
+            manifests = load_manifests(args[0])
     except ManifestValidationError as exc:
         print(f"invalid manifest(s): {exc}", file=sys.stderr)
         return 2
@@ -119,4 +182,8 @@ def report_main(argv: Optional[Sequence[str]] = None) -> int:
         # dead pipe cannot raise a second time (the stdlib recipe).
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
+    if farm_dir is not None:
+        from repro.farm import farm_result
+
+        return 1 if farm_result(farm_dir).errors else 0
     return 0

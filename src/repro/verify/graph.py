@@ -48,7 +48,11 @@ NodeKey = bytes
 #: One labelled edge: (stepping pid, destination node key).
 Edge = Tuple[ProcessId, NodeKey]
 
-_MAGIC = b"repro.stategraph/v1"
+#: Leading magic of the canonical :meth:`StateGraph.to_bytes` framing.
+#: Public so the disk store (:mod:`repro.farm.store`) can emit the same
+#: serialisation without re-stating the format.
+STATEGRAPH_MAGIC = b"repro.stategraph/v1"
+_MAGIC = STATEGRAPH_MAGIC
 
 
 @dataclass

@@ -172,3 +172,45 @@ class TestHostFingerprint:
         assert isinstance(fingerprint["platform"], str)
         assert isinstance(fingerprint["python"], str)
         assert fingerprint["cpus"] is None or fingerprint["cpus"] >= 1
+
+
+class TestTruncatedTail:
+    """A worker killed mid-append leaves a torn final NDJSON line."""
+
+    def torn_stream(self, tmp_path, cut=25):
+        manifests = [make_manifest(naming=f"n{k}") for k in range(3)]
+        path = write_manifests_ndjson(manifests, tmp_path / "runs.ndjson")
+        text = path.read_text()
+        path.write_text(text[:-cut])
+        return manifests, path
+
+    def test_default_load_still_raises(self, tmp_path):
+        _, path = self.torn_stream(tmp_path)
+        with pytest.raises(json.JSONDecodeError):
+            load_manifests(path)
+
+    def test_tolerant_load_drops_only_the_final_line(self, tmp_path):
+        from repro.obs import TruncatedManifestWarning
+
+        manifests, path = self.torn_stream(tmp_path)
+        with pytest.warns(TruncatedManifestWarning, match="truncated final line"):
+            loaded = load_manifests(path, tolerate_truncated_tail=True)
+        assert loaded == manifests[:-1]
+
+    def test_tolerant_load_of_intact_stream_warns_nothing(self, tmp_path):
+        import warnings as _warnings
+
+        manifests = [make_manifest()]
+        path = write_manifests_ndjson(manifests, tmp_path / "runs.ndjson")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert load_manifests(path, tolerate_truncated_tail=True) == manifests
+
+    def test_torn_middle_line_still_raises(self, tmp_path):
+        manifests = [make_manifest(naming=f"n{k}") for k in range(3)]
+        path = write_manifests_ndjson(manifests, tmp_path / "runs.ndjson")
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:40]  # corruption, not a crash tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            load_manifests(path, tolerate_truncated_tail=True)

@@ -57,3 +57,17 @@ class TestPackageDocstring:
         exec(compile("\n".join(lines), "<repro docstring>", "exec"), namespace)
         trace = namespace["trace"]
         assert len(set(trace.outputs.values())) == 1
+
+
+class TestCliDocstring:
+    def test_every_subcommand_appears_in_main_docstring(self):
+        # `python -m repro --help` shows this docstring; a subcommand
+        # missing from it is invisible to users.
+        import repro.__main__ as cli
+
+        doc = cli.__doc__
+        for name in cli.COMMANDS:
+            assert f"* ``{name}``" in doc, (
+                f"subcommand {name!r} registered but undocumented in "
+                "the repro.__main__ docstring"
+            )

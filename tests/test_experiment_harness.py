@@ -81,7 +81,7 @@ class TestExplorationBench:
         problems = harness.check_baseline(doc(771, verdict="bounded-ok"), baseline)
         assert problems and "verdict changed" in problems[0]
 
-    def test_quick_bench_writes_schema_v5(self, harness, tmp_path, capsys):
+    def test_quick_bench_writes_schema_v6(self, harness, tmp_path, capsys):
         out = tmp_path / "bench.json"
         import json
 
@@ -92,7 +92,15 @@ class TestExplorationBench:
         capsys.readouterr()
         assert code == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == "repro.bench_explore/v5"
+        assert document["schema"] == "repro.bench_explore/v6"
+        # v6: the sweep-farm micro-benchmark block
+        sweep_block = document["sweep"]
+        assert sweep_block["grid_cells"] > 0
+        assert sweep_block["cells_per_second"] is None or (
+            sweep_block["cells_per_second"] > 0
+        )
+        assert sweep_block["resume_overhead_seconds"] >= 0.0
+        assert sweep_block["retained_edge_bytes"] > 0
         assert document["rng_seed"] == 5
         assert document["backend"] == "serial"
         assert document["kernel"] == "compiled"
