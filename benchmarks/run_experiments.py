@@ -60,6 +60,7 @@ from repro.memory.naming import (
     all_namings_for_tests,
 )
 from repro.obs import RunManifest, Telemetry
+from repro.request import RunRequest
 from repro.runtime.adversary import (
     RandomAdversary,
     SoloAdversary,
@@ -186,7 +187,7 @@ def e3_e4_consensus():
             adversaries=standard_adversaries(range(3)),
             checkers_factory=checkers,
             params={"n": n},
-            max_steps=150_000,
+            request=RunRequest(max_steps=150_000),
         )
         assert result.all_ok, result.describe_failures()
         rows.append([n, result.runs, 0, "agreement+validity+OF-termination"])
@@ -557,8 +558,62 @@ def _bench_sweep_farm():
         shutil.rmtree(root, ignore_errors=True)
 
 
+def _bench_fuzz(rng_seed, episodes=32):
+    """Measure the seeded fuzzer on one mutant and one clean instance.
+
+    The numbers the baseline file tracks per release: schedule (episode)
+    throughput, step throughput, distinct-state coverage, and certified
+    violations per strategy family.  The mutant row doubles as a live
+    sensitivity check — a fuzzer that stops finding Theorem 3.4's
+    livelock on even m is broken, so the block asserts it; the clean row
+    asserts the oracles' soundness (zero violations on odd m).
+    """
+    from repro.fuzz.engine import run_fuzz
+    from repro.fuzz.strategies import STRATEGY_FAMILIES
+
+    instances = {}
+    for instance, expect_violation in (
+        ("figure-1-mutex-even-m", True),
+        ("figure-1-mutex(m=3)", False),
+    ):
+        start = time.perf_counter()
+        report = run_fuzz(
+            RunRequest(
+                problem="figure-1-mutex", instance=instance, seed=rng_seed
+            ),
+            episodes=episodes,
+        )
+        elapsed = time.perf_counter() - start
+        assert report.found == expect_violation, (
+            f"{instance}: fuzz found={report.found}, "
+            f"expected {expect_violation}"
+        )
+        instances[report.instance] = {
+            "episodes": report.episodes_run,
+            "steps": report.steps,
+            "distinct_states": report.distinct_states,
+            "violations": len(report.violations),
+            "violations_by_family": dict(report.by_family()),
+            # Wall-clock throughput is advisory (host-dependent); the
+            # coverage and violation counts above are seed-deterministic.
+            "schedules_per_second": (
+                round(report.episodes_run / elapsed, 1) if elapsed > 0 else None
+            ),
+            "steps_per_second": (
+                round(report.steps / elapsed, 1) if elapsed > 0 else None
+            ),
+        }
+    return {
+        "seed": rng_seed,
+        "episodes": episodes,
+        "families": list(STRATEGY_FAMILIES),
+        "instances": instances,
+    }
+
+
 def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
-                          telemetry_dir=None, kernel="interpreted"):
+                          telemetry_dir=None, kernel="interpreted",
+                          max_states=None):
     """Run every instance under both engines; return the JSON document.
 
     With ``backend="parallel"`` each instance additionally runs the
@@ -583,6 +638,9 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
     that directory; the returned document's ``telemetry`` block lists
     the manifest file names.
     """
+    shared_budgets = dict(BENCH_BUDGETS)
+    if max_states is not None:
+        shared_budgets["max_states"] = max_states
     parallel_backend = None
     if backend == "parallel":
         parallel_backend = resolve_backend("parallel", workers)
@@ -599,7 +657,7 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
     for index, (label, factory, invariant, overrides, spec, instance) in (
         enumerate(_bench_instances(quick))
     ):
-        budgets = dict(BENCH_BUDGETS, **(overrides or {}))
+        budgets = dict(shared_budgets, **(overrides or {}))
         system = factory()
         seed_tel = bench_telemetry()
         seed_res = explore(
@@ -784,10 +842,12 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
         generated += f" --backend parallel --workers {parallel_backend.workers}"
     if kernel == "compiled":
         generated += " --kernel compiled"
+    if max_states is not None:
+        generated += f" --max-states {max_states}"
     if telemetry_dir is not None:
         generated += f" --telemetry {telemetry_dir}"
     return {
-        "schema": "repro.bench_explore/v6",
+        "schema": "repro.bench_explore/v7",
         "generated_by": generated,
         "rng_seed": rng_seed,
         "quick": quick,
@@ -795,7 +855,7 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
         "kernel": kernel,
         "workers": parallel_backend.workers if parallel_backend else 1,
         "host_cpus": os.cpu_count(),
-        "budgets": dict(BENCH_BUDGETS),
+        "budgets": dict(shared_budgets),
         "telemetry": {
             "enabled": telemetry_dir is not None,
             "dir": str(telemetry_dir) if telemetry_dir is not None else None,
@@ -806,6 +866,10 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
         # numbers are advisory; check_baseline reads only the
         # backend-invariant exploration fields above.
         "sweep": _bench_sweep_farm(),
+        # v7: seeded fuzzer micro-benchmark (schedule throughput,
+        # distinct-state coverage, certified violations per strategy
+        # family on one mutant + one clean instance).
+        "fuzz": _bench_fuzz(rng_seed),
         "instances": records,
     }
 
@@ -906,6 +970,11 @@ def main(argv=None):
              "every instance and record its speedup over the seed engine "
              "(default: interpreted only)",
     )
+    parser.add_argument(
+        "--max-states", type=int, default=None, metavar="N",
+        help="with --bench: override the shared max_states exploration "
+             "budget (instance-level bench_overrides still apply on top)",
+    )
     args = parser.parse_args(argv)
 
     if args.bench:
@@ -913,6 +982,7 @@ def main(argv=None):
             quick=args.quick, rng_seed=args.seed,
             backend=args.backend, workers=args.workers,
             telemetry_dir=args.telemetry, kernel=args.kernel,
+            max_states=args.max_states,
         )
         out = args.bench_out
         if out is None and not args.quick:

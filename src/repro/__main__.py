@@ -22,9 +22,18 @@ Subcommands (every key of ``COMMANDS`` below appears here; pinned by
                     disk-backed farm (``--out DIR`` persists a sqlite
                     run table that ``--resume DIR`` picks up exactly
                     where a killed sweep stopped; ``--workers N`` drains
-                    it with N claiming processes; ``--retain-graph``
+                    it with N claiming processes; ``--max-attempts N``
+                    retries transiently failed cells; ``--retain-graph``
                     adds an exhaustive verify cell whose StateGraph
                     lands in the farm's mmap disk store);
+* ``fuzz``        — seeded adversary-strategy fuzzing of registry
+                    instances (``repro.fuzz``): strategy families
+                    (lockstep, random, greedy, covering) hunt safety
+                    violations and livelock lassos; hits are shrunk to
+                    minimal schedules and certified by replay
+                    (``--problem``, ``--instance``, ``--seed``,
+                    ``--episodes``, ``--kernel``; ``--out/--resume/
+                    --workers`` shard episodes over a farm);
 * ``experiments`` — regenerate the paper-claim experiment tables (E1-E14
                     of the E1-E17 index in DESIGN.md; the E15-E17
                     extension tables run via ``pytest benchmarks/
@@ -72,10 +81,11 @@ def cmd_demo() -> int:
 
 def cmd_verify(rest=()) -> int:
     """Exhaustive safety + liveness verification of registry instances."""
+    from repro.cliflags import reject_flag
     from repro.errors import VerificationError
     from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
     from repro.problems import get_problem, instances_with_role
-    from repro.runtime.backends import resolve_backend
+    from repro.request import RunRequest
     from repro.verify import verify_instance, write_verify_manifest
 
     parser = argparse.ArgumentParser(
@@ -141,6 +151,11 @@ def cmd_verify(rest=()) -> int:
         help="write one run manifest per instance into DIR "
         "(readable by `python -m repro report DIR`)",
     )
+    reject_flag(
+        parser, "--seed", "verify",
+        "exhaustive verification quantifies over every schedule; "
+        "there is nothing to seed (randomised search is `repro fuzz`)",
+    )
     args = parser.parse_args(list(rest))
     if args.kernel == "compiled" and args.backend != "serial":
         parser.error(
@@ -185,22 +200,18 @@ def cmd_verify(rest=()) -> int:
 
     failed = 0
     for spec, inst in selected:
-        if args.kernel == "compiled":
+        telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+        request = RunRequest(
             # verify_instance builds the compiled backend itself so it
             # can seed it with the spec's declared value domain.
-            backend = None
-        else:
-            backend = resolve_backend(args.backend, workers=args.workers)
-        telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+            kernel=args.kernel if args.kernel == "compiled" else None,
+            backend=None if args.kernel == "compiled" else args.backend,
+            workers=args.workers,
+            max_states=args.max_states,
+            telemetry=telemetry,
+        )
         try:
-            report = verify_instance(
-                spec,
-                inst,
-                backend=backend,
-                kernel=args.kernel if args.kernel == "compiled" else None,
-                telemetry=telemetry,
-                max_states=args.max_states,
-            )
+            report = verify_instance(spec, inst, request=request)
         except VerificationError as exc:
             failed += 1
             print(f"[FAIL] {inst.label}: {exc}")
@@ -251,8 +262,16 @@ def cmd_report(rest=()) -> int:
     return report_main(list(rest))
 
 
+def cmd_fuzz(rest=()) -> int:
+    """Seeded adversary-strategy fuzzing (see repro.fuzz)."""
+    from repro.fuzz.cli import fuzz_main
+
+    return fuzz_main(list(rest))
+
+
 def cmd_sweep(rest=()) -> int:
     """Resumable disk-backed sweep farm (see repro.farm)."""
+    from repro.cliflags import reject_flag
     from repro.errors import ReproError
     from repro.farm import (
         create_farm,
@@ -304,6 +323,32 @@ def cmd_sweep(rest=()) -> int:
                         help="reclaim a killed farm's cells and drain the rest")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="claiming worker processes (needs --out/--resume)")
+    parser.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                        help="per-cell retry budget: transiently failed "
+                        "cells re-enter pending until they have been "
+                        "attempted N times (default: 1 — errors stay "
+                        "terminal)")
+    reject_flag(
+        parser, "--kernel", "sweep",
+        "grid cells replay live System runs through the interpreted "
+        "scheduler; the compiled kernel serves the exhaustive walk "
+        "(`repro verify --kernel compiled`)",
+    )
+    reject_flag(
+        parser, "--backend", "sweep",
+        "the farm schedules cells across claiming processes; pick "
+        "parallelism with --workers",
+    )
+    reject_flag(
+        parser, "--seed", "sweep",
+        "adversary seeds ride in the --adversaries specs "
+        "(e.g. random:SEED)",
+    )
+    reject_flag(
+        parser, "--max-states", "sweep",
+        "run cells are step-bounded (--max-steps); the verify cell's "
+        "state budget is --verify-max-states",
+    )
     args = parser.parse_args(list(rest))
 
     if args.resume is not None:
@@ -313,15 +358,16 @@ def cmd_sweep(rest=()) -> int:
         if not is_farm_dir(args.resume):
             parser.error(f"{args.resume}: no run table found "
                          "(not a farm directory?)")
-        reclaimed = resume_farm(args.resume)
+        reclaimed = resume_farm(args.resume, max_attempts=args.max_attempts)
         before = farm_result(args.resume)
         remaining = before.counts["pending"]
-        print(f"resume: reclaimed {reclaimed} stale claim(s), "
+        print(f"resume: reclaimed {reclaimed} cell(s), "
               f"{remaining} cell(s) to run")
         if remaining == 0:
             print(before.summary())
             return 1 if before.errors else 0
-        result = run_farm(args.resume, workers=args.workers)
+        result = run_farm(args.resume, workers=args.workers,
+                          max_attempts=args.max_attempts)
     else:
         if args.problem is None:
             parser.error("--problem is required (unless resuming)")
@@ -354,6 +400,7 @@ def cmd_sweep(rest=()) -> int:
                 "max_steps": args.max_steps,
                 "retain_graph": args.retain_graph,
                 "verify_max_states": args.verify_max_states,
+                "max_attempts": args.max_attempts or 1,
             }
         except ReproError as exc:
             parser.error(str(exc))
@@ -366,7 +413,8 @@ def cmd_sweep(rest=()) -> int:
             except ReproError as exc:
                 parser.error(str(exc))
             print(f"farm: {count} cell(s) at {args.out}")
-            result = run_farm(args.out, workers=args.workers)
+            result = run_farm(args.out, workers=args.workers,
+                              max_attempts=args.max_attempts)
         else:
             if args.workers > 1:
                 parser.error("--workers needs a shared run table; "
@@ -425,13 +473,14 @@ COMMANDS = {
     "attack": cmd_attack,
     "lint": cmd_lint,
     "sweep": cmd_sweep,
+    "fuzz": cmd_fuzz,
     "experiments": cmd_experiments,
     "report": cmd_report,
 }
 
 #: Subcommands with their own ArgumentParser: the remaining argv is
 #: forwarded to them instead of being rejected here.
-_FORWARDS_REST = frozenset({"verify", "lint", "sweep", "report"})
+_FORWARDS_REST = frozenset({"verify", "lint", "sweep", "fuzz", "report"})
 
 
 def main(argv=None) -> int:
@@ -450,11 +499,19 @@ def main(argv=None) -> int:
              "the problem registry) | attack | lint | "
              "sweep [--out DIR --resume DIR --workers N] (resumable "
              "disk-backed naming × adversary grid) | "
+             "fuzz [--problem KEY --seed N --episodes N] (seeded "
+             "adversary-strategy fuzzing with certified, shrunk "
+             "violation schedules) | "
              "experiments (tables E1-E14 of the E1-E17 index; E15-E17 "
              "run via pytest benchmarks/) | "
              "report <manifest-or-dir> (summarise repro.obs run "
              "manifests or a sweep-farm directory)",
     )
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _FORWARDS_REST:
+        # Hand the whole tail to the subcommand's own parser before the
+        # top-level one can intercept --help (or any shared spelling).
+        return COMMANDS[argv[0]](argv[1:])
     args, rest = parser.parse_known_args(argv)
     if args.command in _FORWARDS_REST:
         return COMMANDS[args.command](rest)

@@ -257,6 +257,11 @@ def sweep(
     return result
 
 
+#: Sentinel distinguishing "keyword not passed" from an explicit value,
+#: so the deprecated execution keywords warn only when actually used.
+_UNSET: Any = object()
+
+
 def sweep_problem(
     problem: str,
     namings: Sequence[NamingAssignment],
@@ -264,10 +269,12 @@ def sweep_problem(
     checkers_factory: Callable[..., Iterable[PropertyChecker]],
     instance: Optional[str] = None,
     params: Optional[dict] = None,
-    max_steps: int = 200_000,
-    backend: Optional[Union[str, Any]] = None,
-    telemetry: Optional[TelemetrySink] = None,
+    max_steps: Any = _UNSET,
+    backend: Any = _UNSET,
+    telemetry: Any = _UNSET,
     manifest_dir: Optional[Union[str, Path]] = None,
+    *,
+    request: Optional[Any] = None,
 ) -> SweepResult:
     """:func:`sweep`, with the algorithm resolved through the problem
     registry instead of a hand-built factory.
@@ -277,13 +284,48 @@ def sweep_problem(
     the spec.  Parameters are taken from, in order of precedence:
     ``params`` (an explicit dict), the registry instance named by
     ``instance``, or — when both are omitted — the spec's first declared
-    instance.  Everything else forwards to :func:`sweep` unchanged, so
-    experiment scripts can stop carrying their own duplicate
-    algorithm/inputs tables.
+    instance.  Everything else forwards to :func:`sweep`.
+
+    Execution choices (``max_steps``, ``backend``, ``telemetry``, plus
+    ``instance``/``params`` defaults) ride on a
+    :class:`~repro.request.RunRequest` passed as ``request=``; the
+    pre-request ``max_steps=``/``backend=``/``telemetry=`` keywords
+    still work but emit ``DeprecationWarning`` (removed in PR 11).
     """
+    import warnings
     from functools import partial
 
     from repro.problems import get_problem
+    from repro.request import deprecated_keywords_message
+
+    legacy = {
+        name: value
+        for name, value in (
+            ("backend", backend),
+            ("max_steps", max_steps),
+            ("telemetry", telemetry),
+        )
+        if value is not _UNSET
+    }
+    if legacy:
+        warnings.warn(
+            deprecated_keywords_message("sweep_problem", sorted(legacy)),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    backend = legacy.get("backend")
+    max_steps = legacy.get("max_steps")
+    telemetry = legacy.get("telemetry")
+    if request is not None:
+        backend = request.merged("backend", backend)
+        max_steps = request.merged("max_steps", max_steps)
+        telemetry = request.merged("telemetry", telemetry)
+        if instance is None and request.instance is not None:
+            instance = request.instance
+        if params is None and request.params is not None:
+            params = request.params_dict()
+    if max_steps is None:
+        max_steps = 200_000
 
     spec = get_problem(problem)
     if params is not None:

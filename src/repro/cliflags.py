@@ -1,0 +1,152 @@
+"""Uniform execution-flag surface across the CLI.
+
+Every command that executes registry work shares one flag vocabulary —
+``--kernel``, ``--backend``, ``--workers``, ``--seed``,
+``--max-states`` — mirroring the fields of
+:class:`~repro.request.RunRequest`.  A command either *accepts* a flag
+(via the ``add_*_flag`` helpers below, so metavars/choices/help never
+drift between parsers) or *explicitly rejects* it with the uniform
+:func:`rejection_message` text saying why that execution axis does not
+apply — silently ignoring an execution flag is the one behaviour this
+module exists to rule out.
+
+The accept/reject matrix is pinned by ``tests/test_cliflags.py``:
+
+=============  ========  =========  =========  ======  ============
+command        --kernel  --backend  --workers  --seed  --max-states
+=============  ========  =========  =========  ======  ============
+verify         accept    accept     accept     reject  accept
+sweep          reject    reject     accept     reject  reject
+fuzz           accept    accept*    accept     accept  accept
+bench          accept    accept     accept     accept  accept
+=============  ========  =========  =========  ======  ============
+
+``*`` — fuzz accepts only ``--backend serial`` (episodes are serial by
+construction; parallelism is ``--workers`` over farm cells) and rejects
+``parallel`` with the same uniform message shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Optional, Sequence
+
+__all__ = [
+    "rejection_message",
+    "reject_flag",
+    "add_kernel_flag",
+    "add_backend_flag",
+    "add_workers_flag",
+    "add_seed_flag",
+    "add_max_states_flag",
+]
+
+
+def rejection_message(flag: str, command: str, reason: str) -> str:
+    """The pinned error text for a rejected execution flag."""
+    return f"{flag} is not supported by `repro {command}`: {reason}"
+
+
+class _RejectFlag(argparse.Action):
+    """Errors out with the uniform rejection text when the flag is used."""
+
+    def __init__(
+        self,
+        option_strings: Sequence[str],
+        dest: str,
+        command: str = "",
+        reason: str = "",
+        **kwargs: Any,
+    ) -> None:
+        kwargs.setdefault("nargs", "?")  # swallow any operand too
+        kwargs.setdefault("help", argparse.SUPPRESS)
+        super().__init__(option_strings, dest, **kwargs)
+        self._command = command
+        self._reason = reason
+
+    def __call__(
+        self,
+        parser: argparse.ArgumentParser,
+        namespace: argparse.Namespace,
+        values: Any,
+        option_string: Optional[str] = None,
+    ) -> None:
+        parser.error(
+            rejection_message(
+                option_string or self.option_strings[0],
+                self._command,
+                self._reason,
+            )
+        )
+
+
+def reject_flag(
+    parser: argparse.ArgumentParser, flag: str, command: str, reason: str
+) -> None:
+    """Register ``flag`` as explicitly rejected (uniform error text)."""
+    parser.add_argument(flag, action=_RejectFlag, command=command, reason=reason)
+
+
+def add_kernel_flag(
+    parser: argparse.ArgumentParser, help_text: Optional[str] = None
+) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=["interpreted", "compiled"],
+        default="interpreted",
+        help=help_text
+        or "step kernel: 'compiled' runs the table-compiled kernel "
+        "(serial only; bit-identical results, ~10x the throughput)",
+    )
+
+
+def add_backend_flag(
+    parser: argparse.ArgumentParser,
+    choices: Sequence[str] = ("serial", "parallel"),
+    help_text: Optional[str] = None,
+) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=list(choices),
+        default="serial",
+        help=help_text or "execution backend",
+    )
+
+
+def add_workers_flag(
+    parser: argparse.ArgumentParser,
+    default: Optional[int] = None,
+    help_text: Optional[str] = None,
+) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=default,
+        metavar="N",
+        help=help_text or "worker processes",
+    )
+
+
+def add_seed_flag(
+    parser: argparse.ArgumentParser, help_text: Optional[str] = None
+) -> None:
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help=help_text
+        or "root RNG seed; the single source of every derived RNG",
+    )
+
+
+def add_max_states_flag(
+    parser: argparse.ArgumentParser, help_text: Optional[str] = None
+) -> None:
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help=help_text or "distinct-state budget",
+    )

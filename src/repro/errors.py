@@ -75,6 +75,18 @@ class FarmError(ReproError):
     """
 
 
+class FuzzError(ReproError):
+    """The adversary-strategy fuzzer refused an operation or failed to
+    certify a hit.
+
+    Raised by :mod:`repro.fuzz` for invalid budgets/strategy names and —
+    the load-bearing case — when a candidate violation does not survive
+    replay validation: every reported schedule must re-execute through
+    :func:`repro.runtime.replay.replay_schedule` and exhibit the claimed
+    violation, so a validation failure is a fuzzer bug, never a result.
+    """
+
+
 class VerificationError(ReproError):
     """The exhaustive verifier could not produce a verdict.
 

@@ -11,7 +11,7 @@ adversaries the experiment scripts actually sweep; in-process callers
 with exotic namings keep using :func:`repro.analysis.experiments.sweep`
 directly, which takes live objects.
 
-Two cell kinds execute here:
+Three cell kinds execute here:
 
 * ``run`` — build the problem's system under one naming × adversary
   combination, run it to ``max_steps``, collect metrics and check the
@@ -24,6 +24,12 @@ Two cell kinds execute here:
   :class:`~repro.verify.graph.StateGraph` is persisted into the farm's
   disk store (:mod:`repro.farm.store`) and the result records its
   canonical sha256 digest, which is likewise bit-stable across resume.
+* ``fuzz`` — one shard of a seeded fuzz run (:mod:`repro.fuzz`): the
+  grid's ``"fuzz"`` block fixes the root seed and total episode
+  budget, and each cell executes a contiguous range of globally
+  numbered episodes.  Episode RNGs derive from the global episode
+  index, so the union of all cells is exactly the one-shot run and a
+  resumed farm is byte-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -154,11 +160,29 @@ def resolve_grid_params(spec, config: Dict[str, Any]) -> Dict[str, Any]:
 def grid_cells(config: Dict[str, Any]) -> List[Cell]:
     """Materialise a grid config into its cell list, deterministically.
 
-    Run cells come first in naming-major order (the same nesting
+    A config with a ``"fuzz"`` block shards that block's episode budget
+    into contiguous fuzz cells and nothing else.  Otherwise run cells
+    come first in naming-major order (the same nesting
     :func:`~repro.analysis.experiments.sweep` uses), then — when the
     config asks for graph retention — one verify cell at the end.
     """
     cells: List[Cell] = []
+    if config.get("fuzz") is not None:
+        fuzz = config["fuzz"]
+        episodes = int(fuzz["episodes"])
+        per_cell = max(1, int(fuzz.get("episodes_per_cell") or 1))
+        for base in range(0, episodes, per_cell):
+            cells.append(
+                Cell(
+                    index=len(cells),
+                    kind="fuzz",
+                    payload={
+                        "episode_base": base,
+                        "episodes": min(per_cell, episodes - base),
+                    },
+                )
+            )
+        return cells
     for naming in config["namings"]:
         for adversary in config["adversaries"]:
             cells.append(
@@ -255,6 +279,7 @@ def _run_cell_result(spec, params: Dict[str, Any], cell: Cell,
 def _verify_cell_result(spec, params: Dict[str, Any], config: Dict[str, Any],
                         graph_dir: Optional[Path]) -> Dict[str, Any]:
     from repro.problems.spec import ProblemInstance
+    from repro.request import RunRequest
     from repro.verify.runner import verify_instance
 
     if config.get("instance") is not None:
@@ -269,7 +294,9 @@ def _verify_cell_result(spec, params: Dict[str, Any], config: Dict[str, Any],
             roles=("verify",),
         )
     report = verify_instance(
-        spec, instance, max_states=config.get("verify_max_states")
+        spec,
+        instance,
+        request=RunRequest(max_states=config.get("verify_max_states")),
     )
     graph = report.exploration.graph
     result: Dict[str, Any] = {
@@ -296,6 +323,34 @@ def _verify_cell_result(spec, params: Dict[str, Any], config: Dict[str, Any],
     return result
 
 
+def _fuzz_cell_result(config: Dict[str, Any], cell: Cell) -> Dict[str, Any]:
+    from repro.fuzz.engine import run_fuzz
+    from repro.request import RunRequest
+
+    fuzz = config["fuzz"]
+    report = run_fuzz(
+        RunRequest(
+            problem=config["problem"],
+            instance=config.get("instance"),
+            params=config.get("params"),
+            kernel=(
+                fuzz.get("kernel")
+                if fuzz.get("kernel") == "compiled"
+                else None
+            ),
+            seed=int(fuzz.get("seed") or 0),
+            max_steps=fuzz.get("max_steps"),
+            max_states=fuzz.get("max_states"),
+        ),
+        episodes=int(cell.payload["episodes"]),
+        episode_base=int(cell.payload["episode_base"]),
+        families=fuzz.get("families"),
+    )
+    # FuzzReport.to_dict is wall-clock-free, so resume reproduces the
+    # exact bytes an uninterrupted farm writes.
+    return report.to_dict()
+
+
 def execute_cell(
     config: Dict[str, Any],
     cell: Cell,
@@ -311,6 +366,8 @@ def execute_cell(
     from repro.problems import get_problem
 
     spec = get_problem(config["problem"])
+    if cell.kind == "fuzz":
+        return _fuzz_cell_result(config, cell)
     params = resolve_grid_params(spec, config)
     if cell.kind == "run":
         return _run_cell_result(spec, params, cell, int(config["max_steps"]))

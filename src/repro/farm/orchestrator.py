@@ -25,8 +25,14 @@ wall-clock fields) are byte-identical to an uninterrupted farm's.
 
 Execution errors inside a cell mark it ``error`` (with the repr) and
 the worker moves on — one broken cell must not strand a thousand-cell
-grid.  A later ``--resume`` does not retry ``error`` cells; they are a
-deliberate terminal state distinct from "worker died".
+grid.  ``error`` is terminal by default — a deliberate state distinct
+from "worker died" — but a retry budget (``--max-attempts N``, stored
+in the grid config or passed at resume time) re-pends error cells
+whose ``attempts`` count is below N, both live (a worker that fails a
+cell immediately offers it back while budget remains) and on
+``--resume``.  Retried cells re-execute from scratch; their results
+are deterministic, so a farm that needed retries is byte-identical to
+one that never failed.
 """
 
 from __future__ import annotations
@@ -157,14 +163,27 @@ def open_farm(directory: Union[str, Path]) -> SqliteRunTable:
     return SqliteRunTable.open(_table_path(directory))
 
 
-def resume_farm(directory: Union[str, Path]) -> int:
-    """Reclaim stale ``claimed`` cells; returns how many were reclaimed.
+def resume_farm(
+    directory: Union[str, Path], max_attempts: Optional[int] = None
+) -> int:
+    """Reclaim stale ``claimed`` cells; returns how many cells re-entered
+    ``pending`` (stale claims plus, under a retry budget, error cells
+    with remaining attempts).
 
-    Call once, before workers start — not concurrently with them (see
+    ``max_attempts`` defaults to the grid config's ``max_attempts``
+    (itself defaulting to 1 — errors stay terminal).  Call once, before
+    workers start — not concurrently with them (see
     :meth:`SqliteRunTable.reset_claims`).
     """
     with open_farm(directory) as table:
-        return table.reset_claims()
+        if max_attempts is None:
+            max_attempts = int(
+                (table.meta().get("grid") or {}).get("max_attempts", 1)
+            )
+        reclaimed = table.reset_claims()
+        if max_attempts > 1:
+            reclaimed += table.retry_errors(max_attempts)
+        return reclaimed
 
 
 def farm_result(directory: Union[str, Path]) -> FarmResult:
@@ -187,7 +206,9 @@ def _append_manifest(
     from repro.obs.manifest import RunManifest
 
     manifest = RunManifest.create(
-        kind="farm-cell",
+        # Fuzz shards are first-class fuzz evidence, not generic farm
+        # bookkeeping; reports group them with one-shot fuzz manifests.
+        kind="fuzz" if cell.kind == "fuzz" else "farm-cell",
         algorithm=config["problem"],
         parameters={
             "cell": cell.index,
@@ -216,12 +237,16 @@ def drain_farm(
     worker: str = "w0",
     fault_injector: Optional[FaultInjector] = None,
     max_cells: Optional[int] = None,
+    max_attempts: Optional[int] = None,
 ) -> FarmResult:
     """Claim-and-execute cells until the table drains (one worker).
 
     ``max_cells`` bounds how many cells this call may claim (for tests
     and incremental draining); ``fault_injector`` fires between claim
-    and execution — see :data:`FaultInjector`.
+    and execution — see :data:`FaultInjector`.  ``max_attempts``
+    (default: the grid config's, default 1) is the per-cell retry
+    budget: a failed cell with attempts to spare goes straight back to
+    ``pending`` instead of settling in ``error``.
     """
     from repro.farm.cells import execute_cell
 
@@ -232,6 +257,8 @@ def drain_farm(
         config = table.meta().get("grid")
         if config is None:
             raise FarmError(f"{root}: run table has no grid config in meta")
+        if max_attempts is None:
+            max_attempts = int(config.get("max_attempts", 1))
         while max_cells is None or executed < max_cells:
             cell = table.claim(worker)
             if cell is None:
@@ -244,6 +271,8 @@ def drain_farm(
                 raise  # protocol bugs must surface, not soak into rows
             except Exception as exc:  # noqa: BLE001 — cell isolation
                 table.fail(cell.index, f"{type(exc).__name__}: {exc}")
+                if max_attempts > 1:
+                    table.retry_errors(max_attempts)
                 executed += 1
                 continue
             table.finish(cell.index, result)
@@ -255,18 +284,23 @@ def drain_farm(
     return farm_result(root)
 
 
-def _worker_entry(directory: str, worker: str) -> None:
+def _worker_entry(
+    directory: str, worker: str, max_attempts: Optional[int]
+) -> None:
     """Subprocess entry: open own connection, drain, exit 0."""
     # Workers are killed wholesale by the parent on SIGTERM; default
     # disposition means "die now, leave claims in place for resume".
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
-    drain_farm(directory, worker=worker)
+    drain_farm(directory, worker=worker, max_attempts=max_attempts)
 
 
 def run_farm(
     directory: Union[str, Path],
     workers: int = 1,
     fault_injector: Optional[FaultInjector] = None,
+    max_attempts: Optional[int] = None,
+    *,
+    request: Optional[Any] = None,
 ) -> FarmResult:
     """Drain a farm with ``workers`` processes (1 = in this process).
 
@@ -276,16 +310,27 @@ def run_farm(
     killed farm leaves only ``claimed`` rows behind (the resumable
     state).  Worker ids are ``w0..wN-1`` — stable across resume, so a
     resumed farm appends to the same per-worker manifest files.
+
+    ``max_attempts`` is the per-cell retry budget (see
+    :func:`drain_farm`); ``request=`` accepts a
+    :class:`~repro.request.RunRequest` whose ``workers`` field is the
+    unified spelling of the worker count.
     """
+    if request is not None:
+        workers = request.merged("workers", workers, default=1) or 1
     if workers <= 1:
-        return drain_farm(directory, fault_injector=fault_injector)
+        return drain_farm(
+            directory, fault_injector=fault_injector, max_attempts=max_attempts
+        )
     if fault_injector is not None:
         raise FarmError("fault_injector is single-process only (workers=1)")
 
     context = multiprocessing.get_context("fork")
     children = [
         context.Process(
-            target=_worker_entry, args=(str(directory), f"w{rank}"), daemon=False
+            target=_worker_entry,
+            args=(str(directory), f"w{rank}", max_attempts),
+            daemon=False,
         )
         for rank in range(workers)
     ]

@@ -8,7 +8,12 @@ Each cell moves through the status machine
     ``pending`` → ``claimed`` → ``done`` | ``error``
 
 and ``--resume`` moves stale ``claimed`` cells (a killed worker's
-half-finished claims) back to ``pending``.  Two implementations share
+half-finished claims) back to ``pending``.  ``error`` cells are
+terminal by default; a retry budget (``--max-attempts N`` /
+:meth:`~MemoryRunTable.retry_errors`) re-pends error cells whose
+``attempts`` count is still below the budget, so transient failures
+(OOM kills, flaky filesystems) stop poisoning a farm while genuinely
+broken cells still settle after N tries.  Two implementations share
 the protocol:
 
 * :class:`MemoryRunTable` — a list of rows in process memory.  This is
@@ -29,7 +34,7 @@ The sqlite schema (documented in docs/EXPLORATION.md):
 
     CREATE TABLE cells (
         idx         INTEGER PRIMARY KEY,   -- grid position
-        kind        TEXT    NOT NULL,      -- 'run' | 'verify'
+        kind        TEXT    NOT NULL,      -- 'run' | 'verify' | 'fuzz'
         payload     TEXT    NOT NULL,      -- JSON cell parameters
         status      TEXT    NOT NULL DEFAULT 'pending',
         worker      TEXT,                  -- last claimant
@@ -73,10 +78,11 @@ class Cell:
     """One claimable unit of work: a grid position plus its parameters.
 
     ``kind`` is ``"run"`` (trace + property checks under one naming ×
-    adversary combination) or ``"verify"`` (a graph-retaining exhaustive
-    walk whose StateGraph lands in the farm's disk store).  ``payload``
-    holds the cell-specific parameters; for disk tables it must be a
-    JSON document.
+    adversary combination), ``"verify"`` (a graph-retaining exhaustive
+    walk whose StateGraph lands in the farm's disk store) or ``"fuzz"``
+    (a shard of seeded fuzzing episodes, see :mod:`repro.fuzz`).
+    ``payload`` holds the cell-specific parameters; for disk tables it
+    must be a JSON document.
     """
 
     index: int
@@ -190,6 +196,24 @@ class MemoryRunTable:
                 row.claimed_at = None
                 reclaimed += 1
         return reclaimed
+
+    def retry_errors(self, max_attempts: int) -> int:
+        """Re-pend ``error`` cells that still have attempt budget.
+
+        A cell whose ``attempts`` count is below ``max_attempts`` moves
+        back to ``pending`` (its error text is kept until the retry
+        resolves it); cells at or over the budget stay terminal.
+        Returns how many cells re-entered ``pending``.
+        """
+        retried = 0
+        for row in self._rows:
+            if row.status == "error" and row.attempts < max_attempts:
+                row.status = "pending"
+                row.worker = None
+                row.claimed_at = None
+                row.finished_at = None
+                retried += 1
+        return retried
 
     def counts(self) -> Dict[str, int]:
         return _count_rows(self._rows)
@@ -386,6 +410,23 @@ class SqliteRunTable:
         cursor = self._db.execute(
             "UPDATE cells SET status='pending', worker=NULL, claimed_at=NULL"
             " WHERE status='claimed'"
+        )
+        return cursor.rowcount
+
+    def retry_errors(self, max_attempts: int) -> int:
+        """Re-pend ``error`` cells with ``attempts < max_attempts``.
+
+        The disk twin of :meth:`MemoryRunTable.retry_errors`: one guarded
+        UPDATE, so a concurrent claimant can never race a cell back to
+        ``pending`` twice.  The error text stays on the row until a
+        retry resolves it (``finish`` clears it, a final ``fail``
+        overwrites it).
+        """
+        cursor = self._db.execute(
+            "UPDATE cells SET status='pending', worker=NULL,"
+            " claimed_at=NULL, finished_at=NULL"
+            " WHERE status='error' AND attempts < ?",
+            (max_attempts,),
         )
         return cursor.rowcount
 

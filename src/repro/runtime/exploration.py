@@ -42,6 +42,7 @@ from repro.types import ProcessId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends
     # imports ExplorationResult from here at runtime)
+    from repro.request import RunRequest
     from repro.runtime.backends import ExplorationBackend
     from repro.verify.graph import StateGraph
 
@@ -179,6 +180,7 @@ def explore(
     footprints: bool = True,
     max_group: int = 720,
     retain_graph: bool = False,
+    request: Optional["RunRequest"] = None,
 ) -> ExplorationResult:
     """Exhaustively explore ``system``'s reachable states, checking
     ``invariant`` in each.  The single public exploration entrypoint.
@@ -260,6 +262,14 @@ def explore(
     footprints / max_group:
         Forwarded to the canonicalizer builder when
         ``reduction="symmetry"``; ignored (and unvalidated) otherwise.
+    request:
+        A :class:`~repro.request.RunRequest` carrying the execution
+        fields (``kernel``, ``backend``, ``workers``, ``max_states``,
+        ``telemetry``) as one value — the unified spelling shared with
+        ``verify_instance``/``sweep_problem``/``run_farm``/``run_fuzz``.
+        Request fields win over the keyword defaults; a keyword
+        explicitly contradicting a set request field raises
+        :class:`~repro.errors.ConfigurationError`.
     retain_graph:
         Record the full labelled successor relation during the walk and
         attach it to the result as
@@ -284,6 +294,13 @@ def explore(
     )
     from repro.runtime.kernel import StepInstance
 
+    if request is not None:
+        kernel = request.merged("kernel", kernel)
+        backend = request.merged("backend", backend)
+        max_states = request.merged("max_states", max_states, default=500_000)
+        telemetry = request.merged("telemetry", telemetry)
+        if isinstance(backend, str) and request.workers is not None:
+            backend = resolve_backend(backend, workers=request.workers)
     if telemetry is None:
         telemetry = NULL_TELEMETRY
     scheduler = system.scheduler

@@ -26,17 +26,23 @@ from __future__ import annotations
 
 import re
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
-from repro.errors import VerificationError
+from repro.errors import ConfigurationError, VerificationError
 from repro.obs.manifest import RunManifest
 from repro.obs.telemetry import NULL_TELEMETRY, TelemetrySink
 from repro.problems.spec import LivenessProperty, ProblemInstance, ProblemSpec
+from repro.request import RunRequest, resolve_target
 from repro.runtime.exploration import ExplorationResult, explore
 from repro.runtime.kernel import StepInstance
 from repro.verify.liveness import LIVENESS_CHECKERS, LivenessVerdict
+
+#: Sentinel distinguishing "keyword not passed" from an explicit None,
+#: so the deprecated execution keywords warn only when actually used.
+_UNSET: Any = object()
 
 
 def _no_invariant(system: Any) -> Optional[str]:
@@ -117,14 +123,24 @@ class VerificationReport:
 
 
 def verify_instance(
-    spec: ProblemSpec,
-    instance: ProblemInstance,
-    backend: Optional[Any] = None,
-    telemetry: Optional[TelemetrySink] = None,
-    max_states: Optional[int] = None,
-    kernel: Optional[str] = None,
+    spec: Optional[ProblemSpec] = None,
+    instance: Optional[ProblemInstance] = None,
+    backend: Any = _UNSET,
+    telemetry: Any = _UNSET,
+    max_states: Any = _UNSET,
+    kernel: Any = _UNSET,
+    *,
+    request: Optional[RunRequest] = None,
 ) -> VerificationReport:
     """Exhaustively verify one registry instance (see module docstring).
+
+    Execution choices ride on a :class:`~repro.request.RunRequest`:
+    ``verify_instance(spec, inst, request=RunRequest(kernel="compiled"))``
+    — or omit ``spec``/``instance`` entirely and let the request's
+    ``problem``/``instance``/``params`` resolve through the registry.
+    The pre-request ``backend=``/``telemetry=``/``max_states=``/
+    ``kernel=`` keywords still work but emit ``DeprecationWarning``
+    (removed in PR 11).
 
     ``kernel="compiled"`` runs the graph-retaining walk on the
     table-compiled step kernel (:mod:`repro.runtime.compiled`), seeded
@@ -137,12 +153,54 @@ def verify_instance(
     complete graph (state budget truncation) — an incomplete graph
     supports no liveness verdict.
     """
+    from repro.request import deprecated_keywords_message
+
+    legacy = {
+        name: value
+        for name, value in (
+            ("backend", backend),
+            ("kernel", kernel),
+            ("max_states", max_states),
+            ("telemetry", telemetry),
+        )
+        if value is not _UNSET
+    }
+    if legacy:
+        warnings.warn(
+            deprecated_keywords_message("verify_instance", sorted(legacy)),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    backend = legacy.get("backend")
+    kernel = legacy.get("kernel")
+    max_states = legacy.get("max_states")
+    telemetry = legacy.get("telemetry")
+    workers: Optional[int] = None
+    if request is not None:
+        backend = request.merged("backend", backend)
+        kernel = request.merged("kernel", kernel)
+        max_states = request.merged("max_states", max_states)
+        telemetry = request.merged("telemetry", telemetry)
+        workers = request.workers
+        if spec is None:
+            spec, instance = request.resolve()
+        elif instance is None and (
+            request.instance is not None or request.params is not None
+        ):
+            _, instance = resolve_target(
+                spec.key, request.instance, request.params_dict()
+            )
+    if spec is None or instance is None:
+        raise ConfigurationError(
+            "verify_instance needs a (spec, instance) pair or a request= "
+            "naming a problem/instance to resolve through the registry"
+        )
     if telemetry is None:
         telemetry = NULL_TELEMETRY
     system = spec.system(instance)
     invariant = spec.invariant if spec.invariant is not None else _no_invariant
     budget = max_states if max_states is not None else instance.verify_max_states
-    if kernel == "compiled" and backend is None:
+    if kernel == "compiled" and backend in (None, "serial"):
         from repro.runtime.compiled import CompiledBackend
 
         domain = (
@@ -152,6 +210,10 @@ def verify_instance(
         )
         backend = CompiledBackend(domain_hint=domain)
         kernel = None  # already resolved into the backend
+    if isinstance(backend, str):
+        from repro.runtime.backends import resolve_backend
+
+        backend = resolve_backend(backend, workers=workers)
     result = explore(
         system,
         invariant,

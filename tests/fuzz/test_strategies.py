@@ -1,0 +1,130 @@
+"""Strategy family unit tests: determinism, enabled-set discipline,
+surrender semantics, and the per-episode seed derivation."""
+
+import random
+
+import pytest
+
+from repro.errors import FuzzError
+from repro.fuzz.engine import episode_seed
+from repro.fuzz.strategies import (
+    STRATEGY_FAMILIES,
+    CoveringStrategy,
+    FuzzContext,
+    LockstepStrategy,
+    PureRandomStrategy,
+    TelemetryGreedyStrategy,
+    build_strategy,
+)
+
+
+def ctx(enabled, step_index=0, pending=None, contention=None, halted=0):
+    return FuzzContext(
+        enabled=tuple(enabled),
+        step_index=step_index,
+        pending=pending or {pid: None for pid in enabled},
+        contention=contention or {},
+        halted=halted,
+    )
+
+
+class TestBuildStrategy:
+    def test_families_are_registered_in_rotation_order(self):
+        assert STRATEGY_FAMILIES == ("lockstep", "random", "greedy", "covering")
+        for family in STRATEGY_FAMILIES:
+            strategy = build_strategy(family, random.Random(0))
+            assert strategy.name == family
+
+    def test_unknown_family_raises_fuzz_error(self):
+        with pytest.raises(FuzzError, match="unknown strategy family 'zigzag'"):
+            build_strategy("zigzag", random.Random(0))
+
+    def test_fresh_instance_per_call(self):
+        a = build_strategy("lockstep", random.Random(0))
+        b = build_strategy("lockstep", random.Random(0))
+        assert a is not b
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", STRATEGY_FAMILIES)
+    def test_same_rng_same_contexts_same_choices(self, family):
+        def run():
+            strategy = build_strategy(family, random.Random(42))
+            return [
+                strategy.choose(ctx([101, 103, 107], step_index=i))
+                for i in range(40)
+            ]
+
+        assert run() == run()
+
+
+class TestPureRandom:
+    def test_choices_stay_within_enabled(self):
+        strategy = PureRandomStrategy(random.Random(1))
+        for _ in range(50):
+            assert strategy.choose(ctx([101, 103])) in (101, 103)
+
+
+class TestLockstep:
+    def test_strict_rotation_over_the_initial_enabled_set(self):
+        strategy = LockstepStrategy(random.Random(0))
+        picks = [strategy.choose(ctx([101, 103])) for _ in range(6)]
+        assert picks == [101, 103, 101, 103, 101, 103]
+
+    def test_surrenders_when_a_ring_member_disappears(self):
+        strategy = LockstepStrategy(random.Random(0))
+        assert strategy.choose(ctx([101, 103])) == 101
+        # 103 is due next but no longer enabled: lockstep is broken
+        assert strategy.choose(ctx([101], halted=1)) is None
+
+
+class TestCovering:
+    def test_always_picks_an_enabled_pid(self):
+        strategy = CoveringStrategy(random.Random(3), burst=4)
+        for i in range(60):
+            pick = strategy.choose(ctx([101, 103, 107], step_index=i))
+            assert pick in (101, 103, 107)
+
+    def test_blocked_subset_is_respected_within_a_burst(self):
+        strategy = CoveringStrategy(random.Random(0), burst=8)
+        picks = {strategy.choose(ctx([101, 103, 107])) for _ in range(8)}
+        # whatever subset got suspended, the burst never schedules it
+        assert picks == set(picks) - strategy._blocked
+
+
+class TestTelemetryGreedy:
+    def test_contended_pid_is_favoured(self):
+        strategy = TelemetryGreedyStrategy(random.Random(0))
+        contention = {101: 50}
+        picks = [
+            strategy.choose(ctx([101, 103], contention=contention))
+            for _ in range(200)
+        ]
+        assert picks.count(101) > picks.count(103) * 5
+
+    def test_imminent_collision_adds_weight(self):
+        strategy = TelemetryGreedyStrategy(random.Random(0))
+        # both pending ops target register 2: each gains collision weight
+        pending = {101: 2, 103: 2, 107: None}
+        picks = [
+            strategy.choose(ctx([101, 103, 107], pending=pending))
+            for _ in range(300)
+        ]
+        assert picks.count(107) < picks.count(101) + picks.count(103)
+
+
+class TestEpisodeSeed:
+    def test_deterministic_and_axis_sensitive(self):
+        base = episode_seed(7, 0, "lockstep")
+        assert base == episode_seed(7, 0, "lockstep")
+        assert base != episode_seed(8, 0, "lockstep")
+        assert base != episode_seed(7, 1, "lockstep")
+        assert base != episode_seed(7, 0, "random")
+
+    def test_pinned_value(self):
+        # The derivation is part of the reproducibility contract: a
+        # changed constant silently invalidates every recorded witness.
+        import hashlib
+
+        digest = hashlib.blake2b(b"7:0:lockstep", digest_size=8).digest()
+        assert episode_seed(7, 0, "lockstep") == int.from_bytes(digest, "big")

@@ -131,12 +131,14 @@ class TestSpecProjection:
         from repro.runtime.adversary import RandomAdversary
         from repro.spec.mutex_spec import MutualExclusionChecker
 
+        from repro.request import RunRequest
+
         result = sweep_problem(
             "figure-1-mutex",
             namings=[IdentityNaming()],
             adversaries=[RandomAdversary(1)],
             checkers_factory=lambda: [MutualExclusionChecker()],
-            max_steps=20_000,
+            request=RunRequest(max_steps=20_000),
         )
         assert result.runs == 1 and result.all_ok
 

@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.core.mutex import AnonymousMutex
 from repro.errors import ConfigurationError
 from repro.problems import instances_with_role, problem_specs
+from repro.request import RunRequest
 from repro.runtime.backends import SerialBackend, resolve_backend
 from repro.runtime.canonical import TrivialCanonicalizer, build_canonicalizer
 from repro.runtime.compiled import CompiledBackend, compile_program
@@ -293,7 +294,9 @@ class TestVerifyKernel:
         spec = get_problem("figure-1-mutex")
         inst = spec.instance("figure-1-mutex(m=3)")
         interpreted = verify_instance(spec, inst)
-        compiled = verify_instance(spec, inst, kernel="compiled")
+        compiled = verify_instance(
+            spec, inst, request=RunRequest(kernel="compiled")
+        )
         assert compiled.exploration.kernel == "compiled"
         assert fingerprint(compiled.exploration) == fingerprint(
             interpreted.exploration

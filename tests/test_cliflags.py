@@ -1,0 +1,120 @@
+"""The execution-flag matrix, pinned.
+
+Every command that executes registry work either *accepts* one of the
+five shared execution flags (``--kernel``, ``--backend``, ``--workers``,
+``--seed``, ``--max-states``) or *explicitly rejects* it with
+:func:`repro.cliflags.rejection_message`'s uniform text — silently
+ignoring an execution flag is the failure mode ruled out here.  The
+matrix lives in ``src/repro/cliflags.py``'s docstring; this module is
+its executable twin.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.cliflags import rejection_message
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def run_expecting_usage_error(argv, capsys):
+    """Run the CLI expecting argparse's exit-2 usage error; return stderr."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    return capsys.readouterr().err
+
+
+def help_text(command, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--help"])
+    assert excinfo.value.code == 0
+    return capsys.readouterr().out
+
+
+class TestRejectionMessage:
+    def test_shape(self):
+        assert rejection_message("--seed", "verify", "because") == (
+            "--seed is not supported by `repro verify`: because"
+        )
+
+
+class TestVerifyRow:
+    def test_accepts_kernel_backend_workers_max_states(self, capsys):
+        text = help_text("verify", capsys)
+        for flag in ("--kernel", "--backend", "--workers", "--max-states"):
+            assert flag in text
+        assert "--seed" not in text  # rejected flags are suppressed
+
+    def test_rejects_seed_with_pinned_text(self, capsys):
+        err = run_expecting_usage_error(
+            ["verify", "--problem", "figure-1-mutex", "--seed", "3"], capsys
+        )
+        assert rejection_message(
+            "--seed", "verify",
+            "exhaustive verification quantifies over every schedule; "
+            "there is nothing to seed (randomised search is `repro fuzz`)",
+        ) in err
+
+
+class TestSweepRow:
+    def test_accepts_workers(self, capsys):
+        assert "--workers" in help_text("sweep", capsys)
+
+    @pytest.mark.parametrize("flag, reason", [
+        ("--kernel",
+         "grid cells replay live System runs through the interpreted "
+         "scheduler; the compiled kernel serves the exhaustive walk "
+         "(`repro verify --kernel compiled`)"),
+        ("--backend",
+         "the farm schedules cells across claiming processes; pick "
+         "parallelism with --workers"),
+        ("--seed",
+         "adversary seeds ride in the --adversaries specs "
+         "(e.g. random:SEED)"),
+        ("--max-states",
+         "run cells are step-bounded (--max-steps); the verify cell's "
+         "state budget is --verify-max-states"),
+    ])
+    def test_rejects_with_pinned_text(self, flag, reason, capsys):
+        err = run_expecting_usage_error(
+            ["sweep", "--problem", "figure-1-mutex", flag, "x"], capsys
+        )
+        assert rejection_message(flag, "sweep", reason) in err
+
+
+class TestFuzzRow:
+    def test_accepts_all_five(self, capsys):
+        text = help_text("fuzz", capsys)
+        for flag in ("--kernel", "--backend", "--workers", "--seed",
+                     "--max-states"):
+            assert flag in text
+
+    def test_backend_parallel_rejected_with_pinned_text(self, capsys):
+        err = run_expecting_usage_error(
+            ["fuzz", "--problem", "figure-1-mutex",
+             "--backend", "parallel"], capsys
+        )
+        assert rejection_message(
+            "--backend parallel", "fuzz",
+            "episodes are serial by construction; shard them across "
+            "farm cells with --workers",
+        ) in err
+
+
+class TestBenchRow:
+    def test_accepts_all_five(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "benchmarks" / "run_experiments.py"),
+             "--help"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0
+        for flag in ("--kernel", "--backend", "--workers", "--seed",
+                     "--max-states"):
+            assert flag in result.stdout

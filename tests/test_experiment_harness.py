@@ -81,7 +81,7 @@ class TestExplorationBench:
         problems = harness.check_baseline(doc(771, verdict="bounded-ok"), baseline)
         assert problems and "verdict changed" in problems[0]
 
-    def test_quick_bench_writes_schema_v6(self, harness, tmp_path, capsys):
+    def test_quick_bench_writes_schema_v7(self, harness, tmp_path, capsys):
         out = tmp_path / "bench.json"
         import json
 
@@ -92,7 +92,7 @@ class TestExplorationBench:
         capsys.readouterr()
         assert code == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == "repro.bench_explore/v6"
+        assert document["schema"] == "repro.bench_explore/v7"
         # v6: the sweep-farm micro-benchmark block
         sweep_block = document["sweep"]
         assert sweep_block["grid_cells"] > 0
@@ -101,6 +101,24 @@ class TestExplorationBench:
         )
         assert sweep_block["resume_overhead_seconds"] >= 0.0
         assert sweep_block["retained_edge_bytes"] > 0
+        # v7: the seeded-fuzzer micro-benchmark block — the mutant row
+        # must carry certified violations, the clean row none.
+        fuzz_block = document["fuzz"]
+        assert fuzz_block["seed"] == document["rng_seed"]
+        assert fuzz_block["families"] == [
+            "lockstep", "random", "greedy", "covering",
+        ]
+        mutant = fuzz_block["instances"]["figure-1-mutex-even-m(m=4)"]
+        clean = fuzz_block["instances"]["figure-1-mutex(m=3)"]
+        assert mutant["violations"] > 0
+        assert sum(mutant["violations_by_family"].values()) == (
+            mutant["violations"]
+        )
+        assert clean["violations"] == 0
+        for row in (mutant, clean):
+            assert row["episodes"] == fuzz_block["episodes"]
+            assert row["steps"] > 0
+            assert row["distinct_states"] > 0
         assert document["rng_seed"] == 5
         assert document["backend"] == "serial"
         assert document["kernel"] == "compiled"

@@ -13,6 +13,7 @@ import pytest
 
 from repro.errors import VerificationError
 from repro.problems import get_problem
+from repro.request import RunRequest
 from repro.runtime.exploration import explore
 from repro.runtime.kernel import StepInstance, step_value
 from repro.runtime.replay import replay_schedule
@@ -82,7 +83,9 @@ class TestIncompleteGraphsAreRefused:
         spec = get_problem("figure-1-mutex")
         instance = spec.instance("figure-1-mutex(m=3)")
         with pytest.raises(VerificationError, match="verify_max_states"):
-            verify_instance(spec, instance, max_states=50)
+            verify_instance(
+                spec, instance, request=RunRequest(max_states=50)
+            )
 
 
 class TestMutantCounterexample:
