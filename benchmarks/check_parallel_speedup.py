@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""CI gate for the work-stealing parallel backend's speedup claim.
+
+Runs the mutex m=7 bench instance (the headline row of
+``BENCH_explore.json``) under the serial reference backend, then under
+the shared-memory work-stealing :class:`ParallelBackend` at every
+worker count on the curve (1/2/4 by default) — same trivial-dedup
+walk, same budgets.  At every point the deterministic result fields
+(verdict, completeness, state/event counters, retained graph bytes)
+must be bit-identical to the serial walk; the throughput gate then
+requires ``speedup_vs_serial > threshold`` at the top of the curve.
+
+On a single-CPU host a real speedup is impossible — the parallel run
+pays IPC with no extra hardware to spend it on.  The correctness
+asserts still run and the measured (honestly degraded) curve is
+printed, but the throughput gate is skipped (exit 0), not failed.
+
+Run with:   PYTHONPATH=src python benchmarks/check_parallel_speedup.py
+"""
+
+import argparse
+import os
+import sys
+
+from repro.core.mutex import AnonymousMutex
+from repro.runtime.backends import ParallelBackend, SerialBackend
+from repro.runtime.canonical import TrivialCanonicalizer
+from repro.runtime.exploration import explore, mutual_exclusion_invariant
+from repro.runtime.system import System
+
+PIDS = (101, 103)
+
+#: The exploration benchmark's budgets (BENCH_BUDGETS in
+#: run_experiments.py) — m=7 completes exhaustively well inside them.
+BUDGETS = {"max_states": 500_000, "max_depth": 1_000_000}
+
+#: Worker counts measured, lowest to highest; the gate reads the last.
+CURVE = (1, 2, 4)
+
+#: Result fields that are deterministic across backends and worker
+#: counts on a complete trivial-dedup walk (docs/EXPLORATION.md).
+IDENTICAL_FIELDS = (
+    "ok",
+    "complete",
+    "truncated_by",
+    "states_explored",
+    "events_executed",
+    "stuck_states",
+    "peak_visited",
+)
+
+
+def run(m, backend):
+    system = System(AnonymousMutex(m=m, cs_visits=1), PIDS, record_trace=False)
+    return explore(
+        system,
+        mutual_exclusion_invariant,
+        canonicalizer=TrivialCanonicalizer(system.scheduler),
+        backend=backend,
+        retain_graph=True,
+        **BUDGETS,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--m", type=int, default=7, metavar="M",
+        help="mutex register count (default: 7, the headline instance)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=1.0, metavar="X",
+        help="minimum serial/parallel wall-clock ratio at the top of "
+             "the worker curve (default: 1.0 — any real speedup)",
+    )
+    args = parser.parse_args(argv)
+
+    serial = run(args.m, SerialBackend())
+    assert serial.graph is not None
+    serial_bytes = serial.graph.to_bytes()
+    print(
+        f"mutex m={args.m}: serial {serial.states_explored} states "
+        f"in {serial.wall_seconds:.3f}s"
+    )
+
+    top_speedup = None
+    for workers in CURVE:
+        parallel = run(args.m, ParallelBackend(workers=workers))
+        assert parallel.kernel == "compiled", (
+            f"x{workers}: parallel backend fell back to the interpreter"
+        )
+        for field in IDENTICAL_FIELDS:
+            got, want = getattr(parallel, field), getattr(serial, field)
+            assert got == want, (
+                f"x{workers}: {field} diverged from serial: "
+                f"{got!r} != {want!r}"
+            )
+        assert parallel.graph is not None
+        assert parallel.graph.to_bytes() == serial_bytes, (
+            f"x{workers}: retained StateGraph bytes diverged from serial"
+        )
+        speedup = (
+            serial.wall_seconds / parallel.wall_seconds
+            if parallel.wall_seconds > 0 else None
+        )
+        top_speedup = speedup
+        shown = "n/a" if speedup is None else f"x{speedup:.2f}"
+        print(
+            f"  workers={workers}: {parallel.wall_seconds:.3f}s "
+            f"-> speedup_vs_serial {shown} (bit-identical: yes)"
+        )
+
+    host_cpus = os.cpu_count() or 1
+    if host_cpus == 1:
+        print(
+            "degraded host (1 cpu): correctness asserts passed; "
+            "speedup gate skipped, not failed"
+        )
+        return 0
+    if top_speedup is None:
+        print("walk finished below timer resolution; cannot gate speedup")
+        return 1
+    if top_speedup <= args.threshold:
+        print(
+            f"FAIL: parallel x{CURVE[-1]} speedup x{top_speedup:.2f} is "
+            f"not above the x{args.threshold} gate on a "
+            f"{host_cpus}-cpu host"
+        )
+        return 1
+    print("parallel speedup gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ from repro.analysis.tables import print_table
 from repro.baselines.named_consensus import NamedConsensus, PaddedAlgorithm
 from repro.baselines.named_mutex import PetersonMutex, TournamentMutex
 from repro.baselines.named_renaming import ElectionChainRenaming
+from repro.cliflags import positive_workers
 from repro.core.consensus import AnonymousConsensus
 from repro.core.election import AnonymousElection
 from repro.core.mutex import AnonymousMutex
@@ -411,6 +412,10 @@ def e14_performance(rng_seed=5):
 #: orbit strings previously-parallel branches into longer chains).
 BENCH_BUDGETS = {"max_states": 500_000, "max_depth": 1_000_000}
 
+#: Worker counts of the v8 parallel speedup curve (``--backend
+#: parallel`` records one point per count on every bench instance).
+CURVE_WORKERS = (1, 2, 4, 8)
+
 
 def _bench_instances(quick):
     """(label, factory, invariant, overrides, spec, instance) rows,
@@ -623,8 +628,11 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
     serial canonical run and stores the measured wall-clock speedup
     (``host_cpus`` is recorded alongside, because on a single-core host
     the honest speedup is necessarily < 1 — the parallel run pays IPC
-    with no extra hardware to spend it on; such blocks carry
-    ``degraded_host: true``).
+    with no extra hardware to spend it on; such blocks and the document
+    top level carry ``degraded_host: true``).  Each parallel block also
+    records a ``curve``: the same walk at every :data:`CURVE_WORKERS`
+    count with its own ``speedup_vs_serial`` point, the raw material
+    for the CI smoke gate (``benchmarks/check_parallel_speedup.py``).
 
     With ``kernel="compiled"`` each instance additionally runs the
     table-compiled step kernel (:mod:`repro.runtime.compiled`) under
@@ -807,6 +815,52 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
             # A single-hardware-thread host cannot show a real speedup;
             # flag the block so baseline consumers discount it.
             par_record["degraded_host"] = os.cpu_count() == 1
+            # v8: the same canonical walk across the worker-count curve,
+            # every point's speedup against the serial canonical wall
+            # time.  Degraded hosts still record the (honest, < 1)
+            # curve; gates skip it instead of failing.
+            curve = []
+            for count in CURVE_WORKERS:
+                if count == parallel_backend.workers:
+                    point_res = par_res
+                else:
+                    system = factory()
+                    point_res = explore(
+                        system, invariant,
+                        canonicalizer=build_canonicalizer(system),
+                        backend=resolve_backend("parallel", count),
+                        **budgets,
+                    )
+                    point_verdict = "violation" if not point_res.ok else (
+                        "exhaustive-ok" if point_res.complete
+                        else "bounded-ok"
+                    )
+                    assert point_verdict == serial_verdict, (
+                        f"{label}: parallel x{count} verdict "
+                        f"{point_verdict} != serial {serial_verdict}"
+                    )
+                    if point_res.complete and reduced_res.complete:
+                        assert (
+                            point_res.states_explored
+                            == reduced_res.states_explored
+                        ), (
+                            f"{label}: parallel x{count} explored "
+                            f"{point_res.states_explored} states, "
+                            f"serial {reduced_res.states_explored}"
+                        )
+                curve.append({
+                    "workers": count,
+                    "states": point_res.states_explored,
+                    "wall_seconds": round(point_res.wall_seconds, 3),
+                    "speedup_vs_serial": (
+                        round(
+                            reduced_res.wall_seconds
+                            / point_res.wall_seconds, 2
+                        )
+                        if point_res.wall_seconds > 0 else None
+                    ),
+                })
+            par_record["curve"] = curve
             record["parallel"] = par_record
             if telemetry_dir is not None:
                 manifest_names.append(_write_bench_manifest(
@@ -847,7 +901,7 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
     if telemetry_dir is not None:
         generated += f" --telemetry {telemetry_dir}"
     return {
-        "schema": "repro.bench_explore/v7",
+        "schema": "repro.bench_explore/v8",
         "generated_by": generated,
         "rng_seed": rng_seed,
         "quick": quick,
@@ -855,6 +909,10 @@ def exploration_benchmark(quick=False, rng_seed=5, backend="serial", workers=2,
         "kernel": kernel,
         "workers": parallel_backend.workers if parallel_backend else 1,
         "host_cpus": os.cpu_count(),
+        # v8: stamped at the document top level (not just inside each
+        # parallel block) so speedup gates can decide skip-vs-fail
+        # without digging into per-instance records.
+        "degraded_host": os.cpu_count() == 1,
         "budgets": dict(shared_budgets),
         "telemetry": {
             "enabled": telemetry_dir is not None,
@@ -960,7 +1018,7 @@ def main(argv=None):
              "(default: serial only)",
     )
     parser.add_argument(
-        "--workers", type=int, default=4, metavar="N",
+        "--workers", type=positive_workers, default=4, metavar="N",
         help="with --backend parallel: worker process count (default: 4)",
     )
     parser.add_argument(

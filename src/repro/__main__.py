@@ -81,7 +81,7 @@ def cmd_demo() -> int:
 
 def cmd_verify(rest=()) -> int:
     """Exhaustive safety + liveness verification of registry instances."""
-    from repro.cliflags import reject_flag
+    from repro.cliflags import add_workers_flag, reject_flag
     from repro.errors import VerificationError
     from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
     from repro.problems import get_problem, instances_with_role
@@ -122,12 +122,8 @@ def cmd_verify(rest=()) -> int:
         default="serial",
         help="exploration backend for the graph-retaining walk",
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for --backend parallel",
+    add_workers_flag(
+        parser, help_text="worker processes for --backend parallel"
     )
     parser.add_argument(
         "--max-states",
@@ -271,7 +267,7 @@ def cmd_fuzz(rest=()) -> int:
 
 def cmd_sweep(rest=()) -> int:
     """Resumable disk-backed sweep farm (see repro.farm)."""
-    from repro.cliflags import reject_flag
+    from repro.cliflags import add_workers_flag, reject_flag
     from repro.errors import ReproError
     from repro.farm import (
         create_farm,
@@ -321,8 +317,10 @@ def cmd_sweep(rest=()) -> int:
                         help="create a farm directory and drain it")
     parser.add_argument("--resume", metavar="DIR", default=None,
                         help="reclaim a killed farm's cells and drain the rest")
-    parser.add_argument("--workers", type=int, default=1, metavar="N",
-                        help="claiming worker processes (needs --out/--resume)")
+    add_workers_flag(
+        parser, default=1,
+        help_text="claiming worker processes (needs --out/--resume)",
+    )
     parser.add_argument("--max-attempts", type=int, default=None, metavar="N",
                         help="per-cell retry budget: transiently failed "
                         "cells re-enter pending until they have been "

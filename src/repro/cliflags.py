@@ -34,12 +34,35 @@ from typing import Any, Optional, Sequence
 __all__ = [
     "rejection_message",
     "reject_flag",
+    "positive_workers",
     "add_kernel_flag",
     "add_backend_flag",
     "add_workers_flag",
     "add_seed_flag",
     "add_max_states_flag",
 ]
+
+
+def positive_workers(text: str) -> int:
+    """``--workers`` operand parser: a positive int or a usage error.
+
+    Shared by every command that accepts ``--workers`` so that
+    ``--workers 0`` (or a negative count, or junk) dies with the same
+    one-line message everywhere — the text mirrors the
+    :class:`~repro.errors.ConfigurationError` the backends raise for
+    the same mistake, pinned by ``tests/test_cliflags.py``.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive int, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive int, got {value!r}"
+        )
+    return value
 
 
 def rejection_message(flag: str, command: str, reason: str) -> str:
@@ -120,7 +143,7 @@ def add_workers_flag(
 ) -> None:
     parser.add_argument(
         "--workers",
-        type=int,
+        type=positive_workers,
         default=default,
         metavar="N",
         help=help_text or "worker processes",

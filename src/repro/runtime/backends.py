@@ -17,28 +17,32 @@ is live: no scheduler, no memory, no locks.  Two backends ship:
     never mutated and successor capture is free value passing.
 
 :class:`ParallelBackend`
-    A level-synchronised frontier-batch BFS over ``multiprocessing``
-    workers.  Each worker holds the pickled :class:`StepInstance`,
-    canonicalizer and invariant (planted once per pool via the
-    initializer) and expands a deterministic contiguous chunk of the
-    frontier locally — stepping, canonicalizing and invariant-checking
-    without coordinator round-trips.  The coordinator merges chunk
-    results **in chunk order** into a sharded visited table keyed by
-    content-addressed canonical keys (:func:`zlib.crc32` sharding —
-    never Python's per-process-randomised ``hash``), so the set of
-    states explored, the verdict, and the reported first violation (in
-    (level, chunk, offset) order) are all independent of worker timing.
-    Violation schedules are reconstructed from per-level parent links
-    and re-validated by a pure replay before being reported, so they
+    A work-stealing walk over the batched packed-state engine
+    (:mod:`repro.runtime.batched`).  The task is compiled once per
+    process into dense transition tables
+    (:func:`~repro.runtime.compiled.compile_program`); workers expand
+    whole ``array('q')`` chunks of packed states through
+    :meth:`~repro.runtime.compiled.CompiledProgram.expand_batch`, dedup
+    cross-process through one ``multiprocessing.shared_memory``
+    open-addressing visited table of 64-bit BLAKE2b digests
+    (:mod:`repro.runtime.visited`), and steal chunks from a shared
+    queue when their local stack runs dry.  Insert is CAS-free, so a
+    racing pair of workers may expand the same state twice; the
+    coordinator's canonical post-order merge dedups the records by
+    state key, which restores determinism — complete runs agree with
+    serial bit-for-bit on the verdict, state/event/stuck counters,
+    peak visited size and (under ``retain_graph=True``) the retained
+    ``StateGraph.to_bytes()``.  Runs truncated by a budget cut
+    different under-approximations and agree on the verdict reached;
+    the fixed-capacity visited table adds one honest truncation cause
+    of its own, ``truncated_by="visited_table_full"``.  Violation
+    schedules are rebuilt from the merged discovery records and
+    re-validated by a pure replay before being reported, so they
     replay on a fresh system via
     :func:`repro.runtime.replay.replay_schedule` exactly like serial
-    ones.
-
-    BFS and DFS visit the same quotient of reachable states, so
-    *complete* runs agree with serial bit-for-bit on the verdict, state
-    count and stuck count; runs truncated by a budget cut different
-    under-approximations (depth-first spine vs breadth-first ball) and
-    agree on the verdict reached.
+    ones.  Tasks the compiler cannot enumerate fall back to
+    :class:`SerialBackend` wholesale (``result.kernel`` stays
+    ``"interpreted"`` and records the fallback honestly).
 
 The executor pair (:class:`SerialExecutor` / :class:`ProcessExecutor`)
 is the same idea one level up — a deterministic ``map`` used by the
@@ -59,12 +63,10 @@ from typing import (
     Optional,
     Protocol,
     Sequence,
-    Set,
     Tuple,
     TypeVar,
     Union,
 )
-from zlib import crc32
 
 from repro.errors import ConfigurationError
 from repro.obs.telemetry import NULL_TELEMETRY, TelemetrySink
@@ -316,164 +318,38 @@ class SerialBackend:
 
 
 # ---------------------------------------------------------------------------
-# Parallel backend — frontier-batch BFS over multiprocessing workers
+# Parallel backend — work-stealing over the batched packed-state engine
 # ---------------------------------------------------------------------------
-
-#: Worker-process payload planted by the pool initializer: the
-#: (instance, canonicalizer, invariant, emitted-keys set, retain-graph
-#: flag) quintuple every chunk expansion reuses.  One module-level slot
-#: per worker process; the set is private to that process.
-_WorkerPayload = Tuple[
-    StepInstance, Canonicalizer, Invariant, Set[CanonicalKey], bool
-]
-
-_WORKER: Optional[_WorkerPayload] = None
-
-
-def _init_worker(payload: _WorkerPayload) -> None:
-    global _WORKER
-    _WORKER = payload
-
-
-#: One frontier chunk shipped to a worker: (check_only, entries), where
-#: each entry is (state, raw key of that state).
-_Chunk = Tuple[bool, List[Tuple[GlobalState, bytes]]]
-
-#: What a worker returns per chunk, all offsets chunk-local:
-#: (violations [(offset, message)], stuck count, events executed,
-#:  expandable-at-max-depth count,
-#:  successors [(offset, pid path, canonical key, raw key, state)],
-#:  edges [(offset, pid, destination raw key)] — every enabled pid of
-#:  every expanded entry, *before* the emitted-keys return filter, so
-#:  graph retention sees the full successor relation (empty unless the
-#:  payload's retain-graph flag is set),
-#:  chunk wall seconds — the worker-side expansion time, measured where
-#:  it happens so the coordinator's telemetry can report per-worker load
-#:  without a cross-process clock).
-_ChunkResult = Tuple[
-    List[Tuple[int, str]],
-    int,
-    int,
-    int,
-    List[Tuple[int, Tuple[ProcessId, ...], CanonicalKey, bytes, GlobalState]],
-    List[Tuple[int, ProcessId, bytes]],
-    float,
-]
-
-
-def _expand_chunk(chunk: _Chunk) -> _ChunkResult:
-    """Check and expand one frontier chunk inside a worker process."""
-    assert _WORKER is not None, "worker pool initializer did not run"
-    return _expand_chunk_with(_WORKER, chunk)
-
-
-def _expand_chunk_with(payload: _WorkerPayload, chunk: _Chunk) -> _ChunkResult:
-    """Check and expand one frontier chunk.
-
-    Depends only on the payload and the chunk — never on which process
-    (a pool worker, or the coordinator inlining a small frontier) runs
-    it or when.  The per-successor logic (acceleration, keying) mirrors
-    :class:`SerialBackend` exactly.
-
-    The ``emitted`` set is a process-local *return filter*: once this
-    process has shipped a canonical key to the coordinator, that key is
-    in the coordinator's visited table (either accepted or already
-    claimed), so re-shipping its heavy (state, key) tuple is provably
-    useless and the successor is dropped at the source.  Most successors
-    in a dense quotient graph are duplicates, so this cuts the dominant
-    IPC cost without affecting the set of states explored.  (It is why
-    ``orbits_collapsed`` is a per-backend lower bound rather than a
-    cross-backend invariant — duplicate *encounters* are counted where
-    they are cheapest to detect.)
-    """
-    instance, canonicalizer, invariant, emitted, retain_graph = payload
-    slot_of = instance.slot_of
-    check_only, entries = chunk
-    chunk_started = time.perf_counter()
-    violations: List[Tuple[int, str]] = []
-    stuck = 0
-    events = 0
-    expandable = 0
-    successors: List[
-        Tuple[int, Tuple[ProcessId, ...], CanonicalKey, bytes, GlobalState]
-    ] = []
-    edges: List[Tuple[int, ProcessId, bytes]] = []
-    for offset, (state, state_raw) in enumerate(entries):
-        violation = invariant(StateView(instance, state))
-        if violation is not None:
-            violations.append((offset, violation))
-            continue
-        enabled = enabled_pids(instance, state)
-        if not enabled:
-            if not all_settled(state):
-                stuck += 1
-            continue
-        if check_only:
-            expandable += 1
-            continue
-        for pid in enabled:
-            child = step_value(instance, state, pid)
-            events += 1
-            key, raw = canonicalizer.key_of_state(child)
-            path: Tuple[ProcessId, ...] = (pid,)
-            if raw == state_raw:
-                # Same inert self-loop acceleration as the serial DFS.
-                slot = slot_of[pid]
-                seen_locals = {child[1][slot][1]}
-                while raw == state_raw and not (
-                    child[1][slot][2] or child[1][slot][3]
-                ):
-                    child = step_value(instance, child, pid)
-                    events += 1
-                    path = path + (pid,)
-                    key, raw = canonicalizer.key_of_state(child)
-                    local = child[1][slot][1]
-                    if raw == state_raw:
-                        if local in seen_locals:
-                            break
-                        seen_locals.add(local)
-                if raw == state_raw:
-                    # Single-step self-loop (see the serial backend's
-                    # twin comment): retained as a ``(pid, src)`` edge.
-                    if retain_graph:
-                        edges.append((offset, pid, state_raw))
-                    continue
-            if retain_graph:
-                edges.append((offset, pid, raw))
-            if key in emitted:
-                continue
-            emitted.add(key)
-            successors.append((offset, path, key, raw, child))
-    return (
-        violations, stuck, events, expandable, successors, edges,
-        time.perf_counter() - chunk_started,
-    )
 
 
 class ParallelBackend:
-    """Frontier-batch BFS across ``multiprocessing`` workers.
+    """Work-stealing exploration across ``multiprocessing`` workers.
+
+    A thin front over :func:`repro.runtime.batched.run_work_stealing`
+    (see the module docstring above and docs/EXPLORATION.md for the
+    design).  Tasks the table compiler cannot enumerate fall back to
+    :class:`SerialBackend` wholesale, exactly like
+    :class:`~repro.runtime.compiled.CompiledBackend`; ``result.kernel``
+    records which engine actually ran.
 
     Parameters
     ----------
     workers:
         Worker process count (>= 1).
-    shards:
-        Number of visited-table shards; keys route by
-        ``crc32(key) % shards``.  Sharding bounds per-dict size and is
-        the seam a future distributed frontier partitions on; any value
-        yields identical results.
-    chunks_per_worker:
-        Frontier chunks per worker per level — more chunks smooth load
-        imbalance, fewer cut per-chunk overhead.
-    inline_frontier:
-        Frontier sizes below this are expanded in the coordinator
-        itself (same pure chunk function, zero IPC) — the narrow BFS
-        ramp-up/drain levels would otherwise pay a round-trip to ship a
-        handful of states.  Results are identical either way.
+    chunk_size:
+        Packed states per work chunk — the work-distribution granule.
+        Smaller chunks spread narrow state spaces across workers
+        sooner; larger chunks amortise per-chunk overhead.  Any value
+        yields identical merged results.
+    table_capacity:
+        Slot count of the shared visited table (power of two).  Default
+        ``None`` sizes it from ``task.max_states`` via
+        :func:`repro.runtime.visited.table_capacity`.  Runs that
+        outgrow the table truncate honestly with
+        ``truncated_by="visited_table_full"``.
     mp_context:
         ``multiprocessing`` start-method context; default is the
-        platform default (``fork`` on Linux, which also lets
-        closure-based invariants ride along un-pickled).
+        platform default (``fork`` on Linux).
     """
 
     name = "parallel"
@@ -481,19 +357,21 @@ class ParallelBackend:
     def __init__(
         self,
         workers: int = 2,
-        shards: int = 64,
-        chunks_per_worker: int = 4,
-        inline_frontier: int = 64,
+        chunk_size: int = 512,
+        table_capacity: Optional[int] = None,
         mp_context: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(
                 f"workers must be a positive int, got {workers!r}"
             )
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be a positive int, got {chunk_size!r}"
+            )
         self.workers = workers
-        self.shards = shards
-        self.chunks_per_worker = chunks_per_worker
-        self.inline_frontier = inline_frontier
+        self.chunk_size = chunk_size
+        self.table_capacity = table_capacity
         self._mp_context = mp_context
 
     def run(
@@ -501,196 +379,30 @@ class ParallelBackend:
         task: ExplorationTask,
         telemetry: TelemetrySink = NULL_TELEMETRY,
     ) -> ExplorationResult:
-        instance = task.instance
-        canonicalizer = task.canonicalizer
-        emit = telemetry.enabled
-        started = time.perf_counter()
-        initial_key, initial_raw = canonicalizer.key_of_state(task.initial)
-        recorder = None
-        if task.retain_graph:
-            # Imported lazily: repro.verify sits above the runtime layer.
-            from repro.verify.graph import GraphRecorder
+        # Imported lazily: batched -> compiled -> this module.
+        from repro.runtime.batched import NotCompilable, run_work_stealing
+        from repro.runtime.canonical import TrivialCanonicalizer
 
-            recorder = GraphRecorder(initial_raw, task.initial)
-        shard_count = self.shards
-        shards: List[Dict[CanonicalKey, bytes]] = [
-            {} for _ in range(shard_count)
-        ]
-        shards[crc32(initial_key) % shard_count][initial_key] = initial_raw
-        visited_total = 1
-        result = ExplorationResult(
-            complete=True,
-            states_explored=0,
-            events_executed=0,
-            max_depth_reached=0,
-            group_size=canonicalizer.group_order,
-        )
-        #: Level-indexed parent links: levels[d][i] = (index of the
-        #: parent in level d-1, pid suffix appended by that edge) for the
-        #: i-th frontier state of level d.  O(states) memory total,
-        #: O(depth) reconstruction on demand.
-        levels: List[List[Tuple[int, Tuple[ProcessId, ...]]]] = [[(-1, ())]]
-        frontier: List[Tuple[GlobalState, bytes]] = [
-            (task.initial, initial_raw)
-        ]
-
-        context = self._mp_context or get_context()
-        # One payload object: each pool worker copies it (with an empty
-        # emitted-keys set) at pool creation; the coordinator keeps its
-        # own copy for inlined small frontiers.
-        payload: _WorkerPayload = (
-            instance,
-            canonicalizer,
-            task.invariant,
-            set(),
-            task.retain_graph,
-        )
-        with context.Pool(
-            self.workers, initializer=_init_worker, initargs=(payload,)
-        ) as pool:
-            depth = 0
-            while frontier:
-                check_only = depth >= task.max_depth
-                result.states_explored += len(frontier)
-                result.max_depth_reached = depth
-                with telemetry.phase("parallel.expand"):
-                    if len(frontier) < self.inline_frontier:
-                        chunks: List[_Chunk] = [(check_only, frontier)]
-                        outputs = [_expand_chunk_with(payload, chunks[0])]
-                    else:
-                        chunks = self._partition(frontier, check_only)
-                        outputs = pool.map(_expand_chunk, chunks)
-
-                if emit:
-                    telemetry.count("parallel.levels")
-                    telemetry.gauge("explore.frontier", len(frontier))
-                    telemetry.gauge("explore.visited", visited_total)
-                    telemetry.event(
-                        "parallel.level",
-                        depth=depth,
-                        frontier=len(frontier),
-                        chunks=len(chunks),
-                        chunk_seconds=[round(out[6], 6) for out in outputs],
-                    )
-
-                # -- merge, strictly in chunk order --------------------
-                chunk_starts = self._chunk_starts(chunks)
-                if recorder is not None and not check_only:
-                    # Every frontier entry of this level is expanded;
-                    # its edges (possibly none — terminal states) arrive
-                    # with the chunk results below, in chunk order, so
-                    # the per-node edge order matches the serial DFS's
-                    # scheduler pid order exactly.
-                    for _, entry_raw in frontier:
-                        recorder.mark_expanded(entry_raw)
-                    for start, out in zip(chunk_starts, outputs):
-                        for offset, pid, dst in out[5]:
-                            recorder.add_edge(
-                                frontier[start + offset][1], pid, dst
-                            )
-                first_violation: Optional[Tuple[int, str]] = None
-                expandable_total = 0
-                for start, (
-                    violations, stuck, events, expandable, _, _, _
-                ) in zip(chunk_starts, outputs):
-                    result.events_executed += events
-                    result.stuck_states += stuck
-                    expandable_total += expandable
-                    if violations and first_violation is None:
-                        offset, message = violations[0]
-                        first_violation = (start + offset, message)
-                if first_violation is not None:
-                    index, message = first_violation
-                    schedule = _reconstruct_schedule(levels, depth, index)
-                    _validate_schedule(task, schedule, message)
-                    result.violation = message
-                    result.violation_schedule = schedule
-                    result.truncated_by = "violation"
-                    break
-                if check_only:
-                    if expandable_total:
-                        result.truncated_by = "max_depth"
-                    break
-
-                new_frontier: List[Tuple[GlobalState, bytes]] = []
-                new_links: List[Tuple[int, Tuple[ProcessId, ...]]] = []
-                budget_exhausted = False
-                with telemetry.phase("parallel.merge"):
-                    for start, (_, _, _, _, successors, _, _) in zip(
-                        chunk_starts, outputs
-                    ):
-                        for offset, path, key, raw, child in successors:
-                            if recorder is not None:
-                                recorder.add_node(raw, child)
-                            shard = shards[crc32(key) % shard_count]
-                            claimed = shard.get(key)
-                            if claimed is not None:
-                                if claimed != raw:
-                                    result.orbits_collapsed += 1
-                                continue
-                            if visited_total >= task.max_states:
-                                result.truncated_by = "max_states"
-                                budget_exhausted = True
-                                break
-                            shard[key] = raw
-                            visited_total += 1
-                            new_links.append((start + offset, path))
-                            new_frontier.append((child, raw))
-                        if budget_exhausted:
-                            break
-                if budget_exhausted:
-                    break
-                levels.append(new_links)
-                frontier = new_frontier
-                depth += 1
-
-        result.complete = result.truncated_by is None
-        result.wall_seconds = time.perf_counter() - started
-        result.peak_visited = visited_total
-        if recorder is not None:
-            result.graph = recorder.finish(result.complete)
-        if emit:
-            telemetry.gauge("explore.visited", visited_total)
-            telemetry.count("explore.events", result.events_executed)
-            telemetry.count("explore.orbit_hits", result.orbits_collapsed)
+        if task.retain_graph and not isinstance(
+            task.canonicalizer, TrivialCanonicalizer
+        ):
+            # explore() rejects this combination; a hand-built task
+            # gets the serial behaviour verbatim.
+            return SerialBackend().run(task, telemetry=telemetry)
+        try:
+            result = run_work_stealing(
+                task,
+                self.workers,
+                telemetry=telemetry,
+                chunk_size=self.chunk_size,
+                mp_context=self._mp_context,
+                capacity=self.table_capacity,
+            )
+        except NotCompilable:
+            return SerialBackend().run(task, telemetry=telemetry)
+        if result.violation is not None and result.violation_schedule is not None:
+            _validate_schedule(task, result.violation_schedule, result.violation)
         return result
-
-    def _partition(
-        self, frontier: List[Tuple[GlobalState, bytes]], check_only: bool
-    ) -> List[_Chunk]:
-        """Deterministic contiguous chunking of the frontier."""
-        target = max(1, self.workers * self.chunks_per_worker)
-        size = max(1, -(-len(frontier) // target))
-        return [
-            (check_only, frontier[start : start + size])
-            for start in range(0, len(frontier), size)
-        ]
-
-    def _chunk_starts(self, chunks: List[_Chunk]) -> List[int]:
-        starts: List[int] = []
-        total = 0
-        for _, entries in chunks:
-            starts.append(total)
-            total += len(entries)
-        return starts
-
-
-def _reconstruct_schedule(
-    levels: List[List[Tuple[int, Tuple[ProcessId, ...]]]],
-    level: int,
-    index: int,
-) -> Tuple[ProcessId, ...]:
-    """Walk parent links back to the root and concatenate pid suffixes."""
-    suffixes: List[Tuple[ProcessId, ...]] = []
-    while level > 0:
-        parent, suffix = levels[level][index]
-        suffixes.append(suffix)
-        index = parent
-        level -= 1
-    schedule: List[ProcessId] = []
-    for suffix in reversed(suffixes):
-        schedule.extend(suffix)
-    return tuple(schedule)
 
 
 def _validate_schedule(

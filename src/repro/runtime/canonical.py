@@ -368,11 +368,76 @@ class PackedDigestTables:
     :class:`PackedCandidate` yields one orbit candidate; the canonical
     key is the minimum — byte-identical to :meth:`Canonicalizer._key`
     because every digest passed through the same intern/digest path.
+
+    The ``batch_*`` methods serve the batched exploration core: they
+    walk a *flat* integer batch (``m + nslots`` ints per state, the
+    packed layout, concatenated — an ``array('q')`` or any integer
+    sequence) and digest every state in one pass, so per-batch dedup
+    pays the Python dispatch cost once per batch instead of once per
+    state.
     """
 
     value_raw: Tuple[bytes, ...]
     slot_raw: Tuple[Tuple[bytes, ...], ...]
     candidates: Tuple[PackedCandidate, ...]
+
+    def batch_raw(self, flat: Sequence[int], m: int) -> List[bytes]:
+        """Raw keys of a flat batch of packed states.
+
+        ``flat`` holds ``len(flat) // (m + nslots)`` packed states
+        back to back; ``m`` is the register count (the packed prefix
+        width).  Each returned key is byte-identical to the raw half of
+        :meth:`Canonicalizer.key_of_state` on the unpacked state.
+        """
+        value_raw = self.value_raw
+        slot_raw = self.slot_raw
+        nslots = len(slot_raw)
+        stride = m + nslots
+        out: List[bytes] = []
+        for base in range(0, len(flat), stride):
+            parts = [value_raw[flat[base + i]] for i in range(m)]
+            for s in range(nslots):
+                parts.append(slot_raw[s][flat[base + m + s]])
+            out.append(b"".join(parts))
+        return out
+
+    def batch_keys(
+        self, flat: Sequence[int], m: int
+    ) -> List[Tuple[bytes, bytes]]:
+        """``(canonical_key, raw_key)`` pairs for a flat packed batch.
+
+        The canonical key is the minimum over this table's orbit
+        candidates, exactly as :meth:`Canonicalizer._key` computes it;
+        with no candidates the two keys coincide (shared objects, no
+        copy).
+        """
+        value_raw = self.value_raw
+        slot_raw = self.slot_raw
+        candidates = self.candidates
+        nslots = len(slot_raw)
+        stride = m + nslots
+        out: List[Tuple[bytes, bytes]] = []
+        for base in range(0, len(flat), stride):
+            parts = [value_raw[flat[base + i]] for i in range(m)]
+            for s in range(nslots):
+                parts.append(slot_raw[s][flat[base + m + s]])
+            raw = b"".join(parts)
+            if not candidates:
+                out.append((raw, raw))
+                continue
+            best = raw
+            for cand in candidates:
+                cparts = [
+                    cand.value_digest[flat[base + phys]]
+                    for phys in cand.source_phys
+                ]
+                for s in cand.source_slot:
+                    cparts.append(cand.slot_digest[s][flat[base + m + s]])
+                joined = b"".join(cparts)
+                if joined < best:
+                    best = joined
+            out.append((best, raw))
+        return out
 
 
 class Canonicalizer:

@@ -52,6 +52,7 @@ load-bearing for correctness:
 from __future__ import annotations
 
 import time
+from array import array
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.telemetry import NULL_TELEMETRY, TelemetrySink
@@ -204,6 +205,106 @@ class CompiledProgram:
         state = self.unpack(packed)
         child = step_value(self.instance, state, self.slots[slot])
         return self.pack(child)
+
+    # -- batched expansion ---------------------------------------------
+
+    def live_tables(self) -> List[List[bool]]:
+        """``live[slot][si]`` ⟺ the slot can step from local state si
+        (not halted, not crashed) — the enabled-pid predicate over
+        packed components."""
+        return [
+            [not (self.crashed[s] or h) for h in self.halted[s]]
+            for s in range(len(self.slots))
+        ]
+
+    def expand_batch(self, flat: Sequence[int]) -> Tuple["array", "array"]:
+        """One-step successors of a flat batch of packed states.
+
+        ``flat`` holds packed states back to back (``m + nslots`` ints
+        each; an ``array('q')`` or any int sequence).  Returns
+        ``(children, edges)``:
+
+        * ``edges`` is a flat ``array('q')`` of ``(src, slot, inert)``
+          triples — one per enabled slot of every batch state, in the
+          instance's scheduling order within each state (so per-source
+          edge order matches the serial walk's pid order).  ``src`` is
+          the state's index within the batch; ``inert`` is 1 when the
+          step is a single-step self-loop (child == state, which under
+          the serial semantics costs exactly 2 events and retains a
+          self-edge).
+        * ``children`` is a flat ``array('q')`` holding one packed
+          child per **non-inert** edge, in edge order (inert edges
+          contribute no child row — the child is the source).
+
+        A source with no edges is terminal (every slot halted or
+        crashed).  Poisoned table entries delegate to the interpreter
+        exactly like :meth:`step_packed`, so genuine hook exceptions
+        propagate to the caller unchanged.
+        """
+        m = self.m
+        nslots = len(self.slots)
+        stride = m + nslots
+        kind = self.kind
+        arg = self.arg
+        wval = self.write_value
+        nxt = self.next_state
+        rows = self.rows
+        live = self.live_tables()
+        step_order = self.step_order
+        children = array("q")
+        edges = array("q")
+        for base in range(0, len(flat), stride):
+            src = base // stride
+            for _pid, s, off in step_order:
+                si = flat[base + off]
+                if not live[s][si]:
+                    continue
+                k = kind[s][si]
+                if k == OP_READ:
+                    row = rows[s][si]
+                    assert row is not None
+                    nsi = row[flat[base + arg[s][si]]]
+                    if nsi >= 0:
+                        if nsi == si:
+                            edges.extend((src, s, 1))
+                            continue
+                        start = len(children)
+                        children.extend(flat[base : base + stride])
+                        children[start + off] = nsi
+                        edges.extend((src, s, 0))
+                        continue
+                elif k == OP_WRITE:
+                    phys = arg[s][si]
+                    nsi = nxt[s][si]
+                    if nsi == si and flat[base + phys] == wval[s][si]:
+                        edges.extend((src, s, 1))
+                        continue
+                    start = len(children)
+                    children.extend(flat[base : base + stride])
+                    children[start + phys] = wval[s][si]
+                    children[start + off] = nsi
+                    edges.extend((src, s, 0))
+                    continue
+                elif k == OP_LOCAL:
+                    nsi = nxt[s][si]
+                    if nsi == si:
+                        edges.extend((src, s, 1))
+                        continue
+                    start = len(children)
+                    children.extend(flat[base : base + stride])
+                    children[start + off] = nsi
+                    edges.extend((src, s, 0))
+                    continue
+                # Poisoned entry (OP_RAISE, or a poisoned read row):
+                # interpret, reproducing the genuine result/exception.
+                state = tuple(flat[base : base + stride])
+                child = self._interpret(state, s)
+                if child == state:
+                    edges.extend((src, s, 1))
+                else:
+                    children.extend(child)
+                    edges.extend((src, s, 0))
+        return children, edges
 
 
 def compile_program(

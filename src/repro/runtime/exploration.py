@@ -65,7 +65,9 @@ class ExplorationResult:
     * ``complete`` / ``truncated_by`` — whether the walk reached a
       fixpoint.  **Invariant:** ``complete ⟺ truncated_by is None``,
       always.  A search stopped early — by a budget (``"max_states"``,
-      ``"max_depth"``) or by a found violation (``"violation"``) — has
+      ``"max_depth"``), by the parallel backend's fixed-capacity
+      visited table (``"visited_table_full"``), or by a found
+      violation (``"violation"``) — has
       explored a strict under-approximation of the reachable space, so
       its ``complete`` is False even though its verdict may already be
       final.
@@ -97,8 +99,10 @@ class ExplorationResult:
     #: waiting) cannot be silently under-explored.
     stuck_states: int = 0
     #: What stopped the search before it exhausted the reachable states:
-    #: ``"max_states"``, ``"max_depth"``, ``"violation"``, or ``None``
-    #: (fixpoint reached — the search is complete).
+    #: ``"max_states"``, ``"max_depth"``, ``"visited_table_full"`` (the
+    #: parallel backend's fixed-capacity shared-memory visited table
+    #: overflowed — see repro.runtime.visited), ``"violation"``, or
+    #: ``None`` (fixpoint reached — the search is complete).
     truncated_by: Optional[str] = None
     #: Successor encounters whose state was new but whose symmetry orbit
     #: was already visited — the work the quotient saved.  Always 0 under
@@ -234,10 +238,14 @@ def explore(
         :func:`~repro.runtime.backends.resolve_backend`).  Defaults to
         :class:`~repro.runtime.backends.SerialBackend` — the historical
         depth-first semantics, bit-identical counters included.  A
-        :class:`~repro.runtime.backends.ParallelBackend` fans the
-        frontier out across worker processes (same verdicts; see
-        docs/EXPLORATION.md for exactly which counters may differ on
-        budget-truncated walks).
+        :class:`~repro.runtime.backends.ParallelBackend` runs the
+        batched packed-state core instead: worker processes steal
+        chunks of packed states from a shared deque and dedup through
+        one shared-memory visited table, and a canonical post-order
+        merge keeps complete-run results (retained
+        ``StateGraph.to_bytes()`` included) bit-identical to the
+        serial walk (see docs/EXPLORATION.md for exactly which
+        counters may differ on budget-truncated walks).
     kernel:
         Step-kernel selector: ``"interpreted"`` (the default — the
         ``step_value`` interpreter) or ``"compiled"`` (the
@@ -386,7 +394,9 @@ def explore(
             events=result.events_executed,
             truncated_by=result.truncated_by,
         )
-    if raise_on_truncation and result.truncated_by in ("max_states", "max_depth"):
+    if raise_on_truncation and result.truncated_by in (
+        "max_states", "max_depth", "visited_table_full"
+    ):
         raise ExplorationLimitExceeded(
             f"exploration truncated by {result.truncated_by}; "
             f"{result.states_explored} states visited"

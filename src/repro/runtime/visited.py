@@ -1,0 +1,214 @@
+"""Shared-memory open-addressing visited table for parallel exploration.
+
+The work-stealing backend dedups states across OS processes through one
+fixed-capacity hash set living in a ``multiprocessing.shared_memory``
+segment: a power-of-two array of 8-byte slots, each holding the 64-bit
+BLAKE2b digest of a canonical state key (the same 8-byte digest family
+the canonicalizer already keys states with), probed linearly.
+
+**Insert is CAS-free.**  CPython offers no cross-process compare-and-swap
+on shared memory, so two workers racing on the same empty slot can both
+observe it empty and both write — one write wins, both report "new", and
+the loser's state is expanded twice.  That duplicate expansion is benign:
+expansion is deterministic per state, the coordinator's canonical
+post-order merge dedups the records by key, and the merged result is
+bit-identical to the serial walk on complete runs.  An aligned 8-byte
+store through a ``memoryview`` cast to ``'Q'`` is a single untorn store
+on every platform CPython supports, so readers never observe a partial
+digest.
+
+**Overflow is honest.**  The table never grows.  When a probe run of
+:data:`PROBE_LIMIT` consecutive occupied slots finds neither the digest
+nor a free slot (long runs form well before the table is literally
+full), :meth:`SharedVisitedTable.insert` raises
+:class:`VisitedTableFull`; the backend aborts the run and reports
+``truncated_by="visited_table_full"`` instead of silently dropping
+states.
+
+Digest value 0 is the empty-slot sentinel; a genuine all-zero digest is
+remapped to 1.  That folds two of the 2⁶⁴ digest values together — the
+same order of collision risk the 8-byte keys already carry.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional
+
+__all__ = [
+    "PROBE_LIMIT",
+    "SEGMENT_PREFIX",
+    "SharedVisitedTable",
+    "VisitedTableFull",
+    "table_capacity",
+]
+
+#: Consecutive occupied slots probed before declaring the table full.
+PROBE_LIMIT = 512
+
+#: Shared-memory segment name prefix; the SIGTERM-cleanup test greps
+#: /dev/shm for it, so keep it stable.
+SEGMENT_PREFIX = "repro_vt_"
+
+#: Capacity ceiling: 2**24 slots = 128 MiB of shared memory.
+_MAX_CAPACITY = 1 << 24
+
+#: Capacity floor — small runs still want short probe runs.
+_MIN_CAPACITY = 1 << 12
+
+
+class VisitedTableFull(Exception):
+    """The fixed-capacity visited table cannot accept another digest."""
+
+
+def table_capacity(max_states: int) -> int:
+    """Slot count for a run bounded by ``max_states`` visited states.
+
+    At least 2x the budget (load factor <= 0.5 keeps linear-probe runs
+    short), rounded up to a power of two, clamped to
+    [2**12, 2**24].  A budget beyond the ceiling can genuinely fill the
+    table; the run then truncates with ``visited_table_full`` rather
+    than exceeding the memory envelope.
+    """
+    want = max(_MIN_CAPACITY, 2 * max(1, max_states))
+    capacity = _MIN_CAPACITY
+    while capacity < want and capacity < _MAX_CAPACITY:
+        capacity <<= 1
+    return capacity
+
+
+class SharedVisitedTable:
+    """Fixed-capacity shared-memory hash set of 64-bit digests.
+
+    Create one segment in the coordinator with :meth:`create`, attach
+    from each worker with :meth:`attach`, :meth:`close` everywhere, and
+    :meth:`unlink` exactly once (the coordinator, in a ``finally``).
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, capacity: int, owner: bool
+    ) -> None:
+        if capacity & (capacity - 1):
+            raise ValueError(f"capacity must be a power of two, got {capacity}")
+        self._shm = shm
+        self._slots = memoryview(shm.buf)[: capacity * 8].cast("Q")
+        self.capacity = capacity
+        self._mask = capacity - 1
+        self._owner = owner
+
+    @classmethod
+    def create(cls, capacity: int, name: str) -> "SharedVisitedTable":
+        """Allocate a zero-filled segment called ``name``.
+
+        Capacity is validated *before* the segment exists — a rejected
+        capacity must not leak a fresh /dev/shm entry.
+        """
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError(f"capacity must be a power of two, got {capacity}")
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=capacity * 8
+        )
+        # Linux zero-fills fresh segments; make the invariant explicit
+        # rather than platform-dependent.
+        shm.buf[: capacity * 8] = bytes(capacity * 8)
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int) -> "SharedVisitedTable":
+        """Attach to an existing segment (worker side).
+
+        Attaching registers the segment with a resource tracker.  When
+        this process has no tracker yet (``spawn``/``forkserver``
+        workers), the attach starts one owned by *this* process, whose
+        exit-time cleanup would unlink the segment out from under the
+        coordinator — so the registration is immediately undone; the
+        coordinator owns the segment's lifetime.  Under ``fork`` the
+        tracker is shared with the coordinator and its single
+        registration must be left alone (the coordinator unregisters
+        via ``unlink``).
+        """
+        from multiprocessing import resource_tracker
+
+        tracker = getattr(resource_tracker, "_resource_tracker", None)
+        own_tracker = getattr(tracker, "_fd", None) is None
+        shm = shared_memory.SharedMemory(name=name)
+        if own_tracker:
+            try:
+                # register() recorded the raw ``_name`` (with the POSIX
+                # leading slash), so unregister with the same spelling.
+                resource_tracker.unregister(
+                    getattr(shm, "_name", shm.name), "shared_memory"
+                )
+            except Exception:
+                pass
+        return cls(shm, capacity, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def insert(self, digest: int) -> bool:
+        """Insert a 64-bit digest; True if it was (probably) new.
+
+        "Probably": a concurrent racing insert of the same digest can
+        make both callers see True — the benign-duplicate case the
+        module docstring describes.  Raises :class:`VisitedTableFull`
+        after :data:`PROBE_LIMIT` occupied probes.
+        """
+        if digest == 0:
+            digest = 1
+        slots = self._slots
+        mask = self._mask
+        index = digest & mask
+        for _ in range(PROBE_LIMIT):
+            current = slots[index]
+            if current == digest:
+                return False
+            if current == 0:
+                slots[index] = digest
+                return True
+            index = (index + 1) & mask
+        raise VisitedTableFull(
+            f"visited table exhausted a {PROBE_LIMIT}-slot probe run "
+            f"(capacity {self.capacity})"
+        )
+
+    def __contains__(self, digest: int) -> bool:
+        if digest == 0:
+            digest = 1
+        slots = self._slots
+        mask = self._mask
+        index = digest & mask
+        for _ in range(PROBE_LIMIT):
+            current = slots[index]
+            if current == digest:
+                return True
+            if current == 0:
+                return False
+            index = (index + 1) & mask
+        return False
+
+    def close(self) -> None:
+        """Release this process's mapping (both sides)."""
+        self._release_view()
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS (coordinator, exactly once)."""
+        self._release_view()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def _release_view(self) -> None:
+        view: Optional[memoryview] = getattr(self, "_slots", None)
+        if view is not None:
+            try:
+                view.release()
+            except Exception:
+                pass
+            self._slots = None  # type: ignore[assignment]

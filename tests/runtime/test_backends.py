@@ -176,7 +176,7 @@ class TestParallelMatchesSerial:
             reduction="symmetry",
             backend=ParallelBackend(
                 workers=2,
-                inline_frontier=1,  # force every level through the pool
+                chunk_size=1,  # force work distribution across workers
                 mp_context=multiprocessing.get_context("spawn"),
             ),
         )

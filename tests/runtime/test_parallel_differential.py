@@ -1,0 +1,187 @@
+"""Differential bit-identity of the work-stealing parallel backend.
+
+The batched packed-state core must be an observational no-op against
+the serial reference walk: on every shipped verify-role instance and
+every non-hooked lint mutant, at every worker count in {1, 2, 4}, the
+deterministic result fields — verdict, completeness, truncation cause,
+state/event counters, stuck states, peak visited, group size — and the
+retained ``StateGraph.to_bytes()`` must match
+:class:`~repro.runtime.backends.SerialBackend` exactly.
+
+What is *not* compared is deliberate, not lenient:
+``max_depth_reached`` depends on discovery order (DFS finds deep paths
+first, the parallel walk breadth-ish ones), wall-clock and per-worker
+telemetry are timing, and on ``max_depth``-truncated walks the visited
+*set itself* is discovery-order-dependent — docs/EXPLORATION.md spells
+out the full contract.  Violation runs stop at the first violation
+either walk happens to reach, so there only the verdict, the
+truncation cause and the replayability of the reported schedule are
+pinned.
+"""
+
+import pytest
+
+from repro.problems import instances_with_role
+from repro.runtime.backends import ParallelBackend, SerialBackend
+from repro.runtime.canonical import TrivialCanonicalizer
+from repro.runtime.exploration import explore
+from repro.runtime.replay import replay_schedule
+from repro.runtime.system import System
+
+from tests.conftest import pids
+from tests.lint.mutants import ALL_MUTANTS, HOOKED_MUTANTS, MutantAlgorithm
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Result fields that are deterministic across backends and worker
+#: counts on a complete trivial-dedup walk.
+DETERMINISTIC_FIELDS = (
+    "ok",
+    "complete",
+    "truncated_by",
+    "states_explored",
+    "events_executed",
+    "stuck_states",
+    "peak_visited",
+    "group_size",
+)
+
+VERIFY_ROWS = list(instances_with_role("verify", include_mutants=True))
+
+NON_HOOKED_MUTANTS = [
+    cls for cls, _pass in ALL_MUTANTS if cls not in HOOKED_MUTANTS
+]
+
+
+def null_invariant(_system):
+    return None
+
+
+def run_verify_instance(spec, inst, backend):
+    system = spec.system(inst)
+    return explore(
+        system,
+        spec.invariant,
+        canonicalizer=TrivialCanonicalizer(system.scheduler),
+        backend=backend,
+        retain_graph=True,
+        max_states=inst.verify_max_states,
+        max_depth=1_000_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """One serial run per instance, shared across the worker matrix."""
+    cache = {}
+
+    def get(key, factory):
+        if key not in cache:
+            cache[key] = factory()
+        return cache[key]
+
+    return get
+
+
+class TestVerifyInstances:
+    @pytest.mark.parametrize(
+        "spec, inst", VERIFY_ROWS, ids=[inst.label for _, inst in VERIFY_ROWS]
+    )
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bit_identical_to_serial(
+        self, spec, inst, workers, serial_reference
+    ):
+        serial = serial_reference(
+            inst.label, lambda: run_verify_instance(spec, inst, SerialBackend())
+        )
+        parallel = run_verify_instance(
+            spec, inst, ParallelBackend(workers=workers)
+        )
+        assert parallel.backend == "parallel"
+        assert parallel.workers == workers
+        assert parallel.kernel == "compiled", (
+            f"{inst.label}: parallel backend fell back to the interpreter"
+        )
+        if serial.complete:
+            for field in DETERMINISTIC_FIELDS:
+                got, want = getattr(parallel, field), getattr(serial, field)
+                assert got == want, (
+                    f"{inst.label} x{workers}: {field} diverged: "
+                    f"{got!r} != {want!r}"
+                )
+            assert serial.graph is not None and parallel.graph is not None
+            assert parallel.graph.to_bytes() == serial.graph.to_bytes(), (
+                f"{inst.label} x{workers}: retained StateGraph bytes "
+                f"diverged from serial"
+            )
+        else:
+            # The one incomplete verify walk is the seeded mutant's
+            # violation; which witness is found first is scheduling,
+            # that one is found (and certifies by replay) is not.
+            assert serial.truncated_by == "violation"
+            assert parallel.truncated_by == "violation"
+            assert not serial.ok and not parallel.ok
+            assert parallel.violation_schedule is not None
+            fresh = spec.system(inst)
+            replay_schedule(fresh, parallel.violation_schedule)
+            assert spec.invariant(fresh) is not None
+
+
+class TestNonHookedMutants:
+    """Every lint mutant, including the two whose exploration raises.
+
+    Budgets keep the walks small, so some mutants truncate; the
+    comparison tightens with what determinism allows: everything on
+    complete runs, verdict + truncation cause + capped state count on
+    ``max_states`` truncation, verdict + truncation cause on
+    ``max_depth`` truncation (there the visited set is
+    discovery-order-dependent by design), exception type when the walk
+    raises.
+    """
+
+    BUDGETS = dict(max_states=2_000, max_depth=200)
+
+    @pytest.mark.parametrize(
+        "mutant_cls",
+        NON_HOOKED_MUTANTS,
+        ids=[cls.__name__ for cls in NON_HOOKED_MUTANTS],
+    )
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_matches_serial(self, mutant_cls, workers, serial_reference):
+        def run(backend):
+            system = System(
+                MutantAlgorithm(mutant_cls), pids(2), record_trace=False
+            )
+            try:
+                result = explore(
+                    system,
+                    null_invariant,
+                    canonicalizer=TrivialCanonicalizer(system.scheduler),
+                    backend=backend,
+                    retain_graph=True,
+                    **self.BUDGETS,
+                )
+            except Exception as error:  # noqa: BLE001 — compared below
+                return ("raised", type(error).__name__)
+            return result
+
+        serial = serial_reference(
+            mutant_cls.__name__, lambda: run(SerialBackend())
+        )
+        parallel = run(ParallelBackend(workers=workers))
+        if isinstance(serial, tuple):
+            assert parallel == serial
+            return
+        assert not isinstance(parallel, tuple), (
+            f"parallel raised {parallel!r}, serial returned a result"
+        )
+        assert parallel.truncated_by == serial.truncated_by
+        assert parallel.ok == serial.ok
+        assert parallel.complete == serial.complete
+        if serial.complete:
+            for field in DETERMINISTIC_FIELDS:
+                assert getattr(parallel, field) == getattr(serial, field)
+            assert serial.graph is not None and parallel.graph is not None
+            assert parallel.graph.to_bytes() == serial.graph.to_bytes()
+        elif serial.truncated_by == "max_states":
+            assert parallel.states_explored == serial.states_explored

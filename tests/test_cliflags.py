@@ -106,6 +106,43 @@ class TestFuzzRow:
         ) in err
 
 
+class TestWorkersValidation:
+    """``--workers 0`` (or negative, or junk) dies at the parser with
+    the same one-line message in every command that accepts the flag —
+    the text mirrors the backends' ConfigurationError for the same
+    mistake, so the CLI and API layers never disagree."""
+
+    @pytest.mark.parametrize("argv", [
+        ["verify", "--problem", "figure-1-mutex"],
+        ["sweep", "--problem", "figure-1-mutex"],
+        ["fuzz", "--problem", "figure-1-mutex"],
+    ], ids=["verify", "sweep", "fuzz"])
+    @pytest.mark.parametrize("value, shown", [
+        ("0", "0"), ("-2", "-2"), ("many", "'many'"),
+    ])
+    def test_rejected_with_pinned_text(self, argv, value, shown, capsys):
+        err = run_expecting_usage_error(argv + ["--workers", value], capsys)
+        assert (
+            f"argument --workers: workers must be a positive int, "
+            f"got {shown}" in err
+        )
+
+    @pytest.mark.parametrize("value, shown", [("0", "0"), ("-3", "-3")])
+    def test_rejected_by_bench(self, value, shown):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "benchmarks" / "run_experiments.py"),
+             "--bench", "--quick", "--backend", "parallel",
+             "--workers", value],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 2
+        assert (
+            f"argument --workers: workers must be a positive int, "
+            f"got {shown}" in result.stderr
+        )
+
+
 class TestBenchRow:
     def test_accepts_all_five(self):
         result = subprocess.run(

@@ -81,7 +81,7 @@ class TestExplorationBench:
         problems = harness.check_baseline(doc(771, verdict="bounded-ok"), baseline)
         assert problems and "verdict changed" in problems[0]
 
-    def test_quick_bench_writes_schema_v7(self, harness, tmp_path, capsys):
+    def test_quick_bench_writes_schema_v8(self, harness, tmp_path, capsys):
         out = tmp_path / "bench.json"
         import json
 
@@ -92,7 +92,10 @@ class TestExplorationBench:
         capsys.readouterr()
         assert code == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == "repro.bench_explore/v7"
+        assert document["schema"] == "repro.bench_explore/v8"
+        # v8: degraded_host is stamped at the top level so speedup
+        # gates can decide skip-vs-fail without reading every record.
+        assert document["degraded_host"] == (document["host_cpus"] == 1)
         # v6: the sweep-farm micro-benchmark block
         sweep_block = document["sweep"]
         assert sweep_block["grid_cells"] > 0
